@@ -1,0 +1,73 @@
+//! Figure 6-3 — transaction processing performance with a CPU-intensive
+//! workload (§6.3.2).
+//!
+//! Each transaction inserts one tuple *and* spins the worker CPU for a
+//! configurable number of cycles (modelling ETL transformation,
+//! compression, materialized-view maintenance, …). Three panels: 1, 5 and
+//! 10 concurrent streams; x-axis is simulated work in millions of cycles.
+//!
+//! Expected trends (the paper's two observations): the relative gaps
+//! between protocols shrink (1) as CPU work grows and (2) as concurrency
+//! grows.
+
+use harbor_bench::{print_series, throughput_cluster, Scale};
+use harbor_dist::{ProtocolKind, UpdateRequest};
+use harbor_wal::GroupCommit;
+use harbor_workload::InsertStream;
+use harbor_workload::run_concurrent_streams;
+
+fn main() {
+    let scale = Scale::from_env();
+    let panels: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 5],
+        _ => vec![1, 5, 10],
+    };
+    let work_levels: Vec<u64> = match scale {
+        Scale::Quick => vec![0, 500_000, 1_000_000, 2_000_000],
+        _ => vec![0, 500_000, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000],
+    };
+    let txns_per_stream = scale.pick(40, 200, 1000);
+    let protocols = [
+        ("optimized 3PC (no logging)", ProtocolKind::Opt3pc),
+        ("optimized 2PC (no worker logging)", ProtocolKind::Opt2pc),
+        ("traditional 2PC", ProtocolKind::Trad2pc),
+        ("canonical 3PC", ProtocolKind::Canon3pc),
+    ];
+    println!("Figure 6-3: throughput (tps) vs simulated CPU work (cycles)");
+    println!("(scale={scale:?}, {txns_per_stream} txns/stream)");
+    for &streams in &panels {
+        println!("\n--- panel: {streams} concurrent transaction(s) ---");
+        for (name, protocol) in &protocols {
+            let mut points = Vec::new();
+            for &cycles in &work_levels {
+                let cluster = throughput_cluster(
+                    &format!("fig6_3-{protocol:?}-{streams}-{cycles}"),
+                    *protocol,
+                    2,
+                    streams,
+                    GroupCommit::enabled(),
+                )
+                .expect("cluster");
+                let sources: Vec<InsertStream> = (0..streams)
+                    .map(|s| InsertStream::new(&format!("t{s}"), 0))
+                    .collect();
+                let sample = run_concurrent_streams(
+                    cluster.coordinator(),
+                    streams,
+                    txns_per_stream,
+                    |s, _| {
+                        let mut ops = vec![sources[s].next()];
+                        if cycles > 0 {
+                            ops.push(UpdateRequest::SimulateWork { cycles });
+                        }
+                        ops
+                    },
+                )
+                .expect("streams");
+                points.push((cycles as f64 / 1e6, sample.tps()));
+                cluster.shutdown();
+            }
+            print_series(name, &points);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 6-4 — recovery performance as a function of insert transactions
+//! since the crash (§6.4.1).
+//!
+//! Setup per the thesis: four nodes (coordinator + 3 workers); tables
+//! prefilled and checkpointed; then M single-insert transactions run with
+//! no page flushes; worker 1 crashes and is recovered under four
+//! scenarios: ARIES (log replay), HARBOR single table, HARBOR two tables
+//! serial, HARBOR two tables parallel.
+//!
+//! Expected shape: all linear in M; ARIES steeper than HARBOR (the paper
+//! crosses over at ~4.6 K inserts); parallel ≥ serial for two tables, with
+//! the gap widening as M grows.
+
+use harbor_bench::{
+    print_series, recovery_storage, rows_per_segment, run_insert_txns, run_recovery_scenario,
+    RecoveryScenario, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let txn_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![100, 1000, 3000, 6000, 10000],
+        Scale::Standard => vec![100, 500, 1000, 2000, 4000, 8000],
+        Scale::Paper => vec![2, 10_000, 20_000, 40_000, 60_000, 80_000],
+    };
+    // Prefill ~12 segments' worth of history per table (the paper's 1 GB /
+    // 101-segment table, scaled).
+    let rps = rows_per_segment(&recovery_storage(scale));
+    let prefill_rows = rps * scale.pick(12, 24, 101);
+    println!("Figure 6-4: recovery time (ms) vs insert transactions since crash");
+    println!(
+        "(scale={scale:?}, prefill {prefill_rows} rows/table, {rps} rows/segment)"
+    );
+    for scenario in RecoveryScenario::ALL {
+        let mut points = Vec::new();
+        for &m in &txn_counts {
+            let run = run_recovery_scenario(
+                &format!("fig6_4-{scenario:?}-{m}"),
+                scenario,
+                scale,
+                prefill_rows,
+                |cluster, tables| run_insert_txns(cluster, tables, m, prefill_rows + 1_000_000),
+            )
+            .expect("scenario");
+            points.push((m as f64, run.elapsed.as_secs_f64() * 1e3));
+        }
+        print_series(scenario.name(), &points);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 6-5 — recovery performance as a function of historical segments
+//! updated since the crash (§6.4.2).
+//!
+//! The transaction count is fixed; a slice of them are indexed updates
+//! aimed at tuples in progressively more *historical* segments (never the
+//! most recent one, which Phase 1 scans anyway). HARBOR must scan every
+//! segment whose `Tmax-deletion` postdates the checkpoint, so its recovery
+//! time grows linearly with the number of updated segments, while ARIES
+//! only replays the log tail and stays flat — the regime where the
+//! log-based baseline wins. With few updated segments (the warehouse
+//! common case) HARBOR wins.
+
+use harbor_bench::{
+    print_series, recovery_storage, rows_per_segment, run_historical_updates, run_insert_txns,
+    run_recovery_scenario, RecoveryScenario, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seg_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![0, 2, 4, 8],
+        _ => vec![0, 2, 4, 6, 8, 10, 12, 16],
+    };
+    let total_txns: usize = scale.pick(400, 2_000, 20_000);
+    let updates_per_segment = scale.pick(20, 50, 100);
+    let rps = rows_per_segment(&recovery_storage(scale));
+    let prefill_segments = scale.pick(20, 30, 101) as i64;
+    let prefill_rows = rps * prefill_segments;
+    println!("Figure 6-5: recovery time (ms) vs historical segments updated");
+    println!(
+        "(scale={scale:?}, {total_txns} txns fixed, {updates_per_segment} updates/segment, \
+         prefill {prefill_segments} segments/table)"
+    );
+    for scenario in RecoveryScenario::ALL {
+        let mut points = Vec::new();
+        for &segs in &seg_counts {
+            let run = run_recovery_scenario(
+                &format!("fig6_5-{scenario:?}-{segs}"),
+                scenario,
+                scale,
+                prefill_rows,
+                |cluster, tables| {
+                    // Split the segment budget across the tables (the
+                    // two-table scenarios count *total* historical
+                    // segments, §6.4.2).
+                    let per_table = segs / tables.len();
+                    let mut updates = 0usize;
+                    for (ti, t) in tables.iter().enumerate() {
+                        // Historical segments: the oldest ones (distinct,
+                        // never the most recent prefilled segment).
+                        let n = per_table + usize::from(ti < segs % tables.len());
+                        assert!((n as i64) < prefill_segments - 1);
+                        let chosen: Vec<i64> = (0..n as i64).collect();
+                        run_historical_updates(
+                            cluster,
+                            t,
+                            &chosen,
+                            updates_per_segment,
+                            rps,
+                        )?;
+                        updates += chosen.len() * updates_per_segment;
+                    }
+                    // The rest of the fixed budget is inserts.
+                    let inserts = total_txns.saturating_sub(updates);
+                    run_insert_txns(cluster, tables, inserts, prefill_rows + 1_000_000)
+                },
+            )
+            .expect("scenario");
+            points.push((segs as f64, run.elapsed.as_secs_f64() * 1e3));
+        }
+        print_series(scenario.name(), &points);
+    }
+}

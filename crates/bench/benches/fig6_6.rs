@@ -1,0 +1,68 @@
+//! Figure 6-6 — decomposition of HARBOR recovery time by phase (§6.4.3).
+//!
+//! Re-runs the single-table scenario of Fig 6-5 and splits the recovery
+//! wall time into its constituents: Phase 1 (local restore to the
+//! checkpoint), Phase 2's SELECT+UPDATE (deletion copies — the part that
+//! grows with updated historical segments), Phase 2's SELECT+INSERT (the
+//! tuple copies — roughly constant for a fixed insert count), and Phase 3
+//! (near zero when no transactions run during recovery).
+
+use harbor_bench::{
+    print_table, recovery_storage, rows_per_segment, run_historical_updates, run_insert_txns,
+    run_recovery_scenario, RecoveryScenario, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let seg_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![0, 2, 4, 8],
+        _ => vec![0, 2, 4, 6, 8, 10, 12, 16],
+    };
+    let total_txns: usize = scale.pick(400, 2_000, 20_000);
+    let updates_per_segment = scale.pick(20, 50, 100);
+    let rps = rows_per_segment(&recovery_storage(scale));
+    let prefill_segments = scale.pick(20, 30, 101) as i64;
+    let prefill_rows = rps * prefill_segments;
+    println!("Figure 6-6: decomposition of HARBOR recovery time by phase (ms)");
+    println!("(scale={scale:?}, {total_txns} txns, single table)");
+    let mut rows = Vec::new();
+    for &segs in &seg_counts {
+        let run = run_recovery_scenario(
+            &format!("fig6_6-{segs}"),
+            RecoveryScenario::Harbor1Table,
+            scale,
+            prefill_rows,
+            |cluster, tables| {
+                let chosen: Vec<i64> = (0..segs as i64).collect();
+                run_historical_updates(cluster, &tables[0], &chosen, updates_per_segment, rps)?;
+                let inserts = total_txns.saturating_sub(segs * updates_per_segment);
+                run_insert_txns(cluster, tables, inserts, prefill_rows + 1_000_000)
+            },
+        )
+        .expect("scenario");
+        let report = run.report.expect("harbor report");
+        let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
+        rows.push(vec![
+            segs.to_string(),
+            ms(report.phase1()),
+            ms(report.phase2_deletes()),
+            ms(report.phase2_inserts()),
+            ms(report.phase3()),
+            ms(run.elapsed),
+            report.tuples_copied().to_string(),
+        ]);
+    }
+    print_table(
+        "per-phase recovery time",
+        &[
+            "segments updated",
+            "phase 1",
+            "phase 2 SEL+UPD",
+            "phase 2 SEL+INS",
+            "phase 3",
+            "total",
+            "tuples copied",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,200 @@
+//! Criterion microbenchmarks for the substrate: page operations, segment
+//! pruning, the lock manager, WAL append/force (group commit on and off),
+//! the wire codec, and the visibility check. These back the design notes in
+//! DESIGN.md; the paper figures live in the dedicated `fig6_*`/`table4_*`
+//! targets.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use harbor_common::codec::Wire;
+use harbor_common::time::visible_at;
+use harbor_common::{DiskProfile, Metrics, PageId, TableId, Timestamp, TransactionId, SiteId};
+use harbor_storage::{slots_per_page, LockKey, LockManager, LockMode, Page, ScanBounds};
+use harbor_wal::record::{LogPayload, LogRecord};
+use harbor_wal::{GroupCommit, LogManager, Lsn};
+use std::hint::black_box;
+use std::time::Duration;
+
+const TUPLE: usize = 72;
+
+fn tuple_bytes(id: u64) -> Vec<u8> {
+    let mut v = vec![0u8; TUPLE];
+    v[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+    v[16..24].copy_from_slice(&id.to_le_bytes());
+    v
+}
+
+fn bench_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page");
+    g.bench_function("insert_until_full", |b| {
+        let cap = slots_per_page(TUPLE);
+        let data = tuple_bytes(7);
+        b.iter_batched(
+            || Page::init(TUPLE),
+            |mut p| {
+                for _ in 0..cap {
+                    p.insert(black_box(&data)).unwrap();
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("scan_occupied", |b| {
+        let mut p = Page::init(TUPLE);
+        let cap = slots_per_page(TUPLE);
+        for i in 0..cap {
+            p.insert(&tuple_bytes(i as u64)).unwrap();
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in p.occupied_slots() {
+                acc = acc.wrapping_add(p.read(s).unwrap()[16] as u64);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("set_timestamp_in_place", |b| {
+        let mut p = Page::init(TUPLE);
+        let slot = p.insert(&tuple_bytes(1)).unwrap();
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            p.set_timestamp(slot, harbor_wal::record::TsField::Deletion, Timestamp(t))
+                .unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_visibility_and_pruning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("visibility");
+    g.bench_function("visible_at", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for i in 0..1000u64 {
+                if visible_at(
+                    black_box(Timestamp(i)),
+                    black_box(Timestamp(if i % 3 == 0 { i + 5 } else { 0 })),
+                    black_box(Timestamp(500)),
+                ) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        });
+    });
+    g.bench_function("segment_prune_decision", |b| {
+        let meta = harbor_storage::SegmentMeta {
+            tmin_insert: Timestamp(100),
+            tmax_insert: Timestamp(200),
+            tmax_delete: Timestamp(150),
+            start_page: 1,
+            page_count: 16,
+        };
+        let bounds = ScanBounds {
+            ins_after: Some(Timestamp(180)),
+            del_after: Some(Timestamp(149)),
+            ..Default::default()
+        };
+        b.iter(|| black_box(bounds.segment_may_match(black_box(3), black_box(&meta))));
+    });
+    g.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_manager");
+    let tid = TransactionId::from_parts(SiteId(0), 1);
+    g.bench_function("acquire_release_x", |b| {
+        let m = LockManager::new(Duration::from_millis(100), Metrics::new());
+        let key = LockKey::Page(PageId::new(TableId(1), 0));
+        b.iter(|| {
+            m.acquire(tid, key, LockMode::Exclusive).unwrap();
+            m.release_all(tid);
+        });
+    });
+    g.bench_function("acquire_100_then_release_all", |b| {
+        let m = LockManager::new(Duration::from_millis(100), Metrics::new());
+        b.iter(|| {
+            for i in 0..100 {
+                m.acquire(
+                    tid,
+                    LockKey::Page(PageId::new(TableId(1), i)),
+                    LockMode::Shared,
+                )
+                .unwrap();
+            }
+            m.release_all(tid);
+        });
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    let dir = std::env::temp_dir().join("harbor-micro-wal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tid = TransactionId::from_parts(SiteId(0), 1);
+    let rec = LogRecord::new(
+        tid,
+        Lsn::NONE,
+        LogPayload::Commit {
+            commit_time: Timestamp(1),
+        },
+    );
+    g.bench_function("append", |b| {
+        let path = dir.join(format!("append-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open(
+            &path,
+            GroupCommit::enabled(),
+            DiskProfile::fast(),
+            Metrics::new(),
+        )
+        .unwrap();
+        b.iter(|| black_box(log.append(&rec)));
+    });
+    g.bench_function("append_forced_no_fsync", |b| {
+        let path = dir.join(format!("forced-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = LogManager::open(
+            &path,
+            GroupCommit::enabled(),
+            DiskProfile::fast(),
+            Metrics::new(),
+        )
+        .unwrap();
+        b.iter(|| log.append_forced(&rec).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let tid = TransactionId::from_parts(SiteId(1), 42);
+    let rec = LogRecord::new(
+        tid,
+        Lsn(123),
+        LogPayload::Update(harbor_wal::record::RedoOp::InsertTuple {
+            rid: harbor_common::RecordId::new(PageId::new(TableId(3), 9), 4),
+            data: tuple_bytes(9),
+        }),
+    );
+    g.bench_function("log_record_encode", |b| {
+        b.iter(|| black_box(rec.to_vec()));
+    });
+    let bytes = rec.to_vec();
+    g.bench_function("log_record_decode", |b| {
+        b.iter(|| black_box(LogRecord::from_slice(&bytes).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_page, bench_visibility_and_pruning, bench_lock_manager, bench_wal, bench_codec
+}
+criterion_main!(benches);

@@ -1,0 +1,411 @@
+//! Shared harness utilities for the paper-reproduction benchmarks.
+//!
+//! Every table and figure of the thesis evaluation (Ch. 6 plus Tables
+//! 4.1/4.2) has a dedicated bench target under `benches/`; this library
+//! holds the common plumbing: experiment cluster construction with the
+//! scaled-down defaults of DESIGN.md §1, bulk prefill of replicated tables,
+//! and plain-text table/series printers so `cargo bench` output reads like
+//! the paper's figures.
+//!
+//! Scaling: set `HARBOR_BENCH_SCALE` to `quick` (CI default), `standard`,
+//! or `paper` (closest to thesis parameters; minutes of runtime).
+
+use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
+use harbor_common::{DbResult, DiskProfile, StorageConfig, Timestamp, Tuple};
+use harbor_dist::ProtocolKind;
+use harbor_wal::GroupCommit;
+use harbor_workload::paper_row;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Experiment scale selected via `HARBOR_BENCH_SCALE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    Quick,
+    Standard,
+    Paper,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        match std::env::var("HARBOR_BENCH_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("standard") => Scale::Standard,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Scales a `(quick, standard, paper)` triple.
+    pub fn pick<T: Copy>(self, quick: T, standard: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Standard => standard,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// A fresh experiment directory under the target temp dir.
+pub fn experiment_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("harbor-bench")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create experiment dir");
+    dir
+}
+
+/// The emulated 2006-era disk: ~5 ms per forced write (DESIGN.md §1). The
+/// data still reaches the OS file so crash simulation stays exact.
+pub fn paper_disk() -> DiskProfile {
+    DiskProfile::emulated(Duration::from_millis(5))
+}
+
+/// The emulated LAN: ~150 µs per message, restoring the paper's
+/// network-vs-disk cost ratio on loopback.
+pub fn paper_lan() -> TransportKind {
+    TransportKind::InMem {
+        latency: Some(Duration::from_micros(150)),
+    }
+}
+
+/// Storage shape for the throughput experiments (Figs 6-2/6-3): small
+/// tables, emulated forced-write latency.
+pub fn throughput_storage() -> StorageConfig {
+    StorageConfig {
+        buffer_pool_pages: 2048,
+        segment_pages: 64,
+        disk: paper_disk(),
+        lock_timeout: Duration::from_millis(500),
+    }
+}
+
+/// Storage shape for the recovery experiments (Figs 6-4/6-5/6-6): fast
+/// disk (recovery compares log replay against network copy, not fsync
+/// cost), segments sized so the prefill spans ~tens of segments like the
+/// paper's 101.
+pub fn recovery_storage(scale: Scale) -> StorageConfig {
+    StorageConfig {
+        buffer_pool_pages: scale.pick(4096, 8192, 16384),
+        segment_pages: 16, // 64 KB segments
+        disk: DiskProfile::fast(),
+        lock_timeout: Duration::from_millis(500),
+    }
+}
+
+/// Builds a throughput-experiment cluster: `workers` workers (the paper
+/// uses 2 for §6.3), given protocol, emulated disk and LAN, per-stream
+/// tables created as `t0..t{streams-1}`.
+pub fn throughput_cluster(
+    name: &str,
+    protocol: ProtocolKind,
+    workers: usize,
+    streams: usize,
+    group_commit: GroupCommit,
+) -> DbResult<Cluster> {
+    let mut cfg = ClusterConfig::new(protocol, workers);
+    cfg.storage = throughput_storage();
+    cfg.group_commit = group_commit;
+    cfg.transport = paper_lan();
+    cfg.checkpoint_every = Some(Duration::from_secs(1));
+    for s in 0..streams {
+        cfg.tables.push(TableSpec::paper_table(&format!("t{s}")));
+    }
+    Cluster::build(experiment_dir(name), cfg)
+}
+
+/// Builds a recovery-experiment cluster (Figs 6-4/6-5): all four nodes of
+/// the paper (coordinator + 3 workers), manual checkpoints.
+pub fn recovery_cluster(
+    name: &str,
+    protocol: ProtocolKind,
+    tables: &[&str],
+    scale: Scale,
+) -> DbResult<Cluster> {
+    let mut cfg = ClusterConfig::new(protocol, 3);
+    cfg.storage = recovery_storage(scale);
+    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.checkpoint_every = None;
+    for t in tables {
+        cfg.tables.push(TableSpec::paper_table(t));
+    }
+    Cluster::build(experiment_dir(name), cfg)
+}
+
+/// Bulk-loads `rows` committed rows (ids `0..rows`, commit time 1) into
+/// `table` on every worker, then checkpoints — the experiment's "1 GB
+/// table with a fresh checkpoint" starting state (§6.4).
+pub fn prefill(cluster: &Cluster, table: &str, rows: i64) -> DbResult<()> {
+    for site in cluster.worker_sites() {
+        let engine = cluster.engine(site)?;
+        let def = engine
+            .table_def(table)
+            .expect("prefill of existing table");
+        for id in 0..rows {
+            let tup = Tuple::versioned(Timestamp(1), Timestamp::ZERO, paper_row(id));
+            engine.insert_recovered(def.id, &tup)?;
+        }
+        engine.advance_applied_clock(Timestamp(1));
+        engine.checkpoint()?;
+        if engine.is_logging() {
+            engine.log_checkpoint()?;
+        }
+    }
+    cluster.coordinator().authority().advance_to(Timestamp(1));
+    Ok(())
+}
+
+/// Rows per segment for a config (prefill planning).
+pub fn rows_per_segment(storage: &StorageConfig) -> i64 {
+    let tuple = TableSpec::paper_table("x");
+    let width: usize = 16 + tuple
+        .user_fields
+        .iter()
+        .map(|(_, t)| t.width())
+        .sum::<usize>();
+    let per_page = harbor_storage::slots_per_page(width) as i64;
+    per_page * storage.segment_pages as i64
+}
+
+/// Prints a plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Prints one figure series as `x  y` pairs.
+pub fn print_series(name: &str, points: &[(f64, f64)]) {
+    println!("series: {name}");
+    for (x, y) in points {
+        println!("  {x:>12.2}  {y:>12.2}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn rows_per_segment_is_positive() {
+        let n = rows_per_segment(&recovery_storage(Scale::Quick));
+        assert!(n > 100, "paper tuples are small: {n}");
+    }
+
+    #[test]
+    fn prefill_loads_every_worker() {
+        let cluster = recovery_cluster("lib-prefill", ProtocolKind::Opt3pc, &["t"], Scale::Quick)
+            .unwrap();
+        prefill(&cluster, "t", 500).unwrap();
+        for site in cluster.worker_sites() {
+            let e = cluster.engine(site).unwrap();
+            let def = e.table_def("t").unwrap();
+            let mut scan = harbor_exec::SeqScan::new(
+                e.pool().clone(),
+                def.id,
+                harbor_exec::ReadMode::Historical(Timestamp(1)),
+            )
+            .unwrap();
+            assert_eq!(harbor_exec::collect(&mut scan).unwrap().len(), 500);
+            assert_eq!(e.checkpointer().global(), Timestamp(1));
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Recovery experiment machinery (Figs 6-4 / 6-5 / 6-6)
+// ----------------------------------------------------------------------
+
+/// The four recovery scenarios of §6.4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryScenario {
+    /// One table, log-based recovery (the ARIES baseline).
+    Aries1Table,
+    /// One table, HARBOR query-based recovery.
+    Harbor1Table,
+    /// Two tables, HARBOR recovering them serially.
+    HarborSerial2,
+    /// Two tables, HARBOR recovering them in parallel, one buddy each.
+    HarborParallel2,
+}
+
+impl RecoveryScenario {
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryScenario::Aries1Table => "ARIES, 1 table",
+            RecoveryScenario::Harbor1Table => "HARBOR, 1 table",
+            RecoveryScenario::HarborSerial2 => "HARBOR, serial, 2 tables",
+            RecoveryScenario::HarborParallel2 => "HARBOR, parallel, 2 tables",
+        }
+    }
+
+    pub fn tables(self) -> Vec<String> {
+        match self {
+            RecoveryScenario::Aries1Table | RecoveryScenario::Harbor1Table => vec!["t0".into()],
+            _ => vec!["t0".into(), "t1".into()],
+        }
+    }
+
+    pub fn is_aries(self) -> bool {
+        matches!(self, RecoveryScenario::Aries1Table)
+    }
+
+    pub const ALL: [RecoveryScenario; 4] = [
+        RecoveryScenario::Aries1Table,
+        RecoveryScenario::Harbor1Table,
+        RecoveryScenario::HarborSerial2,
+        RecoveryScenario::HarborParallel2,
+    ];
+}
+
+/// Outcome of one recovery measurement.
+pub struct RecoveryRun {
+    /// Wall time of the recovery itself.
+    pub elapsed: Duration,
+    /// HARBOR per-phase breakdown (query-based scenarios).
+    pub report: Option<harbor::RecoveryReport>,
+}
+
+/// Runs one §6.4-style experiment: build cluster → prefill → run the
+/// workload → crash worker 1 → time its recovery → verify replica
+/// equivalence. `workload` issues the post-checkpoint transactions.
+pub fn run_recovery_scenario(
+    name: &str,
+    scenario: RecoveryScenario,
+    scale: Scale,
+    prefill_rows: i64,
+    workload: impl FnOnce(&Cluster, &[String]) -> DbResult<()>,
+) -> DbResult<RecoveryRun> {
+    let tables = scenario.tables();
+    let table_refs: Vec<&str> = tables.iter().map(|s| s.as_str()).collect();
+    let protocol = if scenario.is_aries() {
+        ProtocolKind::Trad2pc
+    } else {
+        ProtocolKind::Opt3pc
+    };
+    let mut cfg_cluster_dir = experiment_dir(name);
+    cfg_cluster_dir.push("cluster");
+    let mut cfg = ClusterConfig::new(protocol, 3);
+    cfg.storage = recovery_storage(scale);
+    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.checkpoint_every = None;
+    cfg.recovery.parallel_objects = scenario != RecoveryScenario::HarborSerial2;
+    for t in &table_refs {
+        cfg.tables.push(TableSpec::paper_table(t));
+    }
+    let cluster = Cluster::build(cfg_cluster_dir, cfg)?;
+    for t in &table_refs {
+        prefill(&cluster, t, prefill_rows)?;
+    }
+    workload(&cluster, &tables)?;
+    // "After ... any and all log writes have reached disk, I crash a
+    // worker site" (§6.4): flush the victim's log tail first.
+    let victim = harbor_common::SiteId(1);
+    if scenario.is_aries() {
+        let e = cluster.engine(victim)?;
+        if let Some(wal) = e.wal() {
+            wal.flush_all()?;
+        }
+    }
+    cluster.crash_worker(victim)?;
+    let t0 = std::time::Instant::now();
+    let report = if scenario.is_aries() {
+        cluster.recover_worker_aries(victim)?;
+        None
+    } else {
+        Some(cluster.recover_worker_harbor(victim)?)
+    };
+    let elapsed = t0.elapsed();
+    // Verify: the recovered replica matches a survivor on every table.
+    let now = cluster.coordinator().authority().now().prev();
+    for t in &table_refs {
+        let mut counts = Vec::new();
+        for site in [victim, harbor_common::SiteId(2)] {
+            let e = cluster.engine(site)?;
+            let def = e.table_def(t).expect("table exists");
+            let mut scan = harbor_exec::SeqScan::new(
+                e.pool().clone(),
+                def.id,
+                harbor_exec::ReadMode::Historical(now),
+            )?;
+            let mut n = 0u64;
+            let mut sum = 0i64;
+            harbor_exec::op::Operator::open(&mut scan)?;
+            while let Some(tup) = harbor_exec::op::Operator::next(&mut scan)? {
+                n += 1;
+                sum = sum.wrapping_add(tup.get(2).as_i64()?);
+                sum = sum.wrapping_add(tup.get(3).as_i64()?);
+            }
+            counts.push((n, sum));
+        }
+        assert_eq!(
+            counts[0], counts[1],
+            "{name}: replica divergence on {t} after {}",
+            scenario.name()
+        );
+    }
+    cluster.shutdown();
+    Ok(RecoveryRun { elapsed, report })
+}
+
+/// Round-robins `total` single-insert transactions over `tables`, ids
+/// starting at `first_id`.
+pub fn run_insert_txns(
+    cluster: &Cluster,
+    tables: &[String],
+    total: usize,
+    first_id: i64,
+) -> DbResult<()> {
+    for i in 0..total {
+        let table = &tables[i % tables.len()];
+        cluster.insert_one(table, paper_row(first_id + i as i64))?;
+    }
+    Ok(())
+}
+
+/// Issues `per_segment` indexed updates into each of the given historical
+/// segments (ids are laid out sequentially by [`prefill`], so segment `s`
+/// holds ids `s*rows_per_segment .. (s+1)*rows_per_segment`).
+pub fn run_historical_updates(
+    cluster: &Cluster,
+    table: &str,
+    segments: &[i64],
+    per_segment: usize,
+    rows_per_seg: i64,
+) -> DbResult<()> {
+    for &seg in segments {
+        for k in 0..per_segment {
+            let key = seg * rows_per_seg + (k as i64 % rows_per_seg);
+            cluster.run_txn(vec![harbor_workload::update_by_key_request(
+                table,
+                key,
+                0x5eed + k as i32,
+            )])?;
+        }
+    }
+    Ok(())
+}

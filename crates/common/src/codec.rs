@@ -1,0 +1,258 @@
+//! Minimal hand-rolled binary encoding helpers.
+//!
+//! The wire protocol, the WAL and the page format all need a compact,
+//! deterministic binary encoding. Rather than pulling in a serialization
+//! framework, everything encodes through these two little cursors; each
+//! record type owns its own layout, which keeps formats auditable (a property
+//! the DataFusion guide calls out for storage formats).
+
+use crate::error::{DbError, DbResult};
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Append-only encoder over a [`BytesMut`].
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Encoder {
+            buf: BytesMut::new(),
+        }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Raw bytes with no length prefix (caller knows the width).
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn into_bytes(self) -> BytesMut {
+        self.buf
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Consuming decoder over a byte slice. All reads are bounds-checked and
+/// return [`DbError::Corrupt`] on underrun, never panicking on hostile input.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    fn need(&self, n: usize) -> DbResult<()> {
+        if self.buf.remaining() < n {
+            Err(DbError::corrupt(format!(
+                "decode underrun: need {n} bytes, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_u8(&mut self) -> DbResult<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u16(&mut self) -> DbResult<u16> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    pub fn get_u32(&mut self) -> DbResult<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> DbResult<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_i32(&mut self) -> DbResult<i32> {
+        self.need(4)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    pub fn get_i64(&mut self) -> DbResult<i64> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    pub fn get_bool(&mut self) -> DbResult<bool> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> DbResult<Vec<u8>> {
+        let n = self.get_u32()? as usize;
+        self.need(n)?;
+        let out = self.buf[..n].to_vec();
+        self.buf.advance(n);
+        Ok(out)
+    }
+
+    /// Raw bytes of a known width.
+    pub fn get_raw(&mut self, n: usize) -> DbResult<Vec<u8>> {
+        self.need(n)?;
+        let out = self.buf[..n].to_vec();
+        self.buf.advance(n);
+        Ok(out)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> DbResult<String> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| DbError::corrupt("invalid utf-8 in string"))
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Asserts the buffer was fully consumed.
+    pub fn finish(self) -> DbResult<()> {
+        if self.buf.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DbError::corrupt(format!(
+                "{} trailing bytes after decode",
+                self.buf.remaining()
+            )))
+        }
+    }
+}
+
+/// Types that define their own binary layout.
+pub trait Wire: Sized {
+    fn encode(&self, enc: &mut Encoder);
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self>;
+
+    fn to_vec(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes().to_vec()
+    }
+
+    fn from_slice(buf: &[u8]) -> DbResult<Self> {
+        let mut dec = Decoder::new(buf);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u16(513);
+        e.put_u32(70_000);
+        e.put_u64(u64::MAX - 1);
+        e.put_i32(-5);
+        e.put_i64(i64::MIN);
+        e.put_bool(true);
+        e.put_str("héllo");
+        e.put_bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u16().unwrap(), 513);
+        assert_eq!(d.get_u32().unwrap(), 70_000);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_i32().unwrap(), -5);
+        assert_eq!(d.get_i64().unwrap(), i64::MIN);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), vec![1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn underrun_is_an_error_not_a_panic() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(d.get_u32().is_err());
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected() {
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX); // claims 4 GiB payload
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_bytes().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_garbage() {
+        let d = Decoder::new(&[0]);
+        assert!(d.finish().is_err());
+    }
+}

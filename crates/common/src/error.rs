@@ -1,0 +1,150 @@
+//! Unified error type for every subsystem.
+
+use crate::ids::{PageId, RecordId, TableId, TransactionId};
+use std::fmt;
+use std::io;
+
+/// Result alias used across the workspace.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// All error conditions surfaced by the database.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying file-system failure.
+    Io(io::Error),
+    /// A lock could not be granted before the deadlock timeout expired
+    /// (thesis §6.1.2 resolves deadlocks by timeout).
+    LockTimeout {
+        txn: TransactionId,
+        what: String,
+    },
+    /// The transaction was aborted (locally or by the commit protocol).
+    TransactionAborted(TransactionId),
+    /// Unknown transaction id presented to a worker. Workers answer vote
+    /// requests for unknown transactions with NO (§4.3.2 failure handling).
+    UnknownTransaction(TransactionId),
+    /// Unknown table.
+    NoSuchTable(TableId),
+    /// Page outside the current extent of its heap file.
+    NoSuchPage(PageId),
+    /// A record id pointed at an empty slot.
+    NoSuchRecord(RecordId),
+    /// Page, heap file or log contents failed validation.
+    Corrupt(String),
+    /// The page / segment / log buffer is full.
+    Full(String),
+    /// Networking failure; carries a human-readable cause. A closed
+    /// connection doubles as failure detection (§5.5.1).
+    Net(String),
+    /// Protocol violation between sites (unexpected message, bad state).
+    Protocol(String),
+    /// The remote site has crashed or is unreachable.
+    SiteDown(String),
+    /// Schema mismatch: wrong arity or field type.
+    Schema(String),
+    /// Constraint violation detected at PREPARE (workers vote NO, §4.3.2).
+    Constraint(String),
+    /// Recovery cannot proceed (e.g. more than K replicas of an object are
+    /// down, §3.2).
+    Unrecoverable(String),
+    /// Catch-all invariant violation.
+    Internal(String),
+}
+
+impl DbError {
+    /// Convenience constructor for corrupt-state errors.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        DbError::Corrupt(msg.into())
+    }
+
+    pub fn net(msg: impl Into<String>) -> Self {
+        DbError::Net(msg.into())
+    }
+
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        DbError::Protocol(msg.into())
+    }
+
+    pub fn internal(msg: impl Into<String>) -> Self {
+        DbError::Internal(msg.into())
+    }
+
+    /// `true` for errors that indicate the remote party is gone, which the
+    /// commit protocols treat as a worker/coordinator failure.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, DbError::Net(_) | DbError::SiteDown(_))
+            || matches!(self, DbError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+            ))
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "io error: {e}"),
+            DbError::LockTimeout { txn, what } => {
+                write!(f, "{txn} timed out waiting for lock on {what} (possible deadlock)")
+            }
+            DbError::TransactionAborted(t) => write!(f, "{t} aborted"),
+            DbError::UnknownTransaction(t) => write!(f, "unknown transaction {t}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            DbError::NoSuchPage(p) => write!(f, "no such page {p}"),
+            DbError::NoSuchRecord(r) => write!(f, "no such record {r}"),
+            DbError::Corrupt(m) => write!(f, "corrupt state: {m}"),
+            DbError::Full(m) => write!(f, "full: {m}"),
+            DbError::Net(m) => write!(f, "network error: {m}"),
+            DbError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            DbError::SiteDown(m) => write!(f, "site down: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            DbError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+
+    #[test]
+    fn disconnect_classification() {
+        assert!(DbError::net("peer gone").is_disconnect());
+        assert!(DbError::Io(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_disconnect());
+        assert!(!DbError::Io(io::Error::new(io::ErrorKind::NotFound, "x")).is_disconnect());
+        let tid = TransactionId::from_parts(SiteId(0), 1);
+        assert!(!DbError::TransactionAborted(tid).is_disconnect());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let tid = TransactionId::from_parts(SiteId(1), 2);
+        let e = DbError::LockTimeout {
+            txn: tid,
+            what: "T1.p0".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("txn1:2") && s.contains("T1.p0"));
+    }
+}

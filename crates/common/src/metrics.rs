@@ -1,0 +1,191 @@
+//! Lock-free event counters.
+//!
+//! Every site owns a [`Metrics`] instance; the storage, WAL and networking
+//! layers increment it as they work. The evaluation harness reads these to
+//! *measure* the costs tabulated in the paper's Table 4.2 (messages per
+//! worker, forced writes per coordinator/worker) instead of asserting them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, cheaply cloneable counter bundle.
+#[derive(Clone, Default, Debug)]
+pub struct Metrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default, Debug)]
+struct Counters {
+    /// Log records appended (forced or not).
+    log_writes: AtomicU64,
+    /// Synchronous forces of the log to stable storage. Group commit may
+    /// satisfy several commits with one physical force; both are counted.
+    forced_writes: AtomicU64,
+    /// Physical disk syncs actually issued (group commit batches collapse
+    /// many logical forces into fewer physical syncs).
+    physical_syncs: AtomicU64,
+    /// Data pages written to disk.
+    page_writes: AtomicU64,
+    /// Data pages read from disk.
+    page_reads: AtomicU64,
+    /// Messages sent over the transport.
+    messages_sent: AtomicU64,
+    /// Bytes sent over the transport.
+    bytes_sent: AtomicU64,
+    /// Transactions committed.
+    commits: AtomicU64,
+    /// Transactions aborted.
+    aborts: AtomicU64,
+    /// Lock acquisitions that had to wait.
+    lock_waits: AtomicU64,
+    /// Deadlock timeouts.
+    lock_timeouts: AtomicU64,
+    /// Buffer pool evictions.
+    evictions: AtomicU64,
+    /// Tuples shipped to a recovering site by recovery queries.
+    recovery_tuples_shipped: AtomicU64,
+}
+
+macro_rules! counter {
+    ($inc:ident, $get:ident, $field:ident) => {
+        #[doc = concat!("Increments `", stringify!($field), "`.")]
+        pub fn $inc(&self, n: u64) {
+            self.inner.$field.fetch_add(n, Ordering::Relaxed);
+        }
+
+        #[doc = concat!("Current value of `", stringify!($field), "`.")]
+        pub fn $get(&self) -> u64 {
+            self.inner.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    counter!(add_log_writes, log_writes, log_writes);
+    counter!(add_forced_writes, forced_writes, forced_writes);
+    counter!(add_physical_syncs, physical_syncs, physical_syncs);
+    counter!(add_page_writes, page_writes, page_writes);
+    counter!(add_page_reads, page_reads, page_reads);
+    counter!(add_messages_sent, messages_sent, messages_sent);
+    counter!(add_bytes_sent, bytes_sent, bytes_sent);
+    counter!(add_commits, commits, commits);
+    counter!(add_aborts, aborts, aborts);
+    counter!(add_lock_waits, lock_waits, lock_waits);
+    counter!(add_lock_timeouts, lock_timeouts, lock_timeouts);
+    counter!(add_evictions, evictions, evictions);
+    counter!(
+        add_recovery_tuples_shipped,
+        recovery_tuples_shipped,
+        recovery_tuples_shipped
+    );
+
+    /// Snapshot of all counters, for diffing across an experiment.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            log_writes: self.log_writes(),
+            forced_writes: self.forced_writes(),
+            physical_syncs: self.physical_syncs(),
+            page_writes: self.page_writes(),
+            page_reads: self.page_reads(),
+            messages_sent: self.messages_sent(),
+            bytes_sent: self.bytes_sent(),
+            commits: self.commits(),
+            aborts: self.aborts(),
+            lock_waits: self.lock_waits(),
+            lock_timeouts: self.lock_timeouts(),
+            evictions: self.evictions(),
+            recovery_tuples_shipped: self.recovery_tuples_shipped(),
+        }
+    }
+}
+
+/// Point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub log_writes: u64,
+    pub forced_writes: u64,
+    pub physical_syncs: u64,
+    pub page_writes: u64,
+    pub page_reads: u64,
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub lock_waits: u64,
+    pub lock_timeouts: u64,
+    pub evictions: u64,
+    pub recovery_tuples_shipped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Per-field difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            log_writes: self.log_writes.saturating_sub(earlier.log_writes),
+            forced_writes: self.forced_writes.saturating_sub(earlier.forced_writes),
+            physical_syncs: self.physical_syncs.saturating_sub(earlier.physical_syncs),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            commits: self.commits.saturating_sub(earlier.commits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
+            lock_timeouts: self.lock_timeouts.saturating_sub(earlier.lock_timeouts),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            recovery_tuples_shipped: self
+                .recovery_tuples_shipped
+                .saturating_sub(earlier.recovery_tuples_shipped),
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "log_writes={} forced={} syncs={} pg_w={} pg_r={} msgs={} bytes={} commits={} aborts={}",
+            self.log_writes,
+            self.forced_writes,
+            self.physical_syncs,
+            self.page_writes,
+            self.page_reads,
+            self.messages_sent,
+            self.bytes_sent,
+            self.commits,
+            self.aborts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let m = Metrics::new();
+        m.add_forced_writes(2);
+        m.add_messages_sent(5);
+        let a = m.snapshot();
+        m.add_forced_writes(1);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.forced_writes, 1);
+        assert_eq!(d.messages_sent, 0);
+        assert_eq!(b.forced_writes, 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.add_commits(4);
+        assert_eq!(m.commits(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! The in-memory tuple and its fixed-width on-disk encoding.
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::{DbError, DbResult};
+use crate::schema::{TupleDesc, COL_DELETION_TS, COL_INSERTION_TS};
+use crate::time::Timestamp;
+use crate::value::Value;
+use crate::FieldType;
+use std::fmt;
+
+/// A row: a vector of values conforming to some [`TupleDesc`].
+///
+/// Stored tuples carry the two reserved version columns in positions 0 and 1;
+/// query outputs may have arbitrary shapes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Builds a stored tuple from user fields plus explicit version columns.
+    pub fn versioned(insertion: Timestamp, deletion: Timestamp, user: Vec<Value>) -> Self {
+        let mut values = Vec::with_capacity(user.len() + 2);
+        values.push(Value::Time(insertion));
+        values.push(Value::Time(deletion));
+        values.extend(user);
+        Tuple { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.values[i] = v;
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Insertion timestamp of a stored tuple.
+    pub fn insertion_ts(&self) -> DbResult<Timestamp> {
+        self.values[COL_INSERTION_TS].as_time()
+    }
+
+    /// Deletion timestamp of a stored tuple.
+    pub fn deletion_ts(&self) -> DbResult<Timestamp> {
+        self.values[COL_DELETION_TS].as_time()
+    }
+
+    pub fn set_insertion_ts(&mut self, t: Timestamp) {
+        self.values[COL_INSERTION_TS] = Value::Time(t);
+    }
+
+    pub fn set_deletion_ts(&mut self, t: Timestamp) {
+        self.values[COL_DELETION_TS] = Value::Time(t);
+    }
+
+    /// The user fields of a stored tuple (everything after the version pair).
+    pub fn user_values(&self) -> &[Value] {
+        &self.values[crate::schema::NUM_VERSION_COLS..]
+    }
+
+    /// Serializes into exactly `desc.byte_width()` bytes.
+    pub fn write_fixed(&self, desc: &TupleDesc, enc: &mut Encoder) -> DbResult<()> {
+        desc.check(&self.values)?;
+        for (i, v) in self.values.iter().enumerate() {
+            match (desc.field_type(i), v) {
+                (FieldType::Int32, Value::Int32(x)) => enc.put_i32(*x),
+                (FieldType::Int64, Value::Int64(x)) => enc.put_i64(*x),
+                (FieldType::Time, Value::Time(t)) => enc.put_u64(t.0),
+                (FieldType::FixedStr(n), Value::Str(s)) => {
+                    let n = n as usize;
+                    let bytes = s.as_bytes();
+                    enc.put_raw(bytes);
+                    // NUL padding to the declared width.
+                    for _ in bytes.len()..n {
+                        enc.put_u8(0);
+                    }
+                }
+                (ty, v) => {
+                    return Err(DbError::Schema(format!(
+                        "field {i}: cannot encode {v} as {ty}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a fixed-width tuple.
+    pub fn read_fixed(desc: &TupleDesc, dec: &mut Decoder<'_>) -> DbResult<Tuple> {
+        let mut values = Vec::with_capacity(desc.len());
+        for i in 0..desc.len() {
+            let v = match desc.field_type(i) {
+                FieldType::Int32 => Value::Int32(dec.get_i32()?),
+                FieldType::Int64 => Value::Int64(dec.get_i64()?),
+                FieldType::Time => Value::Time(Timestamp(dec.get_u64()?)),
+                FieldType::FixedStr(n) => {
+                    let raw = dec.get_raw(n as usize)?;
+                    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+                    let s = std::str::from_utf8(&raw[..end])
+                        .map_err(|_| DbError::corrupt("invalid utf-8 in fixed string"))?;
+                    Value::Str(s.to_string())
+                }
+            };
+            values.push(v);
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Serializes with a self-describing (variable) layout, for the wire.
+    pub fn write_wire(&self, enc: &mut Encoder) {
+        enc.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            match v {
+                Value::Int32(x) => {
+                    enc.put_u8(0);
+                    enc.put_i32(*x);
+                }
+                Value::Int64(x) => {
+                    enc.put_u8(1);
+                    enc.put_i64(*x);
+                }
+                Value::Time(t) => {
+                    enc.put_u8(2);
+                    enc.put_u64(t.0);
+                }
+                Value::Str(s) => {
+                    enc.put_u8(3);
+                    enc.put_str(s);
+                }
+            }
+        }
+    }
+
+    /// Deserializes the wire layout.
+    pub fn read_wire(dec: &mut Decoder<'_>) -> DbResult<Tuple> {
+        let n = dec.get_u16()? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = match dec.get_u8()? {
+                0 => Value::Int32(dec.get_i32()?),
+                1 => Value::Int64(dec.get_i64()?),
+                2 => Value::Time(Timestamp(dec.get_u64()?)),
+                3 => Value::Str(dec.get_str()?),
+                t => return Err(DbError::corrupt(format!("bad value tag {t}"))),
+            };
+            values.push(v);
+        }
+        Ok(Tuple { values })
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldType;
+
+    fn desc() -> TupleDesc {
+        TupleDesc::with_version_columns(vec![
+            ("id", FieldType::Int64),
+            ("qty", FieldType::Int32),
+            ("name", FieldType::FixedStr(8)),
+        ])
+    }
+
+    fn sample() -> Tuple {
+        Tuple::versioned(
+            Timestamp(4),
+            Timestamp::ZERO,
+            vec![Value::Int64(42), Value::Int32(-1), Value::Str("colgate".into())],
+        )
+    }
+
+    #[test]
+    fn fixed_round_trip() {
+        let d = desc();
+        let t = sample();
+        let mut enc = Encoder::new();
+        t.write_fixed(&d, &mut enc).unwrap();
+        assert_eq!(enc.len(), d.byte_width());
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Tuple::read_fixed(&d, &mut dec).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let t = sample();
+        let mut enc = Encoder::new();
+        t.write_wire(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Tuple::read_wire(&mut dec).unwrap(), t);
+    }
+
+    #[test]
+    fn version_column_accessors() {
+        let mut t = sample();
+        assert_eq!(t.insertion_ts().unwrap(), Timestamp(4));
+        assert_eq!(t.deletion_ts().unwrap(), Timestamp::ZERO);
+        t.set_deletion_ts(Timestamp(9));
+        assert_eq!(t.deletion_ts().unwrap(), Timestamp(9));
+        assert_eq!(t.user_values().len(), 3);
+    }
+
+    #[test]
+    fn oversized_string_is_rejected() {
+        let d = desc();
+        let t = Tuple::versioned(
+            Timestamp(1),
+            Timestamp::ZERO,
+            vec![
+                Value::Int64(1),
+                Value::Int32(1),
+                Value::Str("way too long for 8".into()),
+            ],
+        );
+        let mut enc = Encoder::new();
+        assert!(t.write_fixed(&d, &mut enc).is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! The cluster facade: builds a coordinator plus N worker sites on one
+//! transport, replicating tables across all workers (the thesis evaluation
+//! topology: one coordinator, 2–3 workers, everything replicated).
+//!
+//! This is the crate's quickstart surface: build a cluster, run update
+//! transactions, crash a worker, recover it with HARBOR or ARIES, and read
+//! historically — all in a few lines (see `examples/quickstart.rs`).
+
+use crate::recovery::{recover_site, RecoveryConfig, RecoveryContext, RecoveryReport};
+use harbor_common::{
+    DbError, DbResult, FieldType, Metrics, SiteId, StorageConfig, Timestamp, Tuple, Value,
+};
+use harbor_dist::{
+    Coordinator, CoordinatorConfig, Placement, ProtocolKind, UpdateRequest, Worker, WorkerConfig,
+};
+use harbor_engine::{Engine, EngineOptions};
+use harbor_net::{InMemNetwork, TcpTransport, Transport};
+use harbor_storage::PagePolicy;
+use harbor_wal::aries::AriesReport;
+use harbor_wal::GroupCommit;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which transport the cluster runs on.
+#[derive(Clone, Copy, Debug)]
+pub enum TransportKind {
+    /// In-process channels; optional injected per-message latency to model
+    /// the paper's LAN.
+    InMem { latency: Option<Duration> },
+    /// Real loopback TCP sockets (the thesis' own model).
+    Tcp,
+}
+
+/// One table to create on every worker.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    pub name: String,
+    pub user_fields: Vec<(String, FieldType)>,
+}
+
+impl TableSpec {
+    /// The evaluation schema: 16 four-byte-equivalent fields including the
+    /// two timestamps (§6.2) — here the i64 key plus 13 i32 payload fields.
+    pub fn paper_table(name: &str) -> Self {
+        let mut fields = vec![("id".to_string(), FieldType::Int64)];
+        for i in 0..13 {
+            fields.push((format!("f{i}"), FieldType::Int32));
+        }
+        TableSpec {
+            name: name.to_string(),
+            user_fields: fields,
+        }
+    }
+
+    /// A minimal two-column table for tests.
+    pub fn small(name: &str) -> Self {
+        TableSpec {
+            name: name.to_string(),
+            user_fields: vec![
+                ("id".to_string(), FieldType::Int64),
+                ("v".to_string(), FieldType::Int32),
+            ],
+        }
+    }
+}
+
+/// Cluster construction options.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    pub protocol: ProtocolKind,
+    pub num_workers: usize,
+    pub storage: StorageConfig,
+    pub group_commit: GroupCommit,
+    /// Periodic checkpoint interval at workers (None = manual only).
+    pub checkpoint_every: Option<Duration>,
+    pub transport: TransportKind,
+    pub tables: Vec<TableSpec>,
+    /// Workers run the consensus protocol automatically on coordinator
+    /// disconnect (3PC).
+    pub auto_consensus: bool,
+    pub recovery: RecoveryConfig,
+    /// Deadlock resolution at the workers (thesis default: timeouts).
+    pub deadlock: harbor_storage::DeadlockPolicy,
+    /// Serve deletion recovery queries from the deletion log (§5.2
+    /// footnote; ablation 4 compares on/off).
+    pub use_deletion_log: bool,
+}
+
+impl ClusterConfig {
+    pub fn new(protocol: ProtocolKind, num_workers: usize) -> Self {
+        ClusterConfig {
+            protocol,
+            num_workers,
+            storage: StorageConfig::default(),
+            group_commit: GroupCommit::enabled(),
+            checkpoint_every: None,
+            transport: TransportKind::InMem { latency: None },
+            tables: Vec::new(),
+            auto_consensus: false,
+            recovery: RecoveryConfig::default(),
+            deadlock: harbor_storage::DeadlockPolicy::Timeout,
+            use_deletion_log: true,
+        }
+    }
+
+    /// Small storage, fast disk, two workers — unit/integration defaults.
+    pub fn for_tests(protocol: ProtocolKind) -> Self {
+        let mut cfg = Self::new(protocol, 2);
+        cfg.storage = StorageConfig::for_tests();
+        cfg.tables = vec![TableSpec::small("sales")];
+        cfg
+    }
+
+    pub fn with_table(mut self, spec: TableSpec) -> Self {
+        self.tables.push(spec);
+        self
+    }
+}
+
+struct WorkerHandle {
+    worker: Arc<Worker>,
+    engine: Arc<Engine>,
+    metrics: Metrics,
+}
+
+/// A running cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    dir: PathBuf,
+    transport: Arc<dyn Transport>,
+    /// Counts every message/byte crossing the cluster's transport.
+    net_metrics: Metrics,
+    placement: Placement,
+    coordinator: Arc<Coordinator>,
+    workers: Mutex<HashMap<SiteId, WorkerHandle>>,
+    crashed: Mutex<HashSet<SiteId>>,
+}
+
+/// Site id of the coordinator.
+pub const COORDINATOR_SITE: SiteId = SiteId(0);
+
+impl Cluster {
+    /// Builds and starts the cluster under `dir`.
+    pub fn build(dir: impl AsRef<Path>, cfg: ClusterConfig) -> DbResult<Cluster> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let net_metrics = Metrics::new();
+        let transport: Arc<dyn Transport> = match cfg.transport {
+            TransportKind::InMem { latency: None } => {
+                Arc::new(InMemNetwork::new(net_metrics.clone()))
+            }
+            TransportKind::InMem { latency: Some(l) } => {
+                Arc::new(InMemNetwork::with_latency(net_metrics.clone(), l))
+            }
+            TransportKind::Tcp => Arc::new(TcpTransport::new(net_metrics.clone())),
+        };
+        // Bind all listeners first so TCP port 0 resolves before the
+        // address book is built.
+        let coord_listener = match cfg.transport {
+            TransportKind::Tcp => transport.listen("127.0.0.1:0")?,
+            _ => transport.listen("coordinator")?,
+        };
+        let mut worker_listeners = Vec::new();
+        for i in 1..=cfg.num_workers {
+            let l = match cfg.transport {
+                TransportKind::Tcp => transport.listen("127.0.0.1:0")?,
+                _ => transport.listen(&format!("site-{i}"))?,
+            };
+            worker_listeners.push((SiteId(i as u16), l));
+        }
+        let mut placement = Placement::new();
+        placement.set_coordinator_addr(&coord_listener.local_addr());
+        for (site, l) in &worker_listeners {
+            placement.set_address(*site, &l.local_addr());
+        }
+        let worker_sites: Vec<SiteId> = worker_listeners.iter().map(|(s, _)| *s).collect();
+        for spec in &cfg.tables {
+            placement.add_replicated_table(&spec.name, &worker_sites);
+        }
+        let peers: HashMap<SiteId, String> = worker_listeners
+            .iter()
+            .map(|(s, l)| (*s, l.local_addr()))
+            .collect();
+        // Workers.
+        let mut workers = HashMap::new();
+        for (site, listener) in worker_listeners {
+            let wdir = dir.join(format!("site-{}", site.0));
+            let engine = Self::open_engine(&wdir, site, &cfg)?;
+            for spec in &cfg.tables {
+                if engine.table_def(&spec.name).is_none() {
+                    engine.create_table(&spec.name, spec.user_fields.clone())?;
+                }
+            }
+            let metrics = engine.metrics().clone();
+            let addr = listener.local_addr();
+            let worker = Worker::start_with_listener(
+                engine.clone(),
+                transport.clone(),
+                WorkerConfig {
+                    site,
+                    addr: addr.clone(),
+                    protocol: cfg.protocol,
+                    checkpoint_every: cfg.checkpoint_every,
+                    peers: peers.clone(),
+                    auto_consensus: cfg.auto_consensus,
+                    use_deletion_log: cfg.use_deletion_log,
+                },
+                listener,
+            )?;
+            workers.insert(
+                site,
+                WorkerHandle {
+                    worker,
+                    engine,
+                    metrics,
+                },
+            );
+        }
+        // Coordinator.
+        let coordinator = Coordinator::start_with_listener(
+            CoordinatorConfig {
+                site: COORDINATOR_SITE,
+                addr: coord_listener.local_addr(),
+                protocol: cfg.protocol,
+                log_dir: Some(dir.join("coordinator")),
+                group_commit: cfg.group_commit,
+                disk: cfg.storage.disk,
+            },
+            placement.clone(),
+            transport.clone(),
+            Metrics::new(),
+            coord_listener,
+        )?;
+        Ok(Cluster {
+            cfg,
+            dir,
+            transport,
+            net_metrics,
+            placement,
+            coordinator,
+            workers: Mutex::new(workers),
+            crashed: Mutex::new(HashSet::new()),
+        })
+    }
+
+    fn open_engine(dir: &Path, site: SiteId, cfg: &ClusterConfig) -> DbResult<Arc<Engine>> {
+        let opts = EngineOptions {
+            site,
+            storage: cfg.storage.clone(),
+            logging: cfg.protocol.workers_log(),
+            group_commit: cfg.group_commit,
+            policy: PagePolicy::steal_no_force(),
+            deadlock: cfg.deadlock,
+        };
+        Engine::open(dir, opts)
+    }
+
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Transport-level counters (messages/bytes for the whole cluster).
+    pub fn net_metrics(&self) -> &Metrics {
+        &self.net_metrics
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub fn worker_sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.workers.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The worker server handle of a live worker (consensus tests drive
+    /// `resolve_by_consensus` through this).
+    pub fn worker(&self, site: SiteId) -> DbResult<Arc<Worker>> {
+        self.workers
+            .lock()
+            .get(&site)
+            .map(|h| h.worker.clone())
+            .ok_or_else(|| DbError::SiteDown(format!("{site} is not running")))
+    }
+
+    /// The engine of a live worker.
+    pub fn engine(&self, site: SiteId) -> DbResult<Arc<Engine>> {
+        self.workers
+            .lock()
+            .get(&site)
+            .map(|h| h.engine.clone())
+            .ok_or_else(|| DbError::SiteDown(format!("{site} is not running")))
+    }
+
+    /// Per-site metrics.
+    pub fn worker_metrics(&self, site: SiteId) -> DbResult<Metrics> {
+        self.workers
+            .lock()
+            .get(&site)
+            .map(|h| h.metrics.clone())
+            .ok_or_else(|| DbError::SiteDown(format!("{site} is not running")))
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience transaction helpers
+    // ------------------------------------------------------------------
+
+    /// Runs one transaction consisting of the given update requests.
+    pub fn run_txn(&self, ops: Vec<UpdateRequest>) -> DbResult<Timestamp> {
+        let tid = self.coordinator.begin()?;
+        for op in ops {
+            self.coordinator.update(tid, op)?;
+        }
+        self.coordinator.commit(tid)
+    }
+
+    /// Inserts one row in its own transaction.
+    pub fn insert_one(&self, table: &str, values: Vec<Value>) -> DbResult<Timestamp> {
+        self.run_txn(vec![UpdateRequest::Insert {
+            table: table.to_string(),
+            values,
+        }])
+    }
+
+    /// Historical read against any live replica.
+    pub fn read_historical(&self, table: &str, as_of: Timestamp) -> DbResult<Vec<Tuple>> {
+        self.coordinator.read_historical(table, as_of, |_| {})
+    }
+
+    /// Latest-committed snapshot: historical read as of `now - 1`.
+    pub fn read_latest(&self, table: &str) -> DbResult<Vec<Tuple>> {
+        let now = self.coordinator.authority().now();
+        self.read_historical(table, now.prev())
+    }
+
+    // ------------------------------------------------------------------
+    // Failure and recovery
+    // ------------------------------------------------------------------
+
+    /// Fail-stop crash of one worker: all volatile state (buffer pool,
+    /// locks, in-memory lists, unforced log tail) is dropped.
+    pub fn crash_worker(&self, site: SiteId) -> DbResult<()> {
+        let handle = self
+            .workers
+            .lock()
+            .remove(&site)
+            .ok_or_else(|| DbError::SiteDown(format!("{site} is not running")))?;
+        handle.worker.crash();
+        self.coordinator.mark_dead(site);
+        self.crashed.lock().insert(site);
+        drop(handle); // engine dropped: unflushed pages are gone
+        Ok(())
+    }
+
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.lock().contains(&site)
+    }
+
+    fn worker_addr(&self, site: SiteId) -> String {
+        self.placement
+            .address(site)
+            .map(|s| s.to_string())
+            .expect("address book covers all workers")
+    }
+
+    /// Restarts a crashed worker's engine and server without running any
+    /// recovery (building block for both recovery paths).
+    fn restart_worker(&self, site: SiteId) -> DbResult<Arc<Engine>> {
+        if !self.crashed.lock().contains(&site) {
+            return Err(DbError::internal(format!("{site} is not crashed")));
+        }
+        let wdir = self.dir.join(format!("site-{}", site.0));
+        let engine = Self::open_engine(&wdir, site, &self.cfg)?;
+        let addr = self.worker_addr(site);
+        let peers: HashMap<SiteId, String> = self
+            .worker_sites_all()
+            .into_iter()
+            .map(|s| (s, self.worker_addr(s)))
+            .collect();
+        let worker = Worker::start(
+            engine.clone(),
+            self.transport.clone(),
+            WorkerConfig {
+                site,
+                addr: addr.clone(),
+                protocol: self.cfg.protocol,
+                checkpoint_every: self.cfg.checkpoint_every,
+                peers,
+                auto_consensus: self.cfg.auto_consensus,
+                use_deletion_log: self.cfg.use_deletion_log,
+            },
+        )?;
+        let metrics = engine.metrics().clone();
+        self.workers.insert_handle(
+            site,
+            WorkerHandle {
+                worker,
+                engine: engine.clone(),
+                metrics,
+            },
+        );
+        Ok(engine)
+    }
+
+    fn worker_sites_all(&self) -> Vec<SiteId> {
+        // All placed worker sites, running or not.
+        let mut v = Vec::new();
+        for name in self.placement.table_names() {
+            if let Ok(sites) = self.placement.sites_for(&name) {
+                v.extend(sites);
+            }
+        }
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Brings a crashed worker back online with HARBOR's three-phase
+    /// replica-query recovery (the site serves forwarded updates while
+    /// joining pending transactions).
+    pub fn recover_worker_harbor(&self, site: SiteId) -> DbResult<RecoveryReport> {
+        self.recover_worker_harbor_with(site, self.cfg.recovery.clone())
+    }
+
+    /// As [`recover_worker_harbor`](Self::recover_worker_harbor) with an
+    /// explicit recovery configuration (fault injection, serial objects,
+    /// Phase 2 thresholds). On error the site stays crashed — the worker
+    /// server it briefly started is torn down so a later attempt can rebind.
+    pub fn recover_worker_harbor_with(
+        &self,
+        site: SiteId,
+        config: crate::recovery::RecoveryConfig,
+    ) -> DbResult<RecoveryReport> {
+        let engine = self.restart_worker(site)?;
+        let down: HashSet<SiteId> = self.crashed.lock().clone();
+        let ctx = RecoveryContext {
+            engine,
+            site,
+            placement: self.placement.clone(),
+            transport: self.transport.clone(),
+            down: down.into_iter().filter(|s| *s != site).collect(),
+            config,
+        };
+        match recover_site(&ctx) {
+            Ok(report) => {
+                self.crashed.lock().remove(&site);
+                // `RecComingOnline` already marked the site alive per object.
+                Ok(report)
+            }
+            Err(e) => {
+                // The recovering site "crashes" again: stop its server and
+                // drop its engine so only durable state survives.
+                if let Some(h) = self.workers.lock().remove(&site) {
+                    h.worker.crash();
+                }
+                self.coordinator.mark_dead(site);
+                Err(e)
+            }
+        }
+    }
+
+    /// Brings a crashed worker back online with the ARIES baseline: local
+    /// log replay only (the thesis recovery experiments quiesce update
+    /// traffic, so no distributed catch-up is involved).
+    pub fn recover_worker_aries(&self, site: SiteId) -> DbResult<AriesReport> {
+        let engine = self.restart_worker(site)?;
+        let report = engine.aries_restart()?;
+        self.crashed.lock().remove(&site);
+        self.coordinator.mark_alive(site);
+        Ok(report)
+    }
+
+    /// Stops everything (graceful end of an experiment).
+    pub fn shutdown(&self) {
+        self.coordinator.crash();
+        let workers: Vec<WorkerHandle> = {
+            let mut g = self.workers.lock();
+            g.drain().map(|(_, h)| h).collect()
+        };
+        for h in &workers {
+            h.worker.stop();
+        }
+    }
+}
+
+/// Small extension so `restart_worker` can insert without a borrow dance.
+trait InsertHandle {
+    fn insert_handle(&self, site: SiteId, handle: WorkerHandle);
+}
+
+impl InsertHandle for Mutex<HashMap<SiteId, WorkerHandle>> {
+    fn insert_handle(&self, site: SiteId, handle: WorkerHandle) {
+        self.lock().insert(site, handle);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,543 @@
+//! HARBOR's three-phase, replica-query recovery algorithm (thesis Ch. 5).
+//!
+//! For each database object `rec` on the failed site:
+//!
+//! * **Phase 1** (local, §5.2): delete every tuple inserted after the last
+//!   checkpoint or left uncommitted on disk, and undelete every tuple whose
+//!   deletion timestamp postdates the checkpoint. After this, `rec` reflects
+//!   exactly the transactions committed at or before `T_checkpoint`.
+//! * **Phase 2** (remote, lock-free, §5.3): pick a high water mark
+//!   `HWM = now - 1` and run *historical* queries against the recovery
+//!   buddies to copy (a) deletion times applied to pre-checkpoint tuples in
+//!   `(T_checkpoint, HWM]` and (b) whole tuples inserted in that window.
+//!   Because historical queries take no locks, the system is never
+//!   quiesced. The phase records a per-object checkpoint and repeats if the
+//!   clock has run far past the HWM.
+//! * **Phase 3** (remote, locked, §5.4): take table-granularity read locks
+//!   on every recovery object, catch up from the HWM to the current time
+//!   with ordinary `SEE DELETED` queries, announce "`rec` coming online" to
+//!   the coordinator (which forwards queued updates of pending transactions
+//!   so the site joins them, Fig 5-4), and finally release the locks.
+//!
+//! All remote reads stream in batches; the local halves are batch scans so
+//! recovery time never depends on a (possibly cold) primary-key index.
+
+use harbor_common::{DbResult, SiteId, TableId, Timestamp, TransactionId, DbError};
+use harbor_dist::{
+    rpc, scan_rpc_streaming, Placement, RecoveryObject, RemoteScan, Request, Response,
+    WireReadMode,
+};
+use harbor_engine::Engine;
+use harbor_exec::{scan_rids, ReadMode};
+use harbor_net::{Channel, Transport};
+use harbor_storage::ScanBounds;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fault-injection points inside the recovery algorithm (drives the §5.5
+/// failure-during-recovery scenarios in tests and benches).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryFailPoint {
+    #[default]
+    None,
+    /// Crash after Phase 1 completes (local state at the checkpoint).
+    AfterPhase1,
+    /// Crash after the Phase 2 historical catch-up (object checkpoint
+    /// written; restart should resume from it, §5.5.1).
+    AfterPhase2,
+    /// Crash during Phase 3 while holding the remote table read locks —
+    /// the buddies must detect the death and override the locks (§5.5.1).
+    WhileHoldingLocks,
+}
+
+/// Tuning knobs for recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Re-run Phase 2 if the clock has advanced more than this many ticks
+    /// past the HWM when the phase completes (§5.3: "if the HWM differs
+    /// from the current time by more than some system-configurable
+    /// threshold, Phase 2 can be repeated").
+    pub phase2_repeat_threshold: u64,
+    /// Upper bound on Phase 2 rounds (safety net under sustained load).
+    pub max_phase2_rounds: u32,
+    /// How long to keep retrying the Phase 3 table-lock acquisition
+    /// (deadlocks resolve by timeout and retry, §5.4.1).
+    pub lock_retry_for: Duration,
+    /// Recover multiple objects in parallel (§5.1) or serially — the
+    /// comparison of Figs 6-4/6-5.
+    pub parallel_objects: bool,
+    /// Fault injection (tests only).
+    pub fail_point: RecoveryFailPoint,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            phase2_repeat_threshold: 64,
+            max_phase2_rounds: 4,
+            lock_retry_for: Duration::from_secs(30),
+            parallel_objects: true,
+            fail_point: RecoveryFailPoint::None,
+        }
+    }
+}
+
+/// Timing/volume breakdown for one recovered object (Fig 6-6's
+/// decomposition).
+#[derive(Clone, Debug, Default)]
+pub struct ObjectReport {
+    pub table: String,
+    pub phase1: Duration,
+    /// Phase 2 remote SELECT + local UPDATE of deletion times.
+    pub phase2_deletes: Duration,
+    /// Phase 2 remote SELECT + local INSERT of new tuples.
+    pub phase2_inserts: Duration,
+    pub phase3: Duration,
+    pub phase1_removed: u64,
+    pub phase1_undeleted: u64,
+    pub deletions_copied: u64,
+    pub tuples_copied: u64,
+    pub phase2_rounds: u32,
+    pub checkpoint: Timestamp,
+    pub hwm: Timestamp,
+}
+
+/// Whole-site recovery summary.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    pub objects: Vec<ObjectReport>,
+    pub total: Duration,
+}
+
+impl RecoveryReport {
+    pub fn phase1(&self) -> Duration {
+        self.objects.iter().map(|o| o.phase1).sum()
+    }
+
+    pub fn phase2_deletes(&self) -> Duration {
+        self.objects.iter().map(|o| o.phase2_deletes).sum()
+    }
+
+    pub fn phase2_inserts(&self) -> Duration {
+        self.objects.iter().map(|o| o.phase2_inserts).sum()
+    }
+
+    pub fn phase3(&self) -> Duration {
+        self.objects.iter().map(|o| o.phase3).sum()
+    }
+
+    pub fn tuples_copied(&self) -> u64 {
+        self.objects.iter().map(|o| o.tuples_copied).sum()
+    }
+}
+
+/// Everything the recovering site needs to reach the rest of the cluster.
+pub struct RecoveryContext {
+    pub engine: Arc<Engine>,
+    pub site: SiteId,
+    pub placement: Placement,
+    pub transport: Arc<dyn Transport>,
+    /// Sites currently known to be down (excluded from buddy selection).
+    pub down: HashSet<SiteId>,
+    pub config: RecoveryConfig,
+}
+
+impl RecoveryContext {
+    fn connect(&self, site: SiteId) -> DbResult<Box<dyn Channel>> {
+        let addr = self.placement.address(site)?;
+        self.transport.connect(addr)
+    }
+
+    fn connect_coordinator(&self) -> DbResult<Box<dyn Channel>> {
+        self.transport.connect(self.placement.coordinator_addr()?)
+    }
+
+    /// Asks the timestamp authority for the current time.
+    fn cluster_now(&self) -> DbResult<Timestamp> {
+        let mut chan = self.connect_coordinator()?;
+        match rpc(chan.as_mut(), &Request::GetTime)? {
+            Response::Time { now } => Ok(now),
+            other => Err(DbError::protocol(format!("bad GetTime reply {other:?}"))),
+        }
+    }
+}
+
+/// Recovers every object on the site; returns the per-object breakdown.
+/// The engine must already be open (Phase 0 = reopening heap files); the
+/// site's worker server should be serving so it can receive forwarded
+/// updates while joining pending transactions.
+pub fn recover_site(ctx: &RecoveryContext) -> DbResult<RecoveryReport> {
+    let start = Instant::now();
+    // §5.2: periodically scheduled checkpoints are disabled during recovery.
+    ctx.engine.checkpointer().set_suspended(true);
+    let tables: Vec<String> = ctx
+        .placement
+        .objects_on(ctx.site)
+        .into_iter()
+        .map(|(name, _)| name)
+        .filter(|name| ctx.engine.table_def(name).is_some())
+        .collect();
+    let mut objects = Vec::new();
+    if ctx.config.parallel_objects && tables.len() > 1 {
+        // Each object proceeds through its three phases at its own pace
+        // (§5.1: "multiple rec objects ... recovered in parallel").
+        let results: Vec<DbResult<ObjectReport>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = tables
+                .iter()
+                .map(|t| {
+                    let t = t.clone();
+                    scope.spawn(move || recover_object(ctx, &t))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("recovery thread")).collect()
+        });
+        for r in results {
+            objects.push(r?);
+        }
+    } else {
+        for t in &tables {
+            objects.push(recover_object(ctx, t)?);
+        }
+    }
+    // All objects done: promote the global checkpoint to the weakest
+    // per-object time and resume normal checkpointing (§5.3).
+    let min_ckpt = objects
+        .iter()
+        .map(|o| o.checkpoint)
+        .min()
+        .unwrap_or(Timestamp::ZERO);
+    ctx.engine.checkpointer().finish_recovery(min_ckpt)?;
+    // Advance the local clock so post-recovery checkpoints cover what was
+    // copied.
+    ctx.engine.advance_applied_clock(min_ckpt);
+    Ok(RecoveryReport {
+        objects,
+        total: start.elapsed(),
+    })
+}
+
+/// Recovers one database object through all three phases.
+pub fn recover_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<ObjectReport> {
+    let def = ctx
+        .engine
+        .table_def(table_name)
+        .ok_or_else(|| DbError::Schema(format!("unknown table {table_name:?}")))?;
+    let mut report = ObjectReport {
+        table: table_name.to_string(),
+        ..Default::default()
+    };
+    let t_ckpt = ctx.engine.checkpointer().for_table(def.id);
+    report.checkpoint = t_ckpt;
+
+    // ---------------- Phase 1: restore to the last checkpoint ----------
+    let t0 = Instant::now();
+    let (removed, undeleted) = phase1(ctx, def.id, t_ckpt)?;
+    report.phase1 = t0.elapsed();
+    report.phase1_removed = removed;
+    report.phase1_undeleted = undeleted;
+    if ctx.config.fail_point == RecoveryFailPoint::AfterPhase1 {
+        return Err(DbError::SiteDown("injected crash after phase 1".into()));
+    }
+
+    // ---------------- Phase 2: historical catch-up (repeatable) --------
+    let plan = ctx
+        .placement
+        .recovery_plan(ctx.site, table_name, &ctx.down)?;
+    let mut ckpt = t_ckpt;
+    let mut hwm;
+    loop {
+        report.phase2_rounds += 1;
+        hwm = ctx.cluster_now()?.prev();
+        let t0 = Instant::now();
+        let deletions = phase2_deletions(ctx, def.id, &plan, ckpt, hwm)?;
+        report.phase2_deletes += t0.elapsed();
+        report.deletions_copied += deletions;
+        let t0 = Instant::now();
+        let copied = phase2_inserts(ctx, def.id, &plan, ckpt, hwm)?;
+        report.phase2_inserts += t0.elapsed();
+        report.tuples_copied += copied;
+        // Object-specific checkpoint: rec is consistent up to the HWM.
+        ctx.engine.checkpointer().checkpoint_object(def.id, hwm)?;
+        ctx.engine.pool().flush_all()?;
+        ckpt = hwm;
+        let now = ctx.cluster_now()?;
+        let lag = now.0.saturating_sub(hwm.0);
+        if lag <= ctx.config.phase2_repeat_threshold
+            || report.phase2_rounds >= ctx.config.max_phase2_rounds
+        {
+            break;
+        }
+    }
+    report.hwm = hwm;
+    if ctx.config.fail_point == RecoveryFailPoint::AfterPhase2 {
+        return Err(DbError::SiteDown("injected crash after phase 2".into()));
+    }
+
+    // ---------------- Phase 3: locked catch-up + join pending ----------
+    let t0 = Instant::now();
+    let final_time = phase3(ctx, def.id, table_name, &plan, hwm, &mut report)?;
+    report.phase3 = t0.elapsed();
+    report.checkpoint = final_time;
+    ctx.engine.checkpointer().checkpoint_object(def.id, final_time)?;
+    Ok(report)
+}
+
+/// Phase 1 (§5.2): two local queries against the object.
+fn phase1(ctx: &RecoveryContext, table: TableId, t_ckpt: Timestamp) -> DbResult<(u64, u64)> {
+    let engine = &ctx.engine;
+    let scan_start = engine.checkpointer().scan_start(table);
+    // DELETE LOCALLY FROM rec SEE DELETED
+    //   WHERE insertion_time > T_checkpoint OR insertion_time = uncommitted
+    let bounds = ScanBounds {
+        ins_after: Some(t_ckpt),
+        uncommitted_from_segment: Some(scan_start),
+        ..Default::default()
+    };
+    let victims = scan_rids(engine.pool(), table, ReadMode::SeeDeleted, bounds, |t| {
+        let ins = t.insertion_ts()?;
+        Ok(ins.is_uncommitted() || ins > t_ckpt)
+    })?;
+    let removed = victims.len() as u64;
+    for (rid, _) in victims {
+        engine.remove_physical(rid)?;
+    }
+    // UPDATE LOCALLY rec SET deletion_time = 0 SEE DELETED
+    //   WHERE deletion_time > T_checkpoint
+    let bounds = ScanBounds::deleted_after(t_ckpt);
+    let victims = scan_rids(engine.pool(), table, ReadMode::SeeDeleted, bounds, |t| {
+        Ok(t.deletion_ts()? > t_ckpt)
+    })?;
+    let undeleted = victims.len() as u64;
+    for (rid, _) in victims {
+        engine.set_deletion(rid, Timestamp::ZERO)?;
+    }
+    Ok((removed, undeleted))
+}
+
+/// Phase 2, first half (§5.3): copy deletion times applied after the
+/// checkpoint to tuples inserted at or before it. Returns how many.
+fn phase2_deletions(
+    ctx: &RecoveryContext,
+    table: TableId,
+    plan: &[RecoveryObject],
+    ckpt: Timestamp,
+    hwm: Timestamp,
+) -> DbResult<u64> {
+    // SELECT REMOTELY tuple_id, deletion_time FROM recovery_object
+    //   SEE DELETED HISTORICAL WITH TIME hwm
+    //   WHERE recovery_predicate AND insertion_time <= T_checkpoint
+    //     AND deletion_time > T_checkpoint
+    let mut pairs: HashMap<i64, Timestamp> = HashMap::new();
+    for obj in plan {
+        let mut chan = ctx.connect(obj.buddy)?;
+        let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
+        scan.predicate = obj.predicate.clone();
+        scan.ins_at_or_before = Some(ckpt);
+        scan.del_after = Some(ckpt);
+        scan.ids_and_deletions_only = true;
+        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+            for t in batch {
+                let id = t.get(0).as_i64()?;
+                let del = t.get(1).as_time()?;
+                pairs.insert(id, del);
+            }
+            Ok(())
+        })?;
+    }
+    apply_deletion_pairs(ctx, table, &pairs)
+}
+
+/// For each `(tuple_id, del_time)` pair, updates the live local version:
+///   UPDATE LOCALLY rec SET deletion_time = del_time SEE DELETED
+///     WHERE tuple_id = tup_id AND deletion_time = 0
+/// Implemented as one batch scan (an index lookup per pair in the thesis;
+/// batching keeps recovery independent of index warmth).
+fn apply_deletion_pairs(
+    ctx: &RecoveryContext,
+    table: TableId,
+    pairs: &HashMap<i64, Timestamp>,
+) -> DbResult<u64> {
+    if pairs.is_empty() {
+        return Ok(0);
+    }
+    let engine = &ctx.engine;
+    let victims = scan_rids(
+        engine.pool(),
+        table,
+        ReadMode::SeeDeleted,
+        ScanBounds::all(),
+        |t| {
+            if t.deletion_ts()? != Timestamp::ZERO {
+                return Ok(false); // "AND deletion_time = 0": newest version
+            }
+            let id = t.get(2).as_i64()?;
+            Ok(pairs.contains_key(&id))
+        },
+    )?;
+    let mut applied = 0u64;
+    for (rid, tup) in victims {
+        let id = tup.get(2).as_i64()?;
+        if let Some(del) = pairs.get(&id) {
+            engine.set_deletion(rid, *del)?;
+            applied += 1;
+        }
+    }
+    Ok(applied)
+}
+
+/// Phase 2, second half (§5.3): copy whole tuples inserted in
+/// `(T_checkpoint, HWM]`. Returns how many.
+fn phase2_inserts(
+    ctx: &RecoveryContext,
+    table: TableId,
+    plan: &[RecoveryObject],
+    ckpt: Timestamp,
+    hwm: Timestamp,
+) -> DbResult<u64> {
+    // INSERT LOCALLY INTO rec (SELECT REMOTELY * FROM recovery_object
+    //   SEE DELETED HISTORICAL WITH TIME hwm
+    //   WHERE recovery_predicate AND insertion_time > T_checkpoint
+    //     AND insertion_time <= hwm)
+    let engine = &ctx.engine;
+    let mut copied = 0u64;
+    for obj in plan {
+        let mut chan = ctx.connect(obj.buddy)?;
+        let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
+        scan.predicate = obj.predicate.clone();
+        scan.ins_after = Some(ckpt);
+        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+            for t in &batch {
+                engine.insert_recovered(table, t)?;
+            }
+            copied += batch.len() as u64;
+            Ok(())
+        })?;
+    }
+    Ok(copied)
+}
+
+/// Phase 3 (§5.4): locked catch-up, join pending transactions, come online.
+/// Returns the time the object is consistent up to.
+fn phase3(
+    ctx: &RecoveryContext,
+    table: TableId,
+    table_name: &str,
+    plan: &[RecoveryObject],
+    hwm: Timestamp,
+    report: &mut ObjectReport,
+) -> DbResult<Timestamp> {
+    let engine = &ctx.engine;
+    // A dedicated lock-owner transaction id for this recovery run.
+    let lock_tid = TransactionId::from_parts(ctx.site, 0x0000_7ec0_0000_0000 | table.0 as u64);
+    // 1) ACQUIRE REMOTELY READ LOCK ON recovery_object ON SITE buddy —
+    //    retried until granted (§5.4.1). One persistent channel per buddy:
+    //    the lock lives as long as the connection (a dead recoverer's locks
+    //    are released by the buddy's failure detection, §5.5.1).
+    let mut lock_chans: Vec<(SiteId, Box<dyn Channel>)> = Vec::new();
+    for obj in plan {
+        let mut chan = ctx.connect(obj.buddy)?;
+        let deadline = Instant::now() + ctx.config.lock_retry_for;
+        loop {
+            let req = Request::AcquireTableLock {
+                tid: lock_tid,
+                table: obj.table.clone(),
+            };
+            match rpc(chan.as_mut(), &req)? {
+                Response::Ok => break,
+                Response::Err { msg } => {
+                    if Instant::now() >= deadline {
+                        return Err(DbError::LockTimeout {
+                            txn: lock_tid,
+                            what: format!("{} at {} ({msg})", obj.table, obj.buddy),
+                        });
+                    }
+                    // Deadlock timeout at the buddy: retry (§5.4.1).
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => {
+                    return Err(DbError::protocol(format!("bad lock reply {other:?}")))
+                }
+            }
+        }
+        lock_chans.push((obj.buddy, chan));
+    }
+    // 2) Missing deletions after the HWM:
+    //    SELECT REMOTELY tuple_id, deletion_time ... SEE DELETED
+    //      WHERE pred AND insertion_time <= hwm AND deletion_time > hwm
+    let mut pairs: HashMap<i64, Timestamp> = HashMap::new();
+    for (i, obj) in plan.iter().enumerate() {
+        let chan = &mut lock_chans[i].1;
+        let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedLocked(lock_tid));
+        scan.predicate = obj.predicate.clone();
+        scan.ins_at_or_before = Some(hwm);
+        scan.del_after = Some(hwm);
+        scan.ids_and_deletions_only = true;
+        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+            for t in batch {
+                pairs.insert(t.get(0).as_i64()?, t.get(1).as_time()?);
+            }
+            Ok(())
+        })?;
+    }
+    report.deletions_copied += apply_deletion_pairs(ctx, table, &pairs)?;
+    // 3) Missing insertions after the HWM:
+    //    INSERT LOCALLY INTO rec (SELECT REMOTELY * ... SEE DELETED
+    //      WHERE pred AND insertion_time > hwm
+    //        AND insertion_time != uncommitted)
+    for (i, obj) in plan.iter().enumerate() {
+        let chan = &mut lock_chans[i].1;
+        let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedLocked(lock_tid));
+        scan.predicate = obj.predicate.clone();
+        scan.ins_after = Some(hwm); // uncommitted excluded by the residual
+        let mut copied = 0u64;
+        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+            for t in &batch {
+                engine.insert_recovered(table, t)?;
+            }
+            copied += batch.len() as u64;
+            Ok(())
+        })?;
+        report.tuples_copied += copied;
+    }
+    if ctx.config.fail_point == RecoveryFailPoint::WhileHoldingLocks {
+        // Simulated death of the recovering site: drop the lock channels
+        // without releasing; the buddies' failure detection must override
+        // the orphaned locks (§5.5.1).
+        drop(lock_chans);
+        return Err(DbError::SiteDown("injected crash while holding locks".into()));
+    }
+    // rec now holds all committed data; checkpoint at current time - 1
+    // ("the current time has not expired", §5.4.1).
+    let consistent_up_to = ctx.cluster_now()?.prev();
+    engine.pool().flush_all()?;
+    // 4) Join pending transactions (Fig 5-4): announce to the coordinator
+    //    and wait for "all done".
+    let mut coord = ctx.connect_coordinator()?;
+    match rpc(
+        coord.as_mut(),
+        &Request::RecComingOnline {
+            site: ctx.site,
+            table: table_name.to_string(),
+        },
+    )? {
+        Response::AllDone => {}
+        other => {
+            return Err(DbError::protocol(format!(
+                "bad RecComingOnline reply {other:?}"
+            )))
+        }
+    }
+    // 5) RELEASE REMOTELY LOCK — rec is fully online.
+    for (i, obj) in plan.iter().enumerate() {
+        let chan = &mut lock_chans[i].1;
+        let _ = rpc(
+            chan.as_mut(),
+            &Request::ReleaseTableLock {
+                tid: lock_tid,
+                table: obj.table.clone(),
+            },
+        )?;
+    }
+    Ok(consistent_up_to)
+}

@@ -1,0 +1,777 @@
+//! The coordinator site (thesis §4.1, §4.3): originates transactions,
+//! queues their logical update requests, distributes them to every live
+//! replica, runs the chosen commit protocol, and — for HARBOR recovery —
+//! serves the timestamp authority and the join-pending protocol (Fig 5-4).
+
+use crate::message::{RemoteScan, Request, Response, UpdateRequest};
+use crate::placement::Placement;
+use crate::protocol::ProtocolKind;
+use crate::{rpc, scan_rpc};
+use harbor_common::codec::Wire;
+use harbor_common::time::TimestampAuthority;
+use harbor_common::{
+    DbError, DbResult, DiskProfile, Metrics, SiteId, Timestamp, TransactionId, Tuple,
+};
+use harbor_net::{Channel, Transport};
+use harbor_wal::record::{LogPayload, LogRecord, TxnOutcome};
+use harbor_wal::{GroupCommit, LogManager, Lsn};
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type SharedChan = Arc<Mutex<Box<dyn Channel>>>;
+
+/// Fault-injection points inside the commit protocol (drives the
+/// coordinator-failure scenarios of §4.3.3 / Table 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailPoint {
+    #[default]
+    None,
+    /// Crash after sending PREPARE (before reading votes).
+    AfterPrepare,
+    /// Crash after sending PREPARE-TO-COMMIT to `n` workers.
+    AfterPtcSentTo(usize),
+    /// Crash after sending COMMIT to `n` workers.
+    AfterCommitSentTo(usize),
+}
+
+/// Construction options.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    pub site: SiteId,
+    /// Address of the coordinator's own server (timestamp authority +
+    /// recovery announcements).
+    pub addr: String,
+    pub protocol: ProtocolKind,
+    /// Directory for the coordinator's log (2PC variants force a COMMIT /
+    /// ABORT record; 3PC variants keep no log, §4.3.3).
+    pub log_dir: Option<PathBuf>,
+    pub group_commit: GroupCommit,
+    pub disk: DiskProfile,
+}
+
+struct TxnInner {
+    queue: Vec<UpdateRequest>,
+    participants: BTreeSet<SiteId>,
+    chans: HashMap<SiteId, SharedChan>,
+    /// Set once the commit protocol has snapshotted participants; the
+    /// join-pending forwarder skips such transactions.
+    committing: bool,
+    finished: bool,
+}
+
+struct TxnCtx {
+    inner: Mutex<TxnInner>,
+}
+
+/// A running coordinator.
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    placement: Placement,
+    transport: Arc<dyn Transport>,
+    authority: Arc<TimestampAuthority>,
+    wal: Option<Arc<LogManager>>,
+    metrics: Metrics,
+    txns: Mutex<HashMap<TransactionId, Arc<TxnCtx>>>,
+    seq: AtomicU64,
+    /// Sites believed down; updates skip them (§4.1: "crashed sites can be
+    /// ignored by update queries").
+    dead: Mutex<BTreeSet<SiteId>>,
+    /// Per-site tables announced online while the site is still recovering
+    /// other objects — Fig 5-4's announcement is per-`rec`, so routing is
+    /// gated per (site, table) until every object on the site is back.
+    partially_online: Mutex<HashMap<SiteId, std::collections::BTreeSet<String>>>,
+    fail_point: Mutex<FailPoint>,
+    shutdown: Arc<AtomicBool>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Coordinator {
+    pub fn start(
+        cfg: CoordinatorConfig,
+        placement: Placement,
+        transport: Arc<dyn Transport>,
+        metrics: Metrics,
+    ) -> DbResult<Arc<Coordinator>> {
+        let listener = transport.listen(&cfg.addr)?;
+        Self::start_with_listener(cfg, placement, transport, metrics, listener)
+    }
+
+    /// As [`start`](Self::start) on an already-bound listener (TCP port 0).
+    pub fn start_with_listener(
+        mut cfg: CoordinatorConfig,
+        placement: Placement,
+        transport: Arc<dyn Transport>,
+        metrics: Metrics,
+        listener: Box<dyn harbor_net::Listener>,
+    ) -> DbResult<Arc<Coordinator>> {
+        cfg.addr = listener.local_addr();
+        let wal = match (&cfg.log_dir, cfg.protocol.coordinator_logs()) {
+            (Some(dir), true) => {
+                std::fs::create_dir_all(dir)?;
+                Some(Arc::new(LogManager::open(
+                    dir.join("coordinator.log"),
+                    cfg.group_commit,
+                    cfg.disk,
+                    metrics.clone(),
+                )?))
+            }
+            _ => None,
+        };
+        let coordinator = Arc::new(Coordinator {
+            authority: Arc::new(TimestampAuthority::default()),
+            wal,
+            metrics,
+            txns: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(1),
+            dead: Mutex::new(BTreeSet::new()),
+            partially_online: Mutex::new(HashMap::new()),
+            fail_point: Mutex::new(FailPoint::None),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            handles: Mutex::new(Vec::new()),
+            placement,
+            transport,
+            cfg,
+        });
+        {
+            let c = coordinator.clone();
+            let h = std::thread::Builder::new()
+                .name("coordinator-server".into())
+                .spawn(move || c.server_loop(listener))
+                .expect("spawn coordinator server");
+            coordinator.handles.lock().push(h);
+        }
+        Ok(coordinator)
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.cfg.site
+    }
+
+    /// Address of the coordinator's server (timestamp authority + recovery
+    /// announcements).
+    pub fn addr(&self) -> &str {
+        &self.cfg.addr
+    }
+
+    pub fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    pub fn authority(&self) -> &Arc<TimestampAuthority> {
+        &self.authority
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Arms a fault-injection point for the next commit.
+    pub fn set_fail_point(&self, fp: FailPoint) {
+        *self.fail_point.lock() = fp;
+    }
+
+    /// Marks a site dead (failure detection normally does this on a
+    /// dropped connection; tests may force it).
+    pub fn mark_dead(&self, site: SiteId) {
+        self.dead.lock().insert(site);
+        self.partially_online.lock().remove(&site);
+    }
+
+    /// Marks a site fully usable again (all its objects online).
+    pub fn mark_alive(&self, site: SiteId) {
+        self.dead.lock().remove(&site);
+        self.partially_online.lock().remove(&site);
+    }
+
+    pub fn is_dead(&self, site: SiteId) -> bool {
+        self.dead.lock().contains(&site)
+    }
+
+    /// May updates/reads of `table` be routed to `site`? True when the site
+    /// is fully alive, or when this specific object has announced it is
+    /// coming online (§5.4.2).
+    pub fn is_usable(&self, site: SiteId, table: &str) -> bool {
+        if !self.dead.lock().contains(&site) {
+            return true;
+        }
+        self.partially_online
+            .lock()
+            .get(&site)
+            .map(|tables| tables.contains(table))
+            .unwrap_or(false)
+    }
+
+    /// Simulated coordinator crash: stop the server and sever every worker
+    /// connection mid-flight.
+    pub fn crash(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Drop all per-transaction channels: workers see disconnects.
+        let txns: Vec<Arc<TxnCtx>> = self.txns.lock().values().cloned().collect();
+        for ctx in txns {
+            let mut g = ctx.inner.lock();
+            g.chans.clear();
+            g.finished = true;
+        }
+        self.txns.lock().clear();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction API (one thread per in-flight transaction)
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction; returns its id.
+    pub fn begin(&self) -> DbResult<TransactionId> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(DbError::SiteDown("coordinator crashed".into()));
+        }
+        let tid = TransactionId::from_parts(
+            self.cfg.site,
+            self.seq.fetch_add(1, Ordering::SeqCst),
+        );
+        let ctx = Arc::new(TxnCtx {
+            inner: Mutex::new(TxnInner {
+                queue: Vec::new(),
+                participants: BTreeSet::new(),
+                chans: HashMap::new(),
+                committing: false,
+                finished: false,
+            }),
+        });
+        self.txns.lock().insert(tid, ctx);
+        Ok(tid)
+    }
+
+    fn ctx(&self, tid: TransactionId) -> DbResult<Arc<TxnCtx>> {
+        self.txns
+            .lock()
+            .get(&tid)
+            .cloned()
+            .ok_or(DbError::UnknownTransaction(tid))
+    }
+
+    /// Opens (or reuses) the transaction's channel to `site`, sending
+    /// BEGIN on first contact.
+    fn ensure_chan(
+        &self,
+        tid: TransactionId,
+        ctx: &Arc<TxnCtx>,
+        site: SiteId,
+    ) -> DbResult<SharedChan> {
+        {
+            let g = ctx.inner.lock();
+            if let Some(c) = g.chans.get(&site) {
+                return Ok(c.clone());
+            }
+        }
+        let addr = self.placement.address(site)?.to_string();
+        let mut chan = self.transport.connect(&addr)?;
+        match rpc(chan.as_mut(), &Request::Begin { tid })? {
+            Response::Ok => {}
+            Response::Err { msg } => return Err(DbError::protocol(msg)),
+            other => return Err(DbError::protocol(format!("bad BEGIN reply {other:?}"))),
+        }
+        let shared: SharedChan = Arc::new(Mutex::new(chan));
+        let mut g = ctx.inner.lock();
+        let entry = g
+            .chans
+            .entry(site)
+            .or_insert_with(|| shared.clone())
+            .clone();
+        g.participants.insert(site);
+        Ok(entry)
+    }
+
+    /// Queues and distributes one update request to every live site
+    /// holding the relevant data (§4.1).
+    pub fn update(&self, tid: TransactionId, req: UpdateRequest) -> DbResult<()> {
+        let ctx = self.ctx(tid)?;
+        // Determine targets and append to the queue under the ctx lock so
+        // the join-pending forwarder sees a consistent prefix.
+        let targets: Vec<SiteId> = {
+            let mut g = ctx.inner.lock();
+            g.queue.push(req.clone());
+            match req.table() {
+                Some(table) => {
+                    // Inserts route only to sites whose partition admits
+                    // the row; predicate-based updates go to every site
+                    // holding any part (the predicate filters locally).
+                    let sites = match &req {
+                        UpdateRequest::Insert { values, .. } => {
+                            self.placement.sites_for_insert(table, values)?
+                        }
+                        _ => self.placement.sites_for(table)?,
+                    };
+                    sites
+                        .into_iter()
+                        .filter(|s| self.is_usable(*s, table))
+                        .collect()
+                }
+                // Table-less work (simulated CPU) goes to current
+                // participants.
+                None => g.participants.iter().copied().collect(),
+            }
+        };
+        if targets.is_empty() {
+            return Err(DbError::Unrecoverable(
+                "no live replica available for update".into(),
+            ));
+        }
+        for site in targets {
+            let chan = match self.ensure_chan(tid, &ctx, site) {
+                Ok(c) => c,
+                Err(e) if e.is_disconnect() => {
+                    self.mark_dead(site);
+                    self.abort(tid)?;
+                    return Err(DbError::TransactionAborted(tid));
+                }
+                Err(e) => return Err(e),
+            };
+            let resp = {
+                let mut c = chan.lock();
+                rpc(&mut **c, &Request::Update {
+                    tid,
+                    req: req.clone(),
+                })
+            };
+            match resp {
+                Ok(Response::Ok) => {}
+                Ok(Response::Err { msg }) => {
+                    // Worker could not execute (lock timeout, constraint):
+                    // abort everywhere.
+                    self.abort(tid)?;
+                    return Err(DbError::protocol(format!(
+                        "update failed at {site}: {msg}; transaction aborted"
+                    )));
+                }
+                Ok(other) => {
+                    return Err(DbError::protocol(format!("bad UPDATE reply {other:?}")))
+                }
+                Err(_) => {
+                    // Worker died mid-transaction: abort and mark it dead
+                    // (Fig 6-7 behaviour). §4.3.5's commit-with-(K-1)-safety
+                    // alternative applies only once commit processing has
+                    // begun.
+                    self.mark_dead(site);
+                    self.abort(tid)?;
+                    return Err(DbError::TransactionAborted(tid));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read-only historical scan against any single live replica (§3.1:
+    /// reads go to one site).
+    pub fn read_historical(
+        &self,
+        table: &str,
+        as_of: Timestamp,
+        scan: impl FnOnce(&mut RemoteScan),
+    ) -> DbResult<Vec<Tuple>> {
+        let sites = self.placement.sites_for(table)?;
+        let mut s = RemoteScan::new(table, crate::message::WireReadMode::Historical(as_of));
+        scan(&mut s);
+        let mut last_err = DbError::Unrecoverable("no live replica".into());
+        for site in sites {
+            if !self.is_usable(site, table) {
+                continue;
+            }
+            let addr = self.placement.address(site)?.to_string();
+            let mut chan = match self.transport.connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match scan_rpc(chan.as_mut(), &s) {
+                Ok(tuples) => return Ok(tuples),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// A read *with transactional read locks* inside `tid` — the
+    /// "read-only transactions that wish to read the most up-to-date data
+    /// use conventional read locks" side of §3.1. Routed to one live
+    /// replica that is already (or becomes) a participant, so the locks are
+    /// released by the transaction's commit/abort.
+    pub fn read_current(
+        &self,
+        tid: TransactionId,
+        table: &str,
+        scan: impl FnOnce(&mut RemoteScan),
+    ) -> DbResult<Vec<Tuple>> {
+        let ctx = self.ctx(tid)?;
+        let site = self
+            .placement
+            .sites_for(table)?
+            .into_iter()
+            .find(|s| self.is_usable(*s, table))
+            .ok_or_else(|| DbError::Unrecoverable("no live replica".into()))?;
+        let chan = self.ensure_chan(tid, &ctx, site)?;
+        let mut s = RemoteScan::new(table, crate::message::WireReadMode::Current(tid));
+        scan(&mut s);
+        let mut c = chan.lock();
+        crate::scan_rpc(&mut **c, &s)
+    }
+
+    /// Commits: runs the configured protocol. Returns the commit time.
+    pub fn commit(&self, tid: TransactionId) -> DbResult<Timestamp> {
+        let ctx = self.ctx(tid)?;
+        let (participants, chans) = {
+            let mut g = ctx.inner.lock();
+            g.committing = true;
+            (
+                g.participants.iter().copied().collect::<Vec<_>>(),
+                g.chans.clone(),
+            )
+        };
+        if participants.is_empty() {
+            // Read-only: nothing to agree on (§4.3: multi-phase protocols
+            // apply only to update transactions).
+            self.finish(tid, true)?;
+            return Ok(self.authority.now().prev());
+        }
+        // Phase 1: PREPARE.
+        let bound = self.authority.now();
+        let prepare = Request::Prepare {
+            tid,
+            workers: participants.clone(),
+            time_bound: bound,
+        };
+        let mut all_yes = true;
+        let mut voters_yes: Vec<SiteId> = Vec::new();
+        for site in &participants {
+            let Some(chan) = chans.get(site) else {
+                all_yes = false;
+                continue;
+            };
+            let resp = {
+                let mut c = chan.lock();
+                rpc(&mut **c, &prepare)
+            };
+            match resp {
+                Ok(Response::Vote { yes: true }) => voters_yes.push(*site),
+                Ok(Response::Vote { yes: false }) => all_yes = false,
+                Ok(other) => {
+                    return Err(DbError::protocol(format!("bad vote {other:?}")));
+                }
+                Err(_) => {
+                    // No response = NO vote (§4.3.2).
+                    self.mark_dead(*site);
+                    all_yes = false;
+                }
+            }
+        }
+        self.maybe_fail(FailPoint::AfterPrepare)?;
+        if !all_yes {
+            self.abort_prepared(tid, &voters_yes, &chans)?;
+            self.finish(tid, false)?;
+            return Err(DbError::TransactionAborted(tid));
+        }
+        // All YES: assign the commit time.
+        let commit_time = self.authority.next_commit_time();
+        if self.cfg.protocol.is_three_phase() {
+            // Phase 2: PREPARE-TO-COMMIT; all ACKs = commit point.
+            let ptc = Request::PrepareToCommit { tid, commit_time };
+            let mut sent = 0usize;
+            for site in &participants {
+                let Some(chan) = chans.get(site) else { continue };
+                let resp = {
+                    let mut c = chan.lock();
+                    rpc(&mut **c, &ptc)
+                };
+                sent += 1;
+                let armed = *self.fail_point.lock();
+                if let FailPoint::AfterPtcSentTo(n) = armed {
+                    if sent >= n {
+                        self.maybe_fail(FailPoint::AfterPtcSentTo(n))?;
+                    }
+                }
+                match resp {
+                    Ok(Response::Ack) => {}
+                    Ok(other) => {
+                        return Err(DbError::protocol(format!("bad PTC ack {other:?}")))
+                    }
+                    Err(_) => {
+                        // Worker died after voting YES: commit with the
+                        // remaining workers (K-1 safety, §4.3.5).
+                        self.mark_dead(*site);
+                    }
+                }
+            }
+        } else {
+            // 2PC commit point: force-write the COMMIT record.
+            if let Some(wal) = &self.wal {
+                wal.append_forced(&LogRecord::new(
+                    tid,
+                    Lsn::NONE,
+                    LogPayload::Commit { commit_time },
+                ))?;
+            }
+        }
+        // Final phase: COMMIT.
+        let commit = Request::Commit { tid, commit_time };
+        let mut sent = 0usize;
+        for site in &participants {
+            let Some(chan) = chans.get(site) else { continue };
+            let resp = {
+                let mut c = chan.lock();
+                rpc(&mut **c, &commit)
+            };
+            sent += 1;
+            let armed = *self.fail_point.lock();
+            if let FailPoint::AfterCommitSentTo(n) = armed {
+                if sent >= n {
+                    self.maybe_fail(FailPoint::AfterCommitSentTo(n))?;
+                }
+            }
+            match resp {
+                Ok(Response::Ack) => {}
+                Ok(other) => return Err(DbError::protocol(format!("bad COMMIT ack {other:?}"))),
+                Err(_) => {
+                    self.mark_dead(*site); // it will recover the commit
+                }
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::new(
+                tid,
+                Lsn::NONE,
+                LogPayload::End {
+                    outcome: TxnOutcome::Committed,
+                },
+            ));
+        }
+        self.metrics.add_commits(1);
+        self.finish(tid, true)?;
+        Ok(commit_time)
+    }
+
+    /// Aborts the transaction everywhere.
+    pub fn abort(&self, tid: TransactionId) -> DbResult<()> {
+        let ctx = match self.ctx(tid) {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // already finished
+        };
+        let (participants, chans) = {
+            let g = ctx.inner.lock();
+            (
+                g.participants.iter().copied().collect::<Vec<_>>(),
+                g.chans.clone(),
+            )
+        };
+        self.abort_prepared(tid, &participants, &chans)?;
+        self.metrics.add_aborts(1);
+        self.finish(tid, false)
+    }
+
+    fn abort_prepared(
+        &self,
+        tid: TransactionId,
+        sites: &[SiteId],
+        chans: &HashMap<SiteId, SharedChan>,
+    ) -> DbResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.append_forced(&LogRecord::new(tid, Lsn::NONE, LogPayload::Abort))?;
+        }
+        let abort = Request::Abort { tid };
+        for site in sites {
+            let Some(chan) = chans.get(site) else { continue };
+            let resp = {
+                let mut c = chan.lock();
+                rpc(&mut **c, &abort)
+            };
+            if resp.is_err() {
+                self.mark_dead(*site);
+            }
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::new(
+                tid,
+                Lsn::NONE,
+                LogPayload::End {
+                    outcome: TxnOutcome::Aborted,
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    /// Cleans up a finished transaction ("the coordinator can safely delete
+    /// this queue when the transaction commits or aborts", §4.1).
+    fn finish(&self, tid: TransactionId, _committed: bool) -> DbResult<()> {
+        if let Some(ctx) = self.txns.lock().remove(&tid) {
+            let mut g = ctx.inner.lock();
+            g.finished = true;
+            g.queue.clear();
+            g.chans.clear();
+        }
+        Ok(())
+    }
+
+    fn maybe_fail(&self, at: FailPoint) -> DbResult<()> {
+        let armed = *self.fail_point.lock();
+        if armed == at && armed != FailPoint::None {
+            self.crash();
+            return Err(DbError::SiteDown("coordinator crashed (fail point)".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of in-flight transactions (tests).
+    pub fn inflight(&self) -> usize {
+        self.txns.lock().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator server: timestamp authority + join-pending (Fig 5-4)
+    // ------------------------------------------------------------------
+
+    fn server_loop(self: &Arc<Self>, listener: Box<dyn harbor_net::Listener>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match listener.accept_timeout(Duration::from_millis(50)) {
+                Ok(Some(chan)) => {
+                    let c = self.clone();
+                    let h = std::thread::Builder::new()
+                        .name("coordinator-conn".into())
+                        .spawn(move || c.serve_connection(chan))
+                        .expect("spawn coordinator conn");
+                    self.handles.lock().push(h);
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn serve_connection(self: &Arc<Self>, mut chan: Box<dyn Channel>) {
+        loop {
+            let frame = match chan.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            };
+            let req = match Request::from_slice(&frame) {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let resp = match req {
+                Request::Ping => Response::Ok,
+                Request::GetTime => Response::Time {
+                    now: self.authority.now(),
+                },
+                Request::RecComingOnline { site, table } => {
+                    match self.handle_join(site, &table) {
+                        Ok(()) => Response::AllDone,
+                        Err(e) => Response::Err { msg: e.to_string() },
+                    }
+                }
+                _ => Response::Err {
+                    msg: "not a coordinator request".into(),
+                },
+            };
+            if chan.send(&resp.to_vec()).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Fig 5-4: `table` on `site` is coming online. Mark the site usable
+    /// for new transactions, and for every pending transaction that
+    /// already touched the table, forward its queued update requests so
+    /// the recoverer joins it; the `AllDone` reply is sent by the caller
+    /// once this returns.
+    fn handle_join(self: &Arc<Self>, site: SiteId, table: &str) -> DbResult<()> {
+        // Gate routing per object: only `table` starts receiving updates
+        // now; the site becomes fully alive once every object placed on it
+        // has announced (§5.4.2 is per-`rec`).
+        {
+            let mut partial = self.partially_online.lock();
+            let tables = partial.entry(site).or_default();
+            tables.insert(table.to_string());
+            let all_on_site: std::collections::BTreeSet<String> = self
+                .placement
+                .objects_on(site)
+                .into_iter()
+                .map(|(name, _)| name)
+                .collect();
+            if all_on_site.is_subset(tables) {
+                drop(partial);
+                self.mark_alive(site);
+            }
+        }
+        let pending: Vec<(TransactionId, Arc<TxnCtx>)> = self
+            .txns
+            .lock()
+            .iter()
+            .map(|(t, c)| (*t, c.clone()))
+            .collect();
+        for (tid, ctx) in pending {
+            let mut g = ctx.inner.lock();
+            if g.finished || g.committing {
+                continue;
+            }
+            let relevant = g
+                .queue
+                .iter()
+                .any(|u| u.table().map(|t| t == table).unwrap_or(false));
+            if !relevant {
+                continue; // future updates reach the site automatically
+            }
+            if g.participants.contains(&site) {
+                continue; // already joined via another object
+            }
+            // Forward: fresh connection, BEGIN, then the queued backlog.
+            let addr = self.placement.address(site)?.to_string();
+            let mut chan = self.transport.connect(&addr)?;
+            rpc_expect_ok(chan.as_mut(), &Request::Begin { tid })?;
+            for u in &g.queue {
+                let forward = match u.table() {
+                    Some(t) if t == table => true,
+                    Some(_) => false,
+                    None => true, // CPU work applies everywhere
+                };
+                if forward {
+                    rpc_expect_ok(
+                        chan.as_mut(),
+                        &Request::Update {
+                            tid,
+                            req: u.clone(),
+                        },
+                    )?;
+                }
+            }
+            g.participants.insert(site);
+            g.chans.insert(site, Arc::new(Mutex::new(chan)));
+        }
+        Ok(())
+    }
+}
+
+fn rpc_expect_ok(chan: &mut dyn Channel, req: &Request) -> DbResult<()> {
+    match rpc(chan, req)? {
+        Response::Ok => Ok(()),
+        Response::Err { msg } => Err(DbError::protocol(msg)),
+        other => Err(DbError::protocol(format!("unexpected reply {other:?}"))),
+    }
+}

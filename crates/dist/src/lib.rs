@@ -1,0 +1,78 @@
+//! The distributed layer of the HARBOR reproduction: coordinators, workers,
+//! the K-safety placement catalog, and the four commit protocols of thesis
+//! Chapter 4 (traditional/optimized two-phase and canonical/optimized
+//! three-phase commit), plus the consensus-building protocol that makes the
+//! 3PC variants non-blocking under coordinator failure.
+
+pub mod consensus;
+pub mod coordinator;
+pub mod message;
+pub mod placement;
+pub mod protocol;
+pub mod worker;
+
+pub use consensus::{backup_action, BackupAction, BackupState};
+pub use coordinator::{Coordinator, CoordinatorConfig, FailPoint};
+pub use message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
+pub use placement::{Copy, Part, Placement, RecoveryObject, TablePlacement};
+pub use protocol::ProtocolKind;
+pub use worker::{simulate_cpu_work, Worker, WorkerConfig};
+
+use harbor_common::codec::Wire;
+use harbor_common::{DbError, DbResult, Tuple};
+use harbor_net::Channel;
+
+/// One request/response round trip over a channel.
+pub fn rpc(chan: &mut dyn Channel, req: &Request) -> DbResult<Response> {
+    chan.send(&req.to_vec())?;
+    let frame = chan.recv()?;
+    Response::from_slice(&frame)
+}
+
+/// Issues a [`Request::Scan`] and drains the streamed tuple batches,
+/// returning all rows. The worker terminates the stream with a final
+/// `done = true` batch followed by `Response::Ok`.
+pub fn scan_rpc(chan: &mut dyn Channel, scan: &RemoteScan) -> DbResult<Vec<Tuple>> {
+    let mut out = Vec::new();
+    scan_rpc_streaming(chan, scan, |mut batch| {
+        out.append(&mut batch);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Visits streamed scan batches without materializing the whole result —
+/// the recovering site processes tuples as they arrive.
+pub fn scan_rpc_streaming(
+    chan: &mut dyn Channel,
+    scan: &RemoteScan,
+    mut visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
+) -> DbResult<()> {
+    chan.send(&Request::Scan(scan.clone()).to_vec())?;
+    loop {
+        let frame = chan.recv()?;
+        match Response::from_slice(&frame)? {
+            Response::Tuples { batch, done } => {
+                visit(batch)?;
+                if done {
+                    break;
+                }
+            }
+            Response::Err { msg } => return Err(DbError::protocol(msg)),
+            other => {
+                return Err(DbError::protocol(format!(
+                    "unexpected scan reply {other:?}"
+                )))
+            }
+        }
+    }
+    // Final status frame.
+    let frame = chan.recv()?;
+    match Response::from_slice(&frame)? {
+        Response::Ok => Ok(()),
+        Response::Err { msg } => Err(DbError::protocol(msg)),
+        other => Err(DbError::protocol(format!(
+            "unexpected scan status {other:?}"
+        ))),
+    }
+}

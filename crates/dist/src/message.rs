@@ -1,0 +1,683 @@
+//! Wire messages between coordinators, workers, and recovering sites.
+
+use harbor_common::codec::{Decoder, Encoder, Wire};
+use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId, Tuple, Value};
+use harbor_exec::Expr;
+
+/// A logical update request — what the coordinator queues per transaction
+/// (§4.1: "represented simply by the update's SQL statement or a parsed
+/// version of that statement") and forwards to joining recoverers.
+#[derive(Clone, PartialEq, Debug)]
+pub enum UpdateRequest {
+    /// Insert one row (user values; the key is the first value).
+    Insert { table: String, values: Vec<Value> },
+    /// Insert many rows in one request (bulk-ish loads).
+    InsertMany {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Delete currently-visible rows matching a predicate over the stored
+    /// tuple (version columns at indices 0/1, user fields after).
+    DeleteWhere { table: String, pred: Expr },
+    /// Update the live version of the row with the given key, overwriting
+    /// the listed user fields ("indexed update queries").
+    UpdateByKey {
+        table: String,
+        key: i64,
+        set: Vec<(u16, Value)>,
+    },
+    /// Update all currently-visible rows matching a predicate.
+    UpdateWhere {
+        table: String,
+        pred: Expr,
+        set: Vec<(u16, Value)>,
+    },
+    /// Spin the worker CPU for `cycles` iterations (the simulated ETL work
+    /// of §6.3.2).
+    SimulateWork { cycles: u64 },
+}
+
+impl UpdateRequest {
+    /// The table this request touches, if any.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            UpdateRequest::Insert { table, .. }
+            | UpdateRequest::InsertMany { table, .. }
+            | UpdateRequest::DeleteWhere { table, .. }
+            | UpdateRequest::UpdateByKey { table, .. }
+            | UpdateRequest::UpdateWhere { table, .. } => Some(table),
+            UpdateRequest::SimulateWork { .. } => None,
+        }
+    }
+}
+
+fn put_values(enc: &mut Encoder, values: &[Value]) {
+    enc.put_u32(values.len() as u32);
+    for v in values {
+        v.encode(enc);
+    }
+}
+
+fn get_values(dec: &mut Decoder<'_>) -> DbResult<Vec<Value>> {
+    let n = dec.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Value::decode(dec)?);
+    }
+    Ok(out)
+}
+
+fn put_set(enc: &mut Encoder, set: &[(u16, Value)]) {
+    enc.put_u32(set.len() as u32);
+    for (i, v) in set {
+        enc.put_u16(*i);
+        v.encode(enc);
+    }
+}
+
+fn get_set(dec: &mut Decoder<'_>) -> DbResult<Vec<(u16, Value)>> {
+    let n = dec.get_u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let i = dec.get_u16()?;
+        out.push((i, Value::decode(dec)?));
+    }
+    Ok(out)
+}
+
+impl Wire for UpdateRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            UpdateRequest::Insert { table, values } => {
+                enc.put_u8(0);
+                enc.put_str(table);
+                put_values(enc, values);
+            }
+            UpdateRequest::InsertMany { table, rows } => {
+                enc.put_u8(1);
+                enc.put_str(table);
+                enc.put_u32(rows.len() as u32);
+                for r in rows {
+                    put_values(enc, r);
+                }
+            }
+            UpdateRequest::DeleteWhere { table, pred } => {
+                enc.put_u8(2);
+                enc.put_str(table);
+                pred.encode(enc);
+            }
+            UpdateRequest::UpdateByKey { table, key, set } => {
+                enc.put_u8(3);
+                enc.put_str(table);
+                enc.put_i64(*key);
+                put_set(enc, set);
+            }
+            UpdateRequest::UpdateWhere { table, pred, set } => {
+                enc.put_u8(4);
+                enc.put_str(table);
+                pred.encode(enc);
+                put_set(enc, set);
+            }
+            UpdateRequest::SimulateWork { cycles } => {
+                enc.put_u8(5);
+                enc.put_u64(*cycles);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => UpdateRequest::Insert {
+                table: dec.get_str()?,
+                values: get_values(dec)?,
+            },
+            1 => {
+                let table = dec.get_str()?;
+                let n = dec.get_u32()? as usize;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(get_values(dec)?);
+                }
+                UpdateRequest::InsertMany { table, rows }
+            }
+            2 => UpdateRequest::DeleteWhere {
+                table: dec.get_str()?,
+                pred: Expr::decode(dec)?,
+            },
+            3 => UpdateRequest::UpdateByKey {
+                table: dec.get_str()?,
+                key: dec.get_i64()?,
+                set: get_set(dec)?,
+            },
+            4 => UpdateRequest::UpdateWhere {
+                table: dec.get_str()?,
+                pred: Expr::decode(dec)?,
+                set: get_set(dec)?,
+            },
+            5 => UpdateRequest::SimulateWork {
+                cycles: dec.get_u64()?,
+            },
+            t => return Err(DbError::corrupt(format!("bad update request tag {t}"))),
+        })
+    }
+}
+
+/// Read modes expressible over the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireReadMode {
+    /// Historical snapshot at a time (lock-free).
+    Historical(Timestamp),
+    /// `SEE DELETED HISTORICAL WITH TIME hwm` (recovery Phase 2).
+    SeeDeletedHistorical(Timestamp),
+    /// `SEE DELETED` under an already-granted table lock (Phase 3).
+    SeeDeletedLocked(TransactionId),
+    /// Latest committed data with transactional read locks.
+    Current(TransactionId),
+}
+
+impl Wire for WireReadMode {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            WireReadMode::Historical(t) => {
+                enc.put_u8(0);
+                enc.put_u64(t.0);
+            }
+            WireReadMode::SeeDeletedHistorical(t) => {
+                enc.put_u8(1);
+                enc.put_u64(t.0);
+            }
+            WireReadMode::SeeDeletedLocked(tid) => {
+                enc.put_u8(2);
+                enc.put_u64(tid.0);
+            }
+            WireReadMode::Current(tid) => {
+                enc.put_u8(3);
+                enc.put_u64(tid.0);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => WireReadMode::Historical(Timestamp(dec.get_u64()?)),
+            1 => WireReadMode::SeeDeletedHistorical(Timestamp(dec.get_u64()?)),
+            2 => WireReadMode::SeeDeletedLocked(TransactionId(dec.get_u64()?)),
+            3 => WireReadMode::Current(TransactionId(dec.get_u64()?)),
+            t => return Err(DbError::corrupt(format!("bad read mode tag {t}"))),
+        })
+    }
+}
+
+/// A remote scan: the read queries of normal processing and all the remote
+/// halves of the recovery queries of Chapter 5.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RemoteScan {
+    pub table: String,
+    pub mode: WireReadMode,
+    /// Residual predicate over the stored tuple (None = all).
+    pub predicate: Option<Expr>,
+    /// Segment-pruning + residual bound: committed `insertion_time <= t`.
+    pub ins_at_or_before: Option<Timestamp>,
+    /// Bound: `insertion_time > t` (uncommitted excluded by the modes).
+    pub ins_after: Option<Timestamp>,
+    /// Bound: `deletion_time > t`.
+    pub del_after: Option<Timestamp>,
+    /// Project to `(tuple_id, deletion_time)` pairs instead of full tuples
+    /// (the Phase 2/3 deletion queries).
+    pub ids_and_deletions_only: bool,
+}
+
+impl RemoteScan {
+    pub fn new(table: &str, mode: WireReadMode) -> Self {
+        RemoteScan {
+            table: table.to_string(),
+            mode,
+            predicate: None,
+            ins_at_or_before: None,
+            ins_after: None,
+            del_after: None,
+            ids_and_deletions_only: false,
+        }
+    }
+}
+
+impl Wire for RemoteScan {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.table);
+        self.mode.encode(enc);
+        match &self.predicate {
+            Some(p) => {
+                enc.put_bool(true);
+                p.encode(enc);
+            }
+            None => enc.put_bool(false),
+        }
+        for bound in [self.ins_at_or_before, self.ins_after, self.del_after] {
+            match bound {
+                Some(t) => {
+                    enc.put_bool(true);
+                    enc.put_u64(t.0);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        enc.put_bool(self.ids_and_deletions_only);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        let table = dec.get_str()?;
+        let mode = WireReadMode::decode(dec)?;
+        let predicate = if dec.get_bool()? {
+            Some(Expr::decode(dec)?)
+        } else {
+            None
+        };
+        let mut bounds = [None; 3];
+        for b in &mut bounds {
+            if dec.get_bool()? {
+                *b = Some(Timestamp(dec.get_u64()?));
+            }
+        }
+        let ids_and_deletions_only = dec.get_bool()?;
+        Ok(RemoteScan {
+            table,
+            mode,
+            predicate,
+            ins_at_or_before: bounds[0],
+            ins_after: bounds[1],
+            del_after: bounds[2],
+            ids_and_deletions_only,
+        })
+    }
+}
+
+/// Requests sent to a worker's server.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Start a transaction at this worker.
+    Begin { tid: TransactionId },
+    /// Execute one logical update request under `tid`.
+    Update {
+        tid: TransactionId,
+        req: UpdateRequest,
+    },
+    /// First commit phase: vote request. Carries the participant set (3PC
+    /// consensus needs it) and the coordinator clock lower bound.
+    Prepare {
+        tid: TransactionId,
+        workers: Vec<SiteId>,
+        time_bound: Timestamp,
+    },
+    /// 3PC second phase.
+    PrepareToCommit {
+        tid: TransactionId,
+        commit_time: Timestamp,
+    },
+    /// Final commit with the assigned time.
+    Commit {
+        tid: TransactionId,
+        commit_time: Timestamp,
+    },
+    Abort { tid: TransactionId },
+    /// Streamed scan; worker answers with `Response::Tuples` batches.
+    Scan(RemoteScan),
+    /// Recovery Phase 3: acquire a table-granularity read lock on behalf of
+    /// the recovering site's lock owner `tid`.
+    AcquireTableLock {
+        tid: TransactionId,
+        table: String,
+    },
+    ReleaseTableLock {
+        tid: TransactionId,
+        table: String,
+    },
+    /// Peer-state query used by the consensus-building protocol (§4.3.3).
+    QueryTxnState { tid: TransactionId },
+    /// Liveness probe.
+    Ping,
+    /// Ask the timestamp authority's current time (recovering sites compute
+    /// their HWM from this; served by coordinators).
+    GetTime,
+    /// A recovering site announces "`table` on `site` is coming online"
+    /// (Fig 5-4; served by coordinators).
+    RecComingOnline { site: SiteId, table: String },
+}
+
+/// Worker-visible transaction state, for consensus (§4.3.3 / Table 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireTxnState {
+    Unknown,
+    Pending,
+    PreparedVotedYes,
+    PreparedVotedNo,
+    PreparedToCommit(Timestamp),
+    Committed(Timestamp),
+    Aborted,
+}
+
+/// Responses from a worker/coordinator server.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    Ok,
+    Ack,
+    Vote { yes: bool },
+    Time { now: Timestamp },
+    TxnState { state: WireTxnState },
+    /// One batch of a streamed scan; `done` marks the last batch.
+    Tuples { batch: Vec<Tuple>, done: bool },
+    /// Fig 5-4's "all done" from the coordinator to the recovering site.
+    AllDone,
+    Err { msg: String },
+}
+
+impl Wire for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Request::Begin { tid } => {
+                enc.put_u8(0);
+                enc.put_u64(tid.0);
+            }
+            Request::Update { tid, req } => {
+                enc.put_u8(1);
+                enc.put_u64(tid.0);
+                req.encode(enc);
+            }
+            Request::Prepare {
+                tid,
+                workers,
+                time_bound,
+            } => {
+                enc.put_u8(2);
+                enc.put_u64(tid.0);
+                enc.put_u32(workers.len() as u32);
+                for w in workers {
+                    enc.put_u16(w.0);
+                }
+                enc.put_u64(time_bound.0);
+            }
+            Request::PrepareToCommit { tid, commit_time } => {
+                enc.put_u8(3);
+                enc.put_u64(tid.0);
+                enc.put_u64(commit_time.0);
+            }
+            Request::Commit { tid, commit_time } => {
+                enc.put_u8(4);
+                enc.put_u64(tid.0);
+                enc.put_u64(commit_time.0);
+            }
+            Request::Abort { tid } => {
+                enc.put_u8(5);
+                enc.put_u64(tid.0);
+            }
+            Request::Scan(s) => {
+                enc.put_u8(6);
+                s.encode(enc);
+            }
+            Request::AcquireTableLock { tid, table } => {
+                enc.put_u8(7);
+                enc.put_u64(tid.0);
+                enc.put_str(table);
+            }
+            Request::ReleaseTableLock { tid, table } => {
+                enc.put_u8(8);
+                enc.put_u64(tid.0);
+                enc.put_str(table);
+            }
+            Request::QueryTxnState { tid } => {
+                enc.put_u8(9);
+                enc.put_u64(tid.0);
+            }
+            Request::Ping => enc.put_u8(10),
+            Request::GetTime => enc.put_u8(11),
+            Request::RecComingOnline { site, table } => {
+                enc.put_u8(12);
+                enc.put_u16(site.0);
+                enc.put_str(table);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => Request::Begin {
+                tid: TransactionId(dec.get_u64()?),
+            },
+            1 => Request::Update {
+                tid: TransactionId(dec.get_u64()?),
+                req: UpdateRequest::decode(dec)?,
+            },
+            2 => {
+                let tid = TransactionId(dec.get_u64()?);
+                let n = dec.get_u32()? as usize;
+                let mut workers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    workers.push(SiteId(dec.get_u16()?));
+                }
+                Request::Prepare {
+                    tid,
+                    workers,
+                    time_bound: Timestamp(dec.get_u64()?),
+                }
+            }
+            3 => Request::PrepareToCommit {
+                tid: TransactionId(dec.get_u64()?),
+                commit_time: Timestamp(dec.get_u64()?),
+            },
+            4 => Request::Commit {
+                tid: TransactionId(dec.get_u64()?),
+                commit_time: Timestamp(dec.get_u64()?),
+            },
+            5 => Request::Abort {
+                tid: TransactionId(dec.get_u64()?),
+            },
+            6 => Request::Scan(RemoteScan::decode(dec)?),
+            7 => Request::AcquireTableLock {
+                tid: TransactionId(dec.get_u64()?),
+                table: dec.get_str()?,
+            },
+            8 => Request::ReleaseTableLock {
+                tid: TransactionId(dec.get_u64()?),
+                table: dec.get_str()?,
+            },
+            9 => Request::QueryTxnState {
+                tid: TransactionId(dec.get_u64()?),
+            },
+            10 => Request::Ping,
+            11 => Request::GetTime,
+            12 => Request::RecComingOnline {
+                site: SiteId(dec.get_u16()?),
+                table: dec.get_str()?,
+            },
+            t => return Err(DbError::corrupt(format!("bad request tag {t}"))),
+        })
+    }
+}
+
+impl Wire for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Response::Ok => enc.put_u8(0),
+            Response::Ack => enc.put_u8(1),
+            Response::Vote { yes } => {
+                enc.put_u8(2);
+                enc.put_bool(*yes);
+            }
+            Response::Time { now } => {
+                enc.put_u8(3);
+                enc.put_u64(now.0);
+            }
+            Response::TxnState { state } => {
+                enc.put_u8(4);
+                match state {
+                    WireTxnState::Unknown => enc.put_u8(0),
+                    WireTxnState::Pending => enc.put_u8(1),
+                    WireTxnState::PreparedVotedYes => enc.put_u8(2),
+                    WireTxnState::PreparedVotedNo => enc.put_u8(3),
+                    WireTxnState::PreparedToCommit(t) => {
+                        enc.put_u8(4);
+                        enc.put_u64(t.0);
+                    }
+                    WireTxnState::Committed(t) => {
+                        enc.put_u8(5);
+                        enc.put_u64(t.0);
+                    }
+                    WireTxnState::Aborted => enc.put_u8(6),
+                }
+            }
+            Response::Tuples { batch, done } => {
+                enc.put_u8(5);
+                enc.put_bool(*done);
+                enc.put_u32(batch.len() as u32);
+                for t in batch {
+                    t.write_wire(enc);
+                }
+            }
+            Response::AllDone => enc.put_u8(6),
+            Response::Err { msg } => {
+                enc.put_u8(7);
+                enc.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => Response::Ok,
+            1 => Response::Ack,
+            2 => Response::Vote {
+                yes: dec.get_bool()?,
+            },
+            3 => Response::Time {
+                now: Timestamp(dec.get_u64()?),
+            },
+            4 => Response::TxnState {
+                state: match dec.get_u8()? {
+                    0 => WireTxnState::Unknown,
+                    1 => WireTxnState::Pending,
+                    2 => WireTxnState::PreparedVotedYes,
+                    3 => WireTxnState::PreparedVotedNo,
+                    4 => WireTxnState::PreparedToCommit(Timestamp(dec.get_u64()?)),
+                    5 => WireTxnState::Committed(Timestamp(dec.get_u64()?)),
+                    6 => WireTxnState::Aborted,
+                    t => return Err(DbError::corrupt(format!("bad txn state tag {t}"))),
+                },
+            },
+            5 => {
+                let done = dec.get_bool()?;
+                let n = dec.get_u32()? as usize;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(Tuple::read_wire(dec)?);
+                }
+                Response::Tuples { batch, done }
+            }
+            6 => Response::AllDone,
+            7 => Response::Err {
+                msg: dec.get_str()?,
+            },
+            t => return Err(DbError::corrupt(format!("bad response tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(r: Request) {
+        let bytes = r.to_vec();
+        assert_eq!(Request::from_slice(&bytes).unwrap(), r);
+    }
+
+    fn round_trip_resp(r: Response) {
+        let bytes = r.to_vec();
+        assert_eq!(Response::from_slice(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let tid = TransactionId::from_parts(SiteId(1), 7);
+        round_trip_req(Request::Begin { tid });
+        round_trip_req(Request::Update {
+            tid,
+            req: UpdateRequest::Insert {
+                table: "sales".into(),
+                values: vec![Value::Int64(1), Value::Int32(2), Value::Str("x".into())],
+            },
+        });
+        round_trip_req(Request::Update {
+            tid,
+            req: UpdateRequest::UpdateByKey {
+                table: "sales".into(),
+                key: 42,
+                set: vec![(1, Value::Int32(9))],
+            },
+        });
+        round_trip_req(Request::Update {
+            tid,
+            req: UpdateRequest::DeleteWhere {
+                table: "sales".into(),
+                pred: Expr::col(2).eq(Expr::lit(5i64)),
+            },
+        });
+        round_trip_req(Request::Prepare {
+            tid,
+            workers: vec![SiteId(1), SiteId(2), SiteId(3)],
+            time_bound: Timestamp(99),
+        });
+        round_trip_req(Request::PrepareToCommit {
+            tid,
+            commit_time: Timestamp(100),
+        });
+        round_trip_req(Request::Commit {
+            tid,
+            commit_time: Timestamp(100),
+        });
+        round_trip_req(Request::Abort { tid });
+        round_trip_req(Request::AcquireTableLock {
+            tid,
+            table: "sales".into(),
+        });
+        round_trip_req(Request::QueryTxnState { tid });
+        round_trip_req(Request::Ping);
+        round_trip_req(Request::GetTime);
+        round_trip_req(Request::RecComingOnline {
+            site: SiteId(3),
+            table: "sales".into(),
+        });
+    }
+
+    #[test]
+    fn scans_round_trip() {
+        let mut scan = RemoteScan::new("t", WireReadMode::SeeDeletedHistorical(Timestamp(10)));
+        scan.predicate = Some(Expr::col(2).lt(Expr::lit(5000i64)));
+        scan.ins_after = Some(Timestamp(4));
+        scan.ins_at_or_before = Some(Timestamp(10));
+        scan.del_after = Some(Timestamp(4));
+        scan.ids_and_deletions_only = true;
+        round_trip_req(Request::Scan(scan));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Ok);
+        round_trip_resp(Response::Vote { yes: false });
+        round_trip_resp(Response::Time {
+            now: Timestamp(123),
+        });
+        round_trip_resp(Response::TxnState {
+            state: WireTxnState::PreparedToCommit(Timestamp(9)),
+        });
+        round_trip_resp(Response::TxnState {
+            state: WireTxnState::Committed(Timestamp(11)),
+        });
+        round_trip_resp(Response::Tuples {
+            batch: vec![Tuple::new(vec![Value::Int64(1), Value::Time(Timestamp(2))])],
+            done: true,
+        });
+        round_trip_resp(Response::AllDone);
+        round_trip_resp(Response::Err {
+            msg: "boom".into(),
+        });
+    }
+}

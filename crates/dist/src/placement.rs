@@ -1,0 +1,346 @@
+//! Data placement and K-safety (thesis §3.2, §5.1).
+//!
+//! Each logical table has K+1 *copies*; a copy is either one full replica on
+//! a site or a set of horizontal partitions spread over sites whose
+//! predicates are mutually exclusive and collectively exhaustive. Copies
+//! need not be stored identically — this catalog only records *which sites
+//! logically hold which rows*, which is exactly the information the thesis
+//! assumes the catalog stores for computing recovery objects and recovery
+//! predicates (§5.1).
+
+use harbor_common::{DbError, DbResult, SiteId};
+use harbor_exec::Expr;
+use std::collections::{HashMap, HashSet};
+
+/// One piece of one copy: a site plus the partition predicate it holds
+/// (`None` = the whole table). Predicates are over the stored tuple
+/// (version columns at indices 0/1).
+#[derive(Clone, Debug)]
+pub struct Part {
+    pub site: SiteId,
+    pub predicate: Option<Expr>,
+}
+
+impl Part {
+    pub fn full(site: SiteId) -> Self {
+        Part {
+            site,
+            predicate: None,
+        }
+    }
+
+    pub fn partition(site: SiteId, predicate: Expr) -> Self {
+        Part {
+            site,
+            predicate: Some(predicate),
+        }
+    }
+}
+
+/// One logical copy of a table.
+#[derive(Clone, Debug)]
+pub struct Copy {
+    pub parts: Vec<Part>,
+}
+
+/// Placement of one logical table.
+#[derive(Clone, Debug)]
+pub struct TablePlacement {
+    pub name: String,
+    pub copies: Vec<Copy>,
+}
+
+/// A recovery object (§5.1): a buddy site, the object to query there, and
+/// the recovery predicate restricting it to the failed object's rows.
+#[derive(Clone, Debug)]
+pub struct RecoveryObject {
+    pub buddy: SiteId,
+    pub table: String,
+    /// Conjunction of the failed part's predicate and the buddy part's
+    /// predicate (`None` = everything).
+    pub predicate: Option<Expr>,
+}
+
+/// Cluster-wide placement catalog plus the address book.
+#[derive(Clone, Debug, Default)]
+pub struct Placement {
+    tables: HashMap<String, TablePlacement>,
+    addresses: HashMap<SiteId, String>,
+    coordinator_addr: Option<String>,
+}
+
+impl Placement {
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    pub fn add_table(&mut self, name: &str, copies: Vec<Copy>) {
+        self.tables.insert(
+            name.to_string(),
+            TablePlacement {
+                name: name.to_string(),
+                copies,
+            },
+        );
+    }
+
+    /// Convenience: a table fully replicated on each given site (the
+    /// thesis evaluation's configuration).
+    pub fn add_replicated_table(&mut self, name: &str, sites: &[SiteId]) {
+        let copies = sites
+            .iter()
+            .map(|s| Copy {
+                parts: vec![Part::full(*s)],
+            })
+            .collect();
+        self.add_table(name, copies);
+    }
+
+    pub fn set_address(&mut self, site: SiteId, addr: &str) {
+        self.addresses.insert(site, addr.to_string());
+    }
+
+    pub fn address(&self, site: SiteId) -> DbResult<&str> {
+        self.addresses
+            .get(&site)
+            .map(|s| s.as_str())
+            .ok_or_else(|| DbError::internal(format!("no address for {site}")))
+    }
+
+    pub fn set_coordinator_addr(&mut self, addr: &str) {
+        self.coordinator_addr = Some(addr.to_string());
+    }
+
+    pub fn coordinator_addr(&self) -> DbResult<&str> {
+        self.coordinator_addr
+            .as_deref()
+            .ok_or_else(|| DbError::internal("no coordinator address"))
+    }
+
+    pub fn table(&self, name: &str) -> DbResult<&TablePlacement> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::Schema(format!("unplaced table {name:?}")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Sites that must receive an inserted row: those with a part whose
+    /// predicate admits the stored form of the tuple. Full copies admit
+    /// everything; horizontal partitions admit their slice (§3.2).
+    pub fn sites_for_insert(
+        &self,
+        table: &str,
+        user_values: &[harbor_common::Value],
+    ) -> DbResult<Vec<SiteId>> {
+        use harbor_common::{Timestamp, Tuple};
+        let tp = self.table(table)?;
+        // Predicates are over the stored tuple; timestamps are not known
+        // yet, so evaluate with placeholders (partition predicates only
+        // reference user columns).
+        let stored = Tuple::versioned(Timestamp::ZERO, Timestamp::ZERO, user_values.to_vec());
+        let mut out = Vec::new();
+        for copy in &tp.copies {
+            for part in &copy.parts {
+                let admit = match &part.predicate {
+                    None => true,
+                    Some(p) => p.eval_bool(&stored)?,
+                };
+                if admit && !out.contains(&part.site) {
+                    out.push(part.site);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// All sites holding any part of `table`.
+    pub fn sites_for(&self, table: &str) -> DbResult<Vec<SiteId>> {
+        let tp = self.table(table)?;
+        let mut out: Vec<SiteId> = tp
+            .copies
+            .iter()
+            .flat_map(|c| c.parts.iter().map(|p| p.site))
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// All tables with a part on `site`, with the part predicates.
+    pub fn objects_on(&self, site: SiteId) -> Vec<(String, Option<Expr>)> {
+        let mut out = Vec::new();
+        for tp in self.tables.values() {
+            for c in &tp.copies {
+                for p in &c.parts {
+                    if p.site == site {
+                        out.push((tp.name.clone(), p.predicate.clone()));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The replication factor minus one: how many site failures each copy
+    /// set can absorb (K of K-safety), assuming copies on distinct sites.
+    pub fn k_for(&self, table: &str) -> DbResult<usize> {
+        Ok(self.table(table)?.copies.len().saturating_sub(1))
+    }
+
+    /// Computes the recovery objects and predicates for the part of
+    /// `table` stored on the failed site (§5.1): picks a copy whose parts
+    /// all live on online sites, and intersects each part's predicate with
+    /// the failed part's predicate. The resulting objects are mutually
+    /// exclusive and collectively cover the failed object.
+    pub fn recovery_plan(
+        &self,
+        failed: SiteId,
+        table: &str,
+        down: &HashSet<SiteId>,
+    ) -> DbResult<Vec<RecoveryObject>> {
+        let tp = self.table(table)?;
+        // The failed part's predicate (first part on `failed` found).
+        let failed_pred = tp
+            .copies
+            .iter()
+            .flat_map(|c| c.parts.iter())
+            .find(|p| p.site == failed)
+            .map(|p| p.predicate.clone())
+            .ok_or_else(|| {
+                DbError::internal(format!("{failed} holds no part of {table}"))
+            })?;
+        // First copy that avoids the failed site and every down site.
+        for copy in &tp.copies {
+            let usable = copy
+                .parts
+                .iter()
+                .all(|p| p.site != failed && !down.contains(&p.site));
+            if !usable {
+                continue;
+            }
+            let objects = copy
+                .parts
+                .iter()
+                .map(|p| RecoveryObject {
+                    buddy: p.site,
+                    table: table.to_string(),
+                    predicate: match (&failed_pred, &p.predicate) {
+                        (None, None) => None,
+                        (Some(a), None) => Some(a.clone()),
+                        (None, Some(b)) => Some(b.clone()),
+                        (Some(a), Some(b)) => Some(a.clone().and(b.clone())),
+                    },
+                })
+                .collect();
+            return Ok(objects);
+        }
+        Err(DbError::Unrecoverable(format!(
+            "no live copy of {table} covers the failed part on {failed} \
+             (more than K failures?)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u16) -> SiteId {
+        SiteId(n)
+    }
+
+    #[test]
+    fn replicated_table_recovery_uses_one_buddy() {
+        let mut p = Placement::new();
+        p.add_replicated_table("sales", &[s(1), s(2), s(3)]);
+        assert_eq!(p.k_for("sales").unwrap(), 2);
+        let plan = p
+            .recovery_plan(s(1), "sales", &HashSet::new())
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].buddy, s(2));
+        assert!(plan[0].predicate.is_none());
+        // With site 2 also down, site 3 serves.
+        let down: HashSet<SiteId> = [s(2)].into_iter().collect();
+        let plan = p.recovery_plan(s(1), "sales", &down).unwrap();
+        assert_eq!(plan[0].buddy, s(3));
+        // All copies down: unrecoverable.
+        let down: HashSet<SiteId> = [s(2), s(3)].into_iter().collect();
+        assert!(matches!(
+            p.recovery_plan(s(1), "sales", &down),
+            Err(DbError::Unrecoverable(_))
+        ));
+    }
+
+    #[test]
+    fn partitioned_copy_yields_multiple_recovery_objects() {
+        // The EMP example of §5.1: EMP1 full on site 1; EMP2 split by
+        // employee_id over sites 2 and 3. Site 1 fails; its recovery
+        // predicate is the whole table here (it held a full copy).
+        let mut p = Placement::new();
+        let id_col = 2; // first user field
+        p.add_table(
+            "employees",
+            vec![
+                Copy {
+                    parts: vec![Part::full(s(1))],
+                },
+                Copy {
+                    parts: vec![
+                        Part::partition(s(2), Expr::col(id_col).lt(Expr::lit(1000i64))),
+                        Part::partition(s(3), Expr::col(id_col).ge(Expr::lit(1000i64))),
+                    ],
+                },
+            ],
+        );
+        let plan = p
+            .recovery_plan(s(1), "employees", &HashSet::new())
+            .unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].buddy, s(2));
+        assert!(plan[0].predicate.is_some());
+        assert_eq!(plan[1].buddy, s(3));
+        // And the reverse: recover the partition on site 2 from the full
+        // copy on site 1, with the partition predicate as recovery pred.
+        let plan = p
+            .recovery_plan(s(2), "employees", &HashSet::new())
+            .unwrap();
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].buddy, s(1));
+        assert!(plan[0].predicate.is_some());
+    }
+
+    #[test]
+    fn objects_on_lists_site_contents() {
+        let mut p = Placement::new();
+        p.add_replicated_table("a", &[s(1), s(2)]);
+        p.add_replicated_table("b", &[s(2), s(3)]);
+        let on2 = p.objects_on(s(2));
+        assert_eq!(on2.len(), 2);
+        assert_eq!(on2[0].0, "a");
+        assert_eq!(on2[1].0, "b");
+        assert_eq!(p.objects_on(s(9)).len(), 0);
+    }
+
+    #[test]
+    fn k_safety_example_from_section_3_2() {
+        // 1-safe: R on S1,S2; R' on S3,S4. Failures of S1 and S3 together
+        // are tolerated because at most one failure hits each relation.
+        let mut p = Placement::new();
+        p.add_replicated_table("r", &[s(1), s(2)]);
+        p.add_replicated_table("r2", &[s(3), s(4)]);
+        let down: HashSet<SiteId> = [s(3)].into_iter().collect();
+        let plan = p.recovery_plan(s(1), "r", &down).unwrap();
+        assert_eq!(plan[0].buddy, s(2));
+        let down: HashSet<SiteId> = [s(1)].into_iter().collect();
+        let plan = p.recovery_plan(s(3), "r2", &down).unwrap();
+        assert_eq!(plan[0].buddy, s(4));
+    }
+}

@@ -1,0 +1,146 @@
+//! The four commit protocols (thesis §4.3) and their per-step logging
+//! behaviour — the rows of Table 4.2.
+
+use harbor_engine::StepLogging;
+
+/// Which commit protocol the cluster runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// Traditional two-phase commit with write-ahead logging everywhere
+    /// (Fig 4-2): workers force PREPARE and COMMIT/ABORT, the coordinator
+    /// forces COMMIT/ABORT.
+    Trad2pc,
+    /// Optimized 2PC (Fig 4-3): no worker logging at all; the coordinator
+    /// still forces its COMMIT/ABORT record.
+    Opt2pc,
+    /// Canonical three-phase commit (§4.3.3 footnote interpretation):
+    /// workers force at all three phases; the coordinator never logs.
+    Canon3pc,
+    /// Optimized 3PC (Fig 4-4): no forced writes and no log anywhere.
+    Opt3pc,
+}
+
+impl ProtocolKind {
+    /// Three phases of worker messages (prepare / prepare-to-commit /
+    /// commit) or two?
+    pub fn is_three_phase(self) -> bool {
+        matches!(self, ProtocolKind::Canon3pc | ProtocolKind::Opt3pc)
+    }
+
+    /// Do workers under this protocol maintain a WAL at all?
+    pub fn workers_log(self) -> bool {
+        matches!(self, ProtocolKind::Trad2pc | ProtocolKind::Canon3pc)
+    }
+
+    /// Does the coordinator maintain (and force) a log?
+    pub fn coordinator_logs(self) -> bool {
+        matches!(self, ProtocolKind::Trad2pc | ProtocolKind::Opt2pc)
+    }
+
+    /// Worker logging at the PREPARE step.
+    pub fn worker_prepare_logging(self) -> StepLogging {
+        if self.workers_log() {
+            StepLogging::FORCE
+        } else {
+            StepLogging::OFF
+        }
+    }
+
+    /// Worker logging at the PREPARE-TO-COMMIT step (3PC only).
+    pub fn worker_ptc_logging(self) -> StepLogging {
+        if self == ProtocolKind::Canon3pc {
+            StepLogging::FORCE
+        } else {
+            StepLogging::OFF
+        }
+    }
+
+    /// Worker logging at the COMMIT/ABORT step.
+    pub fn worker_commit_logging(self) -> StepLogging {
+        if self.workers_log() {
+            StepLogging::FORCE
+        } else {
+            StepLogging::OFF
+        }
+    }
+
+    /// Messages the coordinator sends per worker on the commit path
+    /// (Table 4.2 column 1: requests + acks counted both directions).
+    pub fn expected_messages_per_worker(self) -> u64 {
+        if self.is_three_phase() {
+            6
+        } else {
+            4
+        }
+    }
+
+    /// Table 4.2 column 2.
+    pub fn expected_coordinator_forces(self) -> u64 {
+        if self.coordinator_logs() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Table 4.2 column 3.
+    pub fn expected_worker_forces(self) -> u64 {
+        match self {
+            ProtocolKind::Trad2pc => 2,
+            ProtocolKind::Opt2pc => 0,
+            ProtocolKind::Canon3pc => 3,
+            ProtocolKind::Opt3pc => 0,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Trad2pc => "traditional 2PC",
+            ProtocolKind::Opt2pc => "optimized 2PC",
+            ProtocolKind::Canon3pc => "canonical 3PC",
+            ProtocolKind::Opt3pc => "optimized 3PC",
+        }
+    }
+
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Trad2pc,
+        ProtocolKind::Opt2pc,
+        ProtocolKind::Canon3pc,
+        ProtocolKind::Opt3pc,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_4_2_static_rows() {
+        use ProtocolKind::*;
+        let rows: Vec<(ProtocolKind, u64, u64, u64)> = ProtocolKind::ALL
+            .iter()
+            .map(|p| {
+                (
+                    *p,
+                    p.expected_messages_per_worker(),
+                    p.expected_coordinator_forces(),
+                    p.expected_worker_forces(),
+                )
+            })
+            .collect();
+        assert_eq!(rows[0], (Trad2pc, 4, 1, 2));
+        assert_eq!(rows[1], (Opt2pc, 4, 1, 0));
+        assert_eq!(rows[2], (Canon3pc, 6, 0, 3));
+        assert_eq!(rows[3], (Opt3pc, 6, 0, 0));
+    }
+
+    #[test]
+    fn logging_profiles_match_protocols() {
+        assert_eq!(ProtocolKind::Trad2pc.worker_prepare_logging(), StepLogging::FORCE);
+        assert_eq!(ProtocolKind::Opt2pc.worker_prepare_logging(), StepLogging::OFF);
+        assert_eq!(ProtocolKind::Canon3pc.worker_ptc_logging(), StepLogging::FORCE);
+        assert_eq!(ProtocolKind::Opt3pc.worker_commit_logging(), StepLogging::OFF);
+        assert!(!ProtocolKind::Opt3pc.coordinator_logs());
+        assert!(ProtocolKind::Opt2pc.coordinator_logs());
+    }
+}

@@ -1,0 +1,787 @@
+//! The worker site: a thread-per-connection server executing update
+//! requests, commit-protocol steps, remote scans, and recovery lock
+//! requests against its local [`Engine`] (thesis §4.1, §6.1.6).
+
+use crate::consensus::{self, BackupState};
+use crate::message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
+use crate::protocol::ProtocolKind;
+use harbor_common::codec::Wire;
+use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId, Value};
+use harbor_engine::Engine;
+use harbor_exec::{run_update_by_key, Expr, ReadMode, SeqScan};
+use harbor_exec::op::Operator;
+use harbor_net::{Channel, Transport};
+use harbor_storage::{LockKey, LockMode, ScanBounds};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rows per streamed scan batch.
+const SCAN_BATCH: usize = 512;
+
+/// Worker-local distributed-transaction bookkeeping (beyond the engine's
+/// local state): the participant set from PREPARE and the commit time from
+/// PREPARE-TO-COMMIT, which the consensus protocol needs (§4.3.3).
+#[derive(Clone, Debug, Default)]
+struct DistTxn {
+    workers: Vec<SiteId>,
+    voted: Option<bool>,
+    ptc_time: Option<Timestamp>,
+    /// `Some(true)` committed, `Some(false)` aborted.
+    outcome: Option<bool>,
+    commit_time: Option<Timestamp>,
+}
+
+/// Configuration for one worker.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    pub site: SiteId,
+    pub addr: String,
+    pub protocol: ProtocolKind,
+    /// Run the periodic checkpoint thread at this interval (HARBOR
+    /// checkpoint, plus an ARIES fuzzy log checkpoint when logging).
+    pub checkpoint_every: Option<Duration>,
+    /// Addresses of peer workers (consensus) — site id → address.
+    pub peers: HashMap<SiteId, String>,
+    /// Automatically run the consensus protocol when the coordinator's
+    /// connection drops mid-commit (3PC only; 2PC blocks by design).
+    pub auto_consensus: bool,
+    /// Answer `ids_and_deletions_only` recovery queries from the per-table
+    /// deletion log instead of scanning segments (the §5.2-footnote
+    /// deletion vector; ablation 4 measures the difference).
+    pub use_deletion_log: bool,
+}
+
+/// A running worker site.
+pub struct Worker {
+    cfg: WorkerConfig,
+    engine: Arc<Engine>,
+    transport: Arc<dyn Transport>,
+    dist_txns: Arc<Mutex<HashMap<TransactionId, DistTxn>>>,
+    shutdown: Arc<AtomicBool>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Worker {
+    /// Starts serving at `cfg.addr`.
+    pub fn start(
+        engine: Arc<Engine>,
+        transport: Arc<dyn Transport>,
+        cfg: WorkerConfig,
+    ) -> DbResult<Arc<Worker>> {
+        let listener = transport.listen(&cfg.addr)?;
+        Self::start_with_listener(engine, transport, cfg, listener)
+    }
+
+    /// Starts serving on an already-bound listener (lets callers bind TCP
+    /// port 0 and learn the real address before wiring the address book).
+    pub fn start_with_listener(
+        engine: Arc<Engine>,
+        transport: Arc<dyn Transport>,
+        mut cfg: WorkerConfig,
+        listener: Box<dyn harbor_net::Listener>,
+    ) -> DbResult<Arc<Worker>> {
+        cfg.addr = listener.local_addr();
+        let worker = Arc::new(Worker {
+            cfg,
+            engine,
+            transport,
+            dist_txns: Arc::new(Mutex::new(HashMap::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            handles: Mutex::new(Vec::new()),
+        });
+        {
+            let w = worker.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("worker-{}-acceptor", w.cfg.site.0))
+                .spawn(move || w.accept_loop(listener))
+                .expect("spawn acceptor");
+            worker.handles.lock().push(h);
+        }
+        if let Some(every) = worker.cfg.checkpoint_every {
+            let w = worker.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("worker-{}-checkpointer", w.cfg.site.0))
+                .spawn(move || w.checkpoint_loop(every))
+                .expect("spawn checkpointer");
+            worker.handles.lock().push(h);
+        }
+        Ok(worker)
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.cfg.site
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    pub fn protocol(&self) -> ProtocolKind {
+        self.cfg.protocol
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.cfg.addr
+    }
+
+    /// Fail-stop crash: stop serving immediately and join the server
+    /// threads. The engine's volatile state dies with the caller's `Arc`s;
+    /// nothing is flushed.
+    pub fn crash(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful variant used by tests to end a run (same mechanics; the
+    /// name documents intent).
+    pub fn stop(&self) {
+        self.crash();
+    }
+
+    fn accept_loop(self: &Arc<Self>, listener: Box<dyn harbor_net::Listener>) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match listener.accept_timeout(Duration::from_millis(50)) {
+                Ok(Some(chan)) => {
+                    let w = self.clone();
+                    let h = std::thread::Builder::new()
+                        .name(format!("worker-{}-conn", w.cfg.site.0))
+                        .spawn(move || w.serve_connection(chan))
+                        .expect("spawn connection thread");
+                    self.handles.lock().push(h);
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn checkpoint_loop(self: &Arc<Self>, every: Duration) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            // Sleep in small slices so crash() returns promptly.
+            static_sleep_accumulate(self, every);
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let _ = self.engine.checkpoint();
+            if self.engine.is_logging() {
+                let _ = self.engine.log_checkpoint();
+            }
+        }
+    }
+
+    fn serve_connection(self: &Arc<Self>, mut chan: Box<dyn Channel>) {
+        // Transactions begun on this connection (coordinator-failure
+        // detection) and recovery locks granted through it (§5.5.1).
+        let mut conn_txns: Vec<TransactionId> = Vec::new();
+        let mut conn_locks: Vec<(TransactionId, LockKey)> = Vec::new();
+        loop {
+            let frame = match chan.recv_timeout(Duration::from_millis(50)) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return; // crash: vanish without cleanup
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    self.on_disconnect(&conn_txns, &conn_locks);
+                    return;
+                }
+            };
+            let req = match Request::from_slice(&frame) {
+                Ok(r) => r,
+                Err(e) => {
+                    let _ = chan.send(
+                        &Response::Err {
+                            msg: format!("bad request: {e}"),
+                        }
+                        .to_vec(),
+                    );
+                    continue;
+                }
+            };
+            if let Request::Begin { tid } = &req {
+                conn_txns.push(*tid);
+            }
+            match &req {
+                Request::AcquireTableLock { tid, table } => {
+                    let resp = self.handle(&req, &mut chan);
+                    if matches!(resp, Response::Ok) {
+                        if let Some(def) = self.engine.table_def(table) {
+                            conn_locks.push((*tid, LockKey::Table(def.id)));
+                        }
+                    }
+                    let _ = chan.send(&resp.to_vec());
+                }
+                Request::ReleaseTableLock { tid, table } => {
+                    let resp = self.handle(&req, &mut chan);
+                    if let Some(def) = self.engine.table_def(table) {
+                        conn_locks.retain(|(t, k)| !(t == tid && *k == LockKey::Table(def.id)));
+                    }
+                    let _ = chan.send(&resp.to_vec());
+                }
+                Request::Scan(_) => {
+                    // Streaming: handle() sends the batches itself.
+                    let resp = self.handle(&req, &mut chan);
+                    let _ = chan.send(&resp.to_vec());
+                }
+                _ => {
+                    let resp = self.handle(&req, &mut chan);
+                    if chan.send(&resp.to_vec()).is_err() {
+                        self.on_disconnect(&conn_txns, &conn_locks);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Coordinator (or recovering-site) connection died (§4.3.2, §5.5.1).
+    fn on_disconnect(
+        self: &Arc<Self>,
+        conn_txns: &[TransactionId],
+        conn_locks: &[(TransactionId, LockKey)],
+    ) {
+        // Override a dead recoverer's locks so transactions can progress.
+        for (tid, _) in conn_locks {
+            self.engine.locks().release_all(*tid);
+        }
+        for tid in conn_txns {
+            let state = self.backup_state(*tid);
+            match state {
+                // Not yet prepared, or prepared-voted-NO: safe to abort
+                // unilaterally under every protocol (§4.3.2).
+                BackupState::Pending | BackupState::PreparedNo => {
+                    let _ = self
+                        .engine
+                        .abort(*tid, self.cfg.protocol.worker_commit_logging());
+                    self.dist_txns.lock().entry(*tid).or_default().outcome = Some(false);
+                }
+                BackupState::Committed(_) | BackupState::Aborted => {}
+                // Prepared-YES or beyond: 2PC must block for the
+                // coordinator; 3PC runs the consensus protocol.
+                _ => {
+                    if self.cfg.protocol.is_three_phase() && self.cfg.auto_consensus {
+                        let w = self.clone();
+                        let tid = *tid;
+                        std::thread::spawn(move || {
+                            let _ = w.resolve_by_consensus(tid);
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// This worker's consensus-relevant state for `tid` (Fig 4-5).
+    pub fn backup_state(&self, tid: TransactionId) -> BackupState {
+        let dist = self.dist_txns.lock();
+        let info = dist.get(&tid);
+        if let Some(info) = info {
+            if let Some(outcome) = info.outcome {
+                return if outcome {
+                    let t = info.commit_time.or(info.ptc_time).unwrap_or(Timestamp::ZERO);
+                    BackupState::Committed(t)
+                } else {
+                    BackupState::Aborted
+                };
+            }
+            if let Some(t) = info.ptc_time {
+                return BackupState::PreparedToCommit(t);
+            }
+            match info.voted {
+                Some(true) => return BackupState::PreparedYes,
+                Some(false) => return BackupState::PreparedNo,
+                None => {}
+            }
+        }
+        drop(dist);
+        match self.engine.txn_status(tid) {
+            Some(_) => BackupState::Pending,
+            None => BackupState::Aborted, // unknown = treated as aborted
+        }
+    }
+
+    /// Runs the consensus-building protocol for `tid` (§4.3.3): elects the
+    /// lowest-ranked live participant as backup coordinator; if that is
+    /// this site, drives the outcome per Table 4.1.
+    pub fn resolve_by_consensus(self: &Arc<Self>, tid: TransactionId) -> DbResult<bool> {
+        let workers = {
+            let dist = self.dist_txns.lock();
+            dist.get(&tid)
+                .map(|i| i.workers.clone())
+                .unwrap_or_default()
+        };
+        // Let in-flight protocol messages land before deciding.
+        if workers.is_empty() {
+            // No PREPARE ever arrived: commit processing never began, so
+            // the worker can safely abort unilaterally (§4.3.3: "if a
+            // worker detects a coordinator failure before a transaction's
+            // commit processing stage ... the worker can safely abort").
+            self.engine
+                .abort(tid, self.cfg.protocol.worker_commit_logging())?;
+            self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
+            return Ok(true);
+        }
+        if consensus::resolve(self, tid, &workers)? {
+            return Ok(true);
+        }
+        // A higher-ranked live site is the backup: follow the termination
+        // protocol by polling its view of the transaction and adopting the
+        // outcome it reaches.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match consensus::query_backup_state(self, tid, &workers) {
+                Some(BackupState::Committed(t)) => {
+                    if self.engine.txn_status(tid).is_some() {
+                        self.engine
+                            .commit(tid, t, self.cfg.protocol.worker_commit_logging())?;
+                    }
+                    self.engine.advance_applied_clock(t);
+                    let mut dist = self.dist_txns.lock();
+                    let info = dist.entry(tid).or_default();
+                    info.outcome = Some(true);
+                    info.commit_time = Some(t);
+                    return Ok(true);
+                }
+                Some(BackupState::Aborted) => {
+                    self.engine
+                        .abort(tid, self.cfg.protocol.worker_commit_logging())?;
+                    self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
+                    return Ok(true);
+                }
+                _ => {
+                    // Backup undecided (or we are next in line if it died):
+                    // retry, re-running the election each time.
+                    if std::time::Instant::now() >= deadline {
+                        return Ok(false);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    if consensus::resolve(self, tid, &workers)? {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn peers(&self) -> &HashMap<SiteId, String> {
+        &self.cfg.peers
+    }
+
+    pub(crate) fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Executes one request. Streaming responses (scans) write directly to
+    /// `chan`; the returned response is the final frame.
+    fn handle(self: &Arc<Self>, req: &Request, chan: &mut Box<dyn Channel>) -> Response {
+        match self.handle_inner(req, chan) {
+            Ok(resp) => resp,
+            Err(e) => Response::Err { msg: e.to_string() },
+        }
+    }
+
+    fn handle_inner(
+        self: &Arc<Self>,
+        req: &Request,
+        chan: &mut Box<dyn Channel>,
+    ) -> DbResult<Response> {
+        match req {
+            Request::Begin { tid } => {
+                self.engine.begin(*tid)?;
+                self.dist_txns.lock().insert(*tid, DistTxn::default());
+                Ok(Response::Ok)
+            }
+            Request::Update { tid, req } => {
+                self.apply_update(*tid, req)?;
+                Ok(Response::Ok)
+            }
+            Request::Prepare {
+                tid,
+                workers,
+                time_bound,
+            } => {
+                // A vote request for an unknown transaction gets NO
+                // (§4.3.2: worker crashed and recovered in between).
+                if self.engine.txn_status(*tid).is_none() {
+                    return Ok(Response::Vote { yes: false });
+                }
+                {
+                    let mut dist = self.dist_txns.lock();
+                    let info = dist.entry(*tid).or_default();
+                    info.workers = workers.clone();
+                }
+                // Duplicate PREPARE (a backup coordinator replaying the
+                // first phase, §4.3.3): repeat the previous vote.
+                match self.backup_state(*tid) {
+                    BackupState::PreparedYes | BackupState::PreparedToCommit(_) => {
+                        return Ok(Response::Vote { yes: true })
+                    }
+                    BackupState::PreparedNo | BackupState::Aborted => {
+                        return Ok(Response::Vote { yes: false })
+                    }
+                    _ => {}
+                }
+                match self
+                    .engine
+                    .prepare(*tid, *time_bound, self.cfg.protocol.worker_prepare_logging())
+                {
+                    Ok(()) => {
+                        self.dist_txns.lock().entry(*tid).or_default().voted = Some(true);
+                        Ok(Response::Vote { yes: true })
+                    }
+                    Err(_) => {
+                        // NO vote: roll back immediately (Figs 4-2/4-3).
+                        self.dist_txns.lock().entry(*tid).or_default().voted = Some(false);
+                        self.engine
+                            .abort(*tid, self.cfg.protocol.worker_commit_logging())?;
+                        self.dist_txns.lock().entry(*tid).or_default().outcome = Some(false);
+                        Ok(Response::Vote { yes: false })
+                    }
+                }
+            }
+            Request::PrepareToCommit { tid, commit_time } => {
+                // Duplicate deliveries (consensus replay) are fine.
+                if self.engine.txn_status(*tid).is_none() {
+                    return Ok(Response::Ack);
+                }
+                self.engine.prepare_to_commit(
+                    *tid,
+                    *commit_time,
+                    self.cfg.protocol.worker_ptc_logging(),
+                )?;
+                self.dist_txns.lock().entry(*tid).or_default().ptc_time = Some(*commit_time);
+                Ok(Response::Ack)
+            }
+            Request::Commit { tid, commit_time } => {
+                if self.engine.txn_status(*tid).is_some() {
+                    self.engine.commit(
+                        *tid,
+                        *commit_time,
+                        self.cfg.protocol.worker_commit_logging(),
+                    )?;
+                }
+                self.engine.advance_applied_clock(*commit_time);
+                let mut dist = self.dist_txns.lock();
+                let info = dist.entry(*tid).or_default();
+                info.outcome = Some(true);
+                info.commit_time = Some(*commit_time);
+                Ok(Response::Ack)
+            }
+            Request::Abort { tid } => {
+                self.engine
+                    .abort(*tid, self.cfg.protocol.worker_commit_logging())?;
+                self.dist_txns.lock().entry(*tid).or_default().outcome = Some(false);
+                Ok(Response::Ack)
+            }
+            Request::Scan(scan) => {
+                self.stream_scan(scan, chan)?;
+                Ok(Response::Ok)
+            }
+            Request::AcquireTableLock { tid, table } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                self.engine
+                    .locks()
+                    .acquire(*tid, LockKey::Table(def.id), LockMode::Shared)?;
+                Ok(Response::Ok)
+            }
+            Request::ReleaseTableLock { tid, table } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                self.engine.locks().release(*tid, LockKey::Table(def.id));
+                // The lock owner id is dedicated to this one recovery
+                // object, so drop any stragglers it may hold too.
+                self.engine.locks().release_all(*tid);
+                Ok(Response::Ok)
+            }
+            Request::QueryTxnState { tid } => {
+                let state = match self.backup_state(*tid) {
+                    BackupState::Pending => WireTxnState::Pending,
+                    BackupState::PreparedYes => WireTxnState::PreparedVotedYes,
+                    BackupState::PreparedNo => WireTxnState::PreparedVotedNo,
+                    BackupState::PreparedToCommit(t) => WireTxnState::PreparedToCommit(t),
+                    BackupState::Committed(t) => WireTxnState::Committed(t),
+                    BackupState::Aborted => WireTxnState::Aborted,
+                };
+                Ok(Response::TxnState { state })
+            }
+            Request::Ping => Ok(Response::Ok),
+            Request::GetTime | Request::RecComingOnline { .. } => Err(DbError::protocol(
+                "request must be sent to a coordinator",
+            )),
+        }
+    }
+
+    /// Executes one logical update request (§4.1).
+    fn apply_update(&self, tid: TransactionId, req: &UpdateRequest) -> DbResult<()> {
+        match req {
+            UpdateRequest::Insert { table, values } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                self.engine.insert(tid, def.id, values.clone())?;
+                Ok(())
+            }
+            UpdateRequest::InsertMany { table, rows } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                for row in rows {
+                    self.engine.insert(tid, def.id, row.clone())?;
+                }
+                Ok(())
+            }
+            UpdateRequest::DeleteWhere { table, pred } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                harbor_exec::run_delete(&self.engine, tid, def.id, pred)?;
+                Ok(())
+            }
+            UpdateRequest::UpdateByKey { table, key, set } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                run_update_by_key(&self.engine, tid, def.id, *key, |user| {
+                    apply_set(user, set)
+                })?;
+                Ok(())
+            }
+            UpdateRequest::UpdateWhere { table, pred, set } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                harbor_exec::run_update(&self.engine, tid, def.id, pred, |user| {
+                    apply_set(user, set)
+                })?;
+                Ok(())
+            }
+            UpdateRequest::SimulateWork { cycles } => {
+                simulate_cpu_work(*cycles);
+                Ok(())
+            }
+        }
+    }
+
+    /// Streams a scan's result in batches.
+    fn stream_scan(&self, scan: &RemoteScan, chan: &mut Box<dyn Channel>) -> DbResult<()> {
+        let def = self
+            .engine
+            .table_def(&scan.table)
+            .ok_or_else(|| DbError::Schema(format!("no table {:?}", scan.table)))?;
+        // Deletion-log fast path (§5.2 footnote): a pure deletion query is
+        // answered from the ordered deletion log — cost proportional to the
+        // number of deletions rather than to the segments they touched.
+        if self.cfg.use_deletion_log
+            && scan.ids_and_deletions_only
+            && scan.ins_after.is_none()
+        {
+            if let Some(after) = scan.del_after {
+                return self.stream_deletions_from_log(scan, def.id, after, chan);
+            }
+        }
+        let mode = match scan.mode {
+            WireReadMode::Historical(t) => ReadMode::Historical(t),
+            WireReadMode::SeeDeletedHistorical(t) => ReadMode::SeeDeletedHistorical(t),
+            // The recovering site already holds a table-granularity read
+            // lock (Phase 3); per-page locks would be redundant and would
+            // outlive the table lock's release. Latch-only access suffices.
+            WireReadMode::SeeDeletedLocked(_) => ReadMode::SeeDeleted,
+            WireReadMode::Current(tid) => ReadMode::Current(tid),
+        };
+        let bounds = ScanBounds {
+            ins_at_or_before: scan.ins_at_or_before,
+            ins_after: scan.ins_after,
+            del_after: scan.del_after,
+            uncommitted_from_segment: None,
+        };
+        // Residual predicate: the pruning bounds re-applied per tuple plus
+        // the recovery predicate. Timestamps are columns 0 and 1.
+        let mut residual: Option<Expr> = scan.predicate.clone();
+        let mut add = |e: Expr| {
+            residual = Some(match residual.take() {
+                Some(r) => r.and(e),
+                None => e,
+            });
+        };
+        if let Some(t) = scan.ins_at_or_before {
+            add(Expr::col(0).le(Expr::time(t)));
+        }
+        if let Some(t) = scan.ins_after {
+            add(Expr::col(0).gt(Expr::time(t)));
+            // `insertion_time != uncommitted` (§5.4.1): modes that can see
+            // uncommitted tuples must not ship them.
+            add(Expr::col(0).ne(Expr::time(Timestamp::UNCOMMITTED)));
+        }
+        if let Some(t) = scan.del_after {
+            add(Expr::col(1).gt(Expr::time(t)));
+        }
+        let mut op = SeqScan::with_bounds(self.engine.pool().clone(), def.id, mode, bounds)?;
+        op.open()?;
+        let shipped = &self.engine.metrics().clone();
+        let mut batch = Vec::with_capacity(SCAN_BATCH);
+        loop {
+            let next = op.next()?;
+            let done = next.is_none();
+            if let Some(tup) = next {
+                let keep = match &residual {
+                    Some(p) => p.eval_bool(&tup)?,
+                    None => true,
+                };
+                if keep {
+                    let out = if scan.ids_and_deletions_only {
+                        // (tuple_id, deletion_time) pairs (§5.3).
+                        Tuple2::project_id_del(&tup)?
+                    } else {
+                        tup
+                    };
+                    batch.push(out);
+                }
+            }
+            if batch.len() >= SCAN_BATCH || done {
+                shipped.add_recovery_tuples_shipped(batch.len() as u64);
+                let resp = Response::Tuples {
+                    batch: std::mem::take(&mut batch),
+                    done,
+                };
+                chan.send(&resp.to_vec())?;
+                if done {
+                    break;
+                }
+            }
+        }
+        op.close();
+        Ok(())
+    }
+}
+
+impl Worker {
+    /// The deletion-log fast path behind `stream_scan`.
+    fn stream_deletions_from_log(
+        &self,
+        scan: &RemoteScan,
+        table: harbor_common::TableId,
+        after: Timestamp,
+        chan: &mut Box<dyn Channel>,
+    ) -> DbResult<()> {
+        let dlog = self.engine.deletion_log(table)?;
+        let entries = dlog.deleted_after(self.engine.pool(), after)?;
+        let hwm = match scan.mode {
+            WireReadMode::SeeDeletedHistorical(t) => Some(t),
+            _ => None,
+        };
+        let mut batch = Vec::with_capacity(SCAN_BATCH);
+        let shipped = self.engine.metrics().clone();
+        for (rid, del) in entries {
+            // Deletions after the HWM read as "not deleted" in historical
+            // mode, so they never satisfy `deletion_time > after` (§5.3).
+            if let Some(hwm) = hwm {
+                if del > hwm {
+                    continue;
+                }
+            }
+            let tup = match self.engine.read_tuple(rid) {
+                Ok(t) => t,
+                Err(_) => continue, // physically removed since logging
+            };
+            if tup.deletion_ts()? != del {
+                continue; // undeleted or re-deleted since logging
+            }
+            let ins = tup.insertion_ts()?;
+            if ins.is_uncommitted() {
+                continue;
+            }
+            if let Some(hwm) = hwm {
+                if ins > hwm {
+                    continue;
+                }
+            }
+            if let Some(bound) = scan.ins_at_or_before {
+                if ins > bound {
+                    continue;
+                }
+            }
+            if let Some(p) = &scan.predicate {
+                if !p.eval_bool(&tup)? {
+                    continue;
+                }
+            }
+            batch.push(Tuple2::project_id_del(&tup)?);
+            if batch.len() >= SCAN_BATCH {
+                shipped.add_recovery_tuples_shipped(batch.len() as u64);
+                chan.send(
+                    &Response::Tuples {
+                        batch: std::mem::take(&mut batch),
+                        done: false,
+                    }
+                    .to_vec(),
+                )?;
+            }
+        }
+        shipped.add_recovery_tuples_shipped(batch.len() as u64);
+        chan.send(&Response::Tuples { batch, done: true }.to_vec())?;
+        Ok(())
+    }
+}
+
+/// Helper namespace for tuple projections used by recovery queries.
+struct Tuple2;
+
+impl Tuple2 {
+    /// `(tuple_id, deletion_time)` from a stored tuple: key is the first
+    /// user field (column 2).
+    fn project_id_del(t: &harbor_common::Tuple) -> DbResult<harbor_common::Tuple> {
+        Ok(harbor_common::Tuple::new(vec![
+            t.get(2).clone(),
+            t.get(1).clone(),
+        ]))
+    }
+}
+
+/// Overwrites the listed user fields.
+fn apply_set(user: &[Value], set: &[(u16, Value)]) -> Vec<Value> {
+    let mut out = user.to_vec();
+    for (i, v) in set {
+        if (*i as usize) < out.len() {
+            out[*i as usize] = v.clone();
+        }
+    }
+    out
+}
+
+/// Spin loop modelling per-transaction CPU work (Fig 6-3).
+pub fn simulate_cpu_work(cycles: u64) {
+    let mut acc: u64 = 0x9e37_79b9;
+    for i in 0..cycles {
+        acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(i));
+    }
+    std::hint::black_box(acc);
+}
+
+/// Sleeps `total` in short slices, checking the worker's shutdown flag.
+fn static_sleep_accumulate(w: &Worker, total: Duration) {
+    let mut left = total;
+    let slice = Duration::from_millis(20);
+    while left > Duration::ZERO && !w.shutdown.load(Ordering::SeqCst) {
+        let d = left.min(slice);
+        std::thread::sleep(d);
+        left = left.saturating_sub(d);
+    }
+}

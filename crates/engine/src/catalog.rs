@@ -1,0 +1,250 @@
+//! The per-site table catalog: table names, ids, and user schemas,
+//! persisted in a small file so a restarted site can reopen its heaps.
+
+use harbor_common::{DbError, DbResult, FieldType, TableId, TupleDesc};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Definition of one stored table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDef {
+    pub id: TableId,
+    pub name: String,
+    /// User-visible fields; the stored schema prepends the version columns.
+    pub user_fields: Vec<(String, FieldType)>,
+}
+
+impl TableDef {
+    /// The stored schema (with reserved version columns).
+    pub fn stored_desc(&self) -> TupleDesc {
+        TupleDesc::with_version_columns(
+            self.user_fields
+                .iter()
+                .map(|(n, t)| (n.as_str(), *t))
+                .collect(),
+        )
+    }
+}
+
+/// Persistent catalog for one site.
+pub struct Catalog {
+    path: PathBuf,
+    tables: Mutex<BTreeMap<u32, TableDef>>,
+}
+
+impl Catalog {
+    pub fn open(path: impl AsRef<Path>) -> DbResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let tables = match std::fs::read(&path) {
+            Ok(bytes) => decode(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(Catalog {
+            path,
+            tables: Mutex::new(tables),
+        })
+    }
+
+    /// Registers a new table and persists the catalog. The first user field
+    /// must be an `Int64` — it is the unique tuple identifier recovery keys
+    /// on (§5.3).
+    pub fn add(&self, name: &str, user_fields: Vec<(String, FieldType)>) -> DbResult<TableDef> {
+        if user_fields.is_empty() || user_fields[0].1 != FieldType::Int64 {
+            return Err(DbError::Schema(
+                "the first user field must be an int64 tuple identifier".into(),
+            ));
+        }
+        let mut tables = self.tables.lock();
+        if tables.values().any(|t| t.name == name) {
+            return Err(DbError::Schema(format!("table {name:?} already exists")));
+        }
+        let id = TableId(tables.keys().next_back().map(|k| k + 1).unwrap_or(1));
+        let def = TableDef {
+            id,
+            name: name.to_string(),
+            user_fields,
+        };
+        tables.insert(id.0, def.clone());
+        self.save(&tables)?;
+        Ok(def)
+    }
+
+    pub fn by_name(&self, name: &str) -> Option<TableDef> {
+        self.tables.lock().values().find(|t| t.name == name).cloned()
+    }
+
+    pub fn by_id(&self, id: TableId) -> Option<TableDef> {
+        self.tables.lock().get(&id.0).cloned()
+    }
+
+    pub fn all(&self) -> Vec<TableDef> {
+        self.tables.lock().values().cloned().collect()
+    }
+
+    fn save(&self, tables: &BTreeMap<u32, TableDef>) -> DbResult<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&encode(tables))?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(())
+    }
+}
+
+fn encode(tables: &BTreeMap<u32, TableDef>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"HBCT");
+    out.extend_from_slice(&(tables.len() as u32).to_le_bytes());
+    for def in tables.values() {
+        out.extend_from_slice(&def.id.0.to_le_bytes());
+        put_str(&mut out, &def.name);
+        out.extend_from_slice(&(def.user_fields.len() as u32).to_le_bytes());
+        for (name, ty) in &def.user_fields {
+            put_str(&mut out, name);
+            out.push(ty.tag());
+            let width = match ty {
+                FieldType::FixedStr(n) => *n,
+                _ => 0,
+            };
+            out.extend_from_slice(&width.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode(bytes: &[u8]) -> DbResult<BTreeMap<u32, TableDef>> {
+    let mut cur = Cursor { bytes, at: 0 };
+    if cur.take(4)? != b"HBCT" {
+        return Err(DbError::corrupt("bad catalog magic"));
+    }
+    let n = cur.u32()?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let id = TableId(cur.u32()?);
+        let name = cur.string()?;
+        let nf = cur.u32()? as usize;
+        let mut user_fields = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            let fname = cur.string()?;
+            let tag = cur.u8()?;
+            let width = cur.u16()?;
+            let ty = match tag {
+                0 => FieldType::Int32,
+                1 => FieldType::Int64,
+                2 => FieldType::Time,
+                3 => FieldType::FixedStr(width),
+                t => return Err(DbError::corrupt(format!("bad field type tag {t}"))),
+            };
+            user_fields.push((fname, ty));
+        }
+        out.insert(id.0, TableDef {
+            id,
+            name,
+            user_fields,
+        });
+    }
+    Ok(out)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        if self.at + n > self.bytes.len() {
+            return Err(DbError::corrupt("truncated catalog"));
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> DbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> DbResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> DbResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> DbResult<String> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| DbError::corrupt("bad utf-8 in catalog"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("harbor-catalog-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn fields() -> Vec<(String, FieldType)> {
+        vec![
+            ("id".into(), FieldType::Int64),
+            ("qty".into(), FieldType::Int32),
+            ("name".into(), FieldType::FixedStr(12)),
+        ]
+    }
+
+    #[test]
+    fn add_and_reopen() {
+        let path = temp("basic");
+        let cat = Catalog::open(&path).unwrap();
+        let def = cat.add("sales", fields()).unwrap();
+        assert_eq!(def.id, TableId(1));
+        let def2 = cat.add("returns", fields()).unwrap();
+        assert_eq!(def2.id, TableId(2));
+        drop(cat);
+        let cat = Catalog::open(&path).unwrap();
+        assert_eq!(cat.all().len(), 2);
+        let back = cat.by_name("sales").unwrap();
+        assert_eq!(back, def);
+        assert_eq!(back.stored_desc().len(), 5);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_names_and_bad_key() {
+        let path = temp("dups");
+        let cat = Catalog::open(&path).unwrap();
+        cat.add("t", fields()).unwrap();
+        assert!(cat.add("t", fields()).is_err());
+        assert!(cat
+            .add("u", vec![("x".into(), FieldType::Int32)])
+            .is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let path = temp("miss");
+        let cat = Catalog::open(&path).unwrap();
+        assert!(cat.by_name("nope").is_none());
+        assert!(cat.by_id(TableId(9)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

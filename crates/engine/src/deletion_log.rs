@@ -1,0 +1,152 @@
+//! The deletion-vector alternative from the §5.2 footnote.
+//!
+//! The thesis observes that recovery queries with `deletion_time > T`
+//! predicates must sequentially scan every segment whose `Tmax-deletion`
+//! postdates `T`, and sketches "a separate deletion vector with the deletion
+//! times" that recovery could scan instead — trading a little runtime
+//! bookkeeping for recovery time. This module implements that idea as a
+//! per-table **deletion log**: an ordered map `deletion_time → record ids`,
+//! maintained whenever a deletion timestamp is written and consulted by the
+//! worker's remote-scan fast path for `ids_and_deletions_only` recovery
+//! queries. The ablation bench (`ablations.rs` #4) measures what it buys.
+//!
+//! Like the primary-key index, the log is volatile: it reopens *cold* after
+//! a restart and rebuilds lazily with one `SEE DELETED` scan, so recovery
+//! on the crashed site never depends on it — only the (live) recovery
+//! buddies answer deletion queries, and their logs are warm.
+
+use harbor_common::{DbResult, RecordId, TableId, Timestamp};
+use harbor_storage::BufferPool;
+use harbor_wal::record::TsField;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+struct Inner {
+    built: bool,
+    /// deletion time → tuples deleted at that time.
+    by_time: BTreeMap<u64, Vec<RecordId>>,
+}
+
+/// Per-table ordered log of deletion timestamps.
+pub struct DeletionLog {
+    table: TableId,
+    inner: Mutex<Inner>,
+}
+
+impl DeletionLog {
+    /// Fresh (empty, authoritative) log for a newly created table.
+    pub fn fresh(table: TableId) -> Self {
+        DeletionLog {
+            table,
+            inner: Mutex::new(Inner {
+                built: true,
+                by_time: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Cold log for a reopened table; rebuilt on first use.
+    pub fn cold(table: TableId) -> Self {
+        DeletionLog {
+            table,
+            inner: Mutex::new(Inner {
+                built: false,
+                by_time: BTreeMap::new(),
+            }),
+        }
+    }
+
+    pub fn is_built(&self) -> bool {
+        self.inner.lock().built
+    }
+
+    /// Records that `rid` was deleted at `ts`. No-op while cold.
+    pub fn note(&self, rid: RecordId, ts: Timestamp) {
+        if !ts.is_valid_commit_time() {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if !g.built {
+            return;
+        }
+        let e = g.by_time.entry(ts.0).or_default();
+        if !e.contains(&rid) {
+            e.push(rid);
+        }
+    }
+
+    /// Removes a record (undelete in recovery Phase 1, or physical removal
+    /// of the tuple). No-op while cold.
+    pub fn unnote(&self, rid: RecordId, ts: Timestamp) {
+        if !ts.is_valid_commit_time() {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if !g.built {
+            return;
+        }
+        if let Some(e) = g.by_time.get_mut(&ts.0) {
+            e.retain(|r| *r != rid);
+            if e.is_empty() {
+                g.by_time.remove(&ts.0);
+            }
+        }
+    }
+
+    /// All `(rid, deletion_time)` pairs with `deletion_time > after`,
+    /// rebuilding first if cold. This is the recovery fast path: its cost
+    /// is proportional to the number of *deletions*, not to the segments
+    /// they touched.
+    pub fn deleted_after(
+        &self,
+        pool: &BufferPool,
+        after: Timestamp,
+    ) -> DbResult<Vec<(RecordId, Timestamp)>> {
+        let mut g = self.inner.lock();
+        if !g.built {
+            self.build_locked(pool, &mut g)?;
+        }
+        Ok(g.by_time
+            .range(after.0 + 1..)
+            .flat_map(|(ts, rids)| rids.iter().map(|r| (*r, Timestamp(*ts))))
+            .collect())
+    }
+
+    /// Drops contents and marks cold (crash simulation / ARIES restart).
+    pub fn invalidate(&self) {
+        let mut g = self.inner.lock();
+        g.built = false;
+        g.by_time.clear();
+    }
+
+    fn build_locked(&self, pool: &BufferPool, g: &mut Inner) -> DbResult<()> {
+        let table = pool.table(self.table)?;
+        let mut by_time: BTreeMap<u64, Vec<RecordId>> = BTreeMap::new();
+        for pid in table.all_page_ids() {
+            pool.with_page(None, pid, |page| {
+                for slot in page.occupied_slots() {
+                    let del = page.timestamp(slot, TsField::Deletion)?;
+                    if del.is_valid_commit_time() {
+                        by_time
+                            .entry(del.0)
+                            .or_default()
+                            .push(RecordId::new(pid, slot));
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        g.by_time = by_time;
+        g.built = true;
+        Ok(())
+    }
+
+    /// Total recorded deletions (tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().by_time.values().map(|v| v.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

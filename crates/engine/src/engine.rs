@@ -1,0 +1,870 @@
+//! The versioned transaction engine for one site (thesis §6.1.4).
+//!
+//! Wraps the buffer pool with the timestamp/versioning layer:
+//!
+//! * `insert` writes the tuple immediately with an `UNCOMMITTED` insertion
+//!   timestamp and records it in the transaction's insertion list;
+//! * `delete` takes the exclusive page lock and records the tuple in the
+//!   deletion list — *no page change happens until commit*, because the
+//!   deletion timestamp is unknown before then (§4.1);
+//! * `commit` assigns the coordinator-supplied commit time to every listed
+//!   tuple in place, then releases locks;
+//! * `abort` physically removes the inserted tuples (from the insertion
+//!   list when logless; by walking the undo chain with CLRs when the
+//!   log-based baseline is active).
+//!
+//! The engine is recovery-mechanism-agnostic at this level: with
+//! `logging = true` it maintains a full ARIES write-ahead log (the
+//! baseline); with `logging = false` it maintains no log at all and relies
+//! on HARBOR's checkpoint + replica-query recovery, driven by the `harbor`
+//! crate through the recovery primitives at the bottom of this file.
+
+use crate::catalog::{Catalog, TableDef};
+use crate::deletion_log::DeletionLog;
+use crate::index::KeyIndex;
+use crate::txn::{LocalTxnStatus, TxnState};
+use harbor_common::codec::Encoder;
+use harbor_common::{
+    DbError, DbResult, FieldType, Metrics, RecordId, SiteId, StorageConfig, TableId, Timestamp,
+    TransactionId, Tuple, Value,
+};
+use harbor_storage::lock::DeadlockPolicy;
+use harbor_storage::{BufferPool, Checkpointer, LockManager, LockMode, PagePolicy, PoolRecovery, SegmentedHeapFile};
+use harbor_wal::aries::{self, AriesReport};
+use harbor_wal::record::{CkptTxnState, LogPayload, LogRecord, RedoOp, TsField};
+use harbor_wal::{GroupCommit, LogManager, Lsn};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Byte offset of the primary key within an encoded tuple (after the two
+/// 8-byte version timestamps).
+pub const KEY_OFFSET: usize = 16;
+
+/// Logging behaviour for one commit-protocol step at this site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepLogging {
+    /// Append a log record for this step.
+    pub write: bool,
+    /// Force the log through the record before returning (the "FW" of the
+    /// protocol figures).
+    pub force: bool,
+}
+
+impl StepLogging {
+    /// No log activity (the optimized protocols).
+    pub const OFF: StepLogging = StepLogging {
+        write: false,
+        force: false,
+    };
+    /// Plain (unforced) write.
+    pub const WRITE: StepLogging = StepLogging {
+        write: true,
+        force: false,
+    };
+    /// Forced write.
+    pub const FORCE: StepLogging = StepLogging {
+        write: true,
+        force: true,
+    };
+}
+
+/// Construction options for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    pub site: SiteId,
+    pub storage: StorageConfig,
+    /// `true` = maintain the ARIES write-ahead log (baseline mode).
+    pub logging: bool,
+    pub group_commit: GroupCommit,
+    pub policy: PagePolicy,
+    /// Deadlock resolution: the thesis' timeouts, or the waits-for-graph
+    /// detector (extension).
+    pub deadlock: DeadlockPolicy,
+}
+
+impl EngineOptions {
+    pub fn harbor(site: SiteId, storage: StorageConfig) -> Self {
+        EngineOptions {
+            site,
+            storage,
+            logging: false,
+            group_commit: GroupCommit::enabled(),
+            policy: PagePolicy::steal_no_force(),
+            deadlock: DeadlockPolicy::Timeout,
+        }
+    }
+
+    pub fn aries(site: SiteId, storage: StorageConfig) -> Self {
+        EngineOptions {
+            site,
+            storage,
+            logging: true,
+            group_commit: GroupCommit::enabled(),
+            policy: PagePolicy::steal_no_force(),
+            deadlock: DeadlockPolicy::Timeout,
+        }
+    }
+}
+
+/// The per-site storage + transaction engine.
+pub struct Engine {
+    site: SiteId,
+    dir: PathBuf,
+    opts: EngineOptions,
+    metrics: Metrics,
+    locks: Arc<LockManager>,
+    pool: Arc<BufferPool>,
+    wal: Option<Arc<LogManager>>,
+    checkpointer: Arc<Checkpointer>,
+    catalog: Catalog,
+    txns: Mutex<HashMap<TransactionId, TxnState>>,
+    /// Commits apply timestamps under a read guard; checkpoints take the
+    /// write guard while choosing `T` and snapshotting dirty pages, so the
+    /// set of included commits is well-defined.
+    commit_gate: RwLock<()>,
+    /// Largest commit time fully applied at this site.
+    applied_clock: AtomicU64,
+    indexes: Mutex<HashMap<TableId, Arc<KeyIndex>>>,
+    /// Per-table deletion logs (the §5.2-footnote deletion vector).
+    deletion_logs: Mutex<HashMap<TableId, Arc<DeletionLog>>>,
+    /// Transactions poisoned to vote NO at prepare (fault injection).
+    poisoned: Mutex<HashSet<TransactionId>>,
+}
+
+impl Engine {
+    /// Opens (or initializes) a site's engine rooted at `dir`. Does not run
+    /// restart recovery — call [`Engine::aries_restart`] (baseline) or drive
+    /// HARBOR recovery from the `harbor` crate.
+    pub fn open(dir: impl AsRef<Path>, opts: EngineOptions) -> DbResult<Arc<Engine>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let metrics = Metrics::new();
+        let locks = Arc::new(LockManager::with_policy(
+            opts.storage.lock_timeout,
+            opts.deadlock,
+            metrics.clone(),
+        ));
+        let pool = Arc::new(BufferPool::new(
+            opts.storage.buffer_pool_pages,
+            locks.clone(),
+            opts.policy,
+            metrics.clone(),
+        ));
+        let wal = if opts.logging {
+            let wal = Arc::new(LogManager::open(
+                dir.join("wal.log"),
+                opts.group_commit,
+                opts.storage.disk,
+                metrics.clone(),
+            )?);
+            pool.attach_wal(wal.clone());
+            Some(wal)
+        } else {
+            None
+        };
+        let checkpointer = Arc::new(Checkpointer::open(dir.join("checkpoint"), opts.storage.disk)?);
+        let catalog = Catalog::open(dir.join("catalog"))?;
+        let engine = Engine {
+            site: opts.site,
+            dir: dir.clone(),
+            metrics,
+            locks,
+            pool,
+            wal,
+            applied_clock: AtomicU64::new(checkpointer.global().0),
+            checkpointer,
+            catalog,
+            txns: Mutex::new(HashMap::new()),
+            commit_gate: RwLock::new(()),
+            indexes: Mutex::new(HashMap::new()),
+            deletion_logs: Mutex::new(HashMap::new()),
+            poisoned: Mutex::new(HashSet::new()),
+            opts,
+        };
+        for def in engine.catalog.all() {
+            engine.open_heap(&def, /*cold_index=*/ true)?;
+        }
+        Ok(Arc::new(engine))
+    }
+
+    fn table_path(&self, id: TableId) -> PathBuf {
+        self.dir.join(format!("t{}.tbl", id.0))
+    }
+
+    fn open_heap(&self, def: &TableDef, cold_index: bool) -> DbResult<()> {
+        let path = self.table_path(def.id);
+        let heap = if path.exists() {
+            SegmentedHeapFile::open(
+                &path,
+                def.id,
+                def.stored_desc(),
+                self.opts.storage.segment_pages,
+                self.opts.storage.disk,
+                self.metrics.clone(),
+            )?
+        } else {
+            SegmentedHeapFile::create(
+                &path,
+                def.id,
+                def.stored_desc(),
+                self.opts.storage.segment_pages,
+                self.opts.storage.disk,
+                self.metrics.clone(),
+            )?
+        };
+        self.pool.register_table(Arc::new(heap));
+        let idx = if cold_index {
+            KeyIndex::cold(def.id, KEY_OFFSET)
+        } else {
+            KeyIndex::fresh(def.id, KEY_OFFSET)
+        };
+        self.indexes.lock().insert(def.id, Arc::new(idx));
+        let dlog = if cold_index {
+            DeletionLog::cold(def.id)
+        } else {
+            DeletionLog::fresh(def.id)
+        };
+        self.deletion_logs.lock().insert(def.id, Arc::new(dlog));
+        Ok(())
+    }
+
+    /// Creates a table. The first user field must be the `Int64` tuple id.
+    pub fn create_table(
+        &self,
+        name: &str,
+        user_fields: Vec<(String, FieldType)>,
+    ) -> DbResult<TableDef> {
+        let def = self.catalog.add(name, user_fields)?;
+        self.open_heap(&def, /*cold_index=*/ false)?;
+        Ok(def)
+    }
+
+    pub fn table_def(&self, name: &str) -> Option<TableDef> {
+        self.catalog.by_name(name)
+    }
+
+    pub fn table_def_by_id(&self, id: TableId) -> Option<TableDef> {
+        self.catalog.by_id(id)
+    }
+
+    pub fn tables(&self) -> Vec<TableDef> {
+        self.catalog.all()
+    }
+
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    pub fn wal(&self) -> Option<&Arc<LogManager>> {
+        self.wal.as_ref()
+    }
+
+    pub fn is_logging(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    pub fn checkpointer(&self) -> &Arc<Checkpointer> {
+        &self.checkpointer
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The table's deletion log (§5.2-footnote deletion vector).
+    pub fn deletion_log(&self, table: TableId) -> DbResult<Arc<DeletionLog>> {
+        self.deletion_logs
+            .lock()
+            .get(&table)
+            .cloned()
+            .ok_or(DbError::NoSuchTable(table))
+    }
+
+    pub fn index(&self, table: TableId) -> DbResult<Arc<KeyIndex>> {
+        self.indexes
+            .lock()
+            .get(&table)
+            .cloned()
+            .ok_or(DbError::NoSuchTable(table))
+    }
+
+    /// This site's view of "now": one past the largest applied commit time.
+    pub fn local_now(&self) -> Timestamp {
+        Timestamp(self.applied_clock.load(Ordering::SeqCst) + 1)
+    }
+
+    /// Advances the applied clock (workers learn times from coordinators).
+    pub fn advance_applied_clock(&self, t: Timestamp) {
+        self.applied_clock.fetch_max(t.0, Ordering::SeqCst);
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Registers a new transaction.
+    pub fn begin(&self, tid: TransactionId) -> DbResult<()> {
+        let mut txns = self.txns.lock();
+        if txns.contains_key(&tid) {
+            return Err(DbError::protocol(format!("{tid} already begun")));
+        }
+        let mut st = TxnState::new();
+        if let Some(wal) = &self.wal {
+            st.last_lsn = wal.append(&LogRecord::new(tid, Lsn::NONE, LogPayload::Begin));
+        }
+        txns.insert(tid, st);
+        Ok(())
+    }
+
+    pub fn txn_status(&self, tid: TransactionId) -> Option<LocalTxnStatus> {
+        self.txns.lock().get(&tid).map(|s| s.status)
+    }
+
+    pub fn active_txns(&self) -> Vec<TransactionId> {
+        self.txns.lock().keys().copied().collect()
+    }
+
+    /// Marks `tid` to vote NO at its next prepare (fault injection for the
+    /// abort paths of the commit protocols).
+    pub fn poison(&self, tid: TransactionId) {
+        self.poisoned.lock().insert(tid);
+    }
+
+    /// Appends an `Update` log record for `tid`, maintaining its chain.
+    fn log_update(&self, tid: TransactionId, op: &RedoOp) -> Lsn {
+        let wal = self.wal.as_ref().expect("log_update requires logging");
+        let mut txns = self.txns.lock();
+        let st = txns.get_mut(&tid).expect("logged op for unknown txn");
+        let lsn = wal.append(&LogRecord::new(tid, st.last_lsn, LogPayload::Update(op.clone())));
+        st.last_lsn = lsn;
+        lsn
+    }
+
+    /// Encodes a stored tuple for `table`.
+    fn encode_tuple(&self, table: &SegmentedHeapFile, tuple: &Tuple) -> DbResult<Vec<u8>> {
+        let mut enc = Encoder::with_capacity(table.tuple_size());
+        tuple.write_fixed(table.desc(), &mut enc)?;
+        Ok(enc.into_bytes().to_vec())
+    }
+
+    /// Inserts a tuple for `tid` with an `UNCOMMITTED` insertion timestamp.
+    pub fn insert(
+        &self,
+        tid: TransactionId,
+        table_id: TableId,
+        user_values: Vec<Value>,
+    ) -> DbResult<RecordId> {
+        let table = self.pool.table(table_id)?;
+        let key = user_values
+            .first()
+            .ok_or_else(|| DbError::Schema("empty tuple".into()))?
+            .as_i64()?;
+        let tuple = Tuple::versioned(Timestamp::UNCOMMITTED, Timestamp::ZERO, user_values);
+        let bytes = self.encode_tuple(&table, &tuple)?;
+        let rid = if self.wal.is_some() {
+            let mut logger = |op: &RedoOp| self.log_update(tid, op);
+            self.pool
+                .insert_tuple_bytes_logged(Some(tid), table_id, &bytes, Some(&mut logger))?
+        } else {
+            self.pool.insert_tuple_bytes(Some(tid), table_id, &bytes)?
+        };
+        self.index(table_id)?.insert(key, rid);
+        let seg = table.segment_of_page(rid.page.page_no).map(|s| s.0).unwrap_or(0);
+        let mut txns = self.txns.lock();
+        let st = txns
+            .get_mut(&tid)
+            .ok_or(DbError::UnknownTransaction(tid))?;
+        st.note_insert(rid, key, seg);
+        Ok(rid)
+    }
+
+    /// Registers a deletion: exclusive page lock now, deletion timestamp at
+    /// commit (§4.1 — "there is no reason for the database to write
+    /// uncommitted deletions").
+    pub fn delete(&self, tid: TransactionId, rid: RecordId) -> DbResult<()> {
+        self.pool.lock_page(tid, rid.page, LockMode::Exclusive)?;
+        // Validate under the lock: tuple exists and is not already deleted.
+        let (ins, del) = self.pool.with_page(None, rid.page, |p| {
+            Ok((
+                p.timestamp(rid.slot, TsField::Insertion)?,
+                p.timestamp(rid.slot, TsField::Deletion)?,
+            ))
+        })?;
+        if del != Timestamp::ZERO {
+            return Err(DbError::Constraint(format!("{rid} is already deleted")));
+        }
+        let mut txns = self.txns.lock();
+        let st = txns
+            .get_mut(&tid)
+            .ok_or(DbError::UnknownTransaction(tid))?;
+        if ins.is_uncommitted() && !st.insertions.iter().any(|(r, _)| *r == rid) {
+            return Err(DbError::Internal(format!(
+                "{rid} is uncommitted and not owned by {tid}"
+            )));
+        }
+        if st.deletions.contains(&rid) {
+            return Err(DbError::Constraint(format!("{rid} deleted twice by {tid}")));
+        }
+        st.note_delete(rid);
+        Ok(())
+    }
+
+    /// Updates a tuple: a deletion of the old version plus an insertion of
+    /// the new one (§3.3).
+    pub fn update(
+        &self,
+        tid: TransactionId,
+        rid: RecordId,
+        new_user_values: Vec<Value>,
+    ) -> DbResult<RecordId> {
+        self.delete(tid, rid)?;
+        self.insert(tid, rid.page.table, new_user_values)
+    }
+
+    /// Reads the stored tuple at `rid` (lock-free; callers needing
+    /// transactional isolation lock the page first).
+    pub fn read_tuple(&self, rid: RecordId) -> DbResult<Tuple> {
+        let table = self.pool.table(rid.page.table)?;
+        let bytes = self.pool.read_tuple_bytes(None, rid)?;
+        let mut dec = harbor_common::codec::Decoder::new(&bytes);
+        Tuple::read_fixed(table.desc(), &mut dec)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit processing (driven by the distributed protocols)
+    // ------------------------------------------------------------------
+
+    /// First-phase vote. `commit_bound` is the coordinator's clock when it
+    /// sent PREPARE — the eventual commit time cannot be below it, which
+    /// checkpoints rely on. An `Err` is a NO vote; the caller then aborts.
+    pub fn prepare(
+        &self,
+        tid: TransactionId,
+        commit_bound: Timestamp,
+        log: StepLogging,
+    ) -> DbResult<()> {
+        if self.poisoned.lock().remove(&tid) {
+            return Err(DbError::Constraint(format!("{tid} failed constraint check")));
+        }
+        let mut txns = self.txns.lock();
+        let st = txns
+            .get_mut(&tid)
+            .ok_or(DbError::UnknownTransaction(tid))?;
+        if st.status != LocalTxnStatus::Pending {
+            return Err(DbError::protocol(format!(
+                "prepare in state {:?}",
+                st.status
+            )));
+        }
+        st.status = LocalTxnStatus::Prepared;
+        st.bound_commit_time(commit_bound);
+        if let (Some(wal), true) = (&self.wal, log.write) {
+            let rec = LogRecord::new(
+                tid,
+                st.last_lsn,
+                LogPayload::Prepare {
+                    coordinator: tid.coordinator(),
+                },
+            );
+            st.last_lsn = wal.append(&rec);
+            let lsn = st.last_lsn;
+            drop(txns);
+            if log.force {
+                wal.force(lsn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Enters the prepared-to-commit state with the assigned commit time
+    /// (3PC second phase).
+    pub fn prepare_to_commit(
+        &self,
+        tid: TransactionId,
+        commit_time: Timestamp,
+        log: StepLogging,
+    ) -> DbResult<()> {
+        let mut txns = self.txns.lock();
+        let st = txns
+            .get_mut(&tid)
+            .ok_or(DbError::UnknownTransaction(tid))?;
+        match st.status {
+            LocalTxnStatus::Prepared | LocalTxnStatus::PreparedToCommit(_) => {}
+            s => return Err(DbError::protocol(format!("prepare-to-commit in state {s:?}"))),
+        }
+        st.status = LocalTxnStatus::PreparedToCommit(commit_time);
+        st.bound_commit_time(commit_time);
+        if let (Some(wal), true) = (&self.wal, log.write) {
+            let rec = LogRecord::new(tid, st.last_lsn, LogPayload::PrepareToCommit { commit_time });
+            st.last_lsn = wal.append(&rec);
+            let lsn = st.last_lsn;
+            drop(txns);
+            if log.force {
+                wal.force(lsn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits: assigns `commit_time` to every tuple in the insertion and
+    /// deletion lists, writes the commit record per `log`, honours a FORCE
+    /// paging policy, releases locks and forgets the transaction.
+    pub fn commit(
+        &self,
+        tid: TransactionId,
+        commit_time: Timestamp,
+        log: StepLogging,
+    ) -> DbResult<()> {
+        let (insertions, deletions) = {
+            let mut txns = self.txns.lock();
+            let st = txns
+                .get_mut(&tid)
+                .ok_or(DbError::UnknownTransaction(tid))?;
+            st.status = LocalTxnStatus::Committing(commit_time);
+            st.bound_commit_time(commit_time);
+            (st.insertions.clone(), st.deletions.clone())
+        };
+        {
+            let _gate = self.commit_gate.read();
+            for (rid, _) in &insertions {
+                self.set_ts_logged(tid, *rid, TsField::Insertion, commit_time)?;
+            }
+            for rid in &deletions {
+                self.set_ts_logged(tid, *rid, TsField::Deletion, commit_time)?;
+                if let Ok(dlog) = self.deletion_log(rid.page.table) {
+                    dlog.note(*rid, commit_time);
+                }
+            }
+            self.applied_clock.fetch_max(commit_time.0, Ordering::SeqCst);
+        }
+        if let (Some(wal), true) = (&self.wal, log.write) {
+            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(Lsn::NONE);
+            let lsn = wal.append(&LogRecord::new(tid, last, LogPayload::Commit { commit_time }));
+            if let Some(st) = self.txns.lock().get_mut(&tid) {
+                st.last_lsn = lsn;
+            }
+            if log.force {
+                wal.force(lsn)?;
+            }
+        }
+        if self.pool.policy().force {
+            let mut pages: Vec<_> = insertions
+                .iter()
+                .map(|(r, _)| r.page)
+                .chain(deletions.iter().map(|r| r.page))
+                .collect();
+            pages.sort();
+            pages.dedup();
+            for pid in pages {
+                self.pool.flush_page(pid)?;
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(Lsn::NONE);
+            wal.append(&LogRecord::new(
+                tid,
+                last,
+                LogPayload::End {
+                    outcome: harbor_wal::TxnOutcome::Committed,
+                },
+            ));
+        }
+        self.txns.lock().remove(&tid);
+        self.locks.release_all(tid);
+        self.metrics.add_commits(1);
+        Ok(())
+    }
+
+    fn set_ts_logged(
+        &self,
+        tid: TransactionId,
+        rid: RecordId,
+        field: TsField,
+        ts: Timestamp,
+    ) -> DbResult<()> {
+        if self.wal.is_some() {
+            let mut logger = |op: &RedoOp| self.log_update(tid, op);
+            self.pool
+                .set_timestamp_logged(Some(tid), rid, field, ts, Some(&mut logger))
+        } else {
+            self.pool.set_timestamp(Some(tid), rid, field, ts)
+        }
+    }
+
+    /// Aborts: rolls back the transaction's changes, releases locks and
+    /// forgets it. Logless rollback uses the insertion list; the log-based
+    /// baseline walks the undo chain writing CLRs.
+    pub fn abort(&self, tid: TransactionId, log: StepLogging) -> DbResult<()> {
+        let (insertions, deletions_empty, last_lsn) = {
+            let mut txns = self.txns.lock();
+            let Some(st) = txns.get_mut(&tid) else {
+                // Unknown transaction: nothing to roll back (workers that
+                // crashed and recovered answer "abort" for unknown txns).
+                return Ok(());
+            };
+            st.status = LocalTxnStatus::Aborting;
+            (st.insertions.clone(), st.deletions.is_empty(), st.last_lsn)
+        };
+        if insertions.is_empty() && deletions_empty {
+            // Read-only: "the coordinator merely needs to notify the
+            // workers to release any system resources and locks" (§4.3) —
+            // no log records, no rollback work.
+            self.txns.lock().remove(&tid);
+            self.locks.release_all(tid);
+            self.metrics.add_aborts(1);
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            if log.write {
+                let lsn = wal.append(&LogRecord::new(tid, last_lsn, LogPayload::Abort));
+                if log.force {
+                    wal.force(lsn)?;
+                }
+            }
+            self.undo_chain(tid, last_lsn)?;
+        } else {
+            // Logless rollback: remove newly inserted tuples; deletions need
+            // no undo because their timestamps were never written (§4.1).
+            for (rid, _) in insertions.iter().rev() {
+                self.pool.remove_tuple(Some(tid), *rid)?;
+            }
+        }
+        for (rid, key) in &insertions {
+            if let Ok(idx) = self.index(rid.page.table) {
+                idx.remove(*key, *rid);
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(last_lsn);
+            wal.append(&LogRecord::new(
+                tid,
+                last,
+                LogPayload::End {
+                    outcome: harbor_wal::TxnOutcome::Aborted,
+                },
+            ));
+        }
+        self.txns.lock().remove(&tid);
+        self.locks.release_all(tid);
+        self.metrics.add_aborts(1);
+        Ok(())
+    }
+
+    /// Walks one transaction's log chain backwards, applying inverses and
+    /// writing CLRs (normal-processing rollback under the baseline).
+    fn undo_chain(&self, tid: TransactionId, from: Lsn) -> DbResult<()> {
+        let wal = self.wal.as_ref().expect("undo requires logging");
+        let mut cursor = from;
+        while !cursor.is_none() {
+            let (rec, _) = wal.read_record(cursor)?;
+            match rec.payload {
+                LogPayload::Update(op) => {
+                    let inverse = op.inverse();
+                    let clr_lsn = {
+                        let mut txns = self.txns.lock();
+                        let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
+                        let lsn = wal.append(&LogRecord::new(
+                            tid,
+                            st.last_lsn,
+                            LogPayload::Clr {
+                                redo: inverse.clone(),
+                                undo_next: rec.prev_lsn,
+                            },
+                        ));
+                        st.last_lsn = lsn;
+                        lsn
+                    };
+                    self.pool.apply_redo(&inverse, clr_lsn)?;
+                    cursor = rec.prev_lsn;
+                }
+                LogPayload::Clr { undo_next, .. } => cursor = undo_next,
+                _ => cursor = rec.prev_lsn,
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Runs one HARBOR checkpoint (Fig 3-2). Picks the largest safe `T`:
+    /// the applied clock, clamped below every in-flight commit bound. Also
+    /// records, per table, the lowest segment that may hold uncommitted
+    /// tuples (Phase 1's scan start). Returns the checkpoint time.
+    pub fn checkpoint(&self) -> DbResult<Timestamp> {
+        if self.checkpointer.is_suspended() {
+            return Ok(self.checkpointer.global());
+        }
+        let (t, snapshot, scan_start) = {
+            let _gate = self.commit_gate.write();
+            let mut t = self.local_now().prev();
+            let txns = self.txns.lock();
+            let mut min_seg: HashMap<TableId, u32> = HashMap::new();
+            for st in txns.values() {
+                if let Some(b) = st.commit_bound {
+                    t = t.min(b.prev());
+                }
+                for (table, seg) in &st.min_insert_segment {
+                    min_seg
+                        .entry(*table)
+                        .and_modify(|s| *s = (*s).min(*seg))
+                        .or_insert(*seg);
+                }
+            }
+            drop(txns);
+            let snapshot = self.pool.dirty_pages();
+            let mut scan_start = Vec::new();
+            for id in self.pool.table_ids() {
+                let table = self.pool.table(id)?;
+                let last = table.last_segment().0;
+                let s = min_seg.get(&id).copied().unwrap_or(last).min(last);
+                scan_start.push((id, s));
+            }
+            (t, snapshot, scan_start)
+        };
+        // Note: the flush must happen even when `t` has not advanced past
+        // the recorded checkpoint — dirty pages can carry data with *old*
+        // commit timestamps (bulk loads, recovery copies), and the existing
+        // checkpoint's durability contract covers them.
+        self.checkpointer
+            .checkpoint(&self.pool, t.max(self.checkpointer.global()), snapshot, scan_start)
+    }
+
+    /// Appends an ARIES fuzzy checkpoint record and updates the master
+    /// record (baseline mode).
+    pub fn log_checkpoint(&self) -> DbResult<()> {
+        let Some(wal) = &self.wal else {
+            return Err(DbError::internal("log_checkpoint requires logging"));
+        };
+        let att = {
+            let txns = self.txns.lock();
+            txns.iter()
+                .map(|(tid, st)| {
+                    let state = match st.status {
+                        LocalTxnStatus::Pending => CkptTxnState::Active,
+                        LocalTxnStatus::Prepared | LocalTxnStatus::PreparedToCommit(_) => {
+                            CkptTxnState::Prepared
+                        }
+                        LocalTxnStatus::Committing(_) => CkptTxnState::Committing,
+                        LocalTxnStatus::Aborting => CkptTxnState::Aborting,
+                    };
+                    (*tid, state, st.last_lsn)
+                })
+                .collect()
+        };
+        let dpt = self.pool.dirty_pages_with_reclsn();
+        let ckpt_tid = TransactionId::from_parts(self.site, 0);
+        let lsn = wal.append(&LogRecord::new(
+            ckpt_tid,
+            Lsn::NONE,
+            LogPayload::Checkpoint { att, dpt },
+        ));
+        wal.force(lsn)?;
+        wal.write_master(lsn)?;
+        Ok(())
+    }
+
+    /// Runs ARIES restart recovery over the local log (baseline mode),
+    /// registering in-doubt transactions and invalidating indexes.
+    pub fn aries_restart(&self) -> DbResult<AriesReport> {
+        let Some(wal) = &self.wal else {
+            return Err(DbError::internal("aries_restart requires logging"));
+        };
+        let mut storage = PoolRecovery(&self.pool);
+        let report = aries::recover(wal, &mut storage)?;
+        let mut txns = self.txns.lock();
+        for tid in &report.in_doubt {
+            let mut st = TxnState::new();
+            st.status = LocalTxnStatus::Prepared;
+            txns.insert(*tid, st);
+        }
+        drop(txns);
+        for idx in self.indexes.lock().values() {
+            idx.invalidate();
+        }
+        for dlog in self.deletion_logs.lock().values() {
+            dlog.invalidate();
+        }
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery primitives (used by HARBOR's three-phase algorithm)
+    // ------------------------------------------------------------------
+
+    /// Physically inserts an already-committed tuple (recovery Phases 2/3:
+    /// `INSERT LOCALLY` copies replica data without timestamp
+    /// reassignment). Updates segment annotations and the index.
+    pub fn insert_recovered(&self, table_id: TableId, tuple: &Tuple) -> DbResult<RecordId> {
+        let table = self.pool.table(table_id)?;
+        let ins = tuple.insertion_ts()?;
+        let del = tuple.deletion_ts()?;
+        if !ins.is_valid_commit_time() {
+            return Err(DbError::internal(
+                "insert_recovered requires a committed insertion timestamp",
+            ));
+        }
+        let bytes = self.encode_tuple(&table, tuple)?;
+        let rid = self.pool.insert_tuple_bytes(None, table_id, &bytes)?;
+        table.note_insert_commit(rid.page.page_no, ins);
+        if del.is_valid_commit_time() {
+            table.note_delete(rid.page.page_no, del);
+            self.deletion_log(table_id)?.note(rid, del);
+        }
+        let key = self.index(table_id)?.key_from_bytes(&bytes);
+        self.index(table_id)?.insert(key, rid);
+        Ok(rid)
+    }
+
+    /// Physically removes a tuple (recovery Phase 1's `DELETE LOCALLY`).
+    pub fn remove_physical(&self, rid: RecordId) -> DbResult<()> {
+        let old_del = self.pool.read_timestamp(rid, TsField::Deletion)?;
+        let bytes = self.pool.remove_tuple(None, rid)?;
+        if let Ok(idx) = self.index(rid.page.table) {
+            let key = idx.key_from_bytes(&bytes);
+            idx.remove(key, rid);
+        }
+        if let Ok(dlog) = self.deletion_log(rid.page.table) {
+            dlog.unnote(rid, old_del);
+        }
+        Ok(())
+    }
+
+    /// Overwrites a deletion timestamp in place (Phase 1's undelete writes
+    /// zero; Phases 2/3 copy the buddy's deletion times).
+    pub fn set_deletion(&self, rid: RecordId, ts: Timestamp) -> DbResult<()> {
+        let old = self.pool.read_timestamp(rid, TsField::Deletion)?;
+        self.pool.set_timestamp(None, rid, TsField::Deletion, ts)?;
+        if let Ok(dlog) = self.deletion_log(rid.page.table) {
+            dlog.unnote(rid, old);
+            dlog.note(rid, ts);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("site", &self.site)
+            .field("dir", &self.dir)
+            .field("logging", &self.is_logging())
+            .finish()
+    }
+}

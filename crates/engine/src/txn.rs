@@ -1,0 +1,112 @@
+//! Per-transaction in-memory state (thesis §4.1, §6.1.4).
+//!
+//! A worker keeps, for each update transaction, an **insertion list** and a
+//! **deletion list** of record ids. At commit it assigns the commit time to
+//! the listed tuples' timestamp fields; to roll back it removes the newly
+//! inserted tuples — no undo information is required because updates and
+//! deletes never overwrite previously written data.
+
+use harbor_common::{RecordId, TableId, Timestamp};
+use harbor_wal::Lsn;
+use std::collections::HashMap;
+
+/// Local state machine of Fig 4-5 (pending → prepared → prepared-to-commit
+/// → committed, with aborted reachable from the first two).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalTxnStatus {
+    Pending,
+    Prepared,
+    PreparedToCommit(Timestamp),
+    Committing(Timestamp),
+    Aborting,
+}
+
+/// In-memory bookkeeping for one transaction on one site.
+#[derive(Debug)]
+pub struct TxnState {
+    pub status: LocalTxnStatus,
+    /// Lower bound on this transaction's eventual commit time, if known.
+    /// Set from the PREPARE message and tightened by PREPARE-TO-COMMIT /
+    /// COMMIT; lets checkpoints pick a `T` no in-flight commit can undercut.
+    pub commit_bound: Option<Timestamp>,
+    /// Tuples inserted by this transaction, with their primary keys
+    /// (assign insertion time at commit; physically remove — and unindex —
+    /// on abort).
+    pub insertions: Vec<(RecordId, i64)>,
+    /// Tuples deleted by this transaction (assign deletion time at commit;
+    /// nothing to undo on abort — deletion timestamps are only written at
+    /// commit, §4.1).
+    pub deletions: Vec<RecordId>,
+    /// Head of this transaction's log-record chain (log-based mode only).
+    pub last_lsn: Lsn,
+    /// Lowest segment index this transaction inserted into, per table —
+    /// feeds the checkpoint's Phase-1 scan-start bound.
+    pub min_insert_segment: HashMap<TableId, u32>,
+}
+
+impl TxnState {
+    pub fn new() -> Self {
+        TxnState {
+            status: LocalTxnStatus::Pending,
+            commit_bound: None,
+            insertions: Vec::new(),
+            deletions: Vec::new(),
+            last_lsn: Lsn::NONE,
+            min_insert_segment: HashMap::new(),
+        }
+    }
+
+    pub fn note_insert(&mut self, rid: RecordId, key: i64, segment: u32) {
+        self.insertions.push((rid, key));
+        self.min_insert_segment
+            .entry(rid.page.table)
+            .and_modify(|s| *s = (*s).min(segment))
+            .or_insert(segment);
+    }
+
+    pub fn note_delete(&mut self, rid: RecordId) {
+        self.deletions.push(rid);
+    }
+
+    /// Tightens the commit-time lower bound (never loosens it).
+    pub fn bound_commit_time(&mut self, bound: Timestamp) {
+        match self.commit_bound {
+            Some(b) if b >= bound => {}
+            _ => self.commit_bound = Some(bound),
+        }
+    }
+}
+
+impl Default for TxnState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::PageId;
+
+    #[test]
+    fn insert_tracking_records_min_segment() {
+        let mut st = TxnState::new();
+        let t = TableId(1);
+        st.note_insert(RecordId::new(PageId::new(t, 5), 0), 100, 2);
+        st.note_insert(RecordId::new(PageId::new(t, 3), 0), 101, 1);
+        st.note_insert(RecordId::new(PageId::new(TableId(2), 1), 0), 102, 7);
+        assert_eq!(st.min_insert_segment[&t], 1);
+        assert_eq!(st.min_insert_segment[&TableId(2)], 7);
+        assert_eq!(st.insertions.len(), 3);
+    }
+
+    #[test]
+    fn commit_bound_only_tightens() {
+        let mut st = TxnState::new();
+        st.bound_commit_time(Timestamp(10));
+        st.bound_commit_time(Timestamp(5));
+        assert_eq!(st.commit_bound, Some(Timestamp(10)));
+        st.bound_commit_time(Timestamp(20));
+        assert_eq!(st.commit_bound, Some(Timestamp(20)));
+    }
+}

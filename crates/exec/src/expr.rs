@@ -1,0 +1,325 @@
+//! A small expression language for predicates and projections.
+//!
+//! Query plans are built programmatically (the thesis implementation has no
+//! SQL frontend either: "query plans must be manually constructed", §6.1.5);
+//! expressions give those plans their WHERE clauses, including the timestamp
+//! range predicates of the recovery queries.
+
+use harbor_common::{DbResult, Timestamp, Tuple, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators (integer semantics, wrapping on overflow).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// An expression tree over one tuple.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Column reference by index into the input tuple.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn time(t: Timestamp) -> Expr {
+        Expr::Lit(Value::Time(t))
+    }
+
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates against `tuple`.
+    pub fn eval(&self, tuple: &Tuple) -> DbResult<Value> {
+        match self {
+            Expr::Col(i) => Ok(tuple.get(*i).clone()),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                let a = a.eval(tuple)?;
+                let b = b.eval(tuple)?;
+                Ok(Value::Int32(op.test(a.total_cmp(&b)) as i32))
+            }
+            Expr::Arith(op, a, b) => {
+                let a = a.eval(tuple)?.as_i64()?;
+                let b = b.eval(tuple)?.as_i64()?;
+                let v = match op {
+                    ArithOp::Add => a.wrapping_add(b),
+                    ArithOp::Sub => a.wrapping_sub(b),
+                    ArithOp::Mul => a.wrapping_mul(b),
+                    ArithOp::Div => {
+                        if b == 0 {
+                            return Err(harbor_common::DbError::Schema("division by zero".into()));
+                        }
+                        a.wrapping_div(b)
+                    }
+                    ArithOp::Mod => {
+                        if b == 0 {
+                            return Err(harbor_common::DbError::Schema("modulo by zero".into()));
+                        }
+                        a.wrapping_rem(b)
+                    }
+                };
+                Ok(Value::Int64(v))
+            }
+            Expr::And(a, b) => Ok(Value::Int32(
+                (a.eval_bool(tuple)? && b.eval_bool(tuple)?) as i32,
+            )),
+            Expr::Or(a, b) => Ok(Value::Int32(
+                (a.eval_bool(tuple)? || b.eval_bool(tuple)?) as i32,
+            )),
+            Expr::Not(a) => Ok(Value::Int32(!a.eval_bool(tuple)? as i32)),
+        }
+    }
+
+    /// Evaluates as a predicate.
+    pub fn eval_bool(&self, tuple: &Tuple) -> DbResult<bool> {
+        Ok(self.eval(tuple)?.as_i64()? != 0)
+    }
+}
+
+impl harbor_common::codec::Wire for Expr {
+    fn encode(&self, enc: &mut harbor_common::codec::Encoder) {
+        match self {
+            Expr::Col(i) => {
+                enc.put_u8(0);
+                enc.put_u32(*i as u32);
+            }
+            Expr::Lit(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+            Expr::Cmp(op, a, b) => {
+                enc.put_u8(2);
+                enc.put_u8(*op as u8);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Expr::Arith(op, a, b) => {
+                enc.put_u8(3);
+                enc.put_u8(*op as u8);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Expr::And(a, b) => {
+                enc.put_u8(4);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Expr::Or(a, b) => {
+                enc.put_u8(5);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Expr::Not(a) => {
+                enc.put_u8(6);
+                a.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut harbor_common::codec::Decoder<'_>) -> DbResult<Self> {
+        use harbor_common::DbError;
+        fn cmp_op(t: u8) -> DbResult<CmpOp> {
+            Ok(match t {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                _ => return Err(DbError::corrupt("bad cmp op")),
+            })
+        }
+        fn arith_op(t: u8) -> DbResult<ArithOp> {
+            Ok(match t {
+                0 => ArithOp::Add,
+                1 => ArithOp::Sub,
+                2 => ArithOp::Mul,
+                3 => ArithOp::Div,
+                4 => ArithOp::Mod,
+                _ => return Err(DbError::corrupt("bad arith op")),
+            })
+        }
+        Ok(match dec.get_u8()? {
+            0 => Expr::Col(dec.get_u32()? as usize),
+            1 => Expr::Lit(Value::decode(dec)?),
+            2 => {
+                let op = cmp_op(dec.get_u8()?)?;
+                Expr::Cmp(op, Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?))
+            }
+            3 => {
+                let op = arith_op(dec.get_u8()?)?;
+                Expr::Arith(op, Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?))
+            }
+            4 => Expr::And(Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?)),
+            5 => Expr::Or(Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?)),
+            6 => Expr::Not(Box::new(Expr::decode(dec)?)),
+            t => return Err(DbError::corrupt(format!("bad expr tag {t}"))),
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op:?} {b})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op:?} {b})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup() -> Tuple {
+        Tuple::new(vec![
+            Value::Time(Timestamp(5)),
+            Value::Time(Timestamp::ZERO),
+            Value::Int64(42),
+            Value::Int32(7),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = tup();
+        assert!(Expr::col(2).eq(Expr::lit(42i64)).eval_bool(&t).unwrap());
+        assert!(Expr::col(3).lt(Expr::lit(8)).eval_bool(&t).unwrap());
+        assert!(!Expr::col(3).gt(Expr::lit(8)).eval_bool(&t).unwrap());
+        assert!(Expr::col(0)
+            .le(Expr::time(Timestamp(5)))
+            .eval_bool(&t)
+            .unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = tup();
+        let e = Expr::col(2)
+            .eq(Expr::lit(42i64))
+            .and(Expr::col(3).eq(Expr::lit(7)));
+        assert!(e.eval_bool(&t).unwrap());
+        let e = Expr::col(2)
+            .eq(Expr::lit(0i64))
+            .or(Expr::col(3).eq(Expr::lit(7)));
+        assert!(e.eval_bool(&t).unwrap());
+        assert!(!Expr::col(3).eq(Expr::lit(7)).not().eval_bool(&t).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tup();
+        let e = Expr::col(2).add(Expr::lit(8i64));
+        assert_eq!(e.eval(&t).unwrap(), Value::Int64(50));
+        let e = Expr::col(3).mul(Expr::lit(6));
+        assert_eq!(e.eval(&t).unwrap(), Value::Int64(42));
+        assert!(Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::lit(1i64)),
+            Box::new(Expr::lit(0i64))
+        )
+        .eval(&t)
+        .is_err());
+    }
+
+    #[test]
+    fn mixed_width_comparison_works() {
+        let t = tup();
+        // Int32 column compared with Int64 literal.
+        assert!(Expr::col(3).eq(Expr::lit(7i64)).eval_bool(&t).unwrap());
+    }
+}

@@ -1,0 +1,170 @@
+//! In-memory transport: crossbeam-channel pipes with the same semantics as
+//! the TCP transport (framing, blocking, close-as-failure), plus optional
+//! injected per-message latency to model the paper's LAN in deterministic
+//! benchmarks.
+
+use crate::{closed, Channel, Listener, Transport};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use harbor_common::{DbError, DbResult, Metrics};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+type Frame = Vec<u8>;
+
+struct Registry {
+    listeners: HashMap<String, Sender<InMemChannel>>,
+}
+
+/// A process-local "network" of named endpoints.
+pub struct InMemNetwork {
+    registry: Arc<Mutex<Registry>>,
+    metrics: Metrics,
+    /// Injected one-way latency per message (None = instantaneous).
+    latency: Option<Duration>,
+}
+
+impl InMemNetwork {
+    pub fn new(metrics: Metrics) -> Self {
+        InMemNetwork {
+            registry: Arc::new(Mutex::new(Registry {
+                listeners: HashMap::new(),
+            })),
+            metrics,
+            latency: None,
+        }
+    }
+
+    /// A network where every `send` sleeps `latency` first, modelling link
+    /// delay (the figure harnesses use this to restore the paper's
+    /// network/disk cost ratio).
+    pub fn with_latency(metrics: Metrics, latency: Duration) -> Self {
+        InMemNetwork {
+            latency: Some(latency),
+            ..InMemNetwork::new(metrics)
+        }
+    }
+
+    /// Forcibly unbinds an address (crash simulation: the site's listener
+    /// vanishes; established channels die when their owner drops them).
+    pub fn unbind(&self, addr: &str) {
+        self.registry.lock().listeners.remove(addr);
+    }
+}
+
+impl Transport for InMemNetwork {
+    fn listen(&self, addr: &str) -> DbResult<Box<dyn Listener>> {
+        let (tx, rx) = unbounded();
+        let mut reg = self.registry.lock();
+        if reg.listeners.contains_key(addr) {
+            return Err(DbError::net(format!("address {addr} already bound")));
+        }
+        reg.listeners.insert(addr.to_string(), tx);
+        Ok(Box::new(InMemListener {
+            addr: addr.to_string(),
+            inbound: rx,
+            registry: self.registry.clone(),
+        }))
+    }
+
+    fn connect(&self, addr: &str) -> DbResult<Box<dyn Channel>> {
+        let tx = {
+            let reg = self.registry.lock();
+            reg.listeners
+                .get(addr)
+                .cloned()
+                .ok_or_else(|| DbError::net(format!("no listener at {addr}")))?
+        };
+        let (a_tx, a_rx) = unbounded::<Frame>();
+        let (b_tx, b_rx) = unbounded::<Frame>();
+        let server_side = InMemChannel {
+            peer: "client".to_string(),
+            tx: b_tx,
+            rx: a_rx,
+            metrics: self.metrics.clone(),
+            latency: self.latency,
+        };
+        let client_side = InMemChannel {
+            peer: addr.to_string(),
+            tx: a_tx,
+            rx: b_rx,
+            metrics: self.metrics.clone(),
+            latency: self.latency,
+        };
+        tx.send(server_side)
+            .map_err(|_| DbError::net(format!("listener at {addr} is gone")))?;
+        Ok(Box::new(client_side))
+    }
+}
+
+struct InMemListener {
+    addr: String,
+    inbound: Receiver<InMemChannel>,
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl Listener for InMemListener {
+    fn accept(&self) -> DbResult<Box<dyn Channel>> {
+        self.inbound
+            .recv()
+            .map(|c| Box::new(c) as Box<dyn Channel>)
+            .map_err(|_| DbError::net("listener closed"))
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> DbResult<Option<Box<dyn Channel>>> {
+        match self.inbound.recv_timeout(timeout) {
+            Ok(c) => Ok(Some(Box::new(c))),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(DbError::net("listener closed")),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl Drop for InMemListener {
+    fn drop(&mut self) {
+        self.registry.lock().listeners.remove(&self.addr);
+    }
+}
+
+struct InMemChannel {
+    peer: String,
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    metrics: Metrics,
+    latency: Option<Duration>,
+}
+
+impl Channel for InMemChannel {
+    fn send(&mut self, frame: &[u8]) -> DbResult<()> {
+        if let Some(lat) = self.latency {
+            std::thread::sleep(lat);
+        }
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| closed(&self.peer))?;
+        self.metrics.add_messages_sent(1);
+        self.metrics.add_bytes_sent(frame.len() as u64 + 4);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> DbResult<Vec<u8>> {
+        self.rx.recv().map_err(|_| closed(&self.peer))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> DbResult<Option<Vec<u8>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(closed(&self.peer)),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}

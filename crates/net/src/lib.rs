@@ -1,0 +1,140 @@
+//! Networking for the HARBOR reproduction.
+//!
+//! The thesis implementation is a thread-per-connection client/server over
+//! TCP sockets (§6.1.6); this crate reproduces that model behind a
+//! [`Transport`] abstraction with two interchangeable implementations:
+//!
+//! * [`tcp::TcpTransport`] — real `std::net` sockets (loopback in tests,
+//!   any LAN in principle);
+//! * [`inmem::InMemNetwork`] — crossbeam-channel pipes with optional
+//!   injected per-message latency, for deterministic tests and for figure
+//!   harnesses that model the paper's 85 Mb/s LAN.
+//!
+//! Failure detection is "the detection of an abruptly closed TCP socket
+//! connection as a signal for failure" (§5.5.1): both transports surface a
+//! closed peer as [`DbError::Net`], and [`DbError::is_disconnect`] is true
+//! for it.
+
+pub mod inmem;
+pub mod tcp;
+
+pub use inmem::InMemNetwork;
+pub use tcp::TcpTransport;
+
+use harbor_common::{DbError, DbResult};
+use std::time::Duration;
+
+/// One bidirectional, framed, ordered byte channel (a "connection").
+pub trait Channel: Send {
+    /// Sends one frame. Blocks until handed to the transport.
+    fn send(&mut self, frame: &[u8]) -> DbResult<()>;
+
+    /// Receives the next frame, blocking until one arrives or the peer
+    /// closes (then `Err` with `is_disconnect() == true`).
+    fn recv(&mut self) -> DbResult<Vec<u8>>;
+
+    /// As [`recv`](Self::recv) with a timeout; `Ok(None)` on timeout.
+    fn recv_timeout(&mut self, timeout: Duration) -> DbResult<Option<Vec<u8>>>;
+
+    /// Human-readable peer address (diagnostics).
+    fn peer(&self) -> String;
+}
+
+/// Accepts inbound connections at one address.
+pub trait Listener: Send {
+    /// Blocks for the next inbound connection.
+    fn accept(&self) -> DbResult<Box<dyn Channel>>;
+
+    /// As [`accept`](Self::accept) with a timeout; `Ok(None)` on timeout.
+    fn accept_timeout(&self, timeout: Duration) -> DbResult<Option<Box<dyn Channel>>>;
+
+    fn local_addr(&self) -> String;
+}
+
+/// A network: bind listeners, open connections.
+pub trait Transport: Send + Sync {
+    fn listen(&self, addr: &str) -> DbResult<Box<dyn Listener>>;
+    fn connect(&self, addr: &str) -> DbResult<Box<dyn Channel>>;
+}
+
+/// Shared error for a peer that went away.
+pub(crate) fn closed(peer: &str) -> DbError {
+    DbError::net(format!("connection to {peer} closed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::Metrics;
+    use std::sync::Arc;
+
+    /// Exercises one transport implementation through the trait object
+    /// surface (both impls must pass identically).
+    fn exercise(transport: Arc<dyn Transport>, addr: &str) {
+        let listener = transport.listen(addr).unwrap();
+        let addr_owned = listener.local_addr();
+        let t2 = transport.clone();
+        let server = std::thread::spawn(move || {
+            let mut chan = listener.accept().unwrap();
+            loop {
+                match chan.recv() {
+                    Ok(frame) => {
+                        let mut reply = frame.clone();
+                        reply.reverse();
+                        chan.send(&reply).unwrap();
+                    }
+                    Err(e) => {
+                        assert!(e.is_disconnect());
+                        break;
+                    }
+                }
+            }
+        });
+        {
+            let mut client = t2.connect(&addr_owned).unwrap();
+            client.send(b"hello").unwrap();
+            assert_eq!(client.recv().unwrap(), b"olleh");
+            // Large frame crosses any internal buffer boundaries.
+            let big = vec![7u8; 1_000_000];
+            client.send(&big).unwrap();
+            assert_eq!(client.recv().unwrap().len(), big.len());
+            // recv_timeout with no pending data returns None.
+            assert!(client
+                .recv_timeout(Duration::from_millis(30))
+                .unwrap()
+                .is_none());
+        } // client drops: server sees a disconnect
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_round_trip_and_disconnect() {
+        let t: Arc<dyn Transport> = Arc::new(TcpTransport::new(Metrics::new()));
+        exercise(t, "127.0.0.1:0");
+    }
+
+    #[test]
+    fn inmem_round_trip_and_disconnect() {
+        let t: Arc<dyn Transport> = Arc::new(InMemNetwork::new(Metrics::new()));
+        exercise(t, "site-a");
+    }
+
+    #[test]
+    fn connect_to_missing_listener_fails() {
+        let t = InMemNetwork::new(Metrics::new());
+        assert!(t.connect("nobody-home").is_err());
+    }
+
+    #[test]
+    fn message_metrics_are_counted() {
+        let metrics = Metrics::new();
+        let t: Arc<dyn Transport> = Arc::new(InMemNetwork::new(metrics.clone()));
+        let listener = t.listen("m").unwrap();
+        let mut c = t.connect("m").unwrap();
+        let mut s = listener.accept().unwrap();
+        c.send(b"abc").unwrap();
+        assert_eq!(s.recv().unwrap(), b"abc");
+        assert_eq!(metrics.messages_sent(), 1);
+        assert_eq!(metrics.bytes_sent(), 7, "3 payload bytes + 4 framing");
+    }
+}

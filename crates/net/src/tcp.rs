@@ -1,0 +1,204 @@
+//! TCP transport: length-prefixed frames over `std::net` sockets,
+//! thread-per-connection, exactly the shape of the thesis implementation
+//! (§6.1.6).
+
+use crate::{closed, Channel, Listener, Transport};
+use harbor_common::{DbError, DbResult, Metrics};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Real-socket transport. Addresses are `host:port`; binding to port 0
+/// picks a free port (read it back via [`Listener::local_addr`]).
+pub struct TcpTransport {
+    metrics: Metrics,
+}
+
+impl TcpTransport {
+    pub fn new(metrics: Metrics) -> Self {
+        TcpTransport { metrics }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn listen(&self, addr: &str) -> DbResult<Box<dyn Listener>> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| DbError::net(format!("bind {addr}: {e}")))?;
+        Ok(Box::new(TcpListenerWrap {
+            listener,
+            metrics: self.metrics.clone(),
+        }))
+    }
+
+    fn connect(&self, addr: &str) -> DbResult<Box<dyn Channel>> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| DbError::net(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpChannel {
+            stream,
+            peer: addr.to_string(),
+            metrics: self.metrics.clone(),
+        }))
+    }
+}
+
+struct TcpListenerWrap {
+    listener: TcpListener,
+    metrics: Metrics,
+}
+
+impl Listener for TcpListenerWrap {
+    fn accept(&self) -> DbResult<Box<dyn Channel>> {
+        let (stream, peer) = self
+            .listener
+            .accept()
+            .map_err(|e| DbError::net(format!("accept: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(TcpChannel {
+            stream,
+            peer: peer.to_string(),
+            metrics: self.metrics.clone(),
+        }))
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> DbResult<Option<Box<dyn Channel>>> {
+        self.listener.set_nonblocking(true).ok();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    self.listener.set_nonblocking(false).ok();
+                    stream.set_nodelay(true).ok();
+                    return Ok(Some(Box::new(TcpChannel {
+                        stream,
+                        peer: peer.to_string(),
+                        metrics: self.metrics.clone(),
+                    })));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        self.listener.set_nonblocking(false).ok();
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => {
+                    self.listener.set_nonblocking(false).ok();
+                    return Err(DbError::net(format!("accept: {e}")));
+                }
+            }
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+}
+
+struct TcpChannel {
+    stream: TcpStream,
+    peer: String,
+    metrics: Metrics,
+}
+
+impl TcpChannel {
+    /// Reads a frame. `first` is a header byte already consumed by a
+    /// timed-out poll (see `recv_timeout`): the poll only ever times out
+    /// *between* frames, never mid-frame, so the stream cannot desync.
+    fn read_frame(&mut self, first: Option<u8>) -> DbResult<Vec<u8>> {
+        let mut len = [0u8; 4];
+        let rest = match first {
+            Some(b) => {
+                len[0] = b;
+                &mut len[1..]
+            }
+            None => &mut len[..],
+        };
+        match self.stream.read_exact(rest) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::UnexpectedEof
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                ) =>
+            {
+                return Err(closed(&self.peer));
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        let mut buf = vec![0u8; len];
+        self.stream
+            .read_exact(&mut buf)
+            .map_err(|_| closed(&self.peer))?;
+        Ok(buf)
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, frame: &[u8]) -> DbResult<()> {
+        let len = (frame.len() as u32).to_le_bytes();
+        let r = self
+            .stream
+            .write_all(&len)
+            .and_then(|_| self.stream.write_all(frame));
+        match r {
+            Ok(()) => {
+                self.metrics.add_messages_sent(1);
+                self.metrics.add_bytes_sent(frame.len() as u64 + 4);
+                Ok(())
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::BrokenPipe
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                ) =>
+            {
+                Err(closed(&self.peer))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn recv(&mut self) -> DbResult<Vec<u8>> {
+        self.stream.set_read_timeout(None).ok();
+        self.read_frame(None)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> DbResult<Option<Vec<u8>>> {
+        // Time out only on the first header byte; once anything of a frame
+        // has arrived, block for the rest (the sender wrote it whole).
+        self.stream.set_read_timeout(Some(timeout)).ok();
+        let mut first = [0u8; 1];
+        let got = self.stream.read_exact(&mut first);
+        self.stream.set_read_timeout(None).ok();
+        match got {
+            Ok(()) => Ok(Some(self.read_frame(Some(first[0]))?)),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Ok(None),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::UnexpectedEof
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                ) =>
+            {
+                Err(closed(&self.peer))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}

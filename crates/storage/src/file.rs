@@ -1,0 +1,326 @@
+//! Raw page-granular file I/O and the on-disk checkpoint record.
+
+use harbor_common::config::PAGE_SIZE;
+use harbor_common::{DbError, DbResult, DiskProfile, Metrics, TableId, Timestamp};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Page-granular file: the backing store of one table's heap.
+///
+/// All access is serialized on an internal mutex; the buffer pool above
+/// ensures a page is read or written by at most one frame at a time anyway,
+/// so the mutex only orders unrelated pages, like a single disk arm would.
+pub struct TableFile {
+    path: PathBuf,
+    file: Mutex<File>,
+    disk: DiskProfile,
+    metrics: Metrics,
+}
+
+impl TableFile {
+    pub fn create(
+        path: impl AsRef<Path>,
+        disk: DiskProfile,
+        metrics: Metrics,
+    ) -> DbResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(TableFile {
+            path,
+            file: Mutex::new(file),
+            disk,
+            metrics,
+        })
+    }
+
+    pub fn open(path: impl AsRef<Path>, disk: DiskProfile, metrics: Metrics) -> DbResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        Ok(TableFile {
+            path,
+            file: Mutex::new(file),
+            disk,
+            metrics,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of whole pages currently in the file.
+    pub fn num_pages(&self) -> DbResult<u32> {
+        let f = self.file.lock();
+        Ok((f.metadata()?.len() / PAGE_SIZE as u64) as u32)
+    }
+
+    /// Reads page `page_no` into a fresh buffer.
+    pub fn read_page(&self, page_no: u32) -> DbResult<Box<[u8; PAGE_SIZE]>> {
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        {
+            let mut f = self.file.lock();
+            let len = f.metadata()?.len();
+            let off = page_no as u64 * PAGE_SIZE as u64;
+            if off + PAGE_SIZE as u64 > len {
+                return Err(DbError::NoSuchPage(harbor_common::PageId::new(
+                    TableId(u32::MAX),
+                    page_no,
+                )));
+            }
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(&mut buf)?;
+        }
+        self.metrics.add_page_reads(1);
+        Ok(buf.try_into().unwrap())
+    }
+
+    /// Writes page `page_no`, extending the file if needed. Writes may land
+    /// beyond the current end (pages are allocated in memory and can be
+    /// flushed out of order); the intervening hole reads back as zeroes,
+    /// which the buffer pool interprets as "never flushed" — exactly the
+    /// state such pages are in after a crash.
+    pub fn write_page(&self, page_no: u32, data: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        {
+            let mut f = self.file.lock();
+            let off = page_no as u64 * PAGE_SIZE as u64;
+            f.seek(SeekFrom::Start(off))?;
+            f.write_all(data)?;
+        }
+        self.metrics.add_page_writes(1);
+        Ok(())
+    }
+
+    /// Durability barrier per the disk profile (checkpoints use this).
+    pub fn sync(&self) -> DbResult<()> {
+        if self.disk.real_fsync {
+            self.file.lock().sync_data()?;
+        }
+        if let Some(lat) = self.disk.emulated_force_latency {
+            std::thread::sleep(lat);
+        }
+        self.metrics.add_physical_syncs(1);
+        Ok(())
+    }
+}
+
+/// The on-disk checkpoint record of Fig 3-2, extended with the per-object
+/// checkpoints recovery needs (§5.3: "S adopts a finer-granularity approach
+/// to checkpointing during recovery and maintains a separate checkpoint per
+/// object").
+///
+/// Stored at a well-known location (one small file per site) and replaced
+/// atomically via write-to-temp + rename, so a crash mid-checkpoint leaves
+/// the previous record intact.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CheckpointRecord {
+    /// All updates at or before this time are on disk (global checkpoint).
+    pub global: Timestamp,
+    /// Per-object overrides recorded during recovery; an object's effective
+    /// checkpoint is `max(global, override)`.
+    pub per_object: BTreeMap<u32, Timestamp>,
+    /// Per-table: the lowest segment index that can contain tuples inserted
+    /// by transactions not yet finished at checkpoint time. Phase 1's
+    /// `insertion_time = uncommitted` disjunct scans from here; recording it
+    /// makes the disjunct sound even when a long transaction's inserts
+    /// straddle a segment boundary.
+    pub scan_start: BTreeMap<u32, u32>,
+}
+
+impl CheckpointRecord {
+    /// Effective checkpoint for one table.
+    pub fn for_table(&self, table: TableId) -> Timestamp {
+        let o = self
+            .per_object
+            .get(&table.0)
+            .copied()
+            .unwrap_or(Timestamp::ZERO);
+        self.global.max(o)
+    }
+
+    /// Promotes the global checkpoint and clears per-object overrides it
+    /// subsumes (§5.3: "the site resumes using the single, global checkpoint
+    /// once recovery for all objects completes").
+    pub fn promote_global(&mut self, t: Timestamp) {
+        if t > self.global {
+            self.global = t;
+        }
+        self.per_object.retain(|_, ts| *ts > self.global);
+    }
+
+    pub fn set_object(&mut self, table: TableId, t: Timestamp) {
+        if t > self.for_table(table) {
+            self.per_object.insert(table.0, t);
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(20 + self.per_object.len() * 12 + self.scan_start.len() * 8);
+        out.extend_from_slice(b"HBCK");
+        out.extend_from_slice(&self.global.0.to_le_bytes());
+        out.extend_from_slice(&(self.per_object.len() as u32).to_le_bytes());
+        for (t, ts) in &self.per_object {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&ts.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.scan_start.len() as u32).to_le_bytes());
+        for (t, seg) in &self.scan_start {
+            out.extend_from_slice(&t.to_le_bytes());
+            out.extend_from_slice(&seg.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> DbResult<Self> {
+        if bytes.len() < 16 || &bytes[..4] != b"HBCK" {
+            return Err(DbError::corrupt("bad checkpoint record"));
+        }
+        let global = Timestamp(u64::from_le_bytes(bytes[4..12].try_into().unwrap()));
+        let n = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let objects_end = 16 + n * 12;
+        if bytes.len() < objects_end + 4 {
+            return Err(DbError::corrupt("truncated checkpoint record"));
+        }
+        let mut per_object = BTreeMap::new();
+        for i in 0..n {
+            let off = 16 + i * 12;
+            let t = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let ts = Timestamp(u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()));
+            per_object.insert(t, ts);
+        }
+        let m = u32::from_le_bytes(bytes[objects_end..objects_end + 4].try_into().unwrap()) as usize;
+        if bytes.len() != objects_end + 4 + m * 8 {
+            return Err(DbError::corrupt("truncated checkpoint record"));
+        }
+        let mut scan_start = BTreeMap::new();
+        for i in 0..m {
+            let off = objects_end + 4 + i * 8;
+            let t = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let seg = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            scan_start.insert(t, seg);
+        }
+        Ok(CheckpointRecord {
+            global,
+            per_object,
+            scan_start,
+        })
+    }
+
+    /// Atomically persists the record at `path`.
+    pub fn write(&self, path: impl AsRef<Path>, disk: DiskProfile) -> DbResult<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            if disk.real_fsync {
+                f.sync_data()?;
+            }
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(lat) = disk.emulated_force_latency {
+            std::thread::sleep(lat);
+        }
+        Ok(())
+    }
+
+    /// Loads the record; a missing file means "never checkpointed" and reads
+    /// as all-zero (time zero predates every transaction).
+    pub fn read(path: impl AsRef<Path>) -> DbResult<Self> {
+        match std::fs::read(path) {
+            Ok(bytes) => Self::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("harbor-storage-file-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn page_io_round_trips_and_grows() {
+        let path = temp("pages.tbl");
+        let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        assert_eq!(f.num_pages().unwrap(), 0);
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xab;
+        f.write_page(0, &page).unwrap();
+        page[0] = 0xcd;
+        f.write_page(1, &page).unwrap();
+        assert_eq!(f.num_pages().unwrap(), 2);
+        assert_eq!(f.read_page(0).unwrap()[0], 0xab);
+        assert_eq!(f.read_page(1).unwrap()[0], 0xcd);
+        assert!(f.read_page(2).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sparse_writes_leave_zero_holes() {
+        let path = temp("holes.tbl");
+        let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[9] = 0x11;
+        f.write_page(3, &page).unwrap();
+        assert_eq!(f.num_pages().unwrap(), 4);
+        assert!(f.read_page(1).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(f.read_page(3).unwrap()[9], 0x11);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_record_round_trips() {
+        let path = temp("ckpt");
+        let mut rec = CheckpointRecord::default();
+        rec.promote_global(Timestamp(40));
+        rec.set_object(TableId(7), Timestamp(55));
+        rec.scan_start.insert(7, 3);
+        rec.write(&path, DiskProfile::fast()).unwrap();
+        let back = CheckpointRecord::read(&path).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.for_table(TableId(7)), Timestamp(55));
+        assert_eq!(back.for_table(TableId(1)), Timestamp(40));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_reads_as_time_zero() {
+        let rec = CheckpointRecord::read(temp("nonexistent-ckpt")).unwrap();
+        assert_eq!(rec.global, Timestamp::ZERO);
+        assert_eq!(rec.for_table(TableId(1)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn promote_global_subsumes_object_checkpoints() {
+        let mut rec = CheckpointRecord::default();
+        rec.set_object(TableId(1), Timestamp(10));
+        rec.set_object(TableId(2), Timestamp(30));
+        rec.promote_global(Timestamp(20));
+        assert_eq!(rec.for_table(TableId(1)), Timestamp(20));
+        assert_eq!(rec.for_table(TableId(2)), Timestamp(30));
+        assert_eq!(rec.per_object.len(), 1);
+    }
+
+    #[test]
+    fn set_object_never_regresses() {
+        let mut rec = CheckpointRecord::default();
+        rec.set_object(TableId(1), Timestamp(10));
+        rec.set_object(TableId(1), Timestamp(5));
+        assert_eq!(rec.for_table(TableId(1)), Timestamp(10));
+    }
+}

@@ -1,0 +1,36 @@
+//! Physical storage for the HARBOR reproduction: slotted pages, segmented
+//! heap files with timestamp annotations, a buffer pool with pluggable
+//! paging policies, a multi-granularity lock manager, and checkpointing.
+//!
+//! Architecture (thesis Fig 6-1, storage slice):
+//!
+//! ```text
+//!      operators / engine
+//!            │
+//!        BufferPool ──── LockManager
+//!            │
+//!   SegmentedHeapFile (Directory + TableFile)
+//!            │
+//!        file system
+//! ```
+//!
+//! The crate is recovery-mechanism-agnostic: a site running the ARIES
+//! baseline attaches a [`harbor_wal::LogManager`] to the pool (WAL rule on
+//! write-back, page LSNs); a HARBOR site attaches nothing and relies on
+//! checkpoints plus replica queries.
+
+pub mod buffer;
+pub mod checkpoint;
+pub mod directory;
+pub mod file;
+pub mod lock;
+pub mod page;
+pub mod table;
+
+pub use buffer::{BufferPool, PagePolicy, PoolRecovery};
+pub use checkpoint::Checkpointer;
+pub use directory::{Directory, ScanBounds, SegmentMeta};
+pub use file::{CheckpointRecord, TableFile};
+pub use lock::{DeadlockPolicy, LockKey, LockManager, LockMode};
+pub use page::{slots_per_page, Page};
+pub use table::SegmentedHeapFile;

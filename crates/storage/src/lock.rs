@@ -1,0 +1,502 @@
+//! The lock manager (thesis §6.1.2).
+//!
+//! Strict two-phase locking at page granularity for ordinary transactions,
+//! plus table granularity for recovery: Phase 3 of HARBOR's recovery takes a
+//! *table-level read lock* on every recovery object at the buddies (§5.4.1),
+//! which must block page-level writers. That requires hierarchical locking,
+//! so the manager implements the classic multi-granularity modes
+//! `IS / IX / S / SIX / X`: writers take `IX` on the table before `X` on a
+//! page, readers take `IS` before `S`, and the recovering site's table-`S`
+//! conflicts with writers' table-`IX` exactly as §5.4.1 needs.
+//!
+//! Deadlocks are resolved by timeout, as in the thesis ("the call employs a
+//! simple timeout mechanism and throws an exception"). The timeout is
+//! configurable; [`LockManager::release_all`] implements `releaseLocks`.
+//!
+//! Historical queries never call into this module at all — that they are
+//! lock-free is what lets recovery Phase 2 run without quiescing the system.
+
+use harbor_common::{DbError, DbResult, Metrics, PageId, TableId, TransactionId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Lockable resources.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockKey {
+    Table(TableId),
+    Page(PageId),
+}
+
+impl std::fmt::Display for LockKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockKey::Table(t) => write!(f, "{t}"),
+            LockKey::Page(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// Multi-granularity lock modes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intention shared: this txn holds S locks below.
+    IntentionShared,
+    /// Intention exclusive: this txn holds X locks below.
+    IntentionExclusive,
+    /// Shared.
+    Shared,
+    /// Shared + intention exclusive.
+    SharedIntentionExclusive,
+    /// Exclusive.
+    Exclusive,
+}
+
+use LockMode::*;
+
+impl LockMode {
+    /// Classic multi-granularity compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (IntentionShared, IntentionShared)
+                | (IntentionShared, IntentionExclusive)
+                | (IntentionShared, Shared)
+                | (IntentionShared, SharedIntentionExclusive)
+                | (IntentionExclusive, IntentionShared)
+                | (IntentionExclusive, IntentionExclusive)
+                | (Shared, IntentionShared)
+                | (Shared, Shared)
+                | (SharedIntentionExclusive, IntentionShared)
+        )
+    }
+
+    /// Least upper bound in the mode lattice — the mode a holder ends up
+    /// with after also acquiring `other` (lock upgrade).
+    pub fn join(self, other: LockMode) -> LockMode {
+        if self == other {
+            return self;
+        }
+        match (self.min(other), self.max(other)) {
+            (IntentionShared, m) => m,
+            (IntentionExclusive, Shared) => SharedIntentionExclusive,
+            (IntentionExclusive, SharedIntentionExclusive) => SharedIntentionExclusive,
+            (Shared, SharedIntentionExclusive) => SharedIntentionExclusive,
+            (_, Exclusive) => Exclusive,
+            (a, b) => {
+                debug_assert!(false, "unhandled join {a:?} {b:?}");
+                Exclusive
+            }
+        }
+    }
+
+    /// `true` when holding `self` satisfies a request for `want`.
+    pub fn covers(self, want: LockMode) -> bool {
+        self.join(want) == self
+    }
+}
+
+#[derive(Default)]
+struct LockEntry {
+    holders: HashMap<TransactionId, LockMode>,
+    /// Number of transactions blocked on this entry (for fairness metrics).
+    waiters: usize,
+}
+
+struct State {
+    locks: HashMap<LockKey, LockEntry>,
+    /// Which key each blocked transaction is currently waiting for (every
+    /// transaction waits for at most one lock at a time). Feeds the
+    /// waits-for-graph deadlock detector.
+    waiting_for: HashMap<TransactionId, (LockKey, LockMode)>,
+}
+
+/// How deadlocks are broken.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeadlockPolicy {
+    /// The thesis' approach (§6.1.2): wait out the timeout, then error.
+    #[default]
+    Timeout,
+    /// Extension: build the waits-for graph at block time and refuse the
+    /// wait immediately when it would close a cycle (requester = victim).
+    /// The timeout remains as a backstop.
+    WaitsForGraph,
+}
+
+/// The per-site lock manager.
+pub struct LockManager {
+    state: Mutex<State>,
+    released: Condvar,
+    timeout: Duration,
+    policy: DeadlockPolicy,
+    metrics: Metrics,
+}
+
+impl LockManager {
+    pub fn new(timeout: Duration, metrics: Metrics) -> Self {
+        Self::with_policy(timeout, DeadlockPolicy::Timeout, metrics)
+    }
+
+    pub fn with_policy(timeout: Duration, policy: DeadlockPolicy, metrics: Metrics) -> Self {
+        LockManager {
+            state: Mutex::new(State {
+                locks: HashMap::new(),
+                waiting_for: HashMap::new(),
+            }),
+            released: Condvar::new(),
+            timeout,
+            policy,
+            metrics,
+        }
+    }
+
+    /// Would `tid` waiting for `key` in `mode` close a waits-for cycle?
+    /// DFS over "waiter → conflicting holders" edges.
+    fn closes_cycle(
+        st: &State,
+        tid: TransactionId,
+        key: LockKey,
+        mode: LockMode,
+    ) -> bool {
+        // Conflicting holders of the key a transaction waits for.
+        let blockers = |t: TransactionId, k: LockKey, m: LockMode| -> Vec<TransactionId> {
+            st.locks
+                .get(&k)
+                .map(|e| {
+                    e.holders
+                        .iter()
+                        .filter(|(other, held)| **other != t && !m.compatible(**held))
+                        .map(|(other, _)| *other)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let mut stack = blockers(tid, key, mode);
+        let mut seen: Vec<TransactionId> = Vec::new();
+        while let Some(t) = stack.pop() {
+            if t == tid {
+                return true;
+            }
+            if seen.contains(&t) {
+                continue;
+            }
+            seen.push(t);
+            if let Some((k, m)) = st.waiting_for.get(&t) {
+                stack.extend(blockers(t, *k, *m));
+            }
+        }
+        false
+    }
+
+    /// Blocks until the lock is granted or the deadlock timeout expires
+    /// (`acquireLock` of §6.1.2).
+    pub fn acquire(&self, tid: TransactionId, key: LockKey, mode: LockMode) -> DbResult<()> {
+        self.acquire_with_timeout(tid, key, mode, self.timeout)
+    }
+
+    /// As [`acquire`](Self::acquire) with an explicit timeout; recovery uses
+    /// long timeouts when waiting out pending update transactions (§5.4.1
+    /// "retries until it succeeds").
+    pub fn acquire_with_timeout(
+        &self,
+        tid: TransactionId,
+        key: LockKey,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> DbResult<()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let mut waited = false;
+        loop {
+            let entry = st.locks.entry(key).or_default();
+            let held = entry.holders.get(&tid).copied();
+            let target = held.map(|h| h.join(mode)).unwrap_or(mode);
+            if held.map(|h| h.covers(mode)).unwrap_or(false) {
+                return Ok(()); // already sufficient
+            }
+            let conflict = entry
+                .holders
+                .iter()
+                .any(|(other, m)| *other != tid && !target.compatible(*m));
+            if !conflict {
+                entry.holders.insert(tid, target);
+                if waited {
+                    self.metrics.add_lock_waits(1);
+                }
+                return Ok(());
+            }
+            waited = true;
+            // End the mutable borrow of the entry before graph traversal.
+            let _ = entry;
+            if self.policy == DeadlockPolicy::WaitsForGraph
+                && Self::closes_cycle(&st, tid, key, target)
+            {
+                self.metrics.add_lock_waits(1);
+                self.metrics.add_lock_timeouts(1);
+                return Err(DbError::LockTimeout {
+                    txn: tid,
+                    what: format!("{key} (waits-for cycle)"),
+                });
+            }
+            if let Some(e) = st.locks.get_mut(&key) {
+                e.waiters += 1;
+            }
+            st.waiting_for.insert(tid, (key, target));
+            let timed_out = self.released.wait_until(&mut st, deadline).timed_out();
+            st.waiting_for.remove(&tid);
+            if let Some(e) = st.locks.get_mut(&key) {
+                e.waiters -= 1;
+            }
+            if timed_out {
+                self.metrics.add_lock_waits(1);
+                self.metrics.add_lock_timeouts(1);
+                return Err(DbError::LockTimeout {
+                    txn: tid,
+                    what: key.to_string(),
+                });
+            }
+        }
+    }
+
+    /// `hasAccess` of §6.1.2: does `tid` already hold a lock covering `mode`?
+    pub fn has_access(&self, tid: TransactionId, key: LockKey, mode: LockMode) -> bool {
+        let st = self.state.lock();
+        st.locks
+            .get(&key)
+            .and_then(|e| e.holders.get(&tid))
+            .map(|h| h.covers(mode))
+            .unwrap_or(false)
+    }
+
+    /// Releases every lock held by `tid` (`releaseLocks`; end of strict 2PL).
+    pub fn release_all(&self, tid: TransactionId) {
+        let mut st = self.state.lock();
+        st.locks.retain(|_, e| {
+            e.holders.remove(&tid);
+            !e.holders.is_empty() || e.waiters > 0
+        });
+        drop(st);
+        self.released.notify_all();
+    }
+
+    /// Releases one specific lock (recovery releases its remote read locks
+    /// object by object, §5.4.2).
+    pub fn release(&self, tid: TransactionId, key: LockKey) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.locks.get_mut(&key) {
+            e.holders.remove(&tid);
+            if e.holders.is_empty() && e.waiters == 0 {
+                st.locks.remove(&key);
+            }
+        }
+        drop(st);
+        self.released.notify_all();
+    }
+
+    /// Transactions currently holding a lock on `key` (any mode). Used by a
+    /// recovery buddy to detect and break a dead recoverer's locks (§5.5.1:
+    /// "overrides the node's ownership of the locks and releases them").
+    pub fn holders(&self, key: LockKey) -> Vec<TransactionId> {
+        let st = self.state.lock();
+        st.locks
+            .get(&key)
+            .map(|e| e.holders.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct locks currently held (tests / introspection).
+    pub fn held_count(&self) -> usize {
+        self.state.lock().locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::ids::SiteId;
+    use std::sync::Arc;
+
+    fn tid(n: u64) -> TransactionId {
+        TransactionId::from_parts(SiteId(0), n)
+    }
+
+    fn mgr(ms: u64) -> LockManager {
+        LockManager::new(Duration::from_millis(ms), Metrics::new())
+    }
+
+    fn pkey(n: u32) -> LockKey {
+        LockKey::Page(PageId::new(TableId(1), n))
+    }
+
+    #[test]
+    fn mode_lattice_and_compatibility() {
+        assert!(IntentionShared.compatible(IntentionExclusive));
+        assert!(!Shared.compatible(IntentionExclusive));
+        assert!(!Exclusive.compatible(IntentionShared));
+        assert_eq!(Shared.join(IntentionExclusive), SharedIntentionExclusive);
+        assert_eq!(IntentionShared.join(Shared), Shared);
+        assert_eq!(Shared.join(Exclusive), Exclusive);
+        assert!(Exclusive.covers(Shared));
+        assert!(!Shared.covers(Exclusive));
+        assert!(SharedIntentionExclusive.covers(IntentionExclusive));
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let m = mgr(50);
+        m.acquire(tid(1), pkey(0), Shared).unwrap();
+        m.acquire(tid(2), pkey(0), Shared).unwrap();
+        let err = m.acquire(tid(3), pkey(0), Exclusive).unwrap_err();
+        assert!(matches!(err, DbError::LockTimeout { .. }));
+        m.release_all(tid(1));
+        m.release_all(tid(2));
+        m.acquire(tid(3), pkey(0), Exclusive).unwrap();
+    }
+
+    #[test]
+    fn upgrade_from_shared_to_exclusive() {
+        let m = mgr(50);
+        m.acquire(tid(1), pkey(0), Shared).unwrap();
+        // Sole holder upgrades (the insert path's S -> X upgrade, §6.1.3).
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        assert!(m.has_access(tid(1), pkey(0), Exclusive));
+        // A second reader blocks the upgrade.
+        let m = mgr(50);
+        m.acquire(tid(1), pkey(0), Shared).unwrap();
+        m.acquire(tid(2), pkey(0), Shared).unwrap();
+        assert!(m.acquire(tid(1), pkey(0), Exclusive).is_err());
+    }
+
+    #[test]
+    fn table_read_lock_blocks_page_writers_via_intentions() {
+        let m = mgr(50);
+        let table = LockKey::Table(TableId(9));
+        // Recovering site: table-level S (Phase 3).
+        m.acquire(tid(1), table, Shared).unwrap();
+        // Writer must take IX on the table first — and blocks.
+        assert!(m.acquire(tid(2), table, IntentionExclusive).is_err());
+        // A reader's IS is fine.
+        m.acquire(tid(3), table, IntentionShared).unwrap();
+        // After the recoverer releases, the writer proceeds.
+        m.release(tid(1), table);
+        m.acquire(tid(2), table, IntentionExclusive).unwrap();
+        m.acquire(tid(2), pkey(0), Exclusive).unwrap();
+    }
+
+    #[test]
+    fn blocked_writer_wakes_on_release() {
+        let m = Arc::new(mgr(5_000));
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.acquire(tid(2), pkey(0), Exclusive));
+        std::thread::sleep(Duration::from_millis(20));
+        m.release_all(tid(1));
+        h.join().unwrap().unwrap();
+        assert!(m.has_access(tid(2), pkey(0), Exclusive));
+    }
+
+    #[test]
+    fn release_all_clears_every_key() {
+        let m = mgr(50);
+        for i in 0..10 {
+            m.acquire(tid(1), pkey(i), Exclusive).unwrap();
+        }
+        assert_eq!(m.held_count(), 10);
+        m.release_all(tid(1));
+        assert_eq!(m.held_count(), 0);
+    }
+
+    #[test]
+    fn holders_reports_foreign_locks_for_override() {
+        let m = mgr(50);
+        let key = LockKey::Table(TableId(1));
+        m.acquire(tid(7), key, Shared).unwrap();
+        assert_eq!(m.holders(key), vec![tid(7)]);
+        // Buddy detects the recoverer died and overrides its lock.
+        m.release_all(tid(7));
+        assert!(m.holders(key).is_empty());
+    }
+
+    #[test]
+    fn reacquire_held_lock_is_idempotent() {
+        let m = mgr(50);
+        m.acquire(tid(1), pkey(0), Shared).unwrap();
+        m.acquire(tid(1), pkey(0), Shared).unwrap();
+        m.acquire(tid(1), pkey(0), IntentionShared).unwrap(); // covered
+        assert!(m.has_access(tid(1), pkey(0), Shared));
+    }
+
+    #[test]
+    fn waits_for_graph_detects_cycles_immediately() {
+        let m = LockManager::with_policy(
+            Duration::from_secs(10), // long timeout: detection must not rely on it
+            DeadlockPolicy::WaitsForGraph,
+            Metrics::new(),
+        );
+        let m = Arc::new(m);
+        // Classic cross deadlock: T1 holds A wants B; T2 holds B wants A.
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        m.acquire(tid(2), pkey(1), Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.acquire(tid(1), pkey(1), Exclusive));
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let err = m.acquire(tid(2), pkey(0), Exclusive).unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(1), "no timeout wait");
+        assert!(err.to_string().contains("cycle"), "{err}");
+        // Breaking the cycle lets T1 proceed.
+        m.release_all(tid(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn waits_for_graph_allows_benign_waits() {
+        let m = Arc::new(LockManager::with_policy(
+            Duration::from_secs(5),
+            DeadlockPolicy::WaitsForGraph,
+            Metrics::new(),
+        ));
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        let m2 = m.clone();
+        let h = std::thread::spawn(move || m2.acquire(tid(2), pkey(0), Exclusive));
+        std::thread::sleep(Duration::from_millis(30));
+        m.release_all(tid(1));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn three_way_cycle_is_detected() {
+        let m = Arc::new(LockManager::with_policy(
+            Duration::from_secs(10),
+            DeadlockPolicy::WaitsForGraph,
+            Metrics::new(),
+        ));
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        m.acquire(tid(2), pkey(1), Exclusive).unwrap();
+        m.acquire(tid(3), pkey(2), Exclusive).unwrap();
+        let spawn_wait = |t: u64, k: u32, m: &Arc<LockManager>| {
+            let m = m.clone();
+            std::thread::spawn(move || m.acquire(tid(t), pkey(k), Exclusive))
+        };
+        let h1 = spawn_wait(1, 1, &m); // T1 -> T2
+        let h2 = spawn_wait(2, 2, &m); // T2 -> T3
+        std::thread::sleep(Duration::from_millis(60));
+        // T3 -> T1 closes the 3-cycle.
+        let err = m.acquire(tid(3), pkey(0), Exclusive).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+        m.release_all(tid(3));
+        h2.join().unwrap().unwrap();
+        m.release_all(tid(2));
+        h1.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn timeout_counts_metrics() {
+        let metrics = Metrics::new();
+        let m = LockManager::new(Duration::from_millis(10), metrics.clone());
+        m.acquire(tid(1), pkey(0), Exclusive).unwrap();
+        let _ = m.acquire(tid(2), pkey(0), Exclusive);
+        assert_eq!(metrics.lock_timeouts(), 1);
+        assert!(metrics.lock_waits() >= 1);
+    }
+}

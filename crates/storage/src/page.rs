@@ -1,0 +1,396 @@
+//! The 4 KB slotted heap page (thesis §6.1.1).
+//!
+//! Pages hold fixed-width tuples for one table. Layout:
+//!
+//! ```text
+//! [page_lsn: u64][tuple_size: u16][slot_count: u16][used: u16][free_hint: u16]
+//! [occupancy bitmap: ceil(slot_count / 8) bytes]
+//! [slot 0][slot 1]…[slot slot_count-1]
+//! ```
+//!
+//! * `page_lsn` supports the write-ahead-logging rule and ARIES redo (only
+//!   meaningful when the site runs the log-based baseline; HARBOR leaves it
+//!   at zero).
+//! * `free_hint` is the index of the lowest possibly-free slot, maintained so
+//!   inserts do not rescan the bitmap from zero — the thesis' "pointers to
+//!   the first empty slot" optimization.
+//! * Tuples within a slot are the fixed-width encoding of
+//!   [`harbor_common::Tuple`]; the first 16 bytes of every tuple are the
+//!   insertion and deletion timestamps, which [`Page::set_timestamp`] can
+//!   overwrite in place (commit-time assignment, recovery updates).
+
+use harbor_common::config::PAGE_SIZE;
+use harbor_common::{DbError, DbResult, Timestamp};
+use harbor_wal::record::TsField;
+use harbor_wal::Lsn;
+
+const OFF_LSN: usize = 0;
+const OFF_TUPLE_SIZE: usize = 8;
+const OFF_SLOT_COUNT: usize = 10;
+const OFF_USED: usize = 12;
+const OFF_FREE_HINT: usize = 14;
+const HEADER: usize = 16;
+
+/// Number of slots a page can hold for a given tuple width: solves
+/// `HEADER + ceil(n/8) + n * size <= PAGE_SIZE`.
+pub fn slots_per_page(tuple_size: usize) -> usize {
+    assert!(tuple_size > 0, "zero-width tuples are not storable");
+    let bits = (PAGE_SIZE - HEADER) * 8;
+    let n = bits / (tuple_size * 8 + 1);
+    n.min(u16::MAX as usize)
+}
+
+/// An owned page buffer with typed accessors.
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed, uninitialized buffer (for reading raw bytes into).
+    pub fn blank() -> Self {
+        Page {
+            buf: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Initializes an empty heap page for tuples of `tuple_size` bytes.
+    pub fn init(tuple_size: usize) -> Self {
+        let mut p = Page::blank();
+        let slots = slots_per_page(tuple_size);
+        p.buf[OFF_TUPLE_SIZE..OFF_TUPLE_SIZE + 2].copy_from_slice(&(tuple_size as u16).to_le_bytes());
+        p.buf[OFF_SLOT_COUNT..OFF_SLOT_COUNT + 2].copy_from_slice(&(slots as u16).to_le_bytes());
+        p
+    }
+
+    /// Wraps raw bytes read from disk, validating the header.
+    pub fn from_bytes(bytes: Box<[u8; PAGE_SIZE]>, expect_tuple_size: usize) -> DbResult<Self> {
+        let p = Page { buf: bytes };
+        let ts = p.tuple_size();
+        if ts != expect_tuple_size {
+            return Err(DbError::corrupt(format!(
+                "page tuple size {ts} does not match schema width {expect_tuple_size}"
+            )));
+        }
+        if p.slot_count() != slots_per_page(ts) {
+            return Err(DbError::corrupt("page slot count inconsistent"));
+        }
+        Ok(p)
+    }
+
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.buf[off..off + 2].try_into().unwrap())
+    }
+
+    fn set_u16_at(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn page_lsn(&self) -> Lsn {
+        Lsn(u64::from_le_bytes(
+            self.buf[OFF_LSN..OFF_LSN + 8].try_into().unwrap(),
+        ))
+    }
+
+    pub fn set_page_lsn(&mut self, lsn: Lsn) {
+        self.buf[OFF_LSN..OFF_LSN + 8].copy_from_slice(&lsn.0.to_le_bytes());
+    }
+
+    pub fn tuple_size(&self) -> usize {
+        self.u16_at(OFF_TUPLE_SIZE) as usize
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.u16_at(OFF_SLOT_COUNT) as usize
+    }
+
+    /// Number of occupied slots.
+    pub fn used(&self) -> usize {
+        self.u16_at(OFF_USED) as usize
+    }
+
+    pub fn free_slots(&self) -> usize {
+        self.slot_count() - self.used()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.used() == self.slot_count()
+    }
+
+    fn bitmap_len(&self) -> usize {
+        self.slot_count().div_ceil(8)
+    }
+
+    fn slot_offset(&self, slot: usize) -> usize {
+        HEADER + self.bitmap_len() + slot * self.tuple_size()
+    }
+
+    pub fn is_occupied(&self, slot: usize) -> bool {
+        debug_assert!(slot < self.slot_count());
+        let byte = self.buf[HEADER + slot / 8];
+        byte & (1 << (slot % 8)) != 0
+    }
+
+    fn set_occupied(&mut self, slot: usize, occupied: bool) {
+        let idx = HEADER + slot / 8;
+        if occupied {
+            self.buf[idx] |= 1 << (slot % 8);
+        } else {
+            self.buf[idx] &= !(1 << (slot % 8));
+        }
+    }
+
+    /// Inserts tuple bytes into the lowest free slot, returning the slot.
+    pub fn insert(&mut self, data: &[u8]) -> DbResult<u16> {
+        if data.len() != self.tuple_size() {
+            return Err(DbError::corrupt(format!(
+                "tuple width {} does not match page tuple size {}",
+                data.len(),
+                self.tuple_size()
+            )));
+        }
+        let start = self.u16_at(OFF_FREE_HINT) as usize;
+        let count = self.slot_count();
+        let mut found = None;
+        for slot in start..count {
+            if !self.is_occupied(slot) {
+                found = Some(slot);
+                break;
+            }
+        }
+        let Some(slot) = found else {
+            return Err(DbError::Full("page".into()));
+        };
+        self.insert_at(slot as u16, data)?;
+        Ok(slot as u16)
+    }
+
+    /// Inserts into a specific slot (used by redo, which must be exact).
+    pub fn insert_at(&mut self, slot: u16, data: &[u8]) -> DbResult<()> {
+        let slot = slot as usize;
+        if slot >= self.slot_count() {
+            return Err(DbError::corrupt(format!("slot {slot} out of range")));
+        }
+        if data.len() != self.tuple_size() {
+            return Err(DbError::corrupt("tuple width mismatch"));
+        }
+        if self.is_occupied(slot) {
+            return Err(DbError::corrupt(format!("slot {slot} already occupied")));
+        }
+        let off = self.slot_offset(slot);
+        let size = self.tuple_size();
+        self.buf[off..off + size].copy_from_slice(data);
+        self.set_occupied(slot, true);
+        let used = self.used() + 1;
+        self.set_u16_at(OFF_USED, used as u16);
+        // Advance the free hint past contiguous occupied slots.
+        let hint = self.u16_at(OFF_FREE_HINT) as usize;
+        if slot == hint {
+            let mut h = hint + 1;
+            while h < self.slot_count() && self.is_occupied(h) {
+                h += 1;
+            }
+            self.set_u16_at(OFF_FREE_HINT, h as u16);
+        }
+        Ok(())
+    }
+
+    /// Physically removes the tuple in `slot`, returning its bytes (undo
+    /// information for the log-based mode; recovery Phase 1 discards it).
+    pub fn remove(&mut self, slot: u16) -> DbResult<Vec<u8>> {
+        let slot = slot as usize;
+        if slot >= self.slot_count() || !self.is_occupied(slot) {
+            return Err(DbError::corrupt(format!("remove of empty slot {slot}")));
+        }
+        let off = self.slot_offset(slot);
+        let size = self.tuple_size();
+        let data = self.buf[off..off + size].to_vec();
+        self.set_occupied(slot, false);
+        let used = self.used() - 1;
+        self.set_u16_at(OFF_USED, used as u16);
+        if (slot as u16) < self.u16_at(OFF_FREE_HINT) {
+            self.set_u16_at(OFF_FREE_HINT, slot as u16);
+        }
+        Ok(data)
+    }
+
+    /// Raw bytes of the tuple in `slot`.
+    pub fn read(&self, slot: u16) -> DbResult<&[u8]> {
+        let slot = slot as usize;
+        if slot >= self.slot_count() || !self.is_occupied(slot) {
+            return Err(DbError::corrupt(format!("read of empty slot {slot}")));
+        }
+        let off = self.slot_offset(slot);
+        Ok(&self.buf[off..off + self.tuple_size()])
+    }
+
+    /// Overwrites the tuple in `slot` (in-place recovery updates).
+    pub fn write(&mut self, slot: u16, data: &[u8]) -> DbResult<()> {
+        let slot = slot as usize;
+        if slot >= self.slot_count() || !self.is_occupied(slot) {
+            return Err(DbError::corrupt(format!("write to empty slot {slot}")));
+        }
+        if data.len() != self.tuple_size() {
+            return Err(DbError::corrupt("tuple width mismatch"));
+        }
+        let off = self.slot_offset(slot);
+        self.buf[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads one of the two reserved timestamp fields of the tuple in `slot`.
+    pub fn timestamp(&self, slot: u16, field: TsField) -> DbResult<Timestamp> {
+        let base = {
+            let slot = slot as usize;
+            if slot >= self.slot_count() || !self.is_occupied(slot) {
+                return Err(DbError::corrupt(format!("timestamp read of empty slot {slot}")));
+            }
+            self.slot_offset(slot)
+        };
+        let off = base
+            + match field {
+                TsField::Insertion => 0,
+                TsField::Deletion => 8,
+            };
+        Ok(Timestamp(u64::from_le_bytes(
+            self.buf[off..off + 8].try_into().unwrap(),
+        )))
+    }
+
+    /// Overwrites one of the two reserved timestamp fields in place —
+    /// commit-time assignment (§4.1) and recovery's deletion-time copies
+    /// (§5.2–§5.4) both go through here.
+    pub fn set_timestamp(&mut self, slot: u16, field: TsField, ts: Timestamp) -> DbResult<()> {
+        let base = {
+            let slot = slot as usize;
+            if slot >= self.slot_count() || !self.is_occupied(slot) {
+                return Err(DbError::corrupt(format!(
+                    "timestamp write to empty slot {slot}"
+                )));
+            }
+            self.slot_offset(slot)
+        };
+        let off = base
+            + match field {
+                TsField::Insertion => 0,
+                TsField::Deletion => 8,
+            };
+        self.buf[off..off + 8].copy_from_slice(&ts.0.to_le_bytes());
+        Ok(())
+    }
+
+    /// Iterator over occupied slot numbers.
+    pub fn occupied_slots(&self) -> impl Iterator<Item = u16> + '_ {
+        (0..self.slot_count() as u16).filter(move |&s| self.is_occupied(s as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TS: usize = 24; // 16 bytes of timestamps + 8 byte payload
+
+    fn tuple(ins: u64, del: u64, tail: u8) -> Vec<u8> {
+        let mut v = Vec::with_capacity(TS);
+        v.extend_from_slice(&ins.to_le_bytes());
+        v.extend_from_slice(&del.to_le_bytes());
+        v.extend_from_slice(&[tail; 8]);
+        v
+    }
+
+    #[test]
+    fn capacity_formula_fits_in_page() {
+        for size in [8usize, 24, 64, 72, 200, 4000] {
+            let n = slots_per_page(size);
+            assert!(n >= 1 || size > PAGE_SIZE - HEADER - 1);
+            assert!(HEADER + n.div_ceil(8) + n * size <= PAGE_SIZE, "size={size}");
+            // One more slot must not fit.
+            assert!(HEADER + (n + 1).div_ceil(8) + (n + 1) * size > PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn insert_read_remove_round_trip() {
+        let mut p = Page::init(TS);
+        let s0 = p.insert(&tuple(1, 0, 0xaa)).unwrap();
+        let s1 = p.insert(&tuple(2, 0, 0xbb)).unwrap();
+        assert_eq!((s0, s1), (0, 1));
+        assert_eq!(p.used(), 2);
+        assert_eq!(p.read(s1).unwrap()[16], 0xbb);
+        let removed = p.remove(s0).unwrap();
+        assert_eq!(removed[16], 0xaa);
+        assert!(!p.is_occupied(0));
+        // Freed slot is reused first (dense packing).
+        let s2 = p.insert(&tuple(3, 0, 0xcc)).unwrap();
+        assert_eq!(s2, 0);
+    }
+
+    #[test]
+    fn fill_page_to_capacity() {
+        let mut p = Page::init(TS);
+        let cap = p.slot_count();
+        for i in 0..cap {
+            p.insert(&tuple(i as u64, 0, 1)).unwrap();
+        }
+        assert!(p.is_full());
+        assert!(matches!(p.insert(&tuple(0, 0, 0)), Err(DbError::Full(_))));
+        // Free one in the middle, insert again lands there.
+        p.remove((cap / 2) as u16).unwrap();
+        assert_eq!(p.insert(&tuple(9, 0, 2)).unwrap() as usize, cap / 2);
+    }
+
+    #[test]
+    fn timestamps_update_in_place() {
+        let mut p = Page::init(TS);
+        let s = p.insert(&tuple(u64::MAX, 0, 7)).unwrap();
+        assert_eq!(p.timestamp(s, TsField::Insertion).unwrap(), Timestamp::UNCOMMITTED);
+        p.set_timestamp(s, TsField::Insertion, Timestamp(41)).unwrap();
+        p.set_timestamp(s, TsField::Deletion, Timestamp(99)).unwrap();
+        assert_eq!(p.timestamp(s, TsField::Insertion).unwrap(), Timestamp(41));
+        assert_eq!(p.timestamp(s, TsField::Deletion).unwrap(), Timestamp(99));
+        // The payload is untouched.
+        assert_eq!(p.read(s).unwrap()[16], 7);
+    }
+
+    #[test]
+    fn page_round_trips_through_bytes() {
+        let mut p = Page::init(TS);
+        p.insert(&tuple(5, 0, 3)).unwrap();
+        p.set_page_lsn(Lsn(777));
+        let bytes: Box<[u8; PAGE_SIZE]> = Box::new(*p.as_bytes());
+        let q = Page::from_bytes(bytes, TS).unwrap();
+        assert_eq!(q.used(), 1);
+        assert_eq!(q.page_lsn(), Lsn(777));
+        assert_eq!(q.read(0).unwrap(), p.read(0).unwrap());
+    }
+
+    #[test]
+    fn from_bytes_rejects_schema_mismatch() {
+        let p = Page::init(TS);
+        let bytes: Box<[u8; PAGE_SIZE]> = Box::new(*p.as_bytes());
+        assert!(Page::from_bytes(bytes, TS + 8).is_err());
+    }
+
+    #[test]
+    fn insert_at_is_exact_and_rejects_collisions() {
+        let mut p = Page::init(TS);
+        p.insert_at(5, &tuple(1, 0, 1)).unwrap();
+        assert!(p.is_occupied(5));
+        assert!(p.insert_at(5, &tuple(1, 0, 1)).is_err());
+        // Hint-based insert still fills slot 0 first.
+        assert_eq!(p.insert(&tuple(2, 0, 2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn occupied_slots_iterates_in_order() {
+        let mut p = Page::init(TS);
+        p.insert_at(3, &tuple(1, 0, 1)).unwrap();
+        p.insert_at(1, &tuple(2, 0, 2)).unwrap();
+        let slots: Vec<u16> = p.occupied_slots().collect();
+        assert_eq!(slots, vec![1, 3]);
+    }
+}

@@ -1,0 +1,430 @@
+//! A table's on-disk representation: a segmented heap file (§4.2, §6.1.1).
+//!
+//! One file per table. Page 0 (plus chained pages as the table grows) holds
+//! the segment directory; the remaining pages are slotted heap pages of one
+//! fixed tuple width. Inserts always target the *last* segment; when it
+//! reaches its page budget a new segment is created. Dense packing: freed
+//! slots in the last segment are reused before new pages are appended,
+//! tracked by an insert hint.
+//!
+//! This type owns only durable state and in-memory metadata; page contents
+//! in flight live in the buffer pool, which calls back into
+//! [`SegmentedHeapFile::write_page`] (enforcing the directory durability
+//! invariant) and [`SegmentedHeapFile::read_page`].
+
+use crate::directory::{Directory, ScanBounds, SegmentMeta};
+use crate::file::TableFile;
+use crate::page::Page;
+use harbor_common::config::PAGE_SIZE;
+use harbor_common::{
+    DbResult, DiskProfile, Metrics, PageId, SegmentNo, TableId, Timestamp, TupleDesc,
+};
+use parking_lot::Mutex;
+use std::path::Path;
+
+/// One table's segmented heap file plus its in-memory metadata.
+pub struct SegmentedHeapFile {
+    id: TableId,
+    /// Stored schema (includes the two reserved version columns).
+    desc: TupleDesc,
+    file: TableFile,
+    dir: Mutex<Directory>,
+    /// Page budget per segment.
+    segment_pages: u32,
+    /// Lowest page of the last segment that may have a free slot.
+    insert_hint: Mutex<Option<u32>>,
+}
+
+impl SegmentedHeapFile {
+    /// Creates a fresh table file at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        id: TableId,
+        desc: TupleDesc,
+        segment_pages: u32,
+        disk: DiskProfile,
+        metrics: Metrics,
+    ) -> DbResult<Self> {
+        assert!(desc.has_version_columns(), "stored schemas carry version columns");
+        assert!(segment_pages >= 1);
+        let file = TableFile::create(path, disk, metrics)?;
+        let dir = Directory::create(&file, desc.byte_width() as u32)?;
+        Ok(SegmentedHeapFile {
+            id,
+            desc,
+            file,
+            dir: Mutex::new(dir),
+            segment_pages,
+            insert_hint: Mutex::new(None),
+        })
+    }
+
+    /// Opens an existing table file, validating the schema width.
+    pub fn open(
+        path: impl AsRef<Path>,
+        id: TableId,
+        desc: TupleDesc,
+        segment_pages: u32,
+        disk: DiskProfile,
+        metrics: Metrics,
+    ) -> DbResult<Self> {
+        assert!(desc.has_version_columns(), "stored schemas carry version columns");
+        let file = TableFile::open(path, disk, metrics)?;
+        let dir = Directory::load(&file, desc.byte_width() as u32)?;
+        Ok(SegmentedHeapFile {
+            id,
+            desc,
+            file,
+            dir: Mutex::new(dir),
+            segment_pages,
+            insert_hint: Mutex::new(None),
+        })
+    }
+
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Stored schema (with version columns).
+    pub fn desc(&self) -> &TupleDesc {
+        &self.desc
+    }
+
+    pub fn tuple_size(&self) -> usize {
+        self.desc.byte_width()
+    }
+
+    pub fn segment_pages(&self) -> u32 {
+        self.segment_pages
+    }
+
+    /// Snapshot of all segment metadata.
+    pub fn segments(&self) -> Vec<SegmentMeta> {
+        self.dir.lock().segments().to_vec()
+    }
+
+    pub fn num_segments(&self) -> u32 {
+        self.dir.lock().num_segments()
+    }
+
+    /// Index of the current (last) segment.
+    pub fn last_segment(&self) -> SegmentNo {
+        SegmentNo(self.dir.lock().last_index())
+    }
+
+    /// Segments surviving timestamp pruning (§4.2).
+    pub fn prune(&self, bounds: &ScanBounds) -> Vec<(SegmentNo, SegmentMeta)> {
+        self.dir.lock().prune(bounds)
+    }
+
+    /// The segment owning `page_no`.
+    pub fn segment_of_page(&self, page_no: u32) -> Option<SegmentNo> {
+        self.dir.lock().segment_of_page(page_no)
+    }
+
+    /// Reads a data page from disk. A page past EOF or an all-zero hole is a
+    /// page that existed in memory but was never flushed before a crash —
+    /// it reads as a fresh, empty page.
+    pub fn read_page(&self, page_no: u32) -> DbResult<Page> {
+        match self.file.read_page(page_no) {
+            Ok(bytes) => {
+                if bytes.iter().all(|&b| b == 0) {
+                    Ok(Page::init(self.tuple_size()))
+                } else {
+                    Page::from_bytes(bytes, self.tuple_size())
+                }
+            }
+            Err(harbor_common::DbError::NoSuchPage(_)) => Ok(Page::init(self.tuple_size())),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes a data page, first persisting the segment directory if its
+    /// annotations for this page's segment have advanced since the last
+    /// persist. This ordering keeps the on-disk directory conservative with
+    /// respect to on-disk data (see `directory` module docs).
+    pub fn write_page(&self, page_no: u32, page: &Page) -> DbResult<()> {
+        {
+            let mut dir = self.dir.lock();
+            if dir.is_stale(page_no) {
+                dir.persist(&self.file)?;
+            }
+        }
+        self.file.write_page(page_no, page.as_bytes())
+    }
+
+    /// Durability barrier for checkpoints.
+    pub fn sync(&self) -> DbResult<()> {
+        self.file.sync()
+    }
+
+    /// Persists the directory unconditionally (checkpoint end).
+    pub fn persist_directory(&self) -> DbResult<()> {
+        self.dir.lock().persist(&self.file)
+    }
+
+    /// Records a committed insertion (commit-time timestamp assignment).
+    pub fn note_insert_commit(&self, page_no: u32, ts: Timestamp) {
+        self.dir.lock().note_insert_commit(page_no, ts);
+    }
+
+    /// Records a deletion/update of a tuple on `page_no` at `ts`.
+    pub fn note_delete(&self, page_no: u32, ts: Timestamp) {
+        self.dir.lock().note_delete(page_no, ts);
+    }
+
+    /// Pages of one segment, oldest first.
+    pub fn segment_page_ids(&self, seg: SegmentNo) -> Vec<PageId> {
+        let dir = self.dir.lock();
+        match dir.segment(seg) {
+            Some(m) => m.pages().map(|p| PageId::new(self.id, p)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All data pages, oldest segment first.
+    pub fn all_page_ids(&self) -> Vec<PageId> {
+        let dir = self.dir.lock();
+        dir.segments()
+            .iter()
+            .flat_map(|m| m.pages())
+            .map(|p| PageId::new(self.id, p))
+            .collect()
+    }
+
+    /// Candidate pages for an insert: from the insert hint to the end of
+    /// the last segment. Empty if the last segment has no pages yet.
+    pub fn insert_candidates(&self) -> Vec<u32> {
+        let dir = self.dir.lock();
+        let last = dir.segments().last().expect("one segment always exists");
+        let hint = self.insert_hint.lock().unwrap_or(last.start_page);
+        let from = hint.clamp(last.start_page, last.start_page + last.page_count);
+        (from..last.start_page + last.page_count).collect()
+    }
+
+    /// Notes that `page_no` is full so inserts stop trying it first.
+    pub fn note_page_full(&self, page_no: u32) {
+        let mut hint = self.insert_hint.lock();
+        if hint.map(|h| h == page_no).unwrap_or(true) {
+            *hint = Some(page_no + 1);
+        }
+    }
+
+    /// Notes that a slot on `page_no` was freed (dense packing: reuse before
+    /// appending).
+    pub fn note_slot_freed(&self, page_no: u32) {
+        // Only relevant if the page belongs to the last segment.
+        let dir = self.dir.lock();
+        let last = dir.segments().last().expect("one segment always exists");
+        if !last.contains_page(page_no) {
+            return;
+        }
+        drop(dir);
+        let mut hint = self.insert_hint.lock();
+        if hint.map(|h| h > page_no).unwrap_or(false) {
+            *hint = Some(page_no);
+        }
+    }
+
+    /// Allocates a new page for inserts, creating a new segment first if the
+    /// last one has reached its budget (§4.2). Returns the new page id; the
+    /// caller materializes the page in the buffer pool.
+    pub fn grow(&self) -> DbResult<PageId> {
+        let mut dir = self.dir.lock();
+        if dir.last_segment_full(self.segment_pages) {
+            dir.create_segment(&self.file)?;
+            // New segment: reset the insert hint to its start.
+            let start = dir.segments().last().unwrap().start_page;
+            *self.insert_hint.lock() = Some(start);
+        }
+        let page_no = dir.allocate_page();
+        Ok(PageId::new(self.id, page_no))
+    }
+
+    /// Extends the segment map so that `page_no` is covered, replaying the
+    /// same sequential allocation policy. Used by ARIES redo when the
+    /// directory on disk lags pages referenced by the log (the allocation
+    /// happened in memory before the crash and was never persisted).
+    pub fn ensure_page_allocated(&self, page_no: u32) -> DbResult<()> {
+        let mut dir = self.dir.lock();
+        while dir.segment_of_page(page_no).is_none() {
+            if dir.next_free_page() > page_no {
+                // The page exists but belongs to no segment: it is a header
+                // page, which is never the target of a redo op.
+                return Err(harbor_common::DbError::corrupt(format!(
+                    "page {page_no} is not a data page"
+                )));
+            }
+            if dir.last_segment_full(self.segment_pages) {
+                dir.create_segment(&self.file)?;
+            } else {
+                dir.allocate_page();
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a pre-built segment ("bulk load", §4.2): creates a fresh
+    /// segment and returns its index; the loader then fills its pages
+    /// through the buffer pool and commits the load atomically by
+    /// persisting the directory.
+    pub fn begin_bulk_segment(&self) -> DbResult<SegmentNo> {
+        let mut dir = self.dir.lock();
+        let seg = dir.create_segment(&self.file)?;
+        *self.insert_hint.lock() = Some(dir.segments().last().unwrap().start_page);
+        Ok(seg)
+    }
+
+    /// Drops the oldest segment ("bulk drop", §4.2).
+    pub fn drop_oldest_segment(&self) -> DbResult<Option<SegmentMeta>> {
+        self.dir.lock().drop_oldest(&self.file)
+    }
+
+    /// Total data pages across segments.
+    pub fn num_data_pages(&self) -> u32 {
+        self.dir.lock().segments().iter().map(|m| m.page_count).sum()
+    }
+
+    /// Rough size in bytes (data pages only).
+    pub fn data_bytes(&self) -> u64 {
+        self.num_data_pages() as u64 * PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::FieldType;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("harbor-table-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.tbl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn desc() -> TupleDesc {
+        TupleDesc::with_version_columns(vec![("id", FieldType::Int64), ("v", FieldType::Int32)])
+    }
+
+    fn make(path: &PathBuf) -> SegmentedHeapFile {
+        SegmentedHeapFile::create(
+            path,
+            TableId(1),
+            desc(),
+            2, // tiny segments: 2 pages each
+            DiskProfile::fast(),
+            Metrics::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grow_rolls_over_into_new_segments() {
+        let path = temp("grow");
+        let t = make(&path);
+        let p1 = t.grow().unwrap();
+        let p2 = t.grow().unwrap();
+        assert_eq!(t.num_segments(), 1);
+        let p3 = t.grow().unwrap(); // budget of 2 reached -> new segment
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.segment_of_page(p1.page_no), Some(SegmentNo(0)));
+        assert_eq!(t.segment_of_page(p2.page_no), Some(SegmentNo(0)));
+        assert_eq!(t.segment_of_page(p3.page_no), Some(SegmentNo(1)));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pages_round_trip_and_holes_read_fresh() {
+        let path = temp("pages");
+        let t = make(&path);
+        let pid = t.grow().unwrap();
+        let mut page = Page::init(t.tuple_size());
+        let mut data = vec![0u8; t.tuple_size()];
+        data[16] = 9;
+        page.insert(&data).unwrap();
+        t.write_page(pid.page_no, &page).unwrap();
+        let back = t.read_page(pid.page_no).unwrap();
+        assert_eq!(back.used(), 1);
+        // A page that was allocated but never flushed reads as empty.
+        let pid2 = t.grow().unwrap();
+        let fresh = t.read_page(pid2.page_no).unwrap();
+        assert_eq!(fresh.used(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_directory() {
+        let path = temp("reopen");
+        {
+            let t = make(&path);
+            let pid = t.grow().unwrap();
+            t.note_insert_commit(pid.page_no, Timestamp(5));
+            t.persist_directory().unwrap();
+        }
+        let t = SegmentedHeapFile::open(
+            &path,
+            TableId(1),
+            desc(),
+            2,
+            DiskProfile::fast(),
+            Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(t.segments()[0].tmin_insert, Timestamp(5));
+        assert_eq!(t.segments()[0].page_count, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn insert_hint_tracks_free_space() {
+        let path = temp("hint");
+        let t = make(&path);
+        let p1 = t.grow().unwrap();
+        assert_eq!(t.insert_candidates(), vec![p1.page_no]);
+        t.note_page_full(p1.page_no);
+        assert!(t.insert_candidates().is_empty());
+        t.note_slot_freed(p1.page_no);
+        assert_eq!(t.insert_candidates(), vec![p1.page_no]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_page_persists_stale_directory_first() {
+        let path = temp("invariant");
+        let t = make(&path);
+        let pid = t.grow().unwrap();
+        t.note_delete(pid.page_no, Timestamp(9));
+        let page = Page::init(t.tuple_size());
+        t.write_page(pid.page_no, &page).unwrap();
+        // Reopen reads the directory as persisted by write_page.
+        drop(t);
+        let t = SegmentedHeapFile::open(
+            &path,
+            TableId(1),
+            desc(),
+            2,
+            DiskProfile::fast(),
+            Metrics::new(),
+        )
+        .unwrap();
+        assert_eq!(t.segments()[0].tmax_delete, Timestamp(9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bulk_segment_lifecycle() {
+        let path = temp("bulk");
+        let t = make(&path);
+        t.grow().unwrap();
+        let seg = t.begin_bulk_segment().unwrap();
+        assert_eq!(seg, SegmentNo(1));
+        assert_eq!(t.num_segments(), 2);
+        let dropped = t.drop_oldest_segment().unwrap().unwrap();
+        assert_eq!(dropped.page_count, 1);
+        assert_eq!(t.num_segments(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! Model-based property tests: the slotted page and the segment directory
+//! are driven with random operation sequences and checked against simple
+//! in-memory reference models.
+
+use harbor_common::config::PAGE_SIZE;
+use harbor_common::{DiskProfile, Metrics, Timestamp};
+use harbor_storage::{slots_per_page, Directory, Page, ScanBounds, TableFile};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const TUPLE: usize = 40;
+
+#[derive(Clone, Debug)]
+enum PageOp {
+    Insert(u8),
+    Remove(u16),
+    Write(u16, u8),
+    SetDeletion(u16, u64),
+}
+
+fn page_op() -> impl Strategy<Value = PageOp> {
+    let max_slot = slots_per_page(TUPLE) as u16;
+    prop_oneof![
+        any::<u8>().prop_map(PageOp::Insert),
+        (0..max_slot).prop_map(PageOp::Remove),
+        (0..max_slot, any::<u8>()).prop_map(|(s, b)| PageOp::Write(s, b)),
+        (0..max_slot, 1u64..1000).prop_map(|(s, t)| PageOp::SetDeletion(s, t)),
+    ]
+}
+
+fn tuple_bytes(marker: u8) -> Vec<u8> {
+    let mut v = vec![0u8; TUPLE];
+    v[..8].copy_from_slice(&u64::MAX.to_le_bytes()); // uncommitted insertion
+    v[16] = marker;
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The page agrees with a `BTreeMap<slot, marker>` model under any
+    /// operation sequence, and survives a serialize/deserialize cycle.
+    #[test]
+    fn page_matches_reference_model(ops in proptest::collection::vec(page_op(), 1..120)) {
+        let mut page = Page::init(TUPLE);
+        let mut model: BTreeMap<u16, u8> = BTreeMap::new();
+        let capacity = slots_per_page(TUPLE);
+        for op in &ops {
+            match op {
+                PageOp::Insert(marker) => {
+                    let r = page.insert(&tuple_bytes(*marker));
+                    if model.len() < capacity {
+                        let slot = r.expect("free slot must be found");
+                        // Dense packing: the lowest free slot.
+                        let expected = (0..capacity as u16)
+                            .find(|s| !model.contains_key(s))
+                            .unwrap();
+                        prop_assert_eq!(slot, expected);
+                        model.insert(slot, *marker);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                PageOp::Remove(slot) => {
+                    let r = page.remove(*slot);
+                    match model.remove(slot) {
+                        Some(marker) => prop_assert_eq!(r.expect("occupied")[16], marker),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                PageOp::Write(slot, marker) => {
+                    let r = page.write(*slot, &tuple_bytes(*marker));
+                    if model.contains_key(slot) {
+                        r.expect("write to occupied slot");
+                        model.insert(*slot, *marker);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                PageOp::SetDeletion(slot, t) => {
+                    let r = page.set_timestamp(
+                        *slot,
+                        harbor_wal::record::TsField::Deletion,
+                        Timestamp(*t),
+                    );
+                    prop_assert_eq!(r.is_ok(), model.contains_key(slot));
+                }
+            }
+        }
+        // Final state equivalence.
+        prop_assert_eq!(page.used(), model.len());
+        let slots: Vec<u16> = page.occupied_slots().collect();
+        let expect: Vec<u16> = model.keys().copied().collect();
+        prop_assert_eq!(&slots, &expect);
+        for (slot, marker) in &model {
+            prop_assert_eq!(page.read(*slot).unwrap()[16], *marker);
+        }
+        // Round trip through bytes.
+        let bytes: Box<[u8; PAGE_SIZE]> = Box::new(*page.as_bytes());
+        let back = Page::from_bytes(bytes, TUPLE).unwrap();
+        prop_assert_eq!(back.used(), model.len());
+        for (slot, marker) in &model {
+            prop_assert_eq!(back.read(*slot).unwrap()[16], *marker);
+        }
+    }
+
+    /// Segment pruning never drops a segment that could contain a
+    /// matching committed tuple, for arbitrary annotation patterns.
+    #[test]
+    fn pruning_is_conservative(
+        events in proptest::collection::vec((0u8..3, 1u64..200), 1..60),
+        query_t in 1u64..200,
+    ) {
+        let dir_path = std::env::temp_dir().join(format!(
+            "harbor-prop-dir-{}-{}.tbl",
+            std::process::id(),
+            events.len() * 1000 + query_t as usize,
+        ));
+        let _ = std::fs::remove_file(&dir_path);
+        let file = TableFile::create(&dir_path, DiskProfile::fast(), Metrics::new()).unwrap();
+        let mut dir = Directory::create(&file, 64).unwrap();
+        // Reference: per segment, the set of (insert, delete) event times.
+        let mut per_segment: Vec<Vec<(Option<u64>, Option<u64>)>> = vec![Vec::new()];
+        let mut pages: Vec<u32> = vec![dir.allocate_page()];
+        for (kind, t) in &events {
+            match kind {
+                0 => {
+                    // new segment
+                    dir.create_segment(&file).unwrap();
+                    pages.push(dir.allocate_page());
+                    per_segment.push(Vec::new());
+                }
+                1 => {
+                    // committed insert at t into the *last* segment
+                    let seg = per_segment.len() - 1;
+                    dir.note_insert_commit(pages[seg], Timestamp(*t));
+                    per_segment[seg].push((Some(*t), None));
+                }
+                _ => {
+                    // deletion at t in a pseudo-random earlier segment
+                    let seg = (*t as usize) % per_segment.len();
+                    dir.note_delete(pages[seg], Timestamp(*t));
+                    per_segment[seg].push((None, Some(*t)));
+                }
+            }
+        }
+        let t = Timestamp(query_t);
+        // For each of the three recovery predicates, every segment with a
+        // matching reference event must survive pruning.
+        let survives = |bounds: &ScanBounds| -> Vec<bool> {
+            let kept: Vec<u32> = dir.prune(bounds).into_iter().map(|(s, _)| s.0).collect();
+            (0..per_segment.len() as u32).map(|i| kept.contains(&i)).collect()
+        };
+        let kept = survives(&ScanBounds::inserted_at_or_before(t));
+        for (i, evs) in per_segment.iter().enumerate() {
+            if evs.iter().any(|(ins, _)| ins.map(|x| x <= t.0).unwrap_or(false)) {
+                prop_assert!(kept[i], "ins<= pruning dropped segment {i}");
+            }
+        }
+        let kept = survives(&ScanBounds::inserted_after(t));
+        for (i, evs) in per_segment.iter().enumerate() {
+            if evs.iter().any(|(ins, _)| ins.map(|x| x > t.0).unwrap_or(false)) {
+                prop_assert!(kept[i], "ins> pruning dropped segment {i}");
+            }
+        }
+        let kept = survives(&ScanBounds::deleted_after(t));
+        for (i, evs) in per_segment.iter().enumerate() {
+            if evs.iter().any(|(_, del)| del.map(|x| x > t.0).unwrap_or(false)) {
+                prop_assert!(kept[i], "del> pruning dropped segment {i}");
+            }
+        }
+        let _ = std::fs::remove_file(&dir_path);
+    }
+}

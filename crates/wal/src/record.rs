@@ -1,0 +1,433 @@
+//! Log record types.
+//!
+//! Records carry enough information to redo and undo every physical change a
+//! transaction makes. Because the data model is versioned (updates never
+//! overwrite user fields, §4.1), the only page mutations are: writing a fresh
+//! tuple (with an `UNCOMMITTED` insertion timestamp), physically removing a
+//! tuple (rollback / recovery Phase 1), and overwriting one of the two
+//! timestamp fields. Timestamp assignment happens at commit, *after* PREPARE,
+//! so it produces its own log records (§6.1.7).
+
+use crate::Lsn;
+use harbor_common::codec::{Decoder, Encoder, Wire};
+use harbor_common::{DbError, DbResult, PageId, RecordId, SiteId, TableId, Timestamp, TransactionId};
+
+/// Which of the two reserved timestamp fields a [`RedoOp::SetTimestamp`]
+/// touches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TsField {
+    Insertion,
+    Deletion,
+}
+
+/// A physical, idempotent page operation. Redo applies it; each op carries
+/// what undo needs alongside (physiological logging).
+#[derive(Clone, PartialEq, Debug)]
+pub enum RedoOp {
+    /// Write `data` (a fixed-width encoded tuple) into `rid`'s slot.
+    InsertTuple { rid: RecordId, data: Vec<u8> },
+    /// Clear `rid`'s slot. `data` preserves the old contents for undo.
+    RemoveTuple { rid: RecordId, data: Vec<u8> },
+    /// Overwrite a timestamp field. `old` enables undo.
+    SetTimestamp {
+        rid: RecordId,
+        field: TsField,
+        old: Timestamp,
+        new: Timestamp,
+    },
+}
+
+impl RedoOp {
+    /// The page this op touches (for the dirty page table).
+    pub fn page(&self) -> PageId {
+        match self {
+            RedoOp::InsertTuple { rid, .. }
+            | RedoOp::RemoveTuple { rid, .. }
+            | RedoOp::SetTimestamp { rid, .. } => rid.page,
+        }
+    }
+
+    /// The inverse operation, applied by the undo pass and rollbacks.
+    pub fn inverse(&self) -> RedoOp {
+        match self {
+            RedoOp::InsertTuple { rid, data } => RedoOp::RemoveTuple {
+                rid: *rid,
+                data: data.clone(),
+            },
+            RedoOp::RemoveTuple { rid, data } => RedoOp::InsertTuple {
+                rid: *rid,
+                data: data.clone(),
+            },
+            RedoOp::SetTimestamp {
+                rid,
+                field,
+                old,
+                new,
+            } => RedoOp::SetTimestamp {
+                rid: *rid,
+                field: *field,
+                old: *new,
+                new: *old,
+            },
+        }
+    }
+}
+
+/// Final state of a finished transaction, recorded by `End`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnOutcome {
+    Committed,
+    Aborted,
+}
+
+/// Transaction status snapshot stored in checkpoint records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CkptTxnState {
+    Active,
+    Prepared,
+    Committing,
+    Aborting,
+}
+
+/// The body of a log record.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LogPayload {
+    /// Transaction start (implicit in ARIES; kept explicit for readability).
+    Begin,
+    /// A physical change, with undo information embedded in the op.
+    Update(RedoOp),
+    /// Compensation log record written while undoing. `undo_next` points at
+    /// the next record of the transaction still to be undone.
+    Clr { redo: RedoOp, undo_next: Lsn },
+    /// Worker vote record: the transaction is prepared (2PC first phase).
+    Prepare { coordinator: SiteId },
+    /// Worker entered the prepared-to-commit state (canonical 3PC's middle
+    /// phase; the optimized variant writes nothing here).
+    PrepareToCommit { commit_time: Timestamp },
+    /// Commit point, carrying the commit timestamp assigned by the
+    /// coordinator (the 2PC augmentation of §4.3.1).
+    Commit { commit_time: Timestamp },
+    Abort,
+    /// Transaction fully finished; its state can be forgotten.
+    End { outcome: TxnOutcome },
+    /// Fuzzy checkpoint: active-transaction table and dirty page table.
+    Checkpoint {
+        att: Vec<(TransactionId, CkptTxnState, Lsn)>,
+        dpt: Vec<(PageId, Lsn)>,
+    },
+}
+
+/// A full log record: per-transaction backward chain plus payload.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LogRecord {
+    /// Transaction this record belongs to. Checkpoints use a reserved id.
+    pub tid: TransactionId,
+    /// Previous record of the same transaction ([`Lsn::NONE`] for the first).
+    pub prev_lsn: Lsn,
+    pub payload: LogPayload,
+}
+
+impl LogRecord {
+    pub fn new(tid: TransactionId, prev_lsn: Lsn, payload: LogPayload) -> Self {
+        LogRecord {
+            tid,
+            prev_lsn,
+            payload,
+        }
+    }
+}
+
+fn encode_rid(enc: &mut Encoder, rid: RecordId) {
+    enc.put_u32(rid.page.table.0);
+    enc.put_u32(rid.page.page_no);
+    enc.put_u16(rid.slot);
+}
+
+fn decode_rid(dec: &mut Decoder<'_>) -> DbResult<RecordId> {
+    let table = TableId(dec.get_u32()?);
+    let page_no = dec.get_u32()?;
+    let slot = dec.get_u16()?;
+    Ok(RecordId::new(PageId::new(table, page_no), slot))
+}
+
+impl Wire for RedoOp {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            RedoOp::InsertTuple { rid, data } => {
+                enc.put_u8(0);
+                encode_rid(enc, *rid);
+                enc.put_bytes(data);
+            }
+            RedoOp::RemoveTuple { rid, data } => {
+                enc.put_u8(1);
+                encode_rid(enc, *rid);
+                enc.put_bytes(data);
+            }
+            RedoOp::SetTimestamp {
+                rid,
+                field,
+                old,
+                new,
+            } => {
+                enc.put_u8(2);
+                encode_rid(enc, *rid);
+                enc.put_u8(matches!(field, TsField::Deletion) as u8);
+                enc.put_u64(old.0);
+                enc.put_u64(new.0);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => RedoOp::InsertTuple {
+                rid: decode_rid(dec)?,
+                data: dec.get_bytes()?,
+            },
+            1 => RedoOp::RemoveTuple {
+                rid: decode_rid(dec)?,
+                data: dec.get_bytes()?,
+            },
+            2 => RedoOp::SetTimestamp {
+                rid: decode_rid(dec)?,
+                field: if dec.get_u8()? == 1 {
+                    TsField::Deletion
+                } else {
+                    TsField::Insertion
+                },
+                old: Timestamp(dec.get_u64()?),
+                new: Timestamp(dec.get_u64()?),
+            },
+            t => return Err(DbError::corrupt(format!("bad redo op tag {t}"))),
+        })
+    }
+}
+
+impl Wire for LogRecord {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.tid.0);
+        enc.put_u64(self.prev_lsn.0);
+        match &self.payload {
+            LogPayload::Begin => enc.put_u8(0),
+            LogPayload::Update(op) => {
+                enc.put_u8(1);
+                op.encode(enc);
+            }
+            LogPayload::Clr { redo, undo_next } => {
+                enc.put_u8(2);
+                redo.encode(enc);
+                enc.put_u64(undo_next.0);
+            }
+            LogPayload::Prepare { coordinator } => {
+                enc.put_u8(3);
+                enc.put_u16(coordinator.0);
+            }
+            LogPayload::Commit { commit_time } => {
+                enc.put_u8(4);
+                enc.put_u64(commit_time.0);
+            }
+            LogPayload::Abort => enc.put_u8(5),
+            LogPayload::End { outcome } => {
+                enc.put_u8(6);
+                enc.put_u8(matches!(outcome, TxnOutcome::Aborted) as u8);
+            }
+            LogPayload::PrepareToCommit { commit_time } => {
+                enc.put_u8(8);
+                enc.put_u64(commit_time.0);
+            }
+            LogPayload::Checkpoint { att, dpt } => {
+                enc.put_u8(7);
+                enc.put_u32(att.len() as u32);
+                for (tid, state, last_lsn) in att {
+                    enc.put_u64(tid.0);
+                    enc.put_u8(match state {
+                        CkptTxnState::Active => 0,
+                        CkptTxnState::Prepared => 1,
+                        CkptTxnState::Committing => 2,
+                        CkptTxnState::Aborting => 3,
+                    });
+                    enc.put_u64(last_lsn.0);
+                }
+                enc.put_u32(dpt.len() as u32);
+                for (pid, rec_lsn) in dpt {
+                    enc.put_u32(pid.table.0);
+                    enc.put_u32(pid.page_no);
+                    enc.put_u64(rec_lsn.0);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        let tid = TransactionId(dec.get_u64()?);
+        let prev_lsn = Lsn(dec.get_u64()?);
+        let payload = match dec.get_u8()? {
+            0 => LogPayload::Begin,
+            1 => LogPayload::Update(RedoOp::decode(dec)?),
+            2 => LogPayload::Clr {
+                redo: RedoOp::decode(dec)?,
+                undo_next: Lsn(dec.get_u64()?),
+            },
+            3 => LogPayload::Prepare {
+                coordinator: SiteId(dec.get_u16()?),
+            },
+            4 => LogPayload::Commit {
+                commit_time: Timestamp(dec.get_u64()?),
+            },
+            5 => LogPayload::Abort,
+            6 => LogPayload::End {
+                outcome: if dec.get_u8()? == 1 {
+                    TxnOutcome::Aborted
+                } else {
+                    TxnOutcome::Committed
+                },
+            },
+            7 => {
+                let n = dec.get_u32()? as usize;
+                let mut att = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tid = TransactionId(dec.get_u64()?);
+                    let state = match dec.get_u8()? {
+                        0 => CkptTxnState::Active,
+                        1 => CkptTxnState::Prepared,
+                        2 => CkptTxnState::Committing,
+                        3 => CkptTxnState::Aborting,
+                        t => return Err(DbError::corrupt(format!("bad ckpt txn state {t}"))),
+                    };
+                    att.push((tid, state, Lsn(dec.get_u64()?)));
+                }
+                let m = dec.get_u32()? as usize;
+                let mut dpt = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let table = TableId(dec.get_u32()?);
+                    let page_no = dec.get_u32()?;
+                    dpt.push((PageId::new(table, page_no), Lsn(dec.get_u64()?)));
+                }
+                LogPayload::Checkpoint { att, dpt }
+            }
+            8 => LogPayload::PrepareToCommit {
+                commit_time: Timestamp(dec.get_u64()?),
+            },
+            t => return Err(DbError::corrupt(format!("bad log payload tag {t}"))),
+        };
+        Ok(LogRecord {
+            tid,
+            prev_lsn,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::ids::SiteId;
+
+    fn rid() -> RecordId {
+        RecordId::new(PageId::new(TableId(3), 7), 2)
+    }
+
+    fn tid() -> TransactionId {
+        TransactionId::from_parts(SiteId(1), 99)
+    }
+
+    #[test]
+    fn redo_op_round_trips() {
+        for op in [
+            RedoOp::InsertTuple {
+                rid: rid(),
+                data: vec![1, 2, 3],
+            },
+            RedoOp::RemoveTuple {
+                rid: rid(),
+                data: vec![],
+            },
+            RedoOp::SetTimestamp {
+                rid: rid(),
+                field: TsField::Deletion,
+                old: Timestamp::ZERO,
+                new: Timestamp(42),
+            },
+        ] {
+            let bytes = op.to_vec();
+            assert_eq!(RedoOp::from_slice(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity() {
+        let op = RedoOp::SetTimestamp {
+            rid: rid(),
+            field: TsField::Insertion,
+            old: Timestamp::UNCOMMITTED,
+            new: Timestamp(5),
+        };
+        assert_eq!(op.inverse().inverse(), op);
+        let ins = RedoOp::InsertTuple {
+            rid: rid(),
+            data: vec![9],
+        };
+        assert_eq!(ins.inverse().inverse(), ins);
+    }
+
+    #[test]
+    fn all_record_kinds_round_trip() {
+        let records = vec![
+            LogRecord::new(tid(), Lsn::NONE, LogPayload::Begin),
+            LogRecord::new(
+                tid(),
+                Lsn(10),
+                LogPayload::Update(RedoOp::InsertTuple {
+                    rid: rid(),
+                    data: vec![4, 5],
+                }),
+            ),
+            LogRecord::new(
+                tid(),
+                Lsn(20),
+                LogPayload::Clr {
+                    redo: RedoOp::RemoveTuple {
+                        rid: rid(),
+                        data: vec![4, 5],
+                    },
+                    undo_next: Lsn::NONE,
+                },
+            ),
+            LogRecord::new(tid(), Lsn(30), LogPayload::Prepare { coordinator: SiteId(0) }),
+            LogRecord::new(
+                tid(),
+                Lsn(40),
+                LogPayload::Commit {
+                    commit_time: Timestamp(77),
+                },
+            ),
+            LogRecord::new(
+                tid(),
+                Lsn(45),
+                LogPayload::PrepareToCommit {
+                    commit_time: Timestamp(78),
+                },
+            ),
+            LogRecord::new(tid(), Lsn(50), LogPayload::Abort),
+            LogRecord::new(
+                tid(),
+                Lsn(60),
+                LogPayload::End {
+                    outcome: TxnOutcome::Committed,
+                },
+            ),
+            LogRecord::new(
+                tid(),
+                Lsn(70),
+                LogPayload::Checkpoint {
+                    att: vec![(tid(), CkptTxnState::Prepared, Lsn(5))],
+                    dpt: vec![(PageId::new(TableId(1), 2), Lsn(3))],
+                },
+            ),
+        ];
+        for r in records {
+            let bytes = r.to_vec();
+            assert_eq!(LogRecord::from_slice(&bytes).unwrap(), r);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! WAL restart-path integration: fuzzy checkpoints bound the analysis
+//! scan, recovery survives repeated crashes, and long logs replay exactly.
+
+use harbor_common::ids::{PageId, RecordId, SiteId, TableId, TransactionId};
+use harbor_common::{DbResult, DiskProfile, Metrics, Timestamp};
+use harbor_wal::aries::{self, RecoveryStorage};
+use harbor_wal::record::{LogPayload, LogRecord, RedoOp, TsField, TxnOutcome};
+use harbor_wal::{GroupCommit, LogManager, Lsn};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+#[derive(Default)]
+struct MemStore {
+    tuples: HashMap<RecordId, Vec<u8>>,
+    ins_ts: HashMap<RecordId, Timestamp>,
+    lsns: HashMap<PageId, Lsn>,
+}
+
+impl RecoveryStorage for MemStore {
+    fn page_lsn(&mut self, pid: PageId) -> DbResult<Lsn> {
+        Ok(*self.lsns.get(&pid).unwrap_or(&Lsn::ZERO))
+    }
+
+    fn apply(&mut self, op: &RedoOp, lsn: Lsn) -> DbResult<()> {
+        match op {
+            RedoOp::InsertTuple { rid, data } => {
+                self.tuples.insert(*rid, data.clone());
+                self.ins_ts.insert(*rid, Timestamp::UNCOMMITTED);
+            }
+            RedoOp::RemoveTuple { rid, .. } => {
+                self.tuples.remove(rid);
+                self.ins_ts.remove(rid);
+            }
+            RedoOp::SetTimestamp {
+                rid,
+                field: TsField::Insertion,
+                new,
+                ..
+            } => {
+                self.ins_ts.insert(*rid, *new);
+            }
+            RedoOp::SetTimestamp { .. } => {}
+        }
+        self.lsns.insert(op.page(), lsn);
+        Ok(())
+    }
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("harbor-wal-restart");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    let _ = std::fs::remove_file(dir.join(format!(
+        "{name}-{}.log.master",
+        std::process::id()
+    )));
+    p
+}
+
+fn open(path: &PathBuf) -> LogManager {
+    LogManager::open(
+        path,
+        GroupCommit::enabled(),
+        DiskProfile::fast(),
+        Metrics::new(),
+    )
+    .unwrap()
+}
+
+fn tid(n: u64) -> TransactionId {
+    TransactionId::from_parts(SiteId(0), n)
+}
+
+fn rid(n: u16) -> RecordId {
+    RecordId::new(PageId::new(TableId(1), (n / 8) as u32), n % 8)
+}
+
+/// Appends one fully committed insert transaction.
+fn committed_insert(log: &LogManager, n: u64) {
+    let t = tid(n);
+    let l = log.append(&LogRecord::new(t, Lsn::NONE, LogPayload::Begin));
+    let l = log.append(&LogRecord::new(
+        t,
+        l,
+        LogPayload::Update(RedoOp::InsertTuple {
+            rid: rid(n as u16),
+            data: vec![n as u8],
+        }),
+    ));
+    let l = log.append(&LogRecord::new(
+        t,
+        l,
+        LogPayload::Update(RedoOp::SetTimestamp {
+            rid: rid(n as u16),
+            field: TsField::Insertion,
+            old: Timestamp::UNCOMMITTED,
+            new: Timestamp(n),
+        }),
+    ));
+    let l = log.append(&LogRecord::new(
+        t,
+        l,
+        LogPayload::Commit {
+            commit_time: Timestamp(n),
+        },
+    ));
+    log.append(&LogRecord::new(
+        t,
+        l,
+        LogPayload::End {
+            outcome: TxnOutcome::Committed,
+        },
+    ));
+}
+
+#[test]
+fn checkpoint_bounds_the_analysis_scan() {
+    let path = temp("ckpt-bound");
+    let log = open(&path);
+    for n in 1..=50 {
+        committed_insert(&log, n);
+    }
+    // Fuzzy checkpoint with empty ATT/DPT: everything before it is settled.
+    let ckpt = log.append(&LogRecord::new(
+        tid(0),
+        Lsn::NONE,
+        LogPayload::Checkpoint {
+            att: vec![],
+            dpt: vec![],
+        },
+    ));
+    log.force(ckpt).unwrap();
+    log.write_master(ckpt).unwrap();
+    for n in 51..=55 {
+        committed_insert(&log, n);
+    }
+    log.flush_all().unwrap();
+    let a = aries::analysis(&log).unwrap();
+    // 5 txns x 5 records + the checkpoint record itself.
+    assert_eq!(a.scanned, 26, "analysis must start at the master checkpoint");
+    assert!(a.att.is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn long_log_replays_every_committed_insert() {
+    let path = temp("long");
+    let log = open(&path);
+    let n = 500u64;
+    for i in 1..=n {
+        committed_insert(&log, i);
+    }
+    // One loser at the end.
+    let loser = tid(9_999);
+    let l = log.append(&LogRecord::new(loser, Lsn::NONE, LogPayload::Begin));
+    log.append(&LogRecord::new(
+        loser,
+        l,
+        LogPayload::Update(RedoOp::InsertTuple {
+            rid: rid(600),
+            data: vec![0xee],
+        }),
+    ));
+    log.flush_all().unwrap();
+    let mut store = MemStore::default();
+    let report = aries::recover(&log, &mut store).unwrap();
+    assert_eq!(store.tuples.len(), n as usize);
+    assert_eq!(report.undone, 1);
+    for i in 1..=n {
+        assert_eq!(store.ins_ts[&rid(i as u16)], Timestamp(i));
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn triple_crash_during_recovery_is_idempotent() {
+    let path = temp("triple");
+    {
+        let log = open(&path);
+        committed_insert(&log, 1);
+        // Two losers with interleaved updates.
+        for (t, slot) in [(100u64, 10u16), (101, 11)] {
+            let t = tid(t);
+            let l = log.append(&LogRecord::new(t, Lsn::NONE, LogPayload::Begin));
+            log.append(&LogRecord::new(
+                t,
+                l,
+                LogPayload::Update(RedoOp::InsertTuple {
+                    rid: rid(slot),
+                    data: vec![slot as u8],
+                }),
+            ));
+        }
+        log.flush_all().unwrap();
+    }
+    // Recover three times, "crashing" (reopening) in between; the final
+    // state is identical each time.
+    let mut reference = None;
+    for _ in 0..3 {
+        let log = open(&path);
+        let mut store = MemStore::default();
+        aries::recover(&log, &mut store).unwrap();
+        log.flush_all().unwrap();
+        let mut keys: Vec<RecordId> = store.tuples.keys().copied().collect();
+        keys.sort();
+        match &reference {
+            None => reference = Some(keys),
+            Some(r) => assert_eq!(&keys, r),
+        }
+    }
+    assert_eq!(reference.unwrap(), vec![rid(1)]);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn group_commit_delay_accumulates_bigger_batches() {
+    let path = temp("delay");
+    let metrics = Metrics::new();
+    let log = std::sync::Arc::new(
+        LogManager::open(
+            &path,
+            GroupCommit::Enabled {
+                delay: Some(std::time::Duration::from_millis(10)),
+            },
+            DiskProfile::fast(),
+            metrics.clone(),
+        )
+        .unwrap(),
+    );
+    let threads: Vec<_> = (0..16)
+        .map(|i| {
+            let log = log.clone();
+            std::thread::spawn(move || {
+                let t = tid(i);
+                let l = log.append(&LogRecord::new(
+                    t,
+                    Lsn::NONE,
+                    LogPayload::Commit {
+                        commit_time: Timestamp(i + 1),
+                    },
+                ));
+                log.force(l).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(metrics.forced_writes(), 16);
+    assert!(
+        metrics.physical_syncs() <= 4,
+        "10 ms delay should batch 16 commits into a few syncs, got {}",
+        metrics.physical_syncs()
+    );
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,59 @@
+//! Workload generation: the paper's insert and update transactions.
+
+use harbor_common::Value;
+use harbor_dist::UpdateRequest;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// One row of the evaluation schema ([`harbor::TableSpec::paper_table`]):
+/// an `i64` id plus 13 deterministic `i32` payload fields — 16 four-byte
+/// equivalent fields counting the two timestamps (§6.2).
+pub fn paper_row(id: i64) -> Vec<Value> {
+    let mut v = Vec::with_capacity(14);
+    v.push(Value::Int64(id));
+    for i in 0..13 {
+        v.push(Value::Int32((id as i32).wrapping_mul(31).wrapping_add(i)));
+    }
+    v
+}
+
+/// A single-insert update request (the §6.3.1 transaction body).
+pub fn insert_request(table: &str, id: i64) -> UpdateRequest {
+    UpdateRequest::Insert {
+        table: table.to_string(),
+        values: paper_row(id),
+    }
+}
+
+/// An indexed update of one historical tuple (the §6.4.2 transaction
+/// body): overwrite the first payload field.
+pub fn update_by_key_request(table: &str, key: i64, new_value: i32) -> UpdateRequest {
+    UpdateRequest::UpdateByKey {
+        table: table.to_string(),
+        key,
+        set: vec![(1, Value::Int32(new_value))],
+    }
+}
+
+/// Thread-safe source of single-insert requests with unique ascending ids.
+pub struct InsertStream {
+    table: String,
+    next_id: AtomicI64,
+}
+
+impl InsertStream {
+    pub fn new(table: &str, first_id: i64) -> Self {
+        InsertStream {
+            table: table.to_string(),
+            next_id: AtomicI64::new(first_id),
+        }
+    }
+
+    pub fn next(&self) -> UpdateRequest {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        insert_request(&self.table, id)
+    }
+
+    pub fn issued(&self) -> i64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,96 @@
+//! A scripted SQL session against a single HARBOR site, exercising the SQL
+//! frontend extension (the thesis had no parser — plans were hand-built;
+//! see `harbor_exec::sql`). Demonstrates inserts, predicates, aggregation,
+//! updates-as-versions, and `AS OF` time travel.
+//!
+//! Run with: `cargo run --release --example sql_shell`
+//! Pass `-i` to drop into an interactive prompt afterwards.
+
+use harbor_common::{FieldType, SiteId, StorageConfig, Timestamp, TransactionId};
+use harbor_engine::{Engine, EngineOptions, StepLogging};
+use harbor_exec::sql::{execute, query};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("harbor-sql-shell-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine::open(
+        &dir,
+        EngineOptions::harbor(SiteId(1), StorageConfig::default()),
+    )?;
+    engine.create_table(
+        "inventory",
+        vec![
+            ("id".into(), FieldType::Int64),
+            ("store".into(), FieldType::Int32),
+            ("stock".into(), FieldType::Int32),
+        ],
+    )?;
+
+    // A tiny local commit driver: each statement batch runs as one txn.
+    let seq = std::cell::Cell::new(1u64);
+    let clock = std::cell::Cell::new(1u64);
+    let run = |sql: &str| -> Result<(), Box<dyn std::error::Error>> {
+        let s = sql.trim();
+        if s.is_empty() {
+            return Ok(());
+        }
+        if s.to_ascii_lowercase().starts_with("select") {
+            let rows = query(&engine, s)?;
+            println!("-- {s}");
+            for r in &rows {
+                println!("   {r}");
+            }
+            println!("   ({} rows)", rows.len());
+        } else {
+            let tid = TransactionId::from_parts(SiteId(1), seq.replace(seq.get() + 1));
+            engine.begin(tid)?;
+            match execute(&engine, tid, s) {
+                Ok(n) => {
+                    let t = Timestamp(clock.replace(clock.get() + 1));
+                    engine.commit(tid, t, StepLogging::OFF)?;
+                    println!("-- {s}\n   ok, {n} row(s) at t{}", t.0);
+                }
+                Err(e) => {
+                    engine.abort(tid, StepLogging::OFF)?;
+                    println!("-- {s}\n   error: {e} (rolled back)");
+                }
+            }
+        }
+        Ok(())
+    };
+
+    // The scripted session.
+    let script = [
+        "INSERT INTO inventory VALUES (1, 1, 50), (2, 1, 0), (3, 2, 75), (4, 2, 12)",
+        "SELECT * FROM inventory",
+        "SELECT store, SUM(stock), COUNT(*) FROM inventory GROUP BY store",
+        "UPDATE inventory SET stock = 40 WHERE id = 2",
+        "DELETE FROM inventory WHERE stock < 20",
+        "SELECT id, stock FROM inventory",
+        // Time travel: the state as of the first commit.
+        "SELECT id, stock FROM inventory AS OF 1",
+        "SELECT COUNT(*) FROM inventory WHERE deletion_time <> 0 AS OF 1",
+    ];
+    for sql in script {
+        run(sql)?;
+    }
+
+    if std::env::args().any(|a| a == "-i") {
+        println!("\ninteractive mode — end with an empty line");
+        let stdin = std::io::stdin();
+        loop {
+            print!("sql> ");
+            std::io::stdout().flush()?;
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line)? == 0 || line.trim().is_empty() {
+                break;
+            }
+            if let Err(e) = run(&line) {
+                println!("   error: {e}");
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the HARBOR reproduction workspace.
+//!
+//! Hosts the runnable examples in `examples/` and the cross-crate
+//! integration tests in `tests/`. The re-exports below give examples a
+//! single import surface.
+
+pub use harbor;
+pub use harbor_common as common;
+pub use harbor_dist as dist;
+pub use harbor_engine as engine;
+pub use harbor_exec as exec;
+pub use harbor_net as net;
+pub use harbor_storage as storage;
+pub use harbor_wal as wal;
+pub use harbor_workload as workload;

@@ -1,0 +1,97 @@
+//! Automatic non-blocking termination under 3PC (§4.3.3): with
+//! `auto_consensus` on, a worker that sees the coordinator's connection die
+//! mid-commit elects the backup and drives the transaction to a consistent
+//! outcome with *no external intervention* — the property that lets
+//! optimized 3PC run without any coordinator log.
+
+use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
+use harbor_common::{SiteId, StorageConfig, Timestamp, Value};
+use harbor_dist::{FailPoint, ProtocolKind, UpdateRequest};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("harbor-auto-consensus")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn count_at(cluster: &Cluster, site: SiteId) -> usize {
+    let e = cluster.engine(site).unwrap();
+    let def = e.table_def("t").unwrap();
+    let mut scan = harbor_exec::SeqScan::new(
+        e.pool().clone(),
+        def.id,
+        harbor_exec::ReadMode::Historical(Timestamp(1_000_000)),
+    )
+    .unwrap();
+    harbor_exec::collect(&mut scan).unwrap().len()
+}
+
+fn scenario(name: &str, fail: FailPoint, expect_rows: usize) {
+    let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 2);
+    cfg.storage = StorageConfig::for_tests();
+    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.tables = vec![TableSpec::small("t")];
+    cfg.auto_consensus = true;
+    let cluster = Cluster::build(temp_dir(name), cfg).unwrap();
+    cluster
+        .insert_one("t", vec![Value::Int64(0), Value::Int32(0)])
+        .unwrap();
+    let coordinator = cluster.coordinator();
+    let tid = coordinator.begin().unwrap();
+    coordinator
+        .update(
+            tid,
+            UpdateRequest::Insert {
+                table: "t".into(),
+                values: vec![Value::Int64(1), Value::Int32(1)],
+            },
+        )
+        .unwrap();
+    coordinator.set_fail_point(fail);
+    assert!(coordinator.commit(tid).is_err(), "{name}: coordinator died");
+    // No manual resolution: the workers' disconnect detection elects the
+    // backup and finishes the transaction. Poll until both replicas agree
+    // on the expected outcome.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let counts: Vec<usize> = cluster
+            .worker_sites()
+            .iter()
+            .map(|s| count_at(&cluster, *s))
+            .collect();
+        let locks_free = cluster
+            .worker_sites()
+            .iter()
+            .all(|s| cluster.engine(*s).unwrap().locks().held_count() == 0);
+        if counts.iter().all(|&c| c == expect_rows) && locks_free {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name}: consensus did not converge; counts={counts:?} locks_free={locks_free}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_after_prepare_auto_aborts() {
+    scenario("after-prepare", FailPoint::AfterPrepare, 1);
+}
+
+#[test]
+fn crash_mid_prepare_to_commit_auto_commits() {
+    // One worker reached prepared-to-commit: the backup replays the last
+    // two phases and the transaction commits everywhere.
+    scenario("mid-ptc", FailPoint::AfterPtcSentTo(1), 2);
+}
+
+#[test]
+fn crash_mid_commit_fanout_auto_commits() {
+    scenario("mid-commit", FailPoint::AfterCommitSentTo(1), 2);
+}

@@ -1,0 +1,278 @@
+//! Failures *during* recovery (thesis §5.5) — scenarios the thesis
+//! describes but its implementation never exercised:
+//!
+//! * the recovering site dies after Phase 1 or Phase 2 and restarts
+//!   recovery, resuming from the finer-granularity per-object checkpoint;
+//! * the recovering site dies in Phase 3 while holding remote table read
+//!   locks, and the buddies override the orphaned locks (§5.5.1);
+//! * a recovery buddy dies mid-recovery, and the retry recomputes the
+//!   recovery plan from the remaining replicas (§5.5.2);
+//! * K = 2: two workers down simultaneously, recovered one after the other.
+
+use harbor::{Cluster, ClusterConfig, RecoveryConfig, RecoveryFailPoint};
+use harbor_common::{SiteId, Timestamp, Value};
+use harbor_dist::ProtocolKind;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("harbor-failure-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn row(id: i64, v: i32) -> Vec<Value> {
+    vec![Value::Int64(id), Value::Int32(v)]
+}
+
+fn fill(cluster: &Cluster, from: i64, to: i64) {
+    for id in from..to {
+        cluster.insert_one("sales", row(id, id as i32)).unwrap();
+    }
+}
+
+fn count_at(cluster: &Cluster, site: SiteId) -> usize {
+    let e = cluster.engine(site).unwrap();
+    let def = e.table_def("sales").unwrap();
+    let now = cluster.coordinator().authority().now().prev();
+    let mut scan = harbor_exec::SeqScan::new(
+        e.pool().clone(),
+        def.id,
+        harbor_exec::ReadMode::Historical(now),
+    )
+    .unwrap();
+    harbor_exec::collect(&mut scan).unwrap().len()
+}
+
+fn failing(fp: RecoveryFailPoint) -> RecoveryConfig {
+    RecoveryConfig {
+        fail_point: fp,
+        ..RecoveryConfig::default()
+    }
+}
+
+#[test]
+fn recovering_site_dies_after_each_phase_and_retries() {
+    let dir = temp_dir("retry-phases");
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    fill(&cluster, 0, 30);
+    for site in cluster.worker_sites() {
+        cluster.engine(site).unwrap().checkpoint().unwrap();
+    }
+    fill(&cluster, 30, 60);
+    let victim = SiteId(1);
+    cluster.crash_worker(victim).unwrap();
+    fill(&cluster, 60, 80);
+    // First attempt dies after Phase 1.
+    let err = cluster
+        .recover_worker_harbor_with(victim, failing(RecoveryFailPoint::AfterPhase1))
+        .unwrap_err();
+    assert!(err.to_string().contains("injected"));
+    assert!(cluster.is_crashed(victim));
+    // Second attempt dies after Phase 2 — its object checkpoint survives.
+    let err = cluster
+        .recover_worker_harbor_with(victim, failing(RecoveryFailPoint::AfterPhase2))
+        .unwrap_err();
+    assert!(err.to_string().contains("injected"));
+    // Progress continues between attempts.
+    fill(&cluster, 80, 90);
+    // Third attempt completes. The per-object checkpoint from attempt 2
+    // means Phase 2 copies only what arrived since then.
+    let report = cluster.recover_worker_harbor(victim).unwrap();
+    assert!(
+        report.objects[0].checkpoint > Timestamp(30),
+        "resumed from the recovery-time object checkpoint"
+    );
+    assert_eq!(count_at(&cluster, victim), 90);
+    assert_eq!(count_at(&cluster, SiteId(2)), 90);
+    // The third attempt should not have re-copied the attempt-2 tuples.
+    assert!(
+        report.tuples_copied() <= 15,
+        "copied {} tuples; expected only the post-attempt-2 delta",
+        report.tuples_copied()
+    );
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn buddies_override_a_dead_recoverers_locks() {
+    let dir = temp_dir("lock-override");
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    fill(&cluster, 0, 20);
+    let victim = SiteId(1);
+    cluster.crash_worker(victim).unwrap();
+    // The recoverer dies while holding the buddy's table read lock.
+    let err = cluster
+        .recover_worker_harbor_with(victim, failing(RecoveryFailPoint::WhileHoldingLocks))
+        .unwrap_err();
+    assert!(err.to_string().contains("injected"));
+    // Give the buddy's disconnect detection a moment to fire.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    // Updates must be able to proceed: the orphaned lock was overridden.
+    cluster.insert_one("sales", row(1_000, 0)).unwrap();
+    let survivor = SiteId(2);
+    assert_eq!(
+        cluster.engine(survivor).unwrap().locks().held_count(),
+        0,
+        "orphaned recovery locks remain on the buddy"
+    );
+    // And a clean retry brings the site fully online.
+    cluster.recover_worker_harbor(victim).unwrap();
+    assert_eq!(count_at(&cluster, victim), 21);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn buddy_failure_mid_recovery_switches_to_another_copy() {
+    let dir = temp_dir("buddy-fails");
+    let mut cfg = ClusterConfig::for_tests(ProtocolKind::Opt3pc);
+    cfg.num_workers = 3; // K = 2
+    let cluster = Cluster::build(&dir, cfg).unwrap();
+    fill(&cluster, 0, 25);
+    let victim = SiteId(1);
+    cluster.crash_worker(victim).unwrap();
+    fill(&cluster, 25, 40);
+    // The planner would pick site 2 as the buddy; kill it so the recovery
+    // attempt fails mid-flight, then retry — the new plan must use site 3.
+    let plan = cluster
+        .placement()
+        .recovery_plan(victim, "sales", &std::collections::HashSet::new())
+        .unwrap();
+    assert_eq!(plan[0].buddy, SiteId(2));
+    cluster.crash_worker(SiteId(2)).unwrap();
+    // With site 2 down the retry plans around it and succeeds from site 3.
+    let report = cluster.recover_worker_harbor(victim).unwrap();
+    assert!(report.tuples_copied() >= 15);
+    assert_eq!(count_at(&cluster, victim), 40);
+    // Finally recover site 2 as well (second of the K = 2 failures),
+    // which can now use either live replica.
+    let report = cluster.recover_worker_harbor(SiteId(2)).unwrap();
+    assert!(report.tuples_copied() > 0);
+    assert_eq!(count_at(&cluster, SiteId(2)), 40);
+    // All three replicas converge.
+    for site in cluster.worker_sites() {
+        assert_eq!(count_at(&cluster, site), 40, "at {site}");
+    }
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_error_when_all_copies_are_down() {
+    let dir = temp_dir("all-down");
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    fill(&cluster, 0, 5);
+    cluster.crash_worker(SiteId(1)).unwrap();
+    cluster.crash_worker(SiteId(2)).unwrap();
+    // More than K simultaneous failures: HARBOR no longer applies (§3.2).
+    let err = cluster.recover_worker_harbor(SiteId(1)).unwrap_err();
+    assert!(matches!(err, harbor_common::DbError::Unrecoverable(_)));
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn phase2_repeats_until_the_lag_threshold_is_met() {
+    let dir = temp_dir("phase2-rounds");
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    fill(&cluster, 0, 30);
+    let victim = SiteId(1);
+    cluster.crash_worker(victim).unwrap();
+    fill(&cluster, 30, 50);
+    // A zero lag threshold can never be satisfied while the clock ticks,
+    // so Phase 2 runs exactly `max_phase2_rounds` times and then proceeds;
+    // correctness must be unaffected (later rounds just copy less).
+    let cfg = RecoveryConfig {
+        phase2_repeat_threshold: 0,
+        max_phase2_rounds: 3,
+        ..RecoveryConfig::default()
+    };
+    let report = cluster.recover_worker_harbor_with(victim, cfg).unwrap();
+    assert_eq!(report.objects[0].phase2_rounds, 3);
+    assert_eq!(count_at(&cluster, victim), 50);
+    assert_eq!(count_at(&cluster, SiteId(2)), 50);
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parallel recovery of several objects announces each object separately
+/// (Fig 5-4 is per-`rec`). Updates to a *still-recovering* table must not
+/// start flowing to the site just because another table came online first —
+/// they would be applied twice (once live, once by the Phase-3 copy).
+#[test]
+fn per_object_announcements_gate_update_routing() {
+    let dir = temp_dir("per-object-online");
+    let mut cfg = harbor::ClusterConfig::for_tests(ProtocolKind::Opt3pc);
+    cfg.tables = vec![
+        harbor::TableSpec::small("sales"),
+        harbor::TableSpec::small("returns"),
+    ];
+    // Force heavily skewed recovery: serial object order with traffic in
+    // flight maximizes the window between the two announcements.
+    cfg.recovery.parallel_objects = false;
+    let cluster = std::sync::Arc::new(Cluster::build(&dir, cfg).unwrap());
+    for i in 0..20 {
+        cluster.insert_one("sales", row(i, 0)).unwrap();
+        cluster.insert_one("returns", row(i, 0)).unwrap();
+    }
+    let victim = SiteId(1);
+    cluster.crash_worker(victim).unwrap();
+    // Background writers on BOTH tables throughout recovery.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = ["sales", "returns"]
+        .into_iter()
+        .map(|t| {
+            let cluster = cluster.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 1_000i64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let _ = cluster.insert_one(t, row(i, 0));
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    cluster.recover_worker_harbor(victim).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for w in writers {
+        w.join().unwrap();
+    }
+    cluster.insert_one("sales", row(9_999, 0)).unwrap();
+    cluster.insert_one("returns", row(9_999, 0)).unwrap();
+    // No duplicates and no losses on either table, on either replica.
+    let now = cluster.coordinator().authority().now().prev();
+    for t in ["sales", "returns"] {
+        let mut per_site = Vec::new();
+        for site in cluster.worker_sites() {
+            let e = cluster.engine(site).unwrap();
+            let def = e.table_def(t).unwrap();
+            let mut scan = harbor_exec::SeqScan::new(
+                e.pool().clone(),
+                def.id,
+                harbor_exec::ReadMode::Historical(now),
+            )
+            .unwrap();
+            let mut ids: Vec<i64> = harbor_exec::collect(&mut scan)
+                .unwrap()
+                .iter()
+                .map(|r| r.get(2).as_i64().unwrap())
+                .collect();
+            ids.sort();
+            // Duplicate detection.
+            let mut dedup = ids.clone();
+            dedup.dedup();
+            assert_eq!(ids, dedup, "duplicate tuples in {t} at {site}");
+            per_site.push(ids);
+        }
+        assert_eq!(per_site[0], per_site[1], "replicas diverged on {t}");
+    }
+    cluster.shutdown();
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
