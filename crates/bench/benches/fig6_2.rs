@@ -97,13 +97,11 @@ fn main() {
             let sources: Vec<InsertStream> = (0..streams)
                 .map(|s| InsertStream::new(&format!("t{s}"), 0))
                 .collect();
-            let sample = run_concurrent_streams(
-                cluster.coordinator(),
-                streams,
-                txns_per_stream,
-                |s, _| vec![sources[s].next()],
-            )
-            .expect("streams");
+            let sample =
+                run_concurrent_streams(cluster.coordinator(), streams, txns_per_stream, |s, _| {
+                    vec![sources[s].next()]
+                })
+                .expect("streams");
             points.push((streams as f64, sample.tps()));
             if streams == 1 {
                 latency_rows.push(vec![

@@ -13,8 +13,8 @@
 use harbor_bench::{print_series, throughput_cluster, Scale};
 use harbor_dist::{ProtocolKind, UpdateRequest};
 use harbor_wal::GroupCommit;
-use harbor_workload::InsertStream;
 use harbor_workload::run_concurrent_streams;
+use harbor_workload::InsertStream;
 
 fn main() {
     let scale = Scale::from_env();
@@ -24,7 +24,9 @@ fn main() {
     };
     let work_levels: Vec<u64> = match scale {
         Scale::Quick => vec![0, 500_000, 1_000_000, 2_000_000],
-        _ => vec![0, 500_000, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000],
+        _ => vec![
+            0, 500_000, 1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000,
+        ],
     };
     let txns_per_stream = scale.pick(40, 200, 1000);
     let protocols = [

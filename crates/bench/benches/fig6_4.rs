@@ -28,9 +28,7 @@ fn main() {
     let rps = rows_per_segment(&recovery_storage(scale));
     let prefill_rows = rps * scale.pick(12, 24, 101);
     println!("Figure 6-4: recovery time (ms) vs insert transactions since crash");
-    println!(
-        "(scale={scale:?}, prefill {prefill_rows} rows/table, {rps} rows/segment)"
-    );
+    println!("(scale={scale:?}, prefill {prefill_rows} rows/table, {rps} rows/segment)");
     for scenario in RecoveryScenario::ALL {
         let mut points = Vec::new();
         for &m in &txn_counts {

@@ -51,13 +51,7 @@ fn main() {
                         let n = per_table + usize::from(ti < segs % tables.len());
                         assert!((n as i64) < prefill_segments - 1);
                         let chosen: Vec<i64> = (0..n as i64).collect();
-                        run_historical_updates(
-                            cluster,
-                            t,
-                            &chosen,
-                            updates_per_segment,
-                            rps,
-                        )?;
+                        run_historical_updates(cluster, t, &chosen, updates_per_segment, rps)?;
                         updates += chosen.len() * updates_per_segment;
                     }
                     // The rest of the fixed budget is inserts.

@@ -6,6 +6,10 @@
 //! grows with updated historical segments), Phase 2's SELECT+INSERT (the
 //! tuple copies — roughly constant for a fixed insert count), and Phase 3
 //! (near zero when no transactions run during recovery).
+//!
+//! A second pass re-runs the heaviest point with the segment-parallel
+//! Phase 2 and prints its per-range fetch timers plus the recovery
+//! throughput counters (tuples/bytes shipped, ranges fetched/reassigned).
 
 use harbor_bench::{
     print_table, recovery_storage, rows_per_segment, run_historical_updates, run_insert_txns,
@@ -65,4 +69,66 @@ fn main() {
         ],
         &rows,
     );
+
+    // Second pass: the heaviest point again, with the segment-parallel
+    // Phase 2, decomposed per range.
+    let segs = *seg_counts.last().unwrap();
+    let run = run_recovery_scenario(
+        &format!("fig6_6-parallel-{segs}"),
+        RecoveryScenario::HarborParallelSegments,
+        scale,
+        prefill_rows,
+        |cluster, tables| {
+            let chosen: Vec<i64> = (0..segs as i64).collect();
+            run_historical_updates(cluster, &tables[0], &chosen, updates_per_segment, rps)?;
+            let inserts = total_txns.saturating_sub(segs * updates_per_segment);
+            run_insert_txns(cluster, tables, inserts, prefill_rows + 1_000_000)
+        },
+    )
+    .expect("parallel scenario");
+    let report = run.report.expect("harbor report");
+    let mut range_rows = Vec::new();
+    for obj in &report.objects {
+        for rt in &obj.range_timings {
+            range_rows.push(vec![
+                obj.table.clone(),
+                format!("{}", rt.buddy),
+                format!("({}, {}]", rt.lo.0, rt.hi.0),
+                rt.tuples.to_string(),
+                format!("{:.2}", rt.elapsed.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    println!();
+    println!(
+        "segment-parallel Phase 2 at {segs} updated segments: total {:.1} ms, \
+         {} ranges fetched, {} reassigned",
+        run.elapsed.as_secs_f64() * 1e3,
+        report.ranges_fetched(),
+        report.ranges_reassigned(),
+    );
+    print_table(
+        "per-range Phase-2 fetch timers",
+        &[
+            "table",
+            "buddy",
+            "insertion/deletion range",
+            "tuples",
+            "fetch ms",
+        ],
+        &range_rows,
+    );
+    if let Some(m) = run.metrics {
+        let secs = run.elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "recovery throughput: {} tuples shipped ({:.0}/s), {:.2} MiB shipped \
+             ({:.2} MiB/s), {} tuples applied ({:.0}/s)",
+            m.recovery_tuples_shipped,
+            m.recovery_tuples_shipped as f64 / secs,
+            m.recovery_bytes_shipped as f64 / (1024.0 * 1024.0),
+            m.recovery_bytes_shipped as f64 / (1024.0 * 1024.0) / secs,
+            m.recovery_tuples_applied,
+            m.recovery_tuples_applied as f64 / secs,
+        );
+    }
 }

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use harbor_common::codec::Wire;
 use harbor_common::time::visible_at;
-use harbor_common::{DiskProfile, Metrics, PageId, TableId, Timestamp, TransactionId, SiteId};
+use harbor_common::{DiskProfile, Metrics, PageId, SiteId, TableId, Timestamp, TransactionId};
 use harbor_storage::{slots_per_page, LockKey, LockManager, LockMode, Page, ScanBounds};
 use harbor_wal::record::{LogPayload, LogRecord};
 use harbor_wal::{GroupCommit, LogManager, Lsn};
@@ -189,12 +189,67 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
+/// A scan-sized streaming response (what the recovery fast path ships).
+fn scan_batch_response(rows: usize) -> harbor_dist::Response {
+    let batch = (0..rows)
+        .map(|i| {
+            harbor_common::Tuple::versioned(
+                Timestamp(10 + i as u64),
+                Timestamp::ZERO,
+                harbor_workload::paper_row(i as i64),
+            )
+        })
+        .collect();
+    harbor_dist::Response::Tuples { batch, done: false }
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    // Framing a streamed batch: encode-then-copy-behind-a-prefix (the old
+    // Response→send path) vs encoding straight into the framed buffer.
+    let resp = scan_batch_response(512);
+    g.bench_function("frame_batch_encode_then_copy", |b| {
+        b.iter(|| {
+            let body = resp.to_vec();
+            let mut framed = Vec::with_capacity(body.len() + 4);
+            framed.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            framed.extend_from_slice(&body);
+            black_box(framed)
+        });
+    });
+    g.bench_function("frame_batch_to_framed_vec", |b| {
+        b.iter(|| black_box(resp.to_framed_vec()));
+    });
+    // Shipping it over TCP loopback into a draining peer: `send` (header +
+    // payload, vectored) vs `send_framed` (pre-framed, one write).
+    use harbor_net::Transport;
+    let transport = harbor_net::TcpTransport::new(Metrics::new());
+    let listener = transport.listen("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr();
+    let sink = std::thread::spawn(move || {
+        let mut chan = listener.accept().unwrap();
+        while chan.recv().is_ok() {}
+    });
+    let mut chan = transport.connect(&addr).unwrap();
+    let framed = resp.to_framed_vec();
+    g.bench_function("tcp_send", |b| {
+        b.iter(|| chan.send(black_box(&framed[4..])).unwrap());
+    });
+    g.bench_function("tcp_send_framed", |b| {
+        b.iter(|| chan.send_framed(black_box(&framed)).unwrap());
+    });
+    drop(chan);
+    sink.join().unwrap();
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(500))
         .sample_size(30);
-    targets = bench_page, bench_visibility_and_pruning, bench_lock_manager, bench_wal, bench_codec
+    targets = bench_page, bench_visibility_and_pruning, bench_lock_manager, bench_wal, bench_codec,
+        bench_transport
 }
 criterion_main!(benches);

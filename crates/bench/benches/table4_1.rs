@@ -6,16 +6,21 @@
 
 use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
 use harbor_bench::{experiment_dir, print_table};
-use harbor_common::{SiteId, StorageConfig, Value};
-use harbor_dist::{backup_action, BackupAction, BackupState, FailPoint, ProtocolKind, UpdateRequest};
 use harbor_common::Timestamp;
+use harbor_common::{SiteId, StorageConfig, Value};
+use harbor_dist::{
+    backup_action, BackupAction, BackupState, FailPoint, ProtocolKind, UpdateRequest,
+};
 
 /// Runs one coordinator-crash scenario; returns (backup state observed,
 /// action taken, rows visible afterwards).
 fn scenario(name: &str, fail: FailPoint) -> (BackupState, BackupAction, usize) {
     let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 2);
     cfg.storage = StorageConfig::for_tests();
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.tables = vec![TableSpec::small("t")];
     let cluster = Cluster::build(experiment_dir(&format!("table4_1-{name}")), cfg).unwrap();
     // A committed baseline row so scans have a stable reference.
@@ -138,7 +143,12 @@ fn main() {
     ]);
     print_table(
         "Table 4.1: backup coordinator actions (driven end-to-end)",
-        &["backup state", "action taken", "paper action", "final outcome"],
+        &[
+            "backup state",
+            "action taken",
+            "paper action",
+            "final outcome",
+        ],
         &rows,
     );
 }

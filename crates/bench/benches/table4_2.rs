@@ -11,8 +11,8 @@
 //! | 3PC            | 6           | 0         | 3          |
 //! | optimized 3PC  | 6           | 0         | 0          |
 
-use harbor_bench::{experiment_dir, print_table};
 use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
+use harbor_bench::{experiment_dir, print_table};
 use harbor_common::StorageConfig;
 use harbor_dist::{ProtocolKind, UpdateRequest};
 use harbor_workload::paper_row;
@@ -23,13 +23,13 @@ fn measure(protocol: ProtocolKind) -> (u64, u64, u64) {
         disk: harbor_common::DiskProfile::fast(),
         ..StorageConfig::for_tests()
     };
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.tables = vec![TableSpec::paper_table("t")];
-    let cluster = Cluster::build(
-        experiment_dir(&format!("table4_2-{protocol:?}")),
-        cfg,
-    )
-    .expect("cluster");
+    let cluster =
+        Cluster::build(experiment_dir(&format!("table4_2-{protocol:?}")), cfg).expect("cluster");
     let coordinator = cluster.coordinator();
     let workers = cluster.worker_sites();
     let n_workers = workers.len() as u64;
@@ -67,7 +67,11 @@ fn measure(protocol: ProtocolKind) -> (u64, u64, u64) {
         worker_forces += d.forced_writes;
     }
     let msgs_per_worker = net_d.messages_sent / n_workers;
-    (msgs_per_worker, coord_d.forced_writes, worker_forces / n_workers)
+    (
+        msgs_per_worker,
+        coord_d.forced_writes,
+        worker_forces / n_workers,
+    )
 }
 
 fn main() {
@@ -88,7 +92,11 @@ fn main() {
                 protocol.expected_coordinator_forces(),
                 protocol.expected_worker_forces()
             ),
-            if ok { "match".into() } else { "MISMATCH".into() },
+            if ok {
+                "match".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
         assert!(ok, "{} diverged from Table 4.2", protocol.name());
     }

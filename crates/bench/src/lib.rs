@@ -61,11 +61,14 @@ pub fn paper_disk() -> DiskProfile {
     DiskProfile::emulated(Duration::from_millis(5))
 }
 
-/// The emulated LAN: ~150 µs per message, restoring the paper's
-/// network-vs-disk cost ratio on loopback.
+/// The emulated LAN: ~150 µs per message plus 100 Mbps of link
+/// bandwidth, restoring the paper's network-vs-disk cost ratio on
+/// loopback. Bandwidth matters for recovery: catch-up scans ship whole
+/// segments, so their wire time is proportional to bytes, not messages.
 pub fn paper_lan() -> TransportKind {
     TransportKind::InMem {
         latency: Some(Duration::from_micros(150)),
+        bandwidth: Some(100_000_000 / 8),
     }
 }
 
@@ -124,7 +127,10 @@ pub fn recovery_cluster(
 ) -> DbResult<Cluster> {
     let mut cfg = ClusterConfig::new(protocol, 3);
     cfg.storage = recovery_storage(scale);
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.checkpoint_every = None;
     for t in tables {
         cfg.tables.push(TableSpec::paper_table(t));
@@ -138,9 +144,7 @@ pub fn recovery_cluster(
 pub fn prefill(cluster: &Cluster, table: &str, rows: i64) -> DbResult<()> {
     for site in cluster.worker_sites() {
         let engine = cluster.engine(site)?;
-        let def = engine
-            .table_def(table)
-            .expect("prefill of existing table");
+        let def = engine.table_def(table).expect("prefill of existing table");
         for id in 0..rows {
             let tup = Tuple::versioned(Timestamp(1), Timestamp::ZERO, paper_row(id));
             engine.insert_recovered(def.id, &tup)?;
@@ -158,11 +162,12 @@ pub fn prefill(cluster: &Cluster, table: &str, rows: i64) -> DbResult<()> {
 /// Rows per segment for a config (prefill planning).
 pub fn rows_per_segment(storage: &StorageConfig) -> i64 {
     let tuple = TableSpec::paper_table("x");
-    let width: usize = 16 + tuple
-        .user_fields
-        .iter()
-        .map(|(_, t)| t.width())
-        .sum::<usize>();
+    let width: usize = 16
+        + tuple
+            .user_fields
+            .iter()
+            .map(|(_, t)| t.width())
+            .sum::<usize>();
     let per_page = harbor_storage::slots_per_page(width) as i64;
     per_page * storage.segment_pages as i64
 }
@@ -218,8 +223,8 @@ mod tests {
 
     #[test]
     fn prefill_loads_every_worker() {
-        let cluster = recovery_cluster("lib-prefill", ProtocolKind::Opt3pc, &["t"], Scale::Quick)
-            .unwrap();
+        let cluster =
+            recovery_cluster("lib-prefill", ProtocolKind::Opt3pc, &["t"], Scale::Quick).unwrap();
         prefill(&cluster, "t", 500).unwrap();
         for site in cluster.worker_sites() {
             let e = cluster.engine(site).unwrap();
@@ -240,17 +245,23 @@ mod tests {
 // Recovery experiment machinery (Figs 6-4 / 6-5 / 6-6)
 // ----------------------------------------------------------------------
 
-/// The four recovery scenarios of §6.4.
+/// The recovery scenarios of §6.4, plus this repo's segment-parallel
+/// extension.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecoveryScenario {
     /// One table, log-based recovery (the ARIES baseline).
     Aries1Table,
-    /// One table, HARBOR query-based recovery.
+    /// One table, HARBOR query-based recovery (serial Phase 2 — the
+    /// thesis' algorithm verbatim).
     Harbor1Table,
     /// Two tables, HARBOR recovering them serially.
     HarborSerial2,
     /// Two tables, HARBOR recovering them in parallel, one buddy each.
     HarborParallel2,
+    /// One table, HARBOR with the segment-parallel, multi-buddy,
+    /// pipelined Phase 2 (ranged queries fanned across both surviving
+    /// buddies, applier pool locally).
+    HarborParallelSegments,
 }
 
 impl RecoveryScenario {
@@ -260,12 +271,15 @@ impl RecoveryScenario {
             RecoveryScenario::Harbor1Table => "HARBOR, 1 table",
             RecoveryScenario::HarborSerial2 => "HARBOR, serial, 2 tables",
             RecoveryScenario::HarborParallel2 => "HARBOR, parallel, 2 tables",
+            RecoveryScenario::HarborParallelSegments => "HARBOR, parallel segments, 1 table",
         }
     }
 
     pub fn tables(self) -> Vec<String> {
         match self {
-            RecoveryScenario::Aries1Table | RecoveryScenario::Harbor1Table => vec!["t0".into()],
+            RecoveryScenario::Aries1Table
+            | RecoveryScenario::Harbor1Table
+            | RecoveryScenario::HarborParallelSegments => vec!["t0".into()],
             _ => vec!["t0".into(), "t1".into()],
         }
     }
@@ -274,11 +288,12 @@ impl RecoveryScenario {
         matches!(self, RecoveryScenario::Aries1Table)
     }
 
-    pub const ALL: [RecoveryScenario; 4] = [
+    pub const ALL: [RecoveryScenario; 5] = [
         RecoveryScenario::Aries1Table,
         RecoveryScenario::Harbor1Table,
         RecoveryScenario::HarborSerial2,
         RecoveryScenario::HarborParallel2,
+        RecoveryScenario::HarborParallelSegments,
     ];
 }
 
@@ -288,6 +303,9 @@ pub struct RecoveryRun {
     pub elapsed: Duration,
     /// HARBOR per-phase breakdown (query-based scenarios).
     pub report: Option<harbor::RecoveryReport>,
+    /// The recovering site's counter deltas across the recovery window
+    /// (tuples/bytes shipped to it, ranges fetched/reassigned).
+    pub metrics: Option<harbor_common::MetricsSnapshot>,
 }
 
 /// Runs one §6.4-style experiment: build cluster → prefill → run the
@@ -298,6 +316,20 @@ pub fn run_recovery_scenario(
     scenario: RecoveryScenario,
     scale: Scale,
     prefill_rows: i64,
+    workload: impl FnOnce(&Cluster, &[String]) -> DbResult<()>,
+) -> DbResult<RecoveryRun> {
+    run_recovery_scenario_with(name, scenario, scale, prefill_rows, |_| {}, workload)
+}
+
+/// As [`run_recovery_scenario`] but lets the caller tweak the cluster
+/// config (recovery knobs, scan batch, …) before the cluster is built —
+/// the ablation harness sweeps knobs through this hook.
+pub fn run_recovery_scenario_with(
+    name: &str,
+    scenario: RecoveryScenario,
+    scale: Scale,
+    prefill_rows: i64,
+    tweak: impl FnOnce(&mut ClusterConfig),
     workload: impl FnOnce(&Cluster, &[String]) -> DbResult<()>,
 ) -> DbResult<RecoveryRun> {
     let tables = scenario.tables();
@@ -311,12 +343,19 @@ pub fn run_recovery_scenario(
     cfg_cluster_dir.push("cluster");
     let mut cfg = ClusterConfig::new(protocol, 3);
     cfg.storage = recovery_storage(scale);
-    cfg.transport = TransportKind::InMem { latency: None };
+    // §6.4 ran on the same 100 Mbps LAN as the throughput experiments:
+    // recovery queries pay per-message latency like everything else.
+    cfg.transport = paper_lan();
     cfg.checkpoint_every = None;
     cfg.recovery.parallel_objects = scenario != RecoveryScenario::HarborSerial2;
+    // Only the extension scenario uses the segment-parallel Phase 2; the
+    // four thesis scenarios keep the serial single-buddy algorithm so the
+    // paper baselines stay comparable.
+    cfg.recovery.parallel_segments = scenario == RecoveryScenario::HarborParallelSegments;
     for t in &table_refs {
         cfg.tables.push(TableSpec::paper_table(t));
     }
+    tweak(&mut cfg);
     let cluster = Cluster::build(cfg_cluster_dir, cfg)?;
     for t in &table_refs {
         prefill(&cluster, t, prefill_rows)?;
@@ -340,6 +379,25 @@ pub fn run_recovery_scenario(
         Some(cluster.recover_worker_harbor(victim)?)
     };
     let elapsed = t0.elapsed();
+    // Recovery-throughput counters: ranges fetched/reassigned and tuples
+    // applied count on the recovering site; tuples/bytes shipped count on
+    // the buddies that served the recovery queries.
+    let metrics = if scenario.is_aries() {
+        None
+    } else {
+        let mut snap = cluster.engine(victim)?.metrics().snapshot();
+        for site in cluster.worker_sites() {
+            if site == victim {
+                continue;
+            }
+            if let Ok(e) = cluster.engine(site) {
+                let s = e.metrics().snapshot();
+                snap.recovery_tuples_shipped += s.recovery_tuples_shipped;
+                snap.recovery_bytes_shipped += s.recovery_bytes_shipped;
+            }
+        }
+        Some(snap)
+    };
     // Verify: the recovered replica matches a survivor on every table.
     let now = cluster.coordinator().authority().now().prev();
     for t in &table_refs {
@@ -363,13 +421,18 @@ pub fn run_recovery_scenario(
             counts.push((n, sum));
         }
         assert_eq!(
-            counts[0], counts[1],
+            counts[0],
+            counts[1],
             "{name}: replica divergence on {t} after {}",
             scenario.name()
         );
     }
     cluster.shutdown();
-    Ok(RecoveryRun { elapsed, report })
+    Ok(RecoveryRun {
+        elapsed,
+        report,
+        metrics,
+    })
 }
 
 /// Round-robins `total` single-insert transactions over `tables`, ids

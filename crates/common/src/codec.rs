@@ -7,49 +7,46 @@
 //! the DataFusion guide calls out for storage formats).
 
 use crate::error::{DbError, DbResult};
-use bytes::{Buf, BufMut, BytesMut};
 
-/// Append-only encoder over a [`BytesMut`].
+/// Append-only encoder over a plain `Vec<u8>`.
 #[derive(Debug, Default)]
 pub struct Encoder {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Encoder {
     pub fn new() -> Self {
-        Encoder {
-            buf: BytesMut::new(),
-        }
+        Encoder { buf: Vec::new() }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
         Encoder {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_i32(&mut self, v: i32) {
-        self.buf.put_i32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     pub fn put_bool(&mut self, v: bool) {
@@ -59,12 +56,12 @@ impl Encoder {
     /// Length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Raw bytes with no length prefix (caller knows the width).
     pub fn put_raw(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Length-prefixed UTF-8 string.
@@ -80,7 +77,7 @@ impl Encoder {
         self.buf.is_empty()
     }
 
-    pub fn into_bytes(self) -> BytesMut {
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
@@ -102,44 +99,45 @@ impl<'a> Decoder<'a> {
     }
 
     fn need(&self, n: usize) -> DbResult<()> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             Err(DbError::corrupt(format!(
                 "decode underrun: need {n} bytes, have {}",
-                self.buf.remaining()
+                self.buf.len()
             )))
         } else {
             Ok(())
         }
     }
 
+    fn take(&mut self, n: usize) -> DbResult<&'a [u8]> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
     pub fn get_u8(&mut self) -> DbResult<u8> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(self.take(1)?[0])
     }
 
     pub fn get_u16(&mut self) -> DbResult<u16> {
-        self.need(2)?;
-        Ok(self.buf.get_u16_le())
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
     pub fn get_u32(&mut self) -> DbResult<u32> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn get_u64(&mut self) -> DbResult<u64> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     pub fn get_i32(&mut self) -> DbResult<i32> {
-        self.need(4)?;
-        Ok(self.buf.get_i32_le())
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     pub fn get_i64(&mut self) -> DbResult<i64> {
-        self.need(8)?;
-        Ok(self.buf.get_i64_le())
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     pub fn get_bool(&mut self) -> DbResult<bool> {
@@ -149,18 +147,12 @@ impl<'a> Decoder<'a> {
     /// Length-prefixed byte string.
     pub fn get_bytes(&mut self) -> DbResult<Vec<u8>> {
         let n = self.get_u32()? as usize;
-        self.need(n)?;
-        let out = self.buf[..n].to_vec();
-        self.buf.advance(n);
-        Ok(out)
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Raw bytes of a known width.
     pub fn get_raw(&mut self, n: usize) -> DbResult<Vec<u8>> {
-        self.need(n)?;
-        let out = self.buf[..n].to_vec();
-        self.buf.advance(n);
-        Ok(out)
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Length-prefixed UTF-8 string.
@@ -170,17 +162,17 @@ impl<'a> Decoder<'a> {
     }
 
     pub fn remaining(&self) -> usize {
-        self.buf.remaining()
+        self.buf.len()
     }
 
     /// Asserts the buffer was fully consumed.
     pub fn finish(self) -> DbResult<()> {
-        if self.buf.remaining() == 0 {
+        if self.buf.is_empty() {
             Ok(())
         } else {
             Err(DbError::corrupt(format!(
                 "{} trailing bytes after decode",
-                self.buf.remaining()
+                self.buf.len()
             )))
         }
     }
@@ -194,7 +186,21 @@ pub trait Wire: Sized {
     fn to_vec(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
-        enc.into_bytes().to_vec()
+        enc.into_bytes()
+    }
+
+    /// Encodes with a leading 4-byte little-endian length prefix (the frame
+    /// header the transports use), so a channel can write `len || payload`
+    /// with a single syscall and no extra copy. The prefix covers the
+    /// payload only.
+    fn to_framed_vec(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.put_u32(0); // placeholder for the length prefix
+        self.encode(&mut enc);
+        let mut bytes = enc.into_bytes();
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        bytes
     }
 
     fn from_slice(buf: &[u8]) -> DbResult<Self> {

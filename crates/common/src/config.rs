@@ -6,6 +6,29 @@ use std::time::Duration;
 /// pages (§6.1.1).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Tuples per `Response::Tuples` batch when a worker streams a scan back to
+/// a peer. Large enough to amortise framing, small enough that a recovering
+/// site can start applying before the stream finishes.
+pub const DEFAULT_SCAN_BATCH: usize = 512;
+
+/// Applier threads draining the Phase-2 recovery pipeline on the recovering
+/// site (tuples are fetched from buddies by separate fetcher threads).
+pub const DEFAULT_PHASE2_APPLIERS: usize = 2;
+
+/// Maximum number of distinct buddies a segment-parallel Phase 2 fans
+/// recovery ranges across.
+pub const DEFAULT_MAX_BUDDY_FANOUT: usize = 4;
+
+/// Maximum number of per-segment insertion-time ranges Phase 2 splits an
+/// object's catch-up into. Adjacent segment ranges are merged above this.
+pub const DEFAULT_MAX_PHASE2_RANGES: usize = 32;
+
+/// Minimum buddy-side data volume (in pages) a Phase-2 range must cover:
+/// adjacent segments are merged into one ranged query until their combined
+/// page count reaches this, so a small catch-up never pays per-range round
+/// trips that exceed its wire time.
+pub const DEFAULT_MIN_RANGE_PAGES: u64 = 8;
+
 /// Models the latency of stable storage.
 ///
 /// The thesis machines force log records to 2006-era disks where a forced

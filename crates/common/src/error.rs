@@ -14,10 +14,7 @@ pub enum DbError {
     Io(io::Error),
     /// A lock could not be granted before the deadlock timeout expired
     /// (thesis §6.1.2 resolves deadlocks by timeout).
-    LockTimeout {
-        txn: TransactionId,
-        what: String,
-    },
+    LockTimeout { txn: TransactionId, what: String },
     /// The transaction was aborted (locally or by the commit protocol).
     TransactionAborted(TransactionId),
     /// Unknown transaction id presented to a worker. Workers answer vote
@@ -88,7 +85,10 @@ impl fmt::Display for DbError {
         match self {
             DbError::Io(e) => write!(f, "io error: {e}"),
             DbError::LockTimeout { txn, what } => {
-                write!(f, "{txn} timed out waiting for lock on {what} (possible deadlock)")
+                write!(
+                    f,
+                    "{txn} timed out waiting for lock on {what} (possible deadlock)"
+                )
             }
             DbError::TransactionAborted(t) => write!(f, "{t} aborted"),
             DbError::UnknownTransaction(t) => write!(f, "unknown transaction {t}"),

@@ -20,7 +20,7 @@ pub mod value;
 pub use config::{DiskProfile, StorageConfig};
 pub use error::{DbError, DbResult};
 pub use ids::{PageId, RecordId, SegmentNo, SiteId, TableId, TransactionId};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use schema::{FieldType, TupleDesc};
 pub use time::Timestamp;
 pub use tuple::Tuple;

@@ -45,6 +45,14 @@ struct Counters {
     evictions: AtomicU64,
     /// Tuples shipped to a recovering site by recovery queries.
     recovery_tuples_shipped: AtomicU64,
+    /// Bytes of tuple payload shipped to a recovering site.
+    recovery_bytes_shipped: AtomicU64,
+    /// Tuples the recovering site applied locally during Phase 2.
+    recovery_tuples_applied: AtomicU64,
+    /// Phase-2 segment ranges fetched from buddies.
+    recovery_ranges_fetched: AtomicU64,
+    /// Phase-2 segment ranges reassigned after a buddy failed mid-stream.
+    recovery_ranges_reassigned: AtomicU64,
 }
 
 macro_rules! counter {
@@ -83,6 +91,26 @@ impl Metrics {
         recovery_tuples_shipped,
         recovery_tuples_shipped
     );
+    counter!(
+        add_recovery_bytes_shipped,
+        recovery_bytes_shipped,
+        recovery_bytes_shipped
+    );
+    counter!(
+        add_recovery_tuples_applied,
+        recovery_tuples_applied,
+        recovery_tuples_applied
+    );
+    counter!(
+        add_recovery_ranges_fetched,
+        recovery_ranges_fetched,
+        recovery_ranges_fetched
+    );
+    counter!(
+        add_recovery_ranges_reassigned,
+        recovery_ranges_reassigned,
+        recovery_ranges_reassigned
+    );
 
     /// Snapshot of all counters, for diffing across an experiment.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -100,6 +128,10 @@ impl Metrics {
             lock_timeouts: self.lock_timeouts(),
             evictions: self.evictions(),
             recovery_tuples_shipped: self.recovery_tuples_shipped(),
+            recovery_bytes_shipped: self.recovery_bytes_shipped(),
+            recovery_tuples_applied: self.recovery_tuples_applied(),
+            recovery_ranges_fetched: self.recovery_ranges_fetched(),
+            recovery_ranges_reassigned: self.recovery_ranges_reassigned(),
         }
     }
 }
@@ -120,6 +152,10 @@ pub struct MetricsSnapshot {
     pub lock_timeouts: u64,
     pub evictions: u64,
     pub recovery_tuples_shipped: u64,
+    pub recovery_bytes_shipped: u64,
+    pub recovery_tuples_applied: u64,
+    pub recovery_ranges_fetched: u64,
+    pub recovery_ranges_reassigned: u64,
 }
 
 impl MetricsSnapshot {
@@ -141,6 +177,18 @@ impl MetricsSnapshot {
             recovery_tuples_shipped: self
                 .recovery_tuples_shipped
                 .saturating_sub(earlier.recovery_tuples_shipped),
+            recovery_bytes_shipped: self
+                .recovery_bytes_shipped
+                .saturating_sub(earlier.recovery_bytes_shipped),
+            recovery_tuples_applied: self
+                .recovery_tuples_applied
+                .saturating_sub(earlier.recovery_tuples_applied),
+            recovery_ranges_fetched: self
+                .recovery_ranges_fetched
+                .saturating_sub(earlier.recovery_ranges_fetched),
+            recovery_ranges_reassigned: self
+                .recovery_ranges_reassigned
+                .saturating_sub(earlier.recovery_ranges_reassigned),
         }
     }
 }

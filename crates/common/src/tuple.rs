@@ -199,7 +199,11 @@ mod tests {
         Tuple::versioned(
             Timestamp(4),
             Timestamp::ZERO,
-            vec![Value::Int64(42), Value::Int32(-1), Value::Str("colgate".into())],
+            vec![
+                Value::Int64(42),
+                Value::Int32(-1),
+                Value::Str("colgate".into()),
+            ],
         )
     }
 

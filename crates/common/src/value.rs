@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn cross_width_integer_comparison() {
-        assert_eq!(
-            Value::Int32(5).total_cmp(&Value::Int64(5)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Int32(5).total_cmp(&Value::Int64(5)), Ordering::Equal);
         assert_eq!(Value::Int64(4).total_cmp(&Value::Int32(5)), Ordering::Less);
     }
 

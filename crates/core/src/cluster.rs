@@ -27,9 +27,12 @@ use std::time::Duration;
 /// Which transport the cluster runs on.
 #[derive(Clone, Copy, Debug)]
 pub enum TransportKind {
-    /// In-process channels; optional injected per-message latency to model
-    /// the paper's LAN.
-    InMem { latency: Option<Duration> },
+    /// In-process channels; optional injected per-message latency and
+    /// finite link bandwidth (bytes/second) to model the paper's LAN.
+    InMem {
+        latency: Option<Duration>,
+        bandwidth: Option<u64>,
+    },
     /// Real loopback TCP sockets (the thesis' own model).
     Tcp,
 }
@@ -87,6 +90,8 @@ pub struct ClusterConfig {
     /// Serve deletion recovery queries from the deletion log (§5.2
     /// footnote; ablation 4 compares on/off).
     pub use_deletion_log: bool,
+    /// Rows per streamed scan batch at the workers (ablation 5).
+    pub scan_batch: usize,
 }
 
 impl ClusterConfig {
@@ -97,12 +102,16 @@ impl ClusterConfig {
             storage: StorageConfig::default(),
             group_commit: GroupCommit::enabled(),
             checkpoint_every: None,
-            transport: TransportKind::InMem { latency: None },
+            transport: TransportKind::InMem {
+                latency: None,
+                bandwidth: None,
+            },
             tables: Vec::new(),
             auto_consensus: false,
             recovery: RecoveryConfig::default(),
             deadlock: harbor_storage::DeadlockPolicy::Timeout,
             use_deletion_log: true,
+            scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
         }
     }
 
@@ -149,12 +158,15 @@ impl Cluster {
         std::fs::create_dir_all(&dir)?;
         let net_metrics = Metrics::new();
         let transport: Arc<dyn Transport> = match cfg.transport {
-            TransportKind::InMem { latency: None } => {
-                Arc::new(InMemNetwork::new(net_metrics.clone()))
-            }
-            TransportKind::InMem { latency: Some(l) } => {
-                Arc::new(InMemNetwork::with_latency(net_metrics.clone(), l))
-            }
+            TransportKind::InMem {
+                latency: Some(l),
+                bandwidth: Some(b),
+            } => Arc::new(InMemNetwork::with_link(net_metrics.clone(), l, b)),
+            TransportKind::InMem {
+                latency: Some(l),
+                bandwidth: None,
+            } => Arc::new(InMemNetwork::with_latency(net_metrics.clone(), l)),
+            TransportKind::InMem { .. } => Arc::new(InMemNetwork::new(net_metrics.clone())),
             TransportKind::Tcp => Arc::new(TcpTransport::new(net_metrics.clone())),
         };
         // Bind all listeners first so TCP port 0 resolves before the
@@ -207,6 +219,7 @@ impl Cluster {
                     peers: peers.clone(),
                     auto_consensus: cfg.auto_consensus,
                     use_deletion_log: cfg.use_deletion_log,
+                    scan_batch: cfg.scan_batch,
                 },
                 listener,
             )?;
@@ -400,6 +413,7 @@ impl Cluster {
                 peers,
                 auto_consensus: self.cfg.auto_consensus,
                 use_deletion_log: self.cfg.use_deletion_log,
+                scan_batch: self.cfg.scan_batch,
             },
         )?;
         let metrics = engine.metrics().clone();

@@ -53,6 +53,6 @@ pub mod recovery;
 
 pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, COORDINATOR_SITE};
 pub use recovery::{
-    recover_object, recover_site, ObjectReport, RecoveryConfig, RecoveryContext,
-    RecoveryFailPoint, RecoveryReport,
+    recover_object, recover_site, ObjectReport, RecoveryConfig, RecoveryContext, RecoveryFailPoint,
+    RecoveryReport,
 };

@@ -22,16 +22,23 @@
 //! All remote reads stream in batches; the local halves are batch scans so
 //! recovery time never depends on a (possibly cold) primary-key index.
 
-use harbor_common::{DbResult, SiteId, TableId, Timestamp, TransactionId, DbError};
+use crossbeam::channel;
+use harbor_common::config::{
+    DEFAULT_MAX_BUDDY_FANOUT, DEFAULT_MAX_PHASE2_RANGES, DEFAULT_MIN_RANGE_PAGES,
+    DEFAULT_PHASE2_APPLIERS,
+};
+use harbor_common::{DbError, DbResult, SiteId, TableId, Timestamp, TransactionId, Tuple};
 use harbor_dist::{
-    rpc, scan_rpc_streaming, Placement, RecoveryObject, RemoteScan, Request, Response,
-    WireReadMode,
+    rpc, scan_range_rpc_streaming, scan_rpc_streaming, segment_bounds_rpc, Placement,
+    RecoveryObject, RemoteScan, Request, Response, WireReadMode,
 };
 use harbor_engine::Engine;
 use harbor_exec::{scan_rids, ReadMode};
 use harbor_net::{Channel, Transport};
 use harbor_storage::ScanBounds;
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,6 +74,27 @@ pub struct RecoveryConfig {
     /// Recover multiple objects in parallel (§5.1) or serially — the
     /// comparison of Figs 6-4/6-5.
     pub parallel_objects: bool,
+    /// Segment-parallel Phase 2: partition the catch-up window into
+    /// per-segment-range recovery queries (derived from the buddy's §4.2
+    /// directory bounds), scatter them across every live buddy, and pipe
+    /// the streams through a bounded channel into a local applier pool.
+    /// `false` reproduces the thesis' serial single-buddy Phase 2.
+    pub parallel_segments: bool,
+    /// Local applier threads draining the Phase-2 pipeline. Each owns a
+    /// private bulk appender so concurrent applies never contend on a
+    /// page latch.
+    pub phase2_appliers: usize,
+    /// Upper bound on how many buddies the ranged queries fan out across
+    /// (primary buddy plus alternates from the K-safety catalog).
+    pub max_buddy_fanout: usize,
+    /// Upper bound on ranges per Phase-2 query pair; segment cuts beyond
+    /// this are merged so tiny segments don't degrade into per-segment
+    /// round trips.
+    pub max_phase2_ranges: usize,
+    /// Minimum buddy-side volume (pages) per range: adjacent segments
+    /// merge into one ranged query until their combined page count reaches
+    /// this, so small catch-ups don't pay per-range round trips.
+    pub min_range_pages: u64,
     /// Fault injection (tests only).
     pub fail_point: RecoveryFailPoint,
 }
@@ -78,9 +106,25 @@ impl Default for RecoveryConfig {
             max_phase2_rounds: 4,
             lock_retry_for: Duration::from_secs(30),
             parallel_objects: true,
+            parallel_segments: true,
+            phase2_appliers: DEFAULT_PHASE2_APPLIERS,
+            max_buddy_fanout: DEFAULT_MAX_BUDDY_FANOUT,
+            max_phase2_ranges: DEFAULT_MAX_PHASE2_RANGES,
+            min_range_pages: DEFAULT_MIN_RANGE_PAGES,
             fail_point: RecoveryFailPoint::None,
         }
     }
+}
+
+/// One ranged Phase-2 fetch: which buddy served `(lo, hi]`, how much it
+/// shipped, and how long the fetch took (Fig 6-6's per-range breakdown).
+#[derive(Clone, Debug)]
+pub struct RangeTiming {
+    pub buddy: SiteId,
+    pub lo: Timestamp,
+    pub hi: Timestamp,
+    pub tuples: u64,
+    pub elapsed: Duration,
 }
 
 /// Timing/volume breakdown for one recovered object (Fig 6-6's
@@ -101,6 +145,13 @@ pub struct ObjectReport {
     pub phase2_rounds: u32,
     pub checkpoint: Timestamp,
     pub hwm: Timestamp,
+    /// Per-range fetch timings from the segment-parallel Phase 2 (empty
+    /// when `parallel_segments` is off or the plan degenerates to one
+    /// unranged query).
+    pub range_timings: Vec<RangeTiming>,
+    /// Ranges that had to be handed to another buddy because their first
+    /// owner died mid-stream (§5.5).
+    pub ranges_reassigned: u64,
 }
 
 /// Whole-site recovery summary.
@@ -129,6 +180,17 @@ impl RecoveryReport {
 
     pub fn tuples_copied(&self) -> u64 {
         self.objects.iter().map(|o| o.tuples_copied).sum()
+    }
+
+    pub fn ranges_fetched(&self) -> u64 {
+        self.objects
+            .iter()
+            .map(|o| o.range_timings.len() as u64)
+            .sum()
+    }
+
+    pub fn ranges_reassigned(&self) -> u64 {
+        self.objects.iter().map(|o| o.ranges_reassigned).sum()
     }
 }
 
@@ -190,7 +252,10 @@ pub fn recover_site(ctx: &RecoveryContext) -> DbResult<RecoveryReport> {
                     scope.spawn(move || recover_object(ctx, &t))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("recovery thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("recovery thread"))
+                .collect()
         });
         for r in results {
             objects.push(r?);
@@ -250,11 +315,19 @@ pub fn recover_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<Objec
         report.phase2_rounds += 1;
         hwm = ctx.cluster_now()?.prev();
         let t0 = Instant::now();
-        let deletions = phase2_deletions(ctx, def.id, &plan, ckpt, hwm)?;
+        let deletions = if ctx.config.parallel_segments {
+            phase2_deletions_parallel(ctx, def.id, &plan, ckpt, hwm, &mut report)?
+        } else {
+            phase2_deletions(ctx, def.id, &plan, ckpt, hwm)?
+        };
         report.phase2_deletes += t0.elapsed();
         report.deletions_copied += deletions;
         let t0 = Instant::now();
-        let copied = phase2_inserts(ctx, def.id, &plan, ckpt, hwm)?;
+        let copied = if ctx.config.parallel_segments {
+            phase2_inserts_parallel(ctx, def.id, &plan, ckpt, hwm, &mut report)?
+        } else {
+            phase2_inserts(ctx, def.id, &plan, ckpt, hwm)?
+        };
         report.phase2_inserts += t0.elapsed();
         report.tuples_copied += copied;
         // Object-specific checkpoint: rec is consistent up to the HWM.
@@ -279,7 +352,9 @@ pub fn recover_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<Objec
     let final_time = phase3(ctx, def.id, table_name, &plan, hwm, &mut report)?;
     report.phase3 = t0.elapsed();
     report.checkpoint = final_time;
-    ctx.engine.checkpointer().checkpoint_object(def.id, final_time)?;
+    ctx.engine
+        .checkpointer()
+        .checkpoint_object(def.id, final_time)?;
     Ok(report)
 }
 
@@ -417,6 +492,429 @@ fn phase2_inserts(
     Ok(copied)
 }
 
+// ====================================================================
+// Segment-parallel Phase 2: ranged queries × buddy fan-out × pipelined
+// apply. The serial functions above are the reference implementation;
+// everything below must produce byte-identical table contents.
+// ====================================================================
+
+/// The buddies a segment-parallel Phase 2 fans ranges across: the plan's
+/// primary buddy plus its live full-copy alternates (§4.3 K-safety
+/// catalog), capped by `max_buddy_fanout`.
+fn fanout_buddies(ctx: &RecoveryContext, obj: &RecoveryObject) -> Vec<SiteId> {
+    let mut buddies = Vec::with_capacity(1 + obj.alternates.len());
+    buddies.push(obj.buddy);
+    buddies.extend(obj.alternates.iter().copied());
+    buddies.truncate(ctx.config.max_buddy_fanout.max(1));
+    buddies
+}
+
+/// Fetches the object's §4.2 segment-directory bounds from the first buddy
+/// that answers (primary first, then alternates — a dead primary must not
+/// stop recovery before it even starts, §5.5).
+fn fetch_segment_bounds(
+    ctx: &RecoveryContext,
+    obj: &RecoveryObject,
+) -> DbResult<Vec<(Timestamp, Timestamp, Timestamp, u64)>> {
+    let mut last_err = None;
+    for buddy in fanout_buddies(ctx, obj) {
+        let attempt = (|| {
+            let mut chan = ctx.connect(buddy)?;
+            segment_bounds_rpc(chan.as_mut(), &obj.table)
+        })();
+        match attempt {
+            Ok(bounds) => return Ok(bounds),
+            Err(e) if e.is_disconnect() => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| DbError::SiteDown(format!("no live buddy for {}", obj.table))))
+}
+
+/// Splits `(lo, hi]` at the segment-directory cut points falling strictly
+/// inside it. Tuples timestamped in different ranges live in (mostly)
+/// disjoint segment sets, so the ranged scans prune to disjoint page runs
+/// and the buddy reads each page once across the whole fan-out.
+///
+/// Each cut carries the page count of its segment; adjacent segments merge
+/// into one range until `min_pages` accumulate, so a range is always worth
+/// at least that much buddy-side volume — a small catch-up degenerates to
+/// one unranged query instead of paying per-range round trips. At most
+/// `max_ranges` ranges are produced; surplus cuts are merged evenly.
+fn derive_ranges(
+    cuts: &[(Timestamp, u64)],
+    lo: Timestamp,
+    hi: Timestamp,
+    max_ranges: usize,
+    min_pages: u64,
+) -> Vec<(Timestamp, Timestamp)> {
+    if hi <= lo {
+        return Vec::new();
+    }
+    // Segments whose cut is at or below `lo` hold no in-window data for
+    // this axis; segments cut at or above `hi` fold into the final range.
+    let mut segs: Vec<(Timestamp, u64)> = cuts.iter().copied().filter(|(t, _)| *t > lo).collect();
+    segs.sort_unstable_by_key(|(t, _)| *t);
+    let mut cuts: Vec<Timestamp> = Vec::new();
+    let mut acc = 0u64;
+    for (t, pages) in segs {
+        acc += pages.max(1);
+        if t < hi && acc >= min_pages {
+            cuts.push(t);
+            acc = 0;
+        }
+    }
+    cuts.dedup();
+    let max_ranges = max_ranges.max(1);
+    if cuts.len() + 1 > max_ranges {
+        let total = cuts.len();
+        let keep = max_ranges - 1;
+        cuts = (0..keep)
+            .map(|i| cuts[(i + 1) * total / max_ranges])
+            .collect();
+    }
+    let mut ranges = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = lo;
+    for c in cuts {
+        ranges.push((prev, c));
+        prev = c;
+    }
+    ranges.push((prev, hi));
+    ranges
+}
+
+/// One completed ranged fetch travelling down the fetch→apply pipeline.
+struct FetchedRange<T> {
+    #[allow(dead_code)] // drains may key off the timing; today none do
+    timing: RangeTiming,
+    payload: T,
+}
+
+/// The scatter-gather core shared by both Phase-2 halves: pops ranges off
+/// a work queue with one fetcher thread per live buddy, buffers each range
+/// fully at the fetcher (local apply is *not* idempotent, so nothing may
+/// be forwarded from a range that might be retried), and pipes completed
+/// ranges through a bounded channel into `appliers` drain threads — the
+/// network receive of range *n+1* overlaps the local apply of range *n*.
+///
+/// A buddy that dies mid-stream takes its fetcher down but not the phase:
+/// the broken range goes back on the queue for the survivors (§5.5).
+/// Only when every buddy is gone with ranges still outstanding does the
+/// phase fail.
+fn scatter_gather_ranges<T, F, D>(
+    ctx: &RecoveryContext,
+    obj: &RecoveryObject,
+    ranges: Vec<(Timestamp, Timestamp)>,
+    fetch: F,
+    drain: D,
+    appliers: usize,
+    report: &mut ObjectReport,
+) -> DbResult<u64>
+where
+    T: Send,
+    F: Fn(&mut dyn Channel, Timestamp, Timestamp) -> DbResult<(T, u64)> + Sync,
+    D: Fn(channel::Receiver<FetchedRange<T>>) -> DbResult<u64> + Sync,
+{
+    let buddies = fanout_buddies(ctx, obj);
+    let appliers = appliers.max(1);
+    // A single range cannot overlap anything: skip the thread machinery
+    // (spawns plus idle polling are pure overhead at small catch-up
+    // volumes, e.g. the later catch-up rounds) and fetch inline, still
+    // failing over across the fan-out.
+    if ranges.len() == 1 {
+        let (lo, hi) = ranges[0];
+        let mut last_err = None;
+        for (i, buddy) in buddies.iter().copied().enumerate() {
+            let t0 = Instant::now();
+            let result = (|| {
+                let mut chan = ctx.connect(buddy)?;
+                fetch(chan.as_mut(), lo, hi)
+            })();
+            match result {
+                Ok((payload, tuples)) => {
+                    ctx.engine.metrics().add_recovery_ranges_fetched(1);
+                    report.range_timings.push(RangeTiming {
+                        buddy,
+                        lo,
+                        hi,
+                        tuples,
+                        elapsed: t0.elapsed(),
+                    });
+                    report.ranges_reassigned += i as u64;
+                    let (tx, rx) = channel::bounded::<FetchedRange<T>>(1);
+                    let sent = tx.send(FetchedRange {
+                        timing: report.range_timings.last().expect("just pushed").clone(),
+                        payload,
+                    });
+                    assert!(sent.is_ok(), "bounded(1) send with receiver alive");
+                    drop(tx);
+                    return drain(rx);
+                }
+                Err(e) if e.is_disconnect() => {
+                    ctx.engine.metrics().add_recovery_ranges_reassigned(1);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        return Err(last_err
+            .unwrap_or_else(|| DbError::SiteDown(format!("no live buddy for {}", obj.table))));
+    }
+    let pending = AtomicUsize::new(ranges.len());
+    let reassigned = AtomicU64::new(0);
+    let queue: Mutex<Vec<(Timestamp, Timestamp)>> = Mutex::new(ranges);
+    let timings: Mutex<Vec<RangeTiming>> = Mutex::new(Vec::new());
+    // Bounded: a fast buddy cannot buffer the whole table ahead of the
+    // appliers; it parks until the pipeline drains (backpressure).
+    let (tx, rx) = channel::bounded::<FetchedRange<T>>(appliers * 4);
+    let (applied, fetch_err, apply_err) = std::thread::scope(|scope| {
+        let (pending, reassigned) = (&pending, &reassigned);
+        let (queue, timings) = (&queue, &timings);
+        let (fetch, drain) = (&fetch, &drain);
+        let mut applier_handles = Vec::with_capacity(appliers);
+        for _ in 0..appliers {
+            let rx = rx.clone();
+            applier_handles.push(scope.spawn(move || drain(rx)));
+        }
+        drop(rx);
+        let mut fetcher_handles = Vec::with_capacity(buddies.len());
+        for buddy in buddies {
+            let tx = tx.clone();
+            fetcher_handles.push(scope.spawn(move || -> DbResult<()> {
+                let mut chan: Option<Box<dyn Channel>> = None;
+                loop {
+                    if pending.load(Ordering::SeqCst) == 0 {
+                        return Ok(()); // every range fetched somewhere
+                    }
+                    let task = queue.lock().pop();
+                    let Some((lo, hi)) = task else {
+                        // The remaining ranges are in flight at other
+                        // fetchers: each either completes there or comes
+                        // back to the queue when that buddy dies. Wait
+                        // for one of the two — briefly, because ranged
+                        // fetches are often sub-millisecond and this tail
+                        // wait is on the recovery critical path.
+                        std::thread::sleep(Duration::from_micros(50));
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let result = (|| {
+                        if chan.is_none() {
+                            chan = Some(ctx.connect(buddy)?);
+                        }
+                        fetch(chan.as_mut().expect("channel").as_mut(), lo, hi)
+                    })();
+                    match result {
+                        Ok((payload, tuples)) => {
+                            ctx.engine.metrics().add_recovery_ranges_fetched(1);
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                            let timing = RangeTiming {
+                                buddy,
+                                lo,
+                                hi,
+                                tuples,
+                                elapsed: t0.elapsed(),
+                            };
+                            timings.lock().push(timing.clone());
+                            if tx.send(FetchedRange { timing, payload }).is_err() {
+                                // Every applier is gone — one of them hit
+                                // an error and the apply side reports it.
+                                return Ok(());
+                            }
+                        }
+                        Err(e) if e.is_disconnect() => {
+                            // §5.5: the buddy died mid-stream. Nothing
+                            // from the broken range was forwarded, so the
+                            // whole range is safe to hand to a survivor.
+                            ctx.engine.metrics().add_recovery_ranges_reassigned(1);
+                            reassigned.fetch_add(1, Ordering::SeqCst);
+                            queue.lock().push((lo, hi));
+                            return Ok(());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }));
+        }
+        drop(tx);
+        let mut fetch_err = None;
+        for h in fetcher_handles {
+            if let Err(e) = h.join().expect("phase-2 fetcher panicked") {
+                fetch_err.get_or_insert(e);
+            }
+        }
+        let mut applied = 0u64;
+        let mut apply_err = None;
+        for h in applier_handles {
+            match h.join().expect("phase-2 applier panicked") {
+                Ok(n) => applied += n,
+                Err(e) => {
+                    apply_err.get_or_insert(e);
+                }
+            }
+        }
+        (applied, fetch_err, apply_err)
+    });
+    if let Some(e) = apply_err {
+        return Err(e);
+    }
+    if let Some(e) = fetch_err {
+        return Err(e);
+    }
+    if pending.load(Ordering::SeqCst) > 0 {
+        return Err(DbError::SiteDown(format!(
+            "every recovery buddy for {} died before phase 2 finished",
+            obj.table
+        )));
+    }
+    report.ranges_reassigned += reassigned.load(Ordering::SeqCst);
+    let mut new_timings = timings.into_inner();
+    report.range_timings.append(&mut new_timings);
+    Ok(applied)
+}
+
+/// Segment-parallel version of [`phase2_deletions`]: the catch-up window
+/// is partitioned by *deletion* time at the directory's `tmax_delete`
+/// cuts. Each range runs `SEE DELETED HISTORICAL WITH TIME hi` with
+/// `deletion_time > lo` — historical visibility hides deletions after
+/// `hi`, so the ranges ship disjoint `del ∈ (lo, hi]` slices *and* keep
+/// the buddy's deletion-log fast path (an insertion-time range would
+/// defeat it). Pairs merge into one map; the local UPDATE stays a single
+/// batch scan.
+fn phase2_deletions_parallel(
+    ctx: &RecoveryContext,
+    table: TableId,
+    plan: &[RecoveryObject],
+    ckpt: Timestamp,
+    hwm: Timestamp,
+    report: &mut ObjectReport,
+) -> DbResult<u64> {
+    let pairs: Mutex<HashMap<i64, Timestamp>> = Mutex::new(HashMap::new());
+    for obj in plan {
+        let bounds = fetch_segment_bounds(ctx, obj)?;
+        let cuts: Vec<(Timestamp, u64)> = bounds
+            .iter()
+            .map(|(_, _, tmax_del, pages)| (*tmax_del, *pages))
+            .collect();
+        // Deletion queries ship only (id, deletion_time) pairs and the
+        // buddy's deletion log answers them without touching segments, so
+        // splitting finer than the fan-out only adds round trips.
+        let max_ranges = ctx
+            .config
+            .max_phase2_ranges
+            .min(fanout_buddies(ctx, obj).len());
+        let ranges = derive_ranges(&cuts, ckpt, hwm, max_ranges, ctx.config.min_range_pages);
+        if ranges.is_empty() {
+            continue;
+        }
+        scatter_gather_ranges(
+            ctx,
+            obj,
+            ranges,
+            |chan: &mut dyn Channel, lo, hi| {
+                let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hi));
+                scan.predicate = obj.predicate.clone();
+                scan.ins_at_or_before = Some(ckpt);
+                scan.del_after = Some(lo);
+                scan.ids_and_deletions_only = true;
+                let mut got: Vec<(i64, Timestamp)> = Vec::new();
+                scan_rpc_streaming(chan, &scan, |batch| {
+                    for t in batch {
+                        got.push((t.get(0).as_i64()?, t.get(1).as_time()?));
+                    }
+                    Ok(())
+                })?;
+                let n = got.len() as u64;
+                Ok((got, n))
+            },
+            |rx: channel::Receiver<FetchedRange<Vec<(i64, Timestamp)>>>| {
+                let mut merged = 0u64;
+                while let Ok(done) = rx.recv() {
+                    merged += done.payload.len() as u64;
+                    let mut map = pairs.lock();
+                    for (id, del) in done.payload {
+                        map.insert(id, del);
+                    }
+                }
+                Ok(merged)
+            },
+            1, // merging pairs is trivial; one drain thread suffices
+            report,
+        )?;
+    }
+    let pairs = pairs.into_inner();
+    apply_deletion_pairs(ctx, table, &pairs)
+}
+
+/// Segment-parallel version of [`phase2_inserts`]: the `(ckpt, hwm]`
+/// window is partitioned by *insertion* time at the directory's
+/// `tmax_insert` cuts and fetched with [`Request::ScanRange`]. Fetchers
+/// buffer each range fully (inserts are not idempotent — a half-applied
+/// range could not be retried elsewhere) and the applier pool writes
+/// through per-thread bulk appenders, so concurrent applies never share a
+/// page latch.
+fn phase2_inserts_parallel(
+    ctx: &RecoveryContext,
+    table: TableId,
+    plan: &[RecoveryObject],
+    ckpt: Timestamp,
+    hwm: Timestamp,
+    report: &mut ObjectReport,
+) -> DbResult<u64> {
+    let engine = &ctx.engine;
+    let mut copied = 0u64;
+    for obj in plan {
+        let bounds = fetch_segment_bounds(ctx, obj)?;
+        let cuts: Vec<(Timestamp, u64)> = bounds
+            .iter()
+            .map(|(_, tmax_ins, _, pages)| (*tmax_ins, *pages))
+            .collect();
+        let ranges = derive_ranges(
+            &cuts,
+            ckpt,
+            hwm,
+            ctx.config.max_phase2_ranges,
+            ctx.config.min_range_pages,
+        );
+        if ranges.is_empty() {
+            continue;
+        }
+        copied += scatter_gather_ranges(
+            ctx,
+            obj,
+            ranges,
+            |chan: &mut dyn Channel, lo, hi| {
+                let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
+                scan.predicate = obj.predicate.clone();
+                let mut buf: Vec<Tuple> = Vec::new();
+                scan_range_rpc_streaming(chan, &scan, lo, hi, |mut batch| {
+                    buf.append(&mut batch);
+                    Ok(())
+                })?;
+                let n = buf.len() as u64;
+                Ok((buf, n))
+            },
+            |rx: channel::Receiver<FetchedRange<Vec<Tuple>>>| {
+                let mut ins = engine.recovered_inserter(table)?;
+                let mut applied = 0u64;
+                while let Ok(done) = rx.recv() {
+                    for t in &done.payload {
+                        ins.insert(t)?;
+                    }
+                    applied += done.payload.len() as u64;
+                    engine
+                        .metrics()
+                        .add_recovery_tuples_applied(done.payload.len() as u64);
+                }
+                Ok(applied)
+            },
+            ctx.config.phase2_appliers,
+            report,
+        )?;
+    }
+    Ok(copied)
+}
+
 /// Phase 3 (§5.4): locked catch-up, join pending transactions, come online.
 /// Returns the time the object is consistent up to.
 fn phase3(
@@ -436,7 +934,27 @@ fn phase3(
     //    are released by the buddy's failure detection, §5.5.1).
     let mut lock_chans: Vec<(SiteId, Box<dyn Channel>)> = Vec::new();
     for obj in plan {
-        let mut chan = ctx.connect(obj.buddy)?;
+        // The plan's primary buddy may have died during Phase 2 (its
+        // ranges were reassigned, §5.5); Phase 3 fails over to the same
+        // full-copy alternates rather than aborting the whole recovery.
+        let mut candidates = vec![obj.buddy];
+        candidates.extend(obj.alternates.iter().copied());
+        let mut picked: Option<(SiteId, Box<dyn Channel>)> = None;
+        let mut last_err: Option<DbError> = None;
+        for buddy in candidates {
+            match ctx.connect(buddy) {
+                Ok(chan) => {
+                    picked = Some((buddy, chan));
+                    break;
+                }
+                Err(e) if e.is_disconnect() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((buddy, mut chan)) = picked else {
+            return Err(last_err
+                .unwrap_or_else(|| DbError::SiteDown(format!("no live buddy for {}", obj.table))));
+        };
         let deadline = Instant::now() + ctx.config.lock_retry_for;
         loop {
             let req = Request::AcquireTableLock {
@@ -449,18 +967,16 @@ fn phase3(
                     if Instant::now() >= deadline {
                         return Err(DbError::LockTimeout {
                             txn: lock_tid,
-                            what: format!("{} at {} ({msg})", obj.table, obj.buddy),
+                            what: format!("{} at {buddy} ({msg})", obj.table),
                         });
                     }
                     // Deadlock timeout at the buddy: retry (§5.4.1).
                     std::thread::sleep(Duration::from_millis(10));
                 }
-                other => {
-                    return Err(DbError::protocol(format!("bad lock reply {other:?}")))
-                }
+                other => return Err(DbError::protocol(format!("bad lock reply {other:?}"))),
             }
         }
-        lock_chans.push((obj.buddy, chan));
+        lock_chans.push((buddy, chan));
     }
     // 2) Missing deletions after the HWM:
     //    SELECT REMOTELY tuple_id, deletion_time ... SEE DELETED
@@ -505,7 +1021,9 @@ fn phase3(
         // without releasing; the buddies' failure detection must override
         // the orphaned locks (§5.5.1).
         drop(lock_chans);
-        return Err(DbError::SiteDown("injected crash while holding locks".into()));
+        return Err(DbError::SiteDown(
+            "injected crash while holding locks".into(),
+        ));
     }
     // rec now holds all committed data; checkpoint at current time - 1
     // ("the current time has not expired", §5.4.1).
@@ -540,4 +1058,76 @@ fn phase3(
         )?;
     }
     Ok(consistent_up_to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Timestamp {
+        Timestamp(v)
+    }
+
+    /// Cut points with one page of weight each (volume thresholds off).
+    fn c(cuts: &[u64]) -> Vec<(Timestamp, u64)> {
+        cuts.iter().map(|v| (t(*v), 1)).collect()
+    }
+
+    #[test]
+    fn derive_ranges_splits_at_interior_cuts() {
+        let cuts = c(&[5, 30, 10, 10, 99]);
+        let ranges = derive_ranges(&cuts, t(5), t(40), 32, 1);
+        assert_eq!(ranges, vec![(t(5), t(10)), (t(10), t(30)), (t(30), t(40))]);
+        // Every range is half-open `(lo, hi]` and they tile the window.
+        assert_eq!(ranges.first().unwrap().0, t(5));
+        assert_eq!(ranges.last().unwrap().1, t(40));
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn derive_ranges_degenerates_to_one_range() {
+        // No interior cuts: one range covering the whole window.
+        assert_eq!(derive_ranges(&[], t(3), t(9), 32, 1), vec![(t(3), t(9))]);
+        assert_eq!(
+            derive_ranges(&c(&[1, 9, 12]), t(3), t(9), 32, 1),
+            vec![(t(3), t(9))]
+        );
+        // Empty or inverted window: nothing to fetch.
+        assert!(derive_ranges(&c(&[5]), t(9), t(9), 32, 1).is_empty());
+        assert!(derive_ranges(&c(&[5]), t(9), t(3), 32, 1).is_empty());
+    }
+
+    #[test]
+    fn derive_ranges_merges_surplus_cuts() {
+        let cuts = c(&(1..100).collect::<Vec<_>>());
+        let ranges = derive_ranges(&cuts, t(0), t(100), 4, 1);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges.first().unwrap().0, t(0));
+        assert_eq!(ranges.last().unwrap().1, t(100));
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        // max_ranges = 1 collapses to the single unranged query.
+        assert_eq!(
+            derive_ranges(&cuts, t(0), t(100), 1, 1),
+            vec![(t(0), t(100))]
+        );
+    }
+
+    #[test]
+    fn derive_ranges_accumulates_page_volume() {
+        // Four 4-page segments with an 8-page floor: cuts emerge only
+        // every 8 accumulated pages (plus the trailing remainder range,
+        // which catches inserts past the last directory entry).
+        let cuts = vec![(t(10), 4), (t(20), 4), (t(30), 4), (t(40), 4)];
+        let ranges = derive_ranges(&cuts, t(0), t(50), 32, 8);
+        assert_eq!(ranges, vec![(t(0), t(20)), (t(20), t(40)), (t(40), t(50))]);
+        // A floor larger than the whole volume: one unranged query.
+        assert_eq!(
+            derive_ranges(&cuts, t(0), t(50), 32, 100),
+            vec![(t(0), t(50))]
+        );
+    }
 }

@@ -2,7 +2,7 @@
 //! protocols, crash + HARBOR recovery, crash + ARIES recovery, and recovery
 //! concurrent with update traffic (the Fig 6-7 scenario in miniature).
 
-use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
+use harbor::{Cluster, ClusterConfig, TransportKind};
 use harbor_common::{SiteId, Timestamp, Value};
 use harbor_dist::{ProtocolKind, UpdateRequest};
 use harbor_exec::Expr;
@@ -21,10 +21,7 @@ fn row(id: i64, v: i32) -> Vec<Value> {
 }
 
 fn ids_of(rows: &[harbor_common::Tuple]) -> Vec<i64> {
-    let mut v: Vec<i64> = rows
-        .iter()
-        .map(|t| t.get(2).as_i64().unwrap())
-        .collect();
+    let mut v: Vec<i64> = rows.iter().map(|t| t.get(2).as_i64().unwrap()).collect();
     v.sort();
     v
 }
@@ -82,9 +79,7 @@ fn deletes_and_updates_replicate() {
         .collect();
     assert_eq!(two[0].get(3), &Value::Int32(99));
     // Time travel: before the update, id 2 still has v = 1.
-    let before = cluster
-        .read_historical("sales", t_update.prev())
-        .unwrap();
+    let before = cluster.read_historical("sales", t_update.prev()).unwrap();
     let two: Vec<_> = before
         .iter()
         .filter(|t| t.get(2).as_i64().unwrap() == 2)
@@ -121,7 +116,12 @@ fn a_no_vote_aborts_the_transaction_everywhere() {
         for site in cluster.worker_sites() {
             let e = cluster.engine(site).unwrap();
             let def = e.table_def("sales").unwrap();
-            assert!(e.index(def.id).unwrap().lookup(e.pool(), 2).unwrap().is_empty());
+            assert!(e
+                .index(def.id)
+                .unwrap()
+                .lookup(e.pool(), 2)
+                .unwrap()
+                .is_empty());
             assert_eq!(e.locks().held_count(), 0, "locks leaked at {site}");
         }
         drop(cluster);
@@ -196,7 +196,11 @@ fn harbor_recovery_after_quiesced_inserts() {
     let e = cluster.engine(victim).unwrap();
     let def = e.table_def("sales").unwrap();
     assert_eq!(
-        e.index(def.id).unwrap().lookup(e.pool(), 101).unwrap().len(),
+        e.index(def.id)
+            .unwrap()
+            .lookup(e.pool(), 101)
+            .unwrap()
+            .len(),
         1
     );
     drop(cluster);
@@ -263,7 +267,10 @@ fn recovery_during_live_insert_traffic() {
     stop.store(true, std::sync::atomic::Ordering::SeqCst);
     let committed = writer.join().unwrap();
     assert!(report.tuples_copied() > 0);
-    assert!(!committed.is_empty(), "writer made progress during recovery");
+    assert!(
+        !committed.is_empty(),
+        "writer made progress during recovery"
+    );
     // Drain: one more insert after recovery.
     cluster.insert_one("sales", row(9_999, 0)).unwrap();
     // The recovered replica agrees with the survivor on all committed ids.

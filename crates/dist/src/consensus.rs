@@ -61,7 +61,11 @@ pub fn backup_action(state: BackupState) -> BackupAction {
 /// this site acted as backup and drove the transaction to an outcome,
 /// `Ok(false)` if another live site outranks it (that site is the backup;
 /// this one waits to be told).
-pub fn resolve(worker: &Arc<Worker>, tid: TransactionId, participants: &[SiteId]) -> DbResult<bool> {
+pub fn resolve(
+    worker: &Arc<Worker>,
+    tid: TransactionId,
+    participants: &[SiteId],
+) -> DbResult<bool> {
     let mut ranked: Vec<SiteId> = participants.to_vec();
     ranked.sort();
     ranked.dedup();
@@ -97,11 +101,32 @@ pub fn resolve(worker: &Arc<Worker>, tid: TransactionId, participants: &[SiteId]
         BackupAction::PrepareToCommitThenCommit(t) => {
             // Replay the last two phases, reusing the commit time received
             // from the old coordinator (§4.3.3).
-            broadcast(worker, &ranked, &Request::PrepareToCommit { tid, commit_time: t })?;
-            broadcast(worker, &ranked, &Request::Commit { tid, commit_time: t })?;
+            broadcast(
+                worker,
+                &ranked,
+                &Request::PrepareToCommit {
+                    tid,
+                    commit_time: t,
+                },
+            )?;
+            broadcast(
+                worker,
+                &ranked,
+                &Request::Commit {
+                    tid,
+                    commit_time: t,
+                },
+            )?;
         }
         BackupAction::Commit(t) => {
-            broadcast(worker, &ranked, &Request::Commit { tid, commit_time: t })?;
+            broadcast(
+                worker,
+                &ranked,
+                &Request::Commit {
+                    tid,
+                    commit_time: t,
+                },
+            )?;
         }
     }
     Ok(true)

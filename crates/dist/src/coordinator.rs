@@ -236,10 +236,7 @@ impl Coordinator {
         if self.shutdown.load(Ordering::SeqCst) {
             return Err(DbError::SiteDown("coordinator crashed".into()));
         }
-        let tid = TransactionId::from_parts(
-            self.cfg.site,
-            self.seq.fetch_add(1, Ordering::SeqCst),
-        );
+        let tid = TransactionId::from_parts(self.cfg.site, self.seq.fetch_add(1, Ordering::SeqCst));
         let ctx = Arc::new(TxnCtx {
             inner: Mutex::new(TxnInner {
                 queue: Vec::new(),
@@ -340,10 +337,13 @@ impl Coordinator {
             };
             let resp = {
                 let mut c = chan.lock();
-                rpc(&mut **c, &Request::Update {
-                    tid,
-                    req: req.clone(),
-                })
+                rpc(
+                    &mut **c,
+                    &Request::Update {
+                        tid,
+                        req: req.clone(),
+                    },
+                )
             };
             match resp {
                 Ok(Response::Ok) => {}
@@ -355,9 +355,7 @@ impl Coordinator {
                         "update failed at {site}: {msg}; transaction aborted"
                     )));
                 }
-                Ok(other) => {
-                    return Err(DbError::protocol(format!("bad UPDATE reply {other:?}")))
-                }
+                Ok(other) => return Err(DbError::protocol(format!("bad UPDATE reply {other:?}"))),
                 Err(_) => {
                     // Worker died mid-transaction: abort and mark it dead
                     // (Fig 6-7 behaviour). §4.3.5's commit-with-(K-1)-safety
@@ -490,7 +488,9 @@ impl Coordinator {
             let ptc = Request::PrepareToCommit { tid, commit_time };
             let mut sent = 0usize;
             for site in &participants {
-                let Some(chan) = chans.get(site) else { continue };
+                let Some(chan) = chans.get(site) else {
+                    continue;
+                };
                 let resp = {
                     let mut c = chan.lock();
                     rpc(&mut **c, &ptc)
@@ -504,9 +504,7 @@ impl Coordinator {
                 }
                 match resp {
                     Ok(Response::Ack) => {}
-                    Ok(other) => {
-                        return Err(DbError::protocol(format!("bad PTC ack {other:?}")))
-                    }
+                    Ok(other) => return Err(DbError::protocol(format!("bad PTC ack {other:?}"))),
                     Err(_) => {
                         // Worker died after voting YES: commit with the
                         // remaining workers (K-1 safety, §4.3.5).
@@ -528,7 +526,9 @@ impl Coordinator {
         let commit = Request::Commit { tid, commit_time };
         let mut sent = 0usize;
         for site in &participants {
-            let Some(chan) = chans.get(site) else { continue };
+            let Some(chan) = chans.get(site) else {
+                continue;
+            };
             let resp = {
                 let mut c = chan.lock();
                 rpc(&mut **c, &commit)
@@ -591,7 +591,9 @@ impl Coordinator {
         }
         let abort = Request::Abort { tid };
         for site in sites {
-            let Some(chan) = chans.get(site) else { continue };
+            let Some(chan) = chans.get(site) else {
+                continue;
+            };
             let resp = {
                 let mut c = chan.lock();
                 rpc(&mut **c, &abort)
@@ -680,12 +682,10 @@ impl Coordinator {
                 Request::GetTime => Response::Time {
                     now: self.authority.now(),
                 },
-                Request::RecComingOnline { site, table } => {
-                    match self.handle_join(site, &table) {
-                        Ok(()) => Response::AllDone,
-                        Err(e) => Response::Err { msg: e.to_string() },
-                    }
-                }
+                Request::RecComingOnline { site, table } => match self.handle_join(site, &table) {
+                    Ok(()) => Response::AllDone,
+                    Err(e) => Response::Err { msg: e.to_string() },
+                },
                 _ => Response::Err {
                     msg: "not a coordinator request".into(),
                 },
@@ -726,6 +726,7 @@ impl Coordinator {
             .iter()
             .map(|(t, c)| (*t, c.clone()))
             .collect();
+        let mut doomed: Vec<TransactionId> = Vec::new();
         for (tid, ctx) in pending {
             let mut g = ctx.inner.lock();
             if g.finished || g.committing {
@@ -742,27 +743,44 @@ impl Coordinator {
                 continue; // already joined via another object
             }
             // Forward: fresh connection, BEGIN, then the queued backlog.
-            let addr = self.placement.address(site)?.to_string();
-            let mut chan = self.transport.connect(&addr)?;
-            rpc_expect_ok(chan.as_mut(), &Request::Begin { tid })?;
-            for u in &g.queue {
-                let forward = match u.table() {
-                    Some(t) if t == table => true,
-                    Some(_) => false,
-                    None => true, // CPU work applies everywhere
-                };
-                if forward {
-                    rpc_expect_ok(
-                        chan.as_mut(),
-                        &Request::Update {
-                            tid,
-                            req: u.clone(),
-                        },
-                    )?;
+            let forwarded: DbResult<_> = (|| {
+                let addr = self.placement.address(site)?.to_string();
+                let mut chan = self.transport.connect(&addr)?;
+                rpc_expect_ok(chan.as_mut(), &Request::Begin { tid })?;
+                for u in &g.queue {
+                    let forward = match u.table() {
+                        Some(t) if t == table => true,
+                        Some(_) => false,
+                        None => true, // CPU work applies everywhere
+                    };
+                    if forward {
+                        rpc_expect_ok(
+                            chan.as_mut(),
+                            &Request::Update {
+                                tid,
+                                req: u.clone(),
+                            },
+                        )?;
+                    }
                 }
+                Ok(chan)
+            })();
+            match forwarded {
+                Ok(chan) => {
+                    g.participants.insert(site);
+                    g.chans.insert(site, Arc::new(Mutex::new(chan)));
+                }
+                // The backlog would not replay — typically a lock timeout
+                // against the recoverer's own Phase-3 locks, a deadlock the
+                // victim cannot see (it is blocked in this very RPC). The
+                // *transaction* is the loser (§5.4.1: deadlocks resolve by
+                // timeout), not the join: abort it and bring the site
+                // online.
+                Err(_) => doomed.push(tid),
             }
-            g.participants.insert(site);
-            g.chans.insert(site, Arc::new(Mutex::new(chan)));
+        }
+        for tid in doomed {
+            let _ = self.abort(tid);
         }
         Ok(())
     }

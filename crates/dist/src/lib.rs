@@ -18,8 +18,10 @@ pub use placement::{Copy, Part, Placement, RecoveryObject, TablePlacement};
 pub use protocol::ProtocolKind;
 pub use worker::{simulate_cpu_work, Worker, WorkerConfig};
 
+pub use harbor_common::config::DEFAULT_SCAN_BATCH;
+
 use harbor_common::codec::Wire;
-use harbor_common::{DbError, DbResult, Tuple};
+use harbor_common::{DbError, DbResult, Timestamp, Tuple};
 use harbor_net::Channel;
 
 /// One request/response round trip over a channel.
@@ -46,9 +48,52 @@ pub fn scan_rpc(chan: &mut dyn Channel, scan: &RemoteScan) -> DbResult<Vec<Tuple
 pub fn scan_rpc_streaming(
     chan: &mut dyn Channel,
     scan: &RemoteScan,
+    visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
+) -> DbResult<()> {
+    drain_scan_stream(chan, &Request::Scan(scan.clone()), visit)
+}
+
+/// As [`scan_rpc_streaming`] but issues a [`Request::ScanRange`]: the scan
+/// restricted to insertion times in `(ins_lo, ins_hi]`.
+pub fn scan_range_rpc_streaming(
+    chan: &mut dyn Channel,
+    scan: &RemoteScan,
+    ins_lo: Timestamp,
+    ins_hi: Timestamp,
+    visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
+) -> DbResult<()> {
+    let req = Request::ScanRange {
+        scan: scan.clone(),
+        ins_lo,
+        ins_hi,
+    };
+    drain_scan_stream(chan, &req, visit)
+}
+
+/// Fetches a buddy's per-segment `(tmin_insert, tmax_insert, tmax_delete)`
+/// directory bounds for `table`.
+pub fn segment_bounds_rpc(
+    chan: &mut dyn Channel,
+    table: &str,
+) -> DbResult<Vec<(Timestamp, Timestamp, Timestamp, u64)>> {
+    let req = Request::SegmentBounds {
+        table: table.to_string(),
+    };
+    match rpc(chan, &req)? {
+        Response::SegmentBounds { segments } => Ok(segments),
+        Response::Err { msg } => Err(DbError::protocol(msg)),
+        other => Err(DbError::protocol(format!(
+            "unexpected segment-bounds reply {other:?}"
+        ))),
+    }
+}
+
+fn drain_scan_stream(
+    chan: &mut dyn Channel,
+    req: &Request,
     mut visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
 ) -> DbResult<()> {
-    chan.send(&Request::Scan(scan.clone()).to_vec())?;
+    chan.send(&req.to_vec())?;
     loop {
         let frame = chan.recv()?;
         match Response::from_slice(&frame)? {

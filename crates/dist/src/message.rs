@@ -295,7 +295,9 @@ impl Wire for RemoteScan {
 #[derive(Clone, PartialEq, Debug)]
 pub enum Request {
     /// Start a transaction at this worker.
-    Begin { tid: TransactionId },
+    Begin {
+        tid: TransactionId,
+    },
     /// Execute one logical update request under `tid`.
     Update {
         tid: TransactionId,
@@ -318,7 +320,9 @@ pub enum Request {
         tid: TransactionId,
         commit_time: Timestamp,
     },
-    Abort { tid: TransactionId },
+    Abort {
+        tid: TransactionId,
+    },
     /// Streamed scan; worker answers with `Response::Tuples` batches.
     Scan(RemoteScan),
     /// Recovery Phase 3: acquire a table-granularity read lock on behalf of
@@ -332,7 +336,9 @@ pub enum Request {
         table: String,
     },
     /// Peer-state query used by the consensus-building protocol (§4.3.3).
-    QueryTxnState { tid: TransactionId },
+    QueryTxnState {
+        tid: TransactionId,
+    },
     /// Liveness probe.
     Ping,
     /// Ask the timestamp authority's current time (recovering sites compute
@@ -340,7 +346,24 @@ pub enum Request {
     GetTime,
     /// A recovering site announces "`table` on `site` is coming online"
     /// (Fig 5-4; served by coordinators).
-    RecComingOnline { site: SiteId, table: String },
+    RecComingOnline {
+        site: SiteId,
+        table: String,
+    },
+    /// Ask a buddy for `table`'s segment directory bounds (§4.2), so a
+    /// recovering site can partition Phase 2 into per-segment ranges.
+    SegmentBounds {
+        table: String,
+    },
+    /// A ranged recovery scan: `scan` restricted to committed insertion
+    /// times in the half-open interval `(ins_lo, ins_hi]`. The worker folds
+    /// the range into the scan's segment-pruning bounds, so distinct ranges
+    /// stream disjoint tuples and can be fetched from different buddies.
+    ScanRange {
+        scan: RemoteScan,
+        ins_lo: Timestamp,
+        ins_hi: Timestamp,
+    },
 }
 
 /// Worker-visible transaction state, for consensus (§4.3.3 / Table 4.1).
@@ -360,14 +383,31 @@ pub enum WireTxnState {
 pub enum Response {
     Ok,
     Ack,
-    Vote { yes: bool },
-    Time { now: Timestamp },
-    TxnState { state: WireTxnState },
+    Vote {
+        yes: bool,
+    },
+    Time {
+        now: Timestamp,
+    },
+    TxnState {
+        state: WireTxnState,
+    },
     /// One batch of a streamed scan; `done` marks the last batch.
-    Tuples { batch: Vec<Tuple>, done: bool },
+    Tuples {
+        batch: Vec<Tuple>,
+        done: bool,
+    },
     /// Fig 5-4's "all done" from the coordinator to the recovering site.
     AllDone,
-    Err { msg: String },
+    Err {
+        msg: String,
+    },
+    /// Per-segment `(tmin_insert, tmax_insert, tmax_delete, pages)`
+    /// directory bounds, oldest segment first. The page count lets the
+    /// recovering site weight its ranged catch-up queries by data volume.
+    SegmentBounds {
+        segments: Vec<(Timestamp, Timestamp, Timestamp, u64)>,
+    },
 }
 
 impl Wire for Request {
@@ -434,6 +474,20 @@ impl Wire for Request {
                 enc.put_u16(site.0);
                 enc.put_str(table);
             }
+            Request::SegmentBounds { table } => {
+                enc.put_u8(13);
+                enc.put_str(table);
+            }
+            Request::ScanRange {
+                scan,
+                ins_lo,
+                ins_hi,
+            } => {
+                enc.put_u8(14);
+                scan.encode(enc);
+                enc.put_u64(ins_lo.0);
+                enc.put_u64(ins_hi.0);
+            }
         }
     }
 
@@ -488,6 +542,14 @@ impl Wire for Request {
                 site: SiteId(dec.get_u16()?),
                 table: dec.get_str()?,
             },
+            13 => Request::SegmentBounds {
+                table: dec.get_str()?,
+            },
+            14 => Request::ScanRange {
+                scan: RemoteScan::decode(dec)?,
+                ins_lo: Timestamp(dec.get_u64()?),
+                ins_hi: Timestamp(dec.get_u64()?),
+            },
             t => return Err(DbError::corrupt(format!("bad request tag {t}"))),
         })
     }
@@ -537,6 +599,16 @@ impl Wire for Response {
                 enc.put_u8(7);
                 enc.put_str(msg);
             }
+            Response::SegmentBounds { segments } => {
+                enc.put_u8(8);
+                enc.put_u32(segments.len() as u32);
+                for (tmin_ins, tmax_ins, tmax_del, pages) in segments {
+                    enc.put_u64(tmin_ins.0);
+                    enc.put_u64(tmax_ins.0);
+                    enc.put_u64(tmax_del.0);
+                    enc.put_u64(*pages);
+                }
+            }
         }
     }
 
@@ -575,6 +647,19 @@ impl Wire for Response {
             7 => Response::Err {
                 msg: dec.get_str()?,
             },
+            8 => {
+                let n = dec.get_u32()? as usize;
+                let mut segments = Vec::with_capacity(n);
+                for _ in 0..n {
+                    segments.push((
+                        Timestamp(dec.get_u64()?),
+                        Timestamp(dec.get_u64()?),
+                        Timestamp(dec.get_u64()?),
+                        dec.get_u64()?,
+                    ));
+                }
+                Response::SegmentBounds { segments }
+            }
             t => return Err(DbError::corrupt(format!("bad response tag {t}"))),
         })
     }
@@ -645,6 +730,9 @@ mod tests {
             site: SiteId(3),
             table: "sales".into(),
         });
+        round_trip_req(Request::SegmentBounds {
+            table: "sales".into(),
+        });
     }
 
     #[test]
@@ -655,7 +743,12 @@ mod tests {
         scan.ins_at_or_before = Some(Timestamp(10));
         scan.del_after = Some(Timestamp(4));
         scan.ids_and_deletions_only = true;
-        round_trip_req(Request::Scan(scan));
+        round_trip_req(Request::Scan(scan.clone()));
+        round_trip_req(Request::ScanRange {
+            scan,
+            ins_lo: Timestamp(4),
+            ins_hi: Timestamp(10),
+        });
     }
 
     #[test]
@@ -676,8 +769,13 @@ mod tests {
             done: true,
         });
         round_trip_resp(Response::AllDone);
-        round_trip_resp(Response::Err {
-            msg: "boom".into(),
+        round_trip_resp(Response::Err { msg: "boom".into() });
+        round_trip_resp(Response::SegmentBounds { segments: vec![] });
+        round_trip_resp(Response::SegmentBounds {
+            segments: vec![
+                (Timestamp(1), Timestamp(5), Timestamp(3), 16),
+                (Timestamp(6), Timestamp(9), Timestamp(0), 4),
+            ],
         });
     }
 }

@@ -59,6 +59,11 @@ pub struct RecoveryObject {
     /// Conjunction of the failed part's predicate and the buddy part's
     /// predicate (`None` = everything).
     pub predicate: Option<Expr>,
+    /// Other live sites that can answer the same recovery queries (full
+    /// copies on sites other than `buddy`). A segment-parallel Phase 2 fans
+    /// ranges across `buddy` plus these; they also serve as fail-over
+    /// targets if `buddy` dies mid-recovery.
+    pub alternates: Vec<SiteId>,
 }
 
 /// Cluster-wide placement catalog plus the address book.
@@ -213,11 +218,9 @@ impl Placement {
             .flat_map(|c| c.parts.iter())
             .find(|p| p.site == failed)
             .map(|p| p.predicate.clone())
-            .ok_or_else(|| {
-                DbError::internal(format!("{failed} holds no part of {table}"))
-            })?;
+            .ok_or_else(|| DbError::internal(format!("{failed} holds no part of {table}")))?;
         // First copy that avoids the failed site and every down site.
-        for copy in &tp.copies {
+        for (chosen, copy) in tp.copies.iter().enumerate() {
             let usable = copy
                 .parts
                 .iter()
@@ -225,6 +228,23 @@ impl Placement {
             if !usable {
                 continue;
             }
+            // Other live full copies can answer the same ranged recovery
+            // queries (their single part holds every row, so any recovery
+            // predicate evaluates there); partitioned copies cannot serve a
+            // whole recovery object and are not offered as alternates.
+            let alternates: Vec<SiteId> = tp
+                .copies
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    *i != chosen
+                        && c.parts.len() == 1
+                        && c.parts[0].predicate.is_none()
+                        && c.parts[0].site != failed
+                        && !down.contains(&c.parts[0].site)
+                })
+                .map(|(_, c)| c.parts[0].site)
+                .collect();
             let objects = copy
                 .parts
                 .iter()
@@ -237,6 +257,11 @@ impl Placement {
                         (None, Some(b)) => Some(b.clone()),
                         (Some(a), Some(b)) => Some(a.clone().and(b.clone())),
                     },
+                    alternates: alternates
+                        .iter()
+                        .copied()
+                        .filter(|s| *s != p.site)
+                        .collect(),
                 })
                 .collect();
             return Ok(objects);
@@ -261,9 +286,7 @@ mod tests {
         let mut p = Placement::new();
         p.add_replicated_table("sales", &[s(1), s(2), s(3)]);
         assert_eq!(p.k_for("sales").unwrap(), 2);
-        let plan = p
-            .recovery_plan(s(1), "sales", &HashSet::new())
-            .unwrap();
+        let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].buddy, s(2));
         assert!(plan[0].predicate.is_none());
@@ -300,21 +323,55 @@ mod tests {
                 },
             ],
         );
-        let plan = p
-            .recovery_plan(s(1), "employees", &HashSet::new())
-            .unwrap();
+        let plan = p.recovery_plan(s(1), "employees", &HashSet::new()).unwrap();
         assert_eq!(plan.len(), 2);
         assert_eq!(plan[0].buddy, s(2));
         assert!(plan[0].predicate.is_some());
         assert_eq!(plan[1].buddy, s(3));
         // And the reverse: recover the partition on site 2 from the full
         // copy on site 1, with the partition predicate as recovery pred.
-        let plan = p
-            .recovery_plan(s(2), "employees", &HashSet::new())
-            .unwrap();
+        let plan = p.recovery_plan(s(2), "employees", &HashSet::new()).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].buddy, s(1));
         assert!(plan[0].predicate.is_some());
+    }
+
+    #[test]
+    fn recovery_plan_offers_live_full_copies_as_alternates() {
+        let mut p = Placement::new();
+        p.add_replicated_table("sales", &[s(1), s(2), s(3), s(4)]);
+        let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
+        assert_eq!(plan[0].buddy, s(2));
+        assert_eq!(plan[0].alternates, vec![s(3), s(4)]);
+        // Down sites are not offered.
+        let down: HashSet<SiteId> = [s(3)].into_iter().collect();
+        let plan = p.recovery_plan(s(1), "sales", &down).unwrap();
+        assert_eq!(plan[0].buddy, s(2));
+        assert_eq!(plan[0].alternates, vec![s(4)]);
+        // A partitioned copy is never an alternate: it cannot serve a whole
+        // recovery object by itself.
+        let id_col = 2;
+        let mut p = Placement::new();
+        p.add_table(
+            "emp",
+            vec![
+                Copy {
+                    parts: vec![Part::full(s(1))],
+                },
+                Copy {
+                    parts: vec![Part::full(s(2))],
+                },
+                Copy {
+                    parts: vec![
+                        Part::partition(s(3), Expr::col(id_col).lt(Expr::lit(10i64))),
+                        Part::partition(s(4), Expr::col(id_col).ge(Expr::lit(10i64))),
+                    ],
+                },
+            ],
+        );
+        let plan = p.recovery_plan(s(1), "emp", &HashSet::new()).unwrap();
+        assert_eq!(plan[0].buddy, s(2));
+        assert!(plan[0].alternates.is_empty());
     }
 
     #[test]

@@ -136,10 +136,22 @@ mod tests {
 
     #[test]
     fn logging_profiles_match_protocols() {
-        assert_eq!(ProtocolKind::Trad2pc.worker_prepare_logging(), StepLogging::FORCE);
-        assert_eq!(ProtocolKind::Opt2pc.worker_prepare_logging(), StepLogging::OFF);
-        assert_eq!(ProtocolKind::Canon3pc.worker_ptc_logging(), StepLogging::FORCE);
-        assert_eq!(ProtocolKind::Opt3pc.worker_commit_logging(), StepLogging::OFF);
+        assert_eq!(
+            ProtocolKind::Trad2pc.worker_prepare_logging(),
+            StepLogging::FORCE
+        );
+        assert_eq!(
+            ProtocolKind::Opt2pc.worker_prepare_logging(),
+            StepLogging::OFF
+        );
+        assert_eq!(
+            ProtocolKind::Canon3pc.worker_ptc_logging(),
+            StepLogging::FORCE
+        );
+        assert_eq!(
+            ProtocolKind::Opt3pc.worker_commit_logging(),
+            StepLogging::OFF
+        );
         assert!(!ProtocolKind::Opt3pc.coordinator_logs());
         assert!(ProtocolKind::Opt2pc.coordinator_logs());
     }

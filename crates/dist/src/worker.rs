@@ -8,8 +8,8 @@ use crate::protocol::ProtocolKind;
 use harbor_common::codec::Wire;
 use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId, Value};
 use harbor_engine::Engine;
-use harbor_exec::{run_update_by_key, Expr, ReadMode, SeqScan};
 use harbor_exec::op::Operator;
+use harbor_exec::{run_update_by_key, Expr, ReadMode, SeqScan};
 use harbor_net::{Channel, Transport};
 use harbor_storage::{LockKey, LockMode, ScanBounds};
 use parking_lot::Mutex;
@@ -17,9 +17,6 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// Rows per streamed scan batch.
-const SCAN_BATCH: usize = 512;
 
 /// Worker-local distributed-transaction bookkeeping (beyond the engine's
 /// local state): the participant set from PREPARE and the commit time from
@@ -52,6 +49,8 @@ pub struct WorkerConfig {
     /// deletion log instead of scanning segments (the §5.2-footnote
     /// deletion vector; ablation 4 measures the difference).
     pub use_deletion_log: bool,
+    /// Rows per streamed scan batch (ablation 5 sweeps this).
+    pub scan_batch: usize,
 }
 
 /// A running worker site.
@@ -226,7 +225,7 @@ impl Worker {
                     }
                     let _ = chan.send(&resp.to_vec());
                 }
-                Request::Scan(_) => {
+                Request::Scan(_) | Request::ScanRange { .. } => {
                     // Streaming: handle() sends the batches itself.
                     let resp = self.handle(&req, &mut chan);
                     let _ = chan.send(&resp.to_vec());
@@ -286,7 +285,10 @@ impl Worker {
         if let Some(info) = info {
             if let Some(outcome) = info.outcome {
                 return if outcome {
-                    let t = info.commit_time.or(info.ptc_time).unwrap_or(Timestamp::ZERO);
+                    let t = info
+                        .commit_time
+                        .or(info.ptc_time)
+                        .unwrap_or(Timestamp::ZERO);
                     BackupState::Committed(t)
                 } else {
                     BackupState::Aborted
@@ -429,10 +431,11 @@ impl Worker {
                     }
                     _ => {}
                 }
-                match self
-                    .engine
-                    .prepare(*tid, *time_bound, self.cfg.protocol.worker_prepare_logging())
-                {
+                match self.engine.prepare(
+                    *tid,
+                    *time_bound,
+                    self.cfg.protocol.worker_prepare_logging(),
+                ) {
                     Ok(()) => {
                         self.dist_txns.lock().entry(*tid).or_default().voted = Some(true);
                         Ok(Response::Vote { yes: true })
@@ -485,6 +488,47 @@ impl Worker {
                 self.stream_scan(scan, chan)?;
                 Ok(Response::Ok)
             }
+            Request::ScanRange {
+                scan,
+                ins_lo,
+                ins_hi,
+            } => {
+                // Fold the insertion-time range `(ins_lo, ins_hi]` into the
+                // scan's bounds: the worker then prunes segments outside the
+                // range and ships only the range's tuples, so distinct
+                // ranges stream disjoint slices of the same recovery query.
+                let mut ranged = scan.clone();
+                ranged.ins_after = Some(match ranged.ins_after {
+                    Some(t) => t.max(*ins_lo),
+                    None => *ins_lo,
+                });
+                ranged.ins_at_or_before = Some(match ranged.ins_at_or_before {
+                    Some(t) => t.min(*ins_hi),
+                    None => *ins_hi,
+                });
+                self.stream_scan(&ranged, chan)?;
+                Ok(Response::Ok)
+            }
+            Request::SegmentBounds { table } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                let heap = self.engine.pool().table(def.id)?;
+                let segments = heap
+                    .segments()
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.tmin_insert,
+                            s.tmax_insert,
+                            s.tmax_delete,
+                            s.page_count as u64,
+                        )
+                    })
+                    .collect();
+                Ok(Response::SegmentBounds { segments })
+            }
             Request::AcquireTableLock { tid, table } => {
                 let def = self
                     .engine
@@ -518,9 +562,9 @@ impl Worker {
                 Ok(Response::TxnState { state })
             }
             Request::Ping => Ok(Response::Ok),
-            Request::GetTime | Request::RecComingOnline { .. } => Err(DbError::protocol(
-                "request must be sent to a coordinator",
-            )),
+            Request::GetTime | Request::RecComingOnline { .. } => {
+                Err(DbError::protocol("request must be sent to a coordinator"))
+            }
         }
     }
 
@@ -558,9 +602,7 @@ impl Worker {
                     .engine
                     .table_def(table)
                     .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
-                run_update_by_key(&self.engine, tid, def.id, *key, |user| {
-                    apply_set(user, set)
-                })?;
+                run_update_by_key(&self.engine, tid, def.id, *key, |user| apply_set(user, set))?;
                 Ok(())
             }
             UpdateRequest::UpdateWhere { table, pred, set } => {
@@ -589,10 +631,7 @@ impl Worker {
         // Deletion-log fast path (§5.2 footnote): a pure deletion query is
         // answered from the ordered deletion log — cost proportional to the
         // number of deletions rather than to the segments they touched.
-        if self.cfg.use_deletion_log
-            && scan.ids_and_deletions_only
-            && scan.ins_after.is_none()
-        {
+        if self.cfg.use_deletion_log && scan.ids_and_deletions_only && scan.ins_after.is_none() {
             if let Some(after) = scan.del_after {
                 return self.stream_deletions_from_log(scan, def.id, after, chan);
             }
@@ -635,8 +674,9 @@ impl Worker {
         }
         let mut op = SeqScan::with_bounds(self.engine.pool().clone(), def.id, mode, bounds)?;
         op.open()?;
+        let scan_batch = self.cfg.scan_batch.max(1);
         let shipped = &self.engine.metrics().clone();
-        let mut batch = Vec::with_capacity(SCAN_BATCH);
+        let mut batch = Vec::with_capacity(scan_batch);
         loop {
             let next = op.next()?;
             let done = next.is_none();
@@ -655,13 +695,16 @@ impl Worker {
                     batch.push(out);
                 }
             }
-            if batch.len() >= SCAN_BATCH || done {
+            if batch.len() >= scan_batch || done {
                 shipped.add_recovery_tuples_shipped(batch.len() as u64);
                 let resp = Response::Tuples {
                     batch: std::mem::take(&mut batch),
                     done,
                 };
-                chan.send(&resp.to_vec())?;
+                // Pre-framed: one copy, one syscall on TCP.
+                let framed = resp.to_framed_vec();
+                shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
+                chan.send_framed(&framed)?;
                 if done {
                     break;
                 }
@@ -687,7 +730,8 @@ impl Worker {
             WireReadMode::SeeDeletedHistorical(t) => Some(t),
             _ => None,
         };
-        let mut batch = Vec::with_capacity(SCAN_BATCH);
+        let scan_batch = self.cfg.scan_batch.max(1);
+        let mut batch = Vec::with_capacity(scan_batch);
         let shipped = self.engine.metrics().clone();
         for (rid, del) in entries {
             // Deletions after the HWM read as "not deleted" in historical
@@ -724,19 +768,21 @@ impl Worker {
                 }
             }
             batch.push(Tuple2::project_id_del(&tup)?);
-            if batch.len() >= SCAN_BATCH {
+            if batch.len() >= scan_batch {
                 shipped.add_recovery_tuples_shipped(batch.len() as u64);
-                chan.send(
-                    &Response::Tuples {
-                        batch: std::mem::take(&mut batch),
-                        done: false,
-                    }
-                    .to_vec(),
-                )?;
+                let framed = Response::Tuples {
+                    batch: std::mem::take(&mut batch),
+                    done: false,
+                }
+                .to_framed_vec();
+                shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
+                chan.send_framed(&framed)?;
             }
         }
         shipped.add_recovery_tuples_shipped(batch.len() as u64);
-        chan.send(&Response::Tuples { batch, done: true }.to_vec())?;
+        let framed = Response::Tuples { batch, done: true }.to_framed_vec();
+        shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
+        chan.send_framed(&framed)?;
         Ok(())
     }
 }

@@ -2,12 +2,10 @@
 //! the wire, failure detection, and the timestamp authority endpoint.
 
 use harbor_common::time::TimestampAuthority;
-use harbor_common::{
-    DiskProfile, FieldType, Metrics, SiteId, StorageConfig, Timestamp, TransactionId, Value,
-};
+use harbor_common::{FieldType, Metrics, SiteId, StorageConfig, Timestamp, TransactionId, Value};
 use harbor_dist::{
     rpc, scan_rpc, scan_rpc_streaming, ProtocolKind, RemoteScan, Request, Response, UpdateRequest,
-    Worker, WorkerConfig, WireReadMode,
+    WireReadMode, Worker, WorkerConfig,
 };
 use harbor_engine::{Engine, EngineOptions};
 use harbor_exec::Expr;
@@ -54,7 +52,8 @@ fn build(name: &str) -> Fixture {
             checkpoint_every: None,
             peers: HashMap::new(),
             auto_consensus: false,
-                use_deletion_log: true,
+            use_deletion_log: true,
+            scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
         },
     )
     .unwrap();
@@ -102,8 +101,22 @@ impl Fixture {
             other => panic!("bad vote {other:?}"),
         }
         let t = self.authority.next_commit_time();
-        rpc(chan.as_mut(), &Request::PrepareToCommit { tid, commit_time: t }).unwrap();
-        rpc(chan.as_mut(), &Request::Commit { tid, commit_time: t }).unwrap();
+        rpc(
+            chan.as_mut(),
+            &Request::PrepareToCommit {
+                tid,
+                commit_time: t,
+            },
+        )
+        .unwrap();
+        rpc(
+            chan.as_mut(),
+            &Request::Commit {
+                tid,
+                commit_time: t,
+            },
+        )
+        .unwrap();
         t
     }
 }
@@ -145,7 +158,13 @@ fn predicate_updates_and_deletes_over_the_wire() {
     let rows: Vec<Vec<Value>> = (0..20i64)
         .map(|i| vec![Value::Int64(i), Value::Int32(1)])
         .collect();
-    f.txn(1, vec![UpdateRequest::InsertMany { table: "t".into(), rows }]);
+    f.txn(
+        1,
+        vec![UpdateRequest::InsertMany {
+            table: "t".into(),
+            rows,
+        }],
+    );
     f.txn(
         2,
         vec![UpdateRequest::UpdateWhere {
@@ -258,7 +277,8 @@ fn disk_backed_worker_survives_restart_of_its_server() {
             checkpoint_every: None,
             peers: HashMap::new(),
             auto_consensus: false,
-                use_deletion_log: true,
+            use_deletion_log: true,
+            scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
         },
     )
     .unwrap();
@@ -305,6 +325,7 @@ fn deletion_log_fast_path_matches_segment_scan() {
                     peers: HashMap::new(),
                     auto_consensus: false,
                     use_deletion_log: false,
+                    scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
                 },
             )
             .unwrap();
@@ -316,22 +337,37 @@ fn deletion_log_fast_path_matches_segment_scan() {
         let rows: Vec<Vec<Value>> = (0..200i64)
             .map(|i| vec![Value::Int64(i), Value::Int32(0)])
             .collect();
-        let t_load = f.txn(1, vec![UpdateRequest::InsertMany { table: "t".into(), rows }]);
+        let t_load = f.txn(
+            1,
+            vec![UpdateRequest::InsertMany {
+                table: "t".into(),
+                rows,
+            }],
+        );
         // Deletions at several distinct times, including an update (which
         // deletes the old version).
-        f.txn(2, vec![UpdateRequest::DeleteWhere {
-            table: "t".into(),
-            pred: Expr::col(2).lt(Expr::lit(20i64)),
-        }]);
-        f.txn(3, vec![UpdateRequest::UpdateByKey {
-            table: "t".into(),
-            key: 50,
-            set: vec![(1, Value::Int32(9))],
-        }]);
-        let t_end = f.txn(4, vec![UpdateRequest::DeleteWhere {
-            table: "t".into(),
-            pred: Expr::col(2).ge(Expr::lit(190i64)),
-        }]);
+        f.txn(
+            2,
+            vec![UpdateRequest::DeleteWhere {
+                table: "t".into(),
+                pred: Expr::col(2).lt(Expr::lit(20i64)),
+            }],
+        );
+        f.txn(
+            3,
+            vec![UpdateRequest::UpdateByKey {
+                table: "t".into(),
+                key: 50,
+                set: vec![(1, Value::Int32(9))],
+            }],
+        );
+        let t_end = f.txn(
+            4,
+            vec![UpdateRequest::DeleteWhere {
+                table: "t".into(),
+                pred: Expr::col(2).ge(Expr::lit(190i64)),
+            }],
+        );
         (t_load, t_end)
     };
     let query = |f: &Fixture, after: Timestamp, hwm: Timestamp| -> Vec<(i64, u64)> {
@@ -352,12 +388,16 @@ fn deletion_log_fast_path_matches_segment_scan() {
     let slow = build_with("dlog-slow", false);
     let (t_load_f, t_end_f) = run_workload(&fast);
     let (t_load_s, t_end_s) = run_workload(&slow);
-    assert_eq!((t_load_f, t_end_f), (t_load_s, t_end_s), "same logical history");
+    assert_eq!(
+        (t_load_f, t_end_f),
+        (t_load_s, t_end_s),
+        "same logical history"
+    );
     for (after, hwm) in [
-        (t_load_f, t_end_f),            // everything since the load
+        (t_load_f, t_end_f),                  // everything since the load
         (t_load_f, Timestamp(t_end_f.0 - 1)), // HWM masks the last deletion
         (Timestamp(t_load_f.0 + 1), t_end_f), // skip the first deletion wave
-        (t_end_f, t_end_f),             // nothing qualifies
+        (t_end_f, t_end_f),                   // nothing qualifies
     ] {
         let a = query(&fast, after, hwm);
         let b = query(&slow, after, hwm);

@@ -73,7 +73,11 @@ impl Catalog {
     }
 
     pub fn by_name(&self, name: &str) -> Option<TableDef> {
-        self.tables.lock().values().find(|t| t.name == name).cloned()
+        self.tables
+            .lock()
+            .values()
+            .find(|t| t.name == name)
+            .cloned()
     }
 
     pub fn by_id(&self, id: TableId) -> Option<TableDef> {
@@ -147,11 +151,14 @@ fn decode(bytes: &[u8]) -> DbResult<BTreeMap<u32, TableDef>> {
             };
             user_fields.push((fname, ty));
         }
-        out.insert(id.0, TableDef {
-            id,
-            name,
-            user_fields,
-        });
+        out.insert(
+            id.0,
+            TableDef {
+                id,
+                name,
+                user_fields,
+            },
+        );
     }
     Ok(out)
 }
@@ -233,9 +240,7 @@ mod tests {
         let cat = Catalog::open(&path).unwrap();
         cat.add("t", fields()).unwrap();
         assert!(cat.add("t", fields()).is_err());
-        assert!(cat
-            .add("u", vec![("x".into(), FieldType::Int32)])
-            .is_err());
+        assert!(cat.add("u", vec![("x".into(), FieldType::Int32)]).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -29,7 +29,9 @@ use harbor_common::{
     TransactionId, Tuple, Value,
 };
 use harbor_storage::lock::DeadlockPolicy;
-use harbor_storage::{BufferPool, Checkpointer, LockManager, LockMode, PagePolicy, PoolRecovery, SegmentedHeapFile};
+use harbor_storage::{
+    BufferPool, Checkpointer, LockManager, LockMode, PagePolicy, PoolRecovery, SegmentedHeapFile,
+};
 use harbor_wal::aries::{self, AriesReport};
 use harbor_wal::record::{CkptTxnState, LogPayload, LogRecord, RedoOp, TsField};
 use harbor_wal::{GroupCommit, LogManager, Lsn};
@@ -165,7 +167,10 @@ impl Engine {
         } else {
             None
         };
-        let checkpointer = Arc::new(Checkpointer::open(dir.join("checkpoint"), opts.storage.disk)?);
+        let checkpointer = Arc::new(Checkpointer::open(
+            dir.join("checkpoint"),
+            opts.storage.disk,
+        )?);
         let catalog = Catalog::open(dir.join("catalog"))?;
         let engine = Engine {
             site: opts.site,
@@ -350,7 +355,11 @@ impl Engine {
         let wal = self.wal.as_ref().expect("log_update requires logging");
         let mut txns = self.txns.lock();
         let st = txns.get_mut(&tid).expect("logged op for unknown txn");
-        let lsn = wal.append(&LogRecord::new(tid, st.last_lsn, LogPayload::Update(op.clone())));
+        let lsn = wal.append(&LogRecord::new(
+            tid,
+            st.last_lsn,
+            LogPayload::Update(op.clone()),
+        ));
         st.last_lsn = lsn;
         lsn
     }
@@ -384,11 +393,12 @@ impl Engine {
             self.pool.insert_tuple_bytes(Some(tid), table_id, &bytes)?
         };
         self.index(table_id)?.insert(key, rid);
-        let seg = table.segment_of_page(rid.page.page_no).map(|s| s.0).unwrap_or(0);
+        let seg = table
+            .segment_of_page(rid.page.page_no)
+            .map(|s| s.0)
+            .unwrap_or(0);
         let mut txns = self.txns.lock();
-        let st = txns
-            .get_mut(&tid)
-            .ok_or(DbError::UnknownTransaction(tid))?;
+        let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
         st.note_insert(rid, key, seg);
         Ok(rid)
     }
@@ -409,9 +419,7 @@ impl Engine {
             return Err(DbError::Constraint(format!("{rid} is already deleted")));
         }
         let mut txns = self.txns.lock();
-        let st = txns
-            .get_mut(&tid)
-            .ok_or(DbError::UnknownTransaction(tid))?;
+        let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
         if ins.is_uncommitted() && !st.insertions.iter().any(|(r, _)| *r == rid) {
             return Err(DbError::Internal(format!(
                 "{rid} is uncommitted and not owned by {tid}"
@@ -459,12 +467,12 @@ impl Engine {
         log: StepLogging,
     ) -> DbResult<()> {
         if self.poisoned.lock().remove(&tid) {
-            return Err(DbError::Constraint(format!("{tid} failed constraint check")));
+            return Err(DbError::Constraint(format!(
+                "{tid} failed constraint check"
+            )));
         }
         let mut txns = self.txns.lock();
-        let st = txns
-            .get_mut(&tid)
-            .ok_or(DbError::UnknownTransaction(tid))?;
+        let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
         if st.status != LocalTxnStatus::Pending {
             return Err(DbError::protocol(format!(
                 "prepare in state {:?}",
@@ -500,17 +508,23 @@ impl Engine {
         log: StepLogging,
     ) -> DbResult<()> {
         let mut txns = self.txns.lock();
-        let st = txns
-            .get_mut(&tid)
-            .ok_or(DbError::UnknownTransaction(tid))?;
+        let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
         match st.status {
             LocalTxnStatus::Prepared | LocalTxnStatus::PreparedToCommit(_) => {}
-            s => return Err(DbError::protocol(format!("prepare-to-commit in state {s:?}"))),
+            s => {
+                return Err(DbError::protocol(format!(
+                    "prepare-to-commit in state {s:?}"
+                )))
+            }
         }
         st.status = LocalTxnStatus::PreparedToCommit(commit_time);
         st.bound_commit_time(commit_time);
         if let (Some(wal), true) = (&self.wal, log.write) {
-            let rec = LogRecord::new(tid, st.last_lsn, LogPayload::PrepareToCommit { commit_time });
+            let rec = LogRecord::new(
+                tid,
+                st.last_lsn,
+                LogPayload::PrepareToCommit { commit_time },
+            );
             st.last_lsn = wal.append(&rec);
             let lsn = st.last_lsn;
             drop(txns);
@@ -532,9 +546,7 @@ impl Engine {
     ) -> DbResult<()> {
         let (insertions, deletions) = {
             let mut txns = self.txns.lock();
-            let st = txns
-                .get_mut(&tid)
-                .ok_or(DbError::UnknownTransaction(tid))?;
+            let st = txns.get_mut(&tid).ok_or(DbError::UnknownTransaction(tid))?;
             st.status = LocalTxnStatus::Committing(commit_time);
             st.bound_commit_time(commit_time);
             (st.insertions.clone(), st.deletions.clone())
@@ -550,11 +562,21 @@ impl Engine {
                     dlog.note(*rid, commit_time);
                 }
             }
-            self.applied_clock.fetch_max(commit_time.0, Ordering::SeqCst);
+            self.applied_clock
+                .fetch_max(commit_time.0, Ordering::SeqCst);
         }
         if let (Some(wal), true) = (&self.wal, log.write) {
-            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(Lsn::NONE);
-            let lsn = wal.append(&LogRecord::new(tid, last, LogPayload::Commit { commit_time }));
+            let last = self
+                .txns
+                .lock()
+                .get(&tid)
+                .map(|s| s.last_lsn)
+                .unwrap_or(Lsn::NONE);
+            let lsn = wal.append(&LogRecord::new(
+                tid,
+                last,
+                LogPayload::Commit { commit_time },
+            ));
             if let Some(st) = self.txns.lock().get_mut(&tid) {
                 st.last_lsn = lsn;
             }
@@ -575,7 +597,12 @@ impl Engine {
             }
         }
         if let Some(wal) = &self.wal {
-            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(Lsn::NONE);
+            let last = self
+                .txns
+                .lock()
+                .get(&tid)
+                .map(|s| s.last_lsn)
+                .unwrap_or(Lsn::NONE);
             wal.append(&LogRecord::new(
                 tid,
                 last,
@@ -650,7 +677,12 @@ impl Engine {
             }
         }
         if let Some(wal) = &self.wal {
-            let last = self.txns.lock().get(&tid).map(|s| s.last_lsn).unwrap_or(last_lsn);
+            let last = self
+                .txns
+                .lock()
+                .get(&tid)
+                .map(|s| s.last_lsn)
+                .unwrap_or(last_lsn);
             wal.append(&LogRecord::new(
                 tid,
                 last,
@@ -742,8 +774,12 @@ impl Engine {
         // the recorded checkpoint — dirty pages can carry data with *old*
         // commit timestamps (bulk loads, recovery copies), and the existing
         // checkpoint's durability contract covers them.
-        self.checkpointer
-            .checkpoint(&self.pool, t.max(self.checkpointer.global()), snapshot, scan_start)
+        self.checkpointer.checkpoint(
+            &self.pool,
+            t.max(self.checkpointer.global()),
+            snapshot,
+            scan_start,
+        )
     }
 
     /// Appends an ARIES fuzzy checkpoint record and updates the master
@@ -832,6 +868,21 @@ impl Engine {
         Ok(rid)
     }
 
+    /// A per-thread recovered-tuple inserter for `table_id`: same semantics
+    /// as [`insert_recovered`](Self::insert_recovered), but appends through
+    /// a private [`harbor_storage::BulkAppender`] page cursor so several
+    /// parallel Phase-2 appliers don't contend on the shared insert hint or
+    /// page latches, and caches the table/index/deletion-log lookups.
+    pub fn recovered_inserter(&self, table_id: TableId) -> DbResult<RecoveredInserter<'_>> {
+        Ok(RecoveredInserter {
+            engine: self,
+            table: self.pool.table(table_id)?,
+            appender: self.pool.bulk_appender(table_id)?,
+            index: self.index(table_id)?,
+            dlog: self.deletion_log(table_id)?,
+        })
+    }
+
     /// Physically removes a tuple (recovery Phase 1's `DELETE LOCALLY`).
     pub fn remove_physical(&self, rid: RecordId) -> DbResult<()> {
         let old_del = self.pool.read_timestamp(rid, TsField::Deletion)?;
@@ -856,6 +907,39 @@ impl Engine {
             dlog.note(rid, ts);
         }
         Ok(())
+    }
+}
+
+/// See [`Engine::recovered_inserter`].
+pub struct RecoveredInserter<'a> {
+    engine: &'a Engine,
+    table: Arc<SegmentedHeapFile>,
+    appender: harbor_storage::BulkAppender,
+    index: Arc<KeyIndex>,
+    dlog: Arc<DeletionLog>,
+}
+
+impl RecoveredInserter<'_> {
+    /// Physically inserts an already-committed tuple (recovery Phase 2's
+    /// `INSERT LOCALLY`), latch-only.
+    pub fn insert(&mut self, tuple: &Tuple) -> DbResult<RecordId> {
+        let ins = tuple.insertion_ts()?;
+        let del = tuple.deletion_ts()?;
+        if !ins.is_valid_commit_time() {
+            return Err(DbError::internal(
+                "insert_recovered requires a committed insertion timestamp",
+            ));
+        }
+        let bytes = self.engine.encode_tuple(&self.table, tuple)?;
+        let rid = self.appender.insert(&bytes)?;
+        self.table.note_insert_commit(rid.page.page_no, ins);
+        if del.is_valid_commit_time() {
+            self.table.note_delete(rid.page.page_no, del);
+            self.dlog.note(rid, del);
+        }
+        let key = self.index.key_from_bytes(&bytes);
+        self.index.insert(key, rid);
+        Ok(rid)
     }
 }
 

@@ -11,9 +11,9 @@
 //! A key maps to *all* versions of the tuple (an update creates a second
 //! tuple with the same id); readers filter by visibility.
 
+use harbor_common::TableId;
 use harbor_common::{DbResult, RecordId};
 use harbor_storage::BufferPool;
-use harbor_common::TableId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 

@@ -16,16 +16,14 @@ pub mod txn;
 
 pub use catalog::{Catalog, TableDef};
 pub use deletion_log::DeletionLog;
-pub use engine::{Engine, EngineOptions, StepLogging, KEY_OFFSET};
+pub use engine::{Engine, EngineOptions, RecoveredInserter, StepLogging, KEY_OFFSET};
 pub use index::KeyIndex;
 pub use txn::{LocalTxnStatus, TxnState};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use harbor_common::{
-        FieldType, SiteId, StorageConfig, Timestamp, TransactionId, Value,
-    };
+    use harbor_common::{FieldType, SiteId, StorageConfig, Timestamp, TransactionId, Value};
     use std::path::PathBuf;
     use std::sync::Arc;
 

@@ -131,7 +131,10 @@ impl HashAggregate {
         // A global aggregate (no GROUP BY) over zero rows yields one row of
         // zero-valued aggregates, like SQL COUNT.
         if groups.is_empty() && self.group_by.is_empty() {
-            groups.insert(Vec::new(), (Vec::new(), vec![AggState::default(); self.aggs.len()]));
+            groups.insert(
+                Vec::new(),
+                (Vec::new(), vec![AggState::default(); self.aggs.len()]),
+            );
         }
         self.results = groups
             .into_values()

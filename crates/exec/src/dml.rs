@@ -138,20 +138,12 @@ mod tests {
         let n = run_delete(&e, t, table, &Expr::col(3).ge(Expr::lit(5))).unwrap();
         assert_eq!(n, 5);
         e.commit(t, Timestamp(2), StepLogging::OFF).unwrap();
-        let mut scan = SeqScan::new(
-            e.pool().clone(),
-            table,
-            ReadMode::Historical(Timestamp(2)),
-        )
-        .unwrap();
+        let mut scan =
+            SeqScan::new(e.pool().clone(), table, ReadMode::Historical(Timestamp(2))).unwrap();
         assert_eq!(collect(&mut scan).unwrap().len(), 5);
         // Time travel: before the delete, all ten are visible.
-        let mut scan = SeqScan::new(
-            e.pool().clone(),
-            table,
-            ReadMode::Historical(Timestamp(1)),
-        )
-        .unwrap();
+        let mut scan =
+            SeqScan::new(e.pool().clone(), table, ReadMode::Historical(Timestamp(1))).unwrap();
         assert_eq!(collect(&mut scan).unwrap().len(), 10);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -174,12 +166,8 @@ mod tests {
         assert!(hit);
         assert!(!run_update_by_key(&e, t, table, 99, |v| v.to_vec()).unwrap());
         e.commit(t, Timestamp(2), StepLogging::OFF).unwrap();
-        let mut scan = SeqScan::new(
-            e.pool().clone(),
-            table,
-            ReadMode::Historical(Timestamp(2)),
-        )
-        .unwrap();
+        let mut scan =
+            SeqScan::new(e.pool().clone(), table, ReadMode::Historical(Timestamp(2))).unwrap();
         let rows = collect(&mut scan).unwrap();
         let v3: Vec<_> = rows
             .iter()
@@ -207,18 +195,11 @@ mod tests {
         .unwrap();
         assert_eq!(n, 3);
         e.commit(t, Timestamp(2), StepLogging::OFF).unwrap();
-        let mut scan = SeqScan::new(
-            e.pool().clone(),
-            table,
-            ReadMode::Historical(Timestamp(2)),
-        )
-        .unwrap();
+        let mut scan =
+            SeqScan::new(e.pool().clone(), table, ReadMode::Historical(Timestamp(2))).unwrap();
         let rows = collect(&mut scan).unwrap();
         assert_eq!(rows.len(), 6, "update preserved cardinality");
-        let doubled = rows
-            .iter()
-            .filter(|r| r.get(3) == &Value::Int32(2))
-            .count();
+        let doubled = rows.iter().filter(|r| r.get(3) == &Value::Int32(2)).count();
         assert_eq!(doubled, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }

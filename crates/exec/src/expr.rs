@@ -233,11 +233,19 @@ impl harbor_common::codec::Wire for Expr {
             1 => Expr::Lit(Value::decode(dec)?),
             2 => {
                 let op = cmp_op(dec.get_u8()?)?;
-                Expr::Cmp(op, Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?))
+                Expr::Cmp(
+                    op,
+                    Box::new(Expr::decode(dec)?),
+                    Box::new(Expr::decode(dec)?),
+                )
             }
             3 => {
                 let op = arith_op(dec.get_u8()?)?;
-                Expr::Arith(op, Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?))
+                Expr::Arith(
+                    op,
+                    Box::new(Expr::decode(dec)?),
+                    Box::new(Expr::decode(dec)?),
+                )
             }
             4 => Expr::And(Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?)),
             5 => Expr::Or(Box::new(Expr::decode(dec)?), Box::new(Expr::decode(dec)?)),

@@ -2,7 +2,7 @@
 //! operators: filter, projection, limit, and an in-memory values source.
 
 use crate::expr::Expr;
-use harbor_common::{DbResult, TupleDesc, Tuple};
+use harbor_common::{DbResult, Tuple, TupleDesc};
 
 /// The standard iterator interface every operator exports (§6.1.5).
 pub trait Operator: Send {
@@ -125,9 +125,10 @@ impl Operator for Project {
     }
 
     fn next(&mut self) -> DbResult<Option<Tuple>> {
-        Ok(self.input.next()?.map(|t| {
-            Tuple::new(self.cols.iter().map(|&i| t.get(i).clone()).collect())
-        }))
+        Ok(self
+            .input
+            .next()?
+            .map(|t| Tuple::new(self.cols.iter().map(|&i| t.get(i).clone()).collect())))
     }
 
     fn rewind(&mut self) -> DbResult<()> {

@@ -16,8 +16,10 @@
 
 use crate::op::Operator;
 use harbor_common::codec::Decoder;
-use harbor_common::{DbResult, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple, TupleDesc};
 use harbor_common::time::visible_at;
+use harbor_common::{
+    DbResult, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple, TupleDesc,
+};
 use harbor_storage::{BufferPool, ScanBounds};
 use std::sync::Arc;
 
@@ -300,12 +302,16 @@ mod tests {
     fn build_history(e: &Engine, table: TableId) {
         let t = tid(1);
         e.begin(t).unwrap();
-        e.insert(t, table, vec![Value::Int64(1), Value::Int32(0)]).unwrap();
-        let r2 = e.insert(t, table, vec![Value::Int64(2), Value::Int32(0)]).unwrap();
+        e.insert(t, table, vec![Value::Int64(1), Value::Int32(0)])
+            .unwrap();
+        let r2 = e
+            .insert(t, table, vec![Value::Int64(2), Value::Int32(0)])
+            .unwrap();
         e.commit(t, Timestamp(1), StepLogging::OFF).unwrap();
         let t = tid(2);
         e.begin(t).unwrap();
-        e.insert(t, table, vec![Value::Int64(3), Value::Int32(0)]).unwrap();
+        e.insert(t, table, vec![Value::Int64(3), Value::Int32(0)])
+            .unwrap();
         e.commit(t, Timestamp(2), StepLogging::OFF).unwrap();
         let t = tid(3);
         e.begin(t).unwrap();
@@ -313,11 +319,14 @@ mod tests {
         e.commit(t, Timestamp(3), StepLogging::OFF).unwrap();
         let t = tid(4);
         e.begin(t).unwrap();
-        let r4 = e.insert(t, table, vec![Value::Int64(4), Value::Int32(20)]).unwrap();
+        let r4 = e
+            .insert(t, table, vec![Value::Int64(4), Value::Int32(20)])
+            .unwrap();
         e.commit(t, Timestamp(4), StepLogging::OFF).unwrap();
         let t = tid(6);
         e.begin(t).unwrap();
-        e.update(t, r4, vec![Value::Int64(4), Value::Int32(21)]).unwrap();
+        e.update(t, r4, vec![Value::Int64(4), Value::Int32(21)])
+            .unwrap();
         e.commit(t, Timestamp(6), StepLogging::OFF).unwrap();
     }
 
@@ -332,12 +341,8 @@ mod tests {
         let (e, table, dir) = setup("hist");
         build_history(&e, table);
         let at = |t: u64| -> Vec<i64> {
-            let mut scan = SeqScan::new(
-                e.pool().clone(),
-                table,
-                ReadMode::Historical(Timestamp(t)),
-            )
-            .unwrap();
+            let mut scan =
+                SeqScan::new(e.pool().clone(), table, ReadMode::Historical(Timestamp(t))).unwrap();
             ids(&collect(&mut scan).unwrap())
         };
         assert_eq!(at(1), vec![1, 2]);
@@ -345,7 +350,7 @@ mod tests {
         assert_eq!(at(3), vec![1, 3]);
         assert_eq!(at(5), vec![1, 3, 4]);
         assert_eq!(at(6), vec![1, 3, 4]); // updated version visible
-        // No locks were taken by any historical scan.
+                                          // No locks were taken by any historical scan.
         assert_eq!(e.locks().held_count(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -357,7 +362,8 @@ mod tests {
         // An uncommitted insert from a live transaction.
         let t = tid(9);
         e.begin(t).unwrap();
-        e.insert(t, table, vec![Value::Int64(99), Value::Int32(0)]).unwrap();
+        e.insert(t, table, vec![Value::Int64(99), Value::Int32(0)])
+            .unwrap();
         let reader = tid(10);
         e.begin(reader).unwrap();
         // Scan in Current mode would block on the X-locked page; scan
@@ -437,8 +443,7 @@ mod tests {
     fn index_lookup_respects_visibility() {
         let (e, table, dir) = setup("idx");
         build_history(&e, table);
-        let current =
-            index_lookup(&e, table, 4, ReadMode::Historical(Timestamp(7))).unwrap();
+        let current = index_lookup(&e, table, 4, ReadMode::Historical(Timestamp(7))).unwrap();
         assert_eq!(current.len(), 1);
         assert_eq!(current[0].1.get(3), &Value::Int32(21));
         let all = index_lookup(&e, table, 4, ReadMode::SeeDeleted).unwrap();

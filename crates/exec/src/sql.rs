@@ -123,9 +123,7 @@ fn lex(input: &str) -> DbResult<Vec<Tok>> {
                 }
                 out.push(Tok::Ident(input[start..i].to_ascii_lowercase()));
             }
-            other => {
-                return Err(DbError::Schema(format!("unexpected character {other:?}")))
-            }
+            other => return Err(DbError::Schema(format!("unexpected character {other:?}"))),
         }
     }
     out.push(Tok::End);
@@ -312,7 +310,9 @@ impl<'a> Parser<'a> {
             Tok::Str(s) => Ok(Value::Str(s)),
             Tok::Sym("-") => match self.next() {
                 Tok::Int(n) => Ok(Value::Int64(-n)),
-                t => Err(DbError::Schema(format!("expected number after '-', found {t:?}"))),
+                t => Err(DbError::Schema(format!(
+                    "expected number after '-', found {t:?}"
+                ))),
             },
             t => Err(DbError::Schema(format!("expected literal, found {t:?}"))),
         }
@@ -706,11 +706,7 @@ mod tests {
         assert_eq!(query(&e, "SELECT * FROM sales").unwrap().len(), 3);
         assert_eq!(query(&e, "SELECT * FROM sales AS OF 5").unwrap().len(), 4);
         // Timestamp pseudo-columns are addressable.
-        let rows = query(
-            &e,
-            "SELECT id FROM sales WHERE insertion_time <= 5 AS OF 9",
-        )
-        .unwrap();
+        let rows = query(&e, "SELECT id FROM sales WHERE insertion_time <= 5 AS OF 9").unwrap();
         assert_eq!(rows.len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }

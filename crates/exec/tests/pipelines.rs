@@ -55,8 +55,12 @@ fn load_star_schema(e: &Engine) -> (harbor_common::TableId, harbor_common::Table
     let t = tid(1);
     e.begin(t).unwrap();
     for c in 0..8i64 {
-        e.insert(t, customers.id, vec![Value::Int64(c), Value::Int32((c % 3) as i32)])
-            .unwrap();
+        e.insert(
+            t,
+            customers.id,
+            vec![Value::Int64(c), Value::Int32((c % 3) as i32)],
+        )
+        .unwrap();
     }
     for o in 0..N_ORDERS {
         e.insert(
@@ -144,12 +148,7 @@ fn filter_project_over_segmented_table() {
     // The tiny test segments mean the 100 orders span several segments.
     let table = e.pool().table(orders).unwrap();
     assert!(table.num_segments() >= 2, "workload should span segments");
-    let scan = SeqScan::new(
-        e.pool().clone(),
-        orders,
-        ReadMode::Historical(Timestamp(2)),
-    )
-    .unwrap();
+    let scan = SeqScan::new(e.pool().clone(), orders, ReadMode::Historical(Timestamp(2))).unwrap();
     let filter = Filter::new(Box::new(scan), Expr::col(4).lt(Expr::lit(10)));
     let mut proj = Project::new(Box::new(filter), vec![2, 4]);
     proj.open().unwrap();

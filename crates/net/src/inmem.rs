@@ -23,6 +23,10 @@ pub struct InMemNetwork {
     metrics: Metrics,
     /// Injected one-way latency per message (None = instantaneous).
     latency: Option<Duration>,
+    /// Emulated link bandwidth in bytes/second: every `send` additionally
+    /// sleeps `len / bandwidth`, charging wire time proportional to frame
+    /// size (None = infinite bandwidth).
+    bandwidth: Option<u64>,
 }
 
 impl InMemNetwork {
@@ -33,6 +37,7 @@ impl InMemNetwork {
             })),
             metrics,
             latency: None,
+            bandwidth: None,
         }
     }
 
@@ -42,6 +47,19 @@ impl InMemNetwork {
     pub fn with_latency(metrics: Metrics, latency: Duration) -> Self {
         InMemNetwork {
             latency: Some(latency),
+            ..InMemNetwork::new(metrics)
+        }
+    }
+
+    /// A network with both link delay and finite bandwidth: each `send`
+    /// sleeps `latency + frame_len / bytes_per_sec`, so bulk transfers
+    /// (e.g. recovery catch-up scans) pay wire time proportional to the
+    /// bytes shipped — each channel pair models its own full-duplex link,
+    /// as on the paper's switched LAN.
+    pub fn with_link(metrics: Metrics, latency: Duration, bytes_per_sec: u64) -> Self {
+        InMemNetwork {
+            latency: Some(latency),
+            bandwidth: Some(bytes_per_sec.max(1)),
             ..InMemNetwork::new(metrics)
         }
     }
@@ -84,6 +102,7 @@ impl Transport for InMemNetwork {
             rx: a_rx,
             metrics: self.metrics.clone(),
             latency: self.latency,
+            bandwidth: self.bandwidth,
         };
         let client_side = InMemChannel {
             peer: addr.to_string(),
@@ -91,6 +110,7 @@ impl Transport for InMemNetwork {
             rx: b_rx,
             metrics: self.metrics.clone(),
             latency: self.latency,
+            bandwidth: self.bandwidth,
         };
         tx.send(server_side)
             .map_err(|_| DbError::net(format!("listener at {addr} is gone")))?;
@@ -137,12 +157,17 @@ struct InMemChannel {
     rx: Receiver<Frame>,
     metrics: Metrics,
     latency: Option<Duration>,
+    bandwidth: Option<u64>,
 }
 
 impl Channel for InMemChannel {
     fn send(&mut self, frame: &[u8]) -> DbResult<()> {
-        if let Some(lat) = self.latency {
-            std::thread::sleep(lat);
+        let mut wire = self.latency.unwrap_or(Duration::ZERO);
+        if let Some(bps) = self.bandwidth {
+            wire += Duration::from_secs_f64((frame.len() as u64 + 4) as f64 / bps as f64);
+        }
+        if wire > Duration::ZERO {
+            std::thread::sleep(wire);
         }
         self.tx
             .send(frame.to_vec())

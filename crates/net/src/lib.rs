@@ -29,6 +29,16 @@ pub trait Channel: Send {
     /// Sends one frame. Blocks until handed to the transport.
     fn send(&mut self, frame: &[u8]) -> DbResult<()>;
 
+    /// Sends one pre-framed message: `frame` starts with the 4-byte
+    /// little-endian length prefix already in place (see
+    /// `Wire::to_framed_vec`). Transports that put the prefix on the wire
+    /// verbatim can override this to skip re-framing; the default strips the
+    /// prefix and forwards to [`send`](Self::send).
+    fn send_framed(&mut self, frame: &[u8]) -> DbResult<()> {
+        debug_assert!(frame.len() >= 4, "framed message missing its prefix");
+        self.send(&frame[4..])
+    }
+
     /// Receives the next frame, blocking until one arrives or the peer
     /// closes (then `Err` with `is_disconnect() == true`).
     fn recv(&mut self) -> DbResult<Vec<u8>>;
@@ -98,6 +108,12 @@ mod tests {
             let big = vec![7u8; 1_000_000];
             client.send(&big).unwrap();
             assert_eq!(client.recv().unwrap().len(), big.len());
+            // A pre-framed message (length prefix in place) arrives the same
+            // as a plain send.
+            let mut framed = 5u32.to_le_bytes().to_vec();
+            framed.extend_from_slice(b"world");
+            client.send_framed(&framed).unwrap();
+            assert_eq!(client.recv().unwrap(), b"dlrow");
             // recv_timeout with no pending data returns None.
             assert!(client
                 .recv_timeout(Duration::from_millis(30))

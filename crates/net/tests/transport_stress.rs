@@ -57,10 +57,7 @@ fn stress(transport: Arc<dyn Transport>, addr: &str) {
 
 #[test]
 fn tcp_concurrent_echo_stress() {
-    stress(
-        Arc::new(TcpTransport::new(Metrics::new())),
-        "127.0.0.1:0",
-    );
+    stress(Arc::new(TcpTransport::new(Metrics::new())), "127.0.0.1:0");
 }
 
 #[test]

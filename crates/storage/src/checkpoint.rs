@@ -62,7 +62,12 @@ impl Checkpointer {
 
     /// Phase-1 uncommitted-scan start segment for one table.
     pub fn scan_start(&self, table: TableId) -> u32 {
-        self.record.lock().scan_start.get(&table.0).copied().unwrap_or(0)
+        self.record
+            .lock()
+            .scan_start
+            .get(&table.0)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Disables/enables periodic checkpoints (recovery runs with them off).
@@ -167,10 +172,11 @@ mod tests {
         )
         .unwrap();
         pool.register_table(Arc::new(table));
-        pool.insert_tuple_bytes(None, TableId(1), &tuple_bytes(1)).unwrap();
-
-        let ck = Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast())
+        pool.insert_tuple_bytes(None, TableId(1), &tuple_bytes(1))
             .unwrap();
+
+        let ck =
+            Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast()).unwrap();
         assert_eq!(ck.global(), Timestamp::ZERO);
         let snapshot = pool.dirty_pages();
         ck.checkpoint(&pool, Timestamp(9), snapshot, vec![(TableId(1), 0)])
@@ -178,8 +184,8 @@ mod tests {
         assert!(pool.dirty_pages().is_empty());
         assert_eq!(ck.global(), Timestamp(9));
         // Reopen sees the persisted record.
-        let ck2 = Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast())
-            .unwrap();
+        let ck2 =
+            Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast()).unwrap();
         assert_eq!(ck2.global(), Timestamp(9));
         assert_eq!(ck2.scan_start(TableId(1)), 0);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -188,8 +194,8 @@ mod tests {
     #[test]
     fn per_object_checkpoints_then_promotion() {
         let dir = temp_dir("objects");
-        let ck = Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast())
-            .unwrap();
+        let ck =
+            Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast()).unwrap();
         ck.checkpoint_object(TableId(1), Timestamp(20)).unwrap();
         ck.checkpoint_object(TableId(2), Timestamp(30)).unwrap();
         assert_eq!(ck.for_table(TableId(1)), Timestamp(20));
@@ -203,8 +209,8 @@ mod tests {
     #[test]
     fn suspension_flag_round_trips() {
         let dir = temp_dir("suspend");
-        let ck = Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast())
-            .unwrap();
+        let ck =
+            Checkpointer::open(dir.join("checkpoint"), harbor_common::DiskProfile::fast()).unwrap();
         assert!(!ck.is_suspended());
         ck.set_suspended(true);
         assert!(ck.is_suspended());

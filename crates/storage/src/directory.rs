@@ -191,13 +191,15 @@ impl Directory {
                     "bad segment directory magic on page {page_no}"
                 )));
             }
-            let ts = u32::from_le_bytes(page[HDR_TUPLE_SIZE..HDR_TUPLE_SIZE + 4].try_into().unwrap());
+            let ts =
+                u32::from_le_bytes(page[HDR_TUPLE_SIZE..HDR_TUPLE_SIZE + 4].try_into().unwrap());
             if ts != expect_tuple_size {
                 return Err(DbError::corrupt(format!(
                     "directory tuple size {ts} does not match schema width {expect_tuple_size}"
                 )));
             }
-            let n = u16::from_le_bytes(page[HDR_ENTRIES..HDR_ENTRIES + 2].try_into().unwrap()) as usize;
+            let n =
+                u16::from_le_bytes(page[HDR_ENTRIES..HDR_ENTRIES + 2].try_into().unwrap()) as usize;
             if n > ENTRIES_PER_PAGE {
                 return Err(DbError::corrupt("directory entry count out of range"));
             }
@@ -282,7 +284,10 @@ impl Directory {
     /// and a new segment is needed for further inserts (§4.2: "when a
     /// segment becomes full, the executor creates a new segment").
     pub fn last_segment_full(&self, segment_pages: u32) -> bool {
-        self.segments.last().map(|m| m.page_count >= segment_pages).unwrap_or(true)
+        self.segments
+            .last()
+            .map(|m| m.page_count >= segment_pages)
+            .unwrap_or(true)
     }
 
     /// Creates a new (empty) last segment. Allocates another header page
@@ -376,7 +381,8 @@ impl Directory {
             })?;
             let mut page = [0u8; PAGE_SIZE];
             page[HDR_MAGIC..HDR_MAGIC + 4].copy_from_slice(&MAGIC.to_le_bytes());
-            page[HDR_TUPLE_SIZE..HDR_TUPLE_SIZE + 4].copy_from_slice(&self.tuple_size.to_le_bytes());
+            page[HDR_TUPLE_SIZE..HDR_TUPLE_SIZE + 4]
+                .copy_from_slice(&self.tuple_size.to_le_bytes());
             page[HDR_ENTRIES..HDR_ENTRIES + 2].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
             let next = self.header_pages.get(chunk_idx + 1).copied().unwrap_or(0);
             page[HDR_NEXT..HDR_NEXT + 4].copy_from_slice(&next.to_le_bytes());
@@ -452,7 +458,11 @@ mod tests {
         let p = d.allocate_page();
         assert_eq!(d.segment_of_page(p), Some(SegmentNo(1)));
         assert_eq!(d.segment_of_page(1), Some(SegmentNo(0)));
-        assert_eq!(d.segment_of_page(0), None, "header page belongs to no segment");
+        assert_eq!(
+            d.segment_of_page(0),
+            None,
+            "header page belongs to no segment"
+        );
         assert_eq!(d.segment_of_page(999), None);
         std::fs::remove_file(&path).unwrap();
     }
@@ -498,10 +508,12 @@ mod tests {
         d.create_segment(&f).unwrap();
         d.allocate_page();
 
-        let hits = |b: ScanBounds| -> Vec<u32> {
-            d.prune(&b).into_iter().map(|(s, _)| s.0).collect()
-        };
-        assert_eq!(hits(ScanBounds::inserted_at_or_before(Timestamp(5))), vec![0]);
+        let hits =
+            |b: ScanBounds| -> Vec<u32> { d.prune(&b).into_iter().map(|(s, _)| s.0).collect() };
+        assert_eq!(
+            hits(ScanBounds::inserted_at_or_before(Timestamp(5))),
+            vec![0]
+        );
         assert_eq!(
             hits(ScanBounds::inserted_at_or_before(Timestamp(8))),
             vec![0, 1]
@@ -509,7 +521,10 @@ mod tests {
         assert_eq!(hits(ScanBounds::inserted_after(Timestamp(5))), vec![1]);
         assert_eq!(hits(ScanBounds::inserted_after(Timestamp(0))), vec![0, 1]);
         assert_eq!(hits(ScanBounds::deleted_after(Timestamp(6))), vec![0]);
-        assert_eq!(hits(ScanBounds::deleted_after(Timestamp(7))), Vec::<u32>::new());
+        assert_eq!(
+            hits(ScanBounds::deleted_after(Timestamp(7))),
+            Vec::<u32>::new()
+        );
         // Phase 1 style: inserted after 5 OR possibly-uncommitted from seg 2.
         let b = ScanBounds {
             ins_after: Some(Timestamp(5)),

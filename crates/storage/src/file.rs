@@ -21,11 +21,7 @@ pub struct TableFile {
 }
 
 impl TableFile {
-    pub fn create(
-        path: impl AsRef<Path>,
-        disk: DiskProfile,
-        metrics: Metrics,
-    ) -> DbResult<Self> {
+    pub fn create(path: impl AsRef<Path>, disk: DiskProfile, metrics: Metrics) -> DbResult<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .read(true)
@@ -193,10 +189,13 @@ impl CheckpointRecord {
         for i in 0..n {
             let off = 16 + i * 12;
             let t = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-            let ts = Timestamp(u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()));
+            let ts = Timestamp(u64::from_le_bytes(
+                bytes[off + 4..off + 12].try_into().unwrap(),
+            ));
             per_object.insert(t, ts);
         }
-        let m = u32::from_le_bytes(bytes[objects_end..objects_end + 4].try_into().unwrap()) as usize;
+        let m =
+            u32::from_le_bytes(bytes[objects_end..objects_end + 4].try_into().unwrap()) as usize;
         if bytes.len() != objects_end + 4 + m * 8 {
             return Err(DbError::corrupt("truncated checkpoint record"));
         }

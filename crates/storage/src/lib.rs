@@ -27,7 +27,7 @@ pub mod lock;
 pub mod page;
 pub mod table;
 
-pub use buffer::{BufferPool, PagePolicy, PoolRecovery};
+pub use buffer::{BufferPool, BulkAppender, PagePolicy, PoolRecovery};
 pub use checkpoint::Checkpointer;
 pub use directory::{Directory, ScanBounds, SegmentMeta};
 pub use file::{CheckpointRecord, TableFile};

@@ -152,12 +152,7 @@ impl LockManager {
 
     /// Would `tid` waiting for `key` in `mode` close a waits-for cycle?
     /// DFS over "waiter → conflicting holders" edges.
-    fn closes_cycle(
-        st: &State,
-        tid: TransactionId,
-        key: LockKey,
-        mode: LockMode,
-    ) -> bool {
+    fn closes_cycle(st: &State, tid: TransactionId, key: LockKey, mode: LockMode) -> bool {
         // Conflicting holders of the key a transaction waits for.
         let blockers = |t: TransactionId, k: LockKey, m: LockMode| -> Vec<TransactionId> {
             st.locks

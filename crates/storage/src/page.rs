@@ -57,7 +57,8 @@ impl Page {
     pub fn init(tuple_size: usize) -> Self {
         let mut p = Page::blank();
         let slots = slots_per_page(tuple_size);
-        p.buf[OFF_TUPLE_SIZE..OFF_TUPLE_SIZE + 2].copy_from_slice(&(tuple_size as u16).to_le_bytes());
+        p.buf[OFF_TUPLE_SIZE..OFF_TUPLE_SIZE + 2]
+            .copy_from_slice(&(tuple_size as u16).to_le_bytes());
         p.buf[OFF_SLOT_COUNT..OFF_SLOT_COUNT + 2].copy_from_slice(&(slots as u16).to_le_bytes());
         p
     }
@@ -246,7 +247,9 @@ impl Page {
         let base = {
             let slot = slot as usize;
             if slot >= self.slot_count() || !self.is_occupied(slot) {
-                return Err(DbError::corrupt(format!("timestamp read of empty slot {slot}")));
+                return Err(DbError::corrupt(format!(
+                    "timestamp read of empty slot {slot}"
+                )));
             }
             self.slot_offset(slot)
         };
@@ -307,7 +310,10 @@ mod tests {
         for size in [8usize, 24, 64, 72, 200, 4000] {
             let n = slots_per_page(size);
             assert!(n >= 1 || size > PAGE_SIZE - HEADER - 1);
-            assert!(HEADER + n.div_ceil(8) + n * size <= PAGE_SIZE, "size={size}");
+            assert!(
+                HEADER + n.div_ceil(8) + n * size <= PAGE_SIZE,
+                "size={size}"
+            );
             // One more slot must not fit.
             assert!(HEADER + (n + 1).div_ceil(8) + (n + 1) * size > PAGE_SIZE);
         }
@@ -347,9 +353,14 @@ mod tests {
     fn timestamps_update_in_place() {
         let mut p = Page::init(TS);
         let s = p.insert(&tuple(u64::MAX, 0, 7)).unwrap();
-        assert_eq!(p.timestamp(s, TsField::Insertion).unwrap(), Timestamp::UNCOMMITTED);
-        p.set_timestamp(s, TsField::Insertion, Timestamp(41)).unwrap();
-        p.set_timestamp(s, TsField::Deletion, Timestamp(99)).unwrap();
+        assert_eq!(
+            p.timestamp(s, TsField::Insertion).unwrap(),
+            Timestamp::UNCOMMITTED
+        );
+        p.set_timestamp(s, TsField::Insertion, Timestamp(41))
+            .unwrap();
+        p.set_timestamp(s, TsField::Deletion, Timestamp(99))
+            .unwrap();
         assert_eq!(p.timestamp(s, TsField::Insertion).unwrap(), Timestamp(41));
         assert_eq!(p.timestamp(s, TsField::Deletion).unwrap(), Timestamp(99));
         // The payload is untouched.

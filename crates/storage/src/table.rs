@@ -45,7 +45,10 @@ impl SegmentedHeapFile {
         disk: DiskProfile,
         metrics: Metrics,
     ) -> DbResult<Self> {
-        assert!(desc.has_version_columns(), "stored schemas carry version columns");
+        assert!(
+            desc.has_version_columns(),
+            "stored schemas carry version columns"
+        );
         assert!(segment_pages >= 1);
         let file = TableFile::create(path, disk, metrics)?;
         let dir = Directory::create(&file, desc.byte_width() as u32)?;
@@ -68,7 +71,10 @@ impl SegmentedHeapFile {
         disk: DiskProfile,
         metrics: Metrics,
     ) -> DbResult<Self> {
-        assert!(desc.has_version_columns(), "stored schemas carry version columns");
+        assert!(
+            desc.has_version_columns(),
+            "stored schemas carry version columns"
+        );
         let file = TableFile::open(path, disk, metrics)?;
         let dir = Directory::load(&file, desc.byte_width() as u32)?;
         Ok(SegmentedHeapFile {
@@ -282,7 +288,12 @@ impl SegmentedHeapFile {
 
     /// Total data pages across segments.
     pub fn num_data_pages(&self) -> u32 {
-        self.dir.lock().segments().iter().map(|m| m.page_count).sum()
+        self.dir
+            .lock()
+            .segments()
+            .iter()
+            .map(|m| m.page_count)
+            .sum()
     }
 
     /// Rough size in bytes (data pages only).

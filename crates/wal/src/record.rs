@@ -10,7 +10,9 @@
 
 use crate::Lsn;
 use harbor_common::codec::{Decoder, Encoder, Wire};
-use harbor_common::{DbError, DbResult, PageId, RecordId, SiteId, TableId, Timestamp, TransactionId};
+use harbor_common::{
+    DbError, DbResult, PageId, RecordId, SiteId, TableId, Timestamp, TransactionId,
+};
 
 /// Which of the two reserved timestamp fields a [`RedoOp::SetTimestamp`]
 /// touches.
@@ -98,18 +100,29 @@ pub enum LogPayload {
     Update(RedoOp),
     /// Compensation log record written while undoing. `undo_next` points at
     /// the next record of the transaction still to be undone.
-    Clr { redo: RedoOp, undo_next: Lsn },
+    Clr {
+        redo: RedoOp,
+        undo_next: Lsn,
+    },
     /// Worker vote record: the transaction is prepared (2PC first phase).
-    Prepare { coordinator: SiteId },
+    Prepare {
+        coordinator: SiteId,
+    },
     /// Worker entered the prepared-to-commit state (canonical 3PC's middle
     /// phase; the optimized variant writes nothing here).
-    PrepareToCommit { commit_time: Timestamp },
+    PrepareToCommit {
+        commit_time: Timestamp,
+    },
     /// Commit point, carrying the commit timestamp assigned by the
     /// coordinator (the 2PC augmentation of §4.3.1).
-    Commit { commit_time: Timestamp },
+    Commit {
+        commit_time: Timestamp,
+    },
     Abort,
     /// Transaction fully finished; its state can be forgotten.
-    End { outcome: TxnOutcome },
+    End {
+        outcome: TxnOutcome,
+    },
     /// Fuzzy checkpoint: active-transaction table and dirty page table.
     Checkpoint {
         att: Vec<(TransactionId, CkptTxnState, Lsn)>,
@@ -393,7 +406,13 @@ mod tests {
                     undo_next: Lsn::NONE,
                 },
             ),
-            LogRecord::new(tid(), Lsn(30), LogPayload::Prepare { coordinator: SiteId(0) }),
+            LogRecord::new(
+                tid(),
+                Lsn(30),
+                LogPayload::Prepare {
+                    coordinator: SiteId(0),
+                },
+            ),
             LogRecord::new(
                 tid(),
                 Lsn(40),

@@ -51,10 +51,7 @@ fn temp(name: &str) -> PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     let p = dir.join(format!("{name}-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&p);
-    let _ = std::fs::remove_file(dir.join(format!(
-        "{name}-{}.log.master",
-        std::process::id()
-    )));
+    let _ = std::fs::remove_file(dir.join(format!("{name}-{}.log.master", std::process::id())));
     p
 }
 
@@ -138,7 +135,10 @@ fn checkpoint_bounds_the_analysis_scan() {
     log.flush_all().unwrap();
     let a = aries::analysis(&log).unwrap();
     // 5 txns x 5 records + the checkpoint record itself.
-    assert_eq!(a.scanned, 26, "analysis must start at the master checkpoint");
+    assert_eq!(
+        a.scanned, 26,
+        "analysis must start at the master checkpoint"
+    );
     assert!(a.att.is_empty());
     std::fs::remove_file(&path).unwrap();
 }

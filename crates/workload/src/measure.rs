@@ -79,7 +79,10 @@ pub fn run_concurrent_streams(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("stream")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream"))
+            .collect()
     });
     let elapsed = start.elapsed();
     let committed: u64 = reports.iter().map(|r| r.committed).sum();

@@ -20,8 +20,10 @@ const RETENTION_DAYS: usize = 3;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("harbor-clicks-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut storage = StorageConfig::default();
-    storage.segment_pages = 64; // one bulk-loaded day spans a few segments
+    let storage = StorageConfig {
+        segment_pages: 64, // one bulk-loaded day spans a few segments
+        ..StorageConfig::default()
+    };
     let engine = Engine::open(&dir, EngineOptions::harbor(SiteId(1), storage))?;
     let def = engine.create_table(
         "clicks",
@@ -61,11 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         // ---- rolling report over the retained window.
-        let scan = SeqScan::new(
-            engine.pool().clone(),
-            def.id,
-            ReadMode::Historical(day_ts),
-        )?;
+        let scan = SeqScan::new(engine.pool().clone(), def.id, ReadMode::Historical(day_ts))?;
         let mut agg = HashAggregate::new(
             Box::new(scan),
             vec![],
@@ -106,7 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         remaining.len(),
         RETENTION_DAYS,
     );
-    assert_eq!(remaining.len() as i64, RETENTION_DAYS as i64 * CLICKS_PER_DAY);
+    assert_eq!(
+        remaining.len() as i64,
+        RETENTION_DAYS as i64 * CLICKS_PER_DAY
+    );
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

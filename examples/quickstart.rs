@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // so neither workers nor coordinator keep any log.
     let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 2);
     cfg.storage = StorageConfig::default();
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.tables = vec![TableSpec {
         name: "sales".into(),
         user_fields: vec![
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     }];
     let cluster = Cluster::build(&dir, cfg)?;
-    println!("cluster up: coordinator + workers {:?}", cluster.worker_sites());
+    println!(
+        "cluster up: coordinator + workers {:?}",
+        cluster.worker_sites()
+    );
 
     // Insert some sales; each transaction is replicated to both workers.
     for id in 0..100i64 {

@@ -12,16 +12,17 @@
 use harbor::{Cluster, ClusterConfig, TableSpec, TransportKind};
 use harbor_common::{FieldType, StorageConfig, Timestamp, Value};
 use harbor_dist::{ProtocolKind, UpdateRequest};
-use harbor_exec::{
-    collect, AggFunc, AggSpec, Expr, Filter, HashAggregate, ReadMode, SeqScan,
-};
+use harbor_exec::{collect, AggFunc, AggSpec, Expr, Filter, HashAggregate, ReadMode, SeqScan};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = std::env::temp_dir().join(format!("harbor-warehouse-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 2);
     cfg.storage = StorageConfig::default();
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.tables = vec![TableSpec {
         name: "orders".into(),
         user_fields: vec![
@@ -51,34 +52,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The morning report: revenue per region as of last night's close,
     // computed with the operator pipeline on one replica (reads go to a
     // single site, §3.1).
-    let report = |as_of: Timestamp, label: &str| -> Result<Vec<(i64, i64)>, harbor_common::DbError> {
-        let site = cluster.worker_sites()[0];
-        let engine = cluster.engine(site)?;
-        let def = engine.table_def("orders").unwrap();
-        // SELECT region, SUM(units * unit_price) FROM orders
-        //   [AS OF as_of] GROUP BY region   (stored cols: 2=id, 3=region,
-        //   4=units, 5=unit_price)
-        let scan = SeqScan::new(engine.pool().clone(), def.id, ReadMode::Historical(as_of))?;
-        let revenue = Expr::col(4).mul(Expr::col(5));
-        let mut agg = HashAggregate::new(
-            Box::new(scan),
-            vec![Expr::col(3)],
-            vec![
-                AggSpec::new(AggFunc::Sum, revenue, "revenue"),
-                AggSpec::new(AggFunc::Count, Expr::col(2), "orders"),
-            ],
-        );
-        let mut rows: Vec<(i64, i64)> = collect(&mut agg)?
-            .into_iter()
-            .map(|t| (t.get(0).as_i64().unwrap(), t.get(1).as_i64().unwrap()))
-            .collect();
-        rows.sort();
-        println!("{label}");
-        for (region, revenue) in &rows {
-            println!("  region {region}: revenue {revenue}");
-        }
-        Ok(rows)
-    };
+    let report =
+        |as_of: Timestamp, label: &str| -> Result<Vec<(i64, i64)>, harbor_common::DbError> {
+            let site = cluster.worker_sites()[0];
+            let engine = cluster.engine(site)?;
+            let def = engine.table_def("orders").unwrap();
+            // SELECT region, SUM(units * unit_price) FROM orders
+            //   [AS OF as_of] GROUP BY region   (stored cols: 2=id, 3=region,
+            //   4=units, 5=unit_price)
+            let scan = SeqScan::new(engine.pool().clone(), def.id, ReadMode::Historical(as_of))?;
+            let revenue = Expr::col(4).mul(Expr::col(5));
+            let mut agg = HashAggregate::new(
+                Box::new(scan),
+                vec![Expr::col(3)],
+                vec![
+                    AggSpec::new(AggFunc::Sum, revenue, "revenue"),
+                    AggSpec::new(AggFunc::Count, Expr::col(2), "orders"),
+                ],
+            );
+            let mut rows: Vec<(i64, i64)> = collect(&mut agg)?
+                .into_iter()
+                .map(|t| (t.get(0).as_i64().unwrap(), t.get(1).as_i64().unwrap()))
+                .collect();
+            rows.sort();
+            println!("{label}");
+            for (region, revenue) in &rows {
+                println!("  region {region}: revenue {revenue}");
+            }
+            Ok(rows)
+        };
     let before = report(day1_close, "report as of day-1 close:")?;
 
     // Intraday corrections: region 2's unit prices were overstated; a few
@@ -97,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Audit: the same report before and after the corrections. The "before"
     // numbers are still reproducible — time travel (§3.3).
-    let before_again = report(day1_close, "\nreport as of day-1 close (re-run after corrections):")?;
+    let before_again = report(
+        day1_close,
+        "\nreport as of day-1 close (re-run after corrections):",
+    )?;
     assert_eq!(before, before_again, "historical reports must be stable");
     let now = cluster.coordinator().authority().now().prev();
     let after = report(now, "\nreport as of now (corrections applied):")?;
@@ -110,7 +115,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scan = SeqScan::new(engine.pool().clone(), def.id, ReadMode::Historical(now))?;
     let mut filter = Filter::new(
         Box::new(scan),
-        Expr::col(3).eq(Expr::lit(0)).and(Expr::col(4).ge(Expr::lit(8))),
+        Expr::col(3)
+            .eq(Expr::lit(0))
+            .and(Expr::col(4).ge(Expr::lit(8))),
     );
     let big_orders = collect(&mut filter)?;
     println!("\nregion 0 orders with >= 8 units: {}", big_orders.len());

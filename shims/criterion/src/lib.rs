@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates.io mirror, so the workspace
+//! vendors the benchmarking surface it uses: `Criterion` with groups and
+//! `bench_function`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark runs a short
+//! warm-up, then times iterations for the configured measurement window and
+//! prints mean wall-clock time per iteration. No statistics, plots or
+//! baseline comparisons.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, name: &str, mut f: F) {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut b);
+    let per_iter = if b.iterations > 0 {
+        b.elapsed.as_nanos() as f64 / b.iterations as f64
+    } else {
+        f64::NAN
+    };
+    if per_iter >= 1e6 {
+        println!(
+            "{name:<44} {:>12.3} ms/iter  ({} iters)",
+            per_iter / 1e6,
+            b.iterations
+        );
+    } else if per_iter >= 1e3 {
+        println!(
+            "{name:<44} {:>12.3} µs/iter  ({} iters)",
+            per_iter / 1e3,
+            b.iterations
+        );
+    } else {
+        println!(
+            "{name:<44} {:>12.1} ns/iter  ({} iters)",
+            per_iter, b.iterations
+        );
+    }
+}
+
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            black_box(f());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = total;
+        self.iterations = iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_record_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("iter", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -33,7 +33,10 @@ fn count_at(cluster: &Cluster, site: SiteId) -> usize {
 fn scenario(name: &str, fail: FailPoint, expect_rows: usize) {
     let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 2);
     cfg.storage = StorageConfig::for_tests();
-    cfg.transport = TransportKind::InMem { latency: None };
+    cfg.transport = TransportKind::InMem {
+        latency: None,
+        bandwidth: None,
+    };
     cfg.tables = vec![TableSpec::small("t")];
     cfg.auto_consensus = true;
     let cluster = Cluster::build(temp_dir(name), cfg).unwrap();

@@ -38,7 +38,7 @@ fn fields() -> Vec<(String, FieldType)> {
     ]
 }
 
-fn open_engine(dir: &PathBuf, site: SiteId) -> Arc<Engine> {
+fn open_engine(dir: &std::path::Path, site: SiteId) -> Arc<Engine> {
     let e = Engine::open(
         dir.join(format!("site-{}", site.0)),
         EngineOptions::harbor(site, StorageConfig::for_tests()),
@@ -96,6 +96,7 @@ fn build() -> Fixture {
                 peers: peers.clone(),
                 auto_consensus: false,
                 use_deletion_log: true,
+                scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
             },
         )
         .unwrap();
@@ -145,8 +146,7 @@ fn ids_at(f: &Fixture, site: SiteId) -> Vec<i64> {
     let e = &f.engines[&site];
     let def = e.table_def("employees").unwrap();
     let now = f.coordinator.authority().now().prev();
-    let mut scan =
-        SeqScan::new(e.pool().clone(), def.id, ReadMode::Historical(now)).unwrap();
+    let mut scan = SeqScan::new(e.pool().clone(), def.id, ReadMode::Historical(now)).unwrap();
     let mut v: Vec<i64> = collect(&mut scan)
         .unwrap()
         .iter()
@@ -174,7 +174,8 @@ fn recover(f: &mut Fixture, site: SiteId) {
             checkpoint_every: None,
             peers: f.peers.clone(),
             auto_consensus: false,
-                use_deletion_log: true,
+            use_deletion_log: true,
+            scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
         },
     )
     .unwrap();
