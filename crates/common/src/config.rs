@@ -29,6 +29,21 @@ pub const DEFAULT_MAX_PHASE2_RANGES: usize = 32;
 /// trips that exceed its wire time.
 pub const DEFAULT_MIN_RANGE_PAGES: u64 = 8;
 
+/// Default liveness deadline for a single RPC round trip (and for each frame
+/// of a streamed scan). A peer that produces no bytes for this long is
+/// treated as failed even if its socket never closes — the partitioned-peer
+/// case closed-connection detection (§5.5.1) cannot see. Generous by default
+/// so ordinary deployments never trip it; chaos/soak runs shrink it.
+pub const DEFAULT_RPC_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Default number of *extra* attempts for idempotent read RPCs (historical
+/// queries, clock reads) after a transient failure. Commit-protocol messages
+/// are never retried — a retransmitted PREPARE/COMMIT could double-apply.
+pub const DEFAULT_READ_RETRIES: u32 = 2;
+
+/// Base backoff between idempotent-read retry attempts (doubles per retry).
+pub const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_millis(10);
+
 /// Models the latency of stable storage.
 ///
 /// The thesis machines force log records to 2006-era disks where a forced

@@ -33,6 +33,16 @@ pub enum DbError {
     /// Networking failure; carries a human-readable cause. A closed
     /// connection doubles as failure detection (§5.5.1).
     Net(String),
+    /// A single request exceeded its deadline. *Transient*: the peer may be
+    /// slow, the link may be lossy, or a frame was delayed — the site is not
+    /// presumed dead. Idempotent reads may retry; commit-protocol messages
+    /// must never be retransmitted blindly.
+    Timeout(String),
+    /// A liveness deadline expired (or bounded retries were exhausted): the
+    /// peer is treated as failed even though its socket never closed — the
+    /// partitioned-peer case the closed-connection detector of §5.5.1 cannot
+    /// see. Classified as a disconnect.
+    SiteUnavailable(String),
     /// Protocol violation between sites (unexpected message, bad state).
     Protocol(String),
     /// The remote site has crashed or is unreachable.
@@ -66,17 +76,36 @@ impl DbError {
         DbError::Internal(msg.into())
     }
 
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        DbError::Timeout(msg.into())
+    }
+
+    pub fn unavailable(msg: impl Into<String>) -> Self {
+        DbError::SiteUnavailable(msg.into())
+    }
+
+    /// `true` for a transient per-request deadline expiry. Never implies the
+    /// peer is dead; see [`DbError::is_disconnect`] for that.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, DbError::Timeout(_))
+    }
+
     /// `true` for errors that indicate the remote party is gone, which the
-    /// commit protocols treat as a worker/coordinator failure.
+    /// commit protocols treat as a worker/coordinator failure. A transient
+    /// [`DbError::Timeout`] is deliberately *not* a disconnect — only a
+    /// closed connection or an expired liveness deadline
+    /// ([`DbError::SiteUnavailable`]) counts as site death.
     pub fn is_disconnect(&self) -> bool {
-        matches!(self, DbError::Net(_) | DbError::SiteDown(_))
-            || matches!(self, DbError::Io(e) if matches!(
-                e.kind(),
-                io::ErrorKind::ConnectionReset
-                    | io::ErrorKind::ConnectionAborted
-                    | io::ErrorKind::BrokenPipe
-                    | io::ErrorKind::UnexpectedEof
-            ))
+        matches!(
+            self,
+            DbError::Net(_) | DbError::SiteDown(_) | DbError::SiteUnavailable(_)
+        ) || matches!(self, DbError::Io(e) if matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        ))
     }
 }
 
@@ -98,6 +127,8 @@ impl fmt::Display for DbError {
             DbError::Corrupt(m) => write!(f, "corrupt state: {m}"),
             DbError::Full(m) => write!(f, "full: {m}"),
             DbError::Net(m) => write!(f, "network error: {m}"),
+            DbError::Timeout(m) => write!(f, "request timed out: {m}"),
+            DbError::SiteUnavailable(m) => write!(f, "site unavailable: {m}"),
             DbError::Protocol(m) => write!(f, "protocol violation: {m}"),
             DbError::SiteDown(m) => write!(f, "site down: {m}"),
             DbError::Schema(m) => write!(f, "schema error: {m}"),
@@ -135,6 +166,13 @@ mod tests {
         assert!(!DbError::Io(io::Error::new(io::ErrorKind::NotFound, "x")).is_disconnect());
         let tid = TransactionId::from_parts(SiteId(0), 1);
         assert!(!DbError::TransactionAborted(tid).is_disconnect());
+        // Liveness-deadline expiry is site death; a transient per-request
+        // timeout is not (the conflation this distinction exists to prevent).
+        assert!(DbError::unavailable("site-1: liveness deadline").is_disconnect());
+        assert!(!DbError::timeout("site-1: slow reply").is_disconnect());
+        assert!(DbError::timeout("x").is_timeout());
+        assert!(!DbError::unavailable("x").is_timeout());
+        assert!(!DbError::net("x").is_timeout());
     }
 
     #[test]

@@ -53,6 +53,20 @@ struct Counters {
     recovery_ranges_fetched: AtomicU64,
     /// Phase-2 segment ranges reassigned after a buddy failed mid-stream.
     recovery_ranges_reassigned: AtomicU64,
+    /// Frames the chaos layer dropped (and severed the link for).
+    chaos_drops: AtomicU64,
+    /// Frames the chaos layer delivered twice.
+    chaos_dups: AtomicU64,
+    /// Frames the chaos layer delayed before delivery.
+    chaos_delays: AtomicU64,
+    /// Links the chaos layer severed abruptly mid-stream.
+    chaos_disconnects: AtomicU64,
+    /// Frames silently blackholed because a partition blocked the link.
+    chaos_partition_drops: AtomicU64,
+    /// RPC requests that expired a per-request or liveness deadline.
+    rpc_timeouts: AtomicU64,
+    /// Idempotent-read RPC attempts retried after a transient failure.
+    rpc_retries: AtomicU64,
 }
 
 macro_rules! counter {
@@ -111,6 +125,17 @@ impl Metrics {
         recovery_ranges_reassigned,
         recovery_ranges_reassigned
     );
+    counter!(add_chaos_drops, chaos_drops, chaos_drops);
+    counter!(add_chaos_dups, chaos_dups, chaos_dups);
+    counter!(add_chaos_delays, chaos_delays, chaos_delays);
+    counter!(add_chaos_disconnects, chaos_disconnects, chaos_disconnects);
+    counter!(
+        add_chaos_partition_drops,
+        chaos_partition_drops,
+        chaos_partition_drops
+    );
+    counter!(add_rpc_timeouts, rpc_timeouts, rpc_timeouts);
+    counter!(add_rpc_retries, rpc_retries, rpc_retries);
 
     /// Snapshot of all counters, for diffing across an experiment.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -132,6 +157,13 @@ impl Metrics {
             recovery_tuples_applied: self.recovery_tuples_applied(),
             recovery_ranges_fetched: self.recovery_ranges_fetched(),
             recovery_ranges_reassigned: self.recovery_ranges_reassigned(),
+            chaos_drops: self.chaos_drops(),
+            chaos_dups: self.chaos_dups(),
+            chaos_delays: self.chaos_delays(),
+            chaos_disconnects: self.chaos_disconnects(),
+            chaos_partition_drops: self.chaos_partition_drops(),
+            rpc_timeouts: self.rpc_timeouts(),
+            rpc_retries: self.rpc_retries(),
         }
     }
 }
@@ -156,6 +188,13 @@ pub struct MetricsSnapshot {
     pub recovery_tuples_applied: u64,
     pub recovery_ranges_fetched: u64,
     pub recovery_ranges_reassigned: u64,
+    pub chaos_drops: u64,
+    pub chaos_dups: u64,
+    pub chaos_delays: u64,
+    pub chaos_disconnects: u64,
+    pub chaos_partition_drops: u64,
+    pub rpc_timeouts: u64,
+    pub rpc_retries: u64,
 }
 
 impl MetricsSnapshot {
@@ -189,7 +228,33 @@ impl MetricsSnapshot {
             recovery_ranges_reassigned: self
                 .recovery_ranges_reassigned
                 .saturating_sub(earlier.recovery_ranges_reassigned),
+            chaos_drops: self.chaos_drops.saturating_sub(earlier.chaos_drops),
+            chaos_dups: self.chaos_dups.saturating_sub(earlier.chaos_dups),
+            chaos_delays: self.chaos_delays.saturating_sub(earlier.chaos_delays),
+            chaos_disconnects: self
+                .chaos_disconnects
+                .saturating_sub(earlier.chaos_disconnects),
+            chaos_partition_drops: self
+                .chaos_partition_drops
+                .saturating_sub(earlier.chaos_partition_drops),
+            rpc_timeouts: self.rpc_timeouts.saturating_sub(earlier.rpc_timeouts),
+            rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
         }
+    }
+
+    /// Human-readable summary of the chaos-layer and retry counters, for the
+    /// soak report and the lossy-LAN experiment printouts.
+    pub fn chaos_summary(&self) -> String {
+        format!(
+            "drops={} dups={} delays={} disconnects={} partition_drops={} rpc_timeouts={} rpc_retries={}",
+            self.chaos_drops,
+            self.chaos_dups,
+            self.chaos_delays,
+            self.chaos_disconnects,
+            self.chaos_partition_drops,
+            self.rpc_timeouts,
+            self.rpc_retries,
+        )
     }
 }
 

@@ -1,0 +1,582 @@
+//! Deterministic chaos soak harness: a seeded mixed workload driven through
+//! a cluster whose links run over a [`harbor_net::ChaosTransport`] and whose
+//! sites crash on a [`harbor_dist::CrashSchedule`], with cluster invariants
+//! checked after every run.
+//!
+//! The harness is deliberately *serial*: one seeded RNG decides the whole
+//! run — each operation, each crash, each partition, each recovery — so the
+//! same seed replays the identical event schedule, and (because the chaos
+//! layer's per-frame decisions are themselves seed-derived) the identical
+//! fault trace. A failing seed is a reproducer, not an anecdote.
+//!
+//! Invariants checked at quiesce (`ChaosRunReport::violations` empty):
+//!
+//! 1. every *acknowledged* commit is present, with the acknowledged value,
+//!    on every live replica (a commit the client saw must survive);
+//! 2. all replicas are version-history equal (same `(id, v, ins, del)`
+//!    version sets — the strictest equivalence short of page layout);
+//! 3. no phantom rows: everything a replica holds traces back to an issued
+//!    operation (a transaction that was aborted somewhere can never have
+//!    committed elsewhere);
+//! 4. K-safety is tracked: the minimum number of live replicas seen during
+//!    the run is reported, and losing the last replica fails the run.
+
+use crate::cluster::Cluster;
+use harbor_common::{DbResult, SiteId, Value};
+use harbor_dist::{CrashPoint, UpdateRequest};
+use std::collections::BTreeMap;
+
+/// One run's knobs. All probabilities are per-mille per operation.
+#[derive(Clone, Debug)]
+pub struct ChaosRunConfig {
+    /// Master seed: drives the workload RNG; callers normally also build
+    /// the cluster's [`harbor_net::ChaosConfig`] from it.
+    pub seed: u64,
+    /// Operations in the workload (inserts/updates/reads).
+    pub ops: usize,
+    /// Probability (‰) that an operation is preceded by a worker crash
+    /// (fail-stop or an armed [`CrashPoint`], chosen by the RNG).
+    pub crash_per_mille: u16,
+    /// Probability (‰) that an operation is preceded by a partition.
+    pub partition_per_mille: u16,
+    /// Probability (‰) that an operation is preceded by a recovery attempt
+    /// of one crashed site.
+    pub recover_per_mille: u16,
+    /// Heal an active partition after this many operations.
+    pub partition_ops: usize,
+    /// Never crash below this many live workers.
+    pub min_live: usize,
+}
+
+impl ChaosRunConfig {
+    /// The CI soak profile: short, bounded, but with every fault class
+    /// reachable.
+    pub fn soak(seed: u64) -> Self {
+        ChaosRunConfig {
+            seed,
+            ops: 120,
+            crash_per_mille: 40,
+            partition_per_mille: 25,
+            recover_per_mille: 60,
+            partition_ops: 3,
+            min_live: 2,
+        }
+    }
+}
+
+/// What one chaos run did and found.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosRunReport {
+    pub committed: usize,
+    pub aborted: usize,
+    pub reads: usize,
+    pub read_errors: usize,
+    pub crashes: usize,
+    pub partitions: usize,
+    pub recoveries: usize,
+    pub failed_recoveries: usize,
+    /// Minimum live-replica count observed (K-safety floor).
+    pub min_live_seen: usize,
+    /// The deterministic event schedule ("op 12: crash site-2 fail-stop").
+    pub schedule: Vec<String>,
+    /// The chaos layer's canonical fault trace (empty when chaos is off).
+    pub fault_trace: String,
+    /// Invariant violations; an empty vector is a passing run.
+    pub violations: Vec<String>,
+}
+
+/// Deterministic splitmix64 stream for the event schedule (the chaos layer
+/// has its own, keyed per link; this one is per run).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Last client-visible knowledge about one key of the workload table.
+#[derive(Clone, Debug, Default)]
+struct KeyState {
+    /// Value of the last *acknowledged* write, if any write was acked.
+    acked: Option<i64>,
+    /// Whether the row's insert was acknowledged (row must exist).
+    insert_acked: bool,
+    /// Whether any write to the key was ever attempted (row may exist).
+    attempted: bool,
+    /// Values of writes whose outcome is unknown (commit returned an error
+    /// after the insert was acked — the value may or may not have stuck).
+    maybe: Vec<i64>,
+}
+
+impl Cluster {
+    /// Runs a seeded chaos workload against this cluster and checks the
+    /// invariants at quiesce. The cluster should be built with
+    /// [`crate::ClusterConfig::chaos`] set (the harness also works without
+    /// chaos — then only crash-schedule faults fire) and a single
+    /// `(id Int64, v Int32)` table, which the workload targets.
+    pub fn run_chaos(&self, cfg: &ChaosRunConfig) -> DbResult<ChaosRunReport> {
+        let table = self.config().tables[0].name.clone();
+        let mut rng = Rng(cfg.seed ^ 0xC0FFEE);
+        let mut report = ChaosRunReport::default();
+        let mut keys: BTreeMap<i64, KeyState> = BTreeMap::new();
+        let all_sites = self.worker_sites();
+        report.min_live_seen = all_sites.len();
+        let mut partition_left = 0usize;
+        if let Some(chaos) = self.chaos() {
+            chaos.clear_trace();
+            chaos.set_enabled(true);
+        }
+
+        for op in 0..cfg.ops {
+            // --- scheduled events -------------------------------------
+            let draw = rng.below(1000) as u16;
+            if draw < cfg.crash_per_mille {
+                self.chaos_crash_event(op, &mut rng, cfg, &mut report);
+            } else if draw < cfg.crash_per_mille + cfg.partition_per_mille {
+                if partition_left == 0 && self.chaos().is_some() {
+                    let live = self.live_sites();
+                    if live.len() > cfg.min_live {
+                        let victim = live[rng.below(live.len() as u64) as usize];
+                        let name = format!("site-{}", victim.0);
+                        self.chaos()
+                            .unwrap()
+                            .partition(&[&name], &["coordinator"], true);
+                        partition_left = cfg.partition_ops;
+                        report.partitions += 1;
+                        report
+                            .schedule
+                            .push(format!("op {op}: partition {name} | coordinator"));
+                    }
+                }
+            } else if draw < cfg.crash_per_mille + cfg.partition_per_mille + cfg.recover_per_mille {
+                // Recover one crashed site (only once the net is whole —
+                // recovery through an active partition is retried at
+                // quiesce anyway).
+                if partition_left == 0 {
+                    let crashed: Vec<SiteId> = all_sites
+                        .iter()
+                        .copied()
+                        .filter(|s| self.is_crashed(*s))
+                        .collect();
+                    if !crashed.is_empty() {
+                        let site = crashed[rng.below(crashed.len() as u64) as usize];
+                        self.try_chaos_recover(&format!("op {op}"), site, &mut report);
+                    }
+                }
+            }
+            if partition_left > 0 {
+                partition_left -= 1;
+                if partition_left == 0 {
+                    if let Some(chaos) = self.chaos() {
+                        chaos.heal();
+                    }
+                    report.schedule.push(format!("op {op}: heal"));
+                }
+            }
+
+            // An armed crash point on the sole remaining replica would take
+            // the cluster to zero live copies when it fires, and with every
+            // copy down no site can ever recover (recovery needs a live
+            // buddy) — disarm it instead.
+            let live = self.live_sites();
+            if live.len() == 1 {
+                let last = live[0];
+                if self
+                    .crash_schedule()
+                    .armed()
+                    .iter()
+                    .any(|(s, _)| *s == last)
+                {
+                    self.crash_schedule().disarm_if(last, |_| true);
+                    report
+                        .schedule
+                        .push(format!("op {op}: disarm {last} (last live replica)"));
+                }
+            }
+
+            // --- one workload operation -------------------------------
+            let kind = rng.below(10);
+            if kind < 4 {
+                // Insert a fresh key.
+                let id = op as i64;
+                let v = rng.below(1_000_000) as i64;
+                let st = keys.entry(id).or_default();
+                st.attempted = true;
+                match self.run_txn(vec![UpdateRequest::Insert {
+                    table: table.clone(),
+                    values: vec![Value::Int64(id), Value::Int32(v as i32)],
+                }]) {
+                    Ok(_) => {
+                        st.insert_acked = true;
+                        st.acked = Some(v);
+                        st.maybe.clear();
+                        report.committed += 1;
+                    }
+                    Err(_) => {
+                        st.maybe.push(v);
+                        report.aborted += 1;
+                    }
+                }
+            } else if kind < 7 {
+                // Update a previously inserted key, if any.
+                let known: Vec<i64> = keys
+                    .iter()
+                    .filter(|(_, s)| s.insert_acked)
+                    .map(|(k, _)| *k)
+                    .collect();
+                if let Some(&id) = known.get(rng.below(known.len().max(1) as u64) as usize) {
+                    let v = rng.below(1_000_000) as i64;
+                    match self.run_txn(vec![UpdateRequest::UpdateByKey {
+                        table: table.clone(),
+                        key: id,
+                        set: vec![(1, Value::Int32(v as i32))],
+                    }]) {
+                        Ok(_) => {
+                            let st = keys.get_mut(&id).unwrap();
+                            st.acked = Some(v);
+                            st.maybe.clear();
+                            report.committed += 1;
+                        }
+                        Err(_) => {
+                            keys.get_mut(&id).unwrap().maybe.push(v);
+                            report.aborted += 1;
+                        }
+                    }
+                }
+            } else {
+                // Historical read through the coordinator (exercises the
+                // bounded-retry degradation path).
+                report.reads += 1;
+                let now = self.coordinator().authority().now().prev();
+                if self
+                    .coordinator()
+                    .read_historical(&table, now, |_| {})
+                    .is_err()
+                {
+                    report.read_errors += 1;
+                }
+            }
+
+            // Reap sites that crashed themselves via the schedule, and
+            // fail-stop workers the coordinator presumed dead (a severed or
+            // partitioned link, §5.5.1): they may have missed commits and
+            // must rejoin through recovery, not keep serving stale state.
+            // Two guards keep the cluster recoverable: the last live replica
+            // is never fail-stopped (with every copy down no site could ever
+            // recover), and a swept site is re-synced in place so failures
+            // do not accumulate until no complete copy remains.
+            for site in self.reap_scheduled_crashes() {
+                report.schedule.push(format!("op {op}: reaped {site}"));
+            }
+            for site in all_sites.iter().copied() {
+                if self.is_crashed(site) || !self.coordinator().is_dead(site) {
+                    continue;
+                }
+                if self.live_sites().len() <= 1 {
+                    report.schedule.push(format!(
+                        "op {op}: defer fail-stop of presumed-dead {site} (last live replica)"
+                    ));
+                    continue;
+                }
+                if self.crash_worker(site).is_ok() {
+                    report
+                        .schedule
+                        .push(format!("op {op}: fail-stop presumed-dead {site}"));
+                    self.try_chaos_recover(&format!("op {op}"), site, &mut report);
+                }
+            }
+            report.min_live_seen = report.min_live_seen.min(self.live_sites().len());
+        }
+
+        // --- quiesce ----------------------------------------------------
+        if let Some(chaos) = self.chaos() {
+            chaos.heal();
+            chaos.set_enabled(false);
+        }
+        for site in &all_sites {
+            self.crash_schedule().disarm_if(*site, |_| true);
+        }
+        for site in self.reap_scheduled_crashes() {
+            report.schedule.push(format!("quiesce: reaped {site}"));
+        }
+        // Quiesce can need several rounds: when every replica was presumed
+        // dead, one was kept up (deferred fail-stop) to serve as the
+        // recovery buddy, and can only be fail-stopped and re-synced itself
+        // once a peer has rejoined.
+        for round in 0..=all_sites.len() {
+            let tag = format!("quiesce[{round}]");
+            self.resolve_pending_txns(&tag, &mut report);
+            for site in all_sites.iter().copied() {
+                if !self.is_crashed(site)
+                    && self.coordinator().is_dead(site)
+                    && self.live_sites().len() > 1
+                    && self.crash_worker(site).is_ok()
+                {
+                    report
+                        .schedule
+                        .push(format!("{tag}: fail-stop presumed-dead {site}"));
+                }
+            }
+            let crashed: Vec<SiteId> = all_sites
+                .iter()
+                .copied()
+                .filter(|s| self.is_crashed(*s))
+                .collect();
+            let stale = self
+                .live_sites()
+                .into_iter()
+                .any(|s| self.coordinator().is_dead(s));
+            if crashed.is_empty() && !stale {
+                break;
+            }
+            for site in crashed {
+                for _attempt in 0..3 {
+                    if self.try_chaos_recover(&tag, site, &mut report) {
+                        break;
+                    }
+                }
+            }
+        }
+        for site in &all_sites {
+            if self.is_crashed(*site) {
+                report
+                    .violations
+                    .push(format!("{site} unrecoverable at quiesce"));
+            } else if self.coordinator().is_dead(*site) {
+                report
+                    .violations
+                    .push(format!("{site} still presumed dead at quiesce"));
+            }
+        }
+        if let Some(chaos) = self.chaos() {
+            report.fault_trace = chaos.trace_canonical();
+        }
+
+        // --- invariants -------------------------------------------------
+        self.check_invariants(&table, &keys, &mut report)?;
+        Ok(report)
+    }
+
+    fn chaos_crash_event(
+        &self,
+        op: usize,
+        rng: &mut Rng,
+        cfg: &ChaosRunConfig,
+        report: &mut ChaosRunReport,
+    ) {
+        let live = self.live_sites();
+        if live.len() <= cfg.min_live {
+            return;
+        }
+        let victim = live[rng.below(live.len() as u64) as usize];
+        report.crashes += 1;
+        match rng.below(3) {
+            0 => {
+                if self.crash_worker(victim).is_ok() {
+                    report
+                        .schedule
+                        .push(format!("op {op}: crash {victim} fail-stop"));
+                }
+            }
+            1 => {
+                self.arm_crash(victim, CrashPoint::WorkerDuringPrepareVote);
+                report
+                    .schedule
+                    .push(format!("op {op}: arm {victim} during-prepare-vote"));
+            }
+            _ => {
+                self.arm_crash(victim, CrashPoint::WorkerAfterPtcAck);
+                report
+                    .schedule
+                    .push(format!("op {op}: arm {victim} after-ptc-ack"));
+            }
+        }
+    }
+
+    /// Terminates every undecided distributed transaction held by a live
+    /// worker via the backup-coordinator protocol (§4.3.3), visiting sites
+    /// in rank order so the lowest-ranked live participant decides and the
+    /// rest adopt its outcome. Returns `true` when no undecided state
+    /// remains. Background auto-consensus stays off in the harness (its
+    /// resolutions would race the workload's channel creation and perturb
+    /// the deterministic fault trace), so this is the failure detector's
+    /// stand-in, run at deterministic points: before any recovery, because
+    /// a buddy holding an acked commit in the prepared-to-commit state
+    /// would serve catch-up scans that silently miss it.
+    fn resolve_pending_txns(&self, tag: &str, report: &mut ChaosRunReport) -> bool {
+        let mut all_clear = true;
+        for site in self.live_sites() {
+            let Ok(worker) = self.worker(site) else {
+                continue;
+            };
+            for tid in worker.unresolved_dist_txns() {
+                match worker.resolve_by_consensus(tid) {
+                    Ok(true) => report
+                        .schedule
+                        .push(format!("{tag}: {site} resolved txn {}", tid.0)),
+                    Ok(false) => {
+                        all_clear = false;
+                        report
+                            .schedule
+                            .push(format!("{tag}: {site} could not resolve txn {}", tid.0));
+                    }
+                    Err(e) => {
+                        all_clear = false;
+                        report
+                            .schedule
+                            .push(format!("{tag}: {site} resolving txn {} failed: {e}", tid.0));
+                    }
+                }
+            }
+        }
+        all_clear
+    }
+
+    /// One guarded recovery attempt. Undecided commit-protocol state is
+    /// terminated first, and the recovery is deferred (to a later event or
+    /// to quiesce) while any remains — see [`Self::resolve_pending_txns`].
+    fn try_chaos_recover(&self, tag: &str, site: SiteId, report: &mut ChaosRunReport) -> bool {
+        if !self.resolve_pending_txns(tag, report) {
+            report.schedule.push(format!(
+                "{tag}: defer recover {site}: unresolved transactions"
+            ));
+            return false;
+        }
+        match self.recover_worker_harbor(site) {
+            Ok(_) => {
+                report.recoveries += 1;
+                report.schedule.push(format!("{tag}: recover {site} ok"));
+                true
+            }
+            Err(e) => {
+                report.failed_recoveries += 1;
+                report
+                    .schedule
+                    .push(format!("{tag}: recover {site} failed: {e}"));
+                false
+            }
+        }
+    }
+
+    fn live_sites(&self) -> Vec<SiteId> {
+        self.worker_sites()
+            .into_iter()
+            .filter(|s| !self.is_crashed(*s))
+            .collect()
+    }
+
+    /// The invariant battery run at quiesce; failures are appended to
+    /// `report.violations` (not returned as `Err` — an invariant violation
+    /// is a *finding*, an `Err` is the harness itself breaking).
+    fn check_invariants(
+        &self,
+        table: &str,
+        keys: &BTreeMap<i64, KeyState>,
+        report: &mut ChaosRunReport,
+    ) -> DbResult<()> {
+        let live = self.live_sites();
+        if live.is_empty() {
+            report.violations.push("no live replicas at quiesce".into());
+            return Ok(());
+        }
+        // (2) replicas version-history equal.
+        let reference: Vec<(i64, i64, u64, u64)> = self.version_history(table, live[0])?;
+        for site in live.iter().skip(1) {
+            let other = self.version_history(table, *site)?;
+            if other != reference {
+                report.violations.push(format!(
+                    "version histories diverge: {} has {} versions, {} has {}",
+                    live[0],
+                    reference.len(),
+                    site,
+                    other.len()
+                ));
+            }
+        }
+        // (1) + (3) acked commits present with acked values; no phantoms.
+        // Current visible state = versions with no deletion.
+        let mut state: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+        for (id, v, _ins, del) in &reference {
+            if *del == 0 {
+                state.entry(*id).or_default().push(*v);
+            }
+        }
+        for (id, versions) in &state {
+            if versions.len() > 1 {
+                report
+                    .violations
+                    .push(format!("key {id} visible {} times", versions.len()));
+            }
+        }
+        for (id, st) in keys {
+            let visible = state.get(id).and_then(|v| v.first().copied());
+            match (st.insert_acked, visible) {
+                (true, None) => report
+                    .violations
+                    .push(format!("acked key {id} missing from replicas")),
+                (true, Some(v)) => {
+                    let ok = st.acked == Some(v) || st.maybe.contains(&v);
+                    if !ok {
+                        report.violations.push(format!(
+                            "key {id} holds {v}, client acked {:?} (maybe {:?})",
+                            st.acked, st.maybe
+                        ));
+                    }
+                }
+                (false, Some(v)) => {
+                    // Insert never acked: the value may only come from the
+                    // indeterminate attempts.
+                    if !st.maybe.contains(&v) {
+                        report
+                            .violations
+                            .push(format!("unacked key {id} holds unexplained value {v}"));
+                    }
+                }
+                (false, None) => {}
+            }
+        }
+        for id in state.keys() {
+            if !keys.get(id).map(|s| s.attempted).unwrap_or(false) {
+                report.violations.push(format!("phantom key {id}"));
+            }
+        }
+        // (4) K-safety floor.
+        if report.min_live_seen == 0 {
+            report.violations.push("all replicas lost mid-run".into());
+        }
+        Ok(())
+    }
+
+    /// Every version a site holds, committed or deleted, as
+    /// `(id, v, ins, del)` sorted.
+    fn version_history(&self, table: &str, site: SiteId) -> DbResult<Vec<(i64, i64, u64, u64)>> {
+        let e = self.engine(site)?;
+        let def = e
+            .table_def(table)
+            .ok_or_else(|| harbor_common::DbError::internal(format!("no table {table}")))?;
+        let mut scan =
+            harbor_exec::SeqScan::new(e.pool().clone(), def.id, harbor_exec::ReadMode::SeeDeleted)?;
+        let mut out: Vec<(i64, i64, u64, u64)> = harbor_exec::collect(&mut scan)?
+            .iter()
+            .map(|t| {
+                Ok((
+                    t.get(2).as_i64()?,
+                    t.get(3).as_i64()?,
+                    t.get(0).as_time()?.0,
+                    t.get(1).as_time()?.0,
+                ))
+            })
+            .collect::<DbResult<_>>()?;
+        out.sort_unstable();
+        Ok(out)
+    }
+}

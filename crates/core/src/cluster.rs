@@ -11,10 +11,11 @@ use harbor_common::{
     DbError, DbResult, FieldType, Metrics, SiteId, StorageConfig, Timestamp, Tuple, Value,
 };
 use harbor_dist::{
-    Coordinator, CoordinatorConfig, Placement, ProtocolKind, UpdateRequest, Worker, WorkerConfig,
+    Coordinator, CoordinatorConfig, CrashPoint, CrashSchedule, Placement, ProtocolKind,
+    UpdateRequest, Worker, WorkerConfig,
 };
 use harbor_engine::{Engine, EngineOptions};
-use harbor_net::{InMemNetwork, TcpTransport, Transport};
+use harbor_net::{ChaosConfig, ChaosTransport, InMemNetwork, TcpTransport, Transport};
 use harbor_storage::PagePolicy;
 use harbor_wal::aries::AriesReport;
 use harbor_wal::GroupCommit;
@@ -92,6 +93,20 @@ pub struct ClusterConfig {
     pub use_deletion_log: bool,
     /// Rows per streamed scan batch at the workers (ablation 5).
     pub scan_batch: usize,
+    /// Deterministic fault injection: when set, every inter-site link goes
+    /// through a seeded [`ChaosTransport`]. The chaos layer is built
+    /// *disabled* so cluster bootstrap is fault-free; tests flip it on via
+    /// [`Cluster::chaos`].
+    pub chaos: Option<ChaosConfig>,
+    /// Cluster-wide crash schedule probed by the coordinator and workers at
+    /// the [`CrashPoint`] protocol steps.
+    pub crash_schedule: Arc<CrashSchedule>,
+    /// Liveness deadline for commit-protocol round trips and recovery scan
+    /// frames. Must comfortably exceed the engine's lock timeout, which is
+    /// a *normal* source of slow replies.
+    pub rpc_deadline: Duration,
+    /// Bounded retries for idempotent historical reads at the coordinator.
+    pub read_retries: u32,
 }
 
 impl ClusterConfig {
@@ -112,6 +127,10 @@ impl ClusterConfig {
             deadlock: harbor_storage::DeadlockPolicy::Timeout,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+            chaos: None,
+            crash_schedule: Arc::new(CrashSchedule::new()),
+            rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
+            read_retries: harbor_dist::DEFAULT_READ_RETRIES,
         }
     }
 
@@ -140,6 +159,8 @@ pub struct Cluster {
     cfg: ClusterConfig,
     dir: PathBuf,
     transport: Arc<dyn Transport>,
+    /// The shared fault-injection layer (None when chaos is off).
+    chaos: Option<Arc<ChaosTransport>>,
     /// Counts every message/byte crossing the cluster's transport.
     net_metrics: Metrics,
     placement: Placement,
@@ -157,7 +178,7 @@ impl Cluster {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let net_metrics = Metrics::new();
-        let transport: Arc<dyn Transport> = match cfg.transport {
+        let base: Arc<dyn Transport> = match cfg.transport {
             TransportKind::InMem {
                 latency: Some(l),
                 bandwidth: Some(b),
@@ -169,36 +190,53 @@ impl Cluster {
             TransportKind::InMem { .. } => Arc::new(InMemNetwork::new(net_metrics.clone())),
             TransportKind::Tcp => Arc::new(TcpTransport::new(net_metrics.clone())),
         };
+        // Every site talks through its own identity-carrying view of the
+        // one shared chaos layer, so fault decisions and partitions are
+        // keyed on logical site names, not transport addresses. Chaos
+        // starts disabled: bootstrap is always fault-free.
+        let chaos = cfg.chaos.clone().map(|c| {
+            let ct = ChaosTransport::new(base.clone(), c, net_metrics.clone());
+            ct.set_enabled(false);
+            Arc::new(ct)
+        });
+        let site_transport = |name: &str| -> Arc<dyn Transport> {
+            match &chaos {
+                Some(ct) => Arc::new(ct.for_site(name)),
+                None => base.clone(),
+            }
+        };
+        let coord_transport = site_transport("coordinator");
         // Bind all listeners first so TCP port 0 resolves before the
         // address book is built.
         let coord_listener = match cfg.transport {
-            TransportKind::Tcp => transport.listen("127.0.0.1:0")?,
-            _ => transport.listen("coordinator")?,
+            TransportKind::Tcp => coord_transport.listen("127.0.0.1:0")?,
+            _ => coord_transport.listen("coordinator")?,
         };
         let mut worker_listeners = Vec::new();
         for i in 1..=cfg.num_workers {
+            let wt = site_transport(&format!("site-{i}"));
             let l = match cfg.transport {
-                TransportKind::Tcp => transport.listen("127.0.0.1:0")?,
-                _ => transport.listen(&format!("site-{i}"))?,
+                TransportKind::Tcp => wt.listen("127.0.0.1:0")?,
+                _ => wt.listen(&format!("site-{i}"))?,
             };
-            worker_listeners.push((SiteId(i as u16), l));
+            worker_listeners.push((SiteId(i as u16), l, wt));
         }
         let mut placement = Placement::new();
         placement.set_coordinator_addr(&coord_listener.local_addr());
-        for (site, l) in &worker_listeners {
+        for (site, l, _) in &worker_listeners {
             placement.set_address(*site, &l.local_addr());
         }
-        let worker_sites: Vec<SiteId> = worker_listeners.iter().map(|(s, _)| *s).collect();
+        let worker_sites: Vec<SiteId> = worker_listeners.iter().map(|(s, _, _)| *s).collect();
         for spec in &cfg.tables {
             placement.add_replicated_table(&spec.name, &worker_sites);
         }
         let peers: HashMap<SiteId, String> = worker_listeners
             .iter()
-            .map(|(s, l)| (*s, l.local_addr()))
+            .map(|(s, l, _)| (*s, l.local_addr()))
             .collect();
         // Workers.
         let mut workers = HashMap::new();
-        for (site, listener) in worker_listeners {
+        for (site, listener, wt) in worker_listeners {
             let wdir = dir.join(format!("site-{}", site.0));
             let engine = Self::open_engine(&wdir, site, &cfg)?;
             for spec in &cfg.tables {
@@ -210,7 +248,7 @@ impl Cluster {
             let addr = listener.local_addr();
             let worker = Worker::start_with_listener(
                 engine.clone(),
-                transport.clone(),
+                wt,
                 WorkerConfig {
                     site,
                     addr: addr.clone(),
@@ -220,6 +258,7 @@ impl Cluster {
                     auto_consensus: cfg.auto_consensus,
                     use_deletion_log: cfg.use_deletion_log,
                     scan_batch: cfg.scan_batch,
+                    crash_schedule: cfg.crash_schedule.clone(),
                 },
                 listener,
             )?;
@@ -241,16 +280,20 @@ impl Cluster {
                 log_dir: Some(dir.join("coordinator")),
                 group_commit: cfg.group_commit,
                 disk: cfg.storage.disk,
+                rpc_deadline: cfg.rpc_deadline,
+                read_retries: cfg.read_retries,
+                crash_schedule: cfg.crash_schedule.clone(),
             },
             placement.clone(),
-            transport.clone(),
+            coord_transport,
             Metrics::new(),
             coord_listener,
         )?;
         Ok(Cluster {
             cfg,
             dir,
-            transport,
+            transport: base,
+            chaos,
             net_metrics,
             placement,
             coordinator,
@@ -281,6 +324,32 @@ impl Cluster {
 
     pub fn transport(&self) -> &Arc<dyn Transport> {
         &self.transport
+    }
+
+    /// The fault-injection layer, when the cluster was built with
+    /// [`ClusterConfig::chaos`]. Enable/partition/heal through this handle;
+    /// the same seed replays the identical fault trace.
+    pub fn chaos(&self) -> Option<&Arc<ChaosTransport>> {
+        self.chaos.as_ref()
+    }
+
+    /// The cluster-wide crash schedule (see [`CrashPoint`]).
+    pub fn crash_schedule(&self) -> &Arc<CrashSchedule> {
+        &self.cfg.crash_schedule
+    }
+
+    /// Arms a crash point for `site` on the shared schedule.
+    pub fn arm_crash(&self, site: SiteId, point: CrashPoint) {
+        self.cfg.crash_schedule.arm(site, point);
+    }
+
+    /// `site`'s identity-carrying view of the transport: chaos-wrapped when
+    /// fault injection is on, the base transport otherwise.
+    fn transport_as(&self, name: &str) -> Arc<dyn Transport> {
+        match &self.chaos {
+            Some(ct) => Arc::new(ct.for_site(name)),
+            None => self.transport.clone(),
+        }
     }
 
     /// Transport-level counters (messages/bytes for the whole cluster).
@@ -330,11 +399,17 @@ impl Cluster {
     // Convenience transaction helpers
     // ------------------------------------------------------------------
 
-    /// Runs one transaction consisting of the given update requests.
+    /// Runs one transaction consisting of the given update requests. A
+    /// failed update aborts the transaction before surfacing the error, so
+    /// a fault mid-transaction can never leak an open transaction (and its
+    /// locks) into the next operation.
     pub fn run_txn(&self, ops: Vec<UpdateRequest>) -> DbResult<Timestamp> {
         let tid = self.coordinator.begin()?;
         for op in ops {
-            self.coordinator.update(tid, op)?;
+            if let Err(e) = self.coordinator.update(tid, op) {
+                let _ = self.coordinator.abort(tid);
+                return Err(e);
+            }
         }
         self.coordinator.commit(tid)
     }
@@ -381,6 +456,24 @@ impl Cluster {
         self.crashed.lock().contains(&site)
     }
 
+    /// Tears down workers that crashed *themselves* through the crash
+    /// schedule (a fired [`CrashPoint`] only sets the worker's shutdown
+    /// flag — the site's threads cannot reap their own handle). Returns the
+    /// sites reaped. Harness code calls this after driving traffic.
+    pub fn reap_scheduled_crashes(&self) -> Vec<SiteId> {
+        let dead: Vec<SiteId> = self
+            .workers
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.worker.is_shutdown())
+            .map(|(s, _)| *s)
+            .collect();
+        for site in &dead {
+            let _ = self.crash_worker(*site);
+        }
+        dead
+    }
+
     fn worker_addr(&self, site: SiteId) -> String {
         self.placement
             .address(site)
@@ -404,7 +497,7 @@ impl Cluster {
             .collect();
         let worker = Worker::start(
             engine.clone(),
-            self.transport.clone(),
+            self.transport_as(&format!("site-{}", site.0)),
             WorkerConfig {
                 site,
                 addr: addr.clone(),
@@ -414,6 +507,7 @@ impl Cluster {
                 auto_consensus: self.cfg.auto_consensus,
                 use_deletion_log: self.cfg.use_deletion_log,
                 scan_batch: self.cfg.scan_batch,
+                crash_schedule: self.cfg.crash_schedule.clone(),
             },
         )?;
         let metrics = engine.metrics().clone();
@@ -463,7 +557,7 @@ impl Cluster {
             engine,
             site,
             placement: self.placement.clone(),
-            transport: self.transport.clone(),
+            transport: self.transport_as(&format!("site-{}", site.0)),
             down: down.into_iter().filter(|s| *s != site).collect(),
             config,
         };

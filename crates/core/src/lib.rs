@@ -48,9 +48,11 @@
 //! println!("recovered in {:?}", report.total);
 //! ```
 
+pub mod chaos_harness;
 pub mod cluster;
 pub mod recovery;
 
+pub use chaos_harness::{ChaosRunConfig, ChaosRunReport};
 pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, COORDINATOR_SITE};
 pub use recovery::{
     recover_object, recover_site, ObjectReport, RecoveryConfig, RecoveryContext, RecoveryFailPoint,

@@ -29,8 +29,9 @@ use harbor_common::config::{
 };
 use harbor_common::{DbError, DbResult, SiteId, TableId, Timestamp, TransactionId, Tuple};
 use harbor_dist::{
-    rpc, scan_range_rpc_streaming, scan_rpc_streaming, segment_bounds_rpc, Placement,
-    RecoveryObject, RemoteScan, Request, Response, WireReadMode,
+    rpc_deadline, rpc_liveness, scan_range_rpc_streaming, scan_rpc_streaming_deadline,
+    segment_bounds_rpc, with_read_retries, Placement, RecoveryObject, RemoteScan, Request,
+    Response, WireReadMode, DEFAULT_READ_RETRIES, DEFAULT_RETRY_BACKOFF,
 };
 use harbor_engine::Engine;
 use harbor_exec::{scan_rids, ReadMode};
@@ -95,6 +96,12 @@ pub struct RecoveryConfig {
     /// merge into one ranged query until their combined page count reaches
     /// this, so small catch-ups don't pay per-range round trips.
     pub min_range_pages: u64,
+    /// Per-frame liveness deadline on every network interaction with a
+    /// buddy. A buddy that stops producing bytes for this long — including
+    /// a partitioned peer whose socket never closes — is treated as dead
+    /// ([`harbor_common::DbError::SiteUnavailable`]), which triggers the
+    /// same range-reassignment path as a closed connection.
+    pub net_deadline: Duration,
     /// Fault injection (tests only).
     pub fail_point: RecoveryFailPoint,
 }
@@ -111,6 +118,7 @@ impl Default for RecoveryConfig {
             max_buddy_fanout: DEFAULT_MAX_BUDDY_FANOUT,
             max_phase2_ranges: DEFAULT_MAX_PHASE2_RANGES,
             min_range_pages: DEFAULT_MIN_RANGE_PAGES,
+            net_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
             fail_point: RecoveryFailPoint::None,
         }
     }
@@ -215,10 +223,14 @@ impl RecoveryContext {
         self.transport.connect(self.placement.coordinator_addr()?)
     }
 
-    /// Asks the timestamp authority for the current time.
+    /// Asks the timestamp authority for the current time. Idempotent, so a
+    /// transient timeout or dropped connection gets bounded retries.
     fn cluster_now(&self) -> DbResult<Timestamp> {
-        let mut chan = self.connect_coordinator()?;
-        match rpc(chan.as_mut(), &Request::GetTime)? {
+        let reply = with_read_retries(None, DEFAULT_READ_RETRIES, DEFAULT_RETRY_BACKOFF, || {
+            let mut chan = self.connect_coordinator()?;
+            rpc_deadline(chan.as_mut(), &Request::GetTime, self.config.net_deadline)
+        })?;
+        match reply {
             Response::Time { now } => Ok(now),
             other => Err(DbError::protocol(format!("bad GetTime reply {other:?}"))),
         }
@@ -411,7 +423,7 @@ fn phase2_deletions(
         scan.ins_at_or_before = Some(ckpt);
         scan.del_after = Some(ckpt);
         scan.ids_and_deletions_only = true;
-        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+        scan_rpc_streaming_deadline(chan.as_mut(), &scan, ctx.config.net_deadline, |batch| {
             for t in batch {
                 let id = t.get(0).as_i64()?;
                 let del = t.get(1).as_time()?;
@@ -481,7 +493,7 @@ fn phase2_inserts(
         let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
         scan.predicate = obj.predicate.clone();
         scan.ins_after = Some(ckpt);
-        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+        scan_rpc_streaming_deadline(chan.as_mut(), &scan, ctx.config.net_deadline, |batch| {
             for t in &batch {
                 engine.insert_recovered(table, t)?;
             }
@@ -520,7 +532,7 @@ fn fetch_segment_bounds(
     for buddy in fanout_buddies(ctx, obj) {
         let attempt = (|| {
             let mut chan = ctx.connect(buddy)?;
-            segment_bounds_rpc(chan.as_mut(), &obj.table)
+            segment_bounds_rpc(chan.as_mut(), &obj.table, ctx.config.net_deadline)
         })();
         match attempt {
             Ok(bounds) => return Ok(bounds),
@@ -818,7 +830,7 @@ fn phase2_deletions_parallel(
                 scan.del_after = Some(lo);
                 scan.ids_and_deletions_only = true;
                 let mut got: Vec<(i64, Timestamp)> = Vec::new();
-                scan_rpc_streaming(chan, &scan, |batch| {
+                scan_rpc_streaming_deadline(chan, &scan, ctx.config.net_deadline, |batch| {
                     for t in batch {
                         got.push((t.get(0).as_i64()?, t.get(1).as_time()?));
                     }
@@ -887,10 +899,17 @@ fn phase2_inserts_parallel(
                 let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
                 scan.predicate = obj.predicate.clone();
                 let mut buf: Vec<Tuple> = Vec::new();
-                scan_range_rpc_streaming(chan, &scan, lo, hi, |mut batch| {
-                    buf.append(&mut batch);
-                    Ok(())
-                })?;
+                scan_range_rpc_streaming(
+                    chan,
+                    &scan,
+                    lo,
+                    hi,
+                    ctx.config.net_deadline,
+                    |mut batch| {
+                        buf.append(&mut batch);
+                        Ok(())
+                    },
+                )?;
                 let n = buf.len() as u64;
                 Ok((buf, n))
             },
@@ -937,45 +956,59 @@ fn phase3(
         // The plan's primary buddy may have died during Phase 2 (its
         // ranges were reassigned, §5.5); Phase 3 fails over to the same
         // full-copy alternates rather than aborting the whole recovery.
+        // Failover covers the *whole* lock handshake, not just connect():
+        // a freshly crashed buddy may still accept a connection for one
+        // scheduler slice and then sever it, and that disconnect means
+        // "buddy dead", not "recovery failed".
         let mut candidates = vec![obj.buddy];
         candidates.extend(obj.alternates.iter().copied());
         let mut picked: Option<(SiteId, Box<dyn Channel>)> = None;
         let mut last_err: Option<DbError> = None;
-        for buddy in candidates {
-            match ctx.connect(buddy) {
-                Ok(chan) => {
-                    picked = Some((buddy, chan));
-                    break;
+        'candidates: for buddy in candidates {
+            let mut chan = match ctx.connect(buddy) {
+                Ok(chan) => chan,
+                Err(e) if e.is_disconnect() => {
+                    last_err = Some(e);
+                    continue;
                 }
-                Err(e) if e.is_disconnect() => last_err = Some(e),
                 Err(e) => return Err(e),
+            };
+            let deadline = Instant::now() + ctx.config.lock_retry_for;
+            loop {
+                let req = Request::AcquireTableLock {
+                    tid: lock_tid,
+                    table: obj.table.clone(),
+                };
+                match rpc_liveness(chan.as_mut(), &req, ctx.config.net_deadline, None) {
+                    Ok(Response::Ok) => {
+                        picked = Some((buddy, chan));
+                        break 'candidates;
+                    }
+                    Ok(Response::Err { msg }) => {
+                        if Instant::now() >= deadline {
+                            return Err(DbError::LockTimeout {
+                                txn: lock_tid,
+                                what: format!("{} at {buddy} ({msg})", obj.table),
+                            });
+                        }
+                        // Deadlock timeout at the buddy: retry (§5.4.1).
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Ok(other) => {
+                        return Err(DbError::protocol(format!("bad lock reply {other:?}")))
+                    }
+                    Err(e) if e.is_disconnect() => {
+                        last_err = Some(e);
+                        continue 'candidates;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
-        let Some((buddy, mut chan)) = picked else {
+        let Some((buddy, chan)) = picked else {
             return Err(last_err
                 .unwrap_or_else(|| DbError::SiteDown(format!("no live buddy for {}", obj.table))));
         };
-        let deadline = Instant::now() + ctx.config.lock_retry_for;
-        loop {
-            let req = Request::AcquireTableLock {
-                tid: lock_tid,
-                table: obj.table.clone(),
-            };
-            match rpc(chan.as_mut(), &req)? {
-                Response::Ok => break,
-                Response::Err { msg } => {
-                    if Instant::now() >= deadline {
-                        return Err(DbError::LockTimeout {
-                            txn: lock_tid,
-                            what: format!("{} at {buddy} ({msg})", obj.table),
-                        });
-                    }
-                    // Deadlock timeout at the buddy: retry (§5.4.1).
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                other => return Err(DbError::protocol(format!("bad lock reply {other:?}"))),
-            }
-        }
         lock_chans.push((buddy, chan));
     }
     // 2) Missing deletions after the HWM:
@@ -989,7 +1022,7 @@ fn phase3(
         scan.ins_at_or_before = Some(hwm);
         scan.del_after = Some(hwm);
         scan.ids_and_deletions_only = true;
-        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+        scan_rpc_streaming_deadline(chan.as_mut(), &scan, ctx.config.net_deadline, |batch| {
             for t in batch {
                 pairs.insert(t.get(0).as_i64()?, t.get(1).as_time()?);
             }
@@ -1007,7 +1040,7 @@ fn phase3(
         scan.predicate = obj.predicate.clone();
         scan.ins_after = Some(hwm); // uncommitted excluded by the residual
         let mut copied = 0u64;
-        scan_rpc_streaming(chan.as_mut(), &scan, |batch| {
+        scan_rpc_streaming_deadline(chan.as_mut(), &scan, ctx.config.net_deadline, |batch| {
             for t in &batch {
                 engine.insert_recovered(table, t)?;
             }
@@ -1032,12 +1065,14 @@ fn phase3(
     // 4) Join pending transactions (Fig 5-4): announce to the coordinator
     //    and wait for "all done".
     let mut coord = ctx.connect_coordinator()?;
-    match rpc(
+    match rpc_liveness(
         coord.as_mut(),
         &Request::RecComingOnline {
             site: ctx.site,
             table: table_name.to_string(),
         },
+        ctx.config.net_deadline,
+        None,
     )? {
         Response::AllDone => {}
         other => {
@@ -1049,12 +1084,13 @@ fn phase3(
     // 5) RELEASE REMOTELY LOCK — rec is fully online.
     for (i, obj) in plan.iter().enumerate() {
         let chan = &mut lock_chans[i].1;
-        let _ = rpc(
+        let _ = rpc_deadline(
             chan.as_mut(),
             &Request::ReleaseTableLock {
                 tid: lock_tid,
                 table: obj.table.clone(),
             },
+            ctx.config.net_deadline,
         )?;
     }
     Ok(consistent_up_to)

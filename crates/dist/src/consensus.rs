@@ -19,11 +19,24 @@
 //!
 //! Workers disregard duplicate messages, so replaying phases is safe.
 
+use crate::failpoint::CrashPoint;
 use crate::message::{Request, Response};
-use crate::rpc;
 use crate::worker::Worker;
+use crate::{rpc_deadline, rpc_liveness, with_read_retries};
 use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Liveness deadline for consensus-protocol round trips. A partitioned peer
+/// whose socket never closes must not hang resolution forever; past this,
+/// it is treated as dead (§5.5.1 extended to blackholed links).
+const CONSENSUS_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Bounded retries for *transient* timeouts during the election ping and the
+/// idempotent state query. A site must not be declared dead — and its backup
+/// role usurped — on a single slow reply; only a true disconnect or repeated
+/// deadline expiry counts as death.
+const CONSENSUS_RETRIES: u32 = 2;
 
 /// A participant's consensus-relevant state (Fig 4-5 states plus the vote).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,6 +95,7 @@ pub fn resolve(
     let action = backup_action(my_state);
     match action {
         BackupAction::Abort => {
+            maybe_crash_mid_resolution(worker)?;
             broadcast(worker, &ranked, &Request::Abort { tid })?;
         }
         BackupAction::PrepareThenAbort => {
@@ -96,6 +110,7 @@ pub fn resolve(
                     time_bound: Timestamp::ZERO,
                 },
             )?;
+            maybe_crash_mid_resolution(worker)?;
             broadcast(worker, &ranked, &Request::Abort { tid })?;
         }
         BackupAction::PrepareToCommitThenCommit(t) => {
@@ -109,6 +124,7 @@ pub fn resolve(
                     commit_time: t,
                 },
             )?;
+            maybe_crash_mid_resolution(worker)?;
             broadcast(
                 worker,
                 &ranked,
@@ -119,6 +135,7 @@ pub fn resolve(
             )?;
         }
         BackupAction::Commit(t) => {
+            maybe_crash_mid_resolution(worker)?;
             broadcast(
                 worker,
                 &ranked,
@@ -130,6 +147,21 @@ pub fn resolve(
         }
     }
     Ok(true)
+}
+
+/// Probes [`CrashPoint::WorkerDuringConsensusResolve`] between consensus
+/// broadcasts. If this backup coordinator is scheduled to die mid-resolution,
+/// the surviving participants re-run the election; Table 4.1 guarantees the
+/// next-ranked site derives the same outcome from its own state, and workers
+/// disregard duplicate phase messages, so the partial first broadcast is
+/// harmless.
+fn maybe_crash_mid_resolution(worker: &Arc<Worker>) -> DbResult<()> {
+    if worker.fire_crash(CrashPoint::WorkerDuringConsensusResolve) {
+        return Err(DbError::SiteDown(
+            "backup coordinator crashed mid-resolution (fail point)".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Asks the highest-priority live participant (other than this site) for
@@ -150,10 +182,17 @@ pub fn query_backup_state(
         let Some(addr) = worker.peers().get(&site) else {
             continue;
         };
-        let Ok(mut chan) = worker.transport().connect(addr) else {
-            continue;
-        };
-        match rpc(chan.as_mut(), &Request::QueryTxnState { tid }) {
+        // The query is idempotent, so transient timeouts get bounded retries
+        // before the site is skipped as unreachable.
+        let reply = with_read_retries(None, CONSENSUS_RETRIES, Duration::from_millis(10), || {
+            let mut chan = worker.transport().connect(addr)?;
+            rpc_deadline(
+                chan.as_mut(),
+                &Request::QueryTxnState { tid },
+                CONSENSUS_DEADLINE,
+            )
+        });
+        match reply {
             Ok(Response::TxnState { state }) => {
                 use crate::message::WireTxnState as W;
                 return Some(match state {
@@ -175,10 +214,19 @@ fn ping(worker: &Arc<Worker>, site: SiteId) -> bool {
     let Some(addr) = worker.peers().get(&site) else {
         return false;
     };
-    let Ok(mut chan) = worker.transport().connect(addr) else {
-        return false;
-    };
-    matches!(rpc(chan.as_mut(), &Request::Ping), Ok(Response::Ok))
+    // Only a true disconnect or repeated deadline expiry declares the site
+    // dead; a single transient timeout must not usurp its backup role.
+    for attempt in 0..=CONSENSUS_RETRIES {
+        let Ok(mut chan) = worker.transport().connect(addr) else {
+            return false;
+        };
+        match rpc_deadline(chan.as_mut(), &Request::Ping, CONSENSUS_DEADLINE) {
+            Ok(Response::Ok) => return true,
+            Err(DbError::Timeout(_)) if attempt < CONSENSUS_RETRIES => continue,
+            _ => return false,
+        }
+    }
+    false
 }
 
 /// Sends `req` to every participant (including this site, through its own
@@ -193,7 +241,11 @@ fn broadcast(worker: &Arc<Worker>, participants: &[SiteId], req: &Request) -> Db
         let Ok(mut chan) = worker.transport().connect(addr) else {
             continue; // crashed participant
         };
-        match rpc(chan.as_mut(), req) {
+        // Liveness deadline: a partitioned participant whose socket never
+        // closes is treated as died mid-step, not waited on forever. Phase
+        // messages are never retransmitted here — the recovering site learns
+        // the outcome through recovery instead.
+        match rpc_liveness(chan.as_mut(), req, CONSENSUS_DEADLINE, None) {
             Ok(Response::Err { msg }) => {
                 return Err(DbError::protocol(format!(
                     "consensus step rejected by {site}: {msg}"

@@ -3,10 +3,11 @@
 //! replica, runs the chosen commit protocol, and — for HARBOR recovery —
 //! serves the timestamp authority and the join-pending protocol (Fig 5-4).
 
+use crate::failpoint::{CrashPoint, CrashSchedule};
 use crate::message::{RemoteScan, Request, Response, UpdateRequest};
 use crate::placement::Placement;
 use crate::protocol::ProtocolKind;
-use crate::{rpc, scan_rpc};
+use crate::{rpc_liveness, scan_rpc_deadline, with_read_retries, DEFAULT_RETRY_BACKOFF};
 use harbor_common::codec::Wire;
 use harbor_common::time::TimestampAuthority;
 use harbor_common::{
@@ -25,7 +26,11 @@ use std::time::Duration;
 type SharedChan = Arc<Mutex<Box<dyn Channel>>>;
 
 /// Fault-injection points inside the commit protocol (drives the
-/// coordinator-failure scenarios of §4.3.3 / Table 4.1).
+/// coordinator-failure scenarios of §4.3.3 / Table 4.1). Retained as the
+/// coordinator-local arming API; internally each point is an entry in the
+/// cluster-wide [`CrashSchedule`], is consumed exactly once when it fires,
+/// and is cleared when the transaction finishes on *any* path — an armed
+/// point can never leak into a later transaction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FailPoint {
     #[default]
@@ -51,6 +56,16 @@ pub struct CoordinatorConfig {
     pub log_dir: Option<PathBuf>,
     pub group_commit: GroupCommit,
     pub disk: DiskProfile,
+    /// Liveness deadline for one commit-protocol round trip: a participant
+    /// that produces no reply for this long is treated as failed even if
+    /// its socket never closes (partition detection, complementing §5.5.1's
+    /// closed-connection detection).
+    pub rpc_deadline: Duration,
+    /// Bounded retries for idempotent historical reads (never for
+    /// commit-protocol messages).
+    pub read_retries: u32,
+    /// Cluster-wide crash schedule probed by [`FailPoint`]s.
+    pub crash_schedule: Arc<CrashSchedule>,
 }
 
 struct TxnInner {
@@ -84,7 +99,6 @@ pub struct Coordinator {
     /// other objects — Fig 5-4's announcement is per-`rec`, so routing is
     /// gated per (site, table) until every object on the site is back.
     partially_online: Mutex<HashMap<SiteId, std::collections::BTreeSet<String>>>,
-    fail_point: Mutex<FailPoint>,
     shutdown: Arc<AtomicBool>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -129,7 +143,6 @@ impl Coordinator {
             seq: AtomicU64::new(1),
             dead: Mutex::new(BTreeSet::new()),
             partially_online: Mutex::new(HashMap::new()),
-            fail_point: Mutex::new(FailPoint::None),
             shutdown: Arc::new(AtomicBool::new(false)),
             handles: Mutex::new(Vec::new()),
             placement,
@@ -173,9 +186,23 @@ impl Coordinator {
         &self.placement
     }
 
-    /// Arms a fault-injection point for the next commit.
+    /// Arms a fault-injection point for the next commit. Replaces any
+    /// coordinator point already armed; `FailPoint::None` disarms.
     pub fn set_fail_point(&self, fp: FailPoint) {
-        *self.fail_point.lock() = fp;
+        let sched = &self.cfg.crash_schedule;
+        sched.disarm_if(self.cfg.site, |p| p.is_coordinator_point());
+        let point = match fp {
+            FailPoint::None => return,
+            FailPoint::AfterPrepare => CrashPoint::CoordAfterPrepare,
+            FailPoint::AfterPtcSentTo(n) => CrashPoint::CoordAfterPtcSent(n),
+            FailPoint::AfterCommitSentTo(n) => CrashPoint::CoordAfterCommitSent(n),
+        };
+        sched.arm(self.cfg.site, point);
+    }
+
+    /// One commit-protocol round trip under the liveness deadline.
+    fn rpc_live(&self, chan: &mut dyn Channel, req: &Request) -> DbResult<Response> {
+        rpc_liveness(chan, req, self.cfg.rpc_deadline, Some(&self.metrics))
     }
 
     /// Marks a site dead (failure detection normally does this on a
@@ -274,7 +301,7 @@ impl Coordinator {
         }
         let addr = self.placement.address(site)?.to_string();
         let mut chan = self.transport.connect(&addr)?;
-        match rpc(chan.as_mut(), &Request::Begin { tid })? {
+        match self.rpc_live(chan.as_mut(), &Request::Begin { tid })? {
             Response::Ok => {}
             Response::Err { msg } => return Err(DbError::protocol(msg)),
             other => return Err(DbError::protocol(format!("bad BEGIN reply {other:?}"))),
@@ -337,7 +364,7 @@ impl Coordinator {
             };
             let resp = {
                 let mut c = chan.lock();
-                rpc(
+                self.rpc_live(
                     &mut **c,
                     &Request::Update {
                         tid,
@@ -357,7 +384,8 @@ impl Coordinator {
                 }
                 Ok(other) => return Err(DbError::protocol(format!("bad UPDATE reply {other:?}"))),
                 Err(_) => {
-                    // Worker died mid-transaction: abort and mark it dead
+                    // Worker died mid-transaction (closed connection or an
+                    // expired liveness deadline): abort and mark it dead
                     // (Fig 6-7 behaviour). §4.3.5's commit-with-(K-1)-safety
                     // alternative applies only once commit processing has
                     // begun.
@@ -387,14 +415,19 @@ impl Coordinator {
                 continue;
             }
             let addr = self.placement.address(site)?.to_string();
-            let mut chan = match self.transport.connect(&addr) {
-                Ok(c) => c,
-                Err(e) => {
-                    last_err = e;
-                    continue;
-                }
-            };
-            match scan_rpc(chan.as_mut(), &s) {
+            // Historical reads are idempotent, so a transient timeout or a
+            // torn connection earns a bounded retry with backoff before
+            // failing over to the next replica.
+            let result = with_read_retries(
+                Some(&self.metrics),
+                self.cfg.read_retries,
+                DEFAULT_RETRY_BACKOFF,
+                || {
+                    let mut chan = self.transport.connect(&addr)?;
+                    scan_rpc_deadline(chan.as_mut(), &s, self.cfg.rpc_deadline)
+                },
+            );
+            match result {
                 Ok(tuples) => return Ok(tuples),
                 Err(e) => last_err = e,
             }
@@ -424,7 +457,9 @@ impl Coordinator {
         let mut s = RemoteScan::new(table, crate::message::WireReadMode::Current(tid));
         scan(&mut s);
         let mut c = chan.lock();
-        crate::scan_rpc(&mut **c, &s)
+        // Lock-taking read inside a transaction: single attempt (a retry
+        // could double-wait on locks), but still under the liveness deadline.
+        scan_rpc_deadline(&mut **c, &s, self.cfg.rpc_deadline)
     }
 
     /// Commits: runs the configured protocol. Returns the commit time.
@@ -460,13 +495,18 @@ impl Coordinator {
             };
             let resp = {
                 let mut c = chan.lock();
-                rpc(&mut **c, &prepare)
+                self.rpc_live(&mut **c, &prepare)
             };
             match resp {
                 Ok(Response::Vote { yes: true }) => voters_yes.push(*site),
                 Ok(Response::Vote { yes: false }) => all_yes = false,
-                Ok(other) => {
-                    return Err(DbError::protocol(format!("bad vote {other:?}")));
+                Ok(_) => {
+                    // A nonsensical vote means the participant is broken or
+                    // the stream is desynchronized; treat it like a dead
+                    // participant (= NO vote, §4.3.2) rather than leaving
+                    // the transaction half-prepared everywhere else.
+                    self.mark_dead(*site);
+                    all_yes = false;
                 }
                 Err(_) => {
                     // No response = NO vote (§4.3.2).
@@ -475,7 +515,7 @@ impl Coordinator {
                 }
             }
         }
-        self.maybe_fail(FailPoint::AfterPrepare)?;
+        self.maybe_fail(CrashPoint::CoordAfterPrepare)?;
         if !all_yes {
             self.abort_prepared(tid, &voters_yes, &chans)?;
             self.finish(tid, false)?;
@@ -493,21 +533,19 @@ impl Coordinator {
                 };
                 let resp = {
                     let mut c = chan.lock();
-                    rpc(&mut **c, &ptc)
+                    self.rpc_live(&mut **c, &ptc)
                 };
                 sent += 1;
-                let armed = *self.fail_point.lock();
-                if let FailPoint::AfterPtcSentTo(n) = armed {
-                    if sent >= n {
-                        self.maybe_fail(FailPoint::AfterPtcSentTo(n))?;
-                    }
-                }
+                self.maybe_fail_counting(
+                    |p| matches!(p, CrashPoint::CoordAfterPtcSent(n) if sent >= *n),
+                )?;
                 match resp {
                     Ok(Response::Ack) => {}
-                    Ok(other) => return Err(DbError::protocol(format!("bad PTC ack {other:?}"))),
-                    Err(_) => {
-                        // Worker died after voting YES: commit with the
-                        // remaining workers (K-1 safety, §4.3.5).
+                    Ok(_) | Err(_) => {
+                        // No ack (dead or deadline-expired) or a
+                        // protocol-violating ack: commit with the remaining
+                        // workers (K-1 safety, §4.3.5) — it will recover or
+                        // be fenced.
                         self.mark_dead(*site);
                     }
                 }
@@ -531,19 +569,15 @@ impl Coordinator {
             };
             let resp = {
                 let mut c = chan.lock();
-                rpc(&mut **c, &commit)
+                self.rpc_live(&mut **c, &commit)
             };
             sent += 1;
-            let armed = *self.fail_point.lock();
-            if let FailPoint::AfterCommitSentTo(n) = armed {
-                if sent >= n {
-                    self.maybe_fail(FailPoint::AfterCommitSentTo(n))?;
-                }
-            }
+            self.maybe_fail_counting(
+                |p| matches!(p, CrashPoint::CoordAfterCommitSent(n) if sent >= *n),
+            )?;
             match resp {
                 Ok(Response::Ack) => {}
-                Ok(other) => return Err(DbError::protocol(format!("bad COMMIT ack {other:?}"))),
-                Err(_) => {
+                Ok(_) | Err(_) => {
                     self.mark_dead(*site); // it will recover the commit
                 }
             }
@@ -596,7 +630,7 @@ impl Coordinator {
             };
             let resp = {
                 let mut c = chan.lock();
-                rpc(&mut **c, &abort)
+                self.rpc_live(&mut **c, &abort)
             };
             if resp.is_err() {
                 self.mark_dead(*site);
@@ -615,7 +649,11 @@ impl Coordinator {
     }
 
     /// Cleans up a finished transaction ("the coordinator can safely delete
-    /// this queue when the transaction commits or aborts", §4.1).
+    /// this queue when the transaction commits or aborts", §4.1). Also
+    /// disarms any still-armed coordinator fail point: a point armed for a
+    /// transaction that never reached it (e.g. `AfterPtcSentTo` on a
+    /// transaction that aborted at PREPARE) must not survive to fire in a
+    /// later, unrelated commit.
     fn finish(&self, tid: TransactionId, _committed: bool) -> DbResult<()> {
         if let Some(ctx) = self.txns.lock().remove(&tid) {
             let mut g = ctx.inner.lock();
@@ -623,12 +661,29 @@ impl Coordinator {
             g.queue.clear();
             g.chans.clear();
         }
+        self.cfg
+            .crash_schedule
+            .disarm_if(self.cfg.site, |p| p.is_coordinator_point());
         Ok(())
     }
 
-    fn maybe_fail(&self, at: FailPoint) -> DbResult<()> {
-        let armed = *self.fail_point.lock();
-        if armed == at && armed != FailPoint::None {
+    fn maybe_fail(&self, at: CrashPoint) -> DbResult<()> {
+        if self.cfg.crash_schedule.fire(self.cfg.site, at) {
+            self.crash();
+            return Err(DbError::SiteDown("coordinator crashed (fail point)".into()));
+        }
+        Ok(())
+    }
+
+    /// Fires a counting point (`AfterPtcSentTo(n)` / `AfterCommitSentTo(n)`)
+    /// once the caller's predicate says the threshold is reached.
+    fn maybe_fail_counting(&self, pred: impl Fn(&CrashPoint) -> bool) -> DbResult<()> {
+        if self
+            .cfg
+            .crash_schedule
+            .take_if(self.cfg.site, pred)
+            .is_some()
+        {
             self.crash();
             return Err(DbError::SiteDown("coordinator crashed (fail point)".into()));
         }
@@ -746,7 +801,11 @@ impl Coordinator {
             let forwarded: DbResult<_> = (|| {
                 let addr = self.placement.address(site)?.to_string();
                 let mut chan = self.transport.connect(&addr)?;
-                rpc_expect_ok(chan.as_mut(), &Request::Begin { tid })?;
+                rpc_expect_ok(
+                    chan.as_mut(),
+                    &Request::Begin { tid },
+                    self.cfg.rpc_deadline,
+                )?;
                 for u in &g.queue {
                     let forward = match u.table() {
                         Some(t) if t == table => true,
@@ -760,6 +819,7 @@ impl Coordinator {
                                 tid,
                                 req: u.clone(),
                             },
+                            self.cfg.rpc_deadline,
                         )?;
                     }
                 }
@@ -786,8 +846,8 @@ impl Coordinator {
     }
 }
 
-fn rpc_expect_ok(chan: &mut dyn Channel, req: &Request) -> DbResult<()> {
-    match rpc(chan, req)? {
+fn rpc_expect_ok(chan: &mut dyn Channel, req: &Request, deadline: Duration) -> DbResult<()> {
+    match rpc_liveness(chan, req, deadline, None)? {
         Response::Ok => Ok(()),
         Response::Err { msg } => Err(DbError::protocol(msg)),
         other => Err(DbError::protocol(format!("unexpected reply {other:?}"))),

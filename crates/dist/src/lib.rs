@@ -6,6 +6,7 @@
 
 pub mod consensus;
 pub mod coordinator;
+pub mod failpoint;
 pub mod message;
 pub mod placement;
 pub mod protocol;
@@ -13,30 +14,119 @@ pub mod worker;
 
 pub use consensus::{backup_action, BackupAction, BackupState};
 pub use coordinator::{Coordinator, CoordinatorConfig, FailPoint};
+pub use failpoint::{CrashPoint, CrashSchedule};
 pub use message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
 pub use placement::{Copy, Part, Placement, RecoveryObject, TablePlacement};
 pub use protocol::ProtocolKind;
 pub use worker::{simulate_cpu_work, Worker, WorkerConfig};
 
-pub use harbor_common::config::DEFAULT_SCAN_BATCH;
+pub use harbor_common::config::{
+    DEFAULT_READ_RETRIES, DEFAULT_RETRY_BACKOFF, DEFAULT_RPC_DEADLINE, DEFAULT_SCAN_BATCH,
+};
 
 use harbor_common::codec::Wire;
-use harbor_common::{DbError, DbResult, Timestamp, Tuple};
+use harbor_common::{DbError, DbResult, Metrics, Timestamp, Tuple};
 use harbor_net::Channel;
+use std::time::Duration;
 
-/// One request/response round trip over a channel.
+/// One request/response round trip over a channel, blocking indefinitely for
+/// the reply. Prefer [`rpc_deadline`] anywhere a partitioned peer is
+/// possible: a blackholed link never closes this channel, so a blocking recv
+/// would hang forever.
 pub fn rpc(chan: &mut dyn Channel, req: &Request) -> DbResult<Response> {
     chan.send(&req.to_vec())?;
     let frame = chan.recv()?;
     Response::from_slice(&frame)
 }
 
+/// One round trip with a per-request deadline. Expiry returns the *transient*
+/// [`DbError::Timeout`] — the peer is not presumed dead; callers choose
+/// whether to retry (idempotent reads), fail the operation, or escalate.
+pub fn rpc_deadline(
+    chan: &mut dyn Channel,
+    req: &Request,
+    deadline: Duration,
+) -> DbResult<Response> {
+    chan.send(&req.to_vec())?;
+    match chan.recv_timeout(deadline)? {
+        Some(frame) => Response::from_slice(&frame),
+        None => Err(DbError::timeout(format!(
+            "{}: no reply within {:?}",
+            chan.peer(),
+            deadline
+        ))),
+    }
+}
+
+/// One round trip where `deadline` is a *liveness* deadline: expiry means
+/// the peer is treated as failed ([`DbError::SiteUnavailable`], classified
+/// as a disconnect) even though its socket never closed — how a partitioned
+/// participant is detected when closed-connection detection (§5.5.1) cannot
+/// fire. Used by the commit protocols, which never retransmit.
+pub fn rpc_liveness(
+    chan: &mut dyn Channel,
+    req: &Request,
+    deadline: Duration,
+    metrics: Option<&Metrics>,
+) -> DbResult<Response> {
+    match rpc_deadline(chan, req, deadline) {
+        Err(DbError::Timeout(m)) => {
+            if let Some(m) = metrics {
+                m.add_rpc_timeouts(1);
+            }
+            Err(DbError::unavailable(format!("liveness deadline: {m}")))
+        }
+        other => other,
+    }
+}
+
+/// Runs `attempt` with up to `retries` bounded retries (exponential backoff
+/// starting at `backoff`) after transient timeouts or disconnects. Only for
+/// *idempotent* operations — historical reads, clock reads, connection
+/// establishment. Commit-protocol messages must never pass through here: a
+/// retransmitted PREPARE/COMMIT could double-apply its effects.
+pub fn with_read_retries<T>(
+    metrics: Option<&Metrics>,
+    retries: u32,
+    backoff: Duration,
+    mut attempt: impl FnMut() -> DbResult<T>,
+) -> DbResult<T> {
+    let mut wait = backoff;
+    let mut tried = 0;
+    loop {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) if tried < retries && (e.is_timeout() || e.is_disconnect()) => {
+                if let Some(m) = metrics {
+                    if e.is_timeout() {
+                        m.add_rpc_timeouts(1);
+                    }
+                    m.add_rpc_retries(1);
+                }
+                tried += 1;
+                std::thread::sleep(wait);
+                wait = wait.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Issues a [`Request::Scan`] and drains the streamed tuple batches,
 /// returning all rows. The worker terminates the stream with a final
 /// `done = true` batch followed by `Response::Ok`.
 pub fn scan_rpc(chan: &mut dyn Channel, scan: &RemoteScan) -> DbResult<Vec<Tuple>> {
+    scan_rpc_deadline(chan, scan, DEFAULT_RPC_DEADLINE)
+}
+
+/// As [`scan_rpc`] with an explicit per-frame liveness deadline.
+pub fn scan_rpc_deadline(
+    chan: &mut dyn Channel,
+    scan: &RemoteScan,
+    deadline: Duration,
+) -> DbResult<Vec<Tuple>> {
     let mut out = Vec::new();
-    scan_rpc_streaming(chan, scan, |mut batch| {
+    scan_rpc_streaming_deadline(chan, scan, deadline, |mut batch| {
         out.append(&mut batch);
         Ok(())
     })?;
@@ -50,7 +140,17 @@ pub fn scan_rpc_streaming(
     scan: &RemoteScan,
     visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
 ) -> DbResult<()> {
-    drain_scan_stream(chan, &Request::Scan(scan.clone()), visit)
+    scan_rpc_streaming_deadline(chan, scan, DEFAULT_RPC_DEADLINE, visit)
+}
+
+/// As [`scan_rpc_streaming`] with an explicit per-frame liveness deadline.
+pub fn scan_rpc_streaming_deadline(
+    chan: &mut dyn Channel,
+    scan: &RemoteScan,
+    deadline: Duration,
+    visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
+) -> DbResult<()> {
+    drain_scan_stream(chan, &Request::Scan(scan.clone()), deadline, visit)
 }
 
 /// As [`scan_rpc_streaming`] but issues a [`Request::ScanRange`]: the scan
@@ -60,6 +160,7 @@ pub fn scan_range_rpc_streaming(
     scan: &RemoteScan,
     ins_lo: Timestamp,
     ins_hi: Timestamp,
+    deadline: Duration,
     visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
 ) -> DbResult<()> {
     let req = Request::ScanRange {
@@ -67,7 +168,7 @@ pub fn scan_range_rpc_streaming(
         ins_lo,
         ins_hi,
     };
-    drain_scan_stream(chan, &req, visit)
+    drain_scan_stream(chan, &req, deadline, visit)
 }
 
 /// Fetches a buddy's per-segment `(tmin_insert, tmax_insert, tmax_delete)`
@@ -75,11 +176,12 @@ pub fn scan_range_rpc_streaming(
 pub fn segment_bounds_rpc(
     chan: &mut dyn Channel,
     table: &str,
+    deadline: Duration,
 ) -> DbResult<Vec<(Timestamp, Timestamp, Timestamp, u64)>> {
     let req = Request::SegmentBounds {
         table: table.to_string(),
     };
-    match rpc(chan, &req)? {
+    match rpc_liveness(chan, &req, deadline, None)? {
         Response::SegmentBounds { segments } => Ok(segments),
         Response::Err { msg } => Err(DbError::protocol(msg)),
         other => Err(DbError::protocol(format!(
@@ -88,14 +190,30 @@ pub fn segment_bounds_rpc(
     }
 }
 
+/// Drains one scan stream. `deadline` is a per-frame *liveness* deadline: a
+/// buddy that stops producing bytes for that long — the partitioned-peer
+/// case whose socket never closes — surfaces as [`DbError::SiteUnavailable`]
+/// (a disconnect), so Phase-2 range reassignment treats it exactly like a
+/// buddy death instead of hanging recovery forever.
 fn drain_scan_stream(
     chan: &mut dyn Channel,
     req: &Request,
+    deadline: Duration,
     mut visit: impl FnMut(Vec<Tuple>) -> DbResult<()>,
 ) -> DbResult<()> {
+    let recv_frame = |chan: &mut dyn Channel| -> DbResult<Vec<u8>> {
+        match chan.recv_timeout(deadline)? {
+            Some(frame) => Ok(frame),
+            None => Err(DbError::unavailable(format!(
+                "{}: scan stream stalled for {:?} (liveness deadline)",
+                chan.peer(),
+                deadline
+            ))),
+        }
+    };
     chan.send(&req.to_vec())?;
     loop {
-        let frame = chan.recv()?;
+        let frame = recv_frame(chan)?;
         match Response::from_slice(&frame)? {
             Response::Tuples { batch, done } => {
                 visit(batch)?;
@@ -112,7 +230,7 @@ fn drain_scan_stream(
         }
     }
     // Final status frame.
-    let frame = chan.recv()?;
+    let frame = recv_frame(chan)?;
     match Response::from_slice(&frame)? {
         Response::Ok => Ok(()),
         Response::Err { msg } => Err(DbError::protocol(msg)),

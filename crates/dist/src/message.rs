@@ -58,8 +58,24 @@ fn put_values(enc: &mut Encoder, values: &[Value]) {
     }
 }
 
+/// Validates a wire-declared element count before allocating for it: every
+/// element encodes to at least one byte, so a count beyond the bytes still
+/// in the buffer is provably corrupt. Without this check a mutated length
+/// prefix (u32::MAX) would make `Vec::with_capacity` allocate gigabytes
+/// before the first element decode ever fails.
+fn checked_count(dec: &Decoder<'_>, n: usize) -> DbResult<usize> {
+    if n > dec.remaining() {
+        return Err(DbError::corrupt(format!(
+            "wire count {n} exceeds {} remaining bytes",
+            dec.remaining()
+        )));
+    }
+    Ok(n)
+}
+
 fn get_values(dec: &mut Decoder<'_>) -> DbResult<Vec<Value>> {
     let n = dec.get_u32()? as usize;
+    let n = checked_count(dec, n)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(Value::decode(dec)?);
@@ -77,6 +93,7 @@ fn put_set(enc: &mut Encoder, set: &[(u16, Value)]) {
 
 fn get_set(dec: &mut Decoder<'_>) -> DbResult<Vec<(u16, Value)>> {
     let n = dec.get_u32()? as usize;
+    let n = checked_count(dec, n)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let i = dec.get_u16()?;
@@ -134,6 +151,7 @@ impl Wire for UpdateRequest {
             1 => {
                 let table = dec.get_str()?;
                 let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
                 let mut rows = Vec::with_capacity(n);
                 for _ in 0..n {
                     rows.push(get_values(dec)?);
@@ -503,6 +521,7 @@ impl Wire for Request {
             2 => {
                 let tid = TransactionId(dec.get_u64()?);
                 let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
                 let mut workers = Vec::with_capacity(n);
                 for _ in 0..n {
                     workers.push(SiteId(dec.get_u16()?));
@@ -637,6 +656,7 @@ impl Wire for Response {
             5 => {
                 let done = dec.get_bool()?;
                 let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
                 let mut batch = Vec::with_capacity(n);
                 for _ in 0..n {
                     batch.push(Tuple::read_wire(dec)?);
@@ -649,6 +669,7 @@ impl Wire for Response {
             },
             8 => {
                 let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
                 let mut segments = Vec::with_capacity(n);
                 for _ in 0..n {
                     segments.push((

@@ -3,6 +3,7 @@
 //! requests against its local [`Engine`] (thesis §4.1, §6.1.6).
 
 use crate::consensus::{self, BackupState};
+use crate::failpoint::{CrashPoint, CrashSchedule};
 use crate::message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
 use crate::protocol::ProtocolKind;
 use harbor_common::codec::Wire;
@@ -51,6 +52,10 @@ pub struct WorkerConfig {
     pub use_deletion_log: bool,
     /// Rows per streamed scan batch (ablation 5 sweeps this).
     pub scan_batch: usize,
+    /// Cluster-wide crash schedule; the worker probes it at the protocol
+    /// steps of [`CrashPoint`] (PREPARE vote, PTC ack, recovery scans,
+    /// consensus resolution).
+    pub crash_schedule: Arc<CrashSchedule>,
 }
 
 /// A running worker site.
@@ -60,6 +65,9 @@ pub struct Worker {
     transport: Arc<dyn Transport>,
     dist_txns: Arc<Mutex<HashMap<TransactionId, DistTxn>>>,
     shutdown: Arc<AtomicBool>,
+    /// Set by [`CrashPoint::WorkerAfterPtcAck`]: crash as soon as the reply
+    /// currently being produced is on the wire.
+    crash_after_reply: AtomicBool,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -89,6 +97,7 @@ impl Worker {
             transport,
             dist_txns: Arc::new(Mutex::new(HashMap::new())),
             shutdown: Arc::new(AtomicBool::new(false)),
+            crash_after_reply: AtomicBool::new(false),
             handles: Mutex::new(Vec::new()),
         });
         {
@@ -143,6 +152,33 @@ impl Worker {
         self.crash();
     }
 
+    /// Begins a fail-stop crash *from inside a serving thread* (a fired
+    /// [`CrashPoint`]): only flips the shutdown flag — the acceptor,
+    /// checkpointer and connection threads all observe it within their next
+    /// poll slice and exit, and the listener unbinds. A thread cannot join
+    /// itself, so the final [`crash`](Self::crash) join is left to the
+    /// harness once [`is_shutdown`](Self::is_shutdown) reports true.
+    pub fn initiate_crash(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once the worker has crashed or begun crashing.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Probes the cluster crash schedule for `point`; on a hit, starts the
+    /// fail-stop crash and reports `true` so the caller can vanish without
+    /// replying.
+    pub(crate) fn fire_crash(&self, point: CrashPoint) -> bool {
+        if self.cfg.crash_schedule.fire(self.cfg.site, point) {
+            self.initiate_crash();
+            true
+        } else {
+            false
+        }
+    }
+
     fn accept_loop(self: &Arc<Self>, listener: Box<dyn harbor_net::Listener>) {
         while !self.shutdown.load(Ordering::SeqCst) {
             match listener.accept_timeout(Duration::from_millis(50)) {
@@ -193,6 +229,13 @@ impl Worker {
                     return;
                 }
             };
+            if self.shutdown.load(Ordering::SeqCst) {
+                // A crash point fired elsewhere in the worker: a crashed
+                // site serves nothing, even requests already in flight —
+                // otherwise a half-dead site could still grant locks or
+                // votes after its fail-stop began.
+                return;
+            }
             let req = match Request::from_slice(&frame) {
                 Ok(r) => r,
                 Err(e) => {
@@ -228,12 +271,26 @@ impl Worker {
                 Request::Scan(_) | Request::ScanRange { .. } => {
                     // Streaming: handle() sends the batches itself.
                     let resp = self.handle(&req, &mut chan);
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return; // crashed mid-stream: the status frame is never sent
+                    }
                     let _ = chan.send(&resp.to_vec());
                 }
                 _ => {
                     let resp = self.handle(&req, &mut chan);
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        // A crash point fired while handling (e.g. during
+                        // the PREPARE vote): a crashed site sends nothing.
+                        return;
+                    }
                     if chan.send(&resp.to_vec()).is_err() {
                         self.on_disconnect(&conn_txns, &conn_locks);
+                        return;
+                    }
+                    if self.crash_after_reply.swap(false, Ordering::SeqCst) {
+                        // WorkerAfterPtcAck: the ack is on the wire; die in
+                        // the prepared-to-commit state (Table 4.1).
+                        self.initiate_crash();
                         return;
                     }
                 }
@@ -276,6 +333,23 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// Transactions this worker holds commit-protocol state for with no
+    /// decided outcome — the set a backup-coordinator consensus round would
+    /// have to terminate if the coordinator were lost (§4.3.3). A worker in
+    /// this state may hold an *acknowledged* transaction as merely
+    /// prepared-to-commit (its COMMIT frame was lost), so it must not serve
+    /// as a recovery buddy until these are resolved.
+    pub fn unresolved_dist_txns(&self) -> Vec<TransactionId> {
+        let dist = self.dist_txns.lock();
+        let mut out: Vec<TransactionId> = dist
+            .iter()
+            .filter(|(_, i)| i.outcome.is_none())
+            .map(|(tid, _)| *tid)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// This worker's consensus-relevant state for `tid` (Fig 4-5).
@@ -410,6 +484,11 @@ impl Worker {
                 workers,
                 time_bound,
             } => {
+                if self.fire_crash(CrashPoint::WorkerDuringPrepareVote) {
+                    // Crash while producing the vote: the coordinator sees a
+                    // dead participant, not a vote (§4.3.2 treats that as NO).
+                    return Err(DbError::SiteDown("worker crashed (fail point)".into()));
+                }
                 // A vote request for an unknown transaction gets NO
                 // (§4.3.2: worker crashed and recovered in between).
                 if self.engine.txn_status(*tid).is_none() {
@@ -461,6 +540,16 @@ impl Worker {
                     self.cfg.protocol.worker_ptc_logging(),
                 )?;
                 self.dist_txns.lock().entry(*tid).or_default().ptc_time = Some(*commit_time);
+                if self
+                    .cfg
+                    .crash_schedule
+                    .fire(self.cfg.site, CrashPoint::WorkerAfterPtcAck)
+                {
+                    // The point is "after the ack is on the wire", so don't
+                    // flip the shutdown flag yet (that would suppress the
+                    // ack): the serving loop crashes right after the send.
+                    self.crash_after_reply.store(true, Ordering::SeqCst);
+                }
                 Ok(Response::Ack)
             }
             Request::Commit { tid, commit_time } => {
@@ -705,12 +794,31 @@ impl Worker {
                 let framed = resp.to_framed_vec();
                 shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
                 chan.send_framed(&framed)?;
+                self.maybe_crash_serving_scan(scan)?;
                 if done {
                     break;
                 }
             }
         }
         op.close();
+        Ok(())
+    }
+
+    /// Probes the buddy-death crash points while serving a recovery scan:
+    /// Phase-2 historical catch-up scans and Phase-3 locked scans die
+    /// *mid-stream*, after at least one batch is on the wire, so the
+    /// recovering side must detect the severed stream and reassign (§5.5).
+    fn maybe_crash_serving_scan(&self, scan: &RemoteScan) -> DbResult<()> {
+        let point = match scan.mode {
+            WireReadMode::SeeDeletedHistorical(_) => CrashPoint::WorkerServingPhase2Scan,
+            WireReadMode::SeeDeletedLocked(_) => CrashPoint::WorkerServingPhase3Scan,
+            _ => return Ok(()),
+        };
+        if self.fire_crash(point) {
+            return Err(DbError::SiteDown(
+                "worker crashed serving recovery scan (fail point)".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -777,6 +885,7 @@ impl Worker {
                 .to_framed_vec();
                 shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
                 chan.send_framed(&framed)?;
+                self.maybe_crash_serving_scan(scan)?;
             }
         }
         shipped.add_recovery_tuples_shipped(batch.len() as u64);

@@ -1,0 +1,188 @@
+//! Adversarial property tests for the wire codec: any mutation of a valid
+//! frame — truncation, byte corruption, or an inflated length prefix — must
+//! decode to `Err`, never panic, and never allocate unboundedly. A chaos
+//! transport (or a hostile peer) can hand the decoder arbitrary bytes; the
+//! RPC layer relies on every such frame failing *cleanly*.
+
+use harbor_common::codec::Wire;
+use harbor_common::{SiteId, Timestamp, TransactionId, Tuple, Value};
+use harbor_dist::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
+use proptest::prelude::*;
+
+fn sample_requests() -> Vec<Request> {
+    let tid = TransactionId(0x0001_0000_0000_002a);
+    let mut scan = RemoteScan::new("sales", WireReadMode::SeeDeletedHistorical(Timestamp(90)));
+    scan.ins_after = Some(Timestamp(10));
+    scan.del_after = Some(Timestamp(10));
+    scan.ids_and_deletions_only = true;
+    vec![
+        Request::Begin { tid },
+        Request::Update {
+            tid,
+            req: UpdateRequest::Insert {
+                table: "sales".into(),
+                values: vec![Value::Int64(7), Value::Int32(1), Value::Str("x".into())],
+            },
+        },
+        Request::Update {
+            tid,
+            req: UpdateRequest::InsertMany {
+                table: "sales".into(),
+                rows: vec![
+                    vec![Value::Int64(1), Value::Int32(2)],
+                    vec![Value::Int64(3), Value::Int32(4)],
+                ],
+            },
+        },
+        Request::Prepare {
+            tid,
+            workers: vec![SiteId(1), SiteId(2), SiteId(3)],
+            time_bound: Timestamp(41),
+        },
+        Request::PrepareToCommit {
+            tid,
+            commit_time: Timestamp(42),
+        },
+        Request::Commit {
+            tid,
+            commit_time: Timestamp(42),
+        },
+        Request::Scan(scan.clone()),
+        Request::ScanRange {
+            scan,
+            ins_lo: Timestamp(5),
+            ins_hi: Timestamp(90),
+        },
+        Request::RecComingOnline {
+            site: SiteId(2),
+            table: "sales".into(),
+        },
+        Request::SegmentBounds {
+            table: "sales".into(),
+        },
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::Ok,
+        Response::Vote { yes: true },
+        Response::Time { now: Timestamp(99) },
+        Response::TxnState {
+            state: WireTxnState::PreparedToCommit(Timestamp(17)),
+        },
+        Response::Tuples {
+            batch: vec![
+                Tuple::versioned(
+                    Timestamp(3),
+                    Timestamp::ZERO,
+                    vec![Value::Int64(1), Value::Int32(5)],
+                ),
+                Tuple::versioned(
+                    Timestamp(4),
+                    Timestamp(9),
+                    vec![Value::Int64(2), Value::Int32(6)],
+                ),
+            ],
+            done: false,
+        },
+        Response::Err { msg: "nope".into() },
+        Response::SegmentBounds {
+            segments: vec![(Timestamp(1), Timestamp(8), Timestamp(6), 128)],
+        },
+    ]
+}
+
+/// Decoding must be total: `Ok` (the mutation happened to stay decodable)
+/// or `Err`, but never a panic. Run under `cargo test`; a panic aborts the
+/// test with the failing byte vector printed by proptest.
+fn decode_is_total(bytes: &[u8], as_request: bool) {
+    if as_request {
+        let _ = Request::from_slice(bytes);
+    } else {
+        let _ = Response::from_slice(bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn truncated_frames_never_panic(
+        idx in 0usize..32,
+        keep_pct in 0u32..100,
+        as_request in any::<bool>(),
+    ) {
+        let samples = if as_request {
+            sample_requests().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        } else {
+            sample_responses().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        };
+        let bytes = &samples[idx % samples.len()];
+        let keep = (bytes.len() as u64 * keep_pct as u64 / 100) as usize;
+        decode_is_total(&bytes[..keep], as_request);
+    }
+
+    #[test]
+    fn corrupted_frames_never_panic(
+        idx in 0usize..32,
+        pos in 0usize..4096,
+        mask in 1u8..=255,
+        as_request in any::<bool>(),
+    ) {
+        let samples = if as_request {
+            sample_requests().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        } else {
+            sample_responses().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        };
+        let mut bytes = samples[idx % samples.len()].clone();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        decode_is_total(&bytes, as_request);
+    }
+
+    #[test]
+    fn inflated_length_prefixes_never_panic_or_overallocate(
+        idx in 0usize..32,
+        pos in 0usize..4096,
+        as_request in any::<bool>(),
+    ) {
+        let samples = if as_request {
+            sample_requests().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        } else {
+            sample_responses().iter().map(|r| r.to_vec()).collect::<Vec<_>>()
+        };
+        let mut bytes = samples[idx % samples.len()].clone();
+        // Stamp 0xFFFFFFFF over four bytes anywhere: wherever it lands on a
+        // length/count prefix, the decoder sees a ~4-billion-element claim
+        // backed by a few dozen bytes. `checked_count` (and the bounded
+        // byte-reads) must reject it before allocating for it — if this
+        // over-allocated instead, the test would die on OOM, not an assert.
+        let pos = pos % bytes.len();
+        for i in pos..(pos + 4).min(bytes.len()) {
+            bytes[i] = 0xff;
+        }
+        decode_is_total(&bytes, as_request);
+    }
+}
+
+/// Deterministic regression for the count guard itself: a `Prepare` frame
+/// whose worker-count field is patched to `u32::MAX` must fail with the
+/// corrupt-count error, not allocate a 16 GiB `Vec<SiteId>`.
+#[test]
+fn huge_worker_count_is_rejected_up_front() {
+    let frame = Request::Prepare {
+        tid: TransactionId(1),
+        workers: vec![SiteId(1), SiteId(2)],
+        time_bound: Timestamp(0),
+    }
+    .to_vec();
+    // Layout: tag u8 | tid u64 | count u32 | ...
+    let mut mutated = frame.clone();
+    mutated[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = Request::from_slice(&mutated).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("exceeds"), "unexpected error: {msg}");
+    // The original still round-trips.
+    assert!(Request::from_slice(&frame).is_ok());
+}

@@ -54,6 +54,7 @@ fn build(name: &str) -> Fixture {
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+            crash_schedule: Default::default(),
         },
     )
     .unwrap();
@@ -279,6 +280,7 @@ fn disk_backed_worker_survives_restart_of_its_server() {
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+            crash_schedule: Default::default(),
         },
     )
     .unwrap();
@@ -326,6 +328,7 @@ fn deletion_log_fast_path_matches_segment_scan() {
                     auto_consensus: false,
                     use_deletion_log: false,
                     scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+                    crash_schedule: Default::default(),
                 },
             )
             .unwrap();

@@ -15,9 +15,11 @@
 //! closed peer as [`DbError::Net`], and [`DbError::is_disconnect`] is true
 //! for it.
 
+pub mod chaos;
 pub mod inmem;
 pub mod tcp;
 
+pub use chaos::{ChaosConfig, ChaosTransport, FaultKind, FaultRecord};
 pub use inmem::InMemNetwork;
 pub use tcp::TcpTransport;
 

@@ -97,6 +97,7 @@ fn build() -> Fixture {
                 auto_consensus: false,
                 use_deletion_log: true,
                 scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+                crash_schedule: Default::default(),
             },
         )
         .unwrap();
@@ -111,6 +112,9 @@ fn build() -> Fixture {
             log_dir: None,
             group_commit: GroupCommit::enabled(),
             disk: harbor_common::DiskProfile::fast(),
+            rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
+            read_retries: harbor_dist::DEFAULT_READ_RETRIES,
+            crash_schedule: Default::default(),
         },
         placement.clone(),
         transport.clone(),
@@ -176,6 +180,7 @@ fn recover(f: &mut Fixture, site: SiteId) {
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
+            crash_schedule: Default::default(),
         },
     )
     .unwrap();
