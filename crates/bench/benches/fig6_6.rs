@@ -13,7 +13,7 @@
 
 use harbor_bench::{
     print_table, recovery_storage, rows_per_segment, run_historical_updates, run_insert_txns,
-    run_recovery_scenario, RecoveryScenario, Scale,
+    run_recovery_scenario, BenchReport, RecoveryScenario, Scale,
 };
 
 fn main() {
@@ -29,6 +29,13 @@ fn main() {
     let prefill_rows = rps * prefill_segments;
     println!("Figure 6-6: decomposition of HARBOR recovery time by phase (ms)");
     println!("(scale={scale:?}, {total_txns} txns, single table)");
+    let mut baseline = BenchReport::new("recovery");
+    baseline
+        .config("scale", format!("{scale:?}"))
+        .config("total_txns", total_txns)
+        .config("updates_per_segment", updates_per_segment)
+        .config("prefill_rows", prefill_rows)
+        .config("seg_counts", format!("{seg_counts:?}"));
     let mut rows = Vec::new();
     for &segs in &seg_counts {
         let run = run_recovery_scenario(
@@ -45,6 +52,11 @@ fn main() {
         )
         .expect("scenario");
         let report = run.report.expect("harbor report");
+        baseline.entry(
+            &format!("harbor_1table_recovery_segs{segs}"),
+            run.elapsed.as_nanos(),
+            report.tuples_copied() as u64,
+        );
         let ms = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e3);
         rows.push(vec![
             segs.to_string(),
@@ -86,7 +98,7 @@ fn main() {
         },
     )
     .expect("parallel scenario");
-    let report = run.report.expect("harbor report");
+    let report = run.report.as_ref().expect("harbor report");
     let mut range_rows = Vec::new();
     for obj in &report.objects {
         for rt in &obj.range_timings {
@@ -118,7 +130,7 @@ fn main() {
         ],
         &range_rows,
     );
-    if let Some(m) = run.metrics {
+    if let Some(m) = &run.metrics {
         let secs = run.elapsed.as_secs_f64().max(1e-9);
         println!(
             "recovery throughput: {} tuples shipped ({:.0}/s), {:.2} MiB shipped \
@@ -131,4 +143,21 @@ fn main() {
             m.recovery_tuples_applied as f64 / secs,
         );
     }
+    println!("\nread hot path at quiesce (per site, per shard h/m/e/resident):");
+    for line in &run.read_path {
+        println!("  {line}");
+    }
+    baseline.entry(
+        &format!("harbor_parallel_segments_recovery_segs{segs}"),
+        run.elapsed.as_nanos(),
+        report.tuples_copied() as u64,
+    );
+    if let Some(m) = &run.metrics {
+        baseline.entry(
+            "parallel_recovery_tuples_shipped",
+            run.elapsed.as_nanos(),
+            m.recovery_tuples_shipped,
+        );
+    }
+    baseline.write().expect("write BENCH_recovery.json");
 }

@@ -1,0 +1,165 @@
+//! Standalone read-hot-path measurement: seq scan, recovery range scan, and
+//! wire-shipping encode over one hot (fully resident) table.
+//!
+//! Run before/after read-path changes to capture throughput deltas:
+//! `cargo run --release -p harbor-bench --example scan_baseline [rows]`
+
+use std::time::Instant;
+
+use harbor_common::codec::Encoder;
+use harbor_common::tuple::{raw_version_timestamps, transcode_fixed_to_wire};
+use harbor_common::{FieldType, SiteId, StorageConfig, Timestamp, Tuple, Value};
+use harbor_dist::message::TuplesFrameBuilder;
+use harbor_engine::{Engine, EngineOptions};
+use harbor_exec::{collect, ReadMode, SeqScan};
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench(name: &str, rows: usize, iters: usize, mut f: impl FnMut() -> usize) {
+    // Warm-up pass populates the buffer pool and the branch predictors.
+    let got = f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let n = f();
+        samples.push(start.elapsed().as_nanos());
+        assert_eq!(n, got, "{name}: unstable result cardinality");
+    }
+    let med = median_ns(samples);
+    let per_row = med as f64 / rows as f64;
+    let mrows = rows as f64 / (med as f64 / 1e9) / 1e6;
+    println!(
+        "{name:<28} rows={got:<7} median={med:>12} ns  {per_row:>8.1} ns/row  {mrows:>8.2} Mrows/s"
+    );
+}
+
+fn main() {
+    let rows: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let iters = 9;
+
+    let dir = std::env::temp_dir().join(format!("harbor-scan-baseline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Pool large enough that the whole table stays hot.
+    let storage = StorageConfig {
+        buffer_pool_pages: 4096,
+        ..StorageConfig::for_tests()
+    };
+    let e = Engine::open(&dir, EngineOptions::harbor(SiteId(0), storage)).unwrap();
+    let def = e
+        .create_table(
+            "t",
+            vec![
+                ("id".into(), FieldType::Int64),
+                ("v".into(), FieldType::Int32),
+                ("pad".into(), FieldType::FixedStr(16)),
+            ],
+        )
+        .unwrap();
+    for i in 0..rows {
+        // Half the rows deleted at t20 so visibility filtering has work to do.
+        let del = if i % 2 == 0 {
+            Timestamp::ZERO
+        } else {
+            Timestamp(20)
+        };
+        let t = Tuple::versioned(
+            Timestamp(10),
+            del,
+            vec![
+                Value::Int64(i),
+                Value::Int32((i % 1000) as i32),
+                Value::Str(format!("row-{i:08}")),
+            ],
+        );
+        e.insert_recovered(def.id, &t).unwrap();
+    }
+    let pool = e.pool().clone();
+
+    bench("seq_scan_historical", rows as usize, iters, || {
+        let mut s =
+            SeqScan::new(pool.clone(), def.id, ReadMode::Historical(Timestamp(15))).unwrap();
+        collect(&mut s).unwrap().len()
+    });
+
+    bench("recovery_range_scan", rows as usize, iters, || {
+        let mut s = SeqScan::new(
+            pool.clone(),
+            def.id,
+            ReadMode::SeeDeletedHistorical(Timestamp(25)),
+        )
+        .unwrap();
+        collect(&mut s).unwrap().len()
+    });
+
+    bench("scan_ship_encode", rows as usize, iters, || {
+        let mut s = SeqScan::new(
+            pool.clone(),
+            def.id,
+            ReadMode::SeeDeletedHistorical(Timestamp(25)),
+        )
+        .unwrap();
+        let tuples = collect(&mut s).unwrap();
+        let mut total = 0usize;
+        for batch in tuples.chunks(512) {
+            // Mirrors Response::Tuples encoding: tag, done, count, wire tuples.
+            let mut enc = Encoder::new();
+            enc.put_u8(5);
+            enc.put_bool(false);
+            enc.put_u32(batch.len() as u32);
+            for t in batch {
+                t.write_wire(&mut enc);
+            }
+            total += enc.len();
+        }
+        assert!(total > 0);
+        tuples.len()
+    });
+
+    // The post-overhaul worker shipping path: admitted rows are transcoded
+    // straight from page bytes into the outgoing frame, no Tuple materialized.
+    let desc = pool.table(def.id).unwrap().desc().clone();
+    bench("scan_ship_zero_copy", rows as usize, iters, || {
+        let mode = ReadMode::SeeDeletedHistorical(Timestamp(25));
+        let heap = pool.table(def.id).unwrap();
+        let mut pages = Vec::new();
+        for (seg, _) in heap.prune(&Default::default()) {
+            pages.extend(heap.segment_page_ids(seg));
+        }
+        let mut frame = TuplesFrameBuilder::new();
+        let mut total = 0usize;
+        let mut shipped = 0usize;
+        for pid in pages {
+            pool.with_page(mode.lock_tid(), pid, |page| {
+                for slot in page.occupied_slots() {
+                    let bytes = page.read(slot)?;
+                    let (ins, del) = raw_version_timestamps(bytes)?;
+                    let Some(masked) = mode.admit(ins, del) else {
+                        continue;
+                    };
+                    transcode_fixed_to_wire(&desc, bytes, masked, frame.encoder())?;
+                    frame.note_row();
+                }
+                Ok(())
+            })
+            .unwrap();
+            if frame.rows() >= 512 {
+                let full = std::mem::replace(&mut frame, TuplesFrameBuilder::new());
+                shipped += full.rows() as usize;
+                total += full.finish(false).len();
+            }
+        }
+        shipped += frame.rows() as usize;
+        total += frame.finish(true).len();
+        assert!(total > 0);
+        shipped
+    });
+
+    drop((e, pool));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -172,6 +172,118 @@ pub fn rows_per_segment(storage: &StorageConfig) -> i64 {
     per_page * storage.segment_pages as i64
 }
 
+// ----------------------------------------------------------------------
+// Machine-readable baselines (BENCH_*.json)
+// ----------------------------------------------------------------------
+
+/// Directory for `BENCH_*.json` artifacts: `HARBOR_BENCH_OUT` if set, else
+/// the current working directory (the workspace root under `cargo bench`).
+pub fn bench_out_dir() -> PathBuf {
+    std::env::var_os("HARBOR_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Median of raw nanosecond samples (sorted in place).
+pub fn median_ns(mut samples: Vec<u128>) -> u128 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A machine-readable benchmark baseline, dumped as `BENCH_<name>.json` so
+/// CI and follow-up PRs can diff read-path throughput without parsing the
+/// human-oriented tables. Hand-rolled JSON: the container vendors no serde.
+pub struct BenchReport {
+    name: String,
+    config: Vec<(String, String)>,
+    entries: Vec<String>,
+}
+
+impl BenchReport {
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            name: name.to_string(),
+            config: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one `"key": "value"` config pair (scale, row count, …).
+    pub fn config(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Records one measurement: median wall nanoseconds over `rows` items,
+    /// with derived ns/row and Mrows/s throughput.
+    pub fn entry(&mut self, name: &str, median_ns: u128, rows: u64) -> &mut Self {
+        let per_row = median_ns as f64 / rows.max(1) as f64;
+        let mrows = rows as f64 / (median_ns as f64 / 1e9).max(1e-12) / 1e6;
+        self.entries.push(format!(
+            "{{\"name\": \"{}\", \"median_ns\": {median_ns}, \"rows\": {rows}, \
+             \"ns_per_row\": {per_row:.2}, \"mrows_per_s\": {mrows:.3}}}",
+            json_escape(name)
+        ));
+        self
+    }
+
+    /// Serializes the report. Field order is fixed so diffs stay readable.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\n  \"report\": \"{}\",\n",
+            json_escape(&self.name)
+        ));
+        s.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    \"{}\": \"{}\"",
+                json_escape(k),
+                json_escape(v)
+            ));
+        }
+        s.push_str("\n  },\n  \"benches\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    ");
+            s.push_str(e);
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<name>.json` into [`bench_out_dir`] (created if
+    /// missing), returning the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = bench_out_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Prints a plain-text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");
@@ -213,6 +325,21 @@ mod tests {
     fn scale_picks() {
         assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
         assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn bench_report_emits_wellformed_json() {
+        let mut r = BenchReport::new("unit");
+        r.config("scale", "quick").config("rows", 10_000);
+        r.entry("seq_scan", 2_000_000, 10_000);
+        r.entry("with \"quotes\"\n", 1, 1);
+        let json = r.to_json();
+        // No serde in the container: check shape structurally.
+        assert!(json.starts_with("{\n  \"report\": \"unit\""));
+        assert!(json.contains("\"ns_per_row\": 200.00"));
+        assert!(json.contains("\\\"quotes\\\"\\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.trim_end().ends_with('}'));
     }
 
     #[test]
@@ -306,6 +433,30 @@ pub struct RecoveryRun {
     /// The recovering site's counter deltas across the recovery window
     /// (tuples/bytes shipped to it, ranges fetched/reassigned).
     pub metrics: Option<harbor_common::MetricsSnapshot>,
+    /// Per-site read-hot-path summaries at quiesce: aggregate pool
+    /// hit/miss/eviction counters, scan admission counters, zero-copy
+    /// bytes, and the per-shard buffer-pool breakdown.
+    pub read_path: Vec<String>,
+}
+
+/// One worker's read-hot-path summary: the aggregate counters plus the
+/// per-shard `hits/misses/evictions/resident` breakdown of its pool.
+pub fn site_read_path_summary(
+    site: harbor_common::SiteId,
+    engine: &harbor_engine::Engine,
+) -> String {
+    let snap = engine.metrics().snapshot();
+    let shards: Vec<String> = engine
+        .pool()
+        .shard_stats()
+        .iter()
+        .map(|s| format!("{}h/{}m/{}e/{}r", s.hits, s.misses, s.evictions, s.resident))
+        .collect();
+    format!(
+        "{site}: {} shards[{}]",
+        snap.read_path_summary(),
+        shards.join(" ")
+    )
 }
 
 /// Runs one §6.4-style experiment: build cluster → prefill → run the
@@ -427,11 +578,18 @@ pub fn run_recovery_scenario_with(
             scenario.name()
         );
     }
+    let mut read_path = Vec::new();
+    for site in cluster.worker_sites() {
+        if let Ok(e) = cluster.engine(site) {
+            read_path.push(site_read_path_summary(site, &e));
+        }
+    }
     cluster.shutdown();
     Ok(RecoveryRun {
         elapsed,
         report,
         metrics,
+        read_path,
     })
 }
 

@@ -69,6 +69,15 @@ impl Encoder {
         self.put_bytes(v.as_bytes());
     }
 
+    /// Overwrites 4 bytes at `at` with `v` (little-endian). Used to patch a
+    /// placeholder written earlier — e.g. a batch row count or frame length
+    /// that is only known once the batch is fully encoded.
+    ///
+    /// Panics if `at + 4` exceeds the bytes written so far.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     pub fn len(&self) -> usize {
         self.buf.len()
     }

@@ -43,6 +43,17 @@ struct Counters {
     lock_timeouts: AtomicU64,
     /// Buffer pool evictions.
     evictions: AtomicU64,
+    /// Buffer pool accesses satisfied by a resident frame.
+    pool_hits: AtomicU64,
+    /// Buffer pool accesses that had to load the page from disk.
+    pool_misses: AtomicU64,
+    /// Scan rows admitted by the visibility check and materialized.
+    scan_rows_admitted: AtomicU64,
+    /// Scan rows rejected on raw timestamps, before any tuple decode.
+    scan_rows_skipped_predecode: AtomicU64,
+    /// Bytes encoded onto the wire straight from page bytes (no
+    /// intermediate `Tuple` materialization).
+    scan_bytes_zero_copy: AtomicU64,
     /// Tuples shipped to a recovering site by recovery queries.
     recovery_tuples_shipped: AtomicU64,
     /// Bytes of tuple payload shipped to a recovering site.
@@ -100,6 +111,23 @@ impl Metrics {
     counter!(add_lock_waits, lock_waits, lock_waits);
     counter!(add_lock_timeouts, lock_timeouts, lock_timeouts);
     counter!(add_evictions, evictions, evictions);
+    counter!(add_pool_hits, pool_hits, pool_hits);
+    counter!(add_pool_misses, pool_misses, pool_misses);
+    counter!(
+        add_scan_rows_admitted,
+        scan_rows_admitted,
+        scan_rows_admitted
+    );
+    counter!(
+        add_scan_rows_skipped_predecode,
+        scan_rows_skipped_predecode,
+        scan_rows_skipped_predecode
+    );
+    counter!(
+        add_scan_bytes_zero_copy,
+        scan_bytes_zero_copy,
+        scan_bytes_zero_copy
+    );
     counter!(
         add_recovery_tuples_shipped,
         recovery_tuples_shipped,
@@ -152,6 +180,11 @@ impl Metrics {
             lock_waits: self.lock_waits(),
             lock_timeouts: self.lock_timeouts(),
             evictions: self.evictions(),
+            pool_hits: self.pool_hits(),
+            pool_misses: self.pool_misses(),
+            scan_rows_admitted: self.scan_rows_admitted(),
+            scan_rows_skipped_predecode: self.scan_rows_skipped_predecode(),
+            scan_bytes_zero_copy: self.scan_bytes_zero_copy(),
             recovery_tuples_shipped: self.recovery_tuples_shipped(),
             recovery_bytes_shipped: self.recovery_bytes_shipped(),
             recovery_tuples_applied: self.recovery_tuples_applied(),
@@ -183,6 +216,11 @@ pub struct MetricsSnapshot {
     pub lock_waits: u64,
     pub lock_timeouts: u64,
     pub evictions: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub scan_rows_admitted: u64,
+    pub scan_rows_skipped_predecode: u64,
+    pub scan_bytes_zero_copy: u64,
     pub recovery_tuples_shipped: u64,
     pub recovery_bytes_shipped: u64,
     pub recovery_tuples_applied: u64,
@@ -213,6 +251,17 @@ impl MetricsSnapshot {
             lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
             lock_timeouts: self.lock_timeouts.saturating_sub(earlier.lock_timeouts),
             evictions: self.evictions.saturating_sub(earlier.evictions),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
+            scan_rows_admitted: self
+                .scan_rows_admitted
+                .saturating_sub(earlier.scan_rows_admitted),
+            scan_rows_skipped_predecode: self
+                .scan_rows_skipped_predecode
+                .saturating_sub(earlier.scan_rows_skipped_predecode),
+            scan_bytes_zero_copy: self
+                .scan_bytes_zero_copy
+                .saturating_sub(earlier.scan_bytes_zero_copy),
             recovery_tuples_shipped: self
                 .recovery_tuples_shipped
                 .saturating_sub(earlier.recovery_tuples_shipped),
@@ -240,6 +289,28 @@ impl MetricsSnapshot {
             rpc_timeouts: self.rpc_timeouts.saturating_sub(earlier.rpc_timeouts),
             rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
         }
+    }
+
+    /// Human-readable summary of the read-hot-path counters (buffer pool
+    /// locality, late-materialization selectivity, zero-copy shipping), for
+    /// the fig6_6 and chaos-soak printouts.
+    pub fn read_path_summary(&self) -> String {
+        let accesses = self.pool_hits + self.pool_misses;
+        let hit_pct = if accesses == 0 {
+            100.0
+        } else {
+            100.0 * self.pool_hits as f64 / accesses as f64
+        };
+        format!(
+            "pool_hits={} pool_misses={} ({hit_pct:.1}% hit) evictions={} \
+             rows_admitted={} rows_skipped_predecode={} bytes_zero_copy={}",
+            self.pool_hits,
+            self.pool_misses,
+            self.evictions,
+            self.scan_rows_admitted,
+            self.scan_rows_skipped_predecode,
+            self.scan_bytes_zero_copy,
+        )
     }
 
     /// Human-readable summary of the chaos-layer and retry counters, for the

@@ -76,6 +76,8 @@ pub struct TupleDesc {
 struct DescInner {
     names: Vec<String>,
     types: Vec<FieldType>,
+    /// Byte offset of each field within the fixed on-disk encoding.
+    offsets: Vec<usize>,
     width: usize,
 }
 
@@ -84,11 +86,17 @@ impl TupleDesc {
     pub fn new(fields: Vec<(&str, FieldType)>) -> Self {
         let names = fields.iter().map(|(n, _)| n.to_string()).collect();
         let types: Vec<FieldType> = fields.iter().map(|(_, t)| *t).collect();
-        let width = types.iter().map(|t| t.width()).sum();
+        let mut offsets = Vec::with_capacity(types.len());
+        let mut width = 0usize;
+        for t in &types {
+            offsets.push(width);
+            width += t.width();
+        }
         TupleDesc {
             inner: Arc::new(DescInner {
                 names,
                 types,
+                offsets,
                 width,
             }),
         }
@@ -124,6 +132,11 @@ impl TupleDesc {
 
     pub fn field_type(&self, i: usize) -> FieldType {
         self.inner.types[i]
+    }
+
+    /// Byte offset of field `i` within the fixed on-disk encoding.
+    pub fn field_offset(&self, i: usize) -> usize {
+        self.inner.offsets[i]
     }
 
     pub fn field_name(&self, i: usize) -> &str {

@@ -169,6 +169,109 @@ impl Tuple {
     }
 }
 
+/// Transcodes the fixed-width stored encoding of a tuple straight into the
+/// self-describing wire layout, without materializing a [`Tuple`].
+///
+/// `deletion` overrides the stored deletion timestamp — the visibility check
+/// may mask deletions that happened after the historical read time. The
+/// output is byte-identical to `Tuple::read_fixed` + `set_deletion_ts` +
+/// `write_wire`, which the equivalence property tests assert.
+pub fn transcode_fixed_to_wire(
+    desc: &TupleDesc,
+    bytes: &[u8],
+    deletion: Timestamp,
+    enc: &mut Encoder,
+) -> DbResult<()> {
+    check_fixed_len(desc, bytes)?;
+    enc.put_u16(desc.len() as u16);
+    for i in 0..desc.len() {
+        transcode_field(desc, bytes, i, deletion, enc)?;
+    }
+    Ok(())
+}
+
+/// Like [`transcode_fixed_to_wire`], but projects only the columns in `cols`
+/// (in the given order). Used by the ids+deletions recovery scans, which ship
+/// `[id, masked deletion]` pairs.
+pub fn transcode_fixed_cols_to_wire(
+    desc: &TupleDesc,
+    bytes: &[u8],
+    cols: &[usize],
+    deletion: Timestamp,
+    enc: &mut Encoder,
+) -> DbResult<()> {
+    check_fixed_len(desc, bytes)?;
+    enc.put_u16(cols.len() as u16);
+    for &i in cols {
+        transcode_field(desc, bytes, i, deletion, enc)?;
+    }
+    Ok(())
+}
+
+fn check_fixed_len(desc: &TupleDesc, bytes: &[u8]) -> DbResult<()> {
+    if bytes.len() < desc.byte_width() {
+        return Err(DbError::corrupt(format!(
+            "fixed tuple truncated: {} bytes, schema needs {}",
+            bytes.len(),
+            desc.byte_width()
+        )));
+    }
+    Ok(())
+}
+
+fn transcode_field(
+    desc: &TupleDesc,
+    bytes: &[u8],
+    i: usize,
+    deletion: Timestamp,
+    enc: &mut Encoder,
+) -> DbResult<()> {
+    if i == COL_DELETION_TS && desc.has_version_columns() {
+        enc.put_u8(2);
+        enc.put_u64(deletion.0);
+        return Ok(());
+    }
+    let off = desc.field_offset(i);
+    match desc.field_type(i) {
+        // The fixed and wire encodings are both little-endian, so the
+        // numeric payloads copy across verbatim.
+        FieldType::Int32 => {
+            enc.put_u8(0);
+            enc.put_raw(&bytes[off..off + 4]);
+        }
+        FieldType::Int64 => {
+            enc.put_u8(1);
+            enc.put_raw(&bytes[off..off + 8]);
+        }
+        FieldType::Time => {
+            enc.put_u8(2);
+            enc.put_raw(&bytes[off..off + 8]);
+        }
+        FieldType::FixedStr(n) => {
+            let raw = &bytes[off..off + n as usize];
+            let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+            let s = std::str::from_utf8(&raw[..end])
+                .map_err(|_| DbError::corrupt("invalid utf-8 in fixed string"))?;
+            enc.put_u8(3);
+            enc.put_str(s);
+        }
+    }
+    Ok(())
+}
+
+/// Reads the insertion and deletion timestamps straight from the fixed
+/// encoding of a stored tuple (the reserved version pair occupies the first
+/// 16 bytes). This is the scan fast path's pre-decode visibility probe.
+#[inline]
+pub fn raw_version_timestamps(bytes: &[u8]) -> DbResult<(Timestamp, Timestamp)> {
+    if bytes.len() < 16 {
+        return Err(DbError::corrupt("stored tuple shorter than version pair"));
+    }
+    let ins = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let del = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    Ok((Timestamp(ins), Timestamp(del)))
+}
+
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;

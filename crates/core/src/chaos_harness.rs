@@ -83,6 +83,11 @@ pub struct ChaosRunReport {
     pub fault_trace: String,
     /// Invariant violations; an empty vector is a passing run.
     pub violations: Vec<String>,
+    /// Per-site read-hot-path summaries at quiesce: aggregate buffer-pool
+    /// hit/miss/eviction counters, scan admission counters, zero-copy bytes
+    /// shipped, and the per-shard pool breakdown (`hits/misses/evictions/
+    /// resident` per shard).
+    pub read_path: Vec<String>,
 }
 
 /// Deterministic splitmix64 stream for the event schedule (the chaos layer
@@ -363,6 +368,22 @@ impl Cluster {
 
         // --- invariants -------------------------------------------------
         self.check_invariants(&table, &keys, &mut report)?;
+        for site in &all_sites {
+            if let Ok(e) = self.engine(*site) {
+                let snap = e.metrics().snapshot();
+                let shards: Vec<String> = e
+                    .pool()
+                    .shard_stats()
+                    .iter()
+                    .map(|s| format!("{}h/{}m/{}e/{}r", s.hits, s.misses, s.evictions, s.resident))
+                    .collect();
+                report.read_path.push(format!(
+                    "{site}: {} shards[{}]",
+                    snap.read_path_summary(),
+                    shards.join(" ")
+                ));
+            }
+        }
         Ok(report)
     }
 

@@ -686,6 +686,64 @@ impl Wire for Response {
     }
 }
 
+/// Incrementally built, pre-framed `Response::Tuples` message.
+///
+/// The zero-copy scan service transcodes admitted rows from page bytes
+/// straight into this buffer; `finish` patches the frame length, done flag,
+/// and row count once the batch is complete. The output is byte-identical
+/// to `Response::Tuples { batch, done }.to_framed_vec()` (asserted by the
+/// wire tests), so the receiving side needs no changes.
+pub struct TuplesFrameBuilder {
+    enc: Encoder,
+    rows: u32,
+}
+
+// Byte offsets within the frame: [0..4] length prefix, [4] response tag,
+// [5] done flag, [6..10] row count, [10..] wire tuples.
+const TUPLES_DONE_OFFSET: usize = 5;
+const TUPLES_COUNT_OFFSET: usize = 6;
+
+impl TuplesFrameBuilder {
+    pub fn new() -> Self {
+        let mut enc = Encoder::new();
+        enc.put_u32(0); // frame length, patched in finish()
+        enc.put_u8(5); // Response::Tuples tag
+        enc.put_bool(false); // done flag, patched in finish()
+        enc.put_u32(0); // row count, patched in finish()
+        TuplesFrameBuilder { enc, rows: 0 }
+    }
+
+    /// The underlying encoder, positioned after the header: append one wire
+    /// tuple per row, then call [`note_row`](Self::note_row).
+    pub fn encoder(&mut self) -> &mut Encoder {
+        &mut self.enc
+    }
+
+    pub fn note_row(&mut self) {
+        self.rows += 1;
+    }
+
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Finalizes into a pre-framed buffer ready for `send_framed`.
+    pub fn finish(mut self, done: bool) -> Vec<u8> {
+        let len = (self.enc.len() - 4) as u32;
+        self.enc.patch_u32(0, len);
+        self.enc.patch_u32(TUPLES_COUNT_OFFSET, self.rows);
+        let mut bytes = self.enc.into_bytes();
+        bytes[TUPLES_DONE_OFFSET] = done as u8;
+        bytes
+    }
+}
+
+impl Default for TuplesFrameBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,6 +756,43 @@ mod tests {
     fn round_trip_resp(r: Response) {
         let bytes = r.to_vec();
         assert_eq!(Response::from_slice(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn tuples_frame_builder_matches_materialized_encoding() {
+        let batch = vec![
+            Tuple::new(vec![
+                Value::Time(Timestamp(3)),
+                Value::Time(Timestamp::ZERO),
+                Value::Int64(7),
+                Value::Int32(-2),
+                Value::Str("hi".into()),
+            ]),
+            Tuple::new(vec![Value::Int64(1), Value::Time(Timestamp(9))]),
+        ];
+        for done in [false, true] {
+            let mut b = TuplesFrameBuilder::new();
+            for t in &batch {
+                t.write_wire(b.encoder());
+                b.note_row();
+            }
+            let built = b.finish(done);
+            let reference = Response::Tuples {
+                batch: batch.clone(),
+                done,
+            }
+            .to_framed_vec();
+            assert_eq!(built, reference);
+        }
+        // Empty final frame (every stream ends with one).
+        assert_eq!(
+            TuplesFrameBuilder::new().finish(true),
+            Response::Tuples {
+                batch: vec![],
+                done: true
+            }
+            .to_framed_vec()
+        );
     }
 
     #[test]

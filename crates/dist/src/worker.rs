@@ -4,10 +4,15 @@
 
 use crate::consensus::{self, BackupState};
 use crate::failpoint::{CrashPoint, CrashSchedule};
-use crate::message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
+use crate::message::{
+    RemoteScan, Request, Response, TuplesFrameBuilder, UpdateRequest, WireReadMode, WireTxnState,
+};
 use crate::protocol::ProtocolKind;
 use harbor_common::codec::Wire;
-use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId, Value};
+use harbor_common::tuple::{
+    raw_version_timestamps, transcode_fixed_cols_to_wire, transcode_fixed_to_wire,
+};
+use harbor_common::{DbError, DbResult, SiteId, Timestamp, TransactionId, Tuple, Value};
 use harbor_engine::Engine;
 use harbor_exec::op::Operator;
 use harbor_exec::{run_update_by_key, Expr, ReadMode, SeqScan};
@@ -761,15 +766,24 @@ impl Worker {
         if let Some(t) = scan.del_after {
             add(Expr::col(1).gt(Expr::time(t)));
         }
+        // Zero-copy fast path: with no user predicate, both the visibility
+        // rule and the residual range checks run on the raw version pair,
+        // and admitted rows transcode from page bytes straight into the
+        // pre-framed outgoing buffer — no intermediate `Tuple` vectors.
+        let desc = self.engine.pool().table(def.id)?.desc().clone();
+        if scan.predicate.is_none() && desc.has_version_columns() {
+            return self.stream_scan_zero_copy(scan, def.id, mode, bounds, &desc, chan);
+        }
         let mut op = SeqScan::with_bounds(self.engine.pool().clone(), def.id, mode, bounds)?;
         op.open()?;
         let scan_batch = self.cfg.scan_batch.max(1);
         let shipped = &self.engine.metrics().clone();
+        let mut fetched: Vec<Tuple> = Vec::with_capacity(scan_batch);
         let mut batch = Vec::with_capacity(scan_batch);
         loop {
-            let next = op.next()?;
-            let done = next.is_none();
-            if let Some(tup) = next {
+            fetched.clear();
+            let done = !op.next_batch(scan_batch, &mut fetched)?;
+            for tup in fetched.drain(..) {
                 let keep = match &residual {
                     Some(p) => p.eval_bool(&tup)?,
                     None => true,
@@ -802,6 +816,100 @@ impl Worker {
         }
         op.close();
         Ok(())
+    }
+
+    /// The zero-copy service path behind [`stream_scan`](Self::stream_scan):
+    /// walks the pruned pages itself, applies `ReadMode::admit` plus the
+    /// §5.4.1 residual range checks to the raw timestamps at their fixed
+    /// slot offsets, and re-encodes admitted rows from page bytes into the
+    /// outgoing [`TuplesFrameBuilder`] — never materializing a `Tuple`.
+    fn stream_scan_zero_copy(
+        &self,
+        scan: &RemoteScan,
+        table: harbor_common::TableId,
+        mode: ReadMode,
+        bounds: ScanBounds,
+        desc: &harbor_common::TupleDesc,
+        chan: &mut Box<dyn Channel>,
+    ) -> DbResult<()> {
+        let pool = self.engine.pool().clone();
+        let heap = pool.table(table)?;
+        let mut pages = Vec::new();
+        for (seg, _) in heap.prune(&bounds) {
+            pages.extend(heap.segment_page_ids(seg));
+        }
+        let scan_batch = self.cfg.scan_batch.max(1);
+        let metrics = self.engine.metrics().clone();
+        let lock_tid = mode.lock_tid();
+        // (tuple_id, deletion_time) projection: key is the first user field.
+        let id_del_cols = [2usize, 1usize];
+        let mut frame = TuplesFrameBuilder::new();
+        let mut admitted = 0u64;
+        let mut skipped = 0u64;
+        for pid in pages {
+            pool.with_page(lock_tid, pid, |page| {
+                for slot in page.occupied_slots() {
+                    let bytes = page.read(slot)?;
+                    let (ins, del) = raw_version_timestamps(bytes)?;
+                    let Some(masked) = mode.admit(ins, del) else {
+                        skipped += 1;
+                        continue;
+                    };
+                    // Residual bounds, re-applied per tuple exactly as the
+                    // legacy path's Expr did: insertion checks see the raw
+                    // value, the deletion check sees the masked one.
+                    let reject = scan.ins_at_or_before.is_some_and(|t| ins > t)
+                        || scan
+                            .ins_after
+                            .is_some_and(|t| ins <= t || ins == Timestamp::UNCOMMITTED)
+                        || scan.del_after.is_some_and(|t| masked <= t);
+                    if reject {
+                        skipped += 1;
+                        continue;
+                    }
+                    if scan.ids_and_deletions_only {
+                        transcode_fixed_cols_to_wire(
+                            desc,
+                            bytes,
+                            &id_del_cols,
+                            masked,
+                            frame.encoder(),
+                        )?;
+                    } else {
+                        transcode_fixed_to_wire(desc, bytes, masked, frame.encoder())?;
+                    }
+                    frame.note_row();
+                    admitted += 1;
+                }
+                Ok(())
+            })?;
+            if frame.rows() as usize >= scan_batch {
+                let full = std::mem::take(&mut frame);
+                self.ship_zero_copy_frame(full, false, &metrics, chan)?;
+                self.maybe_crash_serving_scan(scan)?;
+            }
+        }
+        self.ship_zero_copy_frame(frame, true, &metrics, chan)?;
+        self.maybe_crash_serving_scan(scan)?;
+        metrics.add_scan_rows_admitted(admitted);
+        metrics.add_scan_rows_skipped_predecode(skipped);
+        Ok(())
+    }
+
+    fn ship_zero_copy_frame(
+        &self,
+        frame: TuplesFrameBuilder,
+        done: bool,
+        metrics: &harbor_common::Metrics,
+        chan: &mut Box<dyn Channel>,
+    ) -> DbResult<()> {
+        let rows = frame.rows() as u64;
+        let framed = frame.finish(done);
+        let payload = (framed.len() - 4) as u64;
+        metrics.add_recovery_tuples_shipped(rows);
+        metrics.add_recovery_bytes_shipped(payload);
+        metrics.add_scan_bytes_zero_copy(payload);
+        chan.send_framed(&framed)
     }
 
     /// Probes the buddy-death crash points while serving a recovery scan:

@@ -12,15 +12,30 @@ pub trait Operator: Send {
     fn close(&mut self);
     /// Relational schema of the operator's output tuples.
     fn tuple_desc(&self) -> TupleDesc;
+
+    /// Appends roughly `max` more tuples to `out`, returning `false` once
+    /// the stream is exhausted (a final partial batch may still have been
+    /// appended). `max` is a batching *hint*: sources with a native batch
+    /// path (e.g. `SeqScan`) work at page granularity and may overshoot by
+    /// up to a page. The default implementation shims over `next()`, so
+    /// every operator is batch-drivable.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        for _ in 0..max {
+            match self.next()? {
+                Some(t) => out.push(t),
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
 }
 
-/// Drains an operator into a vector (open → next* → close).
+/// Drains an operator into a vector (open → next_batch* → close). Runs the
+/// batched path so sources that implement it skip tuple-at-a-time overhead.
 pub fn collect(op: &mut dyn Operator) -> DbResult<Vec<Tuple>> {
     op.open()?;
     let mut out = Vec::new();
-    while let Some(t) = op.next()? {
-        out.push(t);
-    }
+    while op.next_batch(harbor_common::config::DEFAULT_SCAN_BATCH, &mut out)? {}
     op.close();
     Ok(out)
 }

@@ -13,14 +13,23 @@
 //!
 //! Scans prune whole segments via the [`ScanBounds`] annotations before
 //! touching any page (§4.2).
+//!
+//! Scanning is **batched and late-materializing**: the fast path reads the
+//! insertion/deletion timestamps at their fixed offsets straight from the
+//! page bytes and applies [`ReadMode::admit`] *before* decoding, so rows the
+//! visibility check rejects are never materialized. Admitted rows decode
+//! directly into the caller's batch buffer ([`Operator::next_batch`]); the
+//! tuple-at-a-time [`Operator::next`] remains as a shim.
 
 use crate::op::Operator;
 use harbor_common::codec::Decoder;
 use harbor_common::time::visible_at;
+use harbor_common::tuple::raw_version_timestamps;
 use harbor_common::{
-    DbResult, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple, TupleDesc,
+    DbResult, Metrics, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple, TupleDesc,
 };
 use harbor_storage::{BufferPool, ScanBounds};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Visibility/locking mode for reads.
@@ -46,7 +55,7 @@ pub enum ReadMode {
 
 impl ReadMode {
     /// Transaction to charge page locks to, if any.
-    fn lock_tid(&self) -> Option<TransactionId> {
+    pub fn lock_tid(&self) -> Option<TransactionId> {
         match self {
             ReadMode::Current(t) | ReadMode::SeeDeletedLocked(t) => Some(*t),
             _ => None,
@@ -55,8 +64,10 @@ impl ReadMode {
 
     /// Visibility decision for a raw (insertion, deletion) pair. Returns
     /// the possibly-rewritten deletion time (historical modes mask
-    /// deletions after their time).
-    fn admit(&self, ins: Timestamp, del: Timestamp) -> Option<Timestamp> {
+    /// deletions after their time). Public so the zero-copy wire-shipping
+    /// path and the equivalence tests can apply the exact same rule to raw
+    /// page bytes.
+    pub fn admit(&self, ins: Timestamp, del: Timestamp) -> Option<Timestamp> {
         match self {
             ReadMode::Current(_) => {
                 (!ins.is_uncommitted() && del == Timestamp::ZERO).then_some(del)
@@ -75,8 +86,7 @@ impl ReadMode {
 }
 
 /// Scans one table's pruned segments, applying the mode's visibility rule.
-/// Buffers one page of matches at a time (the page latch is never held
-/// across `next()` calls).
+/// The page latch is never held across `next()`/`next_batch()` calls.
 pub struct SeqScan {
     pool: Arc<BufferPool>,
     table: TableId,
@@ -85,8 +95,9 @@ pub struct SeqScan {
     desc: TupleDesc,
     pages: Vec<PageId>,
     page_idx: usize,
-    buffer: Vec<Tuple>,
-    buf_idx: usize,
+    /// Rows buffered for the tuple-at-a-time `next()` shim, drained
+    /// front-to-back without cloning.
+    buffer: VecDeque<Tuple>,
 }
 
 impl SeqScan {
@@ -111,8 +122,7 @@ impl SeqScan {
             desc,
             pages: Vec::new(),
             page_idx: 0,
-            buffer: Vec::new(),
-            buf_idx: 0,
+            buffer: VecDeque::new(),
         })
     }
 
@@ -124,40 +134,60 @@ impl SeqScan {
         }
         self.page_idx = 0;
         self.buffer.clear();
-        self.buf_idx = 0;
         Ok(())
     }
 
-    fn fill_buffer(&mut self) -> DbResult<bool> {
+    /// Scans forward, appending admitted tuples to `out`, until at least
+    /// `min_rows` have been appended or the pages run out. Returns `false`
+    /// when the scan is exhausted.
+    ///
+    /// Fast path (any stored table: the version pair leads every row): the
+    /// visibility check runs on the raw timestamps at their fixed slot
+    /// offsets, and only admitted rows are decoded — straight into `out`,
+    /// with no per-page vector and no clones.
+    fn fill_into(&mut self, min_rows: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        let start = out.len();
+        let fast = self.desc.has_version_columns();
+        let mode = self.mode;
+        let desc = &self.desc;
+        let mut admitted = 0u64;
+        let mut skipped = 0u64;
         while self.page_idx < self.pages.len() {
+            if out.len() - start >= min_rows {
+                break;
+            }
             let pid = self.pages[self.page_idx];
             self.page_idx += 1;
-            let mode = self.mode;
-            let desc = self.desc.clone();
-            let tuples = self.pool.with_page(mode.lock_tid(), pid, |page| {
-                let mut out = Vec::new();
+            self.pool.with_page(mode.lock_tid(), pid, |page| {
                 for slot in page.occupied_slots() {
                     let bytes = page.read(slot)?;
-                    let mut dec = Decoder::new(bytes);
-                    let mut tup = Tuple::read_fixed(&desc, &mut dec)?;
-                    let ins = tup.insertion_ts()?;
-                    let del = tup.deletion_ts()?;
-                    if let Some(masked_del) = mode.admit(ins, del) {
-                        if masked_del != del {
-                            tup.set_deletion_ts(masked_del);
+                    let (ins, del) = if fast {
+                        raw_version_timestamps(bytes)?
+                    } else {
+                        // Degenerate schema without the leading version
+                        // pair: fall back to decode-first.
+                        let t = Tuple::read_fixed(desc, &mut Decoder::new(bytes))?;
+                        (t.insertion_ts()?, t.deletion_ts()?)
+                    };
+                    match mode.admit(ins, del) {
+                        None => skipped += 1,
+                        Some(masked_del) => {
+                            let mut tup = Tuple::read_fixed(desc, &mut Decoder::new(bytes))?;
+                            if masked_del != del {
+                                tup.set_deletion_ts(masked_del);
+                            }
+                            out.push(tup);
+                            admitted += 1;
                         }
-                        out.push(tup);
                     }
                 }
-                Ok(out)
+                Ok(())
             })?;
-            if !tuples.is_empty() {
-                self.buffer = tuples;
-                self.buf_idx = 0;
-                return Ok(true);
-            }
         }
-        Ok(false)
+        let metrics = self.pool.metrics();
+        metrics.add_scan_rows_admitted(admitted);
+        metrics.add_scan_rows_skipped_predecode(skipped);
+        Ok(self.page_idx < self.pages.len())
     }
 }
 
@@ -168,14 +198,34 @@ impl Operator for SeqScan {
 
     fn next(&mut self) -> DbResult<Option<Tuple>> {
         loop {
-            if self.buf_idx < self.buffer.len() {
-                self.buf_idx += 1;
-                return Ok(Some(self.buffer[self.buf_idx - 1].clone()));
+            if let Some(t) = self.buffer.pop_front() {
+                return Ok(Some(t));
             }
-            if !self.fill_buffer()? {
+            let mut batch = Vec::new();
+            let more = self.fill_into(1, &mut batch)?;
+            if batch.is_empty() && !more {
                 return Ok(None);
             }
+            self.buffer.extend(batch);
         }
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        // Drain anything an earlier next() call left buffered.
+        let mut budget = max;
+        while budget > 0 {
+            match self.buffer.pop_front() {
+                Some(t) => {
+                    out.push(t);
+                    budget -= 1;
+                }
+                None => break,
+            }
+        }
+        if budget == 0 {
+            return Ok(!self.buffer.is_empty() || self.page_idx < self.pages.len());
+        }
+        self.fill_into(budget, out)
     }
 
     fn rewind(&mut self) -> DbResult<()> {
@@ -200,33 +250,48 @@ pub fn scan_rids(
 ) -> DbResult<Vec<(RecordId, Tuple)>> {
     let heap = pool.table(table)?;
     let desc = heap.desc().clone();
+    let fast = desc.has_version_columns();
     let mut out = Vec::new();
+    // Per-page scratch, reused across pages; the predicate runs outside the
+    // page latch (it may reach back into the engine).
+    let mut page_buf: Vec<(RecordId, Tuple)> = Vec::new();
+    let mut admitted = 0u64;
+    let mut skipped = 0u64;
     for (seg, _) in heap.prune(&bounds) {
         for pid in heap.segment_page_ids(seg) {
-            let matches = pool.with_page(mode.lock_tid(), pid, |page| {
-                let mut v = Vec::new();
+            pool.with_page(mode.lock_tid(), pid, |page| {
                 for slot in page.occupied_slots() {
                     let bytes = page.read(slot)?;
-                    let mut dec = Decoder::new(bytes);
-                    let mut tup = Tuple::read_fixed(&desc, &mut dec)?;
-                    let ins = tup.insertion_ts()?;
-                    let del = tup.deletion_ts()?;
-                    if let Some(masked) = mode.admit(ins, del) {
-                        if masked != del {
-                            tup.set_deletion_ts(masked);
+                    let (ins, del) = if fast {
+                        raw_version_timestamps(bytes)?
+                    } else {
+                        let t = Tuple::read_fixed(&desc, &mut Decoder::new(bytes))?;
+                        (t.insertion_ts()?, t.deletion_ts()?)
+                    };
+                    match mode.admit(ins, del) {
+                        None => skipped += 1,
+                        Some(masked) => {
+                            let mut tup = Tuple::read_fixed(&desc, &mut Decoder::new(bytes))?;
+                            if masked != del {
+                                tup.set_deletion_ts(masked);
+                            }
+                            page_buf.push((RecordId::new(pid, slot), tup));
+                            admitted += 1;
                         }
-                        v.push((RecordId::new(pid, slot), tup));
                     }
                 }
-                Ok(v)
+                Ok(())
             })?;
-            for (rid, tup) in matches {
+            for (rid, tup) in page_buf.drain(..) {
                 if pred(&tup)? {
                     out.push((rid, tup));
                 }
             }
         }
     }
+    let metrics: &Metrics = pool.metrics();
+    metrics.add_scan_rows_admitted(admitted);
+    metrics.add_scan_rows_skipped_predecode(skipped);
     Ok(out)
 }
 

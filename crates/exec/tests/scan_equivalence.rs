@@ -1,0 +1,278 @@
+//! Equivalence properties for the batched, late-materializing read path.
+//!
+//! The overhaul changed *when* visibility runs (on raw timestamps, before
+//! decoding) and *how* admitted rows reach the wire (transcoded straight
+//! from page bytes). Neither is allowed to change *what* a scan returns:
+//!
+//! 1. For every `ReadMode`, every segment bound, and any mix of live /
+//!    deleted / uncommitted / future-masked tuples, the batched `SeqScan`
+//!    must yield exactly the tuples the legacy decode-everything-then-
+//!    filter scan yields — same values, same order within a page, same
+//!    masked-deletion rewriting.
+//! 2. The zero-copy wire transcode of an admitted row must be byte-
+//!    identical to materializing the tuple (with its masked deletion) and
+//!    running the legacy `write_wire` encoder.
+
+use harbor_common::codec::{Decoder, Encoder};
+use harbor_common::tuple::{raw_version_timestamps, transcode_fixed_to_wire};
+use harbor_common::{
+    FieldType, SiteId, StorageConfig, TableId, Timestamp, TransactionId, Tuple, Value,
+};
+use harbor_engine::{Engine, EngineOptions};
+use harbor_exec::{collect, op::Operator, ReadMode, SeqScan};
+use harbor_storage::{BufferPool, ScanBounds};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Insertion times: committed small values plus in-flight (uncommitted).
+fn ins_ts() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![
+        (1u64..=40).prop_map(Timestamp),
+        Just(Timestamp::UNCOMMITTED),
+    ]
+}
+
+/// Deletion times: mostly live, sometimes deleted at a small time (which a
+/// historical mode with an earlier time must mask back to "not deleted").
+fn del_ts() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![Just(Timestamp::ZERO), (1u64..=40).prop_map(Timestamp),]
+}
+
+/// One stored row: version pair plus user payload (ASCII so the fixed-str
+/// round trip is exact).
+#[allow(clippy::type_complexity)]
+fn rows() -> impl Strategy<Value = Vec<(Timestamp, Timestamp, i32, String)>> {
+    proptest::collection::vec(
+        (
+            ins_ts(),
+            del_ts(),
+            any::<i32>(),
+            proptest::collection::vec(0x20u8..0x7f, 0..=12)
+                .prop_map(|b| String::from_utf8(b).unwrap()),
+        ),
+        1..200,
+    )
+}
+
+fn bounds() -> impl Strategy<Value = ScanBounds> {
+    (
+        proptest::option::of(0u64..=45),
+        proptest::option::of(0u64..=45),
+        proptest::option::of(0u64..=45),
+    )
+        .prop_map(|(at_or_before, after, del_after)| ScanBounds {
+            ins_at_or_before: at_or_before.map(Timestamp),
+            ins_after: after.map(Timestamp),
+            del_after: del_after.map(Timestamp),
+            ..ScanBounds::all()
+        })
+}
+
+/// Builds a one-table engine holding exactly `rows`, written with raw
+/// timestamps (bypassing commit-time validation so uncommitted and
+/// already-deleted rows land on pages like they do mid-flight).
+fn build(
+    rows: &[(Timestamp, Timestamp, i32, String)],
+) -> (Arc<Engine>, TableId, std::path::PathBuf) {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join("harbor-scan-equiv").join(format!(
+        "{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let e = Engine::open(
+        &dir,
+        EngineOptions::harbor(SiteId(0), StorageConfig::for_tests()),
+    )
+    .unwrap();
+    let def = e
+        .create_table(
+            "t",
+            vec![
+                ("id".into(), FieldType::Int64),
+                ("v".into(), FieldType::Int32),
+                ("pad".into(), FieldType::FixedStr(12)),
+            ],
+        )
+        .unwrap();
+    let desc = e.pool().table(def.id).unwrap().desc().clone();
+    for (i, (ins, del, v, pad)) in rows.iter().enumerate() {
+        let tup = Tuple::versioned(
+            *ins,
+            *del,
+            vec![
+                Value::Int64(i as i64),
+                Value::Int32(*v),
+                Value::Str(pad.clone()),
+            ],
+        );
+        let mut enc = Encoder::new();
+        tup.write_fixed(&desc, &mut enc).unwrap();
+        e.pool()
+            .insert_tuple_bytes(None, def.id, enc.as_slice())
+            .unwrap();
+    }
+    (e, def.id, dir)
+}
+
+/// The pre-overhaul read path, reconstructed: decode every slot first, then
+/// apply the mode's visibility rule to the decoded timestamps.
+fn legacy_scan(
+    pool: &Arc<BufferPool>,
+    table: TableId,
+    mode: ReadMode,
+    bounds: &ScanBounds,
+) -> Vec<Tuple> {
+    let heap = pool.table(table).unwrap();
+    let desc = heap.desc().clone();
+    let mut pages = Vec::new();
+    for (seg, _) in heap.prune(bounds) {
+        pages.extend(heap.segment_page_ids(seg));
+    }
+    let mut out = Vec::new();
+    for pid in pages {
+        pool.with_page(mode.lock_tid(), pid, |page| {
+            for slot in page.occupied_slots() {
+                let mut dec = Decoder::new(page.read(slot)?);
+                let tup = Tuple::read_fixed(&desc, &mut dec)?;
+                let ins = tup.insertion_ts()?;
+                let del = tup.deletion_ts()?;
+                if let Some(masked) = mode.admit(ins, del) {
+                    let mut tup = tup;
+                    if masked != del {
+                        tup.set_deletion_ts(masked);
+                    }
+                    out.push(tup);
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+    out
+}
+
+/// Wire bytes of a scan result under the legacy materialize-then-encode
+/// scheme, for byte-level comparison.
+fn wire_bytes(tuples: &[Tuple]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    for t in tuples {
+        t.write_wire(&mut enc);
+    }
+    enc.into_bytes()
+}
+
+fn all_modes(hist_t: u64) -> Vec<ReadMode> {
+    let tid = TransactionId::from_parts(SiteId(0), 7777);
+    vec![
+        ReadMode::Current(tid),
+        ReadMode::Historical(Timestamp(hist_t)),
+        ReadMode::SeeDeleted,
+        ReadMode::SeeDeletedLocked(tid),
+        ReadMode::SeeDeletedHistorical(Timestamp(hist_t)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_scan_matches_legacy_for_every_mode(
+        rows in rows(),
+        hist_t in 0u64..=45,
+        bounds in bounds(),
+    ) {
+        let (e, table, dir) = build(&rows);
+        let pool = e.pool().clone();
+        for mode in all_modes(hist_t) {
+            let expected = legacy_scan(&pool, table, mode, &bounds);
+            let mut scan =
+                SeqScan::with_bounds(pool.clone(), table, mode, bounds).unwrap();
+            let got = collect(&mut scan).unwrap();
+            prop_assert_eq!(&expected, &got, "mode {:?}", mode);
+            prop_assert_eq!(
+                wire_bytes(&expected),
+                wire_bytes(&got),
+                "wire bytes diverged under {:?}",
+                mode
+            );
+            e.locks().release_all(TransactionId::from_parts(SiteId(0), 7777));
+        }
+        drop((e, pool));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn next_shim_matches_batched_drain(rows in rows(), hist_t in 0u64..=45) {
+        let (e, table, dir) = build(&rows);
+        let pool = e.pool().clone();
+        for mode in [
+            ReadMode::SeeDeleted,
+            ReadMode::Historical(Timestamp(hist_t)),
+        ] {
+            let mut batched = SeqScan::new(pool.clone(), table, mode).unwrap();
+            let via_batch = collect(&mut batched).unwrap();
+            let mut one = SeqScan::new(pool.clone(), table, mode).unwrap();
+            one.open().unwrap();
+            let mut via_next = Vec::new();
+            while let Some(t) = one.next().unwrap() {
+                via_next.push(t);
+            }
+            one.close();
+            prop_assert_eq!(via_batch, via_next);
+        }
+        drop((e, pool));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Zero-copy transcode ≡ materialize + `write_wire`, byte for byte,
+    /// including the masked deletion override.
+    #[test]
+    fn zero_copy_transcode_matches_materialized_wire(
+        rows in rows(),
+        hist_t in 0u64..=45,
+    ) {
+        let (e, table, dir) = build(&rows);
+        let pool = e.pool().clone();
+        let heap = pool.table(table).unwrap();
+        let desc = heap.desc().clone();
+        for mode in all_modes(hist_t) {
+            let mut pages = Vec::new();
+            for (seg, _) in heap.prune(&ScanBounds::all()) {
+                pages.extend(heap.segment_page_ids(seg));
+            }
+            for pid in pages {
+                pool.with_page(mode.lock_tid(), pid, |page| {
+                    for slot in page.occupied_slots() {
+                        let bytes = page.read(slot)?;
+                        let (ins, del) = raw_version_timestamps(bytes)?;
+                        let Some(masked) = mode.admit(ins, del) else {
+                            continue;
+                        };
+                        let mut zero_copy = Encoder::new();
+                        transcode_fixed_to_wire(&desc, bytes, masked, &mut zero_copy)?;
+                        let mut dec = Decoder::new(bytes);
+                        let mut tup = Tuple::read_fixed(&desc, &mut dec)?;
+                        if masked != del {
+                            tup.set_deletion_ts(masked);
+                        }
+                        let mut materialized = Encoder::new();
+                        tup.write_wire(&mut materialized);
+                        assert_eq!(
+                            zero_copy.as_slice(),
+                            materialized.as_slice(),
+                            "transcode bytes diverged at {pid:?} slot {slot}"
+                        );
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            }
+            e.locks().release_all(TransactionId::from_parts(SiteId(0), 7777));
+        }
+        drop((e, pool));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

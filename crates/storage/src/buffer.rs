@@ -14,7 +14,16 @@
 //!   historical queries use latch-only access and never touch the lock
 //!   manager.
 //!
-//! Eviction is random among unpinned frames, as in the thesis.
+//! The frame table is split into power-of-two **shards** keyed by a `PageId`
+//! hash, each behind its own mutex, so concurrent scanners and appenders
+//! don't serialize on one global map lock. Eviction is **clock /
+//! second-chance** per shard (the thesis used random eviction; clock keeps
+//! the hot working set resident while remaining O(1) per victim): every
+//! frame carries a referenced bit that page accesses set and the sweeping
+//! hand clears, and a frame is evicted only when it is unpinned, its bit is
+//! clear, and — under NO-STEAL — it is clean. Capacity stays a *global*
+//! budget: a shared resident counter drives the sweep across shards, so a
+//! skewed workload can fill the whole pool from one shard's key range.
 
 use crate::lock::{LockKey, LockManager, LockMode};
 use crate::page::Page;
@@ -25,10 +34,8 @@ use harbor_common::{
 use harbor_wal::record::{RedoOp, TsField};
 use harbor_wal::{LogManager, Lsn};
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Buffer management policy. The thesis default is STEAL/NO-FORCE; the other
@@ -69,9 +76,11 @@ struct Frame {
     page: RwLock<Page>,
     dirty: AtomicBool,
     pins: AtomicUsize,
+    /// Second-chance bit: set on every access, cleared by the clock hand.
+    referenced: AtomicBool,
     /// First LSN that dirtied the page since its last flush (`u64::MAX` =
     /// none). Feeds the dirty page table of ARIES fuzzy checkpoints.
-    rec_lsn: std::sync::atomic::AtomicU64,
+    rec_lsn: AtomicU64,
 }
 
 impl Frame {
@@ -80,7 +89,8 @@ impl Frame {
             page: RwLock::new(page),
             dirty: AtomicBool::new(dirty),
             pins: AtomicUsize::new(0),
-            rec_lsn: std::sync::atomic::AtomicU64::new(u64::MAX),
+            referenced: AtomicBool::new(true),
+            rec_lsn: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -89,16 +99,88 @@ impl Frame {
     }
 }
 
+/// One shard of the frame table: its slice of the page map, the clock ring
+/// the eviction hand walks, and locality counters.
+struct Shard {
+    frames: Mutex<ShardFrames>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct ShardFrames {
+    map: HashMap<PageId, Arc<Frame>>,
+    /// Clock ring over this shard's resident pages. Kept in sync with
+    /// `map` (entries are removed on eviction/deregistration), so the hand
+    /// only ever sees live frames; the stale-entry check in the sweep is
+    /// defensive.
+    ring: Vec<PageId>,
+    hand: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            frames: Mutex::new(ShardFrames::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ShardFrames {
+    fn insert(&mut self, pid: PageId, frame: Arc<Frame>) -> Option<Arc<Frame>> {
+        let prev = self.map.insert(pid, frame);
+        if prev.is_none() {
+            self.ring.push(pid);
+        }
+        prev
+    }
+
+    fn remove(&mut self, pid: PageId) -> Option<Arc<Frame>> {
+        let prev = self.map.remove(&pid);
+        if prev.is_some() {
+            if let Some(i) = self.ring.iter().position(|p| *p == pid) {
+                self.ring.swap_remove(i);
+            }
+        }
+        prev
+    }
+}
+
+/// Point-in-time statistics for one buffer-pool shard.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub resident: usize,
+}
+
 /// The per-site buffer pool.
 pub struct BufferPool {
     capacity: usize,
-    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: usize,
+    /// Global resident-frame count (capacity is a pool-wide budget, not a
+    /// per-shard one).
+    resident: AtomicUsize,
+    /// Rotor distributing eviction sweeps across shards.
+    next_shard: AtomicUsize,
     tables: RwLock<HashMap<TableId, Arc<SegmentedHeapFile>>>,
     locks: Arc<LockManager>,
     wal: RwLock<Option<Arc<LogManager>>>,
     policy: PagePolicy,
-    rng: Mutex<SmallRng>,
     metrics: Metrics,
+}
+
+/// Shards scale with capacity (≈8 frames per shard) up to 16: tiny test
+/// pools stay observable through one shard, big pools spread contention.
+fn shard_count_for(capacity: usize) -> usize {
+    (capacity / 8).next_power_of_two().clamp(1, 16)
 }
 
 impl BufferPool {
@@ -108,16 +190,62 @@ impl BufferPool {
         policy: PagePolicy,
         metrics: Metrics,
     ) -> Self {
+        let capacity = capacity.max(2);
+        let n = shard_count_for(capacity);
         BufferPool {
-            capacity: capacity.max(2),
-            frames: Mutex::new(HashMap::new()),
+            capacity,
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            shard_mask: n - 1,
+            resident: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
             tables: RwLock::new(HashMap::new()),
             locks,
             wal: RwLock::new(None),
             policy,
-            rng: Mutex::new(SmallRng::seed_from_u64(0x4841_5242)),
             metrics,
         }
+    }
+
+    #[inline]
+    fn shard(&self, pid: PageId) -> &Shard {
+        // Fibonacci hash over (table, page_no); the high bits are the
+        // best-mixed, so index from the top.
+        let key = ((pid.table.0 as u64) << 32) | pid.page_no as u64;
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 48) as usize & self.shard_mask]
+    }
+
+    /// Number of frame-table shards (power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard hit/miss/eviction counters plus resident frame counts.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                resident: s.frames.lock().map.len(),
+            })
+            .collect()
+    }
+
+    /// Number of frames currently pinned (tests / introspection).
+    pub fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.frames
+                    .lock()
+                    .map
+                    .values()
+                    .filter(|f| f.pins.load(Ordering::SeqCst) > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Attaches a log manager: the pool starts honouring the WAL rule on
@@ -144,8 +272,16 @@ impl BufferPool {
 
     pub fn deregister_table(&self, id: TableId) {
         self.tables.write().remove(&id);
-        let mut frames = self.frames.lock();
-        frames.retain(|pid, _| pid.table != id);
+        let mut dropped = 0usize;
+        for shard in self.shards.iter() {
+            let mut g = shard.frames.lock();
+            let before = g.map.len();
+            g.map.retain(|pid, _| pid.table != id);
+            g.ring.retain(|pid| pid.table != id);
+            g.hand = 0;
+            dropped += before - g.map.len();
+        }
+        self.resident.fetch_sub(dropped, Ordering::SeqCst);
     }
 
     pub fn table(&self, id: TableId) -> DbResult<Arc<SegmentedHeapFile>> {
@@ -175,88 +311,158 @@ impl BufferPool {
 
     /// Fetches (or loads) the frame for `pid`, evicting if over capacity.
     fn frame(&self, pid: PageId) -> DbResult<Arc<Frame>> {
-        {
-            let frames = self.frames.lock();
-            if let Some(f) = frames.get(&pid) {
-                f.pins.fetch_add(1, Ordering::SeqCst);
-                return Ok(f.clone());
+        let shard = self.shard(pid);
+        loop {
+            // Snapshot the shard's eviction count together with the miss:
+            // it is the epoch that tells us below whether a flush+evict of
+            // this page could have happened while we read the disk.
+            let epoch = {
+                let g = shard.frames.lock();
+                if let Some(f) = g.map.get(&pid) {
+                    f.pins.fetch_add(1, Ordering::SeqCst);
+                    f.referenced.store(true, Ordering::Relaxed);
+                    let f = f.clone();
+                    drop(g);
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.add_pool_hits(1);
+                    return Ok(f);
+                }
+                shard.evictions.load(Ordering::SeqCst)
+            };
+            // Load outside the shard lock, then insert. Two loaders racing
+            // is harmless (first writer wins, both read the same bytes) —
+            // but a load racing an *eviction* is not: another thread may
+            // insert a frame, take writes, and have it flushed + evicted
+            // all between our disk read and our map insert, making our
+            // copy stale. The eviction epoch detects that window.
+            let table = self.table(pid.table)?;
+            let page = table.read_page(pid.page_no)?;
+            let frame = Arc::new(Frame::fresh(page, false));
+            frame.pins.fetch_add(1, Ordering::SeqCst);
+            let mut g = shard.frames.lock();
+            if let Some(existing) = g.map.get(&pid) {
+                existing.pins.fetch_add(1, Ordering::SeqCst);
+                existing.referenced.store(true, Ordering::Relaxed);
+                let existing = existing.clone();
+                drop(g);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.add_pool_misses(1);
+                return Ok(existing);
             }
+            if shard.evictions.load(Ordering::SeqCst) != epoch {
+                // An eviction ran in this shard while we were off the lock;
+                // our disk read may predate the evicted frame's flush.
+                // Retry with a fresh read.
+                drop(g);
+                continue;
+            }
+            g.insert(pid, frame.clone());
+            drop(g);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            self.metrics.add_pool_misses(1);
+            self.resident.fetch_add(1, Ordering::SeqCst);
+            self.evict_to_capacity()?;
+            return Ok(frame);
         }
-        // Load outside the map lock, then insert (last writer wins the race
-        // harmlessly: both loaded the same on-disk bytes).
-        let table = self.table(pid.table)?;
-        let page = table.read_page(pid.page_no)?;
-        let frame = Arc::new(Frame::fresh(page, false));
-        frame.pins.fetch_add(1, Ordering::SeqCst);
-        let mut frames = self.frames.lock();
-        let entry = frames.entry(pid).or_insert_with(|| frame.clone());
-        if !Arc::ptr_eq(entry, &frame) {
-            entry.pins.fetch_add(1, Ordering::SeqCst);
-            let existing = entry.clone();
-            drop(frames);
-            return Ok(existing);
-        }
-        drop(frames);
-        self.evict_to_capacity()?;
-        Ok(frame)
     }
 
-    /// Materializes a brand-new page (just allocated by the table) as a
-    /// dirty frame.
+    /// Materializes a brand-new page (just allocated by the table) in the
+    /// pool. This must go through the normal faulting path, not install a
+    /// fresh empty frame: between the allocation and this call, a
+    /// concurrent inserter can probe the page through `insert_candidates`,
+    /// fault it in (`read_page` hands never-flushed pages back as
+    /// initialized empty pages), fill slots, and have the frame flushed
+    /// *and evicted* again — fabricating an empty frame here would
+    /// resurrect the page as blank and wipe those rows on its next
+    /// write-back. The miss path reads whatever is durable (an empty page
+    /// for a truly fresh allocation) under the eviction-epoch protocol.
     pub fn create_page(&self, pid: PageId) -> DbResult<()> {
-        let table = self.table(pid.table)?;
-        let frame = Arc::new(Frame::fresh(Page::init(table.tuple_size()), true));
-        self.frames.lock().insert(pid, frame);
-        self.evict_to_capacity()
+        let frame = self.frame(pid)?;
+        frame.pins.fetch_sub(1, Ordering::SeqCst);
+        Ok(())
     }
 
     fn evict_to_capacity(&self) -> DbResult<()> {
-        loop {
-            let victim = {
-                let frames = self.frames.lock();
-                if frames.len() <= self.capacity {
-                    return Ok(());
-                }
-                // Random eviction among unpinned (and, under NO-STEAL,
-                // clean) frames.
-                let candidates: Vec<PageId> = frames
-                    .iter()
-                    .filter(|(_, f)| {
-                        f.pins.load(Ordering::SeqCst) == 0
-                            && (self.policy.steal || !f.dirty.load(Ordering::SeqCst))
-                    })
-                    .map(|(pid, _)| *pid)
-                    .collect();
-                if candidates.is_empty() {
-                    // Everything pinned or unstealable: run over capacity
-                    // rather than fail mid-transaction.
-                    return Ok(());
-                }
-                let i = self.rng.lock().gen_range(0..candidates.len());
-                candidates[i]
+        while self.resident.load(Ordering::SeqCst) > self.capacity {
+            let Some(victim) = self.find_victim() else {
+                // Everything pinned or unstealable: run over capacity
+                // rather than fail mid-transaction.
+                return Ok(());
             };
             if self.try_evict(victim)? {
                 self.metrics.add_evictions(1);
             }
         }
+        Ok(())
+    }
+
+    /// Picks an eviction victim by sweeping the clock hands, starting from
+    /// a rotating shard so sweeps spread across the pool.
+    fn find_victim(&self) -> Option<PageId> {
+        let n = self.shards.len();
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        (0..n).find_map(|i| self.clock_victim(&self.shards[(start + i) % n]))
+    }
+
+    /// One clock sweep over a shard: skip pinned (and, under NO-STEAL,
+    /// dirty) frames, give referenced frames a second chance by clearing
+    /// their bit, and return the first frame that is evictable with a clear
+    /// bit. Two passes bound the sweep: the first clears bits, the second
+    /// catches the frames it cleared.
+    fn clock_victim(&self, shard: &Shard) -> Option<PageId> {
+        let mut g = shard.frames.lock();
+        let mut remaining = g.ring.len() * 2;
+        while remaining > 0 && !g.ring.is_empty() {
+            if g.hand >= g.ring.len() {
+                g.hand = 0;
+            }
+            let hand = g.hand;
+            let pid = g.ring[hand];
+            let Some(f) = g.map.get(&pid) else {
+                g.ring.swap_remove(hand);
+                remaining = remaining.saturating_sub(1);
+                continue;
+            };
+            let evictable = f.pins.load(Ordering::SeqCst) == 0
+                && (self.policy.steal || !f.dirty.load(Ordering::SeqCst));
+            if evictable && !f.referenced.swap(false, Ordering::Relaxed) {
+                g.hand += 1;
+                return Some(pid);
+            }
+            g.hand += 1;
+            remaining -= 1;
+        }
+        None
     }
 
     fn try_evict(&self, pid: PageId) -> DbResult<bool> {
         // Flush first if dirty (STEAL), then remove if still unpinned.
+        let shard = self.shard(pid);
         let frame = {
-            let frames = self.frames.lock();
-            match frames.get(&pid) {
+            let g = shard.frames.lock();
+            match g.map.get(&pid) {
                 Some(f) if f.pins.load(Ordering::SeqCst) == 0 => f.clone(),
                 _ => return Ok(false),
             }
         };
         if frame.dirty.load(Ordering::SeqCst) {
+            if !self.policy.steal {
+                // NO-STEAL: a page dirtied since victim selection must stay.
+                return Ok(false);
+            }
             self.flush_frame(pid, &frame)?;
         }
-        let mut frames = self.frames.lock();
-        if let Some(f) = frames.get(&pid) {
+        let mut g = shard.frames.lock();
+        if let Some(f) = g.map.get(&pid) {
             if f.pins.load(Ordering::SeqCst) == 0 && !f.dirty.load(Ordering::SeqCst) {
-                frames.remove(&pid);
+                g.remove(pid);
+                // Bump the eviction epoch before the removal becomes
+                // visible (i.e. while still holding the shard lock):
+                // `frame`'s miss path uses it to detect that a disk read
+                // it started may predate this frame's flush.
+                shard.evictions.fetch_add(1, Ordering::SeqCst);
+                drop(g);
+                self.resident.fetch_sub(1, Ordering::SeqCst);
                 return Ok(true);
             }
         }
@@ -537,11 +743,17 @@ impl BufferPool {
     /// Page ids of all dirty frames — the dirty pages table snapshot the
     /// checkpoint procedure takes (Fig 3-2).
     pub fn dirty_pages(&self) -> Vec<PageId> {
-        self.frames
-            .lock()
+        self.shards
             .iter()
-            .filter(|(_, f)| f.dirty.load(Ordering::SeqCst))
-            .map(|(pid, _)| *pid)
+            .flat_map(|s| {
+                s.frames
+                    .lock()
+                    .map
+                    .iter()
+                    .filter(|(_, f)| f.dirty.load(Ordering::SeqCst))
+                    .map(|(pid, _)| *pid)
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
@@ -549,13 +761,19 @@ impl BufferPool {
     /// ARIES fuzzy checkpoint record. Pages dirtied by unlogged mutations
     /// report recLSN zero (maximally conservative: redo starts earlier).
     pub fn dirty_pages_with_reclsn(&self) -> Vec<(PageId, Lsn)> {
-        self.frames
-            .lock()
+        self.shards
             .iter()
-            .filter(|(_, f)| f.dirty.load(Ordering::SeqCst))
-            .map(|(pid, f)| {
-                let r = f.rec_lsn.load(Ordering::SeqCst);
-                (*pid, if r == u64::MAX { Lsn::ZERO } else { Lsn(r) })
+            .flat_map(|s| {
+                s.frames
+                    .lock()
+                    .map
+                    .iter()
+                    .filter(|(_, f)| f.dirty.load(Ordering::SeqCst))
+                    .map(|(pid, f)| {
+                        let r = f.rec_lsn.load(Ordering::SeqCst);
+                        (*pid, if r == u64::MAX { Lsn::ZERO } else { Lsn(r) })
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect()
     }
@@ -563,8 +781,8 @@ impl BufferPool {
     /// Flushes one page if present and dirty.
     pub fn flush_page(&self, pid: PageId) -> DbResult<()> {
         let frame = {
-            let frames = self.frames.lock();
-            match frames.get(&pid) {
+            let g = self.shard(pid).frames.lock();
+            match g.map.get(&pid) {
                 Some(f) => f.clone(),
                 None => return Ok(()),
             }
@@ -585,7 +803,7 @@ impl BufferPool {
 
     /// Number of resident frames (tests / introspection).
     pub fn resident(&self) -> usize {
-        self.frames.lock().len()
+        self.shards.iter().map(|s| s.frames.lock().map.len()).sum()
     }
 
     /// The page LSN of `pid` as seen through the pool (loads if needed).

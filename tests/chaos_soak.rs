@@ -83,6 +83,9 @@ fn pinned_seeds_hold_invariants() {
             report.failed_recoveries,
             report.min_live_seen
         );
+        for line in &report.read_path {
+            println!("  read path {line}");
+        }
     }
 }
 
