@@ -143,7 +143,9 @@ fn main() {
             m.recovery_tuples_applied as f64 / secs,
         );
     }
-    println!("\nread hot path at quiesce (per site, per shard h/m/e/resident):");
+    println!(
+        "\nread hot path at quiesce (per site, per shard h/m/e/resident, storage fault plane):"
+    );
     for line in &run.read_path {
         println!("  {line}");
     }

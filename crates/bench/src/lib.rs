@@ -435,7 +435,8 @@ pub struct RecoveryRun {
     pub metrics: Option<harbor_common::MetricsSnapshot>,
     /// Per-site read-hot-path summaries at quiesce: aggregate pool
     /// hit/miss/eviction counters, scan admission counters, zero-copy
-    /// bytes, and the per-shard buffer-pool breakdown.
+    /// bytes, the per-shard buffer-pool breakdown, and the storage
+    /// fault-plane counters (faults injected, checksum failures, repairs).
     pub read_path: Vec<String>,
 }
 
@@ -453,9 +454,10 @@ pub fn site_read_path_summary(
         .map(|s| format!("{}h/{}m/{}e/{}r", s.hits, s.misses, s.evictions, s.resident))
         .collect();
     format!(
-        "{site}: {} shards[{}]",
+        "{site}: {} shards[{}] {}",
         snap.read_path_summary(),
-        shards.join(" ")
+        shards.join(" "),
+        snap.scrub_summary()
     )
 }
 

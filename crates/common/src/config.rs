@@ -6,6 +6,17 @@ use std::time::Duration;
 /// pages (§6.1.1).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Bytes of every on-disk page reserved for its FNV-1a checksum trailer
+/// (the page's last [`PAGE_CRC_LEN`] bytes, covering bytes
+/// `0..PAGE_SIZE - PAGE_CRC_LEN`). Stamped on every page write and
+/// verified on every fault-in, mirroring the WAL frame checksum. The
+/// slotted-page layout and the segment directory both size themselves
+/// against [`PAGE_PAYLOAD`] so neither ever writes into the trailer.
+pub const PAGE_CRC_LEN: usize = 4;
+
+/// Usable page bytes — everything before the checksum trailer.
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - PAGE_CRC_LEN;
+
 /// Tuples per `Response::Tuples` batch when a worker streams a scan back to
 /// a peer. Large enough to amortise framing, small enough that a recovering
 /// site can start applying before the stream finishes.

@@ -28,6 +28,14 @@ pub enum DbError {
     NoSuchRecord(RecordId),
     /// Page, heap file or log contents failed validation.
     Corrupt(String),
+    /// A heap page's checksum trailer did not match its contents on
+    /// fault-in: the on-disk copy is damaged (torn write, bit rot, bad
+    /// sector). *Site-local and repairable* — the page can be rebuilt from
+    /// a live buddy's copy of the same key range, so this is neither a
+    /// transient [`DbError::Timeout`] (re-reading the same bytes cannot
+    /// help) nor a reason to escalate to [`DbError::SiteUnavailable`]
+    /// (the site is otherwise live).
+    CorruptPage { table: TableId, page: u32 },
     /// The page / segment / log buffer is full.
     Full(String),
     /// Networking failure; carries a human-readable cause. A closed
@@ -107,6 +115,30 @@ impl DbError {
                 | io::ErrorKind::UnexpectedEof
         ))
     }
+
+    /// `true` for corrupt-state errors: a checksum-failed page or any other
+    /// failed content validation. Site-local — the *data* is damaged, not
+    /// the site or the link — so callers must neither blindly retry the
+    /// same read (it returns the same bytes) nor write the site off as
+    /// dead. A corrupt read from a replica is answerable by a different
+    /// replica of the same object.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, DbError::Corrupt(_) | DbError::CorruptPage { .. })
+    }
+
+    /// Rebuilds a classified error from a remote site's stringly
+    /// `Response::Err { msg }`. Corruption must keep its class across the
+    /// wire: a recovering site that receives "corrupt page …" from a buddy
+    /// should re-fetch the range from a *different* buddy, not retry or
+    /// declare the buddy dead. Everything else stays a protocol error.
+    pub fn from_remote_msg(msg: impl Into<String>) -> Self {
+        let msg = msg.into();
+        if msg.contains("corrupt page") || msg.contains("corrupt state") {
+            DbError::Corrupt(msg)
+        } else {
+            DbError::Protocol(msg)
+        }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -125,6 +157,9 @@ impl fmt::Display for DbError {
             DbError::NoSuchPage(p) => write!(f, "no such page {p}"),
             DbError::NoSuchRecord(r) => write!(f, "no such record {r}"),
             DbError::Corrupt(m) => write!(f, "corrupt state: {m}"),
+            DbError::CorruptPage { table, page } => {
+                write!(f, "corrupt page {page} of table {table}: checksum mismatch")
+            }
             DbError::Full(m) => write!(f, "full: {m}"),
             DbError::Net(m) => write!(f, "network error: {m}"),
             DbError::Timeout(m) => write!(f, "request timed out: {m}"),
@@ -173,6 +208,24 @@ mod tests {
         assert!(DbError::timeout("x").is_timeout());
         assert!(!DbError::unavailable("x").is_timeout());
         assert!(!DbError::net("x").is_timeout());
+    }
+
+    #[test]
+    fn corrupt_classification() {
+        let e = DbError::CorruptPage {
+            table: TableId(3),
+            page: 7,
+        };
+        // Site-local and repairable: neither transient nor site death.
+        assert!(e.is_corrupt());
+        assert!(!e.is_timeout());
+        assert!(!e.is_disconnect());
+        assert!(DbError::corrupt("bad frame").is_corrupt());
+        assert!(!DbError::timeout("x").is_corrupt());
+        assert!(!DbError::unavailable("x").is_corrupt());
+        // Corruption keeps its class across a stringly wire hop.
+        assert!(DbError::from_remote_msg(e.to_string()).is_corrupt());
+        assert!(!DbError::from_remote_msg("no such table T9").is_corrupt());
     }
 
     #[test]

@@ -78,6 +78,19 @@ struct Counters {
     rpc_timeouts: AtomicU64,
     /// Idempotent-read RPC attempts retried after a transient failure.
     rpc_retries: AtomicU64,
+    /// Disk faults injected by the seeded fault plan (read errors, torn
+    /// writes, bit flips).
+    disk_faults_injected: AtomicU64,
+    /// Page reads whose checksum trailer failed verification.
+    checksum_failures: AtomicU64,
+    /// Pages whose checksum the scrubber verified.
+    scrub_pages_scanned: AtomicU64,
+    /// Corrupt pages rebuilt (from a resident frame or a buddy query).
+    pages_repaired: AtomicU64,
+    /// Segment ranges re-fetched from a buddy to repair corrupt pages.
+    repair_ranges_fetched: AtomicU64,
+    /// Bytes of tuple payload shipped from buddies for page repair.
+    repair_bytes_shipped: AtomicU64,
 }
 
 macro_rules! counter {
@@ -164,6 +177,28 @@ impl Metrics {
     );
     counter!(add_rpc_timeouts, rpc_timeouts, rpc_timeouts);
     counter!(add_rpc_retries, rpc_retries, rpc_retries);
+    counter!(
+        add_disk_faults_injected,
+        disk_faults_injected,
+        disk_faults_injected
+    );
+    counter!(add_checksum_failures, checksum_failures, checksum_failures);
+    counter!(
+        add_scrub_pages_scanned,
+        scrub_pages_scanned,
+        scrub_pages_scanned
+    );
+    counter!(add_pages_repaired, pages_repaired, pages_repaired);
+    counter!(
+        add_repair_ranges_fetched,
+        repair_ranges_fetched,
+        repair_ranges_fetched
+    );
+    counter!(
+        add_repair_bytes_shipped,
+        repair_bytes_shipped,
+        repair_bytes_shipped
+    );
 
     /// Snapshot of all counters, for diffing across an experiment.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -197,6 +232,12 @@ impl Metrics {
             chaos_partition_drops: self.chaos_partition_drops(),
             rpc_timeouts: self.rpc_timeouts(),
             rpc_retries: self.rpc_retries(),
+            disk_faults_injected: self.disk_faults_injected(),
+            checksum_failures: self.checksum_failures(),
+            scrub_pages_scanned: self.scrub_pages_scanned(),
+            pages_repaired: self.pages_repaired(),
+            repair_ranges_fetched: self.repair_ranges_fetched(),
+            repair_bytes_shipped: self.repair_bytes_shipped(),
         }
     }
 }
@@ -233,6 +274,12 @@ pub struct MetricsSnapshot {
     pub chaos_partition_drops: u64,
     pub rpc_timeouts: u64,
     pub rpc_retries: u64,
+    pub disk_faults_injected: u64,
+    pub checksum_failures: u64,
+    pub scrub_pages_scanned: u64,
+    pub pages_repaired: u64,
+    pub repair_ranges_fetched: u64,
+    pub repair_bytes_shipped: u64,
 }
 
 impl MetricsSnapshot {
@@ -288,6 +335,22 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.chaos_partition_drops),
             rpc_timeouts: self.rpc_timeouts.saturating_sub(earlier.rpc_timeouts),
             rpc_retries: self.rpc_retries.saturating_sub(earlier.rpc_retries),
+            disk_faults_injected: self
+                .disk_faults_injected
+                .saturating_sub(earlier.disk_faults_injected),
+            checksum_failures: self
+                .checksum_failures
+                .saturating_sub(earlier.checksum_failures),
+            scrub_pages_scanned: self
+                .scrub_pages_scanned
+                .saturating_sub(earlier.scrub_pages_scanned),
+            pages_repaired: self.pages_repaired.saturating_sub(earlier.pages_repaired),
+            repair_ranges_fetched: self
+                .repair_ranges_fetched
+                .saturating_sub(earlier.repair_ranges_fetched),
+            repair_bytes_shipped: self
+                .repair_bytes_shipped
+                .saturating_sub(earlier.repair_bytes_shipped),
         }
     }
 
@@ -325,6 +388,22 @@ impl MetricsSnapshot {
             self.chaos_partition_drops,
             self.rpc_timeouts,
             self.rpc_retries,
+        )
+    }
+
+    /// Human-readable summary of the storage-fault-plane counters (scrub
+    /// coverage, detections, repairs), for the fig6_6 and chaos-soak
+    /// printouts next to the buffer-pool shard stats.
+    pub fn scrub_summary(&self) -> String {
+        format!(
+            "disk_faults={} checksum_failures={} scrubbed={} repaired={} \
+             repair_ranges={} repair_bytes={}",
+            self.disk_faults_injected,
+            self.checksum_failures,
+            self.scrub_pages_scanned,
+            self.pages_repaired,
+            self.repair_ranges_fetched,
+            self.repair_bytes_shipped,
         )
     }
 }

@@ -24,7 +24,7 @@
 use crate::cluster::Cluster;
 use harbor_common::{DbResult, SiteId, Value};
 use harbor_dist::{CrashPoint, UpdateRequest};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 /// One run's knobs. All probabilities are per-mille per operation.
 #[derive(Clone, Debug)]
@@ -79,8 +79,18 @@ pub struct ChaosRunReport {
     pub min_live_seen: usize,
     /// The deterministic event schedule ("op 12: crash site-2 fail-stop").
     pub schedule: Vec<String>,
-    /// The chaos layer's canonical fault trace (empty when chaos is off).
+    /// The chaos layer's canonical fault trace (empty when chaos is off),
+    /// followed by each site's canonical disk-fault trace when the cluster
+    /// was built with a [`harbor_storage::DiskFaultConfig`].
     pub fault_trace: String,
+    /// Disk faults injected across all sites (0 without a fault plan).
+    pub disk_faults_injected: u64,
+    /// Pages checksum-scanned by the quiesce scrub.
+    pub scrub_pages_scanned: u64,
+    /// Corrupt pages the quiesce scrub found (and repaired).
+    pub scrub_corrupt_pages: u64,
+    /// Bytes fetched from buddies to repair corrupt pages.
+    pub scrub_bytes_shipped: u64,
     /// Invariant violations; an empty vector is a passing run.
     pub violations: Vec<String>,
     /// Per-site read-hot-path summaries at quiesce: aggregate buffer-pool
@@ -140,6 +150,9 @@ impl Cluster {
             chaos.clear_trace();
             chaos.set_enabled(true);
         }
+        // Disk faults are independent of network chaos: arm them for the
+        // whole run (a no-op when the cluster has no fault plan).
+        self.set_disk_faults_enabled(true);
 
         for op in 0..cfg.ops {
             // --- scheduled events -------------------------------------
@@ -307,6 +320,7 @@ impl Cluster {
             chaos.heal();
             chaos.set_enabled(false);
         }
+        self.set_disk_faults_enabled(false);
         for site in &all_sites {
             self.crash_schedule().disarm_if(*site, |_| true);
         }
@@ -317,9 +331,44 @@ impl Cluster {
         // dead, one was kept up (deferred fail-stop) to serve as the
         // recovery buddy, and can only be fail-stopped and re-synced itself
         // once a peer has rejoined.
+        let mut scrubbed: HashSet<SiteId> = HashSet::new();
         for round in 0..=all_sites.len() {
             let tag = format!("quiesce[{round}]");
-            self.resolve_pending_txns(&tag, &mut report);
+            let txns_clear = self.resolve_pending_txns(&tag, &mut report);
+            // Scrub every live site before any recovery attempt: a corrupt
+            // buddy page must be repaired before it serves catch-up scans.
+            // Deferred while commit state is in doubt — the repair diff
+            // must not race an insert that is still prepared locally but
+            // already committed at the buddy.
+            if txns_clear {
+                for site in self.live_sites() {
+                    if self.disk_fault_plan(site).is_none() || scrubbed.contains(&site) {
+                        continue;
+                    }
+                    match self.scrub_worker(site) {
+                        Ok(r) => {
+                            scrubbed.insert(site);
+                            report.scrub_pages_scanned += r.pages_scanned;
+                            report.scrub_corrupt_pages += r.corrupt_pages;
+                            report.scrub_bytes_shipped += r.bytes_shipped;
+                            if r.corrupt_pages > 0 {
+                                report.schedule.push(format!(
+                                    "{tag}: scrub {site}: {} corrupt ({} healed, \
+                                     {} refetched, {} full)",
+                                    r.corrupt_pages,
+                                    r.self_healed,
+                                    r.pages_refetched,
+                                    r.full_recoveries
+                                ));
+                            }
+                        }
+                        // Retried next round — a buddy may still be down.
+                        Err(e) => report
+                            .schedule
+                            .push(format!("{tag}: scrub {site} failed: {e}")),
+                    }
+                }
+            }
             for site in all_sites.iter().copied() {
                 if !self.is_crashed(site)
                     && self.coordinator().is_dead(site)
@@ -360,10 +409,33 @@ impl Cluster {
                 report
                     .violations
                     .push(format!("{site} still presumed dead at quiesce"));
+            } else if self.disk_fault_plan(*site).is_some() && !scrubbed.contains(site) {
+                // A site recovered in the final round was already scrubbed
+                // inside recovery; every other live site must have come
+                // through `scrub_worker` clean.
+                match self.scrub_worker(*site) {
+                    Ok(r) => {
+                        report.scrub_pages_scanned += r.pages_scanned;
+                        report.scrub_corrupt_pages += r.corrupt_pages;
+                        report.scrub_bytes_shipped += r.bytes_shipped;
+                    }
+                    Err(e) => report
+                        .violations
+                        .push(format!("{site} never scrubbed clean: {e}")),
+                }
             }
         }
         if let Some(chaos) = self.chaos() {
             report.fault_trace = chaos.trace_canonical();
+        }
+        report.disk_faults_injected = self.disk_faults_injected();
+        for site in &all_sites {
+            if let Some(plan) = self.disk_fault_plan(*site) {
+                let t = plan.trace_canonical();
+                if !t.is_empty() {
+                    report.fault_trace.push_str(&format!("[disk {site}]\n{t}"));
+                }
+            }
         }
 
         // --- invariants -------------------------------------------------
@@ -378,9 +450,10 @@ impl Cluster {
                     .map(|s| format!("{}h/{}m/{}e/{}r", s.hits, s.misses, s.evictions, s.resident))
                     .collect();
                 report.read_path.push(format!(
-                    "{site}: {} shards[{}]",
+                    "{site}: {} shards[{}] {}",
                     snap.read_path_summary(),
-                    shards.join(" ")
+                    shards.join(" "),
+                    snap.scrub_summary()
                 ));
             }
         }

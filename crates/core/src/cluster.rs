@@ -16,7 +16,7 @@ use harbor_dist::{
 };
 use harbor_engine::{Engine, EngineOptions};
 use harbor_net::{ChaosConfig, ChaosTransport, InMemNetwork, TcpTransport, Transport};
-use harbor_storage::PagePolicy;
+use harbor_storage::{DiskFaultConfig, DiskFaultPlan, PagePolicy};
 use harbor_wal::aries::AriesReport;
 use harbor_wal::GroupCommit;
 use parking_lot::Mutex;
@@ -98,6 +98,13 @@ pub struct ClusterConfig {
     /// *disabled* so cluster bootstrap is fault-free; tests flip it on via
     /// [`Cluster::chaos`].
     pub chaos: Option<ChaosConfig>,
+    /// Deterministic disk-fault injection: when set, every worker's heap
+    /// files go through a per-site [`DiskFaultPlan`] derived from this
+    /// master config (see [`DiskFaultConfig::for_site`]). Plans are built
+    /// *disarmed* so bootstrap is fault-free; tests flip them on via
+    /// [`Cluster::set_disk_faults_enabled`]. Plans survive worker restarts,
+    /// so a seed replays one byte-identical fault trace per site.
+    pub disk_faults: Option<DiskFaultConfig>,
     /// Cluster-wide crash schedule probed by the coordinator and workers at
     /// the [`CrashPoint`] protocol steps.
     pub crash_schedule: Arc<CrashSchedule>,
@@ -128,6 +135,7 @@ impl ClusterConfig {
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
             chaos: None,
+            disk_faults: None,
             crash_schedule: Arc::new(CrashSchedule::new()),
             rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
@@ -161,6 +169,10 @@ pub struct Cluster {
     transport: Arc<dyn Transport>,
     /// The shared fault-injection layer (None when chaos is off).
     chaos: Option<Arc<ChaosTransport>>,
+    /// Per-site disk-fault plans (empty when disk faults are off). Built
+    /// once at `build` and reused across worker restarts so ordinals and
+    /// the fault trace accumulate site-wide.
+    disk_plans: HashMap<SiteId, Arc<DiskFaultPlan>>,
     /// Counts every message/byte crossing the cluster's transport.
     net_metrics: Metrics,
     placement: Placement,
@@ -234,11 +246,21 @@ impl Cluster {
             .iter()
             .map(|(s, l, _)| (*s, l.local_addr()))
             .collect();
+        // Per-site disk-fault plans, disarmed until a test flips them on.
+        let disk_plans: HashMap<SiteId, Arc<DiskFaultPlan>> = match &cfg.disk_faults {
+            Some(base) => (1..=cfg.num_workers)
+                .map(|i| {
+                    let site = SiteId(i as u16);
+                    (site, DiskFaultPlan::new(base.for_site(site.0)))
+                })
+                .collect(),
+            None => HashMap::new(),
+        };
         // Workers.
         let mut workers = HashMap::new();
         for (site, listener, wt) in worker_listeners {
             let wdir = dir.join(format!("site-{}", site.0));
-            let engine = Self::open_engine(&wdir, site, &cfg)?;
+            let engine = Self::open_engine(&wdir, site, &cfg, disk_plans.get(&site).cloned())?;
             for spec in &cfg.tables {
                 if engine.table_def(&spec.name).is_none() {
                     engine.create_table(&spec.name, spec.user_fields.clone())?;
@@ -294,6 +316,7 @@ impl Cluster {
             dir,
             transport: base,
             chaos,
+            disk_plans,
             net_metrics,
             placement,
             coordinator,
@@ -302,7 +325,12 @@ impl Cluster {
         })
     }
 
-    fn open_engine(dir: &Path, site: SiteId, cfg: &ClusterConfig) -> DbResult<Arc<Engine>> {
+    fn open_engine(
+        dir: &Path,
+        site: SiteId,
+        cfg: &ClusterConfig,
+        disk_faults: Option<Arc<DiskFaultPlan>>,
+    ) -> DbResult<Arc<Engine>> {
         let opts = EngineOptions {
             site,
             storage: cfg.storage.clone(),
@@ -310,6 +338,7 @@ impl Cluster {
             group_commit: cfg.group_commit,
             policy: PagePolicy::steal_no_force(),
             deadlock: cfg.deadlock,
+            disk_faults,
         };
         Engine::open(dir, opts)
     }
@@ -331,6 +360,26 @@ impl Cluster {
     /// the same seed replays the identical fault trace.
     pub fn chaos(&self) -> Option<&Arc<ChaosTransport>> {
         self.chaos.as_ref()
+    }
+
+    /// One site's disk-fault plan, when the cluster was built with
+    /// [`ClusterConfig::disk_faults`].
+    pub fn disk_fault_plan(&self, site: SiteId) -> Option<&Arc<DiskFaultPlan>> {
+        self.disk_plans.get(&site)
+    }
+
+    /// Arms or disarms disk-fault injection on every site at once.
+    /// Disarmed I/Os consume no ordinals, so the armed I/O sequence alone
+    /// determines the fault trace.
+    pub fn set_disk_faults_enabled(&self, on: bool) {
+        for plan in self.disk_plans.values() {
+            plan.set_enabled(on);
+        }
+    }
+
+    /// Total disk faults injected across all sites.
+    pub fn disk_faults_injected(&self) -> u64 {
+        self.disk_plans.values().map(|p| p.injected()).sum()
     }
 
     /// The cluster-wide crash schedule (see [`CrashPoint`]).
@@ -488,7 +537,8 @@ impl Cluster {
             return Err(DbError::internal(format!("{site} is not crashed")));
         }
         let wdir = self.dir.join(format!("site-{}", site.0));
-        let engine = Self::open_engine(&wdir, site, &self.cfg)?;
+        let engine =
+            Self::open_engine(&wdir, site, &self.cfg, self.disk_plans.get(&site).cloned())?;
         let addr = self.worker_addr(site);
         let peers: HashMap<SiteId, String> = self
             .worker_sites_all()
@@ -561,7 +611,17 @@ impl Cluster {
             down: down.into_iter().filter(|s| *s != site).collect(),
             config,
         };
-        match recover_site(&ctx) {
+        let result = (|| {
+            // With a disk-fault plan armed, the pages that survived the
+            // crash may be checksum-corrupt; Phase 1's local restore would
+            // trip over them. Scrub first so recovery starts from a
+            // verified disk image.
+            if self.disk_plans.contains_key(&site) {
+                crate::recovery::scrub_site(&ctx)?;
+            }
+            recover_site(&ctx)
+        })();
+        match result {
             Ok(report) => {
                 self.crashed.lock().remove(&site);
                 // `RecComingOnline` already marked the site alive per object.
@@ -577,6 +637,25 @@ impl Cluster {
                 Err(e)
             }
         }
+    }
+
+    /// Scrubs a *live* worker's disk: checksums every data page and
+    /// repairs corrupt ones from buddies (see
+    /// [`crate::recovery::scrub_site`]). The site must be quiesced —
+    /// the chaos harness scrubs after resolving pending transactions and
+    /// before any crash-recovery attempt.
+    pub fn scrub_worker(&self, site: SiteId) -> DbResult<crate::recovery::ScrubReport> {
+        let engine = self.engine(site)?;
+        let down: HashSet<SiteId> = self.crashed.lock().clone();
+        let ctx = RecoveryContext {
+            engine,
+            site,
+            placement: self.placement.clone(),
+            transport: self.transport_as(&format!("site-{}", site.0)),
+            down: down.into_iter().filter(|s| *s != site).collect(),
+            config: self.cfg.recovery.clone(),
+        };
+        crate::recovery::scrub_site(&ctx)
     }
 
     /// Brings a crashed worker back online with the ARIES baseline: local

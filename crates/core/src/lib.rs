@@ -55,6 +55,6 @@ pub mod recovery;
 pub use chaos_harness::{ChaosRunConfig, ChaosRunReport};
 pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, COORDINATOR_SITE};
 pub use recovery::{
-    recover_object, recover_site, ObjectReport, RecoveryConfig, RecoveryContext, RecoveryFailPoint,
-    RecoveryReport,
+    recover_object, recover_site, scrub_site, ObjectReport, RecoveryConfig, RecoveryContext,
+    RecoveryFailPoint, RecoveryReport, ScrubReport,
 };

@@ -27,7 +27,7 @@ use harbor_common::config::{
     DEFAULT_MAX_BUDDY_FANOUT, DEFAULT_MAX_PHASE2_RANGES, DEFAULT_MIN_RANGE_PAGES,
     DEFAULT_PHASE2_APPLIERS,
 };
-use harbor_common::{DbError, DbResult, SiteId, TableId, Timestamp, TransactionId, Tuple};
+use harbor_common::{DbError, DbResult, PageId, SiteId, TableId, Timestamp, TransactionId, Tuple};
 use harbor_dist::{
     rpc_deadline, rpc_liveness, scan_range_rpc_streaming, scan_rpc_streaming_deadline,
     segment_bounds_rpc, with_read_retries, Placement, RecoveryObject, RemoteScan, Request,
@@ -36,7 +36,7 @@ use harbor_dist::{
 use harbor_engine::Engine;
 use harbor_exec::{scan_rids, ReadMode};
 use harbor_net::{Channel, Transport};
-use harbor_storage::ScanBounds;
+use harbor_storage::{Page, ScanBounds};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -662,7 +662,11 @@ where
                     drop(tx);
                     return drain(rx);
                 }
-                Err(e) if e.is_disconnect() => {
+                // A buddy that died mid-stream — or answered from a
+                // corrupt page of its own — loses the range to the next
+                // candidate. Corruption is site-local and repairable, so
+                // it must not fail the recovery (nor mark the buddy dead).
+                Err(e) if e.is_disconnect() || e.is_corrupt() => {
                     ctx.engine.metrics().add_recovery_ranges_reassigned(1);
                     last_err = Some(e);
                 }
@@ -734,8 +738,10 @@ where
                                 return Ok(());
                             }
                         }
-                        Err(e) if e.is_disconnect() => {
-                            // §5.5: the buddy died mid-stream. Nothing
+                        Err(e) if e.is_disconnect() || e.is_corrupt() => {
+                            // §5.5: the buddy died mid-stream — or served
+                            // from a corrupt page, which is site-local and
+                            // repairable, not a recovery failure. Nothing
                             // from the broken range was forwarded, so the
                             // whole range is safe to hand to a survivor.
                             ctx.engine.metrics().add_recovery_ranges_reassigned(1);
@@ -1094,6 +1100,404 @@ fn phase3(
         )?;
     }
     Ok(consistent_up_to)
+}
+
+// ====================================================================
+// Disk scrub + page repair: detect checksum-corrupt pages on a *live*
+// site and restore them from a recovery buddy without a full recovery.
+// ====================================================================
+
+/// What one scrub pass over a site found and fixed.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// On-disk pages whose checksums were verified.
+    pub pages_scanned: u64,
+    /// Pages that failed verification (or were unreadable).
+    pub corrupt_pages: u64,
+    /// Corrupt pages healed by rewriting a still-resident buffer frame —
+    /// no network traffic.
+    pub self_healed: u64,
+    /// Corrupt pages zeroed and logically restored from a buddy.
+    pub pages_refetched: u64,
+    /// Ranged historical queries issued against buddies.
+    pub ranges_fetched: u64,
+    /// Tuples the diff found missing locally and re-inserted.
+    pub tuples_reinserted: u64,
+    /// Bytes of tuple data shipped by the repair queries.
+    pub bytes_shipped: u64,
+    /// Tables that fell back to a full [`recover_object`] because the
+    /// corruption could not be mapped to segment ranges.
+    pub full_recoveries: u64,
+    pub elapsed: Duration,
+}
+
+impl ScrubReport {
+    fn absorb(&mut self, other: ScrubReport) {
+        self.pages_scanned += other.pages_scanned;
+        self.corrupt_pages += other.corrupt_pages;
+        self.self_healed += other.self_healed;
+        self.pages_refetched += other.pages_refetched;
+        self.ranges_fetched += other.ranges_fetched;
+        self.tuples_reinserted += other.tuples_reinserted;
+        self.bytes_shipped += other.bytes_shipped;
+        self.full_recoveries += other.full_recoveries;
+    }
+}
+
+/// Verifies every on-disk data page of every object on the site and
+/// repairs the pages that fail (§4.2 directory mapping + replica queries).
+///
+/// Must run on a quiesced site: updates are resolved, so the replicas
+/// agree on all committed state below `now`, and a historical fetch at
+/// `now - 1` reconstructs exactly what a corrupt page held. The chaos
+/// harness scrubs at quiesce, before crash-recovery attempts, so recovery
+/// itself never trips over a corrupt buddy page.
+pub fn scrub_site(ctx: &RecoveryContext) -> DbResult<ScrubReport> {
+    let start = Instant::now();
+    let mut report = ScrubReport::default();
+    let tables: Vec<String> = ctx
+        .placement
+        .objects_on(ctx.site)
+        .into_iter()
+        .map(|(name, _)| name)
+        .filter(|name| ctx.engine.table_def(name).is_some())
+        .collect();
+    for name in &tables {
+        let object = scrub_object(ctx, name)?;
+        report.absorb(object);
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+/// Reads one on-disk page, retrying injected transient read errors.
+/// `Ok(true)` = page verifies, `Ok(false)` = corrupt or unreadable.
+fn disk_page_ok(heap: &harbor_storage::SegmentedHeapFile, page_no: u32) -> DbResult<bool> {
+    let mut attempts = 0;
+    loop {
+        match heap.read_page(page_no) {
+            Ok(_) => return Ok(true),
+            Err(e) if e.is_corrupt() => return Ok(false),
+            Err(DbError::Io(_)) if attempts < 3 => attempts += 1,
+            // A page that stays unreadable is repaired like a corrupt one.
+            Err(DbError::Io(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Scrubs one table: verify every data page directly against the disk
+/// (the buffer pool would mask a bad disk image with a resident frame),
+/// then repair failures in three escalating steps — rewrite a resident
+/// frame, re-fetch the segment's window from a buddy, or fall back to a
+/// full object recovery.
+fn scrub_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<ScrubReport> {
+    let engine = &ctx.engine;
+    let def = engine
+        .table_def(table_name)
+        .ok_or_else(|| DbError::Schema(format!("unknown table {table_name:?}")))?;
+    let heap = engine.pool().table(def.id)?;
+    let mut report = ScrubReport::default();
+
+    // ---- Detect: checksum every on-disk data page ----------------------
+    let mut corrupt: Vec<PageId> = Vec::new();
+    for pid in heap.all_page_ids() {
+        report.pages_scanned += 1;
+        engine.metrics().add_scrub_pages_scanned(1);
+        if !disk_page_ok(&heap, pid.page_no)? {
+            corrupt.push(pid);
+        }
+    }
+    if corrupt.is_empty() {
+        return Ok(report);
+    }
+    report.corrupt_pages = corrupt.len() as u64;
+
+    // ---- Self-heal: a resident frame is the authoritative copy ---------
+    // A write fault corrupts the disk image while the in-memory frame
+    // stays intact (and often clean, so flush_page would skip it).
+    // Re-writing the frame restamps the page and its checksum.
+    let mut remaining: Vec<PageId> = Vec::new();
+    for pid in corrupt {
+        let mut healed = false;
+        let mut resident = false;
+        for _ in 0..4 {
+            resident = engine.pool().force_rewrite(pid)?;
+            if !resident {
+                break;
+            }
+            // The rewrite itself races the fault plan; trust only the disk.
+            if disk_page_ok(&heap, pid.page_no)? {
+                healed = true;
+                break;
+            }
+        }
+        if healed {
+            report.self_healed += 1;
+            engine.metrics().add_pages_repaired(1);
+        } else if resident {
+            // The frame holds the only good copy of the page; quarantining
+            // the disk image under it would lose the data the moment the
+            // frame is evicted clean. Fail this pass instead — the caller
+            // retries the scrub, and the frame keeps the tuples safe.
+            return Err(DbError::Io(std::io::Error::other(format!(
+                "scrub: page {} of table {} stays corrupt under rewrite",
+                pid.page_no, table_name
+            ))));
+        } else {
+            remaining.push(pid);
+        }
+    }
+    if remaining.is_empty() {
+        return Ok(report);
+    }
+
+    // ---- Map: corrupt pages -> segment insertion-time windows ----------
+    // Derived from the directory *before* any page is touched: mapping a
+    // page is only possible while the directory still lists it.
+    let mut windows: Vec<(Timestamp, Timestamp)> = Vec::new();
+    let mut unmappable = false;
+    for pid in &remaining {
+        match heap.segment_of_page(pid.page_no) {
+            Some(seg) => {
+                let meta = heap.segments()[seg.0 as usize];
+                if meta.tmax_insert > Timestamp::ZERO {
+                    windows.push((meta.tmin_insert.prev(), meta.tmax_insert));
+                }
+                // tmax == ZERO: the segment never committed anything, so
+                // the page can only have held uncommitted data — zeroing
+                // it *is* the repair.
+            }
+            None => unmappable = true,
+        }
+    }
+    windows.sort_unstable();
+    windows.dedup();
+
+    // ---- Fetch first: pull every repair window into memory -------------
+    // Nothing local is modified until the buddy data is in hand. The
+    // network is the likely failure (a buddy dies mid-stream, a deadline
+    // expires); failing here aborts the scrub with the corrupt pages —
+    // and the tuples under them — untouched, so a later pass can retry.
+    // Zeroing before fetching would turn any fetch failure into silent
+    // data loss: a zeroed page verifies, so no later scrub would look at
+    // it again, and catch-up recovery only re-fetches past the checkpoint.
+    let prefetched: Vec<((Timestamp, Timestamp), Vec<Tuple>)> = if unmappable {
+        Vec::new()
+    } else {
+        let hwm = ctx.cluster_now()?.prev();
+        let plan = ctx
+            .placement
+            .recovery_plan(ctx.site, table_name, &ctx.down)?;
+        merge_windows(windows)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let fetched = fetch_window(ctx, &heap, &plan, lo, hi, hwm, &mut report)?;
+                Ok(((lo, hi), fetched))
+            })
+            .collect::<DbResult<_>>()?
+    };
+
+    // ---- Quarantine: zero the bad pages so local scans run clean -------
+    let empty = Page::init(heap.tuple_size());
+    for pid in &remaining {
+        let mut attempts = 0;
+        loop {
+            heap.write_page(pid.page_no, &empty)?;
+            if disk_page_ok(&heap, pid.page_no)? || attempts >= 3 {
+                break;
+            }
+            attempts += 1; // the zeroing write itself drew a fault
+        }
+    }
+
+    // ---- Repair ---------------------------------------------------------
+    if unmappable {
+        // A page the directory no longer maps cannot be repaired by
+        // ranged queries; restore the whole object from the buddies.
+        // (Such a page was never covered by a persisted segment, so it
+        // held no committed data — zeroing it lost nothing.)
+        report.full_recoveries = 1;
+        recover_object(ctx, table_name)?;
+        report.pages_refetched += remaining.len() as u64;
+        engine.metrics().add_pages_repaired(remaining.len() as u64);
+        engine.index(def.id)?.invalidate();
+        engine.deletion_log(def.id)?.invalidate();
+        return Ok(report);
+    }
+    // Reconcile: diff each fetched slice against what the local heap
+    // still holds and re-insert the difference. Retried as a whole on
+    // transient I/O faults — a retry recomputes the diff from current
+    // local state, so a partially applied attempt never double-inserts.
+    let mut attempts = 0;
+    loop {
+        let attempt = (|| -> DbResult<u64> {
+            let mut reinserted = 0u64;
+            for ((lo, hi), fetched) in &prefetched {
+                let missing = reconcile_window(ctx, &heap, *lo, *hi, fetched)?;
+                reinserted += missing.len() as u64;
+                let mut ins = engine.recovered_inserter(def.id)?;
+                for t in &missing {
+                    ins.insert(t)?;
+                }
+            }
+            // The zeroed pages invalidated any record ids the index or
+            // deletion log cached; both rebuild lazily from a clean scan.
+            engine.index(def.id)?.invalidate();
+            engine.deletion_log(def.id)?.invalidate();
+            engine.pool().flush_all()?;
+            Ok(reinserted)
+        })();
+        match attempt {
+            Ok(n) => {
+                report.tuples_reinserted += n;
+                break;
+            }
+            Err(DbError::Io(_)) if attempts < 3 => attempts += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    report.pages_refetched += remaining.len() as u64;
+    engine.metrics().add_pages_repaired(remaining.len() as u64);
+    Ok(report)
+}
+
+/// Coalesces overlapping `(lo, hi]` windows so a tuple is never fetched
+/// (or diffed) twice when several corrupt pages share a segment range.
+fn merge_windows(sorted: Vec<(Timestamp, Timestamp)>) -> Vec<(Timestamp, Timestamp)> {
+    let mut merged: Vec<(Timestamp, Timestamp)> = Vec::new();
+    for (lo, hi) in sorted {
+        match merged.last_mut() {
+            Some((_, phi)) if lo <= *phi => *phi = (*phi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// Diff key for one tuple version: its full encoding with the deletion
+/// timestamp zeroed. A version is identified by `(id, insertion)` plus its
+/// payload; the deletion time is excluded because a site scrubbed *before*
+/// catch-up recovery may hold a version whose deletion it has not applied
+/// yet — that version exists locally (recovery copies the deletion time
+/// later), and keying on it would re-insert a duplicate.
+fn version_key(
+    t: &Tuple,
+    desc: &harbor_common::schema::TupleDesc,
+    size: usize,
+) -> DbResult<Vec<u8>> {
+    let mut v = t.clone();
+    v.set_deletion_ts(Timestamp::ZERO);
+    let mut enc = harbor_common::codec::Encoder::with_capacity(size);
+    v.write_fixed(desc, &mut enc)?;
+    Ok(enc.into_bytes().to_vec())
+}
+
+/// Fetches the buddies' full historical slice of one insertion-time
+/// window `(lo, hi]` — every version a corrupt page in that window could
+/// have held. Fails over across the buddy fan-out; a *corrupt* buddy is
+/// skipped like a dead one but not treated as unreachable (the taxonomy
+/// keeps `CorruptPage` site-local and repairable). Purely a read: local
+/// state is untouched, so a failure here aborts the scrub losslessly.
+fn fetch_window(
+    ctx: &RecoveryContext,
+    heap: &Arc<harbor_storage::SegmentedHeapFile>,
+    plan: &[RecoveryObject],
+    lo: Timestamp,
+    hi: Timestamp,
+    hwm: Timestamp,
+    report: &mut ScrubReport,
+) -> DbResult<Vec<Tuple>> {
+    let engine = &ctx.engine;
+    let mut out: Vec<Tuple> = Vec::new();
+    for obj in plan {
+        let mut served = false;
+        let mut last_err: Option<DbError> = None;
+        for buddy in fanout_buddies(ctx, obj) {
+            let attempt = (|| -> DbResult<Vec<Tuple>> {
+                let mut chan = ctx.connect(buddy)?;
+                let mut scan = RemoteScan::new(&obj.table, WireReadMode::SeeDeletedHistorical(hwm));
+                scan.predicate = obj.predicate.clone();
+                let mut buf: Vec<Tuple> = Vec::new();
+                scan_range_rpc_streaming(
+                    chan.as_mut(),
+                    &scan,
+                    lo,
+                    hi,
+                    ctx.config.net_deadline,
+                    |mut batch| {
+                        buf.append(&mut batch);
+                        Ok(())
+                    },
+                )?;
+                Ok(buf)
+            })();
+            match attempt {
+                Ok(mut buf) => {
+                    let shipped = buf.len() as u64 * heap.tuple_size() as u64;
+                    report.bytes_shipped += shipped;
+                    engine.metrics().add_repair_bytes_shipped(shipped);
+                    out.append(&mut buf);
+                    served = true;
+                    break;
+                }
+                Err(e) if e.is_disconnect() || e.is_corrupt() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        if !served {
+            return Err(last_err.unwrap_or_else(|| {
+                DbError::SiteDown(format!("no live buddy to repair {}", obj.table))
+            }));
+        }
+        report.ranges_fetched += 1;
+        engine.metrics().add_repair_ranges_fetched(1);
+    }
+    Ok(out)
+}
+
+/// Finds the tuples the zeroed pages lost inside one window: subtract
+/// every version the local heap still holds (a multiset diff over
+/// [`version_key`] — surviving segments may overlap the window) from the
+/// prefetched buddy slice, and return the leftovers.
+fn reconcile_window(
+    ctx: &RecoveryContext,
+    heap: &Arc<harbor_storage::SegmentedHeapFile>,
+    lo: Timestamp,
+    hi: Timestamp,
+    fetched: &[Tuple],
+) -> DbResult<Vec<Tuple>> {
+    let engine = &ctx.engine;
+    let desc = heap.desc().clone();
+    let bounds = ScanBounds {
+        ins_after: Some(lo),
+        ..Default::default()
+    };
+    let mut have: HashMap<Vec<u8>, u64> = HashMap::new();
+    let survivors = scan_rids(
+        engine.pool(),
+        heap.id(),
+        ReadMode::SeeDeleted,
+        bounds,
+        |t| {
+            let ins = t.insertion_ts()?;
+            Ok(ins.is_valid_commit_time() && ins > lo && ins <= hi)
+        },
+    )?;
+    for (_, t) in survivors {
+        *have
+            .entry(version_key(&t, &desc, heap.tuple_size())?)
+            .or_insert(0) += 1;
+    }
+    let mut missing: Vec<Tuple> = Vec::new();
+    for t in fetched {
+        let key = version_key(t, &desc, heap.tuple_size())?;
+        match have.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => missing.push(t.clone()),
+        }
+    }
+    Ok(missing)
 }
 
 #[cfg(test)]

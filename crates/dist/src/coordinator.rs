@@ -303,7 +303,7 @@ impl Coordinator {
         let mut chan = self.transport.connect(&addr)?;
         match self.rpc_live(chan.as_mut(), &Request::Begin { tid })? {
             Response::Ok => {}
-            Response::Err { msg } => return Err(DbError::protocol(msg)),
+            Response::Err { msg } => return Err(DbError::from_remote_msg(msg)),
             other => return Err(DbError::protocol(format!("bad BEGIN reply {other:?}"))),
         }
         let shared: SharedChan = Arc::new(Mutex::new(chan));
@@ -849,7 +849,9 @@ impl Coordinator {
 fn rpc_expect_ok(chan: &mut dyn Channel, req: &Request, deadline: Duration) -> DbResult<()> {
     match rpc_liveness(chan, req, deadline, None)? {
         Response::Ok => Ok(()),
-        Response::Err { msg } => Err(DbError::protocol(msg)),
+        // Preserve the error class across the wire: a worker that tripped
+        // on a corrupt page must not read as a protocol violation.
+        Response::Err { msg } => Err(DbError::from_remote_msg(msg)),
         other => Err(DbError::protocol(format!("unexpected reply {other:?}"))),
     }
 }

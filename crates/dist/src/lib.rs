@@ -183,7 +183,7 @@ pub fn segment_bounds_rpc(
     };
     match rpc_liveness(chan, &req, deadline, None)? {
         Response::SegmentBounds { segments } => Ok(segments),
-        Response::Err { msg } => Err(DbError::protocol(msg)),
+        Response::Err { msg } => Err(DbError::from_remote_msg(msg)),
         other => Err(DbError::protocol(format!(
             "unexpected segment-bounds reply {other:?}"
         ))),
@@ -221,7 +221,10 @@ fn drain_scan_stream(
                     break;
                 }
             }
-            Response::Err { msg } => return Err(DbError::protocol(msg)),
+            // Re-classify wire errors: a buddy reading a corrupt page of
+            // its own must surface as `Corrupt` (site-local, repairable —
+            // the fetcher fails over), not as a protocol violation.
+            Response::Err { msg } => return Err(DbError::from_remote_msg(msg)),
             other => {
                 return Err(DbError::protocol(format!(
                     "unexpected scan reply {other:?}"
@@ -233,7 +236,7 @@ fn drain_scan_stream(
     let frame = recv_frame(chan)?;
     match Response::from_slice(&frame)? {
         Response::Ok => Ok(()),
-        Response::Err { msg } => Err(DbError::protocol(msg)),
+        Response::Err { msg } => Err(DbError::from_remote_msg(msg)),
         other => Err(DbError::protocol(format!(
             "unexpected scan status {other:?}"
         ))),

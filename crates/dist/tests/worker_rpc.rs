@@ -295,6 +295,85 @@ fn disk_backed_worker_survives_restart_of_its_server() {
     let _ = std::fs::remove_dir_all(&f.dir);
 }
 
+/// A worker that trips over a checksum-corrupt page of its own must
+/// surface `Corrupt` to the remote caller — the site-local, *repairable*
+/// classification — not a timeout or disconnect (which would mark the
+/// site dead and strike it from recovery plans) and not an opaque
+/// protocol error (which recovery treats as fatal).
+#[test]
+fn corrupt_page_classifies_as_corrupt_over_the_wire() {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let f = build("corrupt-wire");
+    let rows: Vec<Vec<Value>> = (0..200i64)
+        .map(|i| vec![Value::Int64(i), Value::Int32(i as i32)])
+        .collect();
+    let t = f.txn(
+        1,
+        vec![UpdateRequest::InsertMany {
+            table: "t".into(),
+            rows,
+        }],
+    );
+    // Push the pages to disk, drop every resident frame (so the scan must
+    // fault the bad page back in), and flip one payload bit behind the
+    // worker's back.
+    let def = f.engine.table_def("t").unwrap();
+    f.engine.pool().flush_all().unwrap();
+    let heap = f.engine.pool().table(def.id).unwrap();
+    f.engine.pool().deregister_table(def.id);
+    f.engine.pool().register_table(heap);
+    let path = f.dir.join(format!("t{}.tbl", def.id.0));
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    let off = harbor_common::config::PAGE_SIZE as u64 + 40;
+    file.seek(SeekFrom::Start(off)).unwrap();
+    let mut b = [0u8; 1];
+    file.read_exact(&mut b).unwrap();
+    b[0] ^= 0x01;
+    file.seek(SeekFrom::Start(off)).unwrap();
+    file.write_all(&b).unwrap();
+    file.sync_all().unwrap();
+
+    let mut chan = f.connect();
+    let err = scan_rpc(
+        chan.as_mut(),
+        &RemoteScan::new("t", WireReadMode::Historical(t)),
+    )
+    .unwrap_err();
+    assert!(err.is_corrupt(), "expected Corrupt classification: {err}");
+    assert!(
+        !err.is_timeout() && !err.is_disconnect(),
+        "corruption is not a liveness failure: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&f.dir);
+}
+
+/// The wire re-classification rules in isolation: a remote error whose
+/// message names corrupt state comes back as `Corrupt` (site-local,
+/// repairable), everything else as a protocol violation. Exercises the
+/// exact strings the `Display` impls put on the wire.
+#[test]
+fn remote_error_messages_reclassify() {
+    use harbor_common::{DbError, TableId};
+    // What a worker actually sends when a scan hits a bad checksum.
+    let wire_msg = DbError::CorruptPage {
+        table: TableId(1),
+        page: 3,
+    }
+    .to_string();
+    let e = DbError::from_remote_msg(wire_msg);
+    assert!(e.is_corrupt());
+    assert!(!e.is_timeout() && !e.is_disconnect());
+    let e = DbError::from_remote_msg(DbError::Corrupt("directory header".into()).to_string());
+    assert!(e.is_corrupt());
+    let e = DbError::from_remote_msg("unexpected frame");
+    assert!(!e.is_corrupt());
+    assert!(matches!(e, DbError::Protocol(_)));
+}
+
 #[test]
 fn workers_reject_coordinator_only_requests() {
     let f = build("coord-only");

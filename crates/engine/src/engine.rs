@@ -30,7 +30,8 @@ use harbor_common::{
 };
 use harbor_storage::lock::DeadlockPolicy;
 use harbor_storage::{
-    BufferPool, Checkpointer, LockManager, LockMode, PagePolicy, PoolRecovery, SegmentedHeapFile,
+    BufferPool, Checkpointer, DiskFaultPlan, LockManager, LockMode, PagePolicy, PoolRecovery,
+    SegmentedHeapFile,
 };
 use harbor_wal::aries::{self, AriesReport};
 use harbor_wal::record::{CkptTxnState, LogPayload, LogRecord, RedoOp, TsField};
@@ -85,6 +86,9 @@ pub struct EngineOptions {
     /// Deadlock resolution: the thesis' timeouts, or the waits-for-graph
     /// detector (extension).
     pub deadlock: DeadlockPolicy,
+    /// Seeded disk-fault plan armed on every heap file of the site (chaos
+    /// harness). `None` = pristine disks.
+    pub disk_faults: Option<Arc<DiskFaultPlan>>,
 }
 
 impl EngineOptions {
@@ -96,6 +100,7 @@ impl EngineOptions {
             group_commit: GroupCommit::enabled(),
             policy: PagePolicy::steal_no_force(),
             deadlock: DeadlockPolicy::Timeout,
+            disk_faults: None,
         }
     }
 
@@ -107,7 +112,14 @@ impl EngineOptions {
             group_commit: GroupCommit::enabled(),
             policy: PagePolicy::steal_no_force(),
             deadlock: DeadlockPolicy::Timeout,
+            disk_faults: None,
         }
+    }
+
+    /// Arms a seeded disk-fault plan on every heap file of the site.
+    pub fn with_disk_faults(mut self, plan: Arc<DiskFaultPlan>) -> Self {
+        self.disk_faults = Some(plan);
+        self
     }
 }
 
@@ -220,6 +232,9 @@ impl Engine {
                 self.metrics.clone(),
             )?
         };
+        if let Some(plan) = &self.opts.disk_faults {
+            heap.arm_disk_faults(plan.clone());
+        }
         self.pool.register_table(Arc::new(heap));
         let idx = if cold_index {
             KeyIndex::cold(def.id, KEY_OFFSET)
@@ -289,6 +304,11 @@ impl Engine {
 
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The site's disk-fault plan, if one was armed at open.
+    pub fn disk_fault_plan(&self) -> Option<Arc<DiskFaultPlan>> {
+        self.opts.disk_faults.clone()
     }
 
     /// The table's deletion log (§5.2-footnote deletion vector).

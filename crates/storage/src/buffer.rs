@@ -793,6 +793,23 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Writes a resident frame back to disk even if it is clean, restamping
+    /// the on-disk page (and its checksum) from the in-memory copy. Returns
+    /// whether a frame was present. This is the scrubber's self-heal fast
+    /// path: a write fault can corrupt the disk image while the frame stays
+    /// intact, and [`BufferPool::flush_page`] would skip the clean frame.
+    pub fn force_rewrite(&self, pid: PageId) -> DbResult<bool> {
+        let frame = {
+            let g = self.shard(pid).frames.lock();
+            match g.map.get(&pid) {
+                Some(f) => f.clone(),
+                None => return Ok(false),
+            }
+        };
+        self.flush_frame(pid, &frame)?;
+        Ok(true)
+    }
+
     /// Flushes every dirty page (checkpoint body).
     pub fn flush_all(&self) -> DbResult<()> {
         for pid in self.dirty_pages() {

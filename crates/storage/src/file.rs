@@ -1,23 +1,54 @@
 //! Raw page-granular file I/O and the on-disk checkpoint record.
 
-use harbor_common::config::PAGE_SIZE;
+use crate::fault::{DiskFaultPlan, WriteFault};
+use harbor_common::config::{PAGE_PAYLOAD, PAGE_SIZE};
 use harbor_common::{DbError, DbResult, DiskProfile, Metrics, TableId, Timestamp};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// FNV-1a over the page payload — the same checksum discipline as the WAL
+/// frame format. Every absorption step `h → (h ^ b) * prime` is a bijection
+/// on u32 (the prime is odd), so any single-byte — hence single-bit —
+/// difference yields a different digest.
+pub(crate) fn page_crc(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in &bytes[..PAGE_PAYLOAD] {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Page-granular file: the backing store of one table's heap.
 ///
 /// All access is serialized on an internal mutex; the buffer pool above
 /// ensures a page is read or written by at most one frame at a time anyway,
 /// so the mutex only orders unrelated pages, like a single disk arm would.
+///
+/// Every page carries an FNV-1a checksum trailer in its last
+/// [`harbor_common::config::PAGE_CRC_LEN`] bytes: [`TableFile::write_page`]
+/// stamps it over the
+/// outgoing image (data pages and raw directory header pages alike) and
+/// [`TableFile::read_page`] verifies it on every fault-in, failing with
+/// [`DbError::CorruptPage`] on mismatch. An all-zero page is exempt: holes
+/// from out-of-order flushes legitimately read back as zeroes ("never
+/// flushed"), and a zero page cannot carry a zero trailer any other way —
+/// `page_crc` of zeroes is nonzero.
 pub struct TableFile {
     path: PathBuf,
     file: Mutex<File>,
     disk: DiskProfile,
     metrics: Metrics,
+    /// The owning table, stamped by `SegmentedHeapFile` right after
+    /// construction so corrupt-page errors carry a real coordinate.
+    table: AtomicU32,
+    /// Seeded fault injection; `None` outside chaos runs.
+    faults: Mutex<Option<Arc<DiskFaultPlan>>>,
 }
 
 impl TableFile {
@@ -34,6 +65,8 @@ impl TableFile {
             file: Mutex::new(file),
             disk,
             metrics,
+            table: AtomicU32::new(u32::MAX),
+            faults: Mutex::new(None),
         })
     }
 
@@ -45,11 +78,32 @@ impl TableFile {
             file: Mutex::new(file),
             disk,
             metrics,
+            table: AtomicU32::new(u32::MAX),
+            faults: Mutex::new(None),
         })
     }
 
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Records which table this file backs (for error coordinates and
+    /// fault-plan addressing).
+    pub fn set_table(&self, id: TableId) {
+        self.table.store(id.0, Ordering::SeqCst);
+    }
+
+    fn table_id(&self) -> TableId {
+        TableId(self.table.load(Ordering::SeqCst))
+    }
+
+    /// Attaches a site-wide disk-fault plan to this file's I/O.
+    pub fn arm_faults(&self, plan: Arc<DiskFaultPlan>) {
+        *self.faults.lock() = Some(plan);
+    }
+
+    fn fault_plan(&self) -> Option<Arc<DiskFaultPlan>> {
+        self.faults.lock().clone()
     }
 
     /// Number of whole pages currently in the file.
@@ -58,8 +112,20 @@ impl TableFile {
         Ok((f.metadata()?.len() / PAGE_SIZE as u64) as u32)
     }
 
-    /// Reads page `page_no` into a fresh buffer.
+    /// Reads page `page_no` into a fresh buffer, verifying its checksum
+    /// trailer. A mismatch is [`DbError::CorruptPage`] — site-local,
+    /// repairable from a buddy, and deliberately *not* garbage handed to
+    /// the buffer pool.
     pub fn read_page(&self, page_no: u32) -> DbResult<Box<[u8; PAGE_SIZE]>> {
+        if let Some(plan) = self.fault_plan() {
+            if plan.on_read(self.table_id(), page_no).is_some() {
+                self.metrics.add_disk_faults_injected(1);
+                return Err(DbError::Io(std::io::Error::other(format!(
+                    "injected disk read error (table {}, page {page_no})",
+                    self.table_id()
+                ))));
+            }
+        }
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
         {
             let mut f = self.file.lock();
@@ -75,23 +141,76 @@ impl TableFile {
             f.read_exact(&mut buf)?;
         }
         self.metrics.add_page_reads(1);
+        if buf.iter().all(|&b| b == 0) {
+            // Hole from an out-of-order flush: never written, reads fresh.
+            return Ok(buf.try_into().unwrap());
+        }
+        let stored = u32::from_le_bytes(buf[PAGE_PAYLOAD..].try_into().unwrap());
+        if stored != page_crc(&buf) {
+            self.metrics.add_checksum_failures(1);
+            return Err(DbError::CorruptPage {
+                table: self.table_id(),
+                page: page_no,
+            });
+        }
         Ok(buf.try_into().unwrap())
     }
 
-    /// Writes page `page_no`, extending the file if needed. Writes may land
-    /// beyond the current end (pages are allocated in memory and can be
-    /// flushed out of order); the intervening hole reads back as zeroes,
-    /// which the buffer pool interprets as "never flushed" — exactly the
-    /// state such pages are in after a crash.
+    /// Writes page `page_no`, extending the file if needed, stamping the
+    /// checksum trailer over the outgoing image. Writes may land beyond the
+    /// current end (pages are allocated in memory and can be flushed out of
+    /// order); the intervening hole reads back as zeroes, which the buffer
+    /// pool interprets as "never flushed" — exactly the state such pages
+    /// are in after a crash.
     pub fn write_page(&self, page_no: u32, data: &[u8; PAGE_SIZE]) -> DbResult<()> {
+        let mut image = Box::new(*data);
+        let crc = page_crc(&image[..]);
+        image[PAGE_PAYLOAD..].copy_from_slice(&crc.to_le_bytes());
+        let fault = self
+            .fault_plan()
+            .and_then(|p| p.on_write(self.table_id(), page_no));
+        match fault {
+            None => {}
+            Some(WriteFault::FlipBit { bit }) => {
+                self.metrics.add_disk_faults_injected(1);
+                image[bit / 8] ^= 1 << (bit % 8);
+            }
+            Some(WriteFault::Torn { keep }) => {
+                // Only a sector-aligned prefix of the new image reached the
+                // platter; the tail keeps its previous contents except the
+                // final sector, which was mid-write at the tear and reads
+                // back as garbage (modeled as zeroes). The checksum trailer
+                // lives there, so a torn page always fails verification.
+                self.metrics.add_disk_faults_injected(1);
+                let old = self.read_page_raw(page_no)?;
+                image[keep..].copy_from_slice(&old[keep..]);
+                let tail = PAGE_SIZE - 512;
+                image[tail..].fill(0);
+            }
+        }
         {
             let mut f = self.file.lock();
             let off = page_no as u64 * PAGE_SIZE as u64;
             f.seek(SeekFrom::Start(off))?;
-            f.write_all(data)?;
+            f.write_all(&image[..])?;
         }
         self.metrics.add_page_writes(1);
         Ok(())
+    }
+
+    /// The current on-disk bytes of `page_no` with no checksum verification
+    /// and no fault injection (zeroes past EOF) — torn-write composition.
+    fn read_page_raw(&self, page_no: u32) -> DbResult<Box<[u8; PAGE_SIZE]>> {
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let mut f = self.file.lock();
+        let len = f.metadata()?.len();
+        let off = page_no as u64 * PAGE_SIZE as u64;
+        if off < len {
+            let avail = ((len - off) as usize).min(PAGE_SIZE);
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(&mut buf[..avail])?;
+        }
+        Ok(buf.try_into().unwrap())
     }
 
     /// Durability barrier per the disk profile (checkpoints use this).
@@ -213,7 +332,13 @@ impl CheckpointRecord {
         })
     }
 
-    /// Atomically persists the record at `path`.
+    /// Atomically persists the record at `path`: write `<path>.tmp`, fsync
+    /// it, rename over `path`, then fsync the parent directory so the
+    /// rename itself is durable (a crash after the rename but before the
+    /// directory reaches disk could otherwise resurrect the old record —
+    /// or, on some filesystems, neither). A torn write can only ever hit
+    /// the temp file; the record the Phase-1 restore point is read from is
+    /// never overwritten in place.
     pub fn write(&self, path: impl AsRef<Path>, disk: DiskProfile) -> DbResult<()> {
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
@@ -225,6 +350,11 @@ impl CheckpointRecord {
             }
         }
         std::fs::rename(&tmp, path)?;
+        if disk.real_fsync {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                File::open(parent)?.sync_all()?;
+            }
+        }
         if let Some(lat) = disk.emulated_force_latency {
             std::thread::sleep(lat);
         }
@@ -321,5 +451,106 @@ mod tests {
         rec.set_object(TableId(1), Timestamp(10));
         rec.set_object(TableId(1), Timestamp(5));
         assert_eq!(rec.for_table(TableId(1)), Timestamp(10));
+    }
+
+    #[test]
+    fn checksum_detects_external_bit_flip() {
+        let path = temp("flip.tbl");
+        let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        f.set_table(TableId(9));
+        let mut page = [0u8; PAGE_SIZE];
+        page[100] = 0x55;
+        f.write_page(0, &page).unwrap();
+        assert!(f.read_page(0).is_ok());
+        // Flip one bit behind the file's back.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[100] ^= 0x04;
+        std::fs::write(&path, &raw).unwrap();
+        match f.read_page(0) {
+            Err(DbError::CorruptPage { table, page }) => {
+                assert_eq!((table, page), (TableId(9), 0));
+            }
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_write_faults_are_detected_on_read() {
+        use crate::fault::{DiskFaultConfig, DiskFaultKind, DiskFaultPlan, TargetedFault};
+        let path = temp("faulty.tbl");
+        let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        f.set_table(TableId(4));
+        let plan = DiskFaultPlan::new(DiskFaultConfig::targeted_only(
+            11,
+            vec![
+                TargetedFault {
+                    table: TableId(4),
+                    page: 1,
+                    ordinal: 0,
+                    kind: DiskFaultKind::BitFlip,
+                },
+                TargetedFault {
+                    table: TableId(4),
+                    page: 2,
+                    ordinal: 1,
+                    kind: DiskFaultKind::TornWrite,
+                },
+                TargetedFault {
+                    table: TableId(4),
+                    page: 0,
+                    ordinal: 1,
+                    kind: DiskFaultKind::ReadError,
+                },
+            ],
+        ));
+        f.arm_faults(plan.clone());
+        plan.set_enabled(true);
+        let mut page = [0u8; PAGE_SIZE];
+        page[50] = 0xee;
+        // Bit flip on the first write of page 1.
+        f.write_page(1, &page).unwrap();
+        assert!(matches!(
+            f.read_page(1),
+            Err(DbError::CorruptPage { page: 1, .. })
+        ));
+        // Torn write on the *second* write of page 2: first lands clean.
+        f.write_page(2, &page).unwrap();
+        assert!(f.read_page(2).is_ok());
+        page[PAGE_PAYLOAD - 1] = 0x77; // change the tail so the tear matters
+        f.write_page(2, &page).unwrap();
+        assert!(matches!(
+            f.read_page(2),
+            Err(DbError::CorruptPage { page: 2, .. })
+        ));
+        // Read error on the second read of page 0.
+        f.write_page(0, &page).unwrap();
+        assert!(f.read_page(0).is_ok());
+        assert!(matches!(f.read_page(0), Err(DbError::Io(_))));
+        assert!(f.read_page(0).is_ok());
+        assert_eq!(plan.injected(), 3);
+        // Repair by rewriting: a clean write restamps the trailer.
+        f.write_page(1, &page).unwrap();
+        assert!(f.read_page(1).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_write_keeps_previous_record() {
+        let path = temp("ckpt-torn");
+        let mut rec = CheckpointRecord::default();
+        rec.promote_global(Timestamp(77));
+        rec.write(&path, DiskProfile::fast()).unwrap();
+        // A crash mid-rewrite tears only the temp file; the live record is
+        // never opened for writing. Simulate the torn temp.
+        std::fs::write(path.with_extension("tmp"), b"HB").unwrap();
+        let back = CheckpointRecord::read(&path).unwrap();
+        assert_eq!(back.global, Timestamp(77));
+        // And a full rewrite still lands atomically over it.
+        rec.promote_global(Timestamp(99));
+        rec.write(&path, DiskProfile::real()).unwrap();
+        assert_eq!(CheckpointRecord::read(&path).unwrap().global, Timestamp(99));
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -22,6 +22,7 @@
 pub mod buffer;
 pub mod checkpoint;
 pub mod directory;
+pub mod fault;
 pub mod file;
 pub mod lock;
 pub mod page;
@@ -30,6 +31,7 @@ pub mod table;
 pub use buffer::{BufferPool, BulkAppender, PagePolicy, PoolRecovery};
 pub use checkpoint::Checkpointer;
 pub use directory::{Directory, ScanBounds, SegmentMeta};
+pub use fault::{DiskFaultConfig, DiskFaultKind, DiskFaultPlan, TargetedFault, WriteFault};
 pub use file::{CheckpointRecord, TableFile};
 pub use lock::{DeadlockPolicy, LockKey, LockManager, LockMode};
 pub use page::{slots_per_page, Page};

@@ -19,7 +19,7 @@
 //!   insertion and deletion timestamps, which [`Page::set_timestamp`] can
 //!   overwrite in place (commit-time assignment, recovery updates).
 
-use harbor_common::config::PAGE_SIZE;
+use harbor_common::config::{PAGE_PAYLOAD, PAGE_SIZE};
 use harbor_common::{DbError, DbResult, Timestamp};
 use harbor_wal::record::TsField;
 use harbor_wal::Lsn;
@@ -32,10 +32,12 @@ const OFF_FREE_HINT: usize = 14;
 const HEADER: usize = 16;
 
 /// Number of slots a page can hold for a given tuple width: solves
-/// `HEADER + ceil(n/8) + n * size <= PAGE_SIZE`.
+/// `HEADER + ceil(n/8) + n * size <= PAGE_PAYLOAD`. The page's last
+/// [`harbor_common::config::PAGE_CRC_LEN`] bytes are the checksum trailer
+/// stamped by the file layer on every write — slots never reach into it.
 pub fn slots_per_page(tuple_size: usize) -> usize {
     assert!(tuple_size > 0, "zero-width tuples are not storable");
-    let bits = (PAGE_SIZE - HEADER) * 8;
+    let bits = (PAGE_PAYLOAD - HEADER) * 8;
     let n = bits / (tuple_size * 8 + 1);
     n.min(u16::MAX as usize)
 }
@@ -309,13 +311,14 @@ mod tests {
     fn capacity_formula_fits_in_page() {
         for size in [8usize, 24, 64, 72, 200, 4000] {
             let n = slots_per_page(size);
-            assert!(n >= 1 || size > PAGE_SIZE - HEADER - 1);
+            assert!(n >= 1 || size > PAGE_PAYLOAD - HEADER - 1);
+            // Slots stay clear of the checksum trailer…
             assert!(
-                HEADER + n.div_ceil(8) + n * size <= PAGE_SIZE,
+                HEADER + n.div_ceil(8) + n * size <= PAGE_PAYLOAD,
                 "size={size}"
             );
-            // One more slot must not fit.
-            assert!(HEADER + (n + 1).div_ceil(8) + (n + 1) * size > PAGE_SIZE);
+            // …and one more slot must not fit.
+            assert!(HEADER + (n + 1).div_ceil(8) + (n + 1) * size > PAGE_PAYLOAD);
         }
     }
 

@@ -51,6 +51,7 @@ impl SegmentedHeapFile {
         );
         assert!(segment_pages >= 1);
         let file = TableFile::create(path, disk, metrics)?;
+        file.set_table(id);
         let dir = Directory::create(&file, desc.byte_width() as u32)?;
         Ok(SegmentedHeapFile {
             id,
@@ -76,6 +77,7 @@ impl SegmentedHeapFile {
             "stored schemas carry version columns"
         );
         let file = TableFile::open(path, disk, metrics)?;
+        file.set_table(id);
         let dir = Directory::load(&file, desc.byte_width() as u32)?;
         Ok(SegmentedHeapFile {
             id,
@@ -89,6 +91,12 @@ impl SegmentedHeapFile {
 
     pub fn id(&self) -> TableId {
         self.id
+    }
+
+    /// Attaches a site-wide disk-fault plan to this table's page I/O
+    /// (chaos runs only; see [`crate::fault`]).
+    pub fn arm_disk_faults(&self, plan: std::sync::Arc<crate::fault::DiskFaultPlan>) {
+        self.file.arm_faults(plan);
     }
 
     /// Stored schema (with version columns).

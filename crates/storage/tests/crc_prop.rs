@@ -1,0 +1,99 @@
+//! Property tests for the page checksum trailer: arbitrary page contents
+//! round-trip through flush → evict → fault-in untouched, and *every*
+//! single-bit flip of the on-disk image — payload or trailer — fails
+//! verification. The second property is what the whole disk-fault plane
+//! leans on: a corruption the checksum misses is one the scrubber never
+//! repairs.
+
+use harbor_common::config::{PAGE_PAYLOAD, PAGE_SIZE};
+use harbor_common::{DiskProfile, Metrics};
+use harbor_storage::{slots_per_page, Page, TableFile};
+use proptest::prelude::*;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("harbor-storage-crc-prop");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// A page of `width`-byte tuples with the given slot payloads inserted.
+fn build_page(width: usize, tuples: &[Vec<u8>]) -> Page {
+    let mut page = Page::init(width);
+    for t in tuples {
+        let mut bytes = vec![0u8; width];
+        let n = t.len().min(width);
+        bytes[..n].copy_from_slice(&t[..n]);
+        page.insert(&bytes).unwrap();
+    }
+    page
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flush a page of arbitrary-width tuples, drop every in-memory copy
+    /// (reopen the file), and fault it back in: the payload comes back
+    /// byte-identical and the checksum verifies.
+    #[test]
+    fn crc_round_trips_for_arbitrary_tuple_widths(
+        width in 24usize..=200,
+        seed_tuples in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32),
+            1..40,
+        ),
+        page_no in 0u32..8,
+    ) {
+        let cap = slots_per_page(width);
+        let tuples: Vec<Vec<u8>> = seed_tuples.into_iter().take(cap).collect();
+        let page = build_page(width, &tuples);
+        let path = temp(&format!("roundtrip-{width}-{page_no}"));
+        {
+            let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+            f.write_page(page_no, page.as_bytes()).unwrap();
+            f.sync().unwrap();
+        }
+        // Evict + fault-in: a fresh handle has no cached state.
+        let f = TableFile::open(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        let bytes = f.read_page(page_no).unwrap();
+        prop_assert_eq!(&bytes[..PAGE_PAYLOAD], &page.as_bytes()[..PAGE_PAYLOAD]);
+        let reread = Page::from_bytes(bytes, width).unwrap();
+        prop_assert_eq!(reread.used(), tuples.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Every single-bit flip of the stored image is detected: a payload
+    /// flip changes the computed checksum (FNV-1a's absorption step is a
+    /// bijection per byte), and a trailer flip changes the stored one.
+    #[test]
+    fn every_single_bit_flip_is_detected(
+        width in 24usize..=200,
+        marker in 1u8..=255,
+        bit in 0usize..(PAGE_SIZE * 8),
+    ) {
+        let tuples = vec![vec![marker; 16]; 3];
+        let page = build_page(width, &tuples);
+        let path = temp(&format!("bitflip-{width}-{bit}"));
+        let f = TableFile::create(&path, DiskProfile::fast(), Metrics::new()).unwrap();
+        f.write_page(0, page.as_bytes()).unwrap();
+        f.sync().unwrap();
+        {
+            let mut raw = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            raw.seek(SeekFrom::Start((bit / 8) as u64)).unwrap();
+            let mut b = [0u8; 1];
+            raw.read_exact(&mut b).unwrap();
+            b[0] ^= 1 << (bit % 8);
+            raw.seek(SeekFrom::Start((bit / 8) as u64)).unwrap();
+            raw.write_all(&b).unwrap();
+            raw.sync_all().unwrap();
+        }
+        let err = f.read_page(0).unwrap_err();
+        prop_assert!(err.is_corrupt(), "bit {} flip not detected: {}", bit, err);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

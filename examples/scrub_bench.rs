@@ -1,0 +1,151 @@
+//! Storage-fault-plane measurements (DESIGN.md extension 12): scrub
+//! throughput over a clean table, targeted buddy-query page repair at
+//! 1/10/100 corrupted pages, and the full-object recovery baseline the
+//! repair path is supposed to beat at small corruption counts.
+//!
+//! Run with: `cargo run --release --example scrub_bench`
+
+use harbor::{Cluster, ClusterConfig};
+use harbor_common::config::PAGE_SIZE;
+use harbor_common::{SiteId, Value};
+use harbor_dist::{ProtocolKind, UpdateRequest};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::time::Instant;
+
+const ROWS: i64 = 30_000;
+
+fn row(id: i64, v: i32) -> Vec<Value> {
+    vec![Value::Int64(id), Value::Int32(v)]
+}
+
+fn load(cluster: &Cluster, n: i64) {
+    for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+        let ops = chunk
+            .iter()
+            .map(|i| UpdateRequest::Insert {
+                table: "sales".into(),
+                values: row(*i, *i as i32),
+            })
+            .collect();
+        cluster.run_txn(ops).unwrap();
+    }
+}
+
+/// Drops every resident frame of the table, as if the cache went cold.
+fn evict_all(cluster: &Cluster, site: SiteId) {
+    let e = cluster.engine(site).unwrap();
+    let def = e.table_def("sales").unwrap();
+    e.pool().flush_all().unwrap();
+    let heap = e.pool().table(def.id).unwrap();
+    e.pool().deregister_table(def.id);
+    e.pool().register_table(heap);
+}
+
+/// Data pages of the table that currently hold tuples on disk.
+fn occupied_pages(cluster: &Cluster, site: SiteId) -> Vec<u32> {
+    let e = cluster.engine(site).unwrap();
+    let def = e.table_def("sales").unwrap();
+    let heap = e.pool().table(def.id).unwrap();
+    heap.all_page_ids()
+        .iter()
+        .filter(|pid| {
+            heap.read_page(pid.page_no)
+                .map(|p| p.occupied_slots().next().is_some())
+                .unwrap_or(false)
+        })
+        .map(|pid| pid.page_no)
+        .collect()
+}
+
+/// Flips one payload bit of each listed page, behind the pool's back.
+fn corrupt_pages(dir: &std::path::Path, cluster: &Cluster, site: SiteId, pages: &[u32]) {
+    let def = cluster.engine(site).unwrap().table_def("sales").unwrap();
+    let path = dir
+        .join(format!("site-{}", site.0))
+        .join(format!("t{}.tbl", def.id.0));
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&path)
+        .unwrap();
+    for page in pages {
+        let off = *page as u64 * PAGE_SIZE as u64 + 64;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 0x01;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.write_all(&b).unwrap();
+    }
+    f.sync_all().unwrap();
+}
+
+fn main() {
+    let dir = std::env::temp_dir()
+        .join("harbor-scrub-bench")
+        .join(format!("{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    load(&cluster, ROWS);
+    let site = SiteId(1);
+    evict_all(&cluster, site);
+    let pages = occupied_pages(&cluster, site);
+    println!(
+        "table: {} rows over {} occupied data pages ({} KiB)",
+        ROWS,
+        pages.len(),
+        pages.len() * PAGE_SIZE / 1024
+    );
+
+    // Scrub throughput over a clean table, cache cold.
+    evict_all(&cluster, site);
+    let t = Instant::now();
+    let clean = cluster.scrub_worker(site).unwrap();
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "scrub clean: {} pages in {:.1} ms ({:.0} pages/s, {:.1} MiB/s), {} corrupt",
+        clean.pages_scanned,
+        secs * 1e3,
+        clean.pages_scanned as f64 / secs,
+        clean.pages_scanned as f64 * PAGE_SIZE as f64 / (1024.0 * 1024.0) / secs,
+        clean.corrupt_pages
+    );
+
+    // Targeted repair at increasing corruption counts. Each round corrupts
+    // n cold pages and times the scrub that detects and repairs them.
+    for n in [1usize, 10, 100] {
+        assert!(pages.len() >= n, "load must span at least {n} pages");
+        corrupt_pages(&dir, &cluster, site, &pages[..n]);
+        let t = Instant::now();
+        let rep = cluster.scrub_worker(site).unwrap();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "repair n={n}: {:.1} ms, {} corrupt / {} refetched, {} ranges, \
+             {} tuples reinserted, {} KiB shipped",
+            ms,
+            rep.corrupt_pages,
+            rep.pages_refetched,
+            rep.ranges_fetched,
+            rep.tuples_reinserted,
+            rep.bytes_shipped / 1024
+        );
+        evict_all(&cluster, site);
+    }
+
+    // Full-object recovery baseline: with no checkpoint taken, Phase 1
+    // clears the local state and Phase 2 re-fetches the whole object from
+    // the buddies — the recover_object path targeted repair must beat at
+    // small corruption counts.
+    cluster.crash_worker(site).unwrap();
+    let t = Instant::now();
+    let report = cluster.recover_worker_harbor(site).unwrap();
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "full recover_object: {:.1} ms, {} tuples copied, {} ranges fetched",
+        ms,
+        report.tuples_copied(),
+        report.ranges_fetched()
+    );
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,8 +1,10 @@
 //! Chaos soak: N pinned seeds of mixed insert/update/read traffic under a
-//! lossy, partitioning, crashing network — after quiesce, every acknowledged
-//! commit must be on every live replica, all replicas version-history equal,
-//! no transaction half-committed, and K-safety loss explicitly reported.
-//! One seed is run twice to assert the fault trace replays byte-identically.
+//! lossy, partitioning, crashing network *and* seeded disk faults (read I/O
+//! errors, torn writes, bit flips) — after quiesce and a checksum scrub,
+//! every acknowledged commit must be on every live replica, all replicas
+//! version-history equal, no transaction half-committed, and K-safety loss
+//! explicitly reported. One seed is run twice to assert the combined
+//! network + disk fault trace replays byte-identically.
 //!
 //! On a violation the failing seed, its event schedule, and the canonical
 //! fault trace are printed — re-running that seed reproduces the run.
@@ -11,6 +13,7 @@ use harbor::{ChaosRunConfig, Cluster, ClusterConfig, TableSpec};
 use harbor_common::StorageConfig;
 use harbor_dist::ProtocolKind;
 use harbor_net::ChaosConfig;
+use harbor_storage::DiskFaultConfig;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -35,6 +38,7 @@ fn chaos_cluster(dir: &PathBuf, seed: u64) -> Cluster {
     cfg.storage = StorageConfig::for_tests();
     cfg.tables = vec![TableSpec::small("sales")];
     cfg.chaos = Some(ChaosConfig::lossy_lan(seed));
+    cfg.disk_faults = Some(DiskFaultConfig::soak(seed));
     cfg.rpc_deadline = Duration::from_secs(2);
     cfg.recovery.parallel_objects = false;
     cfg.recovery.parallel_segments = false;
@@ -72,7 +76,8 @@ fn pinned_seeds_hold_invariants() {
         );
         println!(
             "seed {seed:#x}: {} committed, {} aborted, {} reads ({} errors), \
-             {} crashes, {} partitions, {} recoveries ({} failed), min live {}",
+             {} crashes, {} partitions, {} recoveries ({} failed), min live {}, \
+             {} disk faults, scrub {} pages / {} corrupt / {} bytes shipped",
             report.committed,
             report.aborted,
             report.reads,
@@ -81,7 +86,11 @@ fn pinned_seeds_hold_invariants() {
             report.partitions,
             report.recoveries,
             report.failed_recoveries,
-            report.min_live_seen
+            report.min_live_seen,
+            report.disk_faults_injected,
+            report.scrub_pages_scanned,
+            report.scrub_corrupt_pages,
+            report.scrub_bytes_shipped
         );
         for line in &report.read_path {
             println!("  read path {line}");
