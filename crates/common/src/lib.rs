@@ -11,6 +11,7 @@ pub mod codec;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod lockrank;
 pub mod metrics;
 pub mod schema;
 pub mod time;

@@ -1,0 +1,59 @@
+//! Regression tests for the runtime lock-rank witness: it must be armed in
+//! debug builds, stay silent on the declared order, and actually fire on a
+//! deliberate inversion. The chaos-soak pinned seeds (tests/chaos_soak.rs)
+//! are the steady-state half of this contract — they run armed and must
+//! stay green.
+
+use harbor_common::lockrank::{acquire, held, is_armed, Rank};
+
+#[test]
+fn arming_tracks_debug_assertions() {
+    assert_eq!(is_armed(), cfg!(debug_assertions));
+}
+
+#[test]
+fn full_declared_order_is_silent() {
+    let _a = acquire(Rank::Catalog);
+    let _b = acquire(Rank::LockManager);
+    let _c = acquire(Rank::TableMap);
+    let _d = acquire(Rank::PoolShard);
+    let _e = acquire(Rank::Frame);
+    let _f = acquire(Rank::Wal);
+    if is_armed() {
+        assert_eq!(held().len(), 6);
+    }
+}
+
+#[test]
+fn skipping_ranks_is_silent() {
+    // The order constrains relative position, not contiguity: the flush
+    // path takes frame → wal without ever touching the catalog.
+    let _frame = acquire(Rank::Frame);
+    let _wal = acquire(Rank::Wal);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-rank inversion")]
+fn deliberate_inversion_fires() {
+    // WAL (rank 5) then pool-shard (rank 3): the exact reverse of the
+    // flush protocol's declared order.
+    let _wal = acquire(Rank::Wal);
+    let _shard = acquire(Rank::PoolShard);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-rank inversion")]
+fn frame_then_catalog_fires() {
+    let _frame = acquire(Rank::Frame);
+    let _catalog = acquire(Rank::Catalog);
+}
+
+#[test]
+fn release_restores_legality() {
+    let a = acquire(Rank::Wal);
+    drop(a);
+    // With the WAL rank released, the lowest rank is legal again.
+    let _b = acquire(Rank::Catalog);
+}

@@ -266,7 +266,11 @@ pub fn recover_site(ctx: &RecoveryContext) -> DbResult<RecoveryReport> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("recovery thread"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(DbError::internal("per-object recovery worker panicked"))
+                    })
+                })
                 .collect()
         });
         for r in results {
@@ -645,19 +649,17 @@ where
             match result {
                 Ok((payload, tuples)) => {
                     ctx.engine.metrics().add_recovery_ranges_fetched(1);
-                    report.range_timings.push(RangeTiming {
+                    let timing = RangeTiming {
                         buddy,
                         lo,
                         hi,
                         tuples,
                         elapsed: t0.elapsed(),
-                    });
+                    };
+                    report.range_timings.push(timing.clone());
                     report.ranges_reassigned += i as u64;
                     let (tx, rx) = channel::bounded::<FetchedRange<T>>(1);
-                    let sent = tx.send(FetchedRange {
-                        timing: report.range_timings.last().expect("just pushed").clone(),
-                        payload,
-                    });
+                    let sent = tx.send(FetchedRange { timing, payload });
                     assert!(sent.is_ok(), "bounded(1) send with receiver alive");
                     drop(tx);
                     return drain(rx);
@@ -715,10 +717,11 @@ where
                     };
                     let t0 = Instant::now();
                     let result = (|| {
-                        if chan.is_none() {
-                            chan = Some(ctx.connect(buddy)?);
-                        }
-                        fetch(chan.as_mut().expect("channel").as_mut(), lo, hi)
+                        let c = match chan.as_mut() {
+                            Some(c) => c,
+                            None => chan.insert(ctx.connect(buddy)?),
+                        };
+                        fetch(c.as_mut(), lo, hi)
                     })();
                     match result {
                         Ok((payload, tuples)) => {
@@ -757,14 +760,20 @@ where
         drop(tx);
         let mut fetch_err = None;
         for h in fetcher_handles {
-            if let Err(e) = h.join().expect("phase-2 fetcher panicked") {
+            let joined = h
+                .join()
+                .unwrap_or_else(|_| Err(DbError::internal("phase-2 fetcher panicked")));
+            if let Err(e) = joined {
                 fetch_err.get_or_insert(e);
             }
         }
         let mut applied = 0u64;
         let mut apply_err = None;
         for h in applier_handles {
-            match h.join().expect("phase-2 applier panicked") {
+            let joined = h
+                .join()
+                .unwrap_or_else(|_| Err(DbError::internal("phase-2 applier panicked")));
+            match joined {
                 Ok(n) => applied += n,
                 Err(e) => {
                     apply_err.get_or_insert(e);

@@ -110,7 +110,7 @@ impl Worker {
             let h = std::thread::Builder::new()
                 .name(format!("worker-{}-acceptor", w.cfg.site.0))
                 .spawn(move || w.accept_loop(listener))
-                .expect("spawn acceptor");
+                .map_err(|e| DbError::internal(format!("spawn acceptor: {e}")))?;
             worker.handles.lock().push(h);
         }
         if let Some(every) = worker.cfg.checkpoint_every {
@@ -118,7 +118,7 @@ impl Worker {
             let h = std::thread::Builder::new()
                 .name(format!("worker-{}-checkpointer", w.cfg.site.0))
                 .spawn(move || w.checkpoint_loop(every))
-                .expect("spawn checkpointer");
+                .map_err(|e| DbError::internal(format!("spawn checkpointer: {e}")))?;
             worker.handles.lock().push(h);
         }
         Ok(worker)
@@ -189,11 +189,16 @@ impl Worker {
             match listener.accept_timeout(Duration::from_millis(50)) {
                 Ok(Some(chan)) => {
                     let w = self.clone();
-                    let h = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name(format!("worker-{}-conn", w.cfg.site.0))
-                        .spawn(move || w.serve_connection(chan))
-                        .expect("spawn connection thread");
-                    self.handles.lock().push(h);
+                        .spawn(move || w.serve_connection(chan));
+                    // Thread exhaustion must not kill the acceptor: dropping
+                    // the un-spawned closure closes the connection, and the
+                    // peer's liveness deadline classifies the site as slow,
+                    // not dead.
+                    if let Ok(h) = spawned {
+                        self.handles.lock().push(h);
+                    }
                 }
                 Ok(None) => {}
                 Err(_) => break,

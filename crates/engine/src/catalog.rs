@@ -1,6 +1,7 @@
 //! The per-site table catalog: table names, ids, and user schemas,
 //! persisted in a small file so a restarted site can reopen its heaps.
 
+use harbor_common::lockrank::{self, Rank};
 use harbor_common::{DbError, DbResult, FieldType, TableId, TupleDesc};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -57,6 +58,7 @@ impl Catalog {
                 "the first user field must be an int64 tuple identifier".into(),
             ));
         }
+        let _rank = lockrank::acquire(Rank::Catalog);
         let mut tables = self.tables.lock();
         if tables.values().any(|t| t.name == name) {
             return Err(DbError::Schema(format!("table {name:?} already exists")));
@@ -81,10 +83,12 @@ impl Catalog {
     }
 
     pub fn by_id(&self, id: TableId) -> Option<TableDef> {
+        let _rank = lockrank::acquire(Rank::Catalog);
         self.tables.lock().get(&id.0).cloned()
     }
 
     pub fn all(&self) -> Vec<TableDef> {
+        let _rank = lockrank::acquire(Rank::Catalog);
         self.tables.lock().values().cloned().collect()
     }
 

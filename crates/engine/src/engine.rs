@@ -766,6 +766,7 @@ impl Engine {
         let (t, snapshot, scan_start) = {
             let _gate = self.commit_gate.write();
             let mut t = self.local_now().prev();
+            // harbor-lint: allow(lock-across-blocking) — the checkpoint must freeze commits (gate) while snapshotting txn state; gate→txns is the only nesting order anywhere
             let txns = self.txns.lock();
             let mut min_seg: HashMap<TableId, u32> = HashMap::new();
             for st in txns.values() {

@@ -1,0 +1,1016 @@
+//! harbor-lint: a repo-specific static analyzer for HARBOR's hand-enforced
+//! invariants. Zero external dependencies (the container is offline), built
+//! on a small hand-rolled lexer ([`lexer`]) plus a brace/scope tracker.
+//!
+//! Four rule families (see DESIGN.md "Enforced invariants"):
+//!
+//! * **`determinism`** — the determinism-contract modules (the chaos and
+//!   disk-fault planes) must compute every fault decision as a pure
+//!   function of `(seed, …, ordinal)`: no wall clocks, no ambient
+//!   randomness, no `HashMap` iteration-order dependence.
+//! * **`lock-across-blocking`** — a `MutexGuard`/`RwLock` guard must not
+//!   span a blocking call (channel send/recv, page I/O, RPC helpers, a
+//!   nested lock acquisition): PR 3's lost-write race was born exactly in
+//!   this class of lock-scope subtlety.
+//! * **`lock-rank`** — the declared lock order `catalog → lock-manager →
+//!   table-map → pool-shard → frame → WAL` is enforced intra-function; the
+//!   runtime complement (`harbor_common::lockrank`) catches cross-function
+//!   inversions under the chaos soak.
+//! * **`error-taxonomy`** — `DbError::Timeout` / `SiteUnavailable` /
+//!   `CorruptPage` may only be *constructed* at classification boundaries
+//!   (`from_remote_msg` and friends): recovery failover and scrub repair
+//!   dispatch on these classes, so ad-hoc construction elsewhere corrupts
+//!   failure handling.
+//! * **`panic-ratchet`** — `.unwrap()` / `.expect()` counts per crate are
+//!   pinned in `lint-baseline.toml` and may only shrink (test code exempt).
+//!
+//! Escape hatch: `// harbor-lint: allow(<rule>) — <reason>` on the
+//! offending line (or the line above). The reason is mandatory.
+
+pub mod lexer;
+
+use lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_LOCK_BLOCKING: &str = "lock-across-blocking";
+pub const RULE_LOCK_RANK: &str = "lock-rank";
+pub const RULE_TAXONOMY: &str = "error-taxonomy";
+pub const RULE_RATCHET: &str = "panic-ratchet";
+pub const RULE_ALLOW: &str = "lint-allow";
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Repo-specific rule configuration
+// ---------------------------------------------------------------------------
+
+/// Modules under the determinism contract: every fault decision must be a
+/// pure function of `(seed, …, ordinal)` so a seed replays byte-identically.
+pub const DETERMINISM_MODULES: [&str; 4] = [
+    "net/src/chaos.rs",
+    "storage/src/fault.rs",
+    "core/src/chaos_harness.rs",
+    "dist/src/failpoint.rs",
+];
+
+/// Files allowed to construct the classified error variants: the taxonomy
+/// definition itself plus the two classification boundaries (RPC deadline
+/// helpers, page-checksum verification).
+pub const TAXONOMY_BOUNDARIES: [&str; 3] = [
+    "common/src/error.rs", // the taxonomy and its constructors
+    "dist/src/lib.rs",     // rpc_deadline/rpc_liveness: timeout vs liveness death
+    "storage/src/file.rs", // checksum verification: the only CorruptPage source
+];
+
+/// The error variants whose construction is confined to the boundaries.
+const CLASSIFIED_VARIANTS: [&str; 5] = [
+    "Timeout",
+    "SiteUnavailable",
+    "CorruptPage",
+    "timeout",     // DbError::timeout(..) convenience constructor
+    "unavailable", // DbError::unavailable(..)
+];
+
+/// The declared lock-rank order, lowest acquired first. Mirrors
+/// `harbor_common::lockrank::Rank` — keep the two in sync.
+pub const LOCK_RANK_ORDER: [&str; 6] = [
+    "catalog",
+    "lock-manager",
+    "table-map",
+    "pool-shard",
+    "frame",
+    "wal",
+];
+
+struct RankPattern {
+    file_suffix: &'static str,
+    /// Token texts to match, e.g. `[".", "frames", ".", "lock"]`.
+    pattern: &'static [&'static str],
+    rank: usize,
+}
+
+const RANK_PATTERNS: &[RankPattern] = &[
+    RankPattern {
+        file_suffix: "engine/src/catalog.rs",
+        pattern: &[".", "tables", ".", "lock"],
+        rank: 0,
+    },
+    RankPattern {
+        file_suffix: "storage/src/lock.rs",
+        pattern: &[".", "state", ".", "lock"],
+        rank: 1,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "tables", ".", "read"],
+        rank: 2,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "tables", ".", "write"],
+        rank: 2,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "frames", ".", "lock"],
+        rank: 3,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "page", ".", "read"],
+        rank: 4,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "page", ".", "write"],
+        rank: 4,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "wal", ".", "read"],
+        rank: 5,
+    },
+    RankPattern {
+        file_suffix: "storage/src/buffer.rs",
+        pattern: &[".", "wal", ".", "write"],
+        rank: 5,
+    },
+];
+
+/// Method names (after a `.`) that block: channel traffic, page I/O,
+/// connection setup. Holding a lock guard across any of these is rule
+/// `lock-across-blocking`.
+const BLOCKING_METHODS: [&str; 9] = [
+    "send",
+    "send_framed",
+    "recv",
+    "recv_timeout",
+    "connect",
+    "accept",
+    "accept_timeout",
+    "read_page",
+    "write_page",
+];
+
+/// Free-function / repo helper names that block internally (RPC round
+/// trips, retry loops). Matched as `name(`.
+const BLOCKING_HELPERS: [&str; 5] = [
+    "rpc_live",
+    "rpc_liveness",
+    "rpc_expect_ok",
+    "scan_rpc_deadline",
+    "with_read_retries",
+];
+
+/// Idents banned outright in determinism-contract modules.
+const BANNED_DETERMINISM_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// `A::now`-style paths banned in determinism-contract modules.
+const BANNED_NOW_RECEIVERS: [&str; 4] = ["Instant", "SystemTime", "Utc", "Local"];
+
+/// Order-dependent consumers of a `HashMap`.
+const HASHMAP_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Guard-producing zero-arg methods (`m.lock()`, `rw.read()`, `rw.write()`).
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------------
+
+/// Report for one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    /// Non-test `.unwrap()` / `.expect(` count (panic ratchet input).
+    pub unwraps: usize,
+}
+
+/// `true` for files whose entire contents are test/bench/example code.
+pub fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
+}
+
+fn tok_is(t: &Token, text: &str) -> bool {
+    t.text == text
+}
+
+fn match_seq(tokens: &[Token], at: usize, pat: &[&str]) -> bool {
+    pat.len() <= tokens.len() - at
+        && pat
+            .iter()
+            .enumerate()
+            .all(|(k, p)| tok_is(&tokens[at + k], p))
+}
+
+/// A live lock guard bound by a `let`.
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    /// Brace depth at the binding; the guard dies when depth drops below.
+    depth: usize,
+    line: u32,
+    rank: Option<usize>,
+}
+
+/// Names with a `HashMap`-bearing type annotation or initializer in this
+/// file (fields and let-bindings) — the receivers whose iteration the
+/// determinism rule flags.
+fn collect_hashmap_names(tokens: &[Token]) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "HashMap" {
+            continue;
+        }
+        // Walk back over wrapper generics (`Mutex<`, `Arc<RwLock<` …) and
+        // the `=`/`::` of initializers to the introducing `name :` / `name =`.
+        let mut j = i;
+        while j > 0 {
+            let prev = &tokens[j - 1];
+            let is_wrapper = prev.kind == TokenKind::Ident || tok_is(prev, "<");
+            if !is_wrapper {
+                break;
+            }
+            j -= 1;
+        }
+        if j >= 2 && tok_is(&tokens[j - 1], ":") && !(j >= 3 && tok_is(&tokens[j - 2], ":")) {
+            // `name : [wrappers] HashMap` — a field or typed binding.
+            if tokens[j - 2].kind == TokenKind::Ident {
+                names.insert(tokens[j - 2].text.clone());
+            }
+        } else if j >= 2 && tok_is(&tokens[j - 1], "=") && tokens[j - 2].kind == TokenKind::Ident {
+            // `let name = HashMap::new()`.
+            names.insert(tokens[j - 2].text.clone());
+        }
+    }
+    names
+}
+
+/// Token ranges (by index) lying inside `#[cfg(test)] mod … { … }` bodies
+/// or `#[test] fn … { … }` bodies.
+fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_cfg_test = match_seq(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"]);
+        let is_test_attr = match_seq(tokens, i, &["#", "[", "test", "]"]);
+        if !(is_cfg_test || is_test_attr) {
+            i += 1;
+            continue;
+        }
+        // Skip this attribute and any further attributes, then expect
+        // `mod name {` (cfg) or `fn name ( … ) … {` (test attr).
+        let mut j = i;
+        while j < tokens.len() && tok_is(&tokens[j], "#") {
+            // Skip `#[ … ]` with bracket nesting.
+            j += 1;
+            if j < tokens.len() && tok_is(&tokens[j], "[") {
+                let mut brackets = 1;
+                j += 1;
+                while j < tokens.len() && brackets > 0 {
+                    if tok_is(&tokens[j], "[") {
+                        brackets += 1;
+                    } else if tok_is(&tokens[j], "]") {
+                        brackets -= 1;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        let is_item = j < tokens.len()
+            && (tok_is(&tokens[j], "mod") || tok_is(&tokens[j], "fn") || tok_is(&tokens[j], "pub"));
+        if !is_item {
+            i += 1;
+            continue;
+        }
+        // Find the body's opening brace: the first `{` outside parens.
+        let mut parens = 0i32;
+        let mut body_open = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => parens += 1,
+                ")" => parens -= 1,
+                ";" if parens == 0 => break, // `mod name;` — no body here
+                "{" if parens == 0 => {
+                    body_open = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = body_open else {
+            i += 1;
+            continue;
+        };
+        // Mark until the matching close brace.
+        let mut braces = 1;
+        let mut k = open + 1;
+        while k < tokens.len() && braces > 0 {
+            if tok_is(&tokens[k], "{") {
+                braces += 1;
+            } else if tok_is(&tokens[k], "}") {
+                braces -= 1;
+            }
+            in_test[k] = true;
+            k += 1;
+        }
+        for slot in in_test.iter_mut().take(k).skip(i) {
+            *slot = true;
+        }
+        i = k;
+    }
+    in_test
+}
+
+/// Statement end: index of the `;` terminating the statement starting at
+/// `start`, honouring (), [], {} nesting. Returns `None` when the file ends
+/// first (malformed input; the caller just skips tracking).
+fn statement_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    let mut braces = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        match t.text.as_str() {
+            "(" => parens += 1,
+            ")" => parens -= 1,
+            "[" => brackets += 1,
+            "]" => brackets -= 1,
+            "{" => braces += 1,
+            "}" => braces -= 1,
+            ";" if parens == 0 && brackets == 0 && braces == 0 => return Some(k),
+            _ => {}
+        }
+        if braces < 0 {
+            return None; // ran off the enclosing block
+        }
+    }
+    None
+}
+
+/// Does `rhs` (the tokens after `=` up to `;`) end in a guard acquisition —
+/// `….lock()`, `….read()`, `….write()`, optionally wrapped in a trailing
+/// `.unwrap()` / `.expect(…)` or `?`?
+fn rhs_is_guard_acquisition(rhs: &[Token]) -> bool {
+    let mut end = rhs.len();
+    // Strip a trailing `?`.
+    while end > 0 && tok_is(&rhs[end - 1], "?") {
+        end -= 1;
+    }
+    // Strip a trailing `.unwrap()` / `.expect(…)`.
+    if end >= 4 && tok_is(&rhs[end - 1], ")") {
+        // Find the `(` matching the final `)`.
+        let mut depth = 0i32;
+        let mut open = None;
+        for k in (0..end).rev() {
+            match rhs[k].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(open) = open {
+            if open >= 2
+                && tok_is(&rhs[open - 2], ".")
+                && (tok_is(&rhs[open - 1], "unwrap") || tok_is(&rhs[open - 1], "expect"))
+            {
+                end = open - 2;
+            }
+        }
+    }
+    end >= 4
+        && tok_is(&rhs[end - 1], ")")
+        && tok_is(&rhs[end - 2], "(")
+        && GUARD_METHODS.contains(&rhs[end - 3].text.as_str())
+        && tok_is(&rhs[end - 4], ".")
+}
+
+/// Analyzes one file. `rel` is the path relative to the repo root, used for
+/// rule targeting and reporting.
+pub fn analyze_source(rel: &str, src: &str) -> FileReport {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let mut report = FileReport::default();
+
+    let allowed = |rule: &str, line: u32| -> bool {
+        lexed
+            .allows
+            .iter()
+            .any(|a| a.rule == rule && a.line == line)
+    };
+    for (rule, line) in &lexed.bare_allows {
+        report.violations.push(Violation {
+            file: rel.to_string(),
+            line: *line,
+            rule: RULE_ALLOW,
+            msg: format!("allow({rule}) without a reason — explain why the rule is waived"),
+        });
+    }
+
+    let whole_file_test = is_test_path(rel);
+    let in_test = if whole_file_test {
+        vec![true; tokens.len()]
+    } else {
+        test_regions(tokens)
+    };
+
+    let determinism_module = DETERMINISM_MODULES.iter().any(|m| rel.ends_with(m));
+    let taxonomy_boundary = TAXONOMY_BOUNDARIES.iter().any(|m| rel.ends_with(m));
+    let hashmap_names = if determinism_module {
+        collect_hashmap_names(tokens)
+    } else {
+        HashSet::new()
+    };
+    let rank_patterns: Vec<&RankPattern> = RANK_PATTERNS
+        .iter()
+        .filter(|p| rel.ends_with(p.file_suffix))
+        .collect();
+
+    let mut depth = 0usize;
+    let mut paren_depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    // `matches!( … )` regions (paren depth at entry); constructions inside
+    // are patterns, not expressions.
+    let mut matches_regions: Vec<i32> = Vec::new();
+    // Guards scheduled to activate once their binding statement ends.
+    let mut pending_guards: Vec<(usize, Guard)> = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let line = t.line;
+        let tested = in_test[i];
+
+        // Activate guards whose binding statement has completed.
+        let mut k = 0;
+        while k < pending_guards.len() {
+            if pending_guards[k].0 <= i {
+                let (_, g) = pending_guards.remove(k);
+                guards.push(g);
+            } else {
+                k += 1;
+            }
+        }
+
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            "(" => paren_depth += 1,
+            ")" => {
+                paren_depth -= 1;
+                matches_regions.retain(|d| *d < paren_depth);
+            }
+            _ => {}
+        }
+
+        if t.kind == TokenKind::Ident {
+            // matches!( … ) region entry.
+            if tok_is(t, "matches")
+                && i + 2 < tokens.len()
+                && tok_is(&tokens[i + 1], "!")
+                && tok_is(&tokens[i + 2], "(")
+            {
+                matches_regions.push(paren_depth);
+            }
+
+            // drop(name) kills a guard early.
+            if tok_is(t, "drop")
+                && i + 3 < tokens.len()
+                && tok_is(&tokens[i + 1], "(")
+                && tokens[i + 2].kind == TokenKind::Ident
+                && tok_is(&tokens[i + 3], ")")
+            {
+                let name = &tokens[i + 2].text;
+                guards.retain(|g| g.name != *name);
+            }
+
+            // let-bound guard acquisition.
+            if tok_is(t, "let")
+                && !(i > 0 && (tok_is(&tokens[i - 1], "if") || tok_is(&tokens[i - 1], "while")))
+            {
+                if let Some(end) = statement_end(tokens, i) {
+                    // lhs: `let [mut] name = …` (single-ident patterns only).
+                    let mut j = i + 1;
+                    if j < end && tok_is(&tokens[j], "mut") {
+                        j += 1;
+                    }
+                    if j + 1 < end
+                        && tokens[j].kind == TokenKind::Ident
+                        && tok_is(&tokens[j + 1], "=")
+                    {
+                        let rhs = &tokens[j + 2..end];
+                        if rhs_is_guard_acquisition(rhs) {
+                            let rank = rank_patterns
+                                .iter()
+                                .filter(|p| (0..rhs.len()).any(|k| match_seq(rhs, k, p.pattern)))
+                                .map(|p| p.rank)
+                                .max();
+                            // A second guard while one is already live:
+                            // either a rank-ordered pair (fine — the rank
+                            // rule governs) or a flagged nesting.
+                            if !tested && !allowed(RULE_LOCK_BLOCKING, line) {
+                                for g in &guards {
+                                    let ordered =
+                                        matches!((g.rank, rank), (Some(a), Some(b)) if b >= a);
+                                    if !ordered {
+                                        report.violations.push(Violation {
+                                            file: rel.to_string(),
+                                            line,
+                                            rule: RULE_LOCK_BLOCKING,
+                                            msg: format!(
+                                                "guard `{}` (line {}) is still held while acquiring guard `{}` — \
+                                                 scope the first guard tighter or drop() it first",
+                                                g.name, g.line, tokens[j].text
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                            pending_guards.push((
+                                end,
+                                Guard {
+                                    name: tokens[j].text.clone(),
+                                    depth,
+                                    line,
+                                    rank,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Lock-rank: every acquisition (bound or temporary) checks against
+        // the live ranked guards.
+        for p in &rank_patterns {
+            if match_seq(tokens, i, p.pattern) && !tested && !allowed(RULE_LOCK_RANK, line) {
+                for g in &guards {
+                    if let Some(held) = g.rank {
+                        if held > p.rank {
+                            report.violations.push(Violation {
+                                file: rel.to_string(),
+                                line,
+                                rule: RULE_LOCK_RANK,
+                                msg: format!(
+                                    "acquiring `{}` (rank {}) while holding `{}` (rank {}, guard `{}` line {}); \
+                                     declared order is {}",
+                                    LOCK_RANK_ORDER[p.rank],
+                                    p.rank,
+                                    LOCK_RANK_ORDER[held],
+                                    held,
+                                    g.name,
+                                    g.line,
+                                    LOCK_RANK_ORDER.join(" → ")
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Blocking call under a live guard.
+        if !guards.is_empty() && !tested {
+            let blocking: Option<&str> = if i + 2 < tokens.len()
+                && tok_is(t, ".")
+                && BLOCKING_METHODS.contains(&tokens[i + 1].text.as_str())
+                && tok_is(&tokens[i + 2], "(")
+            {
+                Some(tokens[i + 1].text.as_str())
+            } else if t.kind == TokenKind::Ident
+                && BLOCKING_HELPERS.contains(&t.text.as_str())
+                && i + 1 < tokens.len()
+                && tok_is(&tokens[i + 1], "(")
+                && !(i > 0 && tok_is(&tokens[i - 1], "fn"))
+            {
+                Some(t.text.as_str())
+            } else if match_seq(tokens, i, &["thread", ":", ":", "sleep"]) {
+                Some("thread::sleep")
+            } else {
+                None
+            };
+            if let Some(call) = blocking {
+                if !allowed(RULE_LOCK_BLOCKING, line) {
+                    // One violation per guard would be noise; report against
+                    // the outermost live guard.
+                    if let Some(g) = guards.first() {
+                        report.violations.push(Violation {
+                            file: rel.to_string(),
+                            line,
+                            rule: RULE_LOCK_BLOCKING,
+                            msg: format!(
+                                "blocking call `{call}` while guard `{}` (line {}) is held — \
+                                 release the guard first (PR 3's lost-write race lived here)",
+                                g.name, g.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Determinism-contract module rules.
+        if determinism_module && !tested {
+            if BANNED_DETERMINISM_IDENTS.contains(&t.text.as_str())
+                && !allowed(RULE_DETERMINISM, line)
+            {
+                report.violations.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: RULE_DETERMINISM,
+                    msg: format!(
+                        "`{}` in a determinism-contract module — fault decisions must be a pure \
+                         function of (seed, …, ordinal)",
+                        t.text
+                    ),
+                });
+            }
+            if BANNED_NOW_RECEIVERS.contains(&t.text.as_str())
+                && match_seq(tokens, i + 1, &[":", ":", "now"])
+                && !allowed(RULE_DETERMINISM, line)
+            {
+                report.violations.push(Violation {
+                    file: rel.to_string(),
+                    line,
+                    rule: RULE_DETERMINISM,
+                    msg: format!(
+                        "`{}::now` in a determinism-contract module — wall clocks break seed replay",
+                        t.text
+                    ),
+                });
+            }
+            if hashmap_names.contains(&t.text) {
+                // `name[.lock()/.read()/…].iter()`-style iteration, or
+                // `for … in [&[mut]] name`.
+                let mut j = i + 1;
+                while j + 3 < tokens.len()
+                    && tok_is(&tokens[j], ".")
+                    && ["lock", "read", "write", "borrow", "borrow_mut"]
+                        .contains(&tokens[j + 1].text.as_str())
+                    && tok_is(&tokens[j + 2], "(")
+                    && tok_is(&tokens[j + 3], ")")
+                {
+                    j += 4;
+                }
+                let iterated_by_method = j + 2 < tokens.len()
+                    && tok_is(&tokens[j], ".")
+                    && HASHMAP_ITER_METHODS.contains(&tokens[j + 1].text.as_str())
+                    && tok_is(&tokens[j + 2], "(");
+                let iterated_by_for = {
+                    let mut k = i;
+                    while k > 0 && (tok_is(&tokens[k - 1], "&") || tok_is(&tokens[k - 1], "mut")) {
+                        k -= 1;
+                    }
+                    k > 0 && tok_is(&tokens[k - 1], "in")
+                };
+                if (iterated_by_method || iterated_by_for) && !allowed(RULE_DETERMINISM, line) {
+                    report.violations.push(Violation {
+                        file: rel.to_string(),
+                        line,
+                        rule: RULE_DETERMINISM,
+                        msg: format!(
+                            "iteration over `HashMap` `{}` in a determinism-contract module — \
+                             iteration order is unstable across runs; use BTreeMap or sort first",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Error-taxonomy: classified variants constructed outside the
+        // classification boundaries.
+        if !taxonomy_boundary
+            && !tested
+            && tok_is(t, "DbError")
+            && match_seq(tokens, i + 1, &[":", ":"])
+            && i + 3 < tokens.len()
+            && CLASSIFIED_VARIANTS.contains(&tokens[i + 3].text.as_str())
+            && !allowed(RULE_TAXONOMY, tokens[i + 3].line)
+        {
+            let variant = tokens[i + 3].text.clone();
+            if is_construction(tokens, i + 3, &matches_regions, paren_depth) {
+                report.violations.push(Violation {
+                    file: rel.to_string(),
+                    line: tokens[i + 3].line,
+                    rule: RULE_TAXONOMY,
+                    msg: format!(
+                        "`DbError::{variant}` constructed outside a classification boundary — \
+                         only {} may mint Timeout/SiteUnavailable/CorruptPage (recovery failover \
+                         and scrub repair dispatch on these classes)",
+                        TAXONOMY_BOUNDARIES.join(", ")
+                    ),
+                });
+            }
+        }
+
+        // Panic ratchet: non-test `.unwrap()` / `.expect(`.
+        if !tested
+            && i > 0
+            && tok_is(&tokens[i - 1], ".")
+            && (tok_is(t, "unwrap") || tok_is(t, "expect"))
+            && i + 1 < tokens.len()
+            && tok_is(&tokens[i + 1], "(")
+        {
+            report.unwraps += 1;
+        }
+
+        i += 1;
+    }
+
+    report
+}
+
+/// Decides whether `DbError::<Variant>` at token index `vi` is an
+/// expression (construction) rather than a match/if-let pattern.
+fn is_construction(
+    tokens: &[Token],
+    vi: usize,
+    matches_regions: &[i32],
+    _paren_depth: i32,
+) -> bool {
+    if !matches_regions.is_empty() {
+        return false; // inside matches!(…): always a pattern
+    }
+    let next = match tokens.get(vi + 1) {
+        Some(n) => n,
+        None => return false,
+    };
+    let close = match next.text.as_str() {
+        "(" => matching_close(tokens, vi + 1, "(", ")"),
+        "{" => {
+            // `{ .. }` (rest pattern) is a pattern.
+            if let Some(close) = matching_close(tokens, vi + 1, "{", "}") {
+                if tokens[vi + 1..close]
+                    .windows(2)
+                    .any(|w| tok_is(&w[0], ".") && tok_is(&w[1], "."))
+                {
+                    return false;
+                }
+                Some(close)
+            } else {
+                None
+            }
+        }
+        // Bare path (`map_err(DbError::timeout)`): expression use.
+        _ => return true,
+    };
+    let Some(mut k) = close else { return true };
+    // `(_)` is a pattern.
+    if tok_is(&tokens[vi + 1], "(") && k == vi + 3 && tok_is(&tokens[vi + 2], "_") {
+        return false;
+    }
+    // Skip closing parens of enclosing `Err( … )` wrappers, then look for
+    // the `=` of a match arm (`=>`) or `if let`/`while let` (`= scrutinee`).
+    k += 1;
+    while k < tokens.len() && tok_is(&tokens[k], ")") {
+        k += 1;
+    }
+    if k < tokens.len() && tok_is(&tokens[k], "=") {
+        return false; // `… => arm` or `if let … = scrutinee`
+    }
+    // `Timeout(_) | Timeout(m)` alternation in a pattern.
+    if k < tokens.len() && tok_is(&tokens[k], "|") {
+        return false;
+    }
+    true
+}
+
+fn matching_close(tokens: &[Token], open: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if tok_is(t, o) {
+            depth += 1;
+        } else if tok_is(t, c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking + the panic-ratchet baseline
+// ---------------------------------------------------------------------------
+
+/// Aggregate result over a source tree.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    pub violations: Vec<Violation>,
+    /// Non-test unwrap/expect counts keyed by crate directory
+    /// (`crates/storage`, `src`, …).
+    pub unwraps: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 6] = [
+    "target",
+    "shims",
+    ".git",
+    "fixtures",
+    "node_modules",
+    ".github",
+];
+
+/// Collects the workspace `.rs` files under `root`, sorted for stable output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Crate-directory key for the ratchet (`crates/<name>` or the top-level
+/// `src`/`tests`/… component).
+pub fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => match parts.next() {
+            Some(c) => format!("crates/{c}"),
+            None => "crates".to_string(),
+        },
+        Some(first) => first.to_string(),
+        None => rel.to_string(),
+    }
+}
+
+/// Analyzes every workspace source file under `root`.
+pub fn analyze_tree(root: &Path) -> std::io::Result<TreeReport> {
+    let mut report = TreeReport::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let fr = analyze_source(&rel, &src);
+        report.violations.extend(fr.violations);
+        if fr.unwraps > 0 {
+            *report.unwraps.entry(crate_key(&rel)).or_insert(0) += fr.unwraps;
+        }
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Parses `lint-baseline.toml` (`[unwraps]` section, `"key" = count`).
+pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    let mut in_section = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_section = line == "[unwraps]";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            let key = k.trim().trim_matches('"').to_string();
+            if let Ok(n) = v.trim().parse::<usize>() {
+                map.insert(key, n);
+            }
+        }
+    }
+    map
+}
+
+/// Renders the baseline file.
+pub fn render_baseline(map: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# harbor-lint panic ratchet: .unwrap()/.expect() counts per crate in\n\
+         # non-test code. This file may only shrink. After removing unwraps,\n\
+         # regenerate with: cargo run -p harbor-lint -- --update-baseline\n\n\
+         [unwraps]\n",
+    );
+    for (k, v) in map {
+        out.push_str(&format!("\"{k}\" = {v}\n"));
+    }
+    out
+}
+
+/// Compares the measured counts against the committed baseline. The counts
+/// must match exactly: higher is a regression, lower means the ratchet can
+/// tighten (regenerate the baseline in the same change).
+pub fn check_ratchet(
+    current: &BTreeMap<String, usize>,
+    baseline: &BTreeMap<String, usize>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (k, cur) in current {
+        match baseline.get(k) {
+            None => out.push(Violation {
+                file: "lint-baseline.toml".into(),
+                line: 0,
+                rule: RULE_RATCHET,
+                msg: format!(
+                    "crate {k} has {cur} unwrap/expect calls but no baseline entry — \
+                     run `cargo run -p harbor-lint -- --update-baseline`"
+                ),
+            }),
+            Some(base) if cur > base => out.push(Violation {
+                file: "lint-baseline.toml".into(),
+                line: 0,
+                rule: RULE_RATCHET,
+                msg: format!(
+                    "{k}: unwrap/expect count grew {base} → {cur}; the ratchet only \
+                     shrinks — propagate a DbError instead"
+                ),
+            }),
+            Some(base) if cur < base => out.push(Violation {
+                file: "lint-baseline.toml".into(),
+                line: 0,
+                rule: RULE_RATCHET,
+                msg: format!(
+                    "{k}: unwrap/expect count shrank {base} → {cur}; tighten the ratchet \
+                     with `cargo run -p harbor-lint -- --update-baseline`"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    for k in baseline.keys() {
+        if !current.contains_key(k) {
+            out.push(Violation {
+                file: "lint-baseline.toml".into(),
+                line: 0,
+                rule: RULE_RATCHET,
+                msg: format!(
+                    "baseline entry {k} no longer has any unwraps — tighten with \
+                     `cargo run -p harbor-lint -- --update-baseline`"
+                ),
+            });
+        }
+    }
+    out
+}

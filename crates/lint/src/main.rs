@@ -1,0 +1,136 @@
+//! harbor-lint CLI. See `crates/lint/src/lib.rs` for the rule families.
+//!
+//! Usage:
+//!   harbor-lint --check [--root PATH]       # lint + ratchet; exit 1 on findings
+//!   harbor-lint --update-baseline [--root]  # rewrite lint-baseline.toml
+//!   harbor-lint --list-rules
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut update_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("harbor-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                println!("determinism          pure (seed, …, ordinal) fault decisions in chaos/fault modules");
+                println!(
+                    "lock-across-blocking no guard held across send/recv/page-IO/RPC/nested lock"
+                );
+                println!(
+                    "lock-rank            declared order: {}",
+                    harbor_lint::LOCK_RANK_ORDER.join(" → ")
+                );
+                println!("error-taxonomy       Timeout/SiteUnavailable/CorruptPage minted only at classification boundaries");
+                println!("panic-ratchet        unwrap/expect counts pinned in lint-baseline.toml, only shrink");
+                println!("lint-allow           every allow(<rule>) must carry a reason");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: harbor-lint [--check] [--update-baseline] [--root PATH] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("harbor-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !check && !update_baseline {
+        check = true; // bare invocation behaves like --check
+    }
+
+    let start = root_arg
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_root(start.clone()) else {
+        eprintln!(
+            "harbor-lint: no workspace Cargo.toml found above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    let report = match harbor_lint::analyze_tree(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("harbor-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join("lint-baseline.toml");
+    if update_baseline {
+        let text = harbor_lint::render_baseline(&report.unwraps);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("harbor-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let total: usize = report.unwraps.values().sum();
+        println!(
+            "harbor-lint: baseline updated — {} unwrap/expect calls across {} crates",
+            total,
+            report.unwraps.len()
+        );
+        if !check {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let mut violations = report.violations.clone();
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => harbor_lint::parse_baseline(&t),
+        Err(_) => {
+            eprintln!(
+                "harbor-lint: {} missing — run --update-baseline once and commit it",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    violations.extend(harbor_lint::check_ratchet(&report.unwraps, &baseline));
+
+    if violations.is_empty() {
+        let total: usize = report.unwraps.values().sum();
+        println!(
+            "harbor-lint: clean — {} files scanned, {} non-test unwrap/expect calls (ratchet holds)",
+            report.files_scanned, total
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("harbor-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixture-corpus tests for harbor-lint: every rule family must flag its
+//! `bad/` case and stay silent on the `good/` mirror.
+
+use harbor_lint::{
+    analyze_source, check_ratchet, collect_files, parse_baseline, render_baseline, Violation,
+    RULE_ALLOW, RULE_DETERMINISM, RULE_LOCK_BLOCKING, RULE_LOCK_RANK, RULE_TAXONOMY,
+};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn analyze_fixture_tree(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let files = collect_files(root).expect("walk fixture tree");
+    assert!(!files.is_empty(), "no fixtures under {}", root.display());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("fixture under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path).expect("read fixture");
+        violations.extend(analyze_source(&rel, &src).violations);
+    }
+    violations
+}
+
+fn fixtures(sub: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(sub)
+}
+
+#[test]
+fn bad_tree_trips_every_rule_family() {
+    let violations = analyze_fixture_tree(&fixtures("bad"));
+    for rule in [
+        RULE_DETERMINISM,
+        RULE_LOCK_BLOCKING,
+        RULE_LOCK_RANK,
+        RULE_TAXONOMY,
+        RULE_ALLOW,
+    ] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "bad fixtures produced no `{rule}` violation; got: {violations:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_determinism_catches_each_cheat() {
+    let src = std::fs::read_to_string(fixtures("bad/crates/net/src/chaos.rs")).unwrap();
+    let report = analyze_source("crates/net/src/chaos.rs", &src);
+    let determinism: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_DETERMINISM)
+        .collect();
+    assert!(
+        determinism.iter().any(|v| v.msg.contains("Instant::now")),
+        "wall clock not caught: {determinism:#?}"
+    );
+    assert!(
+        determinism.iter().any(|v| v.msg.contains("thread_rng")),
+        "ambient RNG not caught: {determinism:#?}"
+    );
+    assert!(
+        determinism.iter().any(|v| v.msg.contains("link_ordinals")),
+        "HashMap iteration not caught: {determinism:#?}"
+    );
+    // The bare allow is reported, and does NOT suppress SystemTime::now.
+    assert!(report.violations.iter().any(|v| v.rule == RULE_ALLOW));
+    assert!(determinism.iter().any(|v| v.msg.contains("SystemTime")));
+}
+
+#[test]
+fn good_tree_is_clean() {
+    let violations = analyze_fixture_tree(&fixtures("good"));
+    assert!(
+        violations.is_empty(),
+        "good fixtures should be clean, got: {violations:#?}"
+    );
+}
+
+#[test]
+fn determinism_rule_only_applies_to_contract_modules() {
+    // The same cheats OUTSIDE a determinism-contract module are legal.
+    let src = std::fs::read_to_string(fixtures("bad/crates/net/src/chaos.rs")).unwrap();
+    let report = analyze_source("crates/net/src/telemetry.rs", &src);
+    assert!(
+        !report.violations.iter().any(|v| v.rule == RULE_DETERMINISM),
+        "determinism rule leaked outside contract modules"
+    );
+}
+
+#[test]
+fn test_files_are_exempt() {
+    let src = std::fs::read_to_string(fixtures("bad/crates/dist/src/worker.rs")).unwrap();
+    let report = analyze_source("crates/dist/tests/worker.rs", &src);
+    assert!(
+        report.violations.is_empty(),
+        "test paths must be exempt from lock rules: {:#?}",
+        report.violations
+    );
+    assert_eq!(report.unwraps, 0, "test paths never feed the ratchet");
+}
+
+#[test]
+fn ratchet_counts_only_non_test_unwraps() {
+    let src = r#"
+        fn hot() { x.unwrap(); y.expect("boom"); z.unwrap_or(3); }
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { a.unwrap(); b.expect("fine in tests"); }
+        }
+    "#;
+    let report = analyze_source("crates/core/src/hot.rs", src);
+    assert_eq!(
+        report.unwraps, 2,
+        "unwrap_or and test-mod calls must not count"
+    );
+}
+
+#[test]
+fn ratchet_flags_growth_and_stale_shrink() {
+    let mut baseline = BTreeMap::new();
+    baseline.insert("crates/core".to_string(), 5);
+    baseline.insert("crates/dist".to_string(), 2);
+
+    // Growth is a violation.
+    let mut grown = baseline.clone();
+    grown.insert("crates/core".to_string(), 6);
+    assert_eq!(check_ratchet(&grown, &baseline).len(), 1);
+
+    // A shrink must tighten the committed baseline (stale file = violation).
+    let mut shrunk = baseline.clone();
+    shrunk.insert("crates/core".to_string(), 3);
+    assert_eq!(check_ratchet(&shrunk, &baseline).len(), 1);
+
+    // Exact match is clean.
+    assert!(check_ratchet(&baseline, &baseline).is_empty());
+
+    // A new crate with unwraps needs a baseline entry.
+    let mut extra = baseline.clone();
+    extra.insert("crates/new".to_string(), 1);
+    assert_eq!(check_ratchet(&extra, &baseline).len(), 1);
+}
+
+#[test]
+fn baseline_round_trips() {
+    let mut map = BTreeMap::new();
+    map.insert("crates/storage".to_string(), 29);
+    map.insert("crates/core".to_string(), 4);
+    let text = render_baseline(&map);
+    assert_eq!(parse_baseline(&text), map);
+}

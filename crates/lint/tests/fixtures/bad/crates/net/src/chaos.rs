@@ -1,0 +1,42 @@
+//! FIXTURE (bad): a determinism-contract module that cheats three ways —
+//! wall clock, ambient randomness, and HashMap iteration order. The
+//! `determinism` rule must flag all of them. Never compiled.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct ChaosPlan {
+    link_ordinals: HashMap<u64, u64>,
+}
+
+impl ChaosPlan {
+    // Violation: a fault decision derived from the wall clock replays
+    // differently on every run.
+    pub fn should_drop(&self) -> bool {
+        let t = Instant::now();
+        t.elapsed().subsec_nanos() % 7 == 0
+    }
+
+    // Violation: ambient RNG is unseeded.
+    pub fn jitter(&self) -> u64 {
+        let mut rng = thread_rng();
+        rng.next_u64()
+    }
+
+    // Violation: HashMap iteration order differs across processes, so the
+    // canonical fault trace is not canonical.
+    pub fn canonical_trace(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (link, ord) in self.link_ordinals.iter() {
+            out.push((*link, *ord));
+        }
+        out
+    }
+
+    // Violation: bare allow — the escape hatch without a reason is itself
+    // reported (rule `lint-allow`).
+    pub fn sloppy(&self) -> u32 {
+        // harbor-lint: allow(determinism)
+        SystemTime::now().elapsed().unwrap_or_default().subsec_nanos()
+    }
+}

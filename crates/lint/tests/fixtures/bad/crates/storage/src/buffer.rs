@@ -1,0 +1,36 @@
+//! FIXTURE (bad): lock-rank inversions in the pool. Declared order is
+//! catalog → lock-manager → table-map → pool-shard → frame → wal.
+//! Never compiled.
+
+pub struct BufferPool {
+    tables: RwLock<HashMap<TableId, Arc<Heap>>>,
+    wal: RwLock<Option<Arc<Wal>>>,
+}
+
+impl BufferPool {
+    // Violation: table-map (rank 2) acquired while a pool-shard guard
+    // (rank 3) is held — the reverse of the declared order.
+    pub fn bad_miss_path(&self, shard: &Shard, pid: PageId) {
+        let g = shard.frames.lock();
+        let table = self.tables.read();
+        drop(table);
+        drop(g);
+    }
+
+    // Violation: frame latch (rank 4) held while re-entering the table
+    // map (rank 2).
+    pub fn bad_flush(&self, frame: &Frame) {
+        let page = frame.page.write();
+        let t = self.tables.read();
+        drop(t);
+        drop(page);
+    }
+
+    // Violation: pool-shard (rank 3) under the WAL handle (rank 5).
+    pub fn bad_wal_first(&self, shard: &Shard) {
+        let w = self.wal.write();
+        let g = shard.frames.lock();
+        drop(g);
+        drop(w);
+    }
+}

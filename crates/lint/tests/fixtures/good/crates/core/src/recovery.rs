@@ -1,0 +1,28 @@
+//! FIXTURE (good): pattern-matching and classifying on the taxonomy is
+//! always fine — only *construction* is confined. Never compiled.
+
+pub fn classify(err: DbError) -> &'static str {
+    match err {
+        // Patterns, not constructions: binding and wildcard forms.
+        DbError::Timeout(_) => "transient",
+        DbError::SiteUnavailable(msg) => "dead",
+        DbError::CorruptPage { table, page } => "corrupt",
+        _ => "other",
+    }
+}
+
+pub fn is_transient(err: &DbError) -> bool {
+    matches!(err, DbError::Timeout(_) | DbError::SiteUnavailable(_))
+}
+
+pub fn retry_fetch(err: &DbError) -> bool {
+    if let DbError::CorruptPage { .. } = err {
+        return true;
+    }
+    false
+}
+
+pub fn propagate(site: SiteId) -> DbResult<()> {
+    // Unclassified variants are free to construct anywhere.
+    Err(DbError::internal(format!("buddy {site:?} failed")))
+}

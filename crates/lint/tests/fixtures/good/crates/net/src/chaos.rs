@@ -1,0 +1,39 @@
+//! FIXTURE (good): a determinism-contract module that honours the
+//! contract — decisions are pure functions of `(seed, link, ordinal)`,
+//! keyed HashMap access without iteration, and one *reasoned* allow.
+//! Never compiled.
+
+use std::collections::HashMap;
+
+pub struct ChaosPlan {
+    seed: u64,
+    link_ordinals: HashMap<u64, u64>,
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    // Pure: (seed, link, ordinal) fully determines the decision.
+    pub fn should_drop(&mut self, link: u64) -> bool {
+        let ord = self.link_ordinals.entry(link).or_insert(0);
+        *ord += 1;
+        splitmix64(self.seed ^ link ^ *ord) % 7 == 0
+    }
+
+    // Keyed access is fine; only *iteration* depends on hash order.
+    pub fn ordinal(&self, link: u64) -> u64 {
+        self.link_ordinals.get(&link).copied().unwrap_or(0)
+    }
+
+    // A reasoned allow suppresses the rule: timing the soak wall-clock is
+    // observability, not a fault decision.
+    pub fn soak_elapsed_nanos(&self) -> u32 {
+        // harbor-lint: allow(determinism) — wall-clock here only feeds the soak progress log, never a fault decision
+        Instant::now().elapsed().subsec_nanos()
+    }
+}

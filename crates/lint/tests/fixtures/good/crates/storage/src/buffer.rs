@@ -1,0 +1,36 @@
+//! FIXTURE (good): rank-ordered acquisitions and scoped guards — the
+//! shapes the real pool uses after PR 3's fix. Never compiled.
+
+pub struct BufferPool {
+    tables: RwLock<HashMap<TableId, Arc<Heap>>>,
+    wal: RwLock<Option<Arc<Wal>>>,
+}
+
+impl BufferPool {
+    // Declared order: table-map (2) before pool-shard (3).
+    pub fn ordered(&self, shard: &Shard) {
+        let t = self.tables.read();
+        let g = shard.frames.lock();
+        drop(g);
+        drop(t);
+    }
+
+    // The PR 3 miss path: shard guard released (block end) before the
+    // table map is consulted for the disk read.
+    pub fn miss_path(&self, shard: &Shard, pid: PageId) -> Option<Arc<Heap>> {
+        let epoch = {
+            let g = shard.frames.lock();
+            g.epoch()
+        };
+        let table = self.tables.read();
+        table.get(&pid.table).cloned()
+    }
+
+    // Frame (4) then WAL (5) is the flush protocol's declared order.
+    pub fn flush(&self, frame: &Frame) {
+        let page = frame.page.write();
+        let w = self.wal.read();
+        drop(w);
+        drop(page);
+    }
+}

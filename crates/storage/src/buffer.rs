@@ -28,6 +28,7 @@
 use crate::lock::{LockKey, LockManager, LockMode};
 use crate::page::Page;
 use crate::table::SegmentedHeapFile;
+use harbor_common::lockrank::{self, Rank};
 use harbor_common::{
     DbError, DbResult, Metrics, PageId, RecordId, TableId, Timestamp, TransactionId,
 };
@@ -228,7 +229,10 @@ impl BufferPool {
                 hits: s.hits.load(Ordering::Relaxed),
                 misses: s.misses.load(Ordering::Relaxed),
                 evictions: s.evictions.load(Ordering::Relaxed),
-                resident: s.frames.lock().map.len(),
+                resident: {
+                    let _rank = lockrank::acquire(Rank::PoolShard);
+                    s.frames.lock().map.len()
+                },
             })
             .collect()
     }
@@ -238,6 +242,7 @@ impl BufferPool {
         self.shards
             .iter()
             .map(|s| {
+                let _rank = lockrank::acquire(Rank::PoolShard);
                 s.frames
                     .lock()
                     .map
@@ -251,6 +256,7 @@ impl BufferPool {
     /// Attaches a log manager: the pool starts honouring the WAL rule on
     /// write-back (log-based baseline mode).
     pub fn attach_wal(&self, wal: Arc<LogManager>) {
+        let _rank = lockrank::acquire(Rank::Wal);
         *self.wal.write() = Some(wal);
     }
 
@@ -267,13 +273,16 @@ impl BufferPool {
     }
 
     pub fn register_table(&self, table: Arc<SegmentedHeapFile>) {
+        let _rank = lockrank::acquire(Rank::TableMap);
         self.tables.write().insert(table.id(), table);
     }
 
     pub fn deregister_table(&self, id: TableId) {
+        let _rank = lockrank::acquire(Rank::TableMap);
         self.tables.write().remove(&id);
         let mut dropped = 0usize;
         for shard in self.shards.iter() {
+            let _rank = lockrank::acquire(Rank::PoolShard);
             let mut g = shard.frames.lock();
             let before = g.map.len();
             g.map.retain(|pid, _| pid.table != id);
@@ -285,6 +294,7 @@ impl BufferPool {
     }
 
     pub fn table(&self, id: TableId) -> DbResult<Arc<SegmentedHeapFile>> {
+        let _rank = lockrank::acquire(Rank::TableMap);
         self.tables
             .read()
             .get(&id)
@@ -293,7 +303,10 @@ impl BufferPool {
     }
 
     pub fn table_ids(&self) -> Vec<TableId> {
-        let mut ids: Vec<TableId> = self.tables.read().keys().copied().collect();
+        let mut ids: Vec<TableId> = {
+            let _rank = lockrank::acquire(Rank::TableMap);
+            self.tables.read().keys().copied().collect()
+        };
         ids.sort();
         ids
     }
@@ -317,6 +330,7 @@ impl BufferPool {
             // it is the epoch that tells us below whether a flush+evict of
             // this page could have happened while we read the disk.
             let epoch = {
+                let _rank = lockrank::acquire(Rank::PoolShard);
                 let g = shard.frames.lock();
                 if let Some(f) = g.map.get(&pid) {
                     f.pins.fetch_add(1, Ordering::SeqCst);
@@ -339,6 +353,7 @@ impl BufferPool {
             let page = table.read_page(pid.page_no)?;
             let frame = Arc::new(Frame::fresh(page, false));
             frame.pins.fetch_add(1, Ordering::SeqCst);
+            let _rank = lockrank::acquire(Rank::PoolShard);
             let mut g = shard.frames.lock();
             if let Some(existing) = g.map.get(&pid) {
                 existing.pins.fetch_add(1, Ordering::SeqCst);
@@ -358,6 +373,9 @@ impl BufferPool {
             }
             g.insert(pid, frame.clone());
             drop(g);
+            // Release the shard rank with the guard: eviction below
+            // re-enters the table map (rank 2) via flush_frame.
+            drop(_rank);
             shard.misses.fetch_add(1, Ordering::Relaxed);
             self.metrics.add_pool_misses(1);
             self.resident.fetch_add(1, Ordering::SeqCst);
@@ -410,6 +428,7 @@ impl BufferPool {
     /// bit. Two passes bound the sweep: the first clears bits, the second
     /// catches the frames it cleared.
     fn clock_victim(&self, shard: &Shard) -> Option<PageId> {
+        let _rank = lockrank::acquire(Rank::PoolShard);
         let mut g = shard.frames.lock();
         let mut remaining = g.ring.len() * 2;
         while remaining > 0 && !g.ring.is_empty() {
@@ -439,6 +458,7 @@ impl BufferPool {
         // Flush first if dirty (STEAL), then remove if still unpinned.
         let shard = self.shard(pid);
         let frame = {
+            let _rank = lockrank::acquire(Rank::PoolShard);
             let g = shard.frames.lock();
             match g.map.get(&pid) {
                 Some(f) if f.pins.load(Ordering::SeqCst) == 0 => f.clone(),
@@ -452,6 +472,7 @@ impl BufferPool {
             }
             self.flush_frame(pid, &frame)?;
         }
+        let _rank = lockrank::acquire(Rank::PoolShard);
         let mut g = shard.frames.lock();
         if let Some(f) = g.map.get(&pid) {
             if f.pins.load(Ordering::SeqCst) == 0 && !f.dirty.load(Ordering::SeqCst) {
@@ -471,14 +492,17 @@ impl BufferPool {
 
     fn flush_frame(&self, pid: PageId, frame: &Frame) -> DbResult<()> {
         let table = self.table(pid.table)?;
+        let _rank = lockrank::acquire(Rank::Frame);
         let page = frame.page.write();
         // WAL rule: log records describing this page must be durable first.
+        let _wal_rank = lockrank::acquire(Rank::Wal);
         if let Some(wal) = self.wal.read().as_ref() {
             let lsn = page.page_lsn();
             if lsn > Lsn::ZERO {
                 wal.force(lsn)?;
             }
         }
+        // harbor-lint: allow(lock-across-blocking) — the frame latch must pin the page image across WAL force + write-back; flush-under-latch IS the WAL protocol
         table.write_page(pid.page_no, &page)?;
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(u64::MAX, Ordering::SeqCst);
@@ -499,6 +523,7 @@ impl BufferPool {
         }
         let frame = self.frame(pid)?;
         let result = {
+            let _rank = lockrank::acquire(Rank::Frame);
             let page = frame.page.read();
             f(&page)
         };
@@ -518,6 +543,7 @@ impl BufferPool {
         }
         let frame = self.frame(pid)?;
         let result = {
+            let _rank = lockrank::acquire(Rank::Frame);
             let mut page = frame.page.write();
             let r = f(&mut page);
             if r.is_ok() {
@@ -632,6 +658,7 @@ impl BufferPool {
     ) -> DbResult<R> {
         let frame = self.frame(pid)?;
         let result = {
+            let _rank = lockrank::acquire(Rank::Frame);
             let mut page = frame.page.write();
             let r = f(&mut page, &frame);
             if r.is_ok() {
@@ -746,6 +773,7 @@ impl BufferPool {
         self.shards
             .iter()
             .flat_map(|s| {
+                let _rank = lockrank::acquire(Rank::PoolShard);
                 s.frames
                     .lock()
                     .map
@@ -764,6 +792,7 @@ impl BufferPool {
         self.shards
             .iter()
             .flat_map(|s| {
+                let _rank = lockrank::acquire(Rank::PoolShard);
                 s.frames
                     .lock()
                     .map
@@ -781,6 +810,7 @@ impl BufferPool {
     /// Flushes one page if present and dirty.
     pub fn flush_page(&self, pid: PageId) -> DbResult<()> {
         let frame = {
+            let _rank = lockrank::acquire(Rank::PoolShard);
             let g = self.shard(pid).frames.lock();
             match g.map.get(&pid) {
                 Some(f) => f.clone(),
@@ -800,6 +830,7 @@ impl BufferPool {
     /// intact, and [`BufferPool::flush_page`] would skip the clean frame.
     pub fn force_rewrite(&self, pid: PageId) -> DbResult<bool> {
         let frame = {
+            let _rank = lockrank::acquire(Rank::PoolShard);
             let g = self.shard(pid).frames.lock();
             match g.map.get(&pid) {
                 Some(f) => f.clone(),
@@ -820,7 +851,13 @@ impl BufferPool {
 
     /// Number of resident frames (tests / introspection).
     pub fn resident(&self) -> usize {
-        self.shards.iter().map(|s| s.frames.lock().map.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let _rank = lockrank::acquire(Rank::PoolShard);
+                s.frames.lock().map.len()
+            })
+            .sum()
     }
 
     /// The page LSN of `pid` as seen through the pool (loads if needed).

@@ -16,6 +16,7 @@
 //! Historical queries never call into this module at all — that they are
 //! lock-free is what lets recovery Phase 2 run without quiescing the system.
 
+use harbor_common::lockrank::{self, Rank};
 use harbor_common::{DbError, DbResult, Metrics, PageId, TableId, TransactionId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -200,6 +201,7 @@ impl LockManager {
         timeout: Duration,
     ) -> DbResult<()> {
         let deadline = Instant::now() + timeout;
+        let _rank = lockrank::acquire(Rank::LockManager);
         let mut st = self.state.lock();
         let mut waited = false;
         loop {
@@ -255,6 +257,7 @@ impl LockManager {
 
     /// `hasAccess` of §6.1.2: does `tid` already hold a lock covering `mode`?
     pub fn has_access(&self, tid: TransactionId, key: LockKey, mode: LockMode) -> bool {
+        let _rank = lockrank::acquire(Rank::LockManager);
         let st = self.state.lock();
         st.locks
             .get(&key)
@@ -265,6 +268,7 @@ impl LockManager {
 
     /// Releases every lock held by `tid` (`releaseLocks`; end of strict 2PL).
     pub fn release_all(&self, tid: TransactionId) {
+        let _rank = lockrank::acquire(Rank::LockManager);
         let mut st = self.state.lock();
         st.locks.retain(|_, e| {
             e.holders.remove(&tid);
@@ -277,6 +281,7 @@ impl LockManager {
     /// Releases one specific lock (recovery releases its remote read locks
     /// object by object, §5.4.2).
     pub fn release(&self, tid: TransactionId, key: LockKey) {
+        let _rank = lockrank::acquire(Rank::LockManager);
         let mut st = self.state.lock();
         if let Some(e) = st.locks.get_mut(&key) {
             e.holders.remove(&tid);
@@ -292,6 +297,7 @@ impl LockManager {
     /// recovery buddy to detect and break a dead recoverer's locks (§5.5.1:
     /// "overrides the node's ownership of the locks and releases them").
     pub fn holders(&self, key: LockKey) -> Vec<TransactionId> {
+        let _rank = lockrank::acquire(Rank::LockManager);
         let st = self.state.lock();
         st.locks
             .get(&key)
@@ -301,6 +307,7 @@ impl LockManager {
 
     /// Number of distinct locks currently held (tests / introspection).
     pub fn held_count(&self) -> usize {
+        let _rank = lockrank::acquire(Rank::LockManager);
         self.state.lock().locks.len()
     }
 }

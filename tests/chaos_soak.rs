@@ -60,6 +60,14 @@ fn run_seed(seed: u64) -> harbor::ChaosRunReport {
 /// seed broke plus everything needed to replay it.
 #[test]
 fn pinned_seeds_hold_invariants() {
+    // Debug test builds run with the lock-rank witness armed, so the soak
+    // doubles as its steady-state regression: any cross-function rank
+    // inversion on the catalog/lock-manager/pool paths panics the run.
+    assert_eq!(
+        harbor_common::lockrank::is_armed(),
+        cfg!(debug_assertions),
+        "lockrank witness arming must track debug_assertions"
+    );
     for seed in SEEDS {
         let report = run_seed(seed);
         assert!(
