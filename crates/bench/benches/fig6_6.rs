@@ -149,6 +149,7 @@ fn main() {
     for line in &run.read_path {
         println!("  {line}");
     }
+    println!("commit path at quiesce (coordinator): {}", run.commit_path);
     baseline.entry(
         &format!("harbor_parallel_segments_recovery_segs{segs}"),
         run.elapsed.as_nanos(),

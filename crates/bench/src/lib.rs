@@ -218,13 +218,31 @@ impl BenchReport {
     /// Records one measurement: median wall nanoseconds over `rows` items,
     /// with derived ns/row and Mrows/s throughput.
     pub fn entry(&mut self, name: &str, median_ns: u128, rows: u64) -> &mut Self {
+        self.entry_with(name, median_ns, rows, &[])
+    }
+
+    /// As [`BenchReport::entry`], with additional numeric fields appended to
+    /// the entry object (`extras` values must already be valid JSON numbers
+    /// — the commit bench uses this for txn/s and latency percentiles).
+    pub fn entry_with(
+        &mut self,
+        name: &str,
+        median_ns: u128,
+        rows: u64,
+        extras: &[(&str, String)],
+    ) -> &mut Self {
         let per_row = median_ns as f64 / rows.max(1) as f64;
         let mrows = rows as f64 / (median_ns as f64 / 1e9).max(1e-12) / 1e6;
-        self.entries.push(format!(
+        let mut entry = format!(
             "{{\"name\": \"{}\", \"median_ns\": {median_ns}, \"rows\": {rows}, \
-             \"ns_per_row\": {per_row:.2}, \"mrows_per_s\": {mrows:.3}}}",
+             \"ns_per_row\": {per_row:.2}, \"mrows_per_s\": {mrows:.3}",
             json_escape(name)
-        ));
+        );
+        for (k, v) in extras {
+            entry.push_str(&format!(", \"{}\": {v}", json_escape(k)));
+        }
+        entry.push('}');
+        self.entries.push(entry);
         self
     }
 
@@ -438,6 +456,9 @@ pub struct RecoveryRun {
     /// bytes, the per-shard buffer-pool breakdown, and the storage
     /// fault-plane counters (faults injected, checksum failures, repairs).
     pub read_path: Vec<String>,
+    /// Coordinator commit-path summary at quiesce: forced writes, physical
+    /// syncs, batched syncs saved, and the epoch-size histogram.
+    pub commit_path: String,
 }
 
 /// One worker's read-hot-path summary: the aggregate counters plus the
@@ -586,12 +607,18 @@ pub fn run_recovery_scenario_with(
             read_path.push(site_read_path_summary(site, &e));
         }
     }
+    let commit_path = cluster
+        .coordinator()
+        .metrics()
+        .snapshot()
+        .commit_path_summary();
     cluster.shutdown();
     Ok(RecoveryRun {
         elapsed,
         report,
         metrics,
         read_path,
+        commit_path,
     })
 }
 

@@ -91,6 +91,20 @@ struct Counters {
     repair_ranges_fetched: AtomicU64,
     /// Bytes of tuple payload shipped from buddies for page repair.
     repair_bytes_shipped: AtomicU64,
+    /// Log syncs avoided by batching several forced records into one force
+    /// (epoch group commit: `epoch size - 1` per epoch decision record).
+    batched_syncs_saved: AtomicU64,
+    /// Commit epochs decided by the coordinator.
+    epochs_committed: AtomicU64,
+    /// Transactions carried by those epochs (mean epoch size =
+    /// `epoch_txns / epochs_committed`).
+    epoch_txns: AtomicU64,
+    /// Epoch-size histogram buckets.
+    epoch_size_1: AtomicU64,
+    epoch_size_2_4: AtomicU64,
+    epoch_size_5_16: AtomicU64,
+    epoch_size_17_64: AtomicU64,
+    epoch_size_gt_64: AtomicU64,
 }
 
 macro_rules! counter {
@@ -199,6 +213,32 @@ impl Metrics {
         repair_bytes_shipped,
         repair_bytes_shipped
     );
+    counter!(
+        add_batched_syncs_saved,
+        batched_syncs_saved,
+        batched_syncs_saved
+    );
+    counter!(add_epochs_committed, epochs_committed, epochs_committed);
+    counter!(add_epoch_txns, epoch_txns, epoch_txns);
+    counter!(add_epoch_size_1, epoch_size_1, epoch_size_1);
+    counter!(add_epoch_size_2_4, epoch_size_2_4, epoch_size_2_4);
+    counter!(add_epoch_size_5_16, epoch_size_5_16, epoch_size_5_16);
+    counter!(add_epoch_size_17_64, epoch_size_17_64, epoch_size_17_64);
+    counter!(add_epoch_size_gt_64, epoch_size_gt_64, epoch_size_gt_64);
+
+    /// Records one decided commit epoch of `n` transactions: bumps the
+    /// epoch counters and the matching size-histogram bucket.
+    pub fn record_epoch(&self, n: usize) {
+        self.add_epochs_committed(1);
+        self.add_epoch_txns(n as u64);
+        match n {
+            0..=1 => self.add_epoch_size_1(1),
+            2..=4 => self.add_epoch_size_2_4(1),
+            5..=16 => self.add_epoch_size_5_16(1),
+            17..=64 => self.add_epoch_size_17_64(1),
+            _ => self.add_epoch_size_gt_64(1),
+        }
+    }
 
     /// Snapshot of all counters, for diffing across an experiment.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -238,6 +278,14 @@ impl Metrics {
             pages_repaired: self.pages_repaired(),
             repair_ranges_fetched: self.repair_ranges_fetched(),
             repair_bytes_shipped: self.repair_bytes_shipped(),
+            batched_syncs_saved: self.batched_syncs_saved(),
+            epochs_committed: self.epochs_committed(),
+            epoch_txns: self.epoch_txns(),
+            epoch_size_1: self.epoch_size_1(),
+            epoch_size_2_4: self.epoch_size_2_4(),
+            epoch_size_5_16: self.epoch_size_5_16(),
+            epoch_size_17_64: self.epoch_size_17_64(),
+            epoch_size_gt_64: self.epoch_size_gt_64(),
         }
     }
 }
@@ -280,6 +328,14 @@ pub struct MetricsSnapshot {
     pub pages_repaired: u64,
     pub repair_ranges_fetched: u64,
     pub repair_bytes_shipped: u64,
+    pub batched_syncs_saved: u64,
+    pub epochs_committed: u64,
+    pub epoch_txns: u64,
+    pub epoch_size_1: u64,
+    pub epoch_size_2_4: u64,
+    pub epoch_size_5_16: u64,
+    pub epoch_size_17_64: u64,
+    pub epoch_size_gt_64: u64,
 }
 
 impl MetricsSnapshot {
@@ -351,6 +407,22 @@ impl MetricsSnapshot {
             repair_bytes_shipped: self
                 .repair_bytes_shipped
                 .saturating_sub(earlier.repair_bytes_shipped),
+            batched_syncs_saved: self
+                .batched_syncs_saved
+                .saturating_sub(earlier.batched_syncs_saved),
+            epochs_committed: self
+                .epochs_committed
+                .saturating_sub(earlier.epochs_committed),
+            epoch_txns: self.epoch_txns.saturating_sub(earlier.epoch_txns),
+            epoch_size_1: self.epoch_size_1.saturating_sub(earlier.epoch_size_1),
+            epoch_size_2_4: self.epoch_size_2_4.saturating_sub(earlier.epoch_size_2_4),
+            epoch_size_5_16: self.epoch_size_5_16.saturating_sub(earlier.epoch_size_5_16),
+            epoch_size_17_64: self
+                .epoch_size_17_64
+                .saturating_sub(earlier.epoch_size_17_64),
+            epoch_size_gt_64: self
+                .epoch_size_gt_64
+                .saturating_sub(earlier.epoch_size_gt_64),
         }
     }
 
@@ -373,6 +445,32 @@ impl MetricsSnapshot {
             self.scan_rows_admitted,
             self.scan_rows_skipped_predecode,
             self.scan_bytes_zero_copy,
+        )
+    }
+
+    /// Human-readable summary of the commit-path durability counters: how
+    /// well group commit and epoch batching are coalescing log forces, for
+    /// the fig6_6 and chaos-soak printouts alongside `forced_writes`.
+    pub fn commit_path_summary(&self) -> String {
+        let mean = if self.epochs_committed == 0 {
+            0.0
+        } else {
+            self.epoch_txns as f64 / self.epochs_committed as f64
+        };
+        format!(
+            "forced_writes={} physical_syncs={} batched_syncs_saved={} \
+             epochs={} epoch_txns={} (mean size {mean:.1}) \
+             epoch_sizes[1|2-4|5-16|17-64|>64]={}|{}|{}|{}|{}",
+            self.forced_writes,
+            self.physical_syncs,
+            self.batched_syncs_saved,
+            self.epochs_committed,
+            self.epoch_txns,
+            self.epoch_size_1,
+            self.epoch_size_2_4,
+            self.epoch_size_5_16,
+            self.epoch_size_17_64,
+            self.epoch_size_gt_64,
         )
     }
 
@@ -442,6 +540,23 @@ mod tests {
         assert_eq!(d.forced_writes, 1);
         assert_eq!(d.messages_sent, 0);
         assert_eq!(b.forced_writes, 3);
+    }
+
+    #[test]
+    fn record_epoch_buckets_by_size() {
+        let m = Metrics::new();
+        for n in [1, 3, 16, 17, 200] {
+            m.record_epoch(n);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.epochs_committed, 5);
+        assert_eq!(s.epoch_txns, 1 + 3 + 16 + 17 + 200);
+        assert_eq!(s.epoch_size_1, 1);
+        assert_eq!(s.epoch_size_2_4, 1);
+        assert_eq!(s.epoch_size_5_16, 1);
+        assert_eq!(s.epoch_size_17_64, 1);
+        assert_eq!(s.epoch_size_gt_64, 1);
+        assert!(s.commit_path_summary().contains("mean size 47.4"));
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct ChaosRunConfig {
     pub partition_ops: usize,
     /// Never crash below this many live workers.
     pub min_live: usize,
+    /// Client concurrency: each write slot of the schedule runs a *burst*
+    /// of this many transactions on concurrent threads (1 = the classic
+    /// serial harness). Every random draw a burst needs is taken from the
+    /// run RNG *before* any thread starts, so the event schedule stays
+    /// seed-deterministic; only commit interleaving varies. Bursts > 1 are
+    /// what drives multiple transactions into one commit epoch.
+    pub concurrent_streams: usize,
 }
 
 impl ChaosRunConfig {
@@ -60,6 +67,17 @@ impl ChaosRunConfig {
             recover_per_mille: 60,
             partition_ops: 3,
             min_live: 2,
+            concurrent_streams: 1,
+        }
+    }
+
+    /// The batched-commit soak profile: the same fault classes, but write
+    /// slots run 4-wide bursts so epochs form at the coordinator (pair with
+    /// a 2PC cluster built with `epoch_commit` set).
+    pub fn soak_batched(seed: u64) -> Self {
+        ChaosRunConfig {
+            concurrent_streams: 4,
+            ..Self::soak(seed)
         }
     }
 }
@@ -98,6 +116,9 @@ pub struct ChaosRunReport {
     /// shipped, and the per-shard pool breakdown (`hits/misses/evictions/
     /// resident` per shard).
     pub read_path: Vec<String>,
+    /// Coordinator commit-path summary at quiesce: forced writes, physical
+    /// syncs, batched syncs saved, and the epoch-size histogram.
+    pub commit_path: String,
 }
 
 /// Deterministic splitmix64 stream for the event schedule (the chaos layer
@@ -136,13 +157,23 @@ impl Cluster {
     /// Runs a seeded chaos workload against this cluster and checks the
     /// invariants at quiesce. The cluster should be built with
     /// [`crate::ClusterConfig::chaos`] set (the harness also works without
-    /// chaos — then only crash-schedule faults fire) and a single
-    /// `(id Int64, v Int32)` table, which the workload targets.
+    /// chaos — then only crash-schedule faults fire) and one or more
+    /// `(id Int64, v Int32)` tables, which the workload targets. With
+    /// `concurrent_streams > 1` each burst lane is pinned round-robin to a
+    /// table, so a cluster with as many tables as lanes gives every lane a
+    /// contention-free stream (page locks otherwise serialize the burst).
     pub fn run_chaos(&self, cfg: &ChaosRunConfig) -> DbResult<ChaosRunReport> {
         let table = self.config().tables[0].name.clone();
+        let burst = cfg.concurrent_streams.max(1);
+        let lane_tables: Vec<String> = (0..burst)
+            .map(|lane| {
+                let tables = &self.config().tables;
+                tables[lane % tables.len()].name.clone()
+            })
+            .collect();
         let mut rng = Rng(cfg.seed ^ 0xC0FFEE);
         let mut report = ChaosRunReport::default();
-        let mut keys: BTreeMap<i64, KeyState> = BTreeMap::new();
+        let mut keys: BTreeMap<String, BTreeMap<i64, KeyState>> = BTreeMap::new();
         let all_sites = self.worker_sites();
         report.min_live_seen = all_sites.len();
         let mut partition_left = 0usize;
@@ -222,50 +253,97 @@ impl Cluster {
             }
 
             // --- one workload operation -------------------------------
+            // With `concurrent_streams > 1` a write slot becomes a burst:
+            // every random draw the burst needs happens here, on the run
+            // RNG, before any client thread starts — so the seed still
+            // determines the full event schedule and only the commit
+            // interleaving (which is what feeds epochs) is concurrent.
             let kind = rng.below(10);
             if kind < 4 {
-                // Insert a fresh key.
-                let id = op as i64;
-                let v = rng.below(1_000_000) as i64;
-                let st = keys.entry(id).or_default();
-                st.attempted = true;
-                match self.run_txn(vec![UpdateRequest::Insert {
-                    table: table.clone(),
-                    values: vec![Value::Int64(id), Value::Int32(v as i32)],
-                }]) {
-                    Ok(_) => {
+                // Insert fresh keys (one per burst lane; lanes never share
+                // a key, so outcomes can be applied lane-by-lane).
+                let writes: Vec<(usize, i64, i64)> = (0..burst)
+                    .map(|lane| {
+                        (
+                            lane,
+                            (op * burst + lane) as i64,
+                            rng.below(1_000_000) as i64,
+                        )
+                    })
+                    .collect();
+                for (lane, id, _) in &writes {
+                    keys.entry(lane_tables[*lane].clone())
+                        .or_default()
+                        .entry(*id)
+                        .or_default()
+                        .attempted = true;
+                }
+                let txns: Vec<Vec<UpdateRequest>> = writes
+                    .iter()
+                    .map(|(lane, id, v)| {
+                        vec![UpdateRequest::Insert {
+                            table: lane_tables[*lane].clone(),
+                            values: vec![Value::Int64(*id), Value::Int32(*v as i32)],
+                        }]
+                    })
+                    .collect();
+                for ((lane, id, v), ok) in writes.iter().zip(self.run_chaos_burst(txns)) {
+                    let st = keys
+                        .entry(lane_tables[*lane].clone())
+                        .or_default()
+                        .entry(*id)
+                        .or_default();
+                    if ok {
                         st.insert_acked = true;
-                        st.acked = Some(v);
+                        st.acked = Some(*v);
                         st.maybe.clear();
                         report.committed += 1;
-                    }
-                    Err(_) => {
-                        st.maybe.push(v);
+                    } else {
+                        st.maybe.push(*v);
                         report.aborted += 1;
                     }
                 }
             } else if kind < 7 {
-                // Update a previously inserted key, if any.
-                let known: Vec<i64> = keys
+                // Update previously inserted keys, if any. Burst lanes must
+                // target *distinct* keys: two concurrent updates of one key
+                // would leave "which one is visible" up to commit order,
+                // which the lane-ordered bookkeeping below cannot model.
+                let known: Vec<(String, i64)> = keys
                     .iter()
-                    .filter(|(_, s)| s.insert_acked)
-                    .map(|(k, _)| *k)
+                    .flat_map(|(t, m)| {
+                        m.iter()
+                            .filter(|(_, s)| s.insert_acked)
+                            .map(move |(k, _)| (t.clone(), *k))
+                    })
                     .collect();
-                if let Some(&id) = known.get(rng.below(known.len().max(1) as u64) as usize) {
-                    let v = rng.below(1_000_000) as i64;
-                    match self.run_txn(vec![UpdateRequest::UpdateByKey {
-                        table: table.clone(),
-                        key: id,
-                        set: vec![(1, Value::Int32(v as i32))],
-                    }]) {
-                        Ok(_) => {
-                            let st = keys.get_mut(&id).unwrap();
-                            st.acked = Some(v);
+                let mut picked: Vec<(String, i64, i64)> = Vec::new();
+                for _ in 0..burst {
+                    if let Some((t, id)) = known.get(rng.below(known.len().max(1) as u64) as usize)
+                    {
+                        let v = rng.below(1_000_000) as i64;
+                        if !picked.iter().any(|(pt, pk, _)| pt == t && pk == id) {
+                            picked.push((t.clone(), *id, v));
+                        }
+                    }
+                }
+                let txns: Vec<Vec<UpdateRequest>> = picked
+                    .iter()
+                    .map(|(t, id, v)| {
+                        vec![UpdateRequest::UpdateByKey {
+                            table: t.clone(),
+                            key: *id,
+                            set: vec![(1, Value::Int32(*v as i32))],
+                        }]
+                    })
+                    .collect();
+                for ((t, id, v), ok) in picked.iter().zip(self.run_chaos_burst(txns)) {
+                    if let Some(st) = keys.get_mut(t).and_then(|m| m.get_mut(id)) {
+                        if ok {
+                            st.acked = Some(*v);
                             st.maybe.clear();
                             report.committed += 1;
-                        }
-                        Err(_) => {
-                            keys.get_mut(&id).unwrap().maybe.push(v);
+                        } else {
+                            st.maybe.push(*v);
                             report.aborted += 1;
                         }
                     }
@@ -439,7 +517,9 @@ impl Cluster {
         }
 
         // --- invariants -------------------------------------------------
-        self.check_invariants(&table, &keys, &mut report)?;
+        for (t, table_keys) in &keys {
+            self.check_invariants(t, table_keys, &mut report)?;
+        }
         for site in &all_sites {
             if let Ok(e) = self.engine(*site) {
                 let snap = e.metrics().snapshot();
@@ -457,7 +537,35 @@ impl Cluster {
                 ));
             }
         }
+        report.commit_path = self
+            .coordinator()
+            .metrics()
+            .snapshot()
+            .commit_path_summary();
         Ok(report)
+    }
+
+    /// Runs one burst of transactions: inline when it is a single
+    /// transaction (the classic serial harness — byte-for-byte the same
+    /// schedule as before bursts existed), on scoped threads otherwise.
+    /// Returns per-lane commit outcomes in lane order.
+    fn run_chaos_burst(&self, txns: Vec<Vec<UpdateRequest>>) -> Vec<bool> {
+        if txns.len() <= 1 {
+            return txns
+                .into_iter()
+                .map(|ops| self.run_txn(ops).is_ok())
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = txns
+                .into_iter()
+                .map(|ops| scope.spawn(move || self.run_txn(ops).is_ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| matches!(h.join(), Ok(true)))
+                .collect()
+        })
     }
 
     fn chaos_crash_event(

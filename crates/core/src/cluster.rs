@@ -114,6 +114,9 @@ pub struct ClusterConfig {
     pub rpc_deadline: Duration,
     /// Bounded retries for idempotent historical reads at the coordinator.
     pub read_retries: u32,
+    /// Epoch group commit at the coordinator (2PC variants only; `None` =
+    /// the serial paper-faithful commit path).
+    pub epoch_commit: Option<harbor_dist::EpochCommitConfig>,
 }
 
 impl ClusterConfig {
@@ -139,6 +142,7 @@ impl ClusterConfig {
             crash_schedule: Arc::new(CrashSchedule::new()),
             rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
+            epoch_commit: None,
         }
     }
 
@@ -277,6 +281,7 @@ impl Cluster {
                     protocol: cfg.protocol,
                     checkpoint_every: cfg.checkpoint_every,
                     peers: peers.clone(),
+                    coordinator: Some(coord_listener.local_addr()),
                     auto_consensus: cfg.auto_consensus,
                     use_deletion_log: cfg.use_deletion_log,
                     scan_batch: cfg.scan_batch,
@@ -305,6 +310,7 @@ impl Cluster {
                 rpc_deadline: cfg.rpc_deadline,
                 read_retries: cfg.read_retries,
                 crash_schedule: cfg.crash_schedule.clone(),
+                epoch_commit: cfg.epoch_commit,
             },
             placement.clone(),
             coord_transport,
@@ -554,6 +560,11 @@ impl Cluster {
                 protocol: self.cfg.protocol,
                 checkpoint_every: self.cfg.checkpoint_every,
                 peers,
+                coordinator: self
+                    .placement
+                    .coordinator_addr()
+                    .ok()
+                    .map(|a| a.to_string()),
                 auto_consensus: self.cfg.auto_consensus,
                 use_deletion_log: self.cfg.use_deletion_log,
                 scan_batch: self.cfg.scan_batch,

@@ -30,13 +30,13 @@ use std::time::Duration;
 /// Liveness deadline for consensus-protocol round trips. A partitioned peer
 /// whose socket never closes must not hang resolution forever; past this,
 /// it is treated as dead (§5.5.1 extended to blackholed links).
-const CONSENSUS_DEADLINE: Duration = Duration::from_secs(2);
+pub(crate) const CONSENSUS_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Bounded retries for *transient* timeouts during the election ping and the
 /// idempotent state query. A site must not be declared dead — and its backup
 /// role usurped — on a single slow reply; only a true disconnect or repeated
 /// deadline expiry counts as death.
-const CONSENSUS_RETRIES: u32 = 2;
+pub(crate) const CONSENSUS_RETRIES: u32 = 2;
 
 /// A participant's consensus-relevant state (Fig 4-5 states plus the vote).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

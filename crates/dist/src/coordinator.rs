@@ -4,7 +4,7 @@
 //! serves the timestamp authority and the join-pending protocol (Fig 5-4).
 
 use crate::failpoint::{CrashPoint, CrashSchedule};
-use crate::message::{RemoteScan, Request, Response, UpdateRequest};
+use crate::message::{RemoteScan, Request, Response, UpdateRequest, WireTxnState};
 use crate::placement::Placement;
 use crate::protocol::ProtocolKind;
 use crate::{rpc_liveness, scan_rpc_deadline, with_read_retries, DEFAULT_RETRY_BACKOFF};
@@ -16,12 +16,12 @@ use harbor_common::{
 use harbor_net::{Channel, Transport};
 use harbor_wal::record::{LogPayload, LogRecord, TxnOutcome};
 use harbor_wal::{GroupCommit, LogManager, Lsn};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type SharedChan = Arc<Mutex<Box<dyn Channel>>>;
 
@@ -41,6 +41,35 @@ pub enum FailPoint {
     AfterPtcSentTo(usize),
     /// Crash after sending COMMIT to `n` workers.
     AfterCommitSentTo(usize),
+}
+
+/// Epoch group commit: the coordinator batches independent transactions
+/// into *commit epochs* — one PREPARE wave carrying a vector of txn ids per
+/// participating worker, per-txn vote vectors back, one forced log write
+/// covering every decision record of the epoch, one COMMIT wave, vectored
+/// acks. A NO vote or a dead worker aborts only the affected transactions,
+/// never the epoch. Applies to the 2PC variants only (the 3PC variants keep
+/// the paper-faithful serial path); `None` disables batching everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochCommitConfig {
+    /// Maximum transactions per epoch.
+    pub max_txns: usize,
+    /// How long an open epoch waits to accumulate more transactions once it
+    /// has its first.
+    pub max_wait: Duration,
+    /// Epochs allowed in flight at once: epoch N+1's PREPARE wave overlaps
+    /// epoch N's commit wave.
+    pub pipeline_depth: usize,
+}
+
+impl Default for EpochCommitConfig {
+    fn default() -> Self {
+        EpochCommitConfig {
+            max_txns: 16,
+            max_wait: Duration::from_micros(500),
+            pipeline_depth: 2,
+        }
+    }
 }
 
 /// Construction options.
@@ -66,6 +95,9 @@ pub struct CoordinatorConfig {
     pub read_retries: u32,
     /// Cluster-wide crash schedule probed by [`FailPoint`]s.
     pub crash_schedule: Arc<CrashSchedule>,
+    /// Batch commits into epochs (2PC variants only; `None` = the serial
+    /// paper-faithful path).
+    pub epoch_commit: Option<EpochCommitConfig>,
 }
 
 struct TxnInner {
@@ -80,6 +112,44 @@ struct TxnInner {
 
 struct TxnCtx {
     inner: Mutex<TxnInner>,
+}
+
+/// Where a client thread parks while its transaction rides a commit epoch.
+#[derive(Default)]
+struct CommitWaiter {
+    slot: Mutex<Option<DbResult<Timestamp>>>,
+    cond: Condvar,
+}
+
+impl CommitWaiter {
+    /// First resolution wins; later ones are ignored.
+    fn resolve(&self, res: DbResult<Timestamp>) {
+        let mut slot = self.slot.lock();
+        if slot.is_none() {
+            *slot = Some(res);
+        }
+        drop(slot);
+        self.cond.notify_all();
+    }
+}
+
+/// One transaction queued for the next epoch.
+struct PendingCommit {
+    tid: TransactionId,
+    participants: Vec<SiteId>,
+    waiter: Arc<CommitWaiter>,
+}
+
+/// Shared state between client threads, the epoch scheduler, and the
+/// per-epoch runner threads.
+struct EpochState {
+    cfg: EpochCommitConfig,
+    pending: Mutex<Vec<PendingCommit>>,
+    pending_cond: Condvar,
+    /// Epochs currently running their waves; bounded by `pipeline_depth`.
+    inflight: Mutex<usize>,
+    inflight_cond: Condvar,
+    epoch_seq: AtomicU64,
 }
 
 /// A running coordinator.
@@ -101,6 +171,16 @@ pub struct Coordinator {
     partially_online: Mutex<HashMap<SiteId, std::collections::BTreeSet<String>>>,
     shutdown: Arc<AtomicBool>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Present iff epoch group commit is active (2PC variants with
+    /// `epoch_commit` configured).
+    epoch: Option<Arc<EpochState>>,
+    /// Commit decisions this coordinator is the authority for: tid → commit
+    /// time, recorded the moment the COMMIT record is durable (2PC) or the
+    /// commit point passes (3PC), and rebuilt from the log on restart.
+    /// In-doubt 2PC workers resolve against this table (presumed abort for
+    /// finished transactions it does not contain) instead of the worker-only
+    /// §4.3.3 consensus, which is sound only under 3PC's lock-step states.
+    decided_commits: Mutex<HashMap<TransactionId, Timestamp>>,
 }
 
 impl Coordinator {
@@ -135,6 +215,30 @@ impl Coordinator {
             }
             _ => None,
         };
+        // Rebuild the decided-commit table from the surviving log: after a
+        // coordinator restart, in-doubt 2PC workers re-ask for outcomes whose
+        // COMMIT records were forced by the previous incarnation.
+        let mut decided_commits = HashMap::new();
+        if let Some(wal) = &wal {
+            for (_, rec) in wal.scan(Lsn::ZERO)? {
+                if let LogPayload::Commit { commit_time } = rec.payload {
+                    decided_commits.insert(rec.tid, commit_time);
+                }
+            }
+        }
+        // Epoch batching applies only to the 2PC variants; the 3PC variants
+        // keep the serial paper-faithful path regardless of config.
+        let epoch = match (cfg.epoch_commit, cfg.protocol.is_three_phase()) {
+            (Some(ecfg), false) => Some(Arc::new(EpochState {
+                cfg: ecfg,
+                pending: Mutex::new(Vec::new()),
+                pending_cond: Condvar::new(),
+                inflight: Mutex::new(0),
+                inflight_cond: Condvar::new(),
+                epoch_seq: AtomicU64::new(0),
+            })),
+            _ => None,
+        };
         let coordinator = Arc::new(Coordinator {
             authority: Arc::new(TimestampAuthority::default()),
             wal,
@@ -147,6 +251,8 @@ impl Coordinator {
             handles: Mutex::new(Vec::new()),
             placement,
             transport,
+            epoch,
+            decided_commits: Mutex::new(decided_commits),
             cfg,
         });
         {
@@ -155,6 +261,14 @@ impl Coordinator {
                 .name("coordinator-server".into())
                 .spawn(move || c.server_loop(listener))
                 .map_err(|e| DbError::internal(format!("spawn coordinator server: {e}")))?;
+            coordinator.handles.lock().push(h);
+        }
+        if let Some(es) = coordinator.epoch.clone() {
+            let c = coordinator.clone();
+            let h = std::thread::Builder::new()
+                .name("epoch-scheduler".into())
+                .spawn(move || c.epoch_scheduler(es))
+                .map_err(|e| DbError::internal(format!("spawn epoch scheduler: {e}")))?;
             coordinator.handles.lock().push(h);
         }
         Ok(coordinator)
@@ -222,6 +336,21 @@ impl Coordinator {
         self.dead.lock().contains(&site)
     }
 
+    /// The coordinator's authoritative answer for a transaction's outcome:
+    /// committed iff its COMMIT record was forced here (2PC) or its commit
+    /// point passed (3PC); still-running transactions report `Pending`;
+    /// everything else is aborted by presumed abort. In-doubt 2PC workers
+    /// dispatch on this instead of running worker-only consensus.
+    pub fn txn_outcome(&self, tid: TransactionId) -> WireTxnState {
+        if let Some(t) = self.decided_commits.lock().get(&tid) {
+            return WireTxnState::Committed(*t);
+        }
+        if self.txns.lock().contains_key(&tid) {
+            return WireTxnState::Pending;
+        }
+        WireTxnState::Aborted
+    }
+
     /// May updates/reads of `table` be routed to `site`? True when the site
     /// is fully alive, or when this specific object has announced it is
     /// coming online (§5.4.2).
@@ -239,6 +368,18 @@ impl Coordinator {
     /// Simulated coordinator crash: stop the server and sever every worker
     /// connection mid-flight.
     pub fn crash(&self) {
+        self.initiate_crash();
+        let handles: Vec<_> = self.handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The crash itself, without reaping threads. Epoch runner and scheduler
+    /// threads fire crash points from inside threads tracked in `handles`,
+    /// and a thread cannot join itself — they call this and unwind; the
+    /// harness's eventual external [`crash`](Self::crash) joins them.
+    fn initiate_crash(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Drop all per-transaction channels: workers see disconnects.
         let txns: Vec<Arc<TxnCtx>> = self.txns.lock().values().cloned().collect();
@@ -248,9 +389,15 @@ impl Coordinator {
             g.finished = true;
         }
         self.txns.lock().clear();
-        let handles: Vec<_> = self.handles.lock().drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        // Wake parked epoch clients so they observe the shutdown flag.
+        if let Some(es) = &self.epoch {
+            let leftovers: Vec<PendingCommit> = es.pending.lock().drain(..).collect();
+            for p in leftovers {
+                p.waiter
+                    .resolve(Err(DbError::SiteDown("coordinator crashed".into())));
+            }
+            es.pending_cond.notify_all();
+            es.inflight_cond.notify_all();
         }
     }
 
@@ -481,6 +628,9 @@ impl Coordinator {
             self.finish(tid, true)?;
             return Ok(self.authority.now().prev());
         }
+        if let Some(es) = self.epoch.clone() {
+            return self.commit_via_epoch(tid, participants, es);
+        }
         // Phase 1: PREPARE.
         let bound = self.authority.now();
         let prepare = Request::Prepare {
@@ -564,6 +714,9 @@ impl Coordinator {
                 ))?;
             }
         }
+        // The decision is durable (2PC) or the commit point has passed
+        // (3PC): record it for in-doubt workers before telling anyone.
+        self.decided_commits.lock().insert(tid, commit_time);
         // Final phase: COMMIT.
         let commit = Request::Commit { tid, commit_time };
         let mut sent = 0usize;
@@ -702,6 +855,395 @@ impl Coordinator {
     }
 
     // ------------------------------------------------------------------
+    // Epoch group commit (extension 14): batched 2PC waves
+    // ------------------------------------------------------------------
+
+    /// Client side of epoch commit: enqueue the transaction for the next
+    /// epoch and park until an epoch runner resolves it.
+    fn commit_via_epoch(
+        &self,
+        tid: TransactionId,
+        participants: Vec<SiteId>,
+        es: Arc<EpochState>,
+    ) -> DbResult<Timestamp> {
+        let waiter = Arc::new(CommitWaiter::default());
+        es.pending.lock().push(PendingCommit {
+            tid,
+            participants,
+            waiter: waiter.clone(),
+        });
+        es.pending_cond.notify_all();
+        let mut slot = waiter.slot.lock();
+        loop {
+            if let Some(res) = slot.take() {
+                return res;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(DbError::SiteDown("coordinator crashed".into()));
+            }
+            waiter.cond.wait_for(&mut slot, Duration::from_millis(50));
+        }
+    }
+
+    /// Scheduler thread: drains the pending queue into epochs of at most
+    /// `max_txns`, holds a non-full epoch open for `max_wait` to accumulate
+    /// stragglers, and launches each epoch on its own runner thread subject
+    /// to the `pipeline_depth` bound — epoch N+1's PREPARE wave may be on
+    /// the wire while epoch N is still collecting acks.
+    fn epoch_scheduler(self: &Arc<Self>, es: Arc<EpochState>) {
+        let max_txns = es.cfg.max_txns.max(1);
+        loop {
+            let mut batch: Vec<PendingCommit> = Vec::new();
+            {
+                let mut q = es.pending.lock();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        let leftovers: Vec<PendingCommit> = q.drain(..).collect();
+                        drop(q);
+                        for p in leftovers {
+                            p.waiter
+                                .resolve(Err(DbError::SiteDown("coordinator crashed".into())));
+                        }
+                        return;
+                    }
+                    if !q.is_empty() {
+                        let take = q.len().min(max_txns);
+                        batch.extend(q.drain(..take));
+                        break;
+                    }
+                    es.pending_cond.wait_for(&mut q, Duration::from_millis(50));
+                }
+            }
+            // Accumulation window: a short wait after the first arrival lets
+            // concurrent clients join the same epoch.
+            let deadline = Instant::now() + es.cfg.max_wait;
+            while batch.len() < max_txns && !self.shutdown.load(Ordering::SeqCst) {
+                let mut q = es.pending.lock();
+                if q.is_empty()
+                    && es.pending_cond.wait_until(&mut q, deadline).timed_out()
+                    && q.is_empty()
+                {
+                    break;
+                }
+                let take = (max_txns - batch.len()).min(q.len());
+                batch.extend(q.drain(..take));
+                drop(q);
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            // Pipeline gate: at most `pipeline_depth` epochs in flight.
+            {
+                let mut inflight = es.inflight.lock();
+                while *inflight >= es.cfg.pipeline_depth.max(1)
+                    && !self.shutdown.load(Ordering::SeqCst)
+                {
+                    es.inflight_cond
+                        .wait_for(&mut inflight, Duration::from_millis(50));
+                }
+                *inflight += 1;
+            }
+            let release_slot = |es: &EpochState| {
+                let mut inflight = es.inflight.lock();
+                *inflight = inflight.saturating_sub(1);
+                drop(inflight);
+                es.inflight_cond.notify_all();
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                for p in batch {
+                    p.waiter
+                        .resolve(Err(DbError::SiteDown("coordinator crashed".into())));
+                }
+                release_slot(&es);
+                continue;
+            }
+            let epoch = es.epoch_seq.fetch_add(1, Ordering::SeqCst);
+            // Keep handles to the waiters: if the runner thread cannot be
+            // spawned, its clients must still be unparked.
+            let waiters: Vec<Arc<CommitWaiter>> = batch.iter().map(|p| p.waiter.clone()).collect();
+            let me = self.clone();
+            let es_runner = es.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("epoch-{epoch}"))
+                .spawn(move || {
+                    me.run_epoch(epoch, batch);
+                    let mut inflight = es_runner.inflight.lock();
+                    *inflight = inflight.saturating_sub(1);
+                    drop(inflight);
+                    es_runner.inflight_cond.notify_all();
+                });
+            match spawned {
+                Ok(h) => self.handles.lock().push(h),
+                Err(e) => {
+                    for w in waiters {
+                        w.resolve(Err(DbError::internal(format!("spawn epoch runner: {e}"))));
+                    }
+                    release_slot(&es);
+                }
+            }
+        }
+    }
+
+    /// Runs one epoch end to end: batched PREPARE wave → per-txn vote
+    /// vectors → one forced log write covering every decision record →
+    /// batched COMMIT wave → vectored acks. Failures abort only the
+    /// affected transactions; the epoch itself always completes.
+    fn run_epoch(self: &Arc<Self>, epoch: u64, batch: Vec<PendingCommit>) {
+        let crashed = |batch: &[PendingCommit]| {
+            for p in batch {
+                p.waiter.resolve(Err(DbError::SiteDown(
+                    "coordinator crashed (fail point)".into(),
+                )));
+            }
+        };
+        // Wave membership: the union of all participants.
+        let mut workers: BTreeSet<SiteId> = BTreeSet::new();
+        for p in &batch {
+            workers.extend(p.participants.iter().copied());
+        }
+        let bound = self.authority.now();
+        // PREPARE wave: one fresh channel per worker (the per-transaction
+        // BEGIN channels stay open so disconnect semantics are unchanged),
+        // all sends first so the prepares overlap across workers.
+        let mut chans: HashMap<SiteId, Box<dyn Channel>> = HashMap::new();
+        for site in &workers {
+            let txns: Vec<(TransactionId, Vec<SiteId>)> = batch
+                .iter()
+                .filter(|p| p.participants.contains(site))
+                .map(|p| (p.tid, p.participants.clone()))
+                .collect();
+            let req = Request::PrepareBatch {
+                epoch,
+                txns,
+                time_bound: bound,
+            };
+            let sent = (|| -> DbResult<Box<dyn Channel>> {
+                let addr = self.placement.address(*site)?.to_string();
+                let mut chan = self.transport.connect(&addr)?;
+                chan.send(&req.to_vec())?;
+                Ok(chan)
+            })();
+            match sent {
+                Ok(chan) => {
+                    chans.insert(*site, chan);
+                }
+                // Unreachable = NO vote for every txn it participates in.
+                Err(_) => self.mark_dead(*site),
+            }
+        }
+        // Vote collection: per-txn vote vectors, one frame per worker.
+        let mut votes: HashMap<(SiteId, TransactionId), bool> = HashMap::new();
+        for (site, chan) in &mut chans {
+            match Self::wave_recv(
+                chan.as_mut(),
+                self.cfg.rpc_deadline,
+                &self.shutdown,
+                &self.metrics,
+            ) {
+                Ok(Response::VoteBatch { votes: v }) => {
+                    for (tid, yes) in v {
+                        votes.insert((*site, tid), yes);
+                    }
+                }
+                // A missing or malformed vote vector is a NO for every txn
+                // on this worker (§4.3.2 generalized to the batch).
+                Ok(_) | Err(_) => self.mark_dead(*site),
+            }
+        }
+        if self.fire_from_runner(CrashPoint::CoordAfterPrepare) {
+            crashed(&batch);
+            return;
+        }
+        // Per-txn decisions: commit iff every participant voted YES. A NO
+        // or a dead worker dooms only its own transactions.
+        let mut commit_times: Vec<Option<Timestamp>> = Vec::with_capacity(batch.len());
+        let mut records: Vec<LogRecord> = Vec::with_capacity(batch.len());
+        for p in &batch {
+            let all_yes = p
+                .participants
+                .iter()
+                .all(|s| votes.get(&(*s, p.tid)).copied() == Some(true));
+            if all_yes {
+                let t = self.authority.next_commit_time();
+                commit_times.push(Some(t));
+                records.push(LogRecord::new(
+                    p.tid,
+                    Lsn::NONE,
+                    LogPayload::Commit { commit_time: t },
+                ));
+            } else {
+                commit_times.push(None);
+                records.push(LogRecord::new(p.tid, Lsn::NONE, LogPayload::Abort));
+            }
+        }
+        // 2PC commit point for the whole epoch: every decision record goes
+        // into the log, then ONE force covers them all (max LSN).
+        if let Some(wal) = &self.wal {
+            if wal.append_all_forced(&records).is_err() {
+                for p in &batch {
+                    p.waiter
+                        .resolve(Err(DbError::internal("epoch decision force failed")));
+                }
+                return;
+            }
+        }
+        self.metrics.record_epoch(batch.len());
+        // The epoch's decisions are durable: record the commits for
+        // in-doubt workers before any COMMIT frame leaves.
+        {
+            let mut decided = self.decided_commits.lock();
+            for (p, t) in batch.iter().zip(commit_times.iter()) {
+                if let Some(t) = t {
+                    decided.insert(p.tid, *t);
+                }
+            }
+        }
+        if self.fire_from_runner(CrashPoint::CoordAfterEpochForce) {
+            crashed(&batch);
+            return;
+        }
+        // COMMIT wave: per-worker outcome vectors. Aborts go only to
+        // workers that voted YES (a NO voter already rolled back locally).
+        let mut waved: Vec<SiteId> = Vec::new();
+        let mut sent = 0usize;
+        for site in &workers {
+            let commits: Vec<(TransactionId, Timestamp)> = batch
+                .iter()
+                .zip(commit_times.iter())
+                .filter(|(p, _)| p.participants.contains(site))
+                .filter_map(|(p, t)| t.map(|t| (p.tid, t)))
+                .collect();
+            let aborts: Vec<TransactionId> = batch
+                .iter()
+                .zip(commit_times.iter())
+                .filter(|(_, t)| t.is_none())
+                .filter(|(p, _)| votes.get(&(*site, p.tid)).copied() == Some(true))
+                .map(|(p, _)| p.tid)
+                .collect();
+            if commits.is_empty() && aborts.is_empty() {
+                continue;
+            }
+            let Some(chan) = chans.get_mut(site) else {
+                // Dead since the PREPARE wave: it recovers the outcome from
+                // its peers (§4.3.3 runs per transaction).
+                continue;
+            };
+            let req = Request::CommitBatch {
+                epoch,
+                commits,
+                aborts,
+            };
+            if chan.send(&req.to_vec()).is_err() {
+                self.mark_dead(*site);
+                continue;
+            }
+            sent += 1;
+            waved.push(*site);
+            if self.fire_from_runner_counting(
+                |p| matches!(p, CrashPoint::CoordAfterCommitSent(n) if sent >= *n),
+            ) {
+                crashed(&batch);
+                return;
+            }
+        }
+        // Vectored acks: one frame per worker, covering its whole batch.
+        for site in waved {
+            let Some(chan) = chans.get_mut(&site) else {
+                continue;
+            };
+            match Self::wave_recv(
+                chan.as_mut(),
+                self.cfg.rpc_deadline,
+                &self.shutdown,
+                &self.metrics,
+            ) {
+                Ok(Response::AckBatch { .. }) => {}
+                // No ack: the worker recovers the committed outcome.
+                Ok(_) | Err(_) => self.mark_dead(site),
+            }
+        }
+        // End records (unforced) and client wake-ups.
+        if let Some(wal) = &self.wal {
+            for (p, t) in batch.iter().zip(commit_times.iter()) {
+                let outcome = if t.is_some() {
+                    TxnOutcome::Committed
+                } else {
+                    TxnOutcome::Aborted
+                };
+                wal.append(&LogRecord::new(
+                    p.tid,
+                    Lsn::NONE,
+                    LogPayload::End { outcome },
+                ));
+            }
+        }
+        for (p, t) in batch.iter().zip(commit_times.iter()) {
+            match t {
+                Some(t) => {
+                    self.metrics.add_commits(1);
+                    let _ = self.finish(p.tid, true);
+                    p.waiter.resolve(Ok(*t));
+                }
+                None => {
+                    let _ = self.finish(p.tid, false);
+                    p.waiter.resolve(Err(DbError::TransactionAborted(p.tid)));
+                }
+            }
+        }
+    }
+
+    /// Receives one frame of a wave under the liveness deadline, watching
+    /// the shutdown flag between poll slices.
+    fn wave_recv(
+        chan: &mut dyn Channel,
+        deadline: Duration,
+        shutdown: &AtomicBool,
+        metrics: &Metrics,
+    ) -> DbResult<Response> {
+        let expires = Instant::now() + deadline;
+        loop {
+            match chan.recv_timeout(Duration::from_millis(50))? {
+                Some(frame) => return Response::from_slice(&frame),
+                None => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Err(DbError::SiteDown("coordinator crashed".into()));
+                    }
+                    if Instant::now() >= expires {
+                        return Err(crate::liveness_expired(
+                            Some(metrics),
+                            "commit wave stalled",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`maybe_fail`](Self::maybe_fail) for epoch runner threads: initiates
+    /// the crash but does not join (a tracked thread cannot join itself).
+    fn fire_from_runner(&self, at: CrashPoint) -> bool {
+        if self.cfg.crash_schedule.fire(self.cfg.site, at) {
+            self.initiate_crash();
+            return true;
+        }
+        false
+    }
+
+    /// [`maybe_fail_counting`](Self::maybe_fail_counting) for epoch runners.
+    fn fire_from_runner_counting(&self, pred: impl Fn(&CrashPoint) -> bool) -> bool {
+        if self
+            .cfg
+            .crash_schedule
+            .take_if(self.cfg.site, pred)
+            .is_some()
+        {
+            self.initiate_crash();
+            return true;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
     // Coordinator server: timestamp authority + join-pending (Fig 5-4)
     // ------------------------------------------------------------------
 
@@ -750,6 +1292,11 @@ impl Coordinator {
                 Request::RecComingOnline { site, table } => match self.handle_join(site, &table) {
                     Ok(()) => Response::AllDone,
                     Err(e) => Response::Err { msg: e.to_string() },
+                },
+                // In-doubt 2PC workers resolve against the coordinator's
+                // forced log (presumed abort), not worker-only consensus.
+                Request::QueryTxnState { tid } => Response::TxnState {
+                    state: self.txn_outcome(tid),
                 },
                 _ => Response::Err {
                     msg: "not a coordinator request".into(),

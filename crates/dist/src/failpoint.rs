@@ -26,9 +26,18 @@ pub enum CrashPoint {
     CoordAfterPtcSent(usize),
     /// Coordinator: after sending COMMIT to `n` workers.
     CoordAfterCommitSent(usize),
+    /// Coordinator: in epoch mode, after the epoch's decision records are
+    /// forced but before the COMMIT wave goes out — every decided txn is
+    /// durable at the coordinator yet no worker has heard the outcome, so
+    /// recovery/consensus must resolve each txn individually.
+    CoordAfterEpochForce,
     /// Worker: while handling a PREPARE request, before the vote is sent —
     /// the coordinator sees a dead participant instead of a vote.
     WorkerDuringPrepareVote,
+    /// Worker: after receiving a batched PREPARE wave but before voting on
+    /// any transaction in it — the whole vote vector is lost and the
+    /// coordinator must abort only that worker's txns, not the epoch.
+    WorkerDuringBatchPrepare,
     /// Worker: immediately *after* its PREPARE-TO-COMMIT ack is on the wire —
     /// the worker dies in the prepared-to-commit state (Table 4.1 rows where
     /// some participant reached PTC).
@@ -52,6 +61,7 @@ impl CrashPoint {
             CrashPoint::CoordAfterPrepare
                 | CrashPoint::CoordAfterPtcSent(_)
                 | CrashPoint::CoordAfterCommitSent(_)
+                | CrashPoint::CoordAfterEpochForce
         )
     }
 }

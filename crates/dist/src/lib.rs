@@ -13,7 +13,7 @@ pub mod protocol;
 pub mod worker;
 
 pub use consensus::{backup_action, BackupAction, BackupState};
-pub use coordinator::{Coordinator, CoordinatorConfig, FailPoint};
+pub use coordinator::{Coordinator, CoordinatorConfig, EpochCommitConfig, FailPoint};
 pub use failpoint::{CrashPoint, CrashSchedule};
 pub use message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
 pub use placement::{Copy, Part, Placement, RecoveryObject, TablePlacement};
@@ -78,6 +78,19 @@ pub fn rpc_liveness(
         }
         other => other,
     }
+}
+
+/// Classifies an expired *liveness* deadline for callers that slice their
+/// own receive loop instead of blocking in [`rpc_liveness`] — the epoch
+/// commit waves poll in short ticks so they can watch a shutdown flag
+/// between slices. Same contract as [`rpc_liveness`]: the silent peer is
+/// treated as failed ([`DbError::SiteUnavailable`], a disconnect), even
+/// though its socket never closed.
+pub fn liveness_expired(metrics: Option<&Metrics>, context: &str) -> DbError {
+    if let Some(m) = metrics {
+        m.add_rpc_timeouts(1);
+    }
+    DbError::unavailable(format!("liveness deadline: {context}"))
 }
 
 /// Runs `attempt` with up to `retries` bounded retries (exponential backoff

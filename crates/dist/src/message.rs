@@ -382,6 +382,24 @@ pub enum Request {
         ins_lo: Timestamp,
         ins_hi: Timestamp,
     },
+    /// Epoch group commit: one PREPARE wave carrying every transaction of
+    /// the epoch this worker participates in. Each entry carries the txn's
+    /// full participant set (as in [`Request::Prepare`], for §4.3.3
+    /// consensus). The worker answers with [`Response::VoteBatch`].
+    PrepareBatch {
+        epoch: u64,
+        /// `(tid, participant set)` per transaction, coordinator order.
+        txns: Vec<(TransactionId, Vec<SiteId>)>,
+        time_bound: Timestamp,
+    },
+    /// Epoch group commit: one COMMIT wave carrying the per-txn outcomes of
+    /// the epoch — commits with their assigned times plus the aborted txns
+    /// this worker voted on. The worker answers with [`Response::AckBatch`].
+    CommitBatch {
+        epoch: u64,
+        commits: Vec<(TransactionId, Timestamp)>,
+        aborts: Vec<TransactionId>,
+    },
 }
 
 /// Worker-visible transaction state, for consensus (§4.3.3 / Table 4.1).
@@ -425,6 +443,16 @@ pub enum Response {
     /// recovering site weight its ranged catch-up queries by data volume.
     SegmentBounds {
         segments: Vec<(Timestamp, Timestamp, Timestamp, u64)>,
+    },
+    /// Per-txn vote vector answering [`Request::PrepareBatch`], in the
+    /// request's txn order. A NO vote aborts only that transaction.
+    VoteBatch {
+        votes: Vec<(TransactionId, bool)>,
+    },
+    /// Per-txn acks answering [`Request::CommitBatch`]: every txn this
+    /// worker applied (committed or aborted) during the wave.
+    AckBatch {
+        acked: Vec<TransactionId>,
     },
 }
 
@@ -506,6 +534,40 @@ impl Wire for Request {
                 enc.put_u64(ins_lo.0);
                 enc.put_u64(ins_hi.0);
             }
+            Request::PrepareBatch {
+                epoch,
+                txns,
+                time_bound,
+            } => {
+                enc.put_u8(15);
+                enc.put_u64(*epoch);
+                enc.put_u32(txns.len() as u32);
+                for (tid, workers) in txns {
+                    enc.put_u64(tid.0);
+                    enc.put_u32(workers.len() as u32);
+                    for w in workers {
+                        enc.put_u16(w.0);
+                    }
+                }
+                enc.put_u64(time_bound.0);
+            }
+            Request::CommitBatch {
+                epoch,
+                commits,
+                aborts,
+            } => {
+                enc.put_u8(16);
+                enc.put_u64(*epoch);
+                enc.put_u32(commits.len() as u32);
+                for (tid, commit_time) in commits {
+                    enc.put_u64(tid.0);
+                    enc.put_u64(commit_time.0);
+                }
+                enc.put_u32(aborts.len() as u32);
+                for tid in aborts {
+                    enc.put_u64(tid.0);
+                }
+            }
         }
     }
 
@@ -569,6 +631,47 @@ impl Wire for Request {
                 ins_lo: Timestamp(dec.get_u64()?),
                 ins_hi: Timestamp(dec.get_u64()?),
             },
+            15 => {
+                let epoch = dec.get_u64()?;
+                let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
+                let mut txns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let tid = TransactionId(dec.get_u64()?);
+                    let m = dec.get_u32()? as usize;
+                    let m = checked_count(dec, m)?;
+                    let mut workers = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        workers.push(SiteId(dec.get_u16()?));
+                    }
+                    txns.push((tid, workers));
+                }
+                Request::PrepareBatch {
+                    epoch,
+                    txns,
+                    time_bound: Timestamp(dec.get_u64()?),
+                }
+            }
+            16 => {
+                let epoch = dec.get_u64()?;
+                let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
+                let mut commits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    commits.push((TransactionId(dec.get_u64()?), Timestamp(dec.get_u64()?)));
+                }
+                let m = dec.get_u32()? as usize;
+                let m = checked_count(dec, m)?;
+                let mut aborts = Vec::with_capacity(m);
+                for _ in 0..m {
+                    aborts.push(TransactionId(dec.get_u64()?));
+                }
+                Request::CommitBatch {
+                    epoch,
+                    commits,
+                    aborts,
+                }
+            }
             t => return Err(DbError::corrupt(format!("bad request tag {t}"))),
         })
     }
@@ -628,6 +731,21 @@ impl Wire for Response {
                     enc.put_u64(*pages);
                 }
             }
+            Response::VoteBatch { votes } => {
+                enc.put_u8(9);
+                enc.put_u32(votes.len() as u32);
+                for (tid, yes) in votes {
+                    enc.put_u64(tid.0);
+                    enc.put_bool(*yes);
+                }
+            }
+            Response::AckBatch { acked } => {
+                enc.put_u8(10);
+                enc.put_u32(acked.len() as u32);
+                for tid in acked {
+                    enc.put_u64(tid.0);
+                }
+            }
         }
     }
 
@@ -680,6 +798,24 @@ impl Wire for Response {
                     ));
                 }
                 Response::SegmentBounds { segments }
+            }
+            9 => {
+                let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
+                let mut votes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    votes.push((TransactionId(dec.get_u64()?), dec.get_bool()?));
+                }
+                Response::VoteBatch { votes }
+            }
+            10 => {
+                let n = dec.get_u32()? as usize;
+                let n = checked_count(dec, n)?;
+                let mut acked = Vec::with_capacity(n);
+                for _ in 0..n {
+                    acked.push(TransactionId(dec.get_u64()?));
+                }
+                Response::AckBatch { acked }
             }
             t => return Err(DbError::corrupt(format!("bad response tag {t}"))),
         })
@@ -849,6 +985,27 @@ mod tests {
         round_trip_req(Request::SegmentBounds {
             table: "sales".into(),
         });
+        let tid2 = TransactionId::from_parts(SiteId(1), 8);
+        round_trip_req(Request::PrepareBatch {
+            epoch: 3,
+            txns: vec![(tid, vec![SiteId(1), SiteId(2)]), (tid2, vec![SiteId(2)])],
+            time_bound: Timestamp(99),
+        });
+        round_trip_req(Request::PrepareBatch {
+            epoch: 0,
+            txns: vec![],
+            time_bound: Timestamp::ZERO,
+        });
+        round_trip_req(Request::CommitBatch {
+            epoch: 3,
+            commits: vec![(tid, Timestamp(100)), (tid2, Timestamp(101))],
+            aborts: vec![TransactionId::from_parts(SiteId(1), 9)],
+        });
+        round_trip_req(Request::CommitBatch {
+            epoch: 4,
+            commits: vec![],
+            aborts: vec![],
+        });
     }
 
     #[test]
@@ -893,5 +1050,15 @@ mod tests {
                 (Timestamp(6), Timestamp(9), Timestamp(0), 4),
             ],
         });
+        let tid = TransactionId::from_parts(SiteId(1), 7);
+        let tid2 = TransactionId::from_parts(SiteId(1), 8);
+        round_trip_resp(Response::VoteBatch {
+            votes: vec![(tid, true), (tid2, false)],
+        });
+        round_trip_resp(Response::VoteBatch { votes: vec![] });
+        round_trip_resp(Response::AckBatch {
+            acked: vec![tid, tid2],
+        });
+        round_trip_resp(Response::AckBatch { acked: vec![] });
     }
 }

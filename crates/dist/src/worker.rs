@@ -48,6 +48,11 @@ pub struct WorkerConfig {
     pub checkpoint_every: Option<Duration>,
     /// Addresses of peer workers (consensus) — site id → address.
     pub peers: HashMap<SiteId, String>,
+    /// Address of the coordinator's server. In-doubt 2PC transactions
+    /// resolve against its forced log (presumed abort); `None` leaves only
+    /// the worker-side consensus election, which is the coordinator-dead
+    /// fallback.
+    pub coordinator: Option<String>,
     /// Automatically run the consensus protocol when the coordinator's
     /// connection drops mid-commit (3PC only; 2PC blocks by design).
     pub auto_consensus: bool,
@@ -415,6 +420,30 @@ impl Worker {
             self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
             return Ok(true);
         }
+        // 2PC: the coordinator's forced log is the outcome authority — the
+        // worker-only Table 4.1 election is sound only under 3PC's lock-step
+        // state transitions. A 2PC coordinator may have forced COMMIT and
+        // acked the client while every surviving worker is still merely
+        // prepared (its COMMIT frame lost); electing a prepared-YES backup
+        // would then abort an acknowledged transaction. Ask the coordinator
+        // first; fall back to the election only when it is unreachable
+        // (coordinator-death termination).
+        if !self.cfg.protocol.is_three_phase() {
+            match self.query_coordinator_outcome(tid) {
+                Some(WireTxnState::Committed(t)) => {
+                    self.adopt_outcome(tid, Some(t))?;
+                    return Ok(true);
+                }
+                Some(WireTxnState::Aborted) | Some(WireTxnState::Unknown) => {
+                    self.adopt_outcome(tid, None)?;
+                    return Ok(true);
+                }
+                // The coordinator is alive but the transaction is still in
+                // flight: stay blocked, the protocol will finish it.
+                Some(_) => return Ok(false),
+                None => {} // unreachable: consensus election below
+            }
+        }
         if consensus::resolve(self, tid, &workers)? {
             return Ok(true);
         }
@@ -455,6 +484,60 @@ impl Worker {
                 }
             }
         }
+    }
+
+    /// Asks the coordinator for `tid`'s authoritative outcome (bounded
+    /// retries on transient timeouts — the query is idempotent). `None`
+    /// when no coordinator address is configured or it is unreachable.
+    fn query_coordinator_outcome(&self, tid: TransactionId) -> Option<WireTxnState> {
+        let addr = self.cfg.coordinator.as_deref()?;
+        let reply = crate::with_read_retries(
+            None,
+            consensus::CONSENSUS_RETRIES,
+            Duration::from_millis(10),
+            || {
+                let mut chan = self.transport.connect(addr)?;
+                crate::rpc_deadline(
+                    chan.as_mut(),
+                    &Request::QueryTxnState { tid },
+                    consensus::CONSENSUS_DEADLINE,
+                )
+            },
+        );
+        match reply {
+            Ok(Response::TxnState { state }) => Some(state),
+            _ => None,
+        }
+    }
+
+    /// Applies a decided outcome learned out-of-band (from the coordinator's
+    /// log): `Some(t)` commits at `t`, `None` aborts. Idempotent — a
+    /// transaction the engine no longer knows only has its bookkeeping
+    /// updated.
+    fn adopt_outcome(
+        self: &Arc<Self>,
+        tid: TransactionId,
+        outcome: Option<Timestamp>,
+    ) -> DbResult<()> {
+        match outcome {
+            Some(t) => {
+                if self.engine.txn_status(tid).is_some() {
+                    self.engine
+                        .commit(tid, t, self.cfg.protocol.worker_commit_logging())?;
+                }
+                self.engine.advance_applied_clock(t);
+                let mut dist = self.dist_txns.lock();
+                let info = dist.entry(tid).or_default();
+                info.outcome = Some(true);
+                info.commit_time = Some(t);
+            }
+            None => {
+                self.engine
+                    .abort(tid, self.cfg.protocol.worker_commit_logging())?;
+                self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn peers(&self) -> &HashMap<SiteId, String> {
@@ -499,45 +582,30 @@ impl Worker {
                     // dead participant, not a vote (§4.3.2 treats that as NO).
                     return Err(DbError::SiteDown("worker crashed (fail point)".into()));
                 }
-                // A vote request for an unknown transaction gets NO
-                // (§4.3.2: worker crashed and recovered in between).
-                if self.engine.txn_status(*tid).is_none() {
-                    return Ok(Response::Vote { yes: false });
-                }
+                let yes = self.vote_on_prepare(*tid, workers, *time_bound)?;
+                Ok(Response::Vote { yes })
+            }
+            Request::PrepareBatch {
+                txns, time_bound, ..
+            } => {
+                // Either crash point kills the whole vote vector: the
+                // coordinator sees a dead participant and must abort only
+                // this worker's txns, not the epoch.
+                if self.fire_crash(CrashPoint::WorkerDuringBatchPrepare)
+                    || self.fire_crash(CrashPoint::WorkerDuringPrepareVote)
                 {
-                    let mut dist = self.dist_txns.lock();
-                    let info = dist.entry(*tid).or_default();
-                    info.workers = workers.clone();
+                    return Err(DbError::SiteDown("worker crashed (fail point)".into()));
                 }
-                // Duplicate PREPARE (a backup coordinator replaying the
-                // first phase, §4.3.3): repeat the previous vote.
-                match self.backup_state(*tid) {
-                    BackupState::PreparedYes | BackupState::PreparedToCommit(_) => {
-                        return Ok(Response::Vote { yes: true })
-                    }
-                    BackupState::PreparedNo | BackupState::Aborted => {
-                        return Ok(Response::Vote { yes: false })
-                    }
-                    _ => {}
+                let mut votes = Vec::with_capacity(txns.len());
+                for (tid, workers) in txns {
+                    // A failed vote is a NO vote, not a dead worker: the
+                    // rest of the epoch must still get its votes.
+                    let yes = self
+                        .vote_on_prepare(*tid, workers, *time_bound)
+                        .unwrap_or(false);
+                    votes.push((*tid, yes));
                 }
-                match self.engine.prepare(
-                    *tid,
-                    *time_bound,
-                    self.cfg.protocol.worker_prepare_logging(),
-                ) {
-                    Ok(()) => {
-                        self.dist_txns.lock().entry(*tid).or_default().voted = Some(true);
-                        Ok(Response::Vote { yes: true })
-                    }
-                    Err(_) => {
-                        // NO vote: roll back immediately (Figs 4-2/4-3).
-                        self.dist_txns.lock().entry(*tid).or_default().voted = Some(false);
-                        self.engine
-                            .abort(*tid, self.cfg.protocol.worker_commit_logging())?;
-                        self.dist_txns.lock().entry(*tid).or_default().outcome = Some(false);
-                        Ok(Response::Vote { yes: false })
-                    }
-                }
+                Ok(Response::VoteBatch { votes })
             }
             Request::PrepareToCommit { tid, commit_time } => {
                 // Duplicate deliveries (consensus replay) are fine.
@@ -563,25 +631,31 @@ impl Worker {
                 Ok(Response::Ack)
             }
             Request::Commit { tid, commit_time } => {
-                if self.engine.txn_status(*tid).is_some() {
-                    self.engine.commit(
-                        *tid,
-                        *commit_time,
-                        self.cfg.protocol.worker_commit_logging(),
-                    )?;
-                }
-                self.engine.advance_applied_clock(*commit_time);
-                let mut dist = self.dist_txns.lock();
-                let info = dist.entry(*tid).or_default();
-                info.outcome = Some(true);
-                info.commit_time = Some(*commit_time);
+                self.apply_commit(*tid, *commit_time)?;
                 Ok(Response::Ack)
             }
             Request::Abort { tid } => {
-                self.engine
-                    .abort(*tid, self.cfg.protocol.worker_commit_logging())?;
-                self.dist_txns.lock().entry(*tid).or_default().outcome = Some(false);
+                self.apply_abort(*tid)?;
                 Ok(Response::Ack)
+            }
+            Request::CommitBatch {
+                commits, aborts, ..
+            } => {
+                // Per-txn isolation: one failed apply must not block the
+                // rest of the wave's acks (the coordinator re-resolves any
+                // unacked txn through recovery, not the epoch).
+                let mut acked = Vec::with_capacity(commits.len() + aborts.len());
+                for (tid, commit_time) in commits {
+                    if self.apply_commit(*tid, *commit_time).is_ok() {
+                        acked.push(*tid);
+                    }
+                }
+                for tid in aborts {
+                    if self.apply_abort(*tid).is_ok() {
+                        acked.push(*tid);
+                    }
+                }
+                Ok(Response::AckBatch { acked })
             }
             Request::Scan(scan) => {
                 self.stream_scan(scan, chan)?;
@@ -665,6 +739,74 @@ impl Worker {
                 Err(DbError::protocol("request must be sent to a coordinator"))
             }
         }
+    }
+
+    /// Votes on one PREPARE (§4.3.2) — shared by the serial and batched
+    /// first phases, so both populate the same per-txn consensus state.
+    fn vote_on_prepare(
+        &self,
+        tid: TransactionId,
+        workers: &[SiteId],
+        time_bound: Timestamp,
+    ) -> DbResult<bool> {
+        // A vote request for an unknown transaction gets NO
+        // (§4.3.2: worker crashed and recovered in between).
+        if self.engine.txn_status(tid).is_none() {
+            return Ok(false);
+        }
+        {
+            let mut dist = self.dist_txns.lock();
+            let info = dist.entry(tid).or_default();
+            info.workers = workers.to_vec();
+        }
+        // Duplicate PREPARE (a backup coordinator replaying the
+        // first phase, §4.3.3): repeat the previous vote.
+        match self.backup_state(tid) {
+            BackupState::PreparedYes | BackupState::PreparedToCommit(_) => return Ok(true),
+            BackupState::PreparedNo | BackupState::Aborted => return Ok(false),
+            _ => {}
+        }
+        match self
+            .engine
+            .prepare(tid, time_bound, self.cfg.protocol.worker_prepare_logging())
+        {
+            Ok(()) => {
+                self.dist_txns.lock().entry(tid).or_default().voted = Some(true);
+                Ok(true)
+            }
+            Err(_) => {
+                // NO vote: roll back immediately (Figs 4-2/4-3).
+                self.dist_txns.lock().entry(tid).or_default().voted = Some(false);
+                self.engine
+                    .abort(tid, self.cfg.protocol.worker_commit_logging())?;
+                self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Applies one COMMIT decision — shared by the serial and batched
+    /// second phases. Duplicate deliveries are fine (the engine no longer
+    /// knows the txn); the applied clock always advances.
+    fn apply_commit(&self, tid: TransactionId, commit_time: Timestamp) -> DbResult<()> {
+        if self.engine.txn_status(tid).is_some() {
+            self.engine
+                .commit(tid, commit_time, self.cfg.protocol.worker_commit_logging())?;
+        }
+        self.engine.advance_applied_clock(commit_time);
+        let mut dist = self.dist_txns.lock();
+        let info = dist.entry(tid).or_default();
+        info.outcome = Some(true);
+        info.commit_time = Some(commit_time);
+        Ok(())
+    }
+
+    /// Applies one ABORT decision — shared by the serial and batched paths.
+    fn apply_abort(&self, tid: TransactionId) -> DbResult<()> {
+        self.engine
+            .abort(tid, self.cfg.protocol.worker_commit_logging())?;
+        self.dist_txns.lock().entry(tid).or_default().outcome = Some(false);
+        Ok(())
     }
 
     /// Executes one logical update request (§4.1).

@@ -60,6 +60,19 @@ fn sample_requests() -> Vec<Request> {
         Request::SegmentBounds {
             table: "sales".into(),
         },
+        Request::PrepareBatch {
+            epoch: 12,
+            txns: vec![
+                (tid, vec![SiteId(1), SiteId(2)]),
+                (TransactionId(0x0001_0000_0000_002b), vec![SiteId(2)]),
+            ],
+            time_bound: Timestamp(41),
+        },
+        Request::CommitBatch {
+            epoch: 12,
+            commits: vec![(tid, Timestamp(42))],
+            aborts: vec![TransactionId(0x0001_0000_0000_002b)],
+        },
     ]
 }
 
@@ -89,6 +102,15 @@ fn sample_responses() -> Vec<Response> {
         Response::Err { msg: "nope".into() },
         Response::SegmentBounds {
             segments: vec![(Timestamp(1), Timestamp(8), Timestamp(6), 128)],
+        },
+        Response::VoteBatch {
+            votes: vec![
+                (TransactionId(0x0001_0000_0000_002a), true),
+                (TransactionId(0x0001_0000_0000_002b), false),
+            ],
+        },
+        Response::AckBatch {
+            acked: vec![TransactionId(0x0001_0000_0000_002a)],
         },
     ]
 }

@@ -51,6 +51,7 @@ fn build(name: &str) -> Fixture {
             protocol: ProtocolKind::Opt3pc,
             checkpoint_every: None,
             peers: HashMap::new(),
+            coordinator: None,
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
@@ -277,6 +278,7 @@ fn disk_backed_worker_survives_restart_of_its_server() {
             protocol: ProtocolKind::Opt3pc,
             checkpoint_every: None,
             peers: HashMap::new(),
+            coordinator: None,
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
@@ -404,6 +406,7 @@ fn deletion_log_fast_path_matches_segment_scan() {
                     protocol: ProtocolKind::Opt3pc,
                     checkpoint_every: None,
                     peers: HashMap::new(),
+                    coordinator: None,
                     auto_consensus: false,
                     use_deletion_log: false,
                     scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,

@@ -147,6 +147,27 @@ impl LogManager {
         Ok(lsn)
     }
 
+    /// Appends all `records` and forces once, to the LSN of the last one —
+    /// the epoch group-commit write: one physical force covers the whole
+    /// batch of per-txn decision records, and the `n - 1` syncs a serial
+    /// commit loop would have issued are counted in `batched_syncs_saved`.
+    /// Returns the LSN of the last record (`None` for an empty batch).
+    pub fn append_all_forced(&self, records: &[LogRecord]) -> DbResult<Option<Lsn>> {
+        let mut last = None;
+        for r in records {
+            last = Some(self.append(r));
+        }
+        match last {
+            Some(lsn) => {
+                self.force(lsn)?;
+                self.metrics
+                    .add_batched_syncs_saved(records.len() as u64 - 1);
+                Ok(Some(lsn))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// LSN one past the last durable byte.
     pub fn durable_end(&self) -> Lsn {
         Lsn(self.inner.lock().durable_end)
@@ -537,6 +558,31 @@ mod tests {
             "expected batching, got {} syncs",
             metrics.physical_syncs()
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_all_forced_syncs_once_per_batch() {
+        let path = temp_log("epoch-batch");
+        let _ = std::fs::remove_file(&path);
+        let metrics = Metrics::new();
+        let log = LogManager::open(
+            &path,
+            GroupCommit::Disabled,
+            DiskProfile::fast(),
+            metrics.clone(),
+        )
+        .unwrap();
+        assert_eq!(log.append_all_forced(&[]).unwrap(), None);
+        assert_eq!(metrics.physical_syncs(), 0);
+        let batch: Vec<LogRecord> = (0..4).map(rec).collect();
+        let last = log.append_all_forced(&batch).unwrap().unwrap();
+        assert!(log.is_durable(last));
+        assert_eq!(metrics.log_writes(), 4);
+        assert_eq!(metrics.forced_writes(), 1);
+        assert_eq!(metrics.physical_syncs(), 1);
+        assert_eq!(metrics.batched_syncs_saved(), 3);
+        assert_eq!(log.scan(Lsn::ZERO).unwrap().len(), 4);
         std::fs::remove_file(&path).unwrap();
     }
 

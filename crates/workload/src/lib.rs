@@ -13,7 +13,7 @@ pub mod measure;
 
 pub use gen::{insert_request, paper_row, update_by_key_request, InsertStream};
 pub use measure::{
-    run_concurrent_streams, StreamReport, ThroughputSample, Timeline, TimelineBucket,
+    percentile, run_concurrent_streams, StreamReport, ThroughputSample, Timeline, TimelineBucket,
 };
 
 #[cfg(test)]

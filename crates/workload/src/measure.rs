@@ -20,6 +20,11 @@ pub struct ThroughputSample {
     pub elapsed: Duration,
     /// Mean latency per committed transaction.
     pub mean_latency: Duration,
+    /// Commit-latency percentiles over every committed transaction across
+    /// all streams (zero when nothing committed).
+    pub p50_latency: Duration,
+    pub p99_latency: Duration,
+    pub p999_latency: Duration,
 }
 
 impl ThroughputSample {
@@ -31,12 +36,24 @@ impl ThroughputSample {
     }
 }
 
+/// The nearest-rank percentile (`q` in [0, 1]) of a **sorted** latency
+/// vector; zero for an empty one.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Per-stream outcome from [`run_concurrent_streams`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StreamReport {
     pub committed: u64,
     pub aborted: u64,
     pub total_latency: Duration,
+    /// Per-commit latencies, in completion order.
+    pub latencies: Vec<Duration>,
 }
 
 /// Runs `streams` concurrent closed-loop clients against `coordinator`.
@@ -60,13 +77,16 @@ pub fn run_concurrent_streams(
                     let mut committed = 0u64;
                     let mut aborted = 0u64;
                     let mut total_latency = Duration::ZERO;
+                    let mut latencies = Vec::with_capacity(txns_per_stream);
                     for n in 0..txns_per_stream {
                         let ops = make_ops(s, n);
                         let t0 = Instant::now();
                         match run_one(&coordinator, ops) {
                             Ok(()) => {
+                                let lat = t0.elapsed();
                                 committed += 1;
-                                total_latency += t0.elapsed();
+                                total_latency += lat;
+                                latencies.push(lat);
                             }
                             Err(_) => aborted += 1,
                         }
@@ -75,6 +95,7 @@ pub fn run_concurrent_streams(
                         committed,
                         aborted,
                         total_latency,
+                        latencies,
                     }
                 })
             })
@@ -93,11 +114,16 @@ pub fn run_concurrent_streams(
     } else {
         Duration::ZERO
     };
+    let mut all: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    all.sort();
     Ok(ThroughputSample {
         committed,
         aborted,
         elapsed,
         mean_latency,
+        p50_latency: percentile(&all, 0.50),
+        p99_latency: percentile(&all, 0.99),
+        p999_latency: percentile(&all, 0.999),
     })
 }
 
@@ -247,7 +273,23 @@ mod tests {
             aborted: 0,
             elapsed: Duration::from_secs(2),
             mean_latency: Duration::from_millis(5),
+            p50_latency: Duration::from_millis(4),
+            p99_latency: Duration::from_millis(9),
+            p999_latency: Duration::from_millis(12),
         };
         assert!((s.tps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 0.5), one[0]);
+        assert_eq!(percentile(&one, 0.999), one[0]);
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 0.99), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 0.999), Duration::from_millis(100));
+        assert_eq!(percentile(&ms, 1.0), Duration::from_millis(100));
     }
 }

@@ -94,6 +94,7 @@ fn build() -> Fixture {
                 protocol: ProtocolKind::Opt3pc,
                 checkpoint_every: None,
                 peers: peers.clone(),
+                coordinator: None,
                 auto_consensus: false,
                 use_deletion_log: true,
                 scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
@@ -115,6 +116,7 @@ fn build() -> Fixture {
             rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
             crash_schedule: Default::default(),
+            epoch_commit: None,
         },
         placement.clone(),
         transport.clone(),
@@ -177,6 +179,7 @@ fn recover(f: &mut Fixture, site: SiteId) {
             protocol: ProtocolKind::Opt3pc,
             checkpoint_every: None,
             peers: f.peers.clone(),
+            coordinator: None,
             auto_consensus: false,
             use_deletion_log: true,
             scan_batch: harbor_common::config::DEFAULT_SCAN_BATCH,
