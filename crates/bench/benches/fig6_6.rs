@@ -11,10 +11,17 @@
 //! Phase 2 and prints its per-range fetch timers plus the recovery
 //! throughput counters (tuples/bytes shipped, ranges fetched/reassigned).
 
+use harbor::{Cluster, ClusterConfig, ReplicationSupervisor, SupervisorConfig, TableSpec};
 use harbor_bench::{
-    print_table, recovery_storage, rows_per_segment, run_historical_updates, run_insert_txns,
-    run_recovery_scenario, BenchReport, RecoveryScenario, Scale,
+    experiment_dir, paper_lan, prefill, print_table, recovery_storage, rows_per_segment,
+    run_historical_updates, run_insert_txns, run_recovery_scenario, BenchReport, RecoveryScenario,
+    Scale,
 };
+use harbor_common::SiteId;
+use harbor_dist::ProtocolKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 fn main() {
     let scale = Scale::from_env();
@@ -162,5 +169,119 @@ fn main() {
             m.recovery_tuples_shipped,
         );
     }
+
+    // Third pass: the membership extension's re-replication datapoint.
+    // A host of the table is lost and evicted from the catalog; the
+    // replication supervisor heals the K deficit by bootstrapping a
+    // brand-new copy onto a spare member (Phase-2/3 against the surviving
+    // buddy) while foreground inserts keep committing. Reports "time to
+    // K" (kill acknowledged → replica count restored), foreground commit
+    // latency during the repair window, and the coordinator's membership
+    // counters.
+    let (time_to_k, tuples_applied) = {
+        let dir = experiment_dir("fig6_6-rereplicate");
+        let mut cfg = ClusterConfig::new(ProtocolKind::Opt3pc, 3);
+        cfg.storage = recovery_storage(scale);
+        cfg.transport = paper_lan();
+        cfg.tables = vec![TableSpec::paper_table("sales")];
+        let cluster = Arc::new(Cluster::build(dir.join("cluster"), cfg).expect("cluster"));
+        // Place the table on sites 1 and 2 only: site 3 is the spare the
+        // supervisor will re-replicate onto.
+        cluster.placement().mutate(|p| {
+            p.add_replicated_table("sales", &[SiteId(1), SiteId(2)]);
+        });
+        prefill(&cluster, "sales", prefill_rows).expect("prefill");
+        let mut sup = ReplicationSupervisor::new(SupervisorConfig::for_tests(0x5EED), &cluster);
+        // Kill one host and evict it: capacity is gone for good, so only
+        // re-replication onto the spare can restore K.
+        cluster.crash_worker(SiteId(2)).expect("crash");
+        let t0 = Instant::now();
+        cluster.decommission_worker(SiteId(2)).expect("evict");
+        // Foreground load during the repair window.
+        let stop = Arc::new(AtomicBool::new(false));
+        let lat: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let load = {
+            let (cluster, stop, lat) = (cluster.clone(), stop.clone(), lat.clone());
+            std::thread::spawn(move || {
+                let mut id = prefill_rows + 2_000_000;
+                while !stop.load(Ordering::SeqCst) {
+                    let t = Instant::now();
+                    if cluster
+                        .insert_one("sales", harbor_workload::paper_row(id))
+                        .is_ok()
+                    {
+                        lat.lock().unwrap().push(t.elapsed());
+                    }
+                    id += 1;
+                }
+            })
+        };
+        let mut tick_no = 0u64;
+        while sup.tick(&cluster, tick_no).is_none() {
+            tick_no += 1;
+            assert!(tick_no < 10_000, "supervisor never completed the repair");
+        }
+        let time_to_k = t0.elapsed();
+        stop.store(true, Ordering::SeqCst);
+        load.join().expect("load thread");
+        assert_eq!(
+            cluster.placement().sites_for("sales").expect("placed"),
+            vec![SiteId(1), SiteId(3)]
+        );
+        let mut lat = Arc::try_unwrap(lat)
+            .expect("load stopped")
+            .into_inner()
+            .unwrap();
+        lat.sort_unstable();
+        let pct = |p: usize| -> Duration {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                lat[(lat.len() - 1) * p / 100]
+            }
+        };
+        println!(
+            "\nre-replication to K after a kill+evict ({prefill_rows} rows): \
+             time-to-K {:.1} ms; foreground during repair: {} commits, \
+             p50 {:.2} ms, p99 {:.2} ms",
+            time_to_k.as_secs_f64() * 1e3,
+            lat.len(),
+            pct(50).as_secs_f64() * 1e3,
+            pct(99).as_secs_f64() * 1e3,
+        );
+        println!(
+            "membership counters (coordinator): {}",
+            cluster
+                .coordinator()
+                .metrics()
+                .snapshot()
+                .membership_summary()
+        );
+        // Volume actually materialized on the spare: count its rows and
+        // cross-check against the surviving buddy.
+        let count_rows = |site: SiteId| -> u64 {
+            let e = cluster.engine(site).expect("engine");
+            let def = e.table_def("sales").expect("table");
+            let mut scan = harbor_exec::SeqScan::new(
+                e.pool().clone(),
+                def.id,
+                harbor_exec::ReadMode::SeeDeleted,
+            )
+            .expect("scan");
+            harbor_exec::collect(&mut scan).expect("collect").len() as u64
+        };
+        let (spare_rows, buddy_rows) = (count_rows(SiteId(3)), count_rows(SiteId(1)));
+        assert_eq!(
+            spare_rows, buddy_rows,
+            "re-replicated copy diverges from its buddy"
+        );
+        cluster.shutdown();
+        (time_to_k, spare_rows)
+    };
+    baseline.entry(
+        "rereplicate_time_to_k",
+        time_to_k.as_nanos(),
+        tuples_applied,
+    );
     baseline.write().expect("write BENCH_recovery.json");
 }

@@ -62,6 +62,14 @@ pub enum DbError {
     /// Recovery cannot proceed (e.g. more than K replicas of an object are
     /// down, §3.2).
     Unrecoverable(String),
+    /// The object is down to its last live copy and the cluster is
+    /// configured to degrade to read-only rather than risk committing an
+    /// update with no surviving replica. *Transient in the large*: the
+    /// replication supervisor is (or should be) re-replicating; the write
+    /// can be retried once the object is back above its K floor. Not a
+    /// timeout and not a disconnect — the site answering is perfectly
+    /// healthy, it is declining the write on policy.
+    Degraded(String),
     /// Catch-all invariant violation.
     Internal(String),
 }
@@ -90,6 +98,17 @@ impl DbError {
 
     pub fn unavailable(msg: impl Into<String>) -> Self {
         DbError::SiteUnavailable(msg.into())
+    }
+
+    pub fn degraded(msg: impl Into<String>) -> Self {
+        DbError::Degraded(msg.into())
+    }
+
+    /// `true` when a write was declined because the object is at its last
+    /// live copy (read-only degradation policy). Retryable *after*
+    /// re-replication, so clients should back off rather than hot-loop.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DbError::Degraded(_))
     }
 
     /// `true` for a transient per-request deadline expiry. Never implies the
@@ -135,6 +154,10 @@ impl DbError {
         let msg = msg.into();
         if msg.contains("corrupt page") || msg.contains("corrupt state") {
             DbError::Corrupt(msg)
+        } else if msg.contains("degraded to read-only") {
+            // Degradation must keep its class too: the client should back
+            // off and retry after re-replication, not report a protocol bug.
+            DbError::Degraded(msg)
         } else {
             DbError::Protocol(msg)
         }
@@ -169,6 +192,7 @@ impl fmt::Display for DbError {
             DbError::Schema(m) => write!(f, "schema error: {m}"),
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
+            DbError::Degraded(m) => write!(f, "degraded to read-only: {m}"),
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -226,6 +250,18 @@ mod tests {
         // Corruption keeps its class across a stringly wire hop.
         assert!(DbError::from_remote_msg(e.to_string()).is_corrupt());
         assert!(!DbError::from_remote_msg("no such table T9").is_corrupt());
+    }
+
+    #[test]
+    fn degraded_classification() {
+        let e = DbError::degraded("\"sales\" is at its last live copy");
+        // Policy refusal by a healthy site: none of the other classes.
+        assert!(e.is_degraded());
+        assert!(!e.is_timeout());
+        assert!(!e.is_disconnect());
+        assert!(!e.is_corrupt());
+        // And it keeps its class across a stringly wire hop.
+        assert!(DbError::from_remote_msg(e.to_string()).is_degraded());
     }
 
     #[test]

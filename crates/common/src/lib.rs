@@ -13,6 +13,7 @@ pub mod error;
 pub mod ids;
 pub mod lockrank;
 pub mod metrics;
+pub mod retry;
 pub mod schema;
 pub mod time;
 pub mod tuple;
@@ -22,6 +23,7 @@ pub use config::{DiskProfile, StorageConfig};
 pub use error::{DbError, DbResult};
 pub use ids::{PageId, RecordId, SegmentNo, SiteId, TableId, TransactionId};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use retry::{retry_transient, retry_with, RetryPolicy};
 pub use schema::{FieldType, TupleDesc};
 pub use time::Timestamp;
 pub use tuple::Tuple;

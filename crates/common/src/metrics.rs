@@ -105,6 +105,15 @@ struct Counters {
     epoch_size_5_16: AtomicU64,
     epoch_size_17_64: AtomicU64,
     epoch_size_gt_64: AtomicU64,
+    /// Sites joined to the cluster at runtime.
+    joins: AtomicU64,
+    /// Sites gracefully decommissioned at runtime.
+    decommissions: AtomicU64,
+    /// Replicas the supervisor re-created after an object dropped below
+    /// its K floor (no manual recovery call).
+    auto_repairs: AtomicU64,
+    /// Attempts re-run by the shared seeded-backoff retry helper.
+    backoff_retries: AtomicU64,
 }
 
 macro_rules! counter {
@@ -225,6 +234,10 @@ impl Metrics {
     counter!(add_epoch_size_5_16, epoch_size_5_16, epoch_size_5_16);
     counter!(add_epoch_size_17_64, epoch_size_17_64, epoch_size_17_64);
     counter!(add_epoch_size_gt_64, epoch_size_gt_64, epoch_size_gt_64);
+    counter!(add_joins, joins, joins);
+    counter!(add_decommissions, decommissions, decommissions);
+    counter!(add_auto_repairs, auto_repairs, auto_repairs);
+    counter!(add_backoff_retries, backoff_retries, backoff_retries);
 
     /// Records one decided commit epoch of `n` transactions: bumps the
     /// epoch counters and the matching size-histogram bucket.
@@ -286,6 +299,10 @@ impl Metrics {
             epoch_size_5_16: self.epoch_size_5_16(),
             epoch_size_17_64: self.epoch_size_17_64(),
             epoch_size_gt_64: self.epoch_size_gt_64(),
+            joins: self.joins(),
+            decommissions: self.decommissions(),
+            auto_repairs: self.auto_repairs(),
+            backoff_retries: self.backoff_retries(),
         }
     }
 }
@@ -336,6 +353,10 @@ pub struct MetricsSnapshot {
     pub epoch_size_5_16: u64,
     pub epoch_size_17_64: u64,
     pub epoch_size_gt_64: u64,
+    pub joins: u64,
+    pub decommissions: u64,
+    pub auto_repairs: u64,
+    pub backoff_retries: u64,
 }
 
 impl MetricsSnapshot {
@@ -423,6 +444,10 @@ impl MetricsSnapshot {
             epoch_size_gt_64: self
                 .epoch_size_gt_64
                 .saturating_sub(earlier.epoch_size_gt_64),
+            joins: self.joins.saturating_sub(earlier.joins),
+            decommissions: self.decommissions.saturating_sub(earlier.decommissions),
+            auto_repairs: self.auto_repairs.saturating_sub(earlier.auto_repairs),
+            backoff_retries: self.backoff_retries.saturating_sub(earlier.backoff_retries),
         }
     }
 
@@ -486,6 +511,16 @@ impl MetricsSnapshot {
             self.chaos_partition_drops,
             self.rpc_timeouts,
             self.rpc_retries,
+        )
+    }
+
+    /// Human-readable summary of the membership and self-healing counters
+    /// (runtime joins/decommissions, supervisor auto-repairs, seeded-backoff
+    /// retries), for the fig6_6 and chaos-soak printouts.
+    pub fn membership_summary(&self) -> String {
+        format!(
+            "joins={} decommissions={} auto_repairs={} backoff_retries={}",
+            self.joins, self.decommissions, self.auto_repairs, self.backoff_retries,
         )
     }
 

@@ -22,9 +22,11 @@
 //!    the run is reported, and losing the last replica fails the run.
 
 use crate::cluster::Cluster;
+use crate::supervisor::{ReplicationSupervisor, SupervisorConfig};
 use harbor_common::{DbResult, SiteId, Value};
 use harbor_dist::{CrashPoint, UpdateRequest};
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::Ordering;
 
 /// One run's knobs. All probabilities are per-mille per operation.
 #[derive(Clone, Debug)]
@@ -53,6 +55,21 @@ pub struct ChaosRunConfig {
     /// seed-deterministic; only commit interleaving varies. Bursts > 1 are
     /// what drives multiple transactions into one commit epoch.
     pub concurrent_streams: usize,
+    /// Probability (‰) that an operation is preceded by a brand-new site
+    /// joining under load (capped by `max_joins`). Membership draws are
+    /// taken only when either membership probability is non-zero, so the
+    /// classic profiles replay their historical schedules unchanged.
+    pub join_per_mille: u16,
+    /// Probability (‰) that an operation is preceded by a graceful
+    /// decommission of a live site (guarded so every table keeps at least
+    /// two other live copies and the cluster stays above `min_live`).
+    pub decommission_per_mille: u16,
+    /// Upper bound on sites joined during one run.
+    pub max_joins: usize,
+    /// Run a [`ReplicationSupervisor`] ticked synchronously after every
+    /// operation (deterministic: no background thread), so kill-below-K
+    /// deficits heal without the harness's own recovery events.
+    pub supervisor: bool,
 }
 
 impl ChaosRunConfig {
@@ -68,6 +85,10 @@ impl ChaosRunConfig {
             partition_ops: 3,
             min_live: 2,
             concurrent_streams: 1,
+            join_per_mille: 0,
+            decommission_per_mille: 0,
+            max_joins: 0,
+            supervisor: false,
         }
     }
 
@@ -77,6 +98,20 @@ impl ChaosRunConfig {
     pub fn soak_batched(seed: u64) -> Self {
         ChaosRunConfig {
             concurrent_streams: 4,
+            ..Self::soak(seed)
+        }
+    }
+
+    /// The grow/shrink soak profile: the classic fault classes plus
+    /// membership churn — sites join mid-burst, live sites decommission
+    /// mid-recovery — with the replication supervisor healing
+    /// kill-below-K deficits.
+    pub fn soak_membership(seed: u64) -> Self {
+        ChaosRunConfig {
+            join_per_mille: 35,
+            decommission_per_mille: 25,
+            max_joins: 2,
+            supervisor: true,
             ..Self::soak(seed)
         }
     }
@@ -119,6 +154,20 @@ pub struct ChaosRunReport {
     /// Coordinator commit-path summary at quiesce: forced writes, physical
     /// syncs, batched syncs saved, and the epoch-size histogram.
     pub commit_path: String,
+    /// Sites joined / joins rolled back during the run.
+    pub joins: usize,
+    pub failed_joins: usize,
+    /// Sites gracefully decommissioned / refused decommissions.
+    pub decommissions: usize,
+    pub failed_decommissions: usize,
+    /// Repairs the replication supervisor completed (0 without one).
+    pub auto_repairs: u64,
+    /// Supervisor ticks run / ticks skipped by the admission throttle.
+    pub supervisor_ticks: u64,
+    pub supervisor_throttled: u64,
+    /// Coordinator membership counters at quiesce
+    /// (`joins=.. decommissions=.. auto_repairs=.. backoff_retries=..`).
+    pub membership: String,
 }
 
 /// Deterministic splitmix64 stream for the event schedule (the chaos layer
@@ -177,6 +226,22 @@ impl Cluster {
         let all_sites = self.worker_sites();
         report.min_live_seen = all_sites.len();
         let mut partition_left = 0usize;
+        // Membership churn state: joined sites take fresh, monotonically
+        // increasing ids so a decommissioned id is never reused.
+        let mut next_new_site: u16 = self
+            .placement()
+            .member_sites()
+            .iter()
+            .map(|s| s.0)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut joins_done = 0usize;
+        // Ticked synchronously after each op — deterministic, unlike the
+        // background thread of `Cluster::start_supervisor`.
+        let mut supervisor = cfg
+            .supervisor
+            .then(|| ReplicationSupervisor::new(SupervisorConfig::for_tests(cfg.seed), self));
         if let Some(chaos) = self.chaos() {
             chaos.clear_trace();
             chaos.set_enabled(true);
@@ -211,9 +276,10 @@ impl Cluster {
                 // recovery through an active partition is retried at
                 // quiesce anyway).
                 if partition_left == 0 {
-                    let crashed: Vec<SiteId> = all_sites
-                        .iter()
-                        .copied()
+                    let crashed: Vec<SiteId> = self
+                        .placement()
+                        .member_sites()
+                        .into_iter()
                         .filter(|s| self.is_crashed(*s))
                         .collect();
                     if !crashed.is_empty() {
@@ -222,6 +288,87 @@ impl Cluster {
                     }
                 }
             }
+            // --- membership events (grow/shrink) -----------------------
+            // Gated on non-zero probabilities so the classic profiles take
+            // the exact historical draw sequence from the run RNG.
+            if cfg.join_per_mille > 0 || cfg.decommission_per_mille > 0 {
+                let mdraw = rng.below(1000) as u16;
+                if mdraw < cfg.join_per_mille {
+                    // Join a brand-new site under load. Like recovery, the
+                    // bootstrap needs a clean commit state — a buddy stuck
+                    // prepared-to-commit would serve catch-up scans that
+                    // miss an acked commit.
+                    if joins_done < cfg.max_joins
+                        && partition_left == 0
+                        && self.resolve_pending_txns(&format!("op {op}"), &mut report)
+                    {
+                        let site = SiteId(next_new_site);
+                        match self.join_worker(site) {
+                            Ok(_) => {
+                                joins_done += 1;
+                                next_new_site += 1;
+                                report.joins += 1;
+                                report.schedule.push(format!("op {op}: join {site} ok"));
+                            }
+                            Err(e) => {
+                                report.failed_joins += 1;
+                                report
+                                    .schedule
+                                    .push(format!("op {op}: join {site} failed: {e}"));
+                            }
+                        }
+                    }
+                } else if mdraw < cfg.join_per_mille + cfg.decommission_per_mille
+                    && partition_left == 0
+                {
+                    // Gracefully decommission a live site, but only one
+                    // whose removal leaves every table it hosts with at
+                    // least two other live copies (so later crashes still
+                    // find a recovery buddy) and the cluster above its
+                    // min-live floor.
+                    let live = self.live_sites();
+                    if live.len() > cfg.min_live {
+                        let snap = self.placement().snapshot();
+                        let candidates: Vec<SiteId> = live
+                            .iter()
+                            .copied()
+                            .filter(|s| {
+                                snap.objects_on(*s).iter().all(|(t, _)| {
+                                    snap.sites_for(t)
+                                        .map(|hosts| {
+                                            hosts
+                                                .iter()
+                                                .filter(|h| live.contains(h) && **h != *s)
+                                                .count()
+                                                >= 2
+                                        })
+                                        .unwrap_or(false)
+                                })
+                            })
+                            .collect();
+                        if !candidates.is_empty()
+                            && self.resolve_pending_txns(&format!("op {op}"), &mut report)
+                        {
+                            let victim = candidates[rng.below(candidates.len() as u64) as usize];
+                            match self.decommission_worker(victim) {
+                                Ok(_) => {
+                                    report.decommissions += 1;
+                                    report
+                                        .schedule
+                                        .push(format!("op {op}: decommission {victim} ok"));
+                                }
+                                Err(e) => {
+                                    report.failed_decommissions += 1;
+                                    report.schedule.push(format!(
+                                        "op {op}: decommission {victim} failed: {e}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
             if partition_left > 0 {
                 partition_left -= 1;
                 if partition_left == 0 {
@@ -373,7 +520,7 @@ impl Cluster {
             for site in self.reap_scheduled_crashes() {
                 report.schedule.push(format!("op {op}: reaped {site}"));
             }
-            for site in all_sites.iter().copied() {
+            for site in self.placement().member_sites() {
                 if self.is_crashed(site) || !self.coordinator().is_dead(site) {
                     continue;
                 }
@@ -390,6 +537,17 @@ impl Cluster {
                     self.try_chaos_recover(&format!("op {op}"), site, &mut report);
                 }
             }
+            // The supervisor heals under the same clean-commit-state guard
+            // the harness's own recoveries use.
+            if let Some(sup) = supervisor.as_mut() {
+                if self.resolve_pending_txns(&format!("op {op}"), &mut report) {
+                    if let Some(repair) = sup.tick(self, op as u64) {
+                        report
+                            .schedule
+                            .push(format!("op {op}: supervisor repaired {repair:?}"));
+                    }
+                }
+            }
             report.min_live_seen = report.min_live_seen.min(self.live_sites().len());
         }
 
@@ -399,6 +557,14 @@ impl Cluster {
             chaos.set_enabled(false);
         }
         self.set_disk_faults_enabled(false);
+        // Membership may have churned mid-run: quiesce against the
+        // catalog's *current* roster (joined sites included, decommissioned
+        // sites gone), not the boot-time one.
+        let all_sites: Vec<SiteId> = {
+            let mut v = self.placement().member_sites();
+            v.sort();
+            v
+        };
         for site in &all_sites {
             self.crash_schedule().disarm_if(*site, |_| true);
         }
@@ -514,6 +680,25 @@ impl Cluster {
                     report.fault_trace.push_str(&format!("[disk {site}]\n{t}"));
                 }
             }
+        }
+
+        // --- membership convergence -------------------------------------
+        // No copy may still be mid-join at quiesce, and every member must
+        // have come back live (the liveness half is covered by the crashed/
+        // presumed-dead checks above, which already run over the current
+        // roster). Version-history equality across each table's hosts is
+        // re-checked by invariant (2) below, now including joined sites.
+        for (t, site) in self.placement().joining_copies() {
+            report
+                .violations
+                .push(format!("copy of {t:?} on {site} still joining at quiesce"));
+        }
+        let coord_metrics = self.coordinator().metrics().snapshot();
+        report.membership = coord_metrics.membership_summary();
+        report.auto_repairs = coord_metrics.auto_repairs;
+        if let Some(sup) = supervisor.as_ref() {
+            report.supervisor_ticks = sup.stats().ticks.load(Ordering::Relaxed);
+            report.supervisor_throttled = sup.stats().throttled.load(Ordering::Relaxed);
         }
 
         // --- invariants -------------------------------------------------

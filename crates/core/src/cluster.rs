@@ -6,13 +6,15 @@
 //! transactions, crash a worker, recover it with HARBOR or ARIES, and read
 //! historically — all in a few lines (see `examples/quickstart.rs`).
 
-use crate::recovery::{recover_site, RecoveryConfig, RecoveryContext, RecoveryReport};
+use crate::recovery::{
+    recover_object, recover_site, RecoveryConfig, RecoveryContext, RecoveryReport,
+};
 use harbor_common::{
     DbError, DbResult, FieldType, Metrics, SiteId, StorageConfig, Timestamp, Tuple, Value,
 };
 use harbor_dist::{
     Coordinator, CoordinatorConfig, CrashPoint, CrashSchedule, Placement, ProtocolKind,
-    UpdateRequest, Worker, WorkerConfig,
+    SharedPlacement, UpdateRequest, Worker, WorkerConfig,
 };
 use harbor_engine::{Engine, EngineOptions};
 use harbor_net::{ChaosConfig, ChaosTransport, InMemNetwork, TcpTransport, Transport};
@@ -117,6 +119,10 @@ pub struct ClusterConfig {
     /// Epoch group commit at the coordinator (2PC variants only; `None` =
     /// the serial paper-faithful commit path).
     pub epoch_commit: Option<harbor_dist::EpochCommitConfig>,
+    /// Refuse updates for an object down to its last live copy (graceful
+    /// degradation to read-only while the supervisor restores K). Off by
+    /// default: the paper's crash-recovery experiments commit below K.
+    pub degrade_read_only: bool,
 }
 
 impl ClusterConfig {
@@ -143,6 +149,7 @@ impl ClusterConfig {
             rpc_deadline: harbor_dist::DEFAULT_RPC_DEADLINE,
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
             epoch_commit: None,
+            degrade_read_only: false,
         }
     }
 
@@ -179,7 +186,9 @@ pub struct Cluster {
     disk_plans: HashMap<SiteId, Arc<DiskFaultPlan>>,
     /// Counts every message/byte crossing the cluster's transport.
     net_metrics: Metrics,
-    placement: Placement,
+    /// The live placement catalog, shared with the coordinator: membership
+    /// mutations made through either handle are visible to both.
+    placement: SharedPlacement,
     coordinator: Arc<Coordinator>,
     workers: Mutex<HashMap<SiteId, WorkerHandle>>,
     crashed: Mutex<HashSet<SiteId>>,
@@ -298,7 +307,10 @@ impl Cluster {
                 },
             );
         }
-        // Coordinator.
+        // Coordinator. It shares the SAME catalog handle the cluster keeps,
+        // so membership changes (join/decommission/re-replication) are never
+        // stale on either side.
+        let placement = SharedPlacement::new(placement);
         let coordinator = Coordinator::start_with_listener(
             CoordinatorConfig {
                 site: COORDINATOR_SITE,
@@ -311,6 +323,7 @@ impl Cluster {
                 read_retries: cfg.read_retries,
                 crash_schedule: cfg.crash_schedule.clone(),
                 epoch_commit: cfg.epoch_commit,
+                degrade_read_only: cfg.degrade_read_only,
             },
             placement.clone(),
             coord_transport,
@@ -353,7 +366,9 @@ impl Cluster {
         &self.coordinator
     }
 
-    pub fn placement(&self) -> &Placement {
+    /// The live, shared placement catalog (see [`SharedPlacement`]). Use
+    /// [`SharedPlacement::snapshot`] for a point-in-time [`Placement`].
+    pub fn placement(&self) -> &SharedPlacement {
         &self.placement
     }
 
@@ -532,7 +547,6 @@ impl Cluster {
     fn worker_addr(&self, site: SiteId) -> String {
         self.placement
             .address(site)
-            .map(|s| s.to_string())
             .expect("address book covers all workers")
     }
 
@@ -560,11 +574,7 @@ impl Cluster {
                 protocol: self.cfg.protocol,
                 checkpoint_every: self.cfg.checkpoint_every,
                 peers,
-                coordinator: self
-                    .placement
-                    .coordinator_addr()
-                    .ok()
-                    .map(|a| a.to_string()),
+                coordinator: self.placement.coordinator_addr().ok(),
                 auto_consensus: self.cfg.auto_consensus,
                 use_deletion_log: self.cfg.use_deletion_log,
                 scan_batch: self.cfg.scan_batch,
@@ -617,7 +627,7 @@ impl Cluster {
         let ctx = RecoveryContext {
             engine,
             site,
-            placement: self.placement.clone(),
+            placement: self.placement.snapshot(),
             transport: self.transport_as(&format!("site-{}", site.0)),
             down: down.into_iter().filter(|s| *s != site).collect(),
             config,
@@ -661,7 +671,7 @@ impl Cluster {
         let ctx = RecoveryContext {
             engine,
             site,
-            placement: self.placement.clone(),
+            placement: self.placement.snapshot(),
             transport: self.transport_as(&format!("site-{}", site.0)),
             down: down.into_iter().filter(|s| *s != site).collect(),
             config: self.cfg.recovery.clone(),
@@ -678,6 +688,187 @@ impl Cluster {
         self.crashed.lock().remove(&site);
         self.coordinator.mark_alive(site);
         Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Online membership: join, decommission, re-replication
+    // ------------------------------------------------------------------
+
+    /// Joins a brand-new site into the cluster under live update traffic:
+    /// allocates a full replica of every table in the placement catalog,
+    /// bootstraps each object with the segment-parallel Phase-2 catch-up
+    /// against live buddies, then runs the Phase-3 lock-and-drain handshake
+    /// so the new copies go current and votable. On error the site is
+    /// evicted again and the cluster is exactly as before.
+    pub fn join_worker(&self, site: SiteId) -> DbResult<RecoveryReport> {
+        if site == COORDINATOR_SITE {
+            return Err(DbError::internal("site 0 is the coordinator"));
+        }
+        if self.workers.lock().contains_key(&site) || self.crashed.lock().contains(&site) {
+            return Err(DbError::internal(format!(
+                "{site} already exists; use recover_worker_harbor for crashed sites"
+            )));
+        }
+        let name = format!("site-{}", site.0);
+        let wt = self.transport_as(&name);
+        let listener = match self.cfg.transport {
+            TransportKind::Tcp => wt.listen("127.0.0.1:0")?,
+            _ => wt.listen(&name)?,
+        };
+        // Catalog first: `admit_site` registers the address, allocates a
+        // joining full copy of every table, and marks the site dead so no
+        // update routes to it before the per-object announcements. From
+        // here on, any failure must evict to restore the old catalog.
+        self.coordinator.admit_site(site, &listener.local_addr())?;
+        match self.bootstrap_joined_site(site, &name, wt, listener) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                if let Some(h) = self.workers.lock().remove(&site) {
+                    h.worker.crash();
+                }
+                let _ = self.coordinator.evict_site(site);
+                for h in self.workers.lock().values() {
+                    h.worker.remove_peer(site);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible tail of [`join_worker`](Self::join_worker): open the
+    /// engine, start the worker server, and run the three-phase bootstrap.
+    fn bootstrap_joined_site(
+        &self,
+        site: SiteId,
+        name: &str,
+        wt: Arc<dyn Transport>,
+        listener: Box<dyn harbor_net::Listener>,
+    ) -> DbResult<RecoveryReport> {
+        let wdir = self.dir.join(name);
+        let engine =
+            Self::open_engine(&wdir, site, &self.cfg, self.disk_plans.get(&site).cloned())?;
+        for spec in &self.cfg.tables {
+            if engine.table_def(&spec.name).is_none() {
+                engine.create_table(&spec.name, spec.user_fields.clone())?;
+            }
+        }
+        let addr = listener.local_addr();
+        let peers: HashMap<SiteId, String> = self
+            .placement
+            .member_sites()
+            .into_iter()
+            .filter_map(|s| self.placement.address(s).ok().map(|a| (s, a)))
+            .collect();
+        let worker = Worker::start_with_listener(
+            engine.clone(),
+            wt,
+            WorkerConfig {
+                site,
+                addr: addr.clone(),
+                protocol: self.cfg.protocol,
+                checkpoint_every: self.cfg.checkpoint_every,
+                peers,
+                coordinator: self.placement.coordinator_addr().ok(),
+                auto_consensus: self.cfg.auto_consensus,
+                use_deletion_log: self.cfg.use_deletion_log,
+                scan_batch: self.cfg.scan_batch,
+                crash_schedule: self.cfg.crash_schedule.clone(),
+            },
+            listener,
+        )?;
+        let metrics = engine.metrics().clone();
+        {
+            let mut g = self.workers.lock();
+            for h in g.values() {
+                h.worker.add_peer(site, &addr);
+            }
+            g.insert(
+                site,
+                WorkerHandle {
+                    worker,
+                    engine: engine.clone(),
+                    metrics,
+                },
+            );
+        }
+        let down: HashSet<SiteId> = self.crashed.lock().clone();
+        let ctx = RecoveryContext {
+            engine,
+            site,
+            placement: self.placement.snapshot(),
+            transport: self.transport_as(name),
+            down,
+            config: self.cfg.recovery.clone(),
+        };
+        // A fresh engine's checkpoint is zero, so Phase 2 copies each
+        // object's entire history — recovery *is* replica creation.
+        recover_site(&ctx)
+    }
+
+    /// Gracefully removes a site: drains its role in in-flight commit
+    /// epochs at the coordinator, re-homes its parts in the catalog (every
+    /// table must retain at least one other full copy), stops its server,
+    /// and removes it from every peer's address book. Returns the affected
+    /// tables. A *crashed* site skips the drain — it holds no live role.
+    pub fn decommission_worker(&self, site: SiteId) -> DbResult<Vec<String>> {
+        let affected = if self.crashed.lock().contains(&site) {
+            let affected = self.coordinator.evict_site(site)?;
+            self.crashed.lock().remove(&site);
+            affected
+        } else {
+            let affected = self.coordinator.decommission_site(site)?;
+            if let Some(h) = self.workers.lock().remove(&site) {
+                h.worker.stop();
+            }
+            affected
+        };
+        for h in self.workers.lock().values() {
+            h.worker.remove_peer(site);
+        }
+        Ok(affected)
+    }
+
+    /// Re-creates one table's replica on live member `target` (which must
+    /// not already hold the object): marks the copy joining in the catalog,
+    /// bootstraps it with Phase-2/Phase-3 recovery against live buddies,
+    /// and lets the `RecComingOnline` announcement complete the join. This
+    /// is the supervisor's repair primitive for objects below their K
+    /// floor. On error the joining copy is withdrawn from the catalog.
+    pub fn replicate_table_to(&self, table: &str, target: SiteId) -> DbResult<()> {
+        let engine = self.engine(target)?;
+        self.coordinator.begin_bootstrap(target, table)?;
+        let result = (|| {
+            if engine.table_def(table).is_none() {
+                let spec = self
+                    .cfg
+                    .tables
+                    .iter()
+                    .find(|s| s.name == table)
+                    .ok_or_else(|| DbError::Schema(format!("no spec for table {table:?}")))?;
+                engine.create_table(table, spec.user_fields.clone())?;
+            }
+            let down: HashSet<SiteId> = self.crashed.lock().clone();
+            let ctx = RecoveryContext {
+                engine: engine.clone(),
+                site: target,
+                placement: self.placement.snapshot(),
+                transport: self.transport_as(&format!("site-{}", target.0)),
+                down,
+                config: self.cfg.recovery.clone(),
+            };
+            // Periodic checkpoints stay off for the bootstrap (§5.2); the
+            // per-object checkpoint recorded by recovery carries the new
+            // copy until the next global checkpoint subsumes it.
+            engine.checkpointer().set_suspended(true);
+            let r = recover_object(&ctx, table);
+            engine.checkpointer().set_suspended(false);
+            r.map(|_| ())
+        })();
+        if let Err(e) = result {
+            self.coordinator.abandon_bootstrap(target, table);
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Stops everything (graceful end of an experiment).

@@ -51,6 +51,7 @@
 pub mod chaos_harness;
 pub mod cluster;
 pub mod recovery;
+pub mod supervisor;
 
 pub use chaos_harness::{ChaosRunConfig, ChaosRunReport};
 pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, COORDINATOR_SITE};
@@ -58,3 +59,4 @@ pub use recovery::{
     recover_object, recover_site, scrub_site, ObjectReport, RecoveryConfig, RecoveryContext,
     RecoveryFailPoint, RecoveryReport, ScrubReport,
 };
+pub use supervisor::{Repair, ReplicationSupervisor, SupervisorConfig, SupervisorHandle};

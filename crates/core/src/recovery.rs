@@ -27,7 +27,10 @@ use harbor_common::config::{
     DEFAULT_MAX_BUDDY_FANOUT, DEFAULT_MAX_PHASE2_RANGES, DEFAULT_MIN_RANGE_PAGES,
     DEFAULT_PHASE2_APPLIERS,
 };
-use harbor_common::{DbError, DbResult, PageId, SiteId, TableId, Timestamp, TransactionId, Tuple};
+use harbor_common::{
+    retry_with, DbError, DbResult, PageId, RetryPolicy, SiteId, TableId, Timestamp, TransactionId,
+    Tuple,
+};
 use harbor_dist::{
     rpc_deadline, rpc_liveness, scan_range_rpc_streaming, scan_rpc_streaming_deadline,
     segment_bounds_rpc, with_read_retries, Placement, RecoveryObject, RemoteScan, Request,
@@ -988,36 +991,45 @@ fn phase3(
                 }
                 Err(e) => return Err(e),
             };
-            let deadline = Instant::now() + ctx.config.lock_retry_for;
-            loop {
-                let req = Request::AcquireTableLock {
-                    tid: lock_tid,
-                    table: obj.table.clone(),
-                };
-                match rpc_liveness(chan.as_mut(), &req, ctx.config.net_deadline, None) {
-                    Ok(Response::Ok) => {
-                        picked = Some((buddy, chan));
-                        break 'candidates;
+            // Deadlock timeouts at the buddy retry under a seeded, capped
+            // schedule (§5.4.1) sized to the configured lock-retry budget;
+            // the jitter decorrelates two recoveries contending for the
+            // same table while a pinned seed still replays the same pacing.
+            let policy = RetryPolicy::new(
+                (ctx.config.lock_retry_for.as_millis() / 8).max(1) as u32,
+                Duration::from_millis(10),
+                Duration::from_millis(10),
+                0x10CC_AB1E ^ u64::from(ctx.site.0),
+            );
+            let locked = retry_with(
+                &policy,
+                Some(ctx.engine.metrics()),
+                |e| matches!(e, DbError::LockTimeout { .. }),
+                |_| {
+                    let req = Request::AcquireTableLock {
+                        tid: lock_tid,
+                        table: obj.table.clone(),
+                    };
+                    match rpc_liveness(chan.as_mut(), &req, ctx.config.net_deadline, None)? {
+                        Response::Ok => Ok(()),
+                        Response::Err { msg } => Err(DbError::LockTimeout {
+                            txn: lock_tid,
+                            what: format!("{} at {buddy} ({msg})", obj.table),
+                        }),
+                        other => Err(DbError::protocol(format!("bad lock reply {other:?}"))),
                     }
-                    Ok(Response::Err { msg }) => {
-                        if Instant::now() >= deadline {
-                            return Err(DbError::LockTimeout {
-                                txn: lock_tid,
-                                what: format!("{} at {buddy} ({msg})", obj.table),
-                            });
-                        }
-                        // Deadlock timeout at the buddy: retry (§5.4.1).
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Ok(other) => {
-                        return Err(DbError::protocol(format!("bad lock reply {other:?}")))
-                    }
-                    Err(e) if e.is_disconnect() => {
-                        last_err = Some(e);
-                        continue 'candidates;
-                    }
-                    Err(e) => return Err(e),
+                },
+            );
+            match locked {
+                Ok(()) => {
+                    picked = Some((buddy, chan));
+                    break 'candidates;
                 }
+                Err(e) if e.is_disconnect() => {
+                    last_err = Some(e);
+                    continue 'candidates;
+                }
+                Err(e) => return Err(e),
             }
         }
         let Some((buddy, chan)) = picked else {
@@ -1182,16 +1194,18 @@ pub fn scrub_site(ctx: &RecoveryContext) -> DbResult<ScrubReport> {
 /// Reads one on-disk page, retrying injected transient read errors.
 /// `Ok(true)` = page verifies, `Ok(false)` = corrupt or unreadable.
 fn disk_page_ok(heap: &harbor_storage::SegmentedHeapFile, page_no: u32) -> DbResult<bool> {
-    let mut attempts = 0;
-    loop {
-        match heap.read_page(page_no) {
-            Ok(_) => return Ok(true),
-            Err(e) if e.is_corrupt() => return Ok(false),
-            Err(DbError::Io(_)) if attempts < 3 => attempts += 1,
-            // A page that stays unreadable is repaired like a corrupt one.
-            Err(DbError::Io(_)) => return Ok(false),
-            Err(e) => return Err(e),
-        }
+    let result = retry_with(
+        &RetryPolicy::immediate(3),
+        None,
+        |e| matches!(e, DbError::Io(_)),
+        |_| heap.read_page(page_no).map(|_| ()),
+    );
+    match result {
+        Ok(()) => Ok(true),
+        Err(e) if e.is_corrupt() => Ok(false),
+        // A page that stays unreadable is repaired like a corrupt one.
+        Err(DbError::Io(_)) => Ok(false),
+        Err(e) => Err(e),
     }
 }
 
@@ -1310,13 +1324,29 @@ fn scrub_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<ScrubReport
     // ---- Quarantine: zero the bad pages so local scans run clean -------
     let empty = Page::init(heap.tuple_size());
     for pid in &remaining {
-        let mut attempts = 0;
-        loop {
-            heap.write_page(pid.page_no, &empty)?;
-            if disk_page_ok(&heap, pid.page_no)? || attempts >= 3 {
-                break;
-            }
-            attempts += 1; // the zeroing write itself drew a fault
+        // The zeroing write itself may draw a fault: rewrite until the
+        // disk verifies, a few immediate attempts.
+        let zeroed = retry_with(
+            &RetryPolicy::immediate(3),
+            None,
+            |e| matches!(e, DbError::Io(_)),
+            |_| {
+                heap.write_page(pid.page_no, &empty)?;
+                if disk_page_ok(&heap, pid.page_no)? {
+                    Ok(())
+                } else {
+                    Err(DbError::Io(std::io::Error::other(
+                        "zeroing write drew a fault",
+                    )))
+                }
+            },
+        );
+        match zeroed {
+            Ok(()) => {}
+            // Still faulting after the schedule: leave the best-effort
+            // zeroed image; the reconcile pass below re-inserts its tuples.
+            Err(DbError::Io(_)) => {}
+            Err(e) => return Err(e),
         }
     }
 
@@ -1338,9 +1368,11 @@ fn scrub_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<ScrubReport
     // still holds and re-insert the difference. Retried as a whole on
     // transient I/O faults — a retry recomputes the diff from current
     // local state, so a partially applied attempt never double-inserts.
-    let mut attempts = 0;
-    loop {
-        let attempt = (|| -> DbResult<u64> {
+    let reinserted = retry_with(
+        &RetryPolicy::immediate(3),
+        None,
+        |e| matches!(e, DbError::Io(_)),
+        |_| {
             let mut reinserted = 0u64;
             for ((lo, hi), fetched) in &prefetched {
                 let missing = reconcile_window(ctx, &heap, *lo, *hi, fetched)?;
@@ -1356,16 +1388,9 @@ fn scrub_object(ctx: &RecoveryContext, table_name: &str) -> DbResult<ScrubReport
             engine.deletion_log(def.id)?.invalidate();
             engine.pool().flush_all()?;
             Ok(reinserted)
-        })();
-        match attempt {
-            Ok(n) => {
-                report.tuples_reinserted += n;
-                break;
-            }
-            Err(DbError::Io(_)) if attempts < 3 => attempts += 1,
-            Err(e) => return Err(e),
-        }
-    }
+        },
+    )?;
+    report.tuples_reinserted += reinserted;
     report.pages_refetched += remaining.len() as u64;
     engine.metrics().add_pages_repaired(remaining.len() as u64);
     Ok(report)

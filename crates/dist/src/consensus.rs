@@ -179,13 +179,13 @@ pub fn query_backup_state(
         if site == worker.site() {
             return None; // we outrank the rest: we are the backup
         }
-        let Some(addr) = worker.peers().get(&site) else {
+        let Some(addr) = worker.peer_addr(site) else {
             continue;
         };
         // The query is idempotent, so transient timeouts get bounded retries
         // before the site is skipped as unreachable.
         let reply = with_read_retries(None, CONSENSUS_RETRIES, Duration::from_millis(10), || {
-            let mut chan = worker.transport().connect(addr)?;
+            let mut chan = worker.transport().connect(&addr)?;
             rpc_deadline(
                 chan.as_mut(),
                 &Request::QueryTxnState { tid },
@@ -211,13 +211,13 @@ pub fn query_backup_state(
 }
 
 fn ping(worker: &Arc<Worker>, site: SiteId) -> bool {
-    let Some(addr) = worker.peers().get(&site) else {
+    let Some(addr) = worker.peer_addr(site) else {
         return false;
     };
     // Only a true disconnect or repeated deadline expiry declares the site
     // dead; a single transient timeout must not usurp its backup role.
     for attempt in 0..=CONSENSUS_RETRIES {
-        let Ok(mut chan) = worker.transport().connect(addr) else {
+        let Ok(mut chan) = worker.transport().connect(&addr) else {
             return false;
         };
         match rpc_deadline(chan.as_mut(), &Request::Ping, CONSENSUS_DEADLINE) {
@@ -235,10 +235,10 @@ fn ping(worker: &Arc<Worker>, site: SiteId) -> bool {
 fn broadcast(worker: &Arc<Worker>, participants: &[SiteId], req: &Request) -> DbResult<()> {
     let mut reached = 0usize;
     for site in participants {
-        let Some(addr) = worker.peers().get(site) else {
+        let Some(addr) = worker.peer_addr(*site) else {
             continue;
         };
-        let Ok(mut chan) = worker.transport().connect(addr) else {
+        let Ok(mut chan) = worker.transport().connect(&addr) else {
             continue; // crashed participant
         };
         // Liveness deadline: a partitioned participant whose socket never

@@ -5,13 +5,13 @@
 
 use crate::failpoint::{CrashPoint, CrashSchedule};
 use crate::message::{RemoteScan, Request, Response, UpdateRequest, WireTxnState};
-use crate::placement::Placement;
+use crate::placement::SharedPlacement;
 use crate::protocol::ProtocolKind;
 use crate::{rpc_liveness, scan_rpc_deadline, with_read_retries, DEFAULT_RETRY_BACKOFF};
 use harbor_common::codec::Wire;
 use harbor_common::time::TimestampAuthority;
 use harbor_common::{
-    DbError, DbResult, DiskProfile, Metrics, SiteId, Timestamp, TransactionId, Tuple,
+    DbError, DbResult, DiskProfile, Metrics, RetryPolicy, SiteId, Timestamp, TransactionId, Tuple,
 };
 use harbor_net::{Channel, Transport};
 use harbor_wal::record::{LogPayload, LogRecord, TxnOutcome};
@@ -98,6 +98,13 @@ pub struct CoordinatorConfig {
     /// Batch commits into epochs (2PC variants only; `None` = the serial
     /// paper-faithful path).
     pub epoch_commit: Option<EpochCommitConfig>,
+    /// Refuse updates to any object down to its *last* live copy
+    /// ([`DbError::Degraded`]) instead of committing with zero surviving
+    /// replicas. Off by default: the paper's model keeps accepting updates
+    /// below K (a single-copy commit is durable-but-fragile, §4.3.5), and
+    /// several crash-recovery tests exercise exactly that; clusters running
+    /// the replication supervisor opt in for the stronger floor.
+    pub degrade_read_only: bool,
 }
 
 struct TxnInner {
@@ -155,7 +162,7 @@ struct EpochState {
 /// A running coordinator.
 pub struct Coordinator {
     cfg: CoordinatorConfig,
-    placement: Placement,
+    placement: SharedPlacement,
     transport: Arc<dyn Transport>,
     authority: Arc<TimestampAuthority>,
     wal: Option<Arc<LogManager>>,
@@ -169,6 +176,12 @@ pub struct Coordinator {
     /// other objects — Fig 5-4's announcement is per-`rec`, so routing is
     /// gated per (site, table) until every object on the site is back.
     partially_online: Mutex<HashMap<SiteId, std::collections::BTreeSet<String>>>,
+    /// `(site, table)` copies being bootstrapped onto an otherwise-live
+    /// site (supervisor re-replication): routing must skip exactly this
+    /// object on this site — the rest of the site keeps serving — until
+    /// its Fig 5-4 announcement lands. The joining-site case is handled by
+    /// the coarser `dead` + `partially_online` gates instead.
+    bootstrapping: Mutex<BTreeSet<(SiteId, String)>>,
     shutdown: Arc<AtomicBool>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Present iff epoch group commit is active (2PC variants with
@@ -186,7 +199,7 @@ pub struct Coordinator {
 impl Coordinator {
     pub fn start(
         cfg: CoordinatorConfig,
-        placement: Placement,
+        placement: impl Into<SharedPlacement>,
         transport: Arc<dyn Transport>,
         metrics: Metrics,
     ) -> DbResult<Arc<Coordinator>> {
@@ -195,13 +208,17 @@ impl Coordinator {
     }
 
     /// As [`start`](Self::start) on an already-bound listener (TCP port 0).
+    /// `placement` may be a plain [`Placement`] (wrapped into its own
+    /// [`SharedPlacement`]) or a handle shared with the cluster facade, so
+    /// membership mutations are visible to both sides.
     pub fn start_with_listener(
         mut cfg: CoordinatorConfig,
-        placement: Placement,
+        placement: impl Into<SharedPlacement>,
         transport: Arc<dyn Transport>,
         metrics: Metrics,
         listener: Box<dyn harbor_net::Listener>,
     ) -> DbResult<Arc<Coordinator>> {
+        let placement = placement.into();
         cfg.addr = listener.local_addr();
         let wal = match (&cfg.log_dir, cfg.protocol.coordinator_logs()) {
             (Some(dir), true) => {
@@ -247,6 +264,7 @@ impl Coordinator {
             seq: AtomicU64::new(1),
             dead: Mutex::new(BTreeSet::new()),
             partially_online: Mutex::new(HashMap::new()),
+            bootstrapping: Mutex::new(BTreeSet::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             handles: Mutex::new(Vec::new()),
             placement,
@@ -296,7 +314,7 @@ impl Coordinator {
         &self.metrics
     }
 
-    pub fn placement(&self) -> &Placement {
+    pub fn placement(&self) -> &SharedPlacement {
         &self.placement
     }
 
@@ -353,8 +371,17 @@ impl Coordinator {
 
     /// May updates/reads of `table` be routed to `site`? True when the site
     /// is fully alive, or when this specific object has announced it is
-    /// coming online (§5.4.2).
+    /// coming online (§5.4.2) — and never while this object is being
+    /// bootstrapped onto the site by re-replication (its copy is
+    /// incomplete; updates reach it through the recovery catch-up instead).
     pub fn is_usable(&self, site: SiteId, table: &str) -> bool {
+        if self
+            .bootstrapping
+            .lock()
+            .contains(&(site, table.to_string()))
+        {
+            return false;
+        }
         if !self.dead.lock().contains(&site) {
             return true;
         }
@@ -363,6 +390,138 @@ impl Coordinator {
             .get(&site)
             .map(|tables| tables.contains(table))
             .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Membership: join, decommission, re-replication bookkeeping
+    // ------------------------------------------------------------------
+
+    /// In-flight transaction count — the supervisor's admission-throttle
+    /// input: re-replication yields while the commit path is busy.
+    pub fn inflight_txns(&self) -> usize {
+        self.txns.lock().len()
+    }
+
+    /// Admits a brand-new site at `addr`: registers it in the address book
+    /// and allocates a join-pending full copy of every table on it. The
+    /// site starts *down* — it routes no traffic until it bootstraps each
+    /// object through the ordinary recovery path and the Fig 5-4
+    /// announcements flip it live, object by object.
+    pub fn admit_site(&self, site: SiteId, addr: &str) -> DbResult<()> {
+        self.placement.mutate(|p| {
+            if p.is_member(site) {
+                return Err(DbError::internal(format!("{site} is already a member")));
+            }
+            if !p.objects_on(site).is_empty() {
+                return Err(DbError::internal(format!(
+                    "stale catalog: non-member {site} already holds parts"
+                )));
+            }
+            p.set_address(site, addr);
+            for table in p.table_names() {
+                p.add_full_copy(&table, site)?;
+            }
+            Ok(())
+        })?;
+        self.mark_dead(site);
+        self.metrics.add_joins(1);
+        Ok(())
+    }
+
+    /// Allocates a join-pending copy of one `table` on an *existing* member
+    /// (supervisor re-replication onto a surviving site). Routing skips
+    /// exactly this object on this site until its announcement lands; the
+    /// rest of the site keeps serving.
+    pub fn begin_bootstrap(&self, site: SiteId, table: &str) -> DbResult<()> {
+        self.placement.mutate(|p| {
+            if !p.is_member(site) {
+                return Err(DbError::internal(format!("{site} is not a member")));
+            }
+            p.add_full_copy(table, site)
+        })?;
+        self.bootstrapping.lock().insert((site, table.to_string()));
+        Ok(())
+    }
+
+    /// Rolls back a failed single-table bootstrap: the half-built copy is
+    /// dropped from the catalog and the routing gate lifted.
+    pub fn abandon_bootstrap(&self, site: SiteId, table: &str) {
+        self.bootstrapping.lock().remove(&(site, table.to_string()));
+        self.placement.mutate(|p| p.abort_copy_join(table, site));
+    }
+
+    /// Rolls back a failed whole-site join: every copy on `site` leaves the
+    /// catalog along with its address-book entry. Returns the affected
+    /// tables.
+    pub fn evict_site(&self, site: SiteId) -> DbResult<Vec<String>> {
+        let affected = self.placement.mutate(|p| p.remove_site(site))?;
+        self.dead.lock().remove(&site);
+        self.partially_online.lock().remove(&site);
+        self.bootstrapping.lock().retain(|(s, _)| *s != site);
+        Ok(affected)
+    }
+
+    /// Gracefully retires `site`: stops routing new work to it, drains
+    /// every in-flight transaction (and thus every in-flight commit epoch)
+    /// it participates in, then drops its copies from the catalog and its
+    /// address-book entry. Refuses — leaving membership untouched — if a
+    /// table would lose its last copy or the drain does not converge.
+    /// Returns the tables whose replication factor shrank.
+    pub fn decommission_site(&self, site: SiteId) -> DbResult<Vec<String>> {
+        if !self.placement.is_member(site) {
+            return Err(DbError::internal(format!("{site} is not a member")));
+        }
+        // Stop routing new transactions to the site; remember whether it
+        // was live so a refused decommission can restore it.
+        let newly_marked = self.dead.lock().insert(site);
+        let restore = |this: &Self| {
+            if newly_marked {
+                this.dead.lock().remove(&site);
+            }
+        };
+        // Drain: in-flight transactions (including those riding open commit
+        // epochs) finish their protocol with the full participant set; only
+        // a *quiet* site can leave without voting holes.
+        let policy = RetryPolicy::new(
+            400,
+            Duration::from_millis(2),
+            Duration::from_millis(25),
+            0xDECA_0FF5,
+        );
+        let mut attempt = 0u32;
+        loop {
+            // Snapshot the contexts first: holding the registry lock while
+            // taking each per-txn lock would invert the txns → inner rank.
+            let ctxs: Vec<Arc<TxnCtx>> = self.txns.lock().values().cloned().collect();
+            let busy = ctxs.iter().any(|ctx| {
+                let g = ctx.inner.lock();
+                !g.finished && g.participants.contains(&site)
+            });
+            if !busy {
+                break;
+            }
+            if attempt >= policy.attempts {
+                restore(self);
+                return Err(DbError::internal(format!(
+                    "decommission of {site} timed out draining in-flight transactions"
+                )));
+            }
+            std::thread::sleep(policy.delay(attempt));
+            attempt += 1;
+        }
+        match self.placement.mutate(|p| p.remove_site(site)) {
+            Ok(affected) => {
+                self.dead.lock().remove(&site);
+                self.partially_online.lock().remove(&site);
+                self.bootstrapping.lock().retain(|(s, _)| *s != site);
+                self.metrics.add_decommissions(1);
+                Ok(affected)
+            }
+            Err(e) => {
+                restore(self);
+                Err(e)
+            }
+        }
     }
 
     /// Simulated coordinator crash: stop the server and sever every worker
@@ -446,7 +605,7 @@ impl Coordinator {
                 return Ok(c.clone());
             }
         }
-        let addr = self.placement.address(site)?.to_string();
+        let addr = self.placement.address(site)?;
         let mut chan = self.transport.connect(&addr)?;
         match self.rpc_live(chan.as_mut(), &Request::Begin { tid })? {
             Response::Ok => {}
@@ -484,10 +643,24 @@ impl Coordinator {
                         }
                         _ => self.placement.sites_for(table)?,
                     };
-                    sites
+                    let placed = sites.len();
+                    let live: Vec<SiteId> = sites
                         .into_iter()
                         .filter(|s| self.is_usable(*s, table))
-                        .collect()
+                        .collect();
+                    // Read-only degradation floor (opt-in): an object that
+                    // was placed redundantly but is down to one live copy
+                    // refuses updates — committing against a single replica
+                    // leaves no survivor if it dies — until the supervisor
+                    // re-replicates it back above the floor.
+                    if self.cfg.degrade_read_only && placed >= 2 && live.len() <= 1 {
+                        return Err(DbError::degraded(format!(
+                            "{table:?} is down to {} of {placed} placed copies; \
+                             updates refused until re-replication restores K",
+                            live.len()
+                        )));
+                    }
+                    live
                 }
                 // Table-less work (simulated CPU) goes to current
                 // participants.
@@ -562,7 +735,7 @@ impl Coordinator {
             if !self.is_usable(site, table) {
                 continue;
             }
-            let addr = self.placement.address(site)?.to_string();
+            let addr = self.placement.address(site)?;
             // Historical reads are idempotent, so a transient timeout or a
             // torn connection earns a bounded retry with backoff before
             // failing over to the next replica.
@@ -1298,6 +1471,14 @@ impl Coordinator {
                 Request::QueryTxnState { tid } => Response::TxnState {
                     state: self.txn_outcome(tid),
                 },
+                Request::JoinSite { site, addr } => match self.admit_site(site, &addr) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err { msg: e.to_string() },
+                },
+                Request::DecommissionSite { site } => match self.decommission_site(site) {
+                    Ok(_) => Response::Ok,
+                    Err(e) => Response::Err { msg: e.to_string() },
+                },
                 _ => Response::Err {
                     msg: "not a coordinator request".into(),
                 },
@@ -1314,6 +1495,11 @@ impl Coordinator {
     /// the recoverer joins it; the `AllDone` reply is sent by the caller
     /// once this returns.
     fn handle_join(self: &Arc<Self>, site: SiteId, table: &str) -> DbResult<()> {
+        // If this object was a join-pending copy (site join or supervisor
+        // re-replication), the announcement is what completes it: it is now
+        // caught up, locked current, and a valid recovery buddy.
+        self.bootstrapping.lock().remove(&(site, table.to_string()));
+        self.placement.mutate(|p| p.finish_copy_join(table, site));
         // Gate routing per object: only `table` starts receiving updates
         // now; the site becomes fully alive once every object placed on it
         // has announced (§5.4.2 is per-`rec`).
@@ -1389,7 +1575,7 @@ impl Coordinator {
                     let c = match &mut chan {
                         Some(c) => c,
                         None => {
-                            let addr = self.placement.address(site)?.to_string();
+                            let addr = self.placement.address(site)?;
                             let mut fresh = self.transport.connect(&addr)?;
                             rpc_expect_ok(
                                 fresh.as_mut(),

@@ -16,7 +16,7 @@ pub use consensus::{backup_action, BackupAction, BackupState};
 pub use coordinator::{Coordinator, CoordinatorConfig, EpochCommitConfig, FailPoint};
 pub use failpoint::{CrashPoint, CrashSchedule};
 pub use message::{RemoteScan, Request, Response, UpdateRequest, WireReadMode, WireTxnState};
-pub use placement::{Copy, Part, Placement, RecoveryObject, TablePlacement};
+pub use placement::{Copy, Part, Placement, RecoveryObject, SharedPlacement, TablePlacement};
 pub use protocol::ProtocolKind;
 pub use worker::{simulate_cpu_work, Worker, WorkerConfig};
 
@@ -25,7 +25,7 @@ pub use harbor_common::config::{
 };
 
 use harbor_common::codec::Wire;
-use harbor_common::{DbError, DbResult, Metrics, Timestamp, Tuple};
+use harbor_common::{retry_with, DbError, DbResult, Metrics, RetryPolicy, Timestamp, Tuple};
 use harbor_net::Channel;
 use std::time::Duration;
 
@@ -93,36 +93,39 @@ pub fn liveness_expired(metrics: Option<&Metrics>, context: &str) -> DbError {
     DbError::unavailable(format!("liveness deadline: {context}"))
 }
 
-/// Runs `attempt` with up to `retries` bounded retries (exponential backoff
-/// starting at `backoff`) after transient timeouts or disconnects. Only for
-/// *idempotent* operations — historical reads, clock reads, connection
+/// Runs `attempt` with up to `retries` bounded retries (seeded jittered
+/// exponential backoff starting at `backoff`, via the shared
+/// [`harbor_common::retry`] engine) after transient timeouts or
+/// disconnects — the wider read-path classifier, since connection
+/// establishment against a restarting site surfaces as a disconnect. Only
+/// for *idempotent* operations — historical reads, clock reads, connection
 /// establishment. Commit-protocol messages must never pass through here: a
-/// retransmitted PREPARE/COMMIT could double-apply its effects.
+/// retransmitted PREPARE/COMMIT could double-apply its effects. The
+/// terminal error is returned verbatim.
 pub fn with_read_retries<T>(
     metrics: Option<&Metrics>,
     retries: u32,
     backoff: Duration,
     mut attempt: impl FnMut() -> DbResult<T>,
 ) -> DbResult<T> {
-    let mut wait = backoff;
-    let mut tried = 0;
-    loop {
-        match attempt() {
-            Ok(v) => return Ok(v),
-            Err(e) if tried < retries && (e.is_timeout() || e.is_disconnect()) => {
+    let policy = RetryPolicy::new(retries, backoff, backoff.saturating_mul(64), 0x5EED_2EAD);
+    retry_with(
+        &policy,
+        metrics,
+        |e| {
+            let transient = e.is_timeout() || e.is_disconnect();
+            if transient {
                 if let Some(m) = metrics {
                     if e.is_timeout() {
                         m.add_rpc_timeouts(1);
                     }
                     m.add_rpc_retries(1);
                 }
-                tried += 1;
-                std::thread::sleep(wait);
-                wait = wait.saturating_mul(2);
             }
-            Err(e) => return Err(e),
-        }
-    }
+            transient
+        },
+        |_| attempt(),
+    )
 }
 
 /// Issues a [`Request::Scan`] and drains the streamed tuple batches,

@@ -400,6 +400,22 @@ pub enum Request {
         commits: Vec<(TransactionId, Timestamp)>,
         aborts: Vec<TransactionId>,
     },
+    /// Membership: admit a brand-new site at `addr` into the cluster
+    /// (served by coordinators). The coordinator allocates replica copies
+    /// in the placement catalog and marks the site down-and-joining; the
+    /// site then bootstraps via the ordinary recovery path and goes votable
+    /// through the Fig 5-4 [`Request::RecComingOnline`] handshake.
+    JoinSite {
+        site: SiteId,
+        addr: String,
+    },
+    /// Membership: gracefully retire `site` (served by coordinators). The
+    /// coordinator drains the site from in-flight commit epochs, drops its
+    /// copies from the placement catalog (refusing if any object would lose
+    /// its last copy), and removes it from the address book.
+    DecommissionSite {
+        site: SiteId,
+    },
 }
 
 /// Worker-visible transaction state, for consensus (§4.3.3 / Table 4.1).
@@ -568,6 +584,15 @@ impl Wire for Request {
                     enc.put_u64(tid.0);
                 }
             }
+            Request::JoinSite { site, addr } => {
+                enc.put_u8(17);
+                enc.put_u16(site.0);
+                enc.put_str(addr);
+            }
+            Request::DecommissionSite { site } => {
+                enc.put_u8(18);
+                enc.put_u16(site.0);
+            }
         }
     }
 
@@ -672,6 +697,13 @@ impl Wire for Request {
                     aborts,
                 }
             }
+            17 => Request::JoinSite {
+                site: SiteId(dec.get_u16()?),
+                addr: dec.get_str()?,
+            },
+            18 => Request::DecommissionSite {
+                site: SiteId(dec.get_u16()?),
+            },
             t => return Err(DbError::corrupt(format!("bad request tag {t}"))),
         })
     }
@@ -1006,6 +1038,11 @@ mod tests {
             commits: vec![],
             aborts: vec![],
         });
+        round_trip_req(Request::JoinSite {
+            site: SiteId(7),
+            addr: "127.0.0.1:4077".into(),
+        });
+        round_trip_req(Request::DecommissionSite { site: SiteId(7) });
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use harbor_common::{DbError, DbResult, SiteId};
 use harbor_exec::Expr;
-use std::collections::{HashMap, HashSet};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// One piece of one copy: a site plus the partition predicate it holds
 /// (`None` = the whole table). Predicates are over the stored tuple
@@ -67,16 +69,39 @@ pub struct RecoveryObject {
 }
 
 /// Cluster-wide placement catalog plus the address book.
+///
+/// The catalog is *versioned and mutable*: membership operations (site
+/// join, decommission, re-replication) edit it at runtime and bump
+/// [`version`](Self::version), so planners can tell a stale snapshot from
+/// the cluster-birth layout. Copies being bootstrapped onto a site are
+/// tracked in `joining` until their Phase-3 handshake completes; they are
+/// routable (they must absorb forwarded updates) but are never offered as
+/// recovery buddies.
 #[derive(Clone, Debug, Default)]
 pub struct Placement {
     tables: HashMap<String, TablePlacement>,
     addresses: HashMap<SiteId, String>,
     coordinator_addr: Option<String>,
+    /// `(table, site)` copies allocated but not yet caught up: their data
+    /// is incomplete until recovery Phase 3 announces them online.
+    joining: BTreeSet<(String, SiteId)>,
+    /// Bumped on every mutation.
+    version: u64,
 }
 
 impl Placement {
     pub fn new() -> Self {
         Placement::default()
+    }
+
+    /// The catalog mutation counter: distinguishes a stale snapshot from
+    /// the live membership.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn bump(&mut self) {
+        self.version += 1;
     }
 
     pub fn add_table(&mut self, name: &str, copies: Vec<Copy>) {
@@ -87,6 +112,7 @@ impl Placement {
                 copies,
             },
         );
+        self.bump();
     }
 
     /// Convenience: a table fully replicated on each given site (the
@@ -103,6 +129,7 @@ impl Placement {
 
     pub fn set_address(&mut self, site: SiteId, addr: &str) {
         self.addresses.insert(site, addr.to_string());
+        self.bump();
     }
 
     pub fn address(&self, site: SiteId) -> DbResult<&str> {
@@ -112,8 +139,128 @@ impl Placement {
             .ok_or_else(|| DbError::internal(format!("no address for {site}")))
     }
 
+    /// `true` while `site` is in the address book — i.e. a cluster member
+    /// (possibly crashed, possibly still joining), as opposed to never
+    /// added or already decommissioned.
+    pub fn is_member(&self, site: SiteId) -> bool {
+        self.addresses.contains_key(&site)
+    }
+
+    /// Every member site, sorted.
+    pub fn member_sites(&self) -> Vec<SiteId> {
+        let mut v: Vec<SiteId> = self.addresses.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Allocates a brand-new full copy of `table` on `site`, marked
+    /// join-pending: it routes updates but serves as no one's buddy until
+    /// [`finish_copy_join`](Self::finish_copy_join).
+    pub fn add_full_copy(&mut self, table: &str, site: SiteId) -> DbResult<()> {
+        let tp = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::Schema(format!("unplaced table {table:?}")))?;
+        if tp
+            .copies
+            .iter()
+            .flat_map(|c| c.parts.iter())
+            .any(|p| p.site == site)
+        {
+            return Err(DbError::internal(format!(
+                "{site} already holds a part of {table}"
+            )));
+        }
+        tp.copies.push(Copy {
+            parts: vec![Part::full(site)],
+        });
+        self.joining.insert((table.to_string(), site));
+        self.bump();
+        Ok(())
+    }
+
+    /// Marks the copy of `table` on `site` fully caught up (Phase-3
+    /// handshake complete): it is now a valid recovery buddy.
+    pub fn finish_copy_join(&mut self, table: &str, site: SiteId) {
+        if self.joining.remove(&(table.to_string(), site)) {
+            self.bump();
+        }
+    }
+
+    /// Rolls back an *aborted* bootstrap: the still-joining copy of `table`
+    /// on `site` leaves the catalog (its data is incomplete and never went
+    /// live). No-op if the pair is not joining.
+    pub fn abort_copy_join(&mut self, table: &str, site: SiteId) {
+        if !self.joining.remove(&(table.to_string(), site)) {
+            return;
+        }
+        if let Some(tp) = self.tables.get_mut(table) {
+            tp.copies
+                .retain(|c| !c.parts.iter().all(|p| p.site == site));
+        }
+        self.bump();
+    }
+
+    pub fn is_copy_joining(&self, table: &str, site: SiteId) -> bool {
+        self.joining.contains(&(table.to_string(), site))
+    }
+
+    /// All `(table, site)` copies still bootstrapping, sorted.
+    pub fn joining_copies(&self) -> Vec<(String, SiteId)> {
+        self.joining.iter().cloned().collect()
+    }
+
+    /// Removes `site` from the catalog: drops every copy stored wholly on
+    /// it and erases its address. Refuses if a table would lose its last
+    /// copy, or if `site` holds a *piece* of a multi-site partitioned copy
+    /// (dropping one partition would leave the copy non-exhaustive; such
+    /// parts must be re-homed with data movement first). Returns the
+    /// affected table names.
+    pub fn remove_site(&mut self, site: SiteId) -> DbResult<Vec<String>> {
+        if !self.addresses.contains_key(&site) {
+            return Err(DbError::internal(format!("{site} is not a member")));
+        }
+        let mut affected = Vec::new();
+        for tp in self.tables.values() {
+            let whole: usize = tp
+                .copies
+                .iter()
+                .filter(|c| c.parts.iter().all(|p| p.site == site))
+                .count();
+            let partial = tp
+                .copies
+                .iter()
+                .any(|c| c.parts.len() > 1 && c.parts.iter().any(|p| p.site == site));
+            if partial {
+                return Err(DbError::internal(format!(
+                    "{site} holds a partition of {:?}; re-home it before decommission",
+                    tp.name
+                )));
+            }
+            if whole > 0 {
+                if tp.copies.len() - whole == 0 {
+                    return Err(DbError::Unrecoverable(format!(
+                        "decommissioning {site} would drop the last copy of {:?}",
+                        tp.name
+                    )));
+                }
+                affected.push(tp.name.clone());
+            }
+        }
+        for tp in self.tables.values_mut() {
+            tp.copies
+                .retain(|c| !c.parts.iter().all(|p| p.site == site));
+        }
+        self.addresses.remove(&site);
+        self.joining.retain(|(_, s)| *s != site);
+        self.bump();
+        affected.sort();
+        Ok(affected)
+    }
+
     pub fn set_coordinator_addr(&mut self, addr: &str) {
         self.coordinator_addr = Some(addr.to_string());
+        self.bump();
     }
 
     pub fn coordinator_addr(&self) -> DbResult<&str> {
@@ -219,13 +366,21 @@ impl Placement {
             .find(|p| p.site == failed)
             .map(|p| p.predicate.clone())
             .ok_or_else(|| DbError::internal(format!("{failed} holds no part of {table}")))?;
+        // A buddy must be *current live membership* at plan time — not
+        // merely "not in the caller's down set". A decommissioned site
+        // lingers in stale part lists only until the catalog mutation
+        // lands, and a joining site's copy is still incomplete; naming
+        // either as buddy would recover from a vanished or partial
+        // replica.
+        let buddy_ok = |p: &Part| {
+            p.site != failed
+                && !down.contains(&p.site)
+                && self.addresses.contains_key(&p.site)
+                && !self.joining.contains(&(table.to_string(), p.site))
+        };
         // First copy that avoids the failed site and every down site.
         for (chosen, copy) in tp.copies.iter().enumerate() {
-            let usable = copy
-                .parts
-                .iter()
-                .all(|p| p.site != failed && !down.contains(&p.site));
-            if !usable {
+            if !copy.parts.iter().all(&buddy_ok) {
                 continue;
             }
             // Other live full copies can answer the same ranged recovery
@@ -240,8 +395,7 @@ impl Placement {
                     *i != chosen
                         && c.parts.len() == 1
                         && c.parts[0].predicate.is_none()
-                        && c.parts[0].site != failed
-                        && !down.contains(&c.parts[0].site)
+                        && buddy_ok(&c.parts[0])
                 })
                 .map(|(_, c)| c.parts[0].site)
                 .collect();
@@ -271,6 +425,116 @@ impl Placement {
              (more than K failures?)"
         )))
     }
+
+    /// Test-only: poke the address book directly to simulate a stale
+    /// catalog (copy entries outliving membership).
+    #[cfg(test)]
+    pub(crate) fn mutate_addresses_for_test(
+        &mut self,
+        f: impl FnOnce(&mut HashMap<SiteId, String>),
+    ) {
+        f(&mut self.addresses);
+    }
+}
+
+/// One shared, runtime-mutable placement catalog.
+///
+/// The coordinator and the cluster facade hold clones of the same handle,
+/// so a membership mutation (join, decommission, re-replication) is
+/// immediately visible to transaction routing, read fail-over, and
+/// recovery planning. Readers take short-lived snapshots or cloned-out
+/// values — no guard ever spans an RPC (the lock-across-blocking rule).
+#[derive(Clone, Default)]
+pub struct SharedPlacement {
+    inner: Arc<RwLock<Placement>>,
+}
+
+impl From<Placement> for SharedPlacement {
+    fn from(p: Placement) -> Self {
+        SharedPlacement {
+            inner: Arc::new(RwLock::new(p)),
+        }
+    }
+}
+
+impl SharedPlacement {
+    pub fn new(p: Placement) -> Self {
+        p.into()
+    }
+
+    /// A point-in-time copy of the whole catalog (what a recovery run
+    /// plans against).
+    pub fn snapshot(&self) -> Placement {
+        self.inner.read().clone()
+    }
+
+    pub fn version(&self) -> u64 {
+        self.inner.read().version()
+    }
+
+    /// Runs `f` under the read lock. `f` must not block (no RPCs, no
+    /// sleeps); clone out whatever outlives the call.
+    pub fn read<R>(&self, f: impl FnOnce(&Placement) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` under the write lock; same no-blocking contract.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Placement) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    pub fn address(&self, site: SiteId) -> DbResult<String> {
+        self.read(|p| p.address(site).map(str::to_string))
+    }
+
+    pub fn coordinator_addr(&self) -> DbResult<String> {
+        self.read(|p| p.coordinator_addr().map(str::to_string))
+    }
+
+    pub fn sites_for(&self, table: &str) -> DbResult<Vec<SiteId>> {
+        self.read(|p| p.sites_for(table))
+    }
+
+    pub fn sites_for_insert(
+        &self,
+        table: &str,
+        user_values: &[harbor_common::Value],
+    ) -> DbResult<Vec<SiteId>> {
+        self.read(|p| p.sites_for_insert(table, user_values))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.read(|p| p.table_names())
+    }
+
+    pub fn objects_on(&self, site: SiteId) -> Vec<(String, Option<Expr>)> {
+        self.read(|p| p.objects_on(site))
+    }
+
+    pub fn k_for(&self, table: &str) -> DbResult<usize> {
+        self.read(|p| p.k_for(table))
+    }
+
+    pub fn is_member(&self, site: SiteId) -> bool {
+        self.read(|p| p.is_member(site))
+    }
+
+    pub fn member_sites(&self) -> Vec<SiteId> {
+        self.read(|p| p.member_sites())
+    }
+
+    pub fn joining_copies(&self) -> Vec<(String, SiteId)> {
+        self.read(|p| p.joining_copies())
+    }
+
+    pub fn recovery_plan(
+        &self,
+        failed: SiteId,
+        table: &str,
+        down: &HashSet<SiteId>,
+    ) -> DbResult<Vec<RecoveryObject>> {
+        self.read(|p| p.recovery_plan(failed, table, down))
+    }
 }
 
 #[cfg(test)]
@@ -281,9 +545,18 @@ mod tests {
         SiteId(n)
     }
 
+    /// Registers addresses for sites 1..=n (recovery planning filters
+    /// buddies against the address book, i.e. live membership).
+    fn with_members(p: &mut Placement, n: u16) {
+        for i in 1..=n {
+            p.set_address(s(i), &format!("site-{i}"));
+        }
+    }
+
     #[test]
     fn replicated_table_recovery_uses_one_buddy() {
         let mut p = Placement::new();
+        with_members(&mut p, 3);
         p.add_replicated_table("sales", &[s(1), s(2), s(3)]);
         assert_eq!(p.k_for("sales").unwrap(), 2);
         let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
@@ -308,6 +581,7 @@ mod tests {
         // employee_id over sites 2 and 3. Site 1 fails; its recovery
         // predicate is the whole table here (it held a full copy).
         let mut p = Placement::new();
+        with_members(&mut p, 3);
         let id_col = 2; // first user field
         p.add_table(
             "employees",
@@ -339,6 +613,7 @@ mod tests {
     #[test]
     fn recovery_plan_offers_live_full_copies_as_alternates() {
         let mut p = Placement::new();
+        with_members(&mut p, 4);
         p.add_replicated_table("sales", &[s(1), s(2), s(3), s(4)]);
         let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
         assert_eq!(plan[0].buddy, s(2));
@@ -352,6 +627,7 @@ mod tests {
         // recovery object by itself.
         let id_col = 2;
         let mut p = Placement::new();
+        with_members(&mut p, 4);
         p.add_table(
             "emp",
             vec![
@@ -391,6 +667,7 @@ mod tests {
         // 1-safe: R on S1,S2; R' on S3,S4. Failures of S1 and S3 together
         // are tolerated because at most one failure hits each relation.
         let mut p = Placement::new();
+        with_members(&mut p, 4);
         p.add_replicated_table("r", &[s(1), s(2)]);
         p.add_replicated_table("r2", &[s(3), s(4)]);
         let down: HashSet<SiteId> = [s(3)].into_iter().collect();
@@ -399,5 +676,123 @@ mod tests {
         let down: HashSet<SiteId> = [s(1)].into_iter().collect();
         let plan = p.recovery_plan(s(3), "r2", &down).unwrap();
         assert_eq!(plan[0].buddy, s(4));
+    }
+
+    /// Regression for placement-plan staleness: a site that was
+    /// decommissioned (gone from the address book) but still named in a
+    /// stale part list must never be chosen as buddy or alternate, even
+    /// when the caller's `down` set does not mention it — fail-over
+    /// targets are filtered against live membership at plan time.
+    #[test]
+    fn recovery_plan_skips_decommissioned_sites() {
+        let mut p = Placement::new();
+        with_members(&mut p, 3);
+        p.add_replicated_table("sales", &[s(1), s(2), s(3)]);
+        // Simulate the stale-catalog hazard: site 2 leaves the address
+        // book while its copy entry lingers (the window between the two
+        // halves of a decommission, or a snapshot raced with one).
+        p.mutate_addresses_for_test(|a| {
+            a.remove(&s(2));
+        });
+        let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
+        assert_eq!(plan[0].buddy, s(3), "buddy must be a live member");
+        assert!(
+            !plan[0].alternates.contains(&s(2)),
+            "decommissioned site offered as alternate"
+        );
+        // A clean decommission removes the copy too, and k shrinks.
+        let mut p = Placement::new();
+        with_members(&mut p, 3);
+        p.add_replicated_table("sales", &[s(1), s(2), s(3)]);
+        assert_eq!(p.k_for("sales").unwrap(), 2);
+        let affected = p.remove_site(s(2)).unwrap();
+        assert_eq!(affected, vec!["sales".to_string()]);
+        assert_eq!(p.k_for("sales").unwrap(), 1);
+        let plan = p.recovery_plan(s(1), "sales", &HashSet::new()).unwrap();
+        assert_eq!(plan[0].buddy, s(3));
+    }
+
+    /// A joining site's copy is allocated (and routable) before its data
+    /// is complete; recovery planning must not hand it out as a buddy
+    /// until its Phase-3 handshake finishes.
+    #[test]
+    fn recovery_plan_skips_joining_copies() {
+        let mut p = Placement::new();
+        with_members(&mut p, 2);
+        p.add_replicated_table("sales", &[s(1), s(2)]);
+        p.set_address(s(3), "site-3");
+        p.add_full_copy("sales", s(3)).unwrap();
+        assert!(p.is_copy_joining("sales", s(3)));
+        let down: HashSet<SiteId> = [s(2)].into_iter().collect();
+        // Only the joining copy avoids failed+down: planning must fail
+        // rather than bootstrap from an incomplete replica.
+        assert!(matches!(
+            p.recovery_plan(s(1), "sales", &down),
+            Err(DbError::Unrecoverable(_))
+        ));
+        // The joining site itself plans against current copies only.
+        let plan = p.recovery_plan(s(3), "sales", &HashSet::new()).unwrap();
+        assert_eq!(plan[0].buddy, s(1));
+        assert_eq!(plan[0].alternates, vec![s(2)]);
+        // Once announced online it serves like any other copy.
+        p.finish_copy_join("sales", s(3));
+        let plan = p.recovery_plan(s(1), "sales", &down).unwrap();
+        assert_eq!(plan[0].buddy, s(3));
+    }
+
+    #[test]
+    fn remove_site_guards_last_copy_and_partitions() {
+        let mut p = Placement::new();
+        with_members(&mut p, 3);
+        p.add_replicated_table("solo", &[s(1)]);
+        assert!(matches!(
+            p.remove_site(s(1)),
+            Err(DbError::Unrecoverable(_))
+        ));
+        let id_col = 2;
+        let mut p = Placement::new();
+        with_members(&mut p, 3);
+        p.add_table(
+            "emp",
+            vec![
+                Copy {
+                    parts: vec![Part::full(s(1))],
+                },
+                Copy {
+                    parts: vec![
+                        Part::partition(s(2), Expr::col(id_col).lt(Expr::lit(10i64))),
+                        Part::partition(s(3), Expr::col(id_col).ge(Expr::lit(10i64))),
+                    ],
+                },
+            ],
+        );
+        // Site 2 holds a piece of a multi-site copy: refuse until re-homed.
+        assert!(p.remove_site(s(2)).is_err());
+        // Site 1's whole copy can go (the partitioned copy remains).
+        assert_eq!(p.remove_site(s(1)).unwrap(), vec!["emp".to_string()]);
+        assert!(!p.is_member(s(1)));
+    }
+
+    #[test]
+    fn catalog_mutations_bump_version() {
+        let p = SharedPlacement::default();
+        let v0 = p.version();
+        p.mutate(|pl| pl.set_address(s(1), "a"));
+        p.mutate(|pl| pl.add_replicated_table("t", &[s(1)]));
+        assert!(p.version() > v0);
+        let v1 = p.version();
+        p.mutate(|pl| {
+            pl.set_address(s(2), "b");
+            pl.add_full_copy("t", s(2))
+        })
+        .unwrap();
+        assert!(p.version() > v1);
+        assert_eq!(p.joining_copies(), vec![("t".to_string(), s(2))]);
+        let snap = p.snapshot();
+        p.mutate(|pl| pl.finish_copy_join("t", s(2)));
+        // The snapshot is a point in time, not a live view.
+        assert!(snap.is_copy_joining("t", s(2)));
+        assert!(p.joining_copies().is_empty());
+        assert_eq!(p.member_sites(), vec![s(1), s(2)]);
     }
 }

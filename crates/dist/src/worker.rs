@@ -74,6 +74,10 @@ pub struct Worker {
     engine: Arc<Engine>,
     transport: Arc<dyn Transport>,
     dist_txns: Arc<Mutex<HashMap<TransactionId, DistTxn>>>,
+    /// Live peer address book, seeded from `cfg.peers` and edited at
+    /// runtime as sites join and leave the cluster (consensus must reach
+    /// the *current* membership, not the birth roster).
+    peers: Mutex<HashMap<SiteId, String>>,
     shutdown: Arc<AtomicBool>,
     /// Set by [`CrashPoint::WorkerAfterPtcAck`]: crash as soon as the reply
     /// currently being produced is on the wire.
@@ -101,11 +105,13 @@ impl Worker {
         listener: Box<dyn harbor_net::Listener>,
     ) -> DbResult<Arc<Worker>> {
         cfg.addr = listener.local_addr();
+        let peers = Mutex::new(cfg.peers.clone());
         let worker = Arc::new(Worker {
             cfg,
             engine,
             transport,
             dist_txns: Arc::new(Mutex::new(HashMap::new())),
+            peers,
             shutdown: Arc::new(AtomicBool::new(false)),
             crash_after_reply: AtomicBool::new(false),
             handles: Mutex::new(Vec::new()),
@@ -449,8 +455,16 @@ impl Worker {
         }
         // A higher-ranked live site is the backup: follow the termination
         // protocol by polling its view of the transaction and adopting the
-        // outcome it reaches.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        // outcome it reaches. Paced by the shared seeded-backoff schedule
+        // (per-site seed decorrelates concurrent elections) instead of an
+        // ad-hoc fixed-sleep wall-clock deadline.
+        let policy = harbor_common::RetryPolicy::new(
+            200,
+            std::time::Duration::from_millis(25),
+            std::time::Duration::from_millis(100),
+            0x0BAC_C0FF ^ u64::from(self.cfg.site.0),
+        );
+        let mut attempt = 0u32;
         loop {
             match consensus::query_backup_state(self, tid, &workers) {
                 Some(BackupState::Committed(t)) => {
@@ -474,10 +488,11 @@ impl Worker {
                 _ => {
                     // Backup undecided (or we are next in line if it died):
                     // retry, re-running the election each time.
-                    if std::time::Instant::now() >= deadline {
+                    if attempt >= policy.attempts {
                         return Ok(false);
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    std::thread::sleep(policy.delay(attempt));
+                    attempt += 1;
                     if consensus::resolve(self, tid, &workers)? {
                         return Ok(true);
                     }
@@ -540,8 +555,20 @@ impl Worker {
         Ok(())
     }
 
-    pub(crate) fn peers(&self) -> &HashMap<SiteId, String> {
-        &self.cfg.peers
+    /// One peer's current address (owned — no guard escapes, so callers
+    /// are free to block on the connection).
+    pub(crate) fn peer_addr(&self, site: SiteId) -> Option<String> {
+        self.peers.lock().get(&site).cloned()
+    }
+
+    /// Registers (or re-addresses) a peer that joined the cluster.
+    pub fn add_peer(&self, site: SiteId, addr: &str) {
+        self.peers.lock().insert(site, addr.to_string());
+    }
+
+    /// Forgets a decommissioned peer.
+    pub fn remove_peer(&self, site: SiteId) {
+        self.peers.lock().remove(&site);
     }
 
     pub(crate) fn transport(&self) -> &Arc<dyn Transport> {
@@ -735,7 +762,10 @@ impl Worker {
                 Ok(Response::TxnState { state })
             }
             Request::Ping => Ok(Response::Ok),
-            Request::GetTime | Request::RecComingOnline { .. } => {
+            Request::GetTime
+            | Request::RecComingOnline { .. }
+            | Request::JoinSite { .. }
+            | Request::DecommissionSite { .. } => {
                 Err(DbError::protocol("request must be sent to a coordinator"))
             }
         }

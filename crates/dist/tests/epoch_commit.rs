@@ -113,6 +113,7 @@ fn build(
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
             crash_schedule: crash_schedule.clone(),
             epoch_commit: Some(epoch),
+            degrade_read_only: false,
         },
         placement,
         transport,

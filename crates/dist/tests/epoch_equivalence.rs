@@ -137,6 +137,7 @@ fn build_mode(name: &str, case: u64, epoch: Option<EpochCommitConfig>, streams: 
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
             crash_schedule: Default::default(),
             epoch_commit: epoch,
+            degrade_read_only: false,
         },
         placement,
         transport,

@@ -173,12 +173,14 @@ const BLOCKING_METHODS: [&str; 9] = [
 
 /// Free-function / repo helper names that block internally (RPC round
 /// trips, retry loops). Matched as `name(`.
-const BLOCKING_HELPERS: [&str; 5] = [
+const BLOCKING_HELPERS: [&str; 7] = [
     "rpc_live",
     "rpc_liveness",
     "rpc_expect_ok",
     "scan_rpc_deadline",
     "with_read_retries",
+    "retry_transient",
+    "retry_with",
 ];
 
 /// Idents banned outright in determinism-contract modules.

@@ -117,6 +117,7 @@ fn build() -> Fixture {
             read_retries: harbor_dist::DEFAULT_READ_RETRIES,
             crash_schedule: Default::default(),
             epoch_commit: None,
+            degrade_read_only: false,
         },
         placement.clone(),
         transport.clone(),
@@ -274,6 +275,10 @@ fn partitioned_copies_route_and_recover() {
 fn more_than_k_failures_is_unrecoverable() {
     let placement = {
         let mut p = Placement::new();
+        // Recovery planning filters buddies against the address book
+        // (live membership), so register both sites as members.
+        p.set_address(SiteId(1), "site-1");
+        p.set_address(SiteId(2), "site-2");
         p.add_replicated_table("r", &[SiteId(1), SiteId(2)]);
         p
     };
