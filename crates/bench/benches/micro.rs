@@ -280,7 +280,7 @@ fn bench_scan(_c: &mut Criterion) {
     use harbor_common::{FieldType, StorageConfig, Tuple, Value};
     use harbor_dist::message::TuplesFrameBuilder;
     use harbor_engine::{Engine, EngineOptions};
-    use harbor_exec::{collect, ReadMode, SeqScan};
+    use harbor_exec::{collect, index_lookup, Admission, ParallelSeqScan, ReadMode, SeqScan};
 
     let scale = Scale::from_env();
     let rows: i64 = if smoke_only() {
@@ -324,6 +324,9 @@ fn bench_scan(_c: &mut Criterion) {
         );
         e.insert_recovered(def.id, &t).unwrap();
     }
+    // Flush populates the per-page zone maps, so the chunked scan exercises
+    // its fully-visible fast path exactly as a warm production replica would.
+    e.pool().flush_all().unwrap();
     let pool = e.pool().clone();
     let desc = pool.table(def.id).unwrap().desc().clone();
 
@@ -357,9 +360,60 @@ fn bench_scan(_c: &mut Criterion) {
     measure(
         "seq_scan_batched",
         Box::new(|| {
+            // Pinned to scalar admission: this is the pre-chunking baseline
+            // row the CI bench-smoke regression gate compares against.
+            let mut s = SeqScan::new(pool.clone(), def.id, ReadMode::Historical(Timestamp(15)))
+                .unwrap()
+                .with_admission(Admission::Scalar);
+            collect(&mut s).unwrap().len()
+        }),
+    );
+    measure(
+        "seq_scan_chunked",
+        Box::new(|| {
+            let mut s = SeqScan::new(pool.clone(), def.id, ReadMode::Historical(Timestamp(15)))
+                .unwrap()
+                .with_admission(Admission::Chunked);
+            collect(&mut s).unwrap().len()
+        }),
+    );
+    for workers in [2usize, 4] {
+        measure(
+            &format!("seq_scan_parallel{workers}"),
+            Box::new(|| {
+                let mut s = ParallelSeqScan::new(
+                    pool.clone(),
+                    def.id,
+                    ReadMode::Historical(Timestamp(15)),
+                    workers,
+                )
+                .unwrap();
+                collect(&mut s).unwrap().len()
+            }),
+        );
+    }
+    // Point reads: one key probed per iteration — full-scan-and-filter vs
+    // the tuple-id index (thesis §5.3). Same `rows` denominator, so the
+    // ns/row ratio is exactly the median ratio the acceptance bar uses.
+    let probe_key = rows / 2;
+    measure(
+        "point_read_scan",
+        Box::new(|| {
             let mut s =
                 SeqScan::new(pool.clone(), def.id, ReadMode::Historical(Timestamp(15))).unwrap();
-            collect(&mut s).unwrap().len()
+            collect(&mut s)
+                .unwrap()
+                .iter()
+                .filter(|t| t.get(2) == &Value::Int64(probe_key))
+                .count()
+        }),
+    );
+    measure(
+        "point_read_index",
+        Box::new(|| {
+            index_lookup(&e, def.id, probe_key, ReadMode::Historical(Timestamp(15)))
+                .unwrap()
+                .len()
         }),
     );
     measure(

@@ -114,6 +114,12 @@ struct Counters {
     auto_repairs: AtomicU64,
     /// Attempts re-run by the shared seeded-backoff retry helper.
     backoff_retries: AtomicU64,
+    /// Key-index rebuilds (cold build after restart or post-invalidation).
+    index_rebuilds: AtomicU64,
+    /// Key-index probes that found at least one record id.
+    index_hits: AtomicU64,
+    /// Key-index probes that found no record id.
+    index_misses: AtomicU64,
 }
 
 macro_rules! counter {
@@ -238,6 +244,9 @@ impl Metrics {
     counter!(add_decommissions, decommissions, decommissions);
     counter!(add_auto_repairs, auto_repairs, auto_repairs);
     counter!(add_backoff_retries, backoff_retries, backoff_retries);
+    counter!(add_index_rebuilds, index_rebuilds, index_rebuilds);
+    counter!(add_index_hits, index_hits, index_hits);
+    counter!(add_index_misses, index_misses, index_misses);
 
     /// Records one decided commit epoch of `n` transactions: bumps the
     /// epoch counters and the matching size-histogram bucket.
@@ -303,6 +312,9 @@ impl Metrics {
             decommissions: self.decommissions(),
             auto_repairs: self.auto_repairs(),
             backoff_retries: self.backoff_retries(),
+            index_rebuilds: self.index_rebuilds(),
+            index_hits: self.index_hits(),
+            index_misses: self.index_misses(),
         }
     }
 }
@@ -357,6 +369,9 @@ pub struct MetricsSnapshot {
     pub decommissions: u64,
     pub auto_repairs: u64,
     pub backoff_retries: u64,
+    pub index_rebuilds: u64,
+    pub index_hits: u64,
+    pub index_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -448,6 +463,9 @@ impl MetricsSnapshot {
             decommissions: self.decommissions.saturating_sub(earlier.decommissions),
             auto_repairs: self.auto_repairs.saturating_sub(earlier.auto_repairs),
             backoff_retries: self.backoff_retries.saturating_sub(earlier.backoff_retries),
+            index_rebuilds: self.index_rebuilds.saturating_sub(earlier.index_rebuilds),
+            index_hits: self.index_hits.saturating_sub(earlier.index_hits),
+            index_misses: self.index_misses.saturating_sub(earlier.index_misses),
         }
     }
 
@@ -463,13 +481,17 @@ impl MetricsSnapshot {
         };
         format!(
             "pool_hits={} pool_misses={} ({hit_pct:.1}% hit) evictions={} \
-             rows_admitted={} rows_skipped_predecode={} bytes_zero_copy={}",
+             rows_admitted={} rows_skipped_predecode={} bytes_zero_copy={} \
+             index_rebuilds={} index_hits={} index_misses={}",
             self.pool_hits,
             self.pool_misses,
             self.evictions,
             self.scan_rows_admitted,
             self.scan_rows_skipped_predecode,
             self.scan_bytes_zero_copy,
+            self.index_rebuilds,
+            self.index_hits,
+            self.index_misses,
         )
     }
 

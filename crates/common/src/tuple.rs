@@ -126,6 +126,13 @@ impl Tuple {
         Ok(Tuple { values })
     }
 
+    /// Deserializes a fixed-width tuple through a precompiled [`FixedLayout`]
+    /// — the chunked scan's decode path, which hoists the per-field
+    /// type/offset walk out of the row loop.
+    pub fn read_layout(layout: &FixedLayout, bytes: &[u8]) -> DbResult<Tuple> {
+        layout.decode(bytes)
+    }
+
     /// Serializes with a self-describing (variable) layout, for the wire.
     pub fn write_wire(&self, enc: &mut Encoder) {
         enc.put_u16(self.values.len() as u16);
@@ -257,6 +264,65 @@ fn transcode_field(
         }
     }
     Ok(())
+}
+
+/// A stored schema's fixed encoding, flattened to `(type, offset)` pairs in
+/// one contiguous vector. Built once per scan so the hot decode loop walks
+/// a local slice instead of chasing the descriptor per field.
+pub struct FixedLayout {
+    fields: Vec<(FieldType, usize)>,
+    width: usize,
+}
+
+impl FixedLayout {
+    pub fn new(desc: &TupleDesc) -> Self {
+        let fields = (0..desc.len())
+            .map(|i| (desc.field_type(i), desc.field_offset(i)))
+            .collect();
+        FixedLayout {
+            fields,
+            width: desc.byte_width(),
+        }
+    }
+
+    /// Decodes one stored row; equivalent to [`Tuple::read_fixed`] over the
+    /// same descriptor. `#[inline]` so the per-page scan loops in other
+    /// crates can absorb it without LTO.
+    #[inline]
+    pub fn decode(&self, bytes: &[u8]) -> DbResult<Tuple> {
+        let Some(bytes) = bytes.get(..self.width) else {
+            return Err(DbError::corrupt("stored tuple shorter than its layout"));
+        };
+        let mut values = Vec::with_capacity(self.fields.len());
+        for &(ty, off) in &self.fields {
+            let v = match ty {
+                FieldType::Int32 => {
+                    let mut b = [0u8; 4];
+                    b.copy_from_slice(&bytes[off..off + 4]);
+                    Value::Int32(i32::from_le_bytes(b))
+                }
+                FieldType::Int64 => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&bytes[off..off + 8]);
+                    Value::Int64(i64::from_le_bytes(b))
+                }
+                FieldType::Time => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&bytes[off..off + 8]);
+                    Value::Time(Timestamp(u64::from_le_bytes(b)))
+                }
+                FieldType::FixedStr(n) => {
+                    let raw = &bytes[off..off + n as usize];
+                    let end = raw.iter().position(|&b| b == 0).unwrap_or(raw.len());
+                    let s = std::str::from_utf8(&raw[..end])
+                        .map_err(|_| DbError::corrupt("invalid utf-8 in fixed string"))?;
+                    Value::Str(s.to_string())
+                }
+            };
+            values.push(v);
+        }
+        Ok(Tuple { values })
+    }
 }
 
 /// Reads the insertion and deletion timestamps straight from the fixed

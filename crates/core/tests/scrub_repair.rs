@@ -246,6 +246,50 @@ fn bit_flip_during_phase2_recovery_is_detected_and_refetched() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression for the zone-map vs disk-fault plane: a torn write that
+/// kills a page's checksum trailer must also invalidate the page's
+/// zone-map entry, so admission fast paths never trust timestamp bounds
+/// for a page whose disk image no longer verifies.
+#[test]
+fn torn_page_invalidates_its_zone_map_entry() {
+    let dir = temp_dir("zone-invalidate");
+    let cluster = Cluster::build(&dir, ClusterConfig::for_tests(ProtocolKind::Opt3pc)).unwrap();
+    load(&cluster, 400);
+    let site = SiteId(1);
+    // Flush stores zone entries under the frame latch, then the cache
+    // goes cold so the next read must trust the disk image.
+    evict_all(&cluster, site);
+    let pages = occupied_disk_pages(&cluster, site);
+    let e = cluster.engine(site).unwrap();
+    let def = e.table_def("sales").unwrap();
+    let heap = e.pool().table(def.id).unwrap();
+    assert!(
+        heap.zone_entry(pages[0]).is_some(),
+        "flush must have built a zone entry for an occupied page"
+    );
+
+    flip_bit_on_disk(&dir, site, &table_file(&cluster, site), pages[0]);
+    assert!(
+        heap.read_page(pages[0]).is_err(),
+        "flipped bit must fail checksum verification"
+    );
+    assert!(
+        heap.zone_entry(pages[0]).is_none(),
+        "corrupt page must drop its zone-map entry"
+    );
+
+    // Scrub restores the page from a buddy; the site converges and the
+    // zone map repopulates lazily on the next flush of the healed frame.
+    let report = cluster.scrub_worker(site).unwrap();
+    assert_eq!(report.corrupt_pages, 1);
+    assert_eq!(
+        version_history(&cluster, site),
+        version_history(&cluster, SiteId(2))
+    );
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn scrub_without_a_live_buddy_reports_unrecoverable() {
     let dir = temp_dir("no-buddy");

@@ -416,6 +416,15 @@ pub enum Request {
     DecommissionSite {
         site: SiteId,
     },
+    /// Index-backed point read: all versions of the tuple with primary key
+    /// `key` visible under `mode` (§5.3's tuple-id index). Answered with a
+    /// single non-streamed [`Response::Tuples`] (`done = true`) — the probe
+    /// touches a handful of record ids, never a page range.
+    PointRead {
+        table: String,
+        key: i64,
+        mode: WireReadMode,
+    },
 }
 
 /// Worker-visible transaction state, for consensus (§4.3.3 / Table 4.1).
@@ -593,6 +602,12 @@ impl Wire for Request {
                 enc.put_u8(18);
                 enc.put_u16(site.0);
             }
+            Request::PointRead { table, key, mode } => {
+                enc.put_u8(19);
+                enc.put_str(table);
+                enc.put_i64(*key);
+                mode.encode(enc);
+            }
         }
     }
 
@@ -703,6 +718,11 @@ impl Wire for Request {
             },
             18 => Request::DecommissionSite {
                 site: SiteId(dec.get_u16()?),
+            },
+            19 => Request::PointRead {
+                table: dec.get_str()?,
+                key: dec.get_i64()?,
+                mode: WireReadMode::decode(dec)?,
             },
             t => return Err(DbError::corrupt(format!("bad request tag {t}"))),
         })
@@ -1043,6 +1063,16 @@ mod tests {
             addr: "127.0.0.1:4077".into(),
         });
         round_trip_req(Request::DecommissionSite { site: SiteId(7) });
+        round_trip_req(Request::PointRead {
+            table: "sales".into(),
+            key: -42,
+            mode: WireReadMode::Historical(Timestamp(10)),
+        });
+        round_trip_req(Request::PointRead {
+            table: "sales".into(),
+            key: 7,
+            mode: WireReadMode::Current(tid),
+        });
     }
 
     #[test]

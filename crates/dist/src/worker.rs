@@ -761,6 +761,18 @@ impl Worker {
                 };
                 Ok(Response::TxnState { state })
             }
+            Request::PointRead { table, key, mode } => {
+                let def = self
+                    .engine
+                    .table_def(table)
+                    .ok_or_else(|| DbError::Schema(format!("no table {table:?}")))?;
+                let batch =
+                    harbor_exec::index_lookup(&self.engine, def.id, *key, read_mode(*mode))?
+                        .into_iter()
+                        .map(|(_, t)| t)
+                        .collect();
+                Ok(Response::Tuples { batch, done: true })
+            }
             Request::Ping => Ok(Response::Ok),
             Request::GetTime
             | Request::RecComingOnline { .. }
@@ -907,15 +919,7 @@ impl Worker {
                 return self.stream_deletions_from_log(scan, def.id, after, chan);
             }
         }
-        let mode = match scan.mode {
-            WireReadMode::Historical(t) => ReadMode::Historical(t),
-            WireReadMode::SeeDeletedHistorical(t) => ReadMode::SeeDeletedHistorical(t),
-            // The recovering site already holds a table-granularity read
-            // lock (Phase 3); per-page locks would be redundant and would
-            // outlive the table lock's release. Latch-only access suffices.
-            WireReadMode::SeeDeletedLocked(_) => ReadMode::SeeDeleted,
-            WireReadMode::Current(tid) => ReadMode::Current(tid),
-        };
+        let mode = read_mode(scan.mode);
         let bounds = ScanBounds {
             ins_at_or_before: scan.ins_at_or_before,
             ins_after: scan.ins_after,
@@ -1018,48 +1022,30 @@ impl Worker {
         let scan_batch = self.cfg.scan_batch.max(1);
         let metrics = self.engine.metrics().clone();
         let lock_tid = mode.lock_tid();
-        // (tuple_id, deletion_time) projection: key is the first user field.
-        let id_del_cols = [2usize, 1usize];
+        // Fan out across contiguous page partitions when the scan is
+        // lock-free and large enough to amortise the worker threads. Locked
+        // modes stay serial: transactional page locks must be acquired by
+        // the one thread that owns the transaction.
+        let workers = if lock_tid.is_some() {
+            1
+        } else {
+            harbor_common::config::DEFAULT_SCAN_WORKERS
+                .min(pages.len() / harbor_common::config::PARALLEL_SCAN_MIN_PAGES)
+                .max(1)
+        };
+        if workers > 1 {
+            return self.stream_scan_zero_copy_parallel(
+                scan, &pool, &pages, workers, mode, desc, &metrics, chan,
+            );
+        }
         let mut frame = TuplesFrameBuilder::new();
         let mut admitted = 0u64;
         let mut skipped = 0u64;
         for pid in pages {
-            pool.with_page(lock_tid, pid, |page| {
-                for slot in page.occupied_slots() {
-                    let bytes = page.read(slot)?;
-                    let (ins, del) = raw_version_timestamps(bytes)?;
-                    let Some(masked) = mode.admit(ins, del) else {
-                        skipped += 1;
-                        continue;
-                    };
-                    // Residual bounds, re-applied per tuple exactly as the
-                    // legacy path's Expr did: insertion checks see the raw
-                    // value, the deletion check sees the masked one.
-                    let reject = scan.ins_at_or_before.is_some_and(|t| ins > t)
-                        || scan
-                            .ins_after
-                            .is_some_and(|t| ins <= t || ins == Timestamp::UNCOMMITTED)
-                        || scan.del_after.is_some_and(|t| masked <= t);
-                    if reject {
-                        skipped += 1;
-                        continue;
-                    }
-                    if scan.ids_and_deletions_only {
-                        transcode_fixed_cols_to_wire(
-                            desc,
-                            bytes,
-                            &id_del_cols,
-                            masked,
-                            frame.encoder(),
-                        )?;
-                    } else {
-                        transcode_fixed_to_wire(desc, bytes, masked, frame.encoder())?;
-                    }
-                    frame.note_row();
-                    admitted += 1;
-                }
-                Ok(())
-            })?;
+            let (a, s) =
+                transcode_page_into_frame(scan, &pool, lock_tid, pid, mode, desc, &mut frame)?;
+            admitted += a;
+            skipped += s;
             if frame.rows() as usize >= scan_batch {
                 let full = std::mem::take(&mut frame);
                 self.ship_zero_copy_frame(full, false, &metrics, chan)?;
@@ -1070,6 +1056,104 @@ impl Worker {
         self.maybe_crash_serving_scan(scan)?;
         metrics.add_scan_rows_admitted(admitted);
         metrics.add_scan_rows_skipped_predecode(skipped);
+        Ok(())
+    }
+
+    /// Partitioned variant of the zero-copy scan service: the pruned page
+    /// range splits into `workers` contiguous partitions, each walked by
+    /// its own thread transcoding admitted rows into pre-framed buffers.
+    /// Frames travel through bounded channels to this (merging) thread,
+    /// which ships them in strict partition order, so for a given page list
+    /// the shipped row sequence is identical to the serial path's and
+    /// independent of thread interleaving. One final empty `done` frame
+    /// ends the stream exactly as the serial path would.
+    ///
+    /// Two invariants the lint/witness planes watch for: a worker finishes
+    /// and sends a frame only *after* the frame latch it was built under is
+    /// released (a blocked channel send must never hold a page latch), and
+    /// the pool draws no RNG and reads no wall clock — disk-fault ordinals
+    /// are per-(table, page, direction), so chaos traces replay
+    /// byte-identically however the partitions interleave.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_scan_zero_copy_parallel(
+        &self,
+        scan: &RemoteScan,
+        pool: &harbor_storage::BufferPool,
+        pages: &[harbor_common::PageId],
+        workers: usize,
+        mode: ReadMode,
+        desc: &harbor_common::TupleDesc,
+        metrics: &harbor_common::Metrics,
+        chan: &mut Box<dyn Channel>,
+    ) -> DbResult<()> {
+        let scan_batch = self.cfg.scan_batch.max(1);
+        let per = pages.len().div_ceil(workers).max(1);
+        std::thread::scope(|s| -> DbResult<()> {
+            let mut rxs = Vec::with_capacity(workers);
+            for (i, part) in pages.chunks(per).enumerate() {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<DbResult<(Vec<u8>, u32)>>(4);
+                rxs.push(rx);
+                std::thread::Builder::new()
+                    .name(format!("worker-{}-scan-{i}", self.cfg.site.0))
+                    .spawn_scoped(s, move || {
+                        let mut frame = TuplesFrameBuilder::new();
+                        let (mut admitted, mut skipped) = (0u64, 0u64);
+                        for &pid in part {
+                            match transcode_page_into_frame(
+                                scan, pool, None, pid, mode, desc, &mut frame,
+                            ) {
+                                Ok((a, sk)) => {
+                                    admitted += a;
+                                    skipped += sk;
+                                }
+                                Err(e) => {
+                                    let _ = tx.send(Err(e));
+                                    return;
+                                }
+                            }
+                            if frame.rows() as usize >= scan_batch {
+                                let full = std::mem::take(&mut frame);
+                                let rows = full.rows();
+                                // The page latch dropped when the transcode
+                                // returned; the potentially-blocking send
+                                // holds no guard.
+                                if tx.send(Ok((full.finish(false), rows))).is_err() {
+                                    return; // merger gone: stop quietly
+                                }
+                            }
+                        }
+                        if frame.rows() > 0 {
+                            let rows = frame.rows();
+                            let _ = tx.send(Ok((frame.finish(false), rows)));
+                        }
+                        metrics.add_scan_rows_admitted(admitted);
+                        metrics.add_scan_rows_skipped_predecode(skipped);
+                    })
+                    .map_err(|e| DbError::internal(format!("spawn scan worker: {e}")))?;
+            }
+            // Merge: drain partitions in order. A send/crash error returned
+            // here drops the receivers, which unblocks and retires every
+            // worker before the scope joins them.
+            for rx in &rxs {
+                loop {
+                    match rx.recv() {
+                        Ok(Ok((framed, rows))) => {
+                            metrics.add_recovery_tuples_shipped(rows as u64);
+                            let payload = (framed.len() - 4) as u64;
+                            metrics.add_recovery_bytes_shipped(payload);
+                            metrics.add_scan_bytes_zero_copy(payload);
+                            chan.send_framed(&framed)?;
+                            self.maybe_crash_serving_scan(scan)?;
+                        }
+                        Ok(Err(e)) => return Err(e),
+                        Err(_) => break, // partition exhausted
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        self.ship_zero_copy_frame(TuplesFrameBuilder::new(), true, metrics, chan)?;
+        self.maybe_crash_serving_scan(scan)?;
         Ok(())
     }
 
@@ -1178,6 +1262,69 @@ impl Worker {
         shipped.add_recovery_bytes_shipped((framed.len() - 4) as u64);
         chan.send_framed(&framed)?;
         Ok(())
+    }
+}
+
+/// Transcodes one page's admitted rows into `frame` under the page latch
+/// (plus a page lock when `lock_tid` is set), returning the
+/// `(admitted, skipped)` deltas. The latch guard is released before this
+/// returns — callers are free to block on channel or socket sends.
+fn transcode_page_into_frame(
+    scan: &RemoteScan,
+    pool: &harbor_storage::BufferPool,
+    lock_tid: Option<TransactionId>,
+    pid: harbor_common::PageId,
+    mode: ReadMode,
+    desc: &harbor_common::TupleDesc,
+    frame: &mut TuplesFrameBuilder,
+) -> DbResult<(u64, u64)> {
+    // (tuple_id, deletion_time) projection: key is the first user field.
+    let id_del_cols = [2usize, 1usize];
+    let mut admitted = 0u64;
+    let mut skipped = 0u64;
+    pool.with_page(lock_tid, pid, |page| {
+        for slot in page.occupied_slots() {
+            let bytes = page.read(slot)?;
+            let (ins, del) = raw_version_timestamps(bytes)?;
+            let Some(masked) = mode.admit(ins, del) else {
+                skipped += 1;
+                continue;
+            };
+            // Residual bounds, re-applied per tuple exactly as the
+            // legacy path's Expr did: insertion checks see the raw
+            // value, the deletion check sees the masked one.
+            let reject = scan.ins_at_or_before.is_some_and(|t| ins > t)
+                || scan
+                    .ins_after
+                    .is_some_and(|t| ins <= t || ins == Timestamp::UNCOMMITTED)
+                || scan.del_after.is_some_and(|t| masked <= t);
+            if reject {
+                skipped += 1;
+                continue;
+            }
+            if scan.ids_and_deletions_only {
+                transcode_fixed_cols_to_wire(desc, bytes, &id_del_cols, masked, frame.encoder())?;
+            } else {
+                transcode_fixed_to_wire(desc, bytes, masked, frame.encoder())?;
+            }
+            frame.note_row();
+            admitted += 1;
+        }
+        Ok(())
+    })?;
+    Ok((admitted, skipped))
+}
+
+/// Maps a wire-expressible read mode onto the engine's.
+fn read_mode(mode: WireReadMode) -> ReadMode {
+    match mode {
+        WireReadMode::Historical(t) => ReadMode::Historical(t),
+        WireReadMode::SeeDeletedHistorical(t) => ReadMode::SeeDeletedHistorical(t),
+        // The recovering site already holds a table-granularity read
+        // lock (Phase 3); per-page locks would be redundant and would
+        // outlive the table lock's release. Latch-only access suffices.
+        WireReadMode::SeeDeletedLocked(_) => ReadMode::SeeDeleted,
+        WireReadMode::Current(tid) => ReadMode::Current(tid),
     }
 }
 

@@ -154,6 +154,118 @@ fn streamed_scan_crosses_batch_boundaries() {
     let _ = std::fs::remove_dir_all(&f.dir);
 }
 
+/// A scan wide enough to cross the parallel fan-out threshold must return
+/// exactly the serial path's row sequence: the merge drains partitions in
+/// page order, so ids come back in insertion order however the worker
+/// threads interleave.
+#[test]
+fn parallel_scan_preserves_serial_row_order() {
+    let f = build("par-scan");
+    const N: i64 = 2500; // ~18 pages at 28 bytes/tuple: >= 2 partitions
+    let rows: Vec<Vec<Value>> = (0..N)
+        .map(|i| vec![Value::Int64(i), Value::Int32(i as i32)])
+        .collect();
+    let t = f.txn(
+        1,
+        vec![UpdateRequest::InsertMany {
+            table: "t".into(),
+            rows,
+        }],
+    );
+    let def = f.engine.table_def("t").unwrap();
+    let pages = f.engine.pool().table(def.id).unwrap().all_page_ids().len();
+    assert!(
+        pages >= 2 * harbor_common::config::PARALLEL_SCAN_MIN_PAGES,
+        "fixture too small to trigger the fan-out ({pages} pages)"
+    );
+    let mut chan = f.connect();
+    let tuples = scan_rpc(
+        chan.as_mut(),
+        &RemoteScan::new("t", WireReadMode::Historical(t)),
+    )
+    .unwrap();
+    assert_eq!(tuples.len(), N as usize);
+    for (i, tup) in tuples.iter().enumerate() {
+        assert_eq!(tup.get(2), &Value::Int64(i as i64), "row order diverged");
+    }
+    let _ = std::fs::remove_dir_all(&f.dir);
+}
+
+#[test]
+fn point_read_rpc_respects_visibility() {
+    let f = build("point-read");
+    let rows: Vec<Vec<Value>> = (0..50i64)
+        .map(|i| vec![Value::Int64(i), Value::Int32(i as i32)])
+        .collect();
+    let t1 = f.txn(
+        1,
+        vec![UpdateRequest::InsertMany {
+            table: "t".into(),
+            rows,
+        }],
+    );
+    // An update forks key 7 into two versions; a delete retires key 9.
+    let t2 = f.txn(
+        2,
+        vec![
+            UpdateRequest::UpdateByKey {
+                table: "t".into(),
+                key: 7,
+                set: vec![(1, Value::Int32(700))],
+            },
+            UpdateRequest::DeleteWhere {
+                table: "t".into(),
+                pred: Expr::col(2).eq(Expr::lit(9i64)),
+            },
+        ],
+    );
+    let mut chan = f.connect();
+    let point = |chan: &mut Box<dyn harbor_net::Channel>, key: i64, mode: WireReadMode| match rpc(
+        chan.as_mut(),
+        &Request::PointRead {
+            table: "t".into(),
+            key,
+            mode,
+        },
+    )
+    .unwrap()
+    {
+        Response::Tuples { batch, done } => {
+            assert!(done, "point reads are single-frame");
+            batch
+        }
+        other => panic!("{other:?}"),
+    };
+    // Latest snapshot: the updated version only.
+    let rows = point(&mut chan, 7, WireReadMode::Historical(t2));
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(3), &Value::Int32(700));
+    // Before the update: the original version.
+    let rows = point(&mut chan, 7, WireReadMode::Historical(t1));
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(3), &Value::Int32(7));
+    // Deleted key: gone at t2, visible at t1.
+    assert!(point(&mut chan, 9, WireReadMode::Historical(t2)).is_empty());
+    assert_eq!(point(&mut chan, 9, WireReadMode::Historical(t1)).len(), 1);
+    // Absent key.
+    assert!(point(&mut chan, 5000, WireReadMode::Historical(t2)).is_empty());
+    // Unknown table is an error, not a crash.
+    match rpc(
+        chan.as_mut(),
+        &Request::PointRead {
+            table: "nope".into(),
+            key: 1,
+            mode: WireReadMode::Historical(t2),
+        },
+    )
+    .unwrap()
+    {
+        Response::Err { msg } => assert!(msg.contains("nope")),
+        other => panic!("{other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&f.dir);
+}
+
 #[test]
 fn predicate_updates_and_deletes_over_the_wire() {
     let f = build("dml");

@@ -19,5 +19,8 @@ pub use dml::{run_delete, run_insert, run_update, run_update_by_key};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use join::NestedLoopsJoin;
 pub use op::{collect, Filter, Limit, Operator, Project, Values};
-pub use scan::{index_lookup, scan_rids, ReadMode, SeqScan};
+pub use scan::{
+    admit_chunk, index_lookup, scan_page_chunked, scan_rids, Admission, ParallelSeqScan, ReadMode,
+    SeqScan,
+};
 pub use sql::{execute as execute_sql, query as query_sql};

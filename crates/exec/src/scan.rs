@@ -23,13 +23,16 @@
 
 use crate::op::Operator;
 use harbor_common::codec::Decoder;
+use harbor_common::config::DEFAULT_SCAN_BATCH;
 use harbor_common::time::visible_at;
-use harbor_common::tuple::raw_version_timestamps;
+use harbor_common::tuple::{raw_version_timestamps, FixedLayout};
 use harbor_common::{
-    DbResult, Metrics, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple, TupleDesc,
+    DbError, DbResult, Metrics, PageId, RecordId, TableId, Timestamp, TransactionId, Tuple,
+    TupleDesc,
 };
-use harbor_storage::{BufferPool, ScanBounds};
+use harbor_storage::{BufferPool, ScanBounds, SegmentedHeapFile, ZoneEntry};
 use std::collections::VecDeque;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Visibility/locking mode for reads.
@@ -85,6 +88,220 @@ impl ReadMode {
     }
 }
 
+/// Admission strategy for scans: the original scalar per-row
+/// [`ReadMode::admit`] branch, or the chunked compare-mask kernel with
+/// zone-map fast paths. Chunked is the default; Scalar remains for
+/// comparison benches and the equivalence proptests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Admission {
+    Scalar,
+    #[default]
+    Chunked,
+}
+
+/// Chunked admission kernel: decides visibility for up to 64 slots at once.
+///
+/// `occ` is the page's occupancy word for the chunk (bit `i` = slot
+/// `chunk*64 + i` is live); `ins`/`del` are the raw timestamp columns
+/// gathered from the fixed slot offsets (lanes of unoccupied slots may hold
+/// garbage — `occ` masks them out). Returns `(admit, zero_del)`: bit `i` of
+/// `admit` means slot `i` is visible, bit `i` of `zero_del` means its
+/// deletion timestamp must be rewritten to ZERO (the §5.3 "deletions after
+/// the HWM appear undone" mask; only [`ReadMode::SeeDeletedHistorical`]
+/// sets it). The per-lane compares are branch-free so the compiler can
+/// autovectorize each mode's loop; equivalence with the scalar
+/// [`ReadMode::admit`] is pinned by proptests in `scan_equivalence.rs`.
+pub fn admit_chunk(mode: &ReadMode, occ: u64, ins: &[u64; 64], del: &[u64; 64]) -> (u64, u64) {
+    const UNC: u64 = u64::MAX;
+    let mut admit = 0u64;
+    let mut zero = 0u64;
+    match *mode {
+        ReadMode::Current(_) => {
+            for i in 0..64 {
+                let ok = ((ins[i] != UNC) & (del[i] == 0)) as u64;
+                admit |= ok << i;
+            }
+        }
+        ReadMode::Historical(t) => {
+            let t = t.0;
+            for i in 0..64 {
+                let ok = ((ins[i] != UNC) & (ins[i] <= t) & ((del[i] == 0) | (del[i] > t))) as u64;
+                admit |= ok << i;
+            }
+        }
+        ReadMode::SeeDeleted | ReadMode::SeeDeletedLocked(_) => admit = u64::MAX,
+        ReadMode::SeeDeletedHistorical(t) => {
+            let t = t.0;
+            for i in 0..64 {
+                let ok = ((ins[i] != UNC) & (ins[i] <= t)) as u64;
+                admit |= ok << i;
+                let z = (del[i] > t) as u64;
+                zero |= z << i;
+            }
+        }
+    }
+    (admit & occ, zero & occ)
+}
+
+/// Whole-page visibility classification from a zone-map summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ZoneClass {
+    /// Every occupied slot is visible with no timestamp rewriting: decode
+    /// straight from the occupancy words, no per-row admission.
+    AllVisible,
+    /// No occupied slot is visible: skip the page entirely.
+    NoneVisible,
+    /// Per-row admission required.
+    Mixed,
+}
+
+/// Little-endian timestamp word at `off` (the slice is always 8 bytes —
+/// offsets come from the page's own slot geometry).
+#[inline]
+fn ts_word(data: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn zone_class(mode: &ReadMode, z: &ZoneEntry) -> ZoneClass {
+    if z.rows == 0 {
+        return ZoneClass::NoneVisible;
+    }
+    match *mode {
+        ReadMode::Historical(t) => {
+            if z.min_del > Timestamp::ZERO && z.max_del <= t {
+                // Every row carries a deletion at or before t.
+                ZoneClass::NoneVisible
+            } else if !z.any_uncommitted && z.ins_max <= t && z.min_nonzero_del > t {
+                ZoneClass::AllVisible
+            } else {
+                ZoneClass::Mixed
+            }
+        }
+        ReadMode::Current(_) => {
+            if z.min_del > Timestamp::ZERO {
+                ZoneClass::NoneVisible
+            } else if !z.any_uncommitted && z.max_del == Timestamp::ZERO {
+                ZoneClass::AllVisible
+            } else {
+                ZoneClass::Mixed
+            }
+        }
+        // See-deleted modes admit every occupied slot anyway (handled
+        // before zone lookup); the historical variant rewrites deletion
+        // timestamps, so no whole-page shortcut applies.
+        _ => ZoneClass::Mixed,
+    }
+}
+
+/// Scans one page with the chunked kernel, appending admitted tuples to
+/// `out`. Returns `(admitted, skipped)` row counts; the caller owns
+/// metrics. Zone-map fast paths apply to lock-free [`ReadMode::Historical`]
+/// scans: a fully-dead page is skipped without faulting it in, a
+/// fully-visible page decodes straight off the occupancy words, and a page
+/// without a summary gets one computed lazily under the read latch (safe:
+/// mutators invalidate under the frame *write* latch, so the store is
+/// latch-serialized). The page latch is released before this returns — no
+/// guard ever crosses a channel send in the parallel scan.
+pub fn scan_page_chunked(
+    pool: &BufferPool,
+    heap: &SegmentedHeapFile,
+    pid: PageId,
+    mode: ReadMode,
+    desc: &TupleDesc,
+    out: &mut Vec<Tuple>,
+) -> DbResult<(u64, u64)> {
+    let use_zone = matches!(mode, ReadMode::Historical(_));
+    if use_zone {
+        if let Some(z) = heap.zone_entry(pid.page_no) {
+            if zone_class(&mode, &z) == ZoneClass::NoneVisible {
+                return Ok((0, z.rows as u64));
+            }
+        }
+    }
+    let mut admitted = 0u64;
+    let mut skipped = 0u64;
+    let layout = FixedLayout::new(desc);
+    pool.with_page(mode.lock_tid(), pid, |page| {
+        let class = match mode {
+            ReadMode::SeeDeleted | ReadMode::SeeDeletedLocked(_) => ZoneClass::AllVisible,
+            ReadMode::Historical(_) => {
+                let z = heap.zone_entry(pid.page_no).unwrap_or_else(|| {
+                    let z = ZoneEntry::compute(page);
+                    heap.store_zone(pid.page_no, z);
+                    z
+                });
+                zone_class(&mode, &z)
+            }
+            _ => ZoneClass::Mixed,
+        };
+        let tsize = page.tuple_size();
+        let data = page.slot_data();
+        let chunks = page.slot_count().div_ceil(64);
+        match class {
+            ZoneClass::NoneVisible => {
+                skipped += page.used() as u64;
+            }
+            ZoneClass::AllVisible => {
+                out.reserve(page.used());
+                for chunk in 0..chunks {
+                    let mut occ = page.occupancy_word(chunk);
+                    // Decode contiguous runs of occupied slots so the hot
+                    // loop advances a byte cursor instead of re-deriving
+                    // slot offsets from bit positions.
+                    while occ != 0 {
+                        let start = occ.trailing_zeros() as usize;
+                        let run = (occ >> start).trailing_ones() as usize;
+                        occ &= !(((1u128 << run) - 1) as u64) << start;
+                        let first = (chunk * 64 + start) * tsize;
+                        let mut rest = &data[first..first + run * tsize];
+                        for _ in 0..run {
+                            out.push(layout.decode(rest)?);
+                            rest = &rest[tsize..];
+                        }
+                        admitted += run as u64;
+                    }
+                }
+            }
+            ZoneClass::Mixed => {
+                let mut ins = [0u64; 64];
+                let mut del = [0u64; 64];
+                for chunk in 0..chunks {
+                    let occ = page.occupancy_word(chunk);
+                    if occ == 0 {
+                        continue;
+                    }
+                    let base = chunk * 64;
+                    let lanes = 64.min(page.slot_count() - base);
+                    for i in 0..lanes {
+                        let off = (base + i) * tsize;
+                        ins[i] = ts_word(data, off);
+                        del[i] = ts_word(data, off + 8);
+                    }
+                    let (admit, zero) = admit_chunk(&mode, occ, &ins, &del);
+                    skipped += (occ & !admit).count_ones() as u64;
+                    let mut m = admit;
+                    while m != 0 {
+                        let i = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let slot = base + i;
+                        let bytes = &data[slot * tsize..(slot + 1) * tsize];
+                        let mut tup = layout.decode(bytes)?;
+                        if zero >> i & 1 == 1 {
+                            tup.set_deletion_ts(Timestamp::ZERO);
+                        }
+                        out.push(tup);
+                        admitted += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    })?;
+    Ok((admitted, skipped))
+}
+
 /// Scans one table's pruned segments, applying the mode's visibility rule.
 /// The page latch is never held across `next()`/`next_batch()` calls.
 pub struct SeqScan {
@@ -93,6 +310,7 @@ pub struct SeqScan {
     mode: ReadMode,
     bounds: ScanBounds,
     desc: TupleDesc,
+    admission: Admission,
     pages: Vec<PageId>,
     page_idx: usize,
     /// Rows buffered for the tuple-at-a-time `next()` shim, drained
@@ -120,10 +338,17 @@ impl SeqScan {
             mode,
             bounds,
             desc,
+            admission: Admission::default(),
             pages: Vec::new(),
             page_idx: 0,
             buffer: VecDeque::new(),
         })
+    }
+
+    /// Overrides the admission strategy (benches and equivalence tests).
+    pub fn with_admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
+        self
     }
 
     fn load_pages(&mut self) -> DbResult<()> {
@@ -146,6 +371,9 @@ impl SeqScan {
     /// offsets, and only admitted rows are decoded — straight into `out`,
     /// with no per-page vector and no clones.
     fn fill_into(&mut self, min_rows: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        if self.admission == Admission::Chunked && self.desc.has_version_columns() {
+            return self.fill_into_chunked(min_rows, out);
+        }
         let start = out.len();
         let fast = self.desc.has_version_columns();
         let mode = self.mode;
@@ -183,6 +411,29 @@ impl SeqScan {
                 }
                 Ok(())
             })?;
+        }
+        let metrics = self.pool.metrics();
+        metrics.add_scan_rows_admitted(admitted);
+        metrics.add_scan_rows_skipped_predecode(skipped);
+        Ok(self.page_idx < self.pages.len())
+    }
+
+    /// Chunked-kernel variant of [`SeqScan::fill_into`]: per-page zone-map
+    /// classification plus the 64-lane compare-mask admission.
+    fn fill_into_chunked(&mut self, min_rows: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        let start = out.len();
+        let heap = self.pool.table(self.table)?;
+        let mut admitted = 0u64;
+        let mut skipped = 0u64;
+        while self.page_idx < self.pages.len() {
+            if out.len() - start >= min_rows {
+                break;
+            }
+            let pid = self.pages[self.page_idx];
+            self.page_idx += 1;
+            let (a, s) = scan_page_chunked(&self.pool, &heap, pid, self.mode, &self.desc, out)?;
+            admitted += a;
+            skipped += s;
         }
         let metrics = self.pool.metrics();
         metrics.add_scan_rows_admitted(admitted);
@@ -236,6 +487,196 @@ impl Operator for SeqScan {
 
     fn tuple_desc(&self) -> TupleDesc {
         self.desc.clone()
+    }
+}
+
+/// Partitioned scan fan-out: splits the pruned page range into contiguous
+/// partitions, scans each on its own worker thread with the chunked kernel,
+/// and merges batches through bounded channels **in partition order** — the
+/// output sequence is byte-identical to a single-threaded [`SeqScan`] over
+/// the same pages (contiguous partitions drained in order reproduce page
+/// order; slot order within a page is fixed). Workers draw no RNG and read
+/// no wall clock, and each page belongs to exactly one partition, so
+/// per-page disk-fault ordinals fire identically regardless of worker
+/// interleaving — chaos traces replay unchanged.
+///
+/// Lock-free modes only benefit from fan-out; a mode that takes
+/// transactional locks ([`ReadMode::lock_tid`]) degrades to one worker so
+/// all its lock acquisitions happen on a single thread.
+pub struct ParallelSeqScan {
+    pool: Arc<BufferPool>,
+    table: TableId,
+    mode: ReadMode,
+    bounds: ScanBounds,
+    desc: TupleDesc,
+    workers: usize,
+    state: Option<ParState>,
+}
+
+struct ParState {
+    /// One receiver per partition, drained strictly in order.
+    rxs: Vec<mpsc::Receiver<DbResult<Vec<Tuple>>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    cur: usize,
+    pending: VecDeque<Tuple>,
+}
+
+impl ParallelSeqScan {
+    pub fn new(
+        pool: Arc<BufferPool>,
+        table: TableId,
+        mode: ReadMode,
+        workers: usize,
+    ) -> DbResult<Self> {
+        Self::with_bounds(pool, table, mode, ScanBounds::all(), workers)
+    }
+
+    pub fn with_bounds(
+        pool: Arc<BufferPool>,
+        table: TableId,
+        mode: ReadMode,
+        bounds: ScanBounds,
+        workers: usize,
+    ) -> DbResult<Self> {
+        let heap = pool.table(table)?;
+        let desc = heap.desc().clone();
+        Ok(ParallelSeqScan {
+            pool,
+            table,
+            mode,
+            bounds,
+            desc,
+            workers: workers.max(1),
+            state: None,
+        })
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(st) = self.state.take() {
+            // Dropping the receivers unblocks any worker parked on a full
+            // channel; then the joins are prompt.
+            drop(st.rxs);
+            for h in st.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Operator for ParallelSeqScan {
+    fn open(&mut self) -> DbResult<()> {
+        self.shutdown();
+        let heap = self.pool.table(self.table)?;
+        let mut pages = Vec::new();
+        for (seg, _) in heap.prune(&self.bounds) {
+            pages.extend(heap.segment_page_ids(seg));
+        }
+        let workers = if self.mode.lock_tid().is_some() {
+            1
+        } else {
+            self.workers.min(pages.len().max(1))
+        };
+        let per = pages.len().div_ceil(workers);
+        let mut rxs = Vec::new();
+        let mut handles = Vec::new();
+        for part in pages.chunks(per.max(1)) {
+            let (tx, rx) = mpsc::sync_channel::<DbResult<Vec<Tuple>>>(4);
+            let part = part.to_vec();
+            let pool = self.pool.clone();
+            let heap = heap.clone();
+            let mode = self.mode;
+            let desc = self.desc.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut batch: Vec<Tuple> = Vec::new();
+                let mut admitted = 0u64;
+                let mut skipped = 0u64;
+                for pid in part {
+                    match scan_page_chunked(&pool, &heap, pid, mode, &desc, &mut batch) {
+                        Ok((a, s)) => {
+                            admitted += a;
+                            skipped += s;
+                            if batch.len() >= DEFAULT_SCAN_BATCH
+                                && tx.send(Ok(std::mem::take(&mut batch))).is_err()
+                            {
+                                return; // merger went away
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+                if !batch.is_empty() {
+                    let _ = tx.send(Ok(batch));
+                }
+                let metrics = pool.metrics();
+                metrics.add_scan_rows_admitted(admitted);
+                metrics.add_scan_rows_skipped_predecode(skipped);
+            }));
+            rxs.push(rx);
+        }
+        self.state = Some(ParState {
+            rxs,
+            handles,
+            cur: 0,
+            pending: VecDeque::new(),
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> DbResult<Option<Tuple>> {
+        let mut batch = Vec::new();
+        self.next_batch(1, &mut batch)?;
+        Ok(batch.into_iter().next())
+    }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> DbResult<bool> {
+        let st = self
+            .state
+            .as_mut()
+            .ok_or_else(|| DbError::Internal("ParallelSeqScan used before open()".into()))?;
+        let mut budget = max;
+        loop {
+            while budget > 0 {
+                match st.pending.pop_front() {
+                    Some(t) => {
+                        out.push(t);
+                        budget -= 1;
+                    }
+                    None => break,
+                }
+            }
+            if budget == 0 {
+                return Ok(!st.pending.is_empty() || st.cur < st.rxs.len());
+            }
+            if st.cur >= st.rxs.len() {
+                return Ok(false);
+            }
+            match st.rxs[st.cur].recv() {
+                Ok(Ok(batch)) => st.pending.extend(batch),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => st.cur += 1, // this partition is exhausted
+            }
+        }
+    }
+
+    fn rewind(&mut self) -> DbResult<()> {
+        self.open()
+    }
+
+    fn close(&mut self) {
+        self.shutdown();
+    }
+
+    fn tuple_desc(&self) -> TupleDesc {
+        self.desc.clone()
+    }
+}
+
+impl Drop for ParallelSeqScan {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 

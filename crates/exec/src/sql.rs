@@ -21,10 +21,10 @@
 
 use crate::aggregate::{AggFunc, AggSpec, HashAggregate};
 use crate::expr::{ArithOp, CmpOp, Expr};
-use crate::op::{Filter, Limit, Operator, Project};
-use crate::scan::{ReadMode, SeqScan};
+use crate::op::{Filter, Limit, Operator, Project, Values};
+use crate::scan::{index_lookup, ReadMode, SeqScan};
 use crate::{run_delete, run_update};
-use harbor_common::{DbError, DbResult, TransactionId, Tuple, TupleDesc, Value};
+use harbor_common::{DbError, DbResult, FieldType, TransactionId, Tuple, TupleDesc, Value};
 use harbor_engine::Engine;
 
 // ----------------------------------------------------------------------
@@ -338,6 +338,114 @@ fn agg_func(name: &str) -> Option<AggFunc> {
 }
 
 // ----------------------------------------------------------------------
+// Index access selection
+// ----------------------------------------------------------------------
+
+/// Widest key range the planner will expand into individual index probes.
+/// The key index is a hash map, so a range read costs one probe per key;
+/// past this span a sequential scan wins.
+const INDEX_PROBE_CAP: i64 = 256;
+
+/// If `pred` restricts the key column (stored column `key_col`) to an
+/// equality or a tight range, returns the concrete keys to probe.
+///
+/// Only conjuncts reachable through `AND` count: a key constraint nested
+/// under `OR`/`NOT` does not restrict the result set on its own. The full
+/// predicate is always re-applied as a residual filter, so the probe set
+/// only needs to be a *superset* of the qualifying keys — contradictory
+/// bounds simply yield an empty probe set.
+fn key_probes(pred: &Expr, key_col: usize) -> Option<Vec<i64>> {
+    fn gather(
+        e: &Expr,
+        key_col: usize,
+        eq: &mut Option<i64>,
+        lo: &mut Option<i64>,
+        hi: &mut Option<i64>,
+    ) {
+        match e {
+            Expr::And(a, b) => {
+                gather(a, key_col, eq, lo, hi);
+                gather(b, key_col, eq, lo, hi);
+            }
+            Expr::Cmp(op, a, b) => {
+                let (op, n) = match (&**a, &**b) {
+                    (Expr::Col(c), Expr::Lit(Value::Int64(n))) if *c == key_col => (*op, *n),
+                    (Expr::Lit(Value::Int64(n)), Expr::Col(c)) if *c == key_col => {
+                        // Flip `lit OP col` into `col OP' lit`.
+                        let flipped = match op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => *other,
+                        };
+                        (flipped, *n)
+                    }
+                    _ => return,
+                };
+                match op {
+                    CmpOp::Eq => *eq = Some(n),
+                    CmpOp::Ge => *lo = Some(lo.map_or(n, |l: i64| l.max(n))),
+                    CmpOp::Gt => {
+                        if let Some(n) = n.checked_add(1) {
+                            *lo = Some(lo.map_or(n, |l: i64| l.max(n)));
+                        }
+                    }
+                    CmpOp::Le => *hi = Some(hi.map_or(n, |h: i64| h.min(n))),
+                    CmpOp::Lt => {
+                        if let Some(n) = n.checked_sub(1) {
+                            *hi = Some(hi.map_or(n, |h: i64| h.min(n)));
+                        }
+                    }
+                    CmpOp::Ne => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let (mut eq, mut lo, mut hi) = (None, None, None);
+    gather(pred, key_col, &mut eq, &mut lo, &mut hi);
+    if let Some(k) = eq {
+        return Some(vec![k]);
+    }
+    let (lo, hi) = (lo?, hi?);
+    if hi < lo {
+        return Some(Vec::new());
+    }
+    if hi.checked_sub(lo)? >= INDEX_PROBE_CAP {
+        return None;
+    }
+    Some((lo..=hi).collect())
+}
+
+/// Builds the plan source: an index probe set when the predicate pins the
+/// key column (§5.3's tuple-id index), a sequential scan otherwise.
+fn plan_source(
+    engine: &Engine,
+    def: &harbor_engine::TableDef,
+    desc: &TupleDesc,
+    predicate: Option<&Expr>,
+    mode: ReadMode,
+) -> DbResult<Box<dyn Operator>> {
+    let key_col = harbor_common::schema::NUM_VERSION_COLS;
+    let keyed = desc.len() > key_col && desc.field_type(key_col) == FieldType::Int64;
+    if keyed {
+        if let Some(probes) = predicate.and_then(|p| key_probes(p, key_col)) {
+            let mut rows = Vec::new();
+            for key in probes {
+                rows.extend(
+                    index_lookup(engine, def.id, key, mode)?
+                        .into_iter()
+                        .map(|(_, t)| t),
+                );
+            }
+            return Ok(Box::new(Values::new(desc.clone(), rows)));
+        }
+    }
+    Ok(Box::new(SeqScan::new(engine.pool().clone(), def.id, mode)?))
+}
+
+// ----------------------------------------------------------------------
 // Statement execution
 // ----------------------------------------------------------------------
 
@@ -450,8 +558,13 @@ pub fn query(engine: &Engine, sql: &str) -> DbResult<Vec<Tuple>> {
     }
     // Build the plan.
     let at = as_of.unwrap_or_else(|| engine.local_now().prev());
-    let scan = SeqScan::new(engine.pool().clone(), def.id, ReadMode::Historical(at))?;
-    let mut plan: Box<dyn Operator> = Box::new(scan);
+    let mut plan = plan_source(
+        engine,
+        &def,
+        &desc,
+        predicate.as_ref(),
+        ReadMode::Historical(at),
+    )?;
     if let Some(pred) = predicate {
         plan = Box::new(Filter::new(plan, pred));
     }
@@ -738,6 +851,96 @@ mod tests {
         assert!(execute(&e, t, "UPDATE sales SET insertion_time = 1").is_err());
         assert!(execute(&e, t, "DROP TABLE sales").is_err());
         e.abort(t, StepLogging::OFF).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_probes_extraction() {
+        let k = 0usize;
+        // Equality, either orientation.
+        let p = Expr::col(k).eq(Expr::lit(7i64));
+        assert_eq!(key_probes(&p, k), Some(vec![7]));
+        let p = Expr::lit(7i64).eq(Expr::col(k));
+        assert_eq!(key_probes(&p, k), Some(vec![7]));
+        // Tight range, including flipped comparisons and conjunction with
+        // unrelated terms.
+        let p = Expr::col(k)
+            .ge(Expr::lit(3i64))
+            .and(Expr::lit(5i64).ge(Expr::col(k)))
+            .and(Expr::col(1).gt(Expr::lit(0i64)));
+        assert_eq!(key_probes(&p, k), Some(vec![3, 4, 5]));
+        // Exclusive bounds narrow the range.
+        let p = Expr::col(k)
+            .gt(Expr::lit(3i64))
+            .and(Expr::col(k).lt(Expr::lit(6i64)));
+        assert_eq!(key_probes(&p, k), Some(vec![4, 5]));
+        // Contradictory bounds: empty probe set, not a scan.
+        let p = Expr::col(k)
+            .ge(Expr::lit(9i64))
+            .and(Expr::col(k).le(Expr::lit(2i64)));
+        assert_eq!(key_probes(&p, k), Some(vec![]));
+        // Too wide, half-open, OR-nested, or wrong column: no index access.
+        let p = Expr::col(k)
+            .ge(Expr::lit(0i64))
+            .and(Expr::col(k).le(Expr::lit(INDEX_PROBE_CAP)));
+        assert_eq!(key_probes(&p, k), None);
+        assert_eq!(key_probes(&Expr::col(k).ge(Expr::lit(3i64)), k), None);
+        let p = Expr::col(k)
+            .eq(Expr::lit(1i64))
+            .or(Expr::col(1).eq(Expr::lit(2i64)));
+        assert_eq!(key_probes(&p, k), None);
+        assert_eq!(key_probes(&Expr::col(2).eq(Expr::lit(1i64)), k), None);
+    }
+
+    #[test]
+    fn point_read_uses_index() {
+        let (e, dir) = setup("pointidx");
+        load(&e);
+        let before = e.pool().metrics().snapshot();
+        let rows = query(&e, "SELECT * FROM sales WHERE id = 3").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0]
+                .get(harbor_common::schema::NUM_VERSION_COLS + 2)
+                .as_i64()
+                .unwrap(),
+            30
+        );
+        let after = e.pool().metrics().snapshot();
+        assert!(
+            after.index_hits > before.index_hits,
+            "equality on the key must route through the index"
+        );
+        // Range probes: same rows as the scan path, absent keys count misses.
+        let rows = query(&e, "SELECT id FROM sales WHERE id >= 2 AND id <= 9").unwrap();
+        assert_eq!(rows.len(), 3);
+        let after2 = e.pool().metrics().snapshot();
+        assert!(after2.index_misses > after.index_misses);
+        // Residual predicate still applies on top of the probe.
+        let rows = query(&e, "SELECT * FROM sales WHERE id = 3 AND amount > 99").unwrap();
+        assert!(rows.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_and_scan_agree_after_dml() {
+        let (e, dir) = setup("idxagree");
+        load(&e);
+        let t = tid(2);
+        e.begin(t).unwrap();
+        execute(&e, t, "UPDATE sales SET amount = 77 WHERE id = 2").unwrap();
+        execute(&e, t, "DELETE FROM sales WHERE id = 4").unwrap();
+        e.commit(t, Timestamp(8), StepLogging::OFF).unwrap();
+        for key in [1, 2, 3, 4, 100] {
+            let idx = query(&e, &format!("SELECT * FROM sales WHERE id = {key}")).unwrap();
+            // Force the scan path by hiding the key term under OR with false.
+            let scan = query(
+                &e,
+                &format!("SELECT * FROM sales WHERE id = {key} OR 1 = 2"),
+            )
+            .unwrap();
+            assert_eq!(idx.len(), scan.len(), "key {key}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

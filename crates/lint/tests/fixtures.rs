@@ -74,6 +74,46 @@ fn bad_determinism_catches_each_cheat() {
 }
 
 #[test]
+fn scan_pool_holds_no_guard_across_merge_channel_send() {
+    let bad = std::fs::read_to_string(fixtures("bad/crates/dist/src/scan_pool.rs")).unwrap();
+    let report = analyze_source("crates/dist/src/scan_pool.rs", &bad);
+    let sends: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_LOCK_BLOCKING)
+        .collect();
+    assert!(
+        sends.iter().any(|v| v.msg.contains("`send`")),
+        "frame latch across merge-channel send not caught: {sends:#?}"
+    );
+    assert!(
+        sends.iter().any(|v| v.msg.contains("`send_framed`")),
+        "merger guard across downstream ship not caught: {sends:#?}"
+    );
+
+    let good = std::fs::read_to_string(fixtures("good/crates/dist/src/scan_pool.rs")).unwrap();
+    let report = analyze_source("crates/dist/src/scan_pool.rs", &good);
+    assert!(
+        report.violations.is_empty(),
+        "latch-scoped transcode + post-drop send must be clean: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn scan_partition_rank_inversion_is_caught() {
+    let bad = std::fs::read_to_string(fixtures("bad/crates/storage/src/buffer.rs")).unwrap();
+    let report = analyze_source("crates/storage/src/buffer.rs", &bad);
+    assert!(
+        report.violations.iter().any(|v| v.rule == RULE_LOCK_RANK
+            && v.msg.contains("`pool-shard`")
+            && v.msg.contains("holding `frame`")),
+        "scan worker re-entering pool shard under a frame latch not caught: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
 fn good_tree_is_clean() {
     let violations = analyze_fixture_tree(&fixtures("good"));
     assert!(

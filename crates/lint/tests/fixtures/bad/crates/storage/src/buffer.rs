@@ -33,4 +33,13 @@ impl BufferPool {
         drop(g);
         drop(w);
     }
+
+    // Violation: a scan worker re-entering its pool shard (rank 3) while
+    // still holding the previous page's frame latch (rank 4).
+    pub fn bad_scan_partition(&self, shard: &Shard, frame: &Frame) {
+        let page = frame.page.read();
+        let g = shard.frames.lock();
+        drop(g);
+        drop(page);
+    }
 }

@@ -33,4 +33,13 @@ impl BufferPool {
         drop(w);
         drop(page);
     }
+
+    // A scan worker walks its partition in declared order: pool-shard (3)
+    // to pin the frame, then the frame latch (4) to decode — never back.
+    pub fn scan_partition(&self, shard: &Shard, frame: &Frame) {
+        let g = shard.frames.lock();
+        let page = frame.page.read();
+        drop(page);
+        drop(g);
+    }
 }

@@ -504,6 +504,10 @@ impl BufferPool {
         }
         // harbor-lint: allow(lock-across-blocking) — the frame latch must pin the page image across WAL force + write-back; flush-under-latch IS the WAL protocol
         table.write_page(pid.page_no, &page)?;
+        // Summarize the flushed image while the write latch still pins it:
+        // invalidations also run under this latch, so the store is ordered
+        // against every mutation.
+        table.store_zone(pid.page_no, crate::table::ZoneEntry::compute(&page));
         frame.dirty.store(false, Ordering::SeqCst);
         frame.rec_lsn.store(u64::MAX, Ordering::SeqCst);
         Ok(())
@@ -542,12 +546,16 @@ impl BufferPool {
             self.lock_page(tid, pid, LockMode::Exclusive)?;
         }
         let frame = self.frame(pid)?;
+        let table = self.table(pid.table).ok();
         let result = {
             let _rank = lockrank::acquire(Rank::Frame);
             let mut page = frame.page.write();
             let r = f(&mut page);
             if r.is_ok() {
                 frame.dirty.store(true, Ordering::SeqCst);
+                if let Some(t) = &table {
+                    t.invalidate_zone(pid.page_no);
+                }
             }
             r
         };
@@ -657,12 +665,16 @@ impl BufferPool {
         f: impl FnOnce(&mut Page, &Frame) -> DbResult<R>,
     ) -> DbResult<R> {
         let frame = self.frame(pid)?;
+        let table = self.table(pid.table).ok();
         let result = {
             let _rank = lockrank::acquire(Rank::Frame);
             let mut page = frame.page.write();
             let r = f(&mut page, &frame);
             if r.is_ok() {
                 frame.dirty.store(true, Ordering::SeqCst);
+                if let Some(t) = &table {
+                    t.invalidate_zone(pid.page_no);
+                }
             }
             r
         };
@@ -1183,6 +1195,37 @@ mod tests {
             seen += pool.with_page(None, pid, |p| Ok(p.used())).unwrap();
         }
         assert_eq!(seen, 4 * per_thread);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zone_map_tracks_flush_and_invalidation() {
+        let (pool, path) = setup("zones", 16);
+        let table = pool.table(TableId(1)).unwrap();
+        let rid = pool
+            .insert_tuple_bytes(None, TableId(1), &tuple_bytes(1))
+            .unwrap();
+        assert!(
+            table.zone_entry(rid.page.page_no).is_none(),
+            "unflushed mutations leave no summary"
+        );
+        pool.flush_all().unwrap();
+        let z = table
+            .zone_entry(rid.page.page_no)
+            .expect("flush stores a summary");
+        assert_eq!(z.rows, 1);
+        assert!(z.any_uncommitted);
+        pool.set_timestamp(None, rid, TsField::Insertion, Timestamp(30))
+            .unwrap();
+        assert!(
+            table.zone_entry(rid.page.page_no).is_none(),
+            "mutation invalidates the summary"
+        );
+        pool.flush_all().unwrap();
+        let z = table.zone_entry(rid.page.page_no).unwrap();
+        assert!(!z.any_uncommitted);
+        assert_eq!(z.ins_max, Timestamp(30));
+        assert_eq!(z.max_del, Timestamp::ZERO);
         std::fs::remove_file(&path).unwrap();
     }
 

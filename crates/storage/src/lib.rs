@@ -35,4 +35,4 @@ pub use fault::{DiskFaultConfig, DiskFaultKind, DiskFaultPlan, TargetedFault, Wr
 pub use file::{CheckpointRecord, TableFile};
 pub use lock::{DeadlockPolicy, LockKey, LockManager, LockMode};
 pub use page::{slots_per_page, Page};
-pub use table::SegmentedHeapFile;
+pub use table::{SegmentedHeapFile, ZoneEntry};

@@ -291,6 +291,37 @@ impl Page {
     pub fn occupied_slots(&self) -> impl Iterator<Item = u16> + '_ {
         (0..self.slot_count() as u16).filter(move |&s| self.is_occupied(s as usize))
     }
+
+    /// Occupancy bits for slots `chunk*64 .. chunk*64+64` as one little-endian
+    /// word (bit `i` = slot `chunk*64 + i`), with bits at or past `slot_count`
+    /// cleared. Feeds the chunked admission kernel: one load replaces 64
+    /// per-slot bitmap probes.
+    pub fn occupancy_word(&self, chunk: usize) -> u64 {
+        let count = self.slot_count();
+        let first = chunk * 64;
+        if first >= count {
+            return 0;
+        }
+        let byte = HEADER + first / 8;
+        let avail = self.bitmap_len() - first / 8;
+        let mut raw = [0u8; 8];
+        let n = avail.min(8);
+        raw[..n].copy_from_slice(&self.buf[byte..byte + n]);
+        let mut word = u64::from_le_bytes(raw);
+        let valid = count - first;
+        if valid < 64 {
+            word &= (1u64 << valid) - 1;
+        }
+        word
+    }
+
+    /// The contiguous slot region: slot `i`'s bytes are
+    /// `slot_data()[i * tuple_size .. (i + 1) * tuple_size]`. Callers are
+    /// responsible for consulting occupancy (via [`Page::occupancy_word`] or
+    /// [`Page::is_occupied`]) before treating a slot's bytes as live.
+    pub fn slot_data(&self) -> &[u8] {
+        &self.buf[HEADER + self.bitmap_len()..]
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +428,25 @@ mod tests {
         assert!(p.insert_at(5, &tuple(1, 0, 1)).is_err());
         // Hint-based insert still fills slot 0 first.
         assert_eq!(p.insert(&tuple(2, 0, 2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn occupancy_word_and_slot_data_match_scalar_accessors() {
+        let mut p = Page::init(TS);
+        for s in [0usize, 1, 7, 63, 64, 70, 100] {
+            p.insert_at(s as u16, &tuple(s as u64, 0, s as u8)).unwrap();
+        }
+        let chunks = p.slot_count().div_ceil(64);
+        for chunk in 0..chunks {
+            let w = p.occupancy_word(chunk);
+            for bit in 0..64 {
+                let slot = chunk * 64 + bit;
+                let expect = slot < p.slot_count() && p.is_occupied(slot);
+                assert_eq!(w >> bit & 1 == 1, expect, "chunk {chunk} bit {bit}");
+            }
+        }
+        assert_eq!(p.occupancy_word(chunks), 0);
+        assert_eq!(&p.slot_data()[63 * TS..64 * TS], p.read(63).unwrap());
     }
 
     #[test]

@@ -20,7 +20,89 @@ use harbor_common::{
     DbResult, DiskProfile, Metrics, PageId, SegmentNo, TableId, Timestamp, TupleDesc,
 };
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::path::Path;
+
+/// Per-page timestamp summary (zone map): min/max bounds over the raw
+/// insertion/deletion timestamps of a page's occupied slots, computed from
+/// fixed offsets without decoding tuples. Scans consult it to classify a
+/// whole page as fully visible (skip per-row admission) or fully dead (skip
+/// the page read entirely) for a given read mode.
+///
+/// **Validity protocol.** An entry always describes the page's *current
+/// frame content*: the buffer pool stores entries only while holding the
+/// page's frame latch (on flush, or lazily from a scan under the read
+/// latch), and invalidates under the frame write latch immediately after
+/// every mutation. A page whose disk image fails its checksum also loses
+/// its entry ([`SegmentedHeapFile::read_page`]) so a stale summary can
+/// never mask a corrupt page from the read path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ZoneEntry {
+    /// Occupied slots at summary time.
+    pub rows: u32,
+    /// Any slot with an uncommitted insertion timestamp.
+    pub any_uncommitted: bool,
+    /// Max committed insertion timestamp (ZERO if none committed).
+    pub ins_max: Timestamp,
+    /// Raw minimum deletion timestamp; ZERO counts, so `min_del > ZERO`
+    /// means every occupied slot has a deletion set.
+    pub min_del: Timestamp,
+    /// Raw maximum deletion timestamp.
+    pub max_del: Timestamp,
+    /// Minimum *nonzero* deletion timestamp (`u64::MAX` if none).
+    pub min_nonzero_del: Timestamp,
+}
+
+/// Little-endian timestamp word at `off` (the slice is always 8 bytes —
+/// offsets come from the page's own slot geometry).
+#[inline]
+fn ts_word(data: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+impl ZoneEntry {
+    /// Summarizes a page by walking occupancy words over the raw timestamp
+    /// columns at their fixed slot offsets (no tuple decode).
+    pub fn compute(page: &Page) -> ZoneEntry {
+        let tsize = page.tuple_size();
+        let data = page.slot_data();
+        let mut z = ZoneEntry {
+            rows: 0,
+            any_uncommitted: false,
+            ins_max: Timestamp::ZERO,
+            min_del: Timestamp(u64::MAX),
+            max_del: Timestamp::ZERO,
+            min_nonzero_del: Timestamp(u64::MAX),
+        };
+        for chunk in 0..page.slot_count().div_ceil(64) {
+            let mut occ = page.occupancy_word(chunk);
+            while occ != 0 {
+                let slot = chunk * 64 + occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let off = slot * tsize;
+                let ins = ts_word(data, off);
+                let del = ts_word(data, off + 8);
+                z.rows += 1;
+                if ins == u64::MAX {
+                    z.any_uncommitted = true;
+                } else {
+                    z.ins_max = z.ins_max.max(Timestamp(ins));
+                }
+                z.min_del = z.min_del.min(Timestamp(del));
+                z.max_del = z.max_del.max(Timestamp(del));
+                if del != 0 {
+                    z.min_nonzero_del = z.min_nonzero_del.min(Timestamp(del));
+                }
+            }
+        }
+        if z.rows == 0 {
+            z.min_del = Timestamp::ZERO;
+        }
+        z
+    }
+}
 
 /// One table's segmented heap file plus its in-memory metadata.
 pub struct SegmentedHeapFile {
@@ -33,6 +115,9 @@ pub struct SegmentedHeapFile {
     segment_pages: u32,
     /// Lowest page of the last segment that may have a free slot.
     insert_hint: Mutex<Option<u32>>,
+    /// Per-page timestamp summaries (see [`ZoneEntry`]). A leaf lock:
+    /// nothing is acquired while it is held.
+    zones: Mutex<HashMap<u32, ZoneEntry>>,
 }
 
 impl SegmentedHeapFile {
@@ -60,6 +145,7 @@ impl SegmentedHeapFile {
             dir: Mutex::new(dir),
             segment_pages,
             insert_hint: Mutex::new(None),
+            zones: Mutex::new(HashMap::new()),
         })
     }
 
@@ -86,6 +172,7 @@ impl SegmentedHeapFile {
             dir: Mutex::new(dir),
             segment_pages,
             insert_hint: Mutex::new(None),
+            zones: Mutex::new(HashMap::new()),
         })
     }
 
@@ -149,8 +236,37 @@ impl SegmentedHeapFile {
                 }
             }
             Err(harbor_common::DbError::NoSuchPage(_)) => Ok(Page::init(self.tuple_size())),
-            Err(e) => Err(e),
+            Err(e) => {
+                // A page we can no longer read (torn write, bit flip, I/O
+                // fault) has an untrustworthy summary: drop it so no stale
+                // min/max masks the corrupt page out of the read/scrub path.
+                self.invalidate_zone(page_no);
+                Err(e)
+            }
         }
+    }
+
+    /// The current zone-map entry for `page_no`, if one is valid.
+    pub fn zone_entry(&self, page_no: u32) -> Option<ZoneEntry> {
+        self.zones.lock().get(&page_no).copied()
+    }
+
+    /// Stores a freshly computed summary for `page_no`. Callers must hold
+    /// the page's frame latch (read or write) so the store serializes with
+    /// [`SegmentedHeapFile::invalidate_zone`], which mutators call under the
+    /// frame write latch.
+    pub fn store_zone(&self, page_no: u32, entry: ZoneEntry) {
+        self.zones.lock().insert(page_no, entry);
+    }
+
+    /// Drops the summary for `page_no` (page mutated or found corrupt).
+    pub fn invalidate_zone(&self, page_no: u32) {
+        self.zones.lock().remove(&page_no);
+    }
+
+    /// Number of valid zone-map entries (tests / introspection).
+    pub fn zone_entries(&self) -> usize {
+        self.zones.lock().len()
     }
 
     /// Writes a data page, first persisting the segment directory if its
@@ -291,7 +407,14 @@ impl SegmentedHeapFile {
 
     /// Drops the oldest segment ("bulk drop", §4.2).
     pub fn drop_oldest_segment(&self) -> DbResult<Option<SegmentMeta>> {
-        self.dir.lock().drop_oldest(&self.file)
+        let dropped = self.dir.lock().drop_oldest(&self.file)?;
+        if let Some(m) = &dropped {
+            let mut zones = self.zones.lock();
+            for p in m.pages() {
+                zones.remove(&p);
+            }
+        }
+        Ok(dropped)
     }
 
     /// Total data pages across segments.
