@@ -51,6 +51,29 @@ pub const DEFAULT_MAX_PHASE2_RANGES: usize = 32;
 /// trips that exceed its wire time.
 pub const DEFAULT_MIN_RANGE_PAGES: u64 = 8;
 
+/// Hard ceiling on a single wire frame's payload. The transports read a
+/// 4-byte length prefix and then allocate that many bytes; without a cap a
+/// corrupt or hostile prefix allocates up to 4 GiB before the first payload
+/// byte arrives. Anything legitimate (scan batches, recovery streams,
+/// epoch-commit waves) stays far below this; a frame above it is treated as
+/// corrupt framing, not as a request. Must stay above the 1 MiB frames the
+/// transport conformance tests exercise.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Backoff hint stamped into [`crate::DbError::Overloaded`] sheds when the
+/// shedding site has nothing smarter to say (and the fallback when a
+/// remote shed's hint fails to parse back off the wire). Long enough to
+/// let a queue of default depth drain at typical commit latency, short
+/// enough that a shed burst costs a retrying client only a few tens of
+/// milliseconds.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 25;
+
+/// Default per-request deadline the front door stamps on requests that
+/// arrive without one. Far below [`DEFAULT_RPC_DEADLINE`]: a serving-path
+/// request that cannot start within a second is better shed (the client
+/// retries against a drained queue) than queued into uselessness.
+pub const DEFAULT_REQUEST_DEADLINE: Duration = Duration::from_secs(1);
+
 /// Default liveness deadline for a single RPC round trip (and for each frame
 /// of a streamed scan). A peer that produces no bytes for this long is
 /// treated as failed even if its socket never closes — the partitioned-peer

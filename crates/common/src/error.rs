@@ -70,6 +70,14 @@ pub enum DbError {
     /// timeout and not a disconnect — the site answering is perfectly
     /// healthy, it is declining the write on policy.
     Degraded(String),
+    /// The serving layer declined to admit the request: its bounded queue
+    /// was over its depth/age watermark or no in-flight permit was
+    /// available within the admission budget. *Retryable by construction*
+    /// — nothing was executed, so the client may safely resubmit after
+    /// backing off at least `retry_after_ms`. Not a timeout (the deadline
+    /// never started running against the engine) and not a disconnect
+    /// (the front door answered promptly; it is shedding load on policy).
+    Overloaded { retry_after_ms: u64 },
     /// Catch-all invariant violation.
     Internal(String),
 }
@@ -102,6 +110,26 @@ impl DbError {
 
     pub fn degraded(msg: impl Into<String>) -> Self {
         DbError::Degraded(msg.into())
+    }
+
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        DbError::Overloaded { retry_after_ms }
+    }
+
+    /// `true` when the serving layer shed the request before execution.
+    /// Always safe to retry after the embedded backoff hint; the request
+    /// never reached the engine.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, DbError::Overloaded { .. })
+    }
+
+    /// The client-side backoff hint carried by an [`DbError::Overloaded`]
+    /// shed, if this is one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            DbError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        }
     }
 
     /// `true` when a write was declined because the object is at its last
@@ -158,6 +186,25 @@ impl DbError {
             // Degradation must keep its class too: the client should back
             // off and retry after re-replication, not report a protocol bug.
             DbError::Degraded(msg)
+        } else if let Some(rest) = msg
+            .find("overloaded: retry after ")
+            .map(|at| &msg[at + "overloaded: retry after ".len()..])
+        {
+            // A shed must keep both its class *and* its backoff hint across
+            // the wire, or remote clients would hot-loop on a front door
+            // that local clients back off from.
+            let ms: u64 = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap_or(crate::config::DEFAULT_RETRY_AFTER_MS);
+            DbError::Overloaded { retry_after_ms: ms }
+        } else if msg.contains("deadline expired before") {
+            // A front-door deadline rejection happens *before* execution, so
+            // like a shed it is safe to surface with its real class: the
+            // client's budget is spent, but nothing ran.
+            DbError::Timeout(msg)
         } else {
             DbError::Protocol(msg)
         }
@@ -193,6 +240,9 @@ impl fmt::Display for DbError {
             DbError::Constraint(m) => write!(f, "constraint violation: {m}"),
             DbError::Unrecoverable(m) => write!(f, "unrecoverable: {m}"),
             DbError::Degraded(m) => write!(f, "degraded to read-only: {m}"),
+            DbError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
             DbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -262,6 +312,32 @@ mod tests {
         assert!(!e.is_corrupt());
         // And it keeps its class across a stringly wire hop.
         assert!(DbError::from_remote_msg(e.to_string()).is_degraded());
+    }
+
+    #[test]
+    fn overloaded_classification() {
+        let e = DbError::overloaded(40);
+        // A shed is its own class: retryable by construction, but not a
+        // timeout, not site death, not damage, not a policy degrade.
+        assert!(e.is_overloaded());
+        assert_eq!(e.retry_after_ms(), Some(40));
+        assert!(!e.is_timeout());
+        assert!(!e.is_disconnect());
+        assert!(!e.is_corrupt());
+        assert!(!e.is_degraded());
+        assert!(!DbError::timeout("x").is_overloaded());
+        assert_eq!(DbError::timeout("x").retry_after_ms(), None);
+        // Class *and* backoff hint survive the stringly wire hop.
+        let back = DbError::from_remote_msg(e.to_string());
+        assert!(back.is_overloaded());
+        assert_eq!(back.retry_after_ms(), Some(40));
+        // A mangled hint still reconstructs the class with a sane default.
+        let back = DbError::from_remote_msg("overloaded: retry after ??? ms");
+        assert!(back.is_overloaded());
+        assert_eq!(
+            back.retry_after_ms(),
+            Some(crate::config::DEFAULT_RETRY_AFTER_MS)
+        );
     }
 
     #[test]

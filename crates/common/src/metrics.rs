@@ -120,6 +120,24 @@ struct Counters {
     index_hits: AtomicU64,
     /// Key-index probes that found no record id.
     index_misses: AtomicU64,
+    /// Client sessions the front door accepted.
+    sessions_accepted: AtomicU64,
+    /// Client sessions the front door closed (hangup, error, or drain).
+    sessions_closed: AtomicU64,
+    /// Requests admitted past the front door's permit gate into the engine.
+    requests_admitted: AtomicU64,
+    /// Requests shed with `Overloaded` (queue full, over the age watermark,
+    /// or no permit within the admission budget).
+    requests_shed: AtomicU64,
+    /// Requests rejected because their deadline expired before execution.
+    deadline_rejects: AtomicU64,
+    /// Admissions that had to wait for an in-flight permit (contended gate).
+    permit_waits: AtomicU64,
+    /// High-water mark of the front door's bounded request queue (maximum,
+    /// not a sum).
+    queue_peak_depth: AtomicU64,
+    /// Microseconds graceful drain spent finishing admitted requests.
+    drain_micros: AtomicU64,
 }
 
 macro_rules! counter {
@@ -247,6 +265,25 @@ impl Metrics {
     counter!(add_index_rebuilds, index_rebuilds, index_rebuilds);
     counter!(add_index_hits, index_hits, index_hits);
     counter!(add_index_misses, index_misses, index_misses);
+    counter!(add_sessions_accepted, sessions_accepted, sessions_accepted);
+    counter!(add_sessions_closed, sessions_closed, sessions_closed);
+    counter!(add_requests_admitted, requests_admitted, requests_admitted);
+    counter!(add_requests_shed, requests_shed, requests_shed);
+    counter!(add_deadline_rejects, deadline_rejects, deadline_rejects);
+    counter!(add_permit_waits, permit_waits, permit_waits);
+    counter!(add_drain_micros, drain_micros, drain_micros);
+
+    /// Raises the queue high-water mark to `depth` if it is the new peak.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.inner
+            .queue_peak_depth
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Current value of `queue_peak_depth` (a maximum, not a sum).
+    pub fn queue_peak_depth(&self) -> u64 {
+        self.inner.queue_peak_depth.load(Ordering::Relaxed)
+    }
 
     /// Records one decided commit epoch of `n` transactions: bumps the
     /// epoch counters and the matching size-histogram bucket.
@@ -315,6 +352,14 @@ impl Metrics {
             index_rebuilds: self.index_rebuilds(),
             index_hits: self.index_hits(),
             index_misses: self.index_misses(),
+            sessions_accepted: self.sessions_accepted(),
+            sessions_closed: self.sessions_closed(),
+            requests_admitted: self.requests_admitted(),
+            requests_shed: self.requests_shed(),
+            deadline_rejects: self.deadline_rejects(),
+            permit_waits: self.permit_waits(),
+            queue_peak_depth: self.queue_peak_depth(),
+            drain_micros: self.drain_micros(),
         }
     }
 }
@@ -372,6 +417,15 @@ pub struct MetricsSnapshot {
     pub index_rebuilds: u64,
     pub index_hits: u64,
     pub index_misses: u64,
+    pub sessions_accepted: u64,
+    pub sessions_closed: u64,
+    pub requests_admitted: u64,
+    pub requests_shed: u64,
+    pub deadline_rejects: u64,
+    pub permit_waits: u64,
+    /// High-water mark, not a sum; `since` keeps the later snapshot's peak.
+    pub queue_peak_depth: u64,
+    pub drain_micros: u64,
 }
 
 impl MetricsSnapshot {
@@ -466,6 +520,21 @@ impl MetricsSnapshot {
             index_rebuilds: self.index_rebuilds.saturating_sub(earlier.index_rebuilds),
             index_hits: self.index_hits.saturating_sub(earlier.index_hits),
             index_misses: self.index_misses.saturating_sub(earlier.index_misses),
+            sessions_accepted: self
+                .sessions_accepted
+                .saturating_sub(earlier.sessions_accepted),
+            sessions_closed: self.sessions_closed.saturating_sub(earlier.sessions_closed),
+            requests_admitted: self
+                .requests_admitted
+                .saturating_sub(earlier.requests_admitted),
+            requests_shed: self.requests_shed.saturating_sub(earlier.requests_shed),
+            deadline_rejects: self
+                .deadline_rejects
+                .saturating_sub(earlier.deadline_rejects),
+            permit_waits: self.permit_waits.saturating_sub(earlier.permit_waits),
+            // A high-water mark does not difference; the later peak stands.
+            queue_peak_depth: self.queue_peak_depth,
+            drain_micros: self.drain_micros.saturating_sub(earlier.drain_micros),
         }
     }
 
@@ -546,6 +615,26 @@ impl MetricsSnapshot {
         )
     }
 
+    /// Human-readable summary of the front-door serving counters (session
+    /// churn, admission/shed split, queue high-water mark, drain cost), for
+    /// the fig6_6 and chaos-soak printouts.
+    pub fn serve_summary(&self) -> String {
+        let active = self.sessions_accepted.saturating_sub(self.sessions_closed);
+        format!(
+            "sessions_accepted={} sessions_closed={} sessions_active={active} \
+             requests_admitted={} requests_shed={} deadline_rejects={} \
+             permit_waits={} queue_peak_depth={} drain_micros={}",
+            self.sessions_accepted,
+            self.sessions_closed,
+            self.requests_admitted,
+            self.requests_shed,
+            self.deadline_rejects,
+            self.permit_waits,
+            self.queue_peak_depth,
+            self.drain_micros,
+        )
+    }
+
     /// Human-readable summary of the storage-fault-plane counters (scrub
     /// coverage, detections, repairs), for the fig6_6 and chaos-soak
     /// printouts next to the buffer-pool shard stats.
@@ -614,6 +703,22 @@ mod tests {
         assert_eq!(s.epoch_size_17_64, 1);
         assert_eq!(s.epoch_size_gt_64, 1);
         assert!(s.commit_path_summary().contains("mean size 47.4"));
+    }
+
+    #[test]
+    fn queue_peak_is_a_maximum() {
+        let m = Metrics::new();
+        m.note_queue_depth(3);
+        m.note_queue_depth(9);
+        m.note_queue_depth(5);
+        assert_eq!(m.queue_peak_depth(), 9);
+        let a = m.snapshot();
+        m.add_requests_shed(2);
+        let d = m.snapshot().since(&a);
+        // The peak is carried through `since`, not differenced to zero.
+        assert_eq!(d.queue_peak_depth, 9);
+        assert_eq!(d.requests_shed, 2);
+        assert!(m.snapshot().serve_summary().contains("queue_peak_depth=9"));
     }
 
     #[test]

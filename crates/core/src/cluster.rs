@@ -192,7 +192,16 @@ pub struct Cluster {
     coordinator: Arc<Coordinator>,
     workers: Mutex<HashMap<SiteId, WorkerHandle>>,
     crashed: Mutex<HashSet<SiteId>>,
+    /// Optional transaction router: when set, [`Cluster::run_txn`] submits
+    /// through it instead of driving the coordinator directly. The chaos
+    /// soak uses this to push the workload through the front-door serving
+    /// layer over real sockets without the harness drawing any extra
+    /// randomness — a seed replays the same schedule routed or not.
+    txn_router: Mutex<Option<TxnRouter>>,
 }
+
+/// A pluggable transaction submission path (see [`Cluster::set_txn_router`]).
+pub type TxnRouter = Arc<dyn Fn(Vec<UpdateRequest>) -> DbResult<Timestamp> + Send + Sync>;
 
 /// Site id of the coordinator.
 pub const COORDINATOR_SITE: SiteId = SiteId(0);
@@ -341,6 +350,7 @@ impl Cluster {
             coordinator,
             workers: Mutex::new(workers),
             crashed: Mutex::new(HashSet::new()),
+            txn_router: Mutex::new(None),
         })
     }
 
@@ -474,6 +484,10 @@ impl Cluster {
     /// a fault mid-transaction can never leak an open transaction (and its
     /// locks) into the next operation.
     pub fn run_txn(&self, ops: Vec<UpdateRequest>) -> DbResult<Timestamp> {
+        let router = self.txn_router.lock().clone();
+        if let Some(route) = router {
+            return route(ops);
+        }
         let tid = self.coordinator.begin()?;
         for op in ops {
             if let Err(e) = self.coordinator.update(tid, op) {
@@ -482,6 +496,15 @@ impl Cluster {
             }
         }
         self.coordinator.commit(tid)
+    }
+
+    /// Installs (or clears, with `None`) the transaction router consulted
+    /// by [`Cluster::run_txn`]. Routing is transparent to the chaos
+    /// harness: it changes *where* a transaction enters the system, never
+    /// how many random draws the schedule makes, so pinned seeds replay
+    /// byte-identically with or without a router.
+    pub fn set_txn_router(&self, router: Option<TxnRouter>) {
+        *self.txn_router.lock() = router;
     }
 
     /// Inserts one row in its own transaction.

@@ -54,7 +54,7 @@ pub mod recovery;
 pub mod supervisor;
 
 pub use chaos_harness::{ChaosRunConfig, ChaosRunReport};
-pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, COORDINATOR_SITE};
+pub use cluster::{Cluster, ClusterConfig, TableSpec, TransportKind, TxnRouter, COORDINATOR_SITE};
 pub use recovery::{
     recover_object, recover_site, scrub_site, ObjectReport, RecoveryConfig, RecoveryContext,
     RecoveryFailPoint, RecoveryReport, ScrubReport,

@@ -1,0 +1,254 @@
+//! Admission control for the serving path: bounded in-flight permits,
+//! queue-age shedding, and deadline enforcement.
+//!
+//! This module is the *construction site* for the serving-path error
+//! taxonomy (enforced by harbor-lint): every [`DbError::Overloaded`] shed
+//! and every deadline-expiry [`DbError::Timeout`] on the front door is
+//! minted here, so the classification rules live in one place:
+//!
+//! * **Shed** (`Overloaded`): the request was *never executed* — the queue
+//!   was full, sat past its age watermark, or no permit freed up within
+//!   the admission budget. Always safe to resubmit after the hint.
+//! * **Deadline reject** (`Timeout`): the client's budget ran out while the
+//!   request waited. Also never executed (the gate checks *before* handing
+//!   the transaction to the engine), but classified as a timeout because
+//!   the budget — not the server's load policy — is what expired.
+
+use harbor_common::{DbError, DbResult, Metrics};
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A counting semaphore bounding requests inside the engine. `parking_lot`'s
+/// condvar has no spurious-wakeup-free guarantee either, so waits re-check
+/// the count in a loop; fairness is whatever the condvar gives us, which is
+/// fine — admitted requests are peers.
+pub struct PermitGate {
+    capacity: usize,
+    free: Mutex<usize>,
+    cv: Condvar,
+    metrics: Metrics,
+}
+
+/// RAII permit: releasing is returning.
+pub struct Permit<'a> {
+    gate: &'a PermitGate,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut free = self.gate.free.lock();
+        *free += 1;
+        drop(free);
+        self.gate.cv.notify_one();
+    }
+}
+
+impl PermitGate {
+    pub fn new(capacity: usize, metrics: Metrics) -> Self {
+        PermitGate {
+            capacity,
+            free: Mutex::new(capacity),
+            cv: Condvar::new(),
+            metrics,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently held (for the metrics printout).
+    pub fn in_use(&self) -> usize {
+        self.capacity - *self.free.lock()
+    }
+
+    /// Acquires a permit, waiting at most `budget`. `None` means the gate
+    /// stayed full for the whole budget — the caller sheds.
+    pub fn acquire(&self, budget: Duration) -> Option<Permit<'_>> {
+        let deadline = Instant::now() + budget;
+        let mut free = self.free.lock();
+        let mut waited = false;
+        while *free == 0 {
+            if !waited {
+                waited = true;
+                self.metrics.add_permit_waits(1);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.cv.wait_until(&mut free, deadline);
+        }
+        *free -= 1;
+        Some(Permit { gate: self })
+    }
+}
+
+/// Admission verdict parameters for one queued request.
+pub struct AdmissionCheck {
+    /// When the request was read off its session.
+    pub enqueued_at: Instant,
+    /// The request's absolute deadline.
+    pub deadline: Instant,
+}
+
+/// Policy knobs the gate applies (a copy of the server's config so this
+/// module stays free-standing and unit-testable).
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionPolicy {
+    /// A request older than this at dequeue is shed: by the time it would
+    /// execute, the client is better served by a fast retry signal than by
+    /// a stale execution.
+    pub max_queue_age: Duration,
+    /// How long a dequeued request may wait for an in-flight permit before
+    /// it is shed.
+    pub permit_budget: Duration,
+    /// Backoff hint stamped into sheds.
+    pub retry_after_ms: u64,
+}
+
+impl AdmissionPolicy {
+    /// Admits or rejects one dequeued request, minting the typed error.
+    /// On success the returned [`Permit`] keeps the engine slot until drop.
+    pub fn admit<'g>(
+        &self,
+        gate: &'g PermitGate,
+        check: &AdmissionCheck,
+        metrics: &Metrics,
+    ) -> DbResult<Permit<'g>> {
+        let now = Instant::now();
+        if now >= check.deadline {
+            metrics.add_deadline_rejects(1);
+            return Err(DbError::timeout("deadline expired before execution"));
+        }
+        if now.saturating_duration_since(check.enqueued_at) > self.max_queue_age {
+            metrics.add_requests_shed(1);
+            return Err(DbError::overloaded(self.retry_after_ms));
+        }
+        // Never wait for a permit past the request's own deadline.
+        let budget = self
+            .permit_budget
+            .min(check.deadline.saturating_duration_since(now));
+        match gate.acquire(budget) {
+            Some(p) => {
+                metrics.add_requests_admitted(1);
+                Ok(p)
+            }
+            None => {
+                if Instant::now() >= check.deadline {
+                    metrics.add_deadline_rejects(1);
+                    Err(DbError::timeout("deadline expired waiting for a permit"))
+                } else {
+                    metrics.add_requests_shed(1);
+                    Err(DbError::overloaded(self.retry_after_ms))
+                }
+            }
+        }
+    }
+
+    /// The shed minted when the bounded request queue itself is full — the
+    /// one admission decision taken at *enqueue* time, by the session
+    /// readers, so a burst fails fast instead of stacking latency.
+    pub fn queue_full_shed(&self, metrics: &Metrics) -> DbError {
+        metrics.add_requests_shed(1);
+        DbError::overloaded(self.retry_after_ms)
+    }
+}
+
+/// Deadline expiry discovered *after* admission, between engine steps (the
+/// [`crate::FrontHandler`] checks its absolute deadline before begin, each
+/// update, and commit). Minted here so every serving-path timeout shares
+/// one construction site.
+pub fn deadline_expired(what: &str) -> DbError {
+    DbError::timeout(format!("deadline expired before {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_queue_age: Duration::from_millis(50),
+            permit_budget: Duration::from_millis(50),
+            retry_after_ms: 7,
+        }
+    }
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let gate = PermitGate::new(2, Metrics::new());
+        let a = gate.acquire(Duration::from_millis(10)).expect("permit");
+        let _b = gate.acquire(Duration::from_millis(10)).expect("permit");
+        assert_eq!(gate.in_use(), 2);
+        assert!(gate.acquire(Duration::from_millis(20)).is_none());
+        drop(a);
+        assert!(gate.acquire(Duration::from_millis(100)).is_some());
+    }
+
+    #[test]
+    fn stale_requests_are_shed_typed() {
+        let m = Metrics::new();
+        let gate = PermitGate::new(1, m.clone());
+        let now = Instant::now();
+        let err = policy()
+            .admit(
+                &gate,
+                &AdmissionCheck {
+                    enqueued_at: now - Duration::from_millis(200),
+                    deadline: now + Duration::from_secs(5),
+                },
+                &m,
+            )
+            .expect_err("stale request must shed");
+        assert!(err.is_overloaded());
+        assert_eq!(err.retry_after_ms(), Some(7));
+        assert_eq!(m.requests_shed(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_rejects_before_execution() {
+        let m = Metrics::new();
+        let gate = PermitGate::new(1, m.clone());
+        let now = Instant::now();
+        let err = policy()
+            .admit(
+                &gate,
+                &AdmissionCheck {
+                    enqueued_at: now,
+                    deadline: now - Duration::from_millis(1),
+                },
+                &m,
+            )
+            .expect_err("expired deadline must reject");
+        assert!(err.is_timeout());
+        assert_eq!(m.deadline_rejects(), 1);
+        assert_eq!(gate.in_use(), 0, "no permit may leak on a reject");
+    }
+
+    #[test]
+    fn full_gate_sheds_within_budget() {
+        let m = Metrics::new();
+        let gate = PermitGate::new(1, m.clone());
+        let _held = gate.acquire(Duration::ZERO).expect("permit");
+        let now = Instant::now();
+        let err = policy()
+            .admit(
+                &gate,
+                &AdmissionCheck {
+                    enqueued_at: now,
+                    deadline: now + Duration::from_secs(5),
+                },
+                &m,
+            )
+            .expect_err("full gate must shed");
+        assert!(err.is_overloaded());
+        assert_eq!(m.permit_waits(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! HARBOR's front door: the serving layer between real client connections
+//! and the distributed engine.
+//!
+//! The paper's headline claim (§6) is that the warehouse keeps serving
+//! updates *while* a site crashes and recovers. This crate is the serving
+//! path that makes that measurable end-to-end: a daemon that accepts many
+//! concurrent connections over the [`harbor_net::Transport`] abstraction
+//! with a **fixed thread budget** (sharded acceptors + multiplexed session
+//! readers + a bounded worker pool — see [`server`]), per-request deadlines
+//! propagated into the engine, an in-flight permit gate, typed
+//! [`Overloaded`](harbor_common::DbError::Overloaded) load shedding with a
+//! backoff hint (see [`admission`]), and graceful drain on shutdown.
+//!
+//! The crate is deliberately thin over one DB kernel (the moor-style
+//! protocol-host split): [`FrontHandler`] is the whole downward interface,
+//! and [`harbor_dist::Coordinator`] implements it directly.
+
+pub mod admission;
+pub mod server;
+pub mod wire;
+
+use harbor_common::{DbResult, Timestamp};
+use harbor_dist::{Coordinator, UpdateRequest};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub use server::{FrontConfig, FrontServer};
+pub use wire::{FrontClient, FrontReply, FrontRequest};
+
+/// The execution engine as the front door sees it: one transaction in, one
+/// commit timestamp out, with an absolute deadline the implementation must
+/// respect between steps.
+pub trait FrontHandler: Send + Sync + 'static {
+    /// Executes `ops` as a single transaction. `deadline` is absolute; the
+    /// implementation checks it between engine steps and gives up (aborting
+    /// anything in progress) once it has passed.
+    fn execute(&self, ops: Vec<UpdateRequest>, deadline: Instant) -> DbResult<Timestamp>;
+}
+
+impl FrontHandler for Arc<Coordinator> {
+    /// begin → update* → commit, with the deadline checked before every
+    /// step. Expiry mid-transaction aborts the transaction — the engine is
+    /// left clean and the client gets a typed timeout it may retry (the
+    /// abort guarantees nothing half-committed).
+    fn execute(&self, ops: Vec<UpdateRequest>, deadline: Instant) -> DbResult<Timestamp> {
+        let check = |what: &str| -> DbResult<()> {
+            if Instant::now() >= deadline {
+                Err(admission::deadline_expired(what))
+            } else {
+                Ok(())
+            }
+        };
+        check("begin")?;
+        let tid = self.begin()?;
+        for op in ops {
+            if let Err(e) = check("update").and_then(|()| self.update(tid, op)) {
+                let _ = self.abort(tid);
+                return Err(e);
+            }
+        }
+        if let Err(e) = check("commit") {
+            let _ = self.abort(tid);
+            return Err(e);
+        }
+        self.commit(tid)
+    }
+}
+
+/// A handler from any closure, for tests and custom kernels.
+pub struct FnHandler<F>(pub F);
+
+impl<F> FrontHandler for FnHandler<F>
+where
+    F: Fn(Vec<UpdateRequest>, Instant) -> DbResult<Timestamp> + Send + Sync + 'static,
+{
+    fn execute(&self, ops: Vec<UpdateRequest>, deadline: Instant) -> DbResult<Timestamp> {
+        (self.0)(ops, deadline)
+    }
+}

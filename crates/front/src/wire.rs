@@ -1,0 +1,267 @@
+//! Front-door wire protocol: one framed request, one framed reply.
+//!
+//! The serving protocol is deliberately tiny — a transaction is shipped
+//! whole (its [`UpdateRequest`] ops reuse the inter-site codec), executed
+//! under the server's admission gate, and answered with a commit timestamp
+//! or a stringly error that [`DbError::from_remote_msg`] re-classifies on
+//! the client side (so an `Overloaded` shed keeps its class *and* its
+//! backoff hint across the hop, exactly like the inter-site taxonomy).
+
+use harbor_common::codec::{Decoder, Encoder, Wire};
+use harbor_common::{DbError, DbResult, Timestamp};
+use harbor_dist::UpdateRequest;
+use harbor_net::{Channel, Transport};
+use std::time::Duration;
+
+/// Validates a wire-declared element count before allocating for it (every
+/// element encodes to at least one byte), mirroring the inter-site codec's
+/// guard: a mutated count must not size a `Vec::with_capacity`.
+fn checked_count(dec: &Decoder<'_>, n: usize) -> DbResult<usize> {
+    if n > dec.remaining() {
+        return Err(DbError::corrupt(format!(
+            "wire count {n} exceeds {} remaining bytes",
+            dec.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+/// A client request to the front door.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontRequest {
+    /// Liveness probe; answered immediately, never queued.
+    Ping,
+    /// Execute `ops` as one transaction. `deadline_ms` is the client's total
+    /// budget from arrival; `0` means "use the server default". `client` and
+    /// `req` echo back in the reply so a driver can correlate pipelined
+    /// sessions.
+    Txn {
+        client: u64,
+        req: u64,
+        deadline_ms: u32,
+        ops: Vec<UpdateRequest>,
+    },
+}
+
+/// The front door's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontReply {
+    Pong,
+    /// The transaction committed at `ts`. This is the *ack*: once a client
+    /// has seen it, the commit must survive any crash/recovery the chaos
+    /// engine throws at the cluster.
+    Committed {
+        client: u64,
+        req: u64,
+        ts: Timestamp,
+    },
+    /// Stringly error; re-classified client-side via
+    /// [`DbError::from_remote_msg`].
+    Err {
+        client: u64,
+        req: u64,
+        msg: String,
+    },
+}
+
+impl Wire for FrontRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            FrontRequest::Ping => enc.put_u8(0),
+            FrontRequest::Txn {
+                client,
+                req,
+                deadline_ms,
+                ops,
+            } => {
+                enc.put_u8(1);
+                enc.put_u64(*client);
+                enc.put_u64(*req);
+                enc.put_u32(*deadline_ms);
+                enc.put_u32(ops.len() as u32);
+                for op in ops {
+                    op.encode(enc);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(FrontRequest::Ping),
+            1 => {
+                let client = dec.get_u64()?;
+                let req = dec.get_u64()?;
+                let deadline_ms = dec.get_u32()?;
+                let declared = dec.get_u32()? as usize;
+                let n = checked_count(dec, declared)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(UpdateRequest::decode(dec)?);
+                }
+                Ok(FrontRequest::Txn {
+                    client,
+                    req,
+                    deadline_ms,
+                    ops,
+                })
+            }
+            t => Err(DbError::protocol(format!("bad FrontRequest tag {t}"))),
+        }
+    }
+}
+
+impl Wire for FrontReply {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            FrontReply::Pong => enc.put_u8(0),
+            FrontReply::Committed { client, req, ts } => {
+                enc.put_u8(1);
+                enc.put_u64(*client);
+                enc.put_u64(*req);
+                enc.put_u64(ts.0);
+            }
+            FrontReply::Err { client, req, msg } => {
+                enc.put_u8(2);
+                enc.put_u64(*client);
+                enc.put_u64(*req);
+                enc.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> DbResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(FrontReply::Pong),
+            1 => Ok(FrontReply::Committed {
+                client: dec.get_u64()?,
+                req: dec.get_u64()?,
+                ts: Timestamp(dec.get_u64()?),
+            }),
+            2 => Ok(FrontReply::Err {
+                client: dec.get_u64()?,
+                req: dec.get_u64()?,
+                msg: dec.get_str()?,
+            }),
+            t => Err(DbError::protocol(format!("bad FrontReply tag {t}"))),
+        }
+    }
+}
+
+/// Blocking single-session client for the front door: one request in flight
+/// at a time, which is exactly what a closed-loop driver wants. Retry and
+/// backoff live one layer up (the workload driver), so this stays an honest
+/// one-round-trip primitive.
+pub struct FrontClient {
+    chan: Box<dyn Channel>,
+    client_id: u64,
+    next_req: u64,
+}
+
+impl FrontClient {
+    /// Connects a new session. `client_id` tags this session's requests in
+    /// replies (purely diagnostic for a single-in-flight client).
+    pub fn connect(transport: &dyn Transport, addr: &str, client_id: u64) -> DbResult<Self> {
+        Ok(FrontClient {
+            chan: transport.connect(addr)?,
+            client_id,
+            next_req: 0,
+        })
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> DbResult<()> {
+        self.chan.send(&FrontRequest::Ping.to_vec())?;
+        match FrontReply::from_slice(&self.chan.recv()?)? {
+            FrontReply::Pong => Ok(()),
+            other => Err(DbError::protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Executes `ops` as one transaction with the given deadline budget
+    /// (`Duration::ZERO` = server default). Exactly one attempt: an
+    /// `Overloaded` shed or a deadline reject comes back as the matching
+    /// typed error for the caller's retry policy to act on.
+    pub fn txn(&mut self, ops: &[UpdateRequest], deadline: Duration) -> DbResult<Timestamp> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let msg = FrontRequest::Txn {
+            client: self.client_id,
+            req,
+            deadline_ms: deadline.as_millis().min(u32::MAX as u128) as u32,
+            ops: ops.to_vec(),
+        };
+        self.chan.send_framed(&msg.to_framed_vec())?;
+        match FrontReply::from_slice(&self.chan.recv()?)? {
+            FrontReply::Committed { ts, .. } => Ok(ts),
+            FrontReply::Err { msg, .. } => Err(DbError::from_remote_msg(msg)),
+            FrontReply::Pong => Err(DbError::protocol("unsolicited Pong")),
+        }
+    }
+
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_common::Value;
+
+    fn sample_ops() -> Vec<UpdateRequest> {
+        vec![UpdateRequest::Insert {
+            table: "sales".into(),
+            values: vec![Value::Int32(7), Value::Str("x".into())],
+        }]
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let r = FrontRequest::Txn {
+            client: 3,
+            req: 41,
+            deadline_ms: 250,
+            ops: sample_ops(),
+        };
+        let back = FrontRequest::from_slice(&r.to_vec()).expect("decode");
+        assert_eq!(back, r);
+        assert_eq!(
+            FrontRequest::from_slice(&FrontRequest::Ping.to_vec()).expect("decode"),
+            FrontRequest::Ping
+        );
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        for r in [
+            FrontReply::Pong,
+            FrontReply::Committed {
+                client: 1,
+                req: 2,
+                ts: Timestamp(99),
+            },
+            FrontReply::Err {
+                client: 1,
+                req: 2,
+                msg: "overloaded: retry after 40 ms".into(),
+            },
+        ] {
+            assert_eq!(FrontReply::from_slice(&r.to_vec()).expect("decode"), r);
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_protocol_errors() {
+        assert!(FrontRequest::from_slice(&[9]).is_err());
+        assert!(FrontReply::from_slice(&[9]).is_err());
+        // A hostile op count is caught by `checked_count`, not allocated.
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u64(0);
+        enc.put_u64(0);
+        enc.put_u32(0);
+        enc.put_u32(u32::MAX);
+        assert!(FrontRequest::from_slice(enc.as_slice()).is_err());
+    }
+}

@@ -73,21 +73,24 @@ pub const DETERMINISM_MODULES: [&str; 4] = [
 ];
 
 /// Files allowed to construct the classified error variants: the taxonomy
-/// definition itself plus the two classification boundaries (RPC deadline
-/// helpers, page-checksum verification).
-pub const TAXONOMY_BOUNDARIES: [&str; 3] = [
-    "common/src/error.rs", // the taxonomy and its constructors
-    "dist/src/lib.rs",     // rpc_deadline/rpc_liveness: timeout vs liveness death
-    "storage/src/file.rs", // checksum verification: the only CorruptPage source
+/// definition itself plus the classification boundaries (RPC deadline
+/// helpers, page-checksum verification, serving-path admission control).
+pub const TAXONOMY_BOUNDARIES: [&str; 4] = [
+    "common/src/error.rs",    // the taxonomy and its constructors
+    "dist/src/lib.rs",        // rpc_deadline/rpc_liveness: timeout vs liveness death
+    "storage/src/file.rs",    // checksum verification: the only CorruptPage source
+    "front/src/admission.rs", // load shedding: the only Overloaded source
 ];
 
 /// The error variants whose construction is confined to the boundaries.
-const CLASSIFIED_VARIANTS: [&str; 5] = [
+const CLASSIFIED_VARIANTS: [&str; 7] = [
     "Timeout",
     "SiteUnavailable",
     "CorruptPage",
+    "Overloaded",
     "timeout",     // DbError::timeout(..) convenience constructor
     "unavailable", // DbError::unavailable(..)
+    "overloaded",  // DbError::overloaded(..)
 ];
 
 /// The declared lock-rank order, lowest acquired first. Mirrors
@@ -741,8 +744,9 @@ pub fn analyze_source(rel: &str, src: &str) -> FileReport {
                     rule: RULE_TAXONOMY,
                     msg: format!(
                         "`DbError::{variant}` constructed outside a classification boundary — \
-                         only {} may mint Timeout/SiteUnavailable/CorruptPage (recovery failover \
-                         and scrub repair dispatch on these classes)",
+                         only {} may mint Timeout/SiteUnavailable/CorruptPage/Overloaded \
+                         (recovery failover, scrub repair, and client retry dispatch on these \
+                         classes)",
                         TAXONOMY_BOUNDARIES.join(", ")
                     ),
                 });

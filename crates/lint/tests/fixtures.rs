@@ -114,6 +114,49 @@ fn scan_partition_rank_inversion_is_caught() {
 }
 
 #[test]
+fn overloaded_is_confined_to_the_admission_boundary() {
+    // Minting a shed outside front/src/admission.rs is a violation — both
+    // the struct literal and the convenience constructor.
+    let bad = std::fs::read_to_string(fixtures("bad/crates/front/src/server.rs")).unwrap();
+    let report = analyze_source("crates/front/src/server.rs", &bad);
+    let taxonomy: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_TAXONOMY)
+        .collect();
+    assert!(
+        taxonomy
+            .iter()
+            .any(|v| v.msg.contains("`DbError::Overloaded`")),
+        "struct-literal shed outside the boundary not caught: {taxonomy:#?}"
+    );
+    assert!(
+        taxonomy
+            .iter()
+            .any(|v| v.msg.contains("`DbError::overloaded`")),
+        "convenience-constructor shed outside the boundary not caught: {taxonomy:#?}"
+    );
+
+    // Matching on the variant (to forward it) is legal anywhere.
+    let good = std::fs::read_to_string(fixtures("good/crates/front/src/server.rs")).unwrap();
+    let report = analyze_source("crates/front/src/server.rs", &good);
+    assert!(
+        report.violations.is_empty(),
+        "propagating a shed must be clean: {:#?}",
+        report.violations
+    );
+
+    // And the admission boundary itself may mint it.
+    let boundary = std::fs::read_to_string(fixtures("good/crates/front/src/admission.rs")).unwrap();
+    let report = analyze_source("crates/front/src/admission.rs", &boundary);
+    assert!(
+        report.violations.is_empty(),
+        "the admission boundary must be allowed to shed: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
 fn good_tree_is_clean() {
     let violations = analyze_fixture_tree(&fixtures("good"));
     assert!(

@@ -1,0 +1,16 @@
+//! FIXTURE (bad): `Overloaded` minted outside the admission boundary.
+//! Clients retry `Overloaded` unconditionally *because* it promises the
+//! request never executed; minting it elsewhere breaks that promise.
+//! Never compiled.
+
+pub fn reply_busy(depth: usize) -> DbError {
+    // Violation: a worker deciding mid-execution that it is "busy" is not
+    // a shed — the request may already have side effects, so a client
+    // retry here is a double execution.
+    DbError::Overloaded { retry_after_ms: 25 }
+}
+
+pub fn shed_after_start(req: u64) -> DbResult<()> {
+    // Violation: convenience constructor is still a construction.
+    Err(DbError::overloaded(50))
+}

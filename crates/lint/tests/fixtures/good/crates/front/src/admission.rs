@@ -1,0 +1,12 @@
+//! FIXTURE (good): the admission boundary itself may mint `Overloaded` —
+//! this file suffix is in `TAXONOMY_BOUNDARIES`. Never compiled.
+
+pub fn queue_full_shed(retry_after_ms: u64) -> DbError {
+    // Legal: front/src/admission.rs is the classification boundary for
+    // load shedding, the one place a request is refused *before* it runs.
+    DbError::Overloaded { retry_after_ms }
+}
+
+pub fn aged_out(hint: u64) -> DbResult<Permit> {
+    Err(DbError::overloaded(hint))
+}

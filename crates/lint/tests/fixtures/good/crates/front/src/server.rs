@@ -1,0 +1,19 @@
+//! FIXTURE (good): the serving path *propagates* typed sheds it got from
+//! the admission boundary instead of minting its own. Matching on the
+//! variant, or calling the boundary's policy, is always legal.
+//! Never compiled.
+
+pub fn reply_for(err: &DbError) -> Reply {
+    // Inspecting a classified error is fine everywhere — only construction
+    // is confined.
+    match err {
+        DbError::Overloaded { retry_after_ms } => Reply::busy(*retry_after_ms),
+        other => Reply::err(other.to_string()),
+    }
+}
+
+pub fn shed_if_stale(policy: &AdmissionPolicy, check: AdmissionCheck) -> DbResult<Permit> {
+    // The admission boundary (front/src/admission.rs) is the one place
+    // that decides a shed; the server just forwards its verdict.
+    policy.admit(check)
+}

@@ -53,7 +53,7 @@ pub trait Channel: Send {
 }
 
 /// Accepts inbound connections at one address.
-pub trait Listener: Send {
+pub trait Listener: Send + Sync {
     /// Blocks for the next inbound connection.
     fn accept(&self) -> DbResult<Box<dyn Channel>>;
 

@@ -3,9 +3,12 @@
 //! (§6.1.6).
 
 use crate::{closed, Channel, Listener, Transport};
+use harbor_common::config::MAX_FRAME_BYTES;
 use harbor_common::{DbError, DbResult, Metrics};
+use std::collections::VecDeque;
 use std::io::{ErrorKind, IoSlice, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Real-socket transport. Addresses are `host:port`; binding to port 0
@@ -24,10 +27,10 @@ impl Transport for TcpTransport {
     fn listen(&self, addr: &str) -> DbResult<Box<dyn Listener>> {
         let listener =
             TcpListener::bind(addr).map_err(|e| DbError::net(format!("bind {addr}: {e}")))?;
-        Ok(Box::new(TcpListenerWrap {
+        Ok(Box::new(TcpListenerWrap::new(
             listener,
-            metrics: self.metrics.clone(),
-        }))
+            self.metrics.clone(),
+        )?))
     }
 
     fn connect(&self, addr: &str) -> DbResult<Box<dyn Channel>> {
@@ -42,59 +45,168 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Connections handed from the acceptor thread to `accept`/`accept_timeout`
+/// callers, plus the stop latch for shutdown.
+struct AcceptState {
+    ready: VecDeque<std::io::Result<(TcpStream, SocketAddr)>>,
+    stopped: bool,
+}
+
+struct AcceptQueue {
+    state: Mutex<AcceptState>,
+    cv: Condvar,
+}
+
+/// A TCP listener with a dedicated blocking acceptor thread.
+///
+/// The thread sits in a *blocking* `accept` and hands connections over a
+/// condvar-signalled queue, so `accept_timeout` is a single timed wait —
+/// truly idle between connections — instead of the 1 ms nonblocking
+/// sleep-poll it used to be (which burned a core per idle listener). The
+/// same queue serves every consumer, so the front door's acceptor shards
+/// can all pull from one listener without re-polling the socket.
 struct TcpListenerWrap {
-    listener: TcpListener,
+    local_addr: SocketAddr,
+    queue: Arc<AcceptQueue>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
     metrics: Metrics,
+}
+
+impl TcpListenerWrap {
+    fn new(listener: TcpListener, metrics: Metrics) -> DbResult<Self> {
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| DbError::net(format!("local_addr: {e}")))?;
+        let queue = Arc::new(AcceptQueue {
+            state: Mutex::new(AcceptState {
+                ready: VecDeque::new(),
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let q = Arc::clone(&queue);
+        let acceptor = std::thread::Builder::new()
+            .name("tcp-acceptor".into())
+            .spawn(move || loop {
+                let got = listener.accept();
+                let mut st = q.state.lock().unwrap_or_else(|p| p.into_inner());
+                if st.stopped {
+                    // Shutdown wake-up (or a late connection during drop):
+                    // discard and exit; the listener closes with this thread.
+                    return;
+                }
+                let fatal = got.is_err();
+                if fatal {
+                    // Surface the error to one consumer, close the listener
+                    // for the rest; a broken listener must not spin this
+                    // loop hot.
+                    st.stopped = true;
+                }
+                st.ready.push_back(got);
+                drop(st);
+                q.cv.notify_all();
+                if fatal {
+                    return;
+                }
+            })
+            .map_err(|e| DbError::net(format!("spawn acceptor: {e}")))?;
+        Ok(TcpListenerWrap {
+            local_addr,
+            queue,
+            acceptor: Some(acceptor),
+            metrics,
+        })
+    }
+
+    fn wrap(&self, stream: TcpStream, peer: SocketAddr) -> Box<dyn Channel> {
+        stream.set_nodelay(true).ok();
+        Box::new(TcpChannel {
+            stream,
+            peer: peer.to_string(),
+            metrics: self.metrics.clone(),
+        })
+    }
+
+    fn take_ready(
+        &self,
+        got: std::io::Result<(TcpStream, SocketAddr)>,
+    ) -> DbResult<Box<dyn Channel>> {
+        match got {
+            Ok((stream, peer)) => Ok(self.wrap(stream, peer)),
+            Err(e) => Err(DbError::net(format!("accept: {e}"))),
+        }
+    }
 }
 
 impl Listener for TcpListenerWrap {
     fn accept(&self) -> DbResult<Box<dyn Channel>> {
-        let (stream, peer) = self
-            .listener
-            .accept()
-            .map_err(|e| DbError::net(format!("accept: {e}")))?;
-        stream.set_nodelay(true).ok();
-        Ok(Box::new(TcpChannel {
-            stream,
-            peer: peer.to_string(),
-            metrics: self.metrics.clone(),
-        }))
+        let mut st = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(got) = st.ready.pop_front() {
+                drop(st);
+                return self.take_ready(got);
+            }
+            if st.stopped {
+                return Err(DbError::net("accept: listener closed"));
+            }
+            st = self.queue.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
     }
 
     fn accept_timeout(&self, timeout: Duration) -> DbResult<Option<Box<dyn Channel>>> {
-        self.listener.set_nonblocking(true).ok();
         let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            match self.listener.accept() {
-                Ok((stream, peer)) => {
-                    self.listener.set_nonblocking(false).ok();
-                    stream.set_nodelay(true).ok();
-                    return Ok(Some(Box::new(TcpChannel {
-                        stream,
-                        peer: peer.to_string(),
-                        metrics: self.metrics.clone(),
-                    })));
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    if std::time::Instant::now() >= deadline {
-                        self.listener.set_nonblocking(false).ok();
-                        return Ok(None);
-                    }
-                    std::thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) => {
-                    self.listener.set_nonblocking(false).ok();
-                    return Err(DbError::net(format!("accept: {e}")));
-                }
+            if let Some(got) = st.ready.pop_front() {
+                drop(st);
+                return self.take_ready(got).map(Some);
             }
+            if st.stopped {
+                return Err(DbError::net("accept: listener closed"));
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Ok(None);
+            };
+            let (guard, _timed_out) = self
+                .queue
+                .cv
+                .wait_timeout(st, left)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
         }
     }
 
     fn local_addr(&self) -> String {
-        self.listener
-            .local_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_default()
+        self.local_addr.to_string()
+    }
+}
+
+impl Drop for TcpListenerWrap {
+    fn drop(&mut self) {
+        {
+            let mut st = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.stopped = true;
+        }
+        self.queue.cv.notify_all();
+        // The acceptor thread is parked in a blocking `accept`; a self-connect
+        // is the portable way to wake it so it can observe `stopped` and exit.
+        let mut target = self.local_addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let woke = TcpStream::connect_timeout(&target, Duration::from_millis(250)).is_ok();
+        if let Some(h) = self.acceptor.take() {
+            if woke {
+                h.join().ok();
+            }
+            // If the wake-up connect failed (firewalled loopback, exhausted
+            // fds) the thread is left parked rather than hanging this drop;
+            // it exits on the next connection or at process end.
+        }
     }
 }
 
@@ -133,6 +245,16 @@ impl TcpChannel {
             Err(e) => return Err(e.into()),
         }
         let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME_BYTES {
+            // A hostile or corrupt 4-byte prefix must not size an allocation
+            // (it can claim up to 4 GiB). The stream is desynced once the
+            // prefix is untrusted, so this connection is done: corrupt
+            // framing, not a timeout and not site death.
+            return Err(DbError::corrupt(format!(
+                "frame length {len} from {} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})",
+                self.peer
+            )));
+        }
         let mut buf = vec![0u8; len];
         self.stream
             .read_exact(&mut buf)
@@ -236,5 +358,67 @@ impl Channel for TcpChannel {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bind() -> (TcpTransport, Box<dyn Listener>, String) {
+        let t = TcpTransport::new(Metrics::new());
+        let l = t.listen("127.0.0.1:0").unwrap();
+        let addr = l.local_addr();
+        (t, l, addr)
+    }
+
+    #[test]
+    fn hostile_length_prefix_never_allocates() {
+        let (_t, l, addr) = bind();
+        // A raw socket that claims a 4 GiB frame: the receiver must reject
+        // the prefix as corrupt framing instead of sizing a buffer with it.
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        let mut server = l.accept().unwrap();
+        let err = server.recv().expect_err("oversized frame must be refused");
+        assert!(err.is_corrupt(), "got {err}");
+        assert!(err.to_string().contains("MAX_FRAME_BYTES"));
+        // A frame just over the cap is refused too; at the cap it would be
+        // allowed (the conformance tests push 1 MiB frames through).
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        raw.write_all(&((MAX_FRAME_BYTES as u32 + 1).to_le_bytes()))
+            .unwrap();
+        let mut server = l.accept().unwrap();
+        assert!(server.recv().unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn accept_timeout_is_a_timed_wait_not_a_poll() {
+        let (_t, l, addr) = bind();
+        // Idle listener: returns None after the timeout.
+        assert!(l
+            .accept_timeout(Duration::from_millis(20))
+            .unwrap()
+            .is_none());
+        // Pending connection: surfaced through the acceptor queue.
+        let client = TcpStream::connect(&addr).unwrap();
+        let got = l.accept_timeout(Duration::from_secs(5)).unwrap();
+        assert!(got.is_some());
+        drop(client);
+    }
+
+    #[test]
+    fn dropping_listener_stops_acceptor_thread() {
+        let (_t, l, addr) = bind();
+        assert!(l
+            .accept_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+        drop(l);
+        // The port is released once the acceptor thread exits.
+        assert!(
+            TcpStream::connect_timeout(&addr.parse().unwrap(), Duration::from_millis(250)).is_err()
+        );
     }
 }

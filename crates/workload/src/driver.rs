@@ -1,0 +1,216 @@
+//! Closed-loop multi-client driver over a real transport.
+//!
+//! Where [`crate::measure::run_concurrent_streams`] drives the coordinator
+//! in-process, this driver connects real sessions through the front door
+//! ([`harbor_front::FrontClient`]) and measures what a *client* sees:
+//! connect, send, commit-or-shed, retry. Retries reuse the workspace's one
+//! seeded-backoff engine ([`harbor_common::retry`]) so a run's retry
+//! schedule is a pure function of its seed, with the server's
+//! `retry_after_ms` shed hint applied as a floor under the jittered delay.
+//!
+//! Retry policy follows the taxonomy: an
+//! [`Overloaded`](harbor_common::DbError::Overloaded) shed is retryable *by
+//! construction* (the request never executed), so the driver resubmits it;
+//! everything else — including timeouts, which on the serving path may be
+//! ambiguous only after admission — terminates the transaction attempt.
+//! Every *acked* transaction (a `Committed` reply seen by the client) is
+//! recorded with its id so soaks can assert acked ⇒ durable.
+
+use crate::measure::{percentile, ThroughputSample};
+use harbor_common::config::DEFAULT_RETRY_AFTER_MS;
+use harbor_common::{DbResult, RetryPolicy, Timestamp};
+use harbor_dist::UpdateRequest;
+use harbor_front::FrontClient;
+use harbor_net::Transport;
+use std::time::{Duration, Instant};
+
+/// Knobs for one driver run.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Closed-loop transactions per client.
+    pub txns_per_client: usize,
+    /// Per-request deadline budget sent to the server (`ZERO` = server
+    /// default).
+    pub deadline: Duration,
+    /// Backoff schedule for shed retries. Each client salts the seed with
+    /// its index so retry storms decorrelate but a replay reproduces every
+    /// delay.
+    pub retry: RetryPolicy,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients: 4,
+            txns_per_client: 50,
+            deadline: Duration::from_secs(5),
+            retry: RetryPolicy::new(
+                8,
+                Duration::from_millis(5),
+                Duration::from_millis(200),
+                0x5EED_F007,
+            ),
+        }
+    }
+}
+
+/// What one driver run saw, client-side.
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// Throughput/latency over *acked* transactions; latency includes shed
+    /// retries (the client-observed SLO, not the server-side service time).
+    pub sample: ThroughputSample,
+    /// `Overloaded` sheds observed (each one was retried or gave up).
+    pub sheds_observed: u64,
+    /// Shed resubmissions actually performed.
+    pub retries: u64,
+    /// Transactions that terminally failed (budget exhausted or a
+    /// non-retryable error).
+    pub failed: u64,
+    /// Ids of every acked transaction, in completion order per client.
+    /// Once an id is in here the commit must survive anything.
+    pub acked: Vec<i64>,
+}
+
+/// Sends one transaction with bounded shed-retries: jittered seeded backoff
+/// with the server's `retry_after_ms` hint as a floor. Returns
+/// `(result, sheds, retries)`.
+fn send_with_retry(
+    client: &mut FrontClient,
+    ops: &[UpdateRequest],
+    deadline: Duration,
+    retry: &RetryPolicy,
+) -> (DbResult<Timestamp>, u64, u64) {
+    let mut sheds = 0u64;
+    let mut retries = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        match client.txn(ops, deadline) {
+            Ok(ts) => return (Ok(ts), sheds, retries),
+            Err(e) if e.is_overloaded() => {
+                sheds += 1;
+                if attempt >= retry.attempts {
+                    return (Err(e), sheds, retries);
+                }
+                let hint =
+                    Duration::from_millis(e.retry_after_ms().unwrap_or(DEFAULT_RETRY_AFTER_MS));
+                std::thread::sleep(retry.delay(attempt).max(hint));
+                retries += 1;
+                attempt += 1;
+            }
+            Err(e) => return (Err(e), sheds, retries),
+        }
+    }
+}
+
+/// Runs `cfg.clients` concurrent closed-loop sessions against the front
+/// door at `addr`. `make_txn` maps `(client, n)` to `(id, ops)`; the id is
+/// recorded iff the transaction is acked.
+pub fn run_front_clients(
+    transport: &dyn Transport,
+    addr: &str,
+    cfg: &DriverConfig,
+    make_txn: impl Fn(usize, usize) -> (i64, Vec<UpdateRequest>) + Send + Sync,
+) -> DbResult<DriverReport> {
+    struct ClientReport {
+        latencies: Vec<Duration>,
+        acked: Vec<i64>,
+        sheds: u64,
+        retries: u64,
+        failed: u64,
+    }
+
+    let start = Instant::now();
+    let make_txn = &make_txn;
+    let reports: Vec<DbResult<ClientReport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                scope.spawn(move || -> DbResult<ClientReport> {
+                    let mut client = FrontClient::connect(transport, addr, c as u64)?;
+                    let retry = RetryPolicy {
+                        seed: cfg.retry.seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ..cfg.retry
+                    };
+                    let mut r = ClientReport {
+                        latencies: Vec::with_capacity(cfg.txns_per_client),
+                        acked: Vec::with_capacity(cfg.txns_per_client),
+                        sheds: 0,
+                        retries: 0,
+                        failed: 0,
+                    };
+                    for n in 0..cfg.txns_per_client {
+                        let (id, ops) = make_txn(c, n);
+                        let t0 = Instant::now();
+                        let (res, sheds, retries) =
+                            send_with_retry(&mut client, &ops, cfg.deadline, &retry);
+                        r.sheds += sheds;
+                        r.retries += retries;
+                        match res {
+                            Ok(_ts) => {
+                                r.latencies.push(t0.elapsed());
+                                r.acked.push(id);
+                            }
+                            Err(_) => r.failed += 1,
+                        }
+                    }
+                    Ok(r)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(harbor_common::DbError::internal("client thread panicked")),
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut all = Vec::new();
+    let mut acked = Vec::new();
+    let (mut sheds, mut retries, mut failed) = (0u64, 0u64, 0u64);
+    let mut first_err = None;
+    for r in reports {
+        match r {
+            Ok(r) => {
+                all.extend(r.latencies);
+                acked.extend(r.acked);
+                sheds += r.sheds;
+                retries += r.retries;
+                failed += r.failed;
+            }
+            Err(e) => first_err = Some(e),
+        }
+    }
+    if let (Some(e), true) = (first_err, acked.is_empty()) {
+        // Every client failing to even connect is a run failure; partial
+        // client loss during chaos is data, not an error.
+        return Err(e);
+    }
+    let committed = all.len() as u64;
+    let total: Duration = all.iter().sum();
+    let mean = if committed > 0 {
+        total / committed as u32
+    } else {
+        Duration::ZERO
+    };
+    all.sort();
+    Ok(DriverReport {
+        sample: ThroughputSample {
+            committed,
+            aborted: failed,
+            elapsed,
+            mean_latency: mean,
+            p50_latency: percentile(&all, 0.50),
+            p99_latency: percentile(&all, 0.99),
+            p999_latency: percentile(&all, 0.999),
+        },
+        sheds_observed: sheds,
+        retries,
+        failed,
+        acked,
+    })
+}

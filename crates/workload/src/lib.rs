@@ -8,9 +8,11 @@
 //! workloads against a [`harbor::Cluster`] and measures throughput,
 //! latency, and per-second timelines.
 
+pub mod driver;
 pub mod gen;
 pub mod measure;
 
+pub use driver::{run_front_clients, DriverConfig, DriverReport};
 pub use gen::{insert_request, paper_row, update_by_key_request, InsertStream};
 pub use measure::{
     percentile, run_concurrent_streams, StreamReport, ThroughputSample, Timeline, TimelineBucket,
