@@ -15,6 +15,7 @@ pub mod lockrank;
 pub mod metrics;
 pub mod retry;
 pub mod schema;
+pub mod shimsan;
 pub mod time;
 pub mod tuple;
 pub mod value;

@@ -1,0 +1,406 @@
+//! ShimSan: vector-clock happens-before tracking threaded through the
+//! vendored concurrency shims — the *dynamic* complement to harbor-lint's
+//! static `lockset-race` pass, exactly as [`lockrank`](crate::lockrank) is
+//! the dynamic complement to the static `lock-rank` rule.
+//!
+//! The container is offline, so every lock and every channel in the
+//! workspace flows through `shims/parking_lot` and `shims/crossbeam`. That
+//! chokepoint makes a sanitizer cheap to retrofit: each shim `Mutex` /
+//! `RwLock` carries a [`SyncClock`] (merged into the acquiring thread's
+//! vector clock on lock, back out on unlock), and each channel message
+//! carries a [`MsgClock`] stamped at `send` and joined at `recv`. A
+//! [`RaceWitness`] placed next to a shared location then panics the run the
+//! moment two accesses happen with **no** happens-before edge through those
+//! instrumented primitives — which is precisely the runtime shape of an
+//! "empty / inconsistent lockset" finding from the static pass, so every
+//! static verdict can be confirmed (witness fires under the chaos soak) or
+//! refuted (soak stays silent with the witness armed).
+//!
+//! Everything here is compiled to zero-sized no-ops in release builds
+//! (`debug_assertions` off): the 6 pinned chaos-soak seeds and the whole
+//! debug test suite run with the sanitizer armed, production binaries pay
+//! nothing.
+//!
+//! Clock model: each thread gets a small integer id and a vector clock
+//! `clock[tid]`. An access by thread `u` is recorded as the epoch
+//! `(u, clock_u[u])`; a later access by thread `t` is ordered after it iff
+//! `clock_t[u] >= epoch` (the standard FastTrack-style epoch test). Joins
+//! only happen through the shims, so an edge the shims cannot see — two raw
+//! threads touching the same witness with no lock and no channel between
+//! them — is reported as a race even when the wall clock happened to
+//! serialize the accesses. That strictness is the point: "it worked this
+//! run" is not synchronization.
+
+/// `true` when the sanitizer actually tracks and checks (debug builds).
+pub const fn is_armed() -> bool {
+    cfg!(debug_assertions)
+}
+
+#[cfg(debug_assertions)]
+mod armed {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Mutex, PoisonError};
+
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+    /// Happens-before edges recorded through locks and channels.
+    static SYNC_EDGES: AtomicU64 = AtomicU64::new(0);
+    /// Witness accesses checked.
+    static WITNESS_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+    struct ThreadSan {
+        tid: usize,
+        clock: Vec<u64>,
+    }
+
+    thread_local! {
+        static TCB: RefCell<ThreadSan> = RefCell::new({
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let mut clock = vec![0u64; tid + 1];
+            clock[tid] = 1;
+            ThreadSan { tid, clock }
+        });
+    }
+
+    fn join(dst: &mut Vec<u64>, src: &[u64]) {
+        if dst.len() < src.len() {
+            dst.resize(src.len(), 0);
+        }
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            if *s > *d {
+                *d = *s;
+            }
+        }
+    }
+
+    /// A happens-before rendezvous embedded in a lock: merged into the
+    /// acquiring thread on lock, merged back from the releasing thread on
+    /// unlock.
+    pub struct SyncClock {
+        state: Mutex<Vec<u64>>,
+    }
+
+    impl SyncClock {
+        pub const fn new() -> Self {
+            SyncClock {
+                state: Mutex::new(Vec::new()),
+            }
+        }
+
+        /// Lock acquired: everything the previous holder did now
+        /// happens-before this thread's next access.
+        pub fn acquire(&self) {
+            TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                join(&mut t.clock, &state);
+            });
+            SYNC_EDGES.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Lock released: publish this thread's history to the next holder
+        /// and advance the local epoch.
+        pub fn release(&self) {
+            TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let snapshot = t.clock.clone();
+                join(&mut state, &snapshot);
+                drop(state);
+                let tid = t.tid;
+                t.clock[tid] += 1;
+            });
+            SYNC_EDGES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    impl Default for SyncClock {
+        fn default() -> Self {
+            SyncClock::new()
+        }
+    }
+
+    /// The clock a channel message carries from its `send` to its `recv` —
+    /// per-message, so a receiver is ordered after exactly the sender that
+    /// produced its message, not after every sender of the channel.
+    pub struct MsgClock {
+        clock: Vec<u64>,
+    }
+
+    impl MsgClock {
+        /// Snapshot the sending thread's history and advance its epoch.
+        pub fn stamp() -> Self {
+            let clock = TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                let snapshot = t.clock.clone();
+                let tid = t.tid;
+                t.clock[tid] += 1;
+                snapshot
+            });
+            SYNC_EDGES.fetch_add(1, Ordering::Relaxed);
+            MsgClock { clock }
+        }
+
+        /// Receiving thread: everything the sender did before the send now
+        /// happens-before the receiver's next access.
+        pub fn join_into_current(self) {
+            TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                join(&mut t.clock, &self.clock);
+            });
+            SYNC_EDGES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    struct Access {
+        tid: usize,
+        epoch: u64,
+    }
+
+    struct WitnessState {
+        last_write: Option<Access>,
+        reads: Vec<Access>,
+    }
+
+    /// A race detector for one shared location. Place it next to the field
+    /// it guards and call [`check_write`](RaceWitness::check_write) /
+    /// [`check_read`](RaceWitness::check_read) at every access; the witness
+    /// panics when two accesses have no happens-before edge through the
+    /// instrumented shims.
+    pub struct RaceWitness {
+        state: Mutex<WitnessState>,
+    }
+
+    impl RaceWitness {
+        pub const fn new() -> Self {
+            RaceWitness {
+                state: Mutex::new(WitnessState {
+                    last_write: None,
+                    reads: Vec::new(),
+                }),
+            }
+        }
+
+        fn ordered_after(clock: &[u64], a: &Access) -> bool {
+            clock.get(a.tid).copied().unwrap_or(0) >= a.epoch
+        }
+
+        /// Records a write. Panics if any prior read or write is concurrent
+        /// (no happens-before edge) with this thread.
+        pub fn check_write(&self, what: &str) {
+            WITNESS_CHECKS.fetch_add(1, Ordering::Relaxed);
+            TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let racing = st
+                    .last_write
+                    .iter()
+                    .chain(st.reads.iter())
+                    .find(|a| a.tid != t.tid && !Self::ordered_after(&t.clock, a))
+                    .copied();
+                if let Some(a) = racing {
+                    // Release the borrows before unwinding through them.
+                    drop(st);
+                    let tid = t.tid;
+                    drop(t);
+                    panic!(
+                        "ShimSan: data race on `{what}` — write by thread {tid} is \
+                         concurrent with an access by thread {} (no happens-before \
+                         edge through any instrumented lock or channel)",
+                        a.tid
+                    );
+                }
+                let tid = t.tid;
+                st.last_write = Some(Access {
+                    tid,
+                    epoch: t.clock[tid],
+                });
+                st.reads.clear();
+                drop(st);
+                t.clock[tid] += 1;
+            });
+        }
+
+        /// Records a read. Panics if the previous write is concurrent (no
+        /// happens-before edge) with this thread. Concurrent reads are fine.
+        pub fn check_read(&self, what: &str) {
+            WITNESS_CHECKS.fetch_add(1, Ordering::Relaxed);
+            TCB.with(|t| {
+                let mut t = t.borrow_mut();
+                let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let racing = st
+                    .last_write
+                    .filter(|a| a.tid != t.tid && !Self::ordered_after(&t.clock, a));
+                if let Some(a) = racing {
+                    drop(st);
+                    let tid = t.tid;
+                    drop(t);
+                    panic!(
+                        "ShimSan: data race on `{what}` — read by thread {tid} is \
+                         concurrent with a write by thread {} (no happens-before \
+                         edge through any instrumented lock or channel)",
+                        a.tid
+                    );
+                }
+                let tid = t.tid;
+                let epoch = t.clock[tid];
+                st.reads.push(Access { tid, epoch });
+                // Bound the read set: a same-thread later read dominates its
+                // earlier ones for the race check.
+                if st.reads.len() > 64 {
+                    let mut newest: Vec<Access> = Vec::with_capacity(8);
+                    for a in st.reads.drain(..) {
+                        match newest.iter_mut().find(|n| n.tid == a.tid) {
+                            Some(n) => n.epoch = n.epoch.max(a.epoch),
+                            None => newest.push(a),
+                        }
+                    }
+                    st.reads = newest;
+                }
+                drop(st);
+                t.clock[tid] += 1;
+            });
+        }
+    }
+
+    impl Default for RaceWitness {
+        fn default() -> Self {
+            RaceWitness::new()
+        }
+    }
+
+    /// Happens-before edges recorded so far (locks, unlocks, sends, recvs).
+    pub fn sync_edges() -> u64 {
+        SYNC_EDGES.load(Ordering::Relaxed)
+    }
+
+    /// Witness accesses checked so far.
+    pub fn witness_checks() -> u64 {
+        WITNESS_CHECKS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod armed {
+    /// Zero-sized in release builds.
+    pub struct SyncClock;
+
+    impl SyncClock {
+        #[inline(always)]
+        pub const fn new() -> Self {
+            SyncClock
+        }
+        #[inline(always)]
+        pub fn acquire(&self) {}
+        #[inline(always)]
+        pub fn release(&self) {}
+    }
+
+    impl Default for SyncClock {
+        fn default() -> Self {
+            SyncClock
+        }
+    }
+
+    /// Zero-sized in release builds.
+    pub struct MsgClock;
+
+    impl MsgClock {
+        #[inline(always)]
+        pub fn stamp() -> Self {
+            MsgClock
+        }
+        #[inline(always)]
+        pub fn join_into_current(self) {}
+    }
+
+    /// Zero-sized in release builds.
+    pub struct RaceWitness;
+
+    impl RaceWitness {
+        #[inline(always)]
+        pub const fn new() -> Self {
+            RaceWitness
+        }
+        #[inline(always)]
+        pub fn check_write(&self, _what: &str) {}
+        #[inline(always)]
+        pub fn check_read(&self, _what: &str) {}
+    }
+
+    impl Default for RaceWitness {
+        fn default() -> Self {
+            RaceWitness
+        }
+    }
+
+    #[inline(always)]
+    pub fn sync_edges() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub fn witness_checks() -> u64 {
+        0
+    }
+}
+
+pub use armed::{sync_edges, witness_checks, MsgClock, RaceWitness, SyncClock};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_thread_accesses_never_race() {
+        let w = RaceWitness::new();
+        w.check_write("x");
+        w.check_read("x");
+        w.check_write("x");
+    }
+
+    #[test]
+    fn sync_clock_orders_across_threads() {
+        use std::sync::Arc;
+        let w = Arc::new(RaceWitness::new());
+        let clock = Arc::new(SyncClock::new());
+        let (w2, c2) = (w.clone(), clock.clone());
+        // Thread 1 writes, then "unlocks"; main "locks", then writes: the
+        // release/acquire pair is the happens-before edge.
+        let t = std::thread::spawn(move || {
+            w2.check_write("shared");
+            c2.release();
+        });
+        t.join().unwrap();
+        clock.acquire();
+        w.check_write("shared");
+    }
+
+    #[test]
+    fn msg_clock_orders_sender_before_receiver() {
+        use std::sync::mpsc;
+        use std::sync::Arc;
+        let w = Arc::new(RaceWitness::new());
+        let (tx, rx) = mpsc::channel::<MsgClock>();
+        let w2 = w.clone();
+        let t = std::thread::spawn(move || {
+            w2.check_write("via-channel");
+            tx.send(MsgClock::stamp()).unwrap();
+        });
+        rx.recv().unwrap().join_into_current();
+        w.check_write("via-channel");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn edges_and_checks_are_counted() {
+        let before = (sync_edges(), witness_checks());
+        let c = SyncClock::new();
+        c.acquire();
+        c.release();
+        RaceWitness::new().check_write("counted");
+        assert!(sync_edges() >= before.0 + 2);
+        assert!(witness_checks() > before.1);
+    }
+}

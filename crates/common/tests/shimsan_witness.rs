@@ -1,0 +1,59 @@
+//! ShimSan race regression: two threads touching a shared location with no
+//! guard and no channel hand-off have no happens-before edge, and the
+//! witness must say so by panicking — even when the wall clock happens to
+//! serialize the accesses perfectly.
+//!
+//! The cross-thread hand-off below uses `std::sync::mpsc`, which ShimSan
+//! deliberately does *not* instrument (all production code goes through the
+//! shims): the accesses are strictly ordered in real time, yet carry no
+//! tracked synchronization, which is exactly the bug shape the static
+//! `lockset-race` rule flags ("field written with an empty lockset").
+
+use harbor_common::shimsan::{self, RaceWitness};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "ShimSan: data race")]
+fn unguarded_cross_thread_writes_panic() {
+    let w = Arc::new(RaceWitness::new());
+    let (tx, rx) = mpsc::channel::<()>();
+    let w2 = w.clone();
+    let t = std::thread::spawn(move || {
+        w2.check_write("unguarded cell");
+        tx.send(()).unwrap();
+    });
+    // Real-time ordering without a tracked happens-before edge.
+    rx.recv().unwrap();
+    let _ = t.join();
+    w.check_write("unguarded cell");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "ShimSan: data race")]
+fn unguarded_read_after_foreign_write_panics() {
+    let w = Arc::new(RaceWitness::new());
+    let (tx, rx) = mpsc::channel::<()>();
+    let w2 = w.clone();
+    let t = std::thread::spawn(move || {
+        w2.check_write("unguarded cell");
+        tx.send(()).unwrap();
+    });
+    rx.recv().unwrap();
+    let _ = t.join();
+    w.check_read("unguarded cell");
+}
+
+#[test]
+fn arming_matches_build_profile() {
+    assert_eq!(shimsan::is_armed(), cfg!(debug_assertions));
+    if !shimsan::is_armed() {
+        // Release builds: witnesses are free and silent.
+        let w = RaceWitness::new();
+        w.check_write("noop");
+        assert_eq!(shimsan::sync_edges(), 0);
+        assert_eq!(shimsan::witness_checks(), 0);
+    }
+}

@@ -35,6 +35,7 @@ use crate::wire::{FrontReply, FrontRequest};
 use crate::FrontHandler;
 use harbor_common::codec::Wire;
 use harbor_common::config::{DEFAULT_REQUEST_DEADLINE, DEFAULT_RETRY_AFTER_MS};
+use harbor_common::shimsan::RaceWitness;
 use harbor_common::{DbResult, Metrics};
 use harbor_net::{Channel, Listener};
 use parking_lot::{Condvar, Mutex};
@@ -129,6 +130,11 @@ struct Shared {
     /// Bounded queue of admitted-to-queue requests awaiting a worker.
     work: Mutex<VecDeque<Work>>,
     work_cv: Condvar,
+    /// ShimSan witness on the reader→worker hand-off: every enqueue and
+    /// dequeue records a write while the `work` mutex is held, so any
+    /// future access that skips the lock panics in debug builds under the
+    /// chaos soak. Zero-sized no-op in release.
+    work_witness: RaceWitness,
     /// Set by `shutdown`: stop accepting and stop reading new requests.
     /// Workers keep draining until the work queue is empty.
     stop: AtomicBool,
@@ -195,6 +201,7 @@ impl FrontServer {
             idle_cv: Condvar::new(),
             work: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
+            work_witness: RaceWitness::new(),
             stop: AtomicBool::new(false),
             intake_closed: AtomicBool::new(false),
             cfg,
@@ -418,6 +425,7 @@ fn enqueue_or_shed(sh: &Shared, work: Work) {
         return;
     }
     q.push_back(work);
+    sh.work_witness.check_write("front work-queue");
     sh.metrics.note_queue_depth(q.len() as u64);
     drop(q);
     sh.work_cv.notify_one();
@@ -430,6 +438,7 @@ fn work_loop(sh: &Shared) {
             let mut q = sh.work.lock();
             loop {
                 if let Some(w) = q.pop_front() {
+                    sh.work_witness.check_write("front work-queue");
                     break w;
                 }
                 // Drain semantics: exit only once intake is closed *and* the

@@ -8,6 +8,7 @@
 //! backoff hint across the hop, exactly like the inter-site taxonomy).
 
 use harbor_common::codec::{Decoder, Encoder, Wire};
+use harbor_common::config::DEFAULT_REQUEST_DEADLINE;
 use harbor_common::{DbError, DbResult, Timestamp};
 use harbor_dist::UpdateRequest;
 use harbor_net::{Channel, Transport};
@@ -156,7 +157,18 @@ pub struct FrontClient {
     chan: Box<dyn Channel>,
     client_id: u64,
     next_req: u64,
+    /// Set when a reply deadline expired with the reply still owed: the
+    /// session's request/reply pairing is no longer trustworthy (a late
+    /// reply would be matched against the *next* request), so every later
+    /// call fails fast until the caller reconnects.
+    desynced: bool,
 }
+
+/// Extra patience past the request's own budget before the client declares
+/// a reply lost: covers queue wait, reply transit, and chaos-injected
+/// delay, so a server-side deadline reject still arrives as a typed error
+/// instead of tripping the client-side bound first.
+const REPLY_SLACK: Duration = Duration::from_millis(250);
 
 impl FrontClient {
     /// Connects a new session. `client_id` tags this session's requests in
@@ -166,13 +178,48 @@ impl FrontClient {
             chan: transport.connect(addr)?,
             client_id,
             next_req: 0,
+            desynced: false,
         })
     }
 
-    /// Round-trips a liveness probe.
+    /// Waits for one reply, bounded by `budget` (the request's deadline, or
+    /// the server default when the caller passed `Duration::ZERO`) plus
+    /// slack. A timeout poisons the session: with one request in flight,
+    /// a reply that arrives *after* we gave up would desync every later
+    /// request/reply pairing on this channel.
+    fn recv_reply(&mut self, budget: Duration) -> DbResult<Vec<u8>> {
+        if self.desynced {
+            return Err(DbError::protocol(
+                "front session desynced: an earlier reply timed out and may still be in \
+                 flight — reconnect",
+            ));
+        }
+        let effective = if budget.is_zero() {
+            DEFAULT_REQUEST_DEADLINE
+        } else {
+            budget
+        };
+        let patience = effective.saturating_mul(2).saturating_add(REPLY_SLACK);
+        match self.chan.recv_timeout(patience)? {
+            Some(bytes) => Ok(bytes),
+            None => {
+                self.desynced = true;
+                // harbor-lint: allow(error-taxonomy) — the client-side reply bound is a
+                // classification boundary in the rpc_deadline sense: nothing downstream
+                // of this point can classify the missing reply for us.
+                Err(DbError::timeout(format!(
+                    "no front-door reply within {patience:?} (budget {effective:?} + slack) — \
+                     session desynced, reconnect before retrying"
+                )))
+            }
+        }
+    }
+
+    /// Round-trips a liveness probe, bounded by the server's default
+    /// request deadline plus slack.
     pub fn ping(&mut self) -> DbResult<()> {
         self.chan.send(&FrontRequest::Ping.to_vec())?;
-        match FrontReply::from_slice(&self.chan.recv()?)? {
+        match FrontReply::from_slice(&self.recv_reply(Duration::ZERO)?)? {
             FrontReply::Pong => Ok(()),
             other => Err(DbError::protocol(format!("expected Pong, got {other:?}"))),
         }
@@ -181,7 +228,10 @@ impl FrontClient {
     /// Executes `ops` as one transaction with the given deadline budget
     /// (`Duration::ZERO` = server default). Exactly one attempt: an
     /// `Overloaded` shed or a deadline reject comes back as the matching
-    /// typed error for the caller's retry policy to act on.
+    /// typed error for the caller's retry policy to act on, and the reply
+    /// wait itself is bounded by the same budget (plus slack) so a
+    /// partition mid-reply surfaces as `Timeout` instead of wedging the
+    /// driver forever.
     pub fn txn(&mut self, ops: &[UpdateRequest], deadline: Duration) -> DbResult<Timestamp> {
         let req = self.next_req;
         self.next_req += 1;
@@ -192,7 +242,7 @@ impl FrontClient {
             ops: ops.to_vec(),
         };
         self.chan.send_framed(&msg.to_framed_vec())?;
-        match FrontReply::from_slice(&self.chan.recv()?)? {
+        match FrontReply::from_slice(&self.recv_reply(deadline)?)? {
             FrontReply::Committed { ts, .. } => Ok(ts),
             FrontReply::Err { msg, .. } => Err(DbError::from_remote_msg(msg)),
             FrontReply::Pong => Err(DbError::protocol("unsolicited Pong")),

@@ -24,10 +24,29 @@
 //! * **`panic-ratchet`** — `.unwrap()` / `.expect()` counts per crate are
 //!   pinned in `lint-baseline.toml` and may only shrink (test code exempt).
 //!
+//! Two workspace-graph rule families run over a cross-file index
+//! ([`index`]) rather than one file at a time:
+//!
+//! * **`lockset-race`** ([`lockset`]) — RacerD-style: plain fields of
+//!   shared-intent structs must see consistent locksets at every access
+//!   site workspace-wide, guards must not cross spawn boundaries. The
+//!   runtime complement is ShimSan (`harbor_common::shimsan`), vector-clock
+//!   happens-before witnesses armed in the instrumented shims.
+//! * **`deadline-propagation`** ([`taint`]) — dataflow from `crates/front`'s
+//!   deadline-carrying entry points along the call graph: tainted paths
+//!   must not `recv()` untimed, retry unboundedly, or do page I/O without
+//!   consulting the budget.
+//!
+//! Suppressed graph findings ratchet via `lint-findings.toml` (exact-match,
+//! like the panic ratchet: new findings and stale entries both fail).
+//!
 //! Escape hatch: `// harbor-lint: allow(<rule>) — <reason>` on the
 //! offending line (or the line above). The reason is mandatory.
 
+pub mod index;
 pub mod lexer;
+pub mod lockset;
+pub mod taint;
 
 use lexer::{lex, Token, TokenKind};
 use std::collections::{BTreeMap, HashSet};
@@ -39,6 +58,8 @@ pub const RULE_LOCK_RANK: &str = "lock-rank";
 pub const RULE_TAXONOMY: &str = "error-taxonomy";
 pub const RULE_RATCHET: &str = "panic-ratchet";
 pub const RULE_ALLOW: &str = "lint-allow";
+pub const RULE_LOCKSET: &str = "lockset-race";
+pub const RULE_DEADLINE: &str = "deadline-propagation";
 
 /// One finding.
 #[derive(Clone, Debug)]
@@ -162,7 +183,7 @@ const RANK_PATTERNS: &[RankPattern] = &[
 /// Method names (after a `.`) that block: channel traffic, page I/O,
 /// connection setup. Holding a lock guard across any of these is rule
 /// `lock-across-blocking`.
-const BLOCKING_METHODS: [&str; 9] = [
+pub(crate) const BLOCKING_METHODS: [&str; 9] = [
     "send",
     "send_framed",
     "recv",
@@ -176,7 +197,7 @@ const BLOCKING_METHODS: [&str; 9] = [
 
 /// Free-function / repo helper names that block internally (RPC round
 /// trips, retry loops). Matched as `name(`.
-const BLOCKING_HELPERS: [&str; 7] = [
+pub(crate) const BLOCKING_HELPERS: [&str; 7] = [
     "rpc_live",
     "rpc_liveness",
     "rpc_expect_ok",
@@ -286,7 +307,7 @@ fn collect_hashmap_names(tokens: &[Token]) -> HashSet<String> {
 
 /// Token ranges (by index) lying inside `#[cfg(test)] mod … { … }` bodies
 /// or `#[test] fn … { … }` bodies.
-fn test_regions(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_regions(tokens: &[Token]) -> Vec<bool> {
     let mut in_test = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -364,7 +385,7 @@ fn test_regions(tokens: &[Token]) -> Vec<bool> {
 /// Statement end: index of the `;` terminating the statement starting at
 /// `start`, honouring (), [], {} nesting. Returns `None` when the file ends
 /// first (malformed input; the caller just skips tracking).
-fn statement_end(tokens: &[Token], start: usize) -> Option<usize> {
+pub(crate) fn statement_end(tokens: &[Token], start: usize) -> Option<usize> {
     let mut parens = 0i32;
     let mut brackets = 0i32;
     let mut braces = 0i32;
@@ -389,7 +410,7 @@ fn statement_end(tokens: &[Token], start: usize) -> Option<usize> {
 /// Does `rhs` (the tokens after `=` up to `;`) end in a guard acquisition —
 /// `….lock()`, `….read()`, `….write()`, optionally wrapped in a trailing
 /// `.unwrap()` / `.expect(…)` or `?`?
-fn rhs_is_guard_acquisition(rhs: &[Token]) -> bool {
+pub(crate) fn rhs_is_guard_acquisition(rhs: &[Token]) -> bool {
     let mut end = rhs.len();
     // Strip a trailing `?`.
     while end > 0 && tok_is(&rhs[end - 1], "?") {
@@ -1018,5 +1039,238 @@ pub fn check_ratchet(
             });
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-graph analysis (pass 1 + pass 2) and the findings ratchet
+// ---------------------------------------------------------------------------
+
+/// Aggregate result of the full analysis: per-file rules plus the two
+/// workspace-graph passes, and the allow-suppressed graph findings that
+/// feed the `lint-findings.toml` ratchet.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub violations: Vec<Violation>,
+    /// Non-test unwrap/expect counts keyed by crate directory.
+    pub unwraps: BTreeMap<String, usize>,
+    pub files_scanned: usize,
+    /// rule → crate → count of findings suppressed by a reasoned allow.
+    pub allowed_findings: BTreeMap<&'static str, BTreeMap<String, usize>>,
+}
+
+/// Runs everything over in-memory `(rel_path, source)` pairs — the same
+/// entry the fixture corpus tests use, so tests and production share one
+/// code path.
+pub fn analyze_sources(sources: &[(String, String)]) -> WorkspaceReport {
+    let mut report = WorkspaceReport::default();
+    for (rel, src) in sources {
+        let fr = analyze_source(rel, src);
+        report.violations.extend(fr.violations);
+        if fr.unwraps > 0 {
+            *report.unwraps.entry(crate_key(rel)).or_insert(0) += fr.unwraps;
+        }
+        report.files_scanned += 1;
+    }
+    let idx = index::build(sources);
+    let (lockset_viols, lockset_allowed) = lockset::check(&idx);
+    report.violations.extend(lockset_viols);
+    if !lockset_allowed.is_empty() {
+        report
+            .allowed_findings
+            .insert(RULE_LOCKSET, lockset_allowed);
+    }
+    let (taint_viols, taint_allowed) = taint::check(&idx);
+    report.violations.extend(taint_viols);
+    if !taint_allowed.is_empty() {
+        report.allowed_findings.insert(RULE_DEADLINE, taint_allowed);
+    }
+    report
+}
+
+/// Analyzes the workspace under `root` with all rule families.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut sources = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, std::fs::read_to_string(&path)?));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+/// Parses `lint-findings.toml`: `[allows.<rule>]` sections of
+/// `"crate" = count` lines, mirroring the panic-ratchet file format.
+pub fn parse_findings(text: &str) -> BTreeMap<String, BTreeMap<String, usize>> {
+    let mut map: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    let mut section: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.strip_prefix("allows.").map(str::to_string);
+            continue;
+        }
+        let Some(rule) = &section else { continue };
+        if let Some((k, v)) = line.split_once('=') {
+            let key = k.trim().trim_matches('"').to_string();
+            if let Ok(n) = v.trim().parse::<usize>() {
+                map.entry(rule.clone()).or_default().insert(key, n);
+            }
+        }
+    }
+    map
+}
+
+/// Renders `lint-findings.toml`.
+pub fn render_findings(map: &BTreeMap<&'static str, BTreeMap<String, usize>>) -> String {
+    let mut out = String::from(
+        "# harbor-lint findings ratchet: counts of workspace-graph findings\n\
+         # (lockset-race, deadline-propagation) suppressed by a reasoned\n\
+         # `// harbor-lint: allow(...)` per crate. Exact-match like the panic\n\
+         # ratchet: a new suppressed finding AND a stale entry both fail CI.\n\
+         # Regenerate with: cargo run -p harbor-lint -- --update-findings\n",
+    );
+    for (rule, counts) in map {
+        out.push_str(&format!("\n[allows.{rule}]\n"));
+        for (k, v) in counts {
+            out.push_str(&format!("\"{k}\" = {v}\n"));
+        }
+    }
+    out
+}
+
+/// Exact-match check of the measured suppressed-findings counts against the
+/// committed `lint-findings.toml` (both directions, like the panic ratchet).
+pub fn check_findings_ratchet(
+    current: &BTreeMap<&'static str, BTreeMap<String, usize>>,
+    committed: &BTreeMap<String, BTreeMap<String, usize>>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let empty = BTreeMap::new();
+    let mut rules: Vec<&str> = current.keys().copied().collect();
+    for r in committed.keys() {
+        if !rules.contains(&r.as_str()) {
+            rules.push(r);
+        }
+    }
+    rules.sort_unstable();
+    for rule in rules {
+        let cur = current
+            .iter()
+            .find(|(r, _)| ***r == *rule)
+            .map(|(_, m)| m)
+            .unwrap_or(&empty);
+        let base = committed.get(rule).unwrap_or(&empty);
+        for (k, n) in cur {
+            match base.get(k) {
+                None => out.push(Violation {
+                    file: "lint-findings.toml".into(),
+                    line: 0,
+                    rule: RULE_RATCHET,
+                    msg: format!(
+                        "{k} has {n} allow-suppressed {rule} finding(s) but no entry in \
+                         lint-findings.toml — run `cargo run -p harbor-lint -- --update-findings`"
+                    ),
+                }),
+                Some(b) if n != b => out.push(Violation {
+                    file: "lint-findings.toml".into(),
+                    line: 0,
+                    rule: RULE_RATCHET,
+                    msg: format!(
+                        "{k}: allow-suppressed {rule} findings changed {b} → {n}; \
+                         regenerate with `cargo run -p harbor-lint -- --update-findings` \
+                         so every suppression stays deliberate"
+                    ),
+                }),
+                _ => {}
+            }
+        }
+        for k in base.keys() {
+            if !cur.contains_key(k) {
+                out.push(Violation {
+                    file: "lint-findings.toml".into(),
+                    line: 0,
+                    rule: RULE_RATCHET,
+                    msg: format!(
+                        "stale lint-findings.toml entry: {k} no longer has any \
+                         allow-suppressed {rule} findings — regenerate with \
+                         `cargo run -p harbor-lint -- --update-findings`"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report for `--json`: violations (including any ratchet
+/// violations the caller appends first), unwrap counts, suppressed-finding
+/// counts. Hand-rolled: the container is offline, no serde.
+pub fn render_json(report: &WorkspaceReport, violations: &[Violation]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}{}\n",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.rule),
+            json_escape(&v.msg),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"unwraps\": {");
+    let mut first = true;
+    for (k, n) in &report.unwraps {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{}\": {}", json_escape(k), n));
+    }
+    out.push_str("},\n");
+    out.push_str("  \"allowed_findings\": {");
+    let mut first_rule = true;
+    for (rule, counts) in &report.allowed_findings {
+        if !first_rule {
+            out.push_str(", ");
+        }
+        first_rule = false;
+        out.push_str(&format!("\"{}\": {{", json_escape(rule)));
+        let mut first_k = true;
+        for (k, n) in counts {
+            if !first_k {
+                out.push_str(", ");
+            }
+            first_k = false;
+            out.push_str(&format!("\"{}\": {}", json_escape(k), n));
+        }
+        out.push('}');
+    }
+    out.push_str("}\n}\n");
     out
 }

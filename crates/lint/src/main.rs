@@ -1,8 +1,10 @@
 //! harbor-lint CLI. See `crates/lint/src/lib.rs` for the rule families.
 //!
 //! Usage:
-//!   harbor-lint --check [--root PATH]       # lint + ratchet; exit 1 on findings
+//!   harbor-lint --check [--root PATH]       # lint + ratchets; exit 1 on findings
+//!   harbor-lint --check --json              # machine-readable report on stdout
 //!   harbor-lint --update-baseline [--root]  # rewrite lint-baseline.toml
+//!   harbor-lint --update-findings [--root]  # rewrite lint-findings.toml
 //!   harbor-lint --list-rules
 
 use std::path::PathBuf;
@@ -26,12 +28,16 @@ fn find_root(start: PathBuf) -> Option<PathBuf> {
 fn main() -> ExitCode {
     let mut check = false;
     let mut update_baseline = false;
+    let mut update_findings = false;
+    let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => check = true,
             "--update-baseline" => update_baseline = true,
+            "--update-findings" => update_findings = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => {
@@ -50,12 +56,14 @@ fn main() -> ExitCode {
                 );
                 println!("error-taxonomy       Timeout/SiteUnavailable/CorruptPage minted only at classification boundaries");
                 println!("panic-ratchet        unwrap/expect counts pinned in lint-baseline.toml, only shrink");
-                println!("lint-allow           every allow(<rule>) must carry a reason");
+                println!("lockset-race         shared fields need consistent locksets workspace-wide; no guard crosses a spawn (runtime twin: ShimSan)");
+                println!("deadline-propagation paths reachable from front-door deadline entries must thread the deadline (no untimed recv, unbounded retry, budget-blind page I/O)");
+                println!("lint-allow           every allow(<rule>) must carry a reason; graph-rule allows ratchet via lint-findings.toml");
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: harbor-lint [--check] [--update-baseline] [--root PATH] [--list-rules]"
+                    "usage: harbor-lint [--check] [--json] [--update-baseline] [--update-findings] [--root PATH] [--list-rules]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -65,7 +73,7 @@ fn main() -> ExitCode {
             }
         }
     }
-    if !check && !update_baseline {
+    if !check && !update_baseline && !update_findings {
         check = true; // bare invocation behaves like --check
     }
 
@@ -80,7 +88,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let report = match harbor_lint::analyze_tree(&root) {
+    let report = match harbor_lint::analyze_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("harbor-lint: scan failed: {e}");
@@ -101,9 +109,24 @@ fn main() -> ExitCode {
             total,
             report.unwraps.len()
         );
-        if !check {
-            return ExitCode::SUCCESS;
+    }
+
+    let findings_path = root.join("lint-findings.toml");
+    if update_findings {
+        let text = harbor_lint::render_findings(&report.allowed_findings);
+        if let Err(e) = std::fs::write(&findings_path, text) {
+            eprintln!("harbor-lint: cannot write {}: {e}", findings_path.display());
+            return ExitCode::from(2);
         }
+        let total: usize = report
+            .allowed_findings
+            .values()
+            .flat_map(|m| m.values())
+            .sum();
+        println!("harbor-lint: findings ratchet updated — {total} reasoned allow(s) recorded");
+    }
+    if (update_baseline || update_findings) && !check {
+        return ExitCode::SUCCESS;
     }
 
     let mut violations = report.violations.clone();
@@ -119,11 +142,40 @@ fn main() -> ExitCode {
     };
     violations.extend(harbor_lint::check_ratchet(&report.unwraps, &baseline));
 
+    let findings = match std::fs::read_to_string(&findings_path) {
+        Ok(t) => harbor_lint::parse_findings(&t),
+        Err(_) => {
+            eprintln!(
+                "harbor-lint: {} missing — run --update-findings once and commit it",
+                findings_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    violations.extend(harbor_lint::check_findings_ratchet(
+        &report.allowed_findings,
+        &findings,
+    ));
+
+    if json {
+        print!("{}", harbor_lint::render_json(&report, &violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     if violations.is_empty() {
         let total: usize = report.unwraps.values().sum();
+        let suppressed: usize = report
+            .allowed_findings
+            .values()
+            .flat_map(|m| m.values())
+            .sum();
         println!(
-            "harbor-lint: clean — {} files scanned, {} non-test unwrap/expect calls (ratchet holds)",
-            report.files_scanned, total
+            "harbor-lint: clean — {} files scanned, {} non-test unwrap/expect calls (ratchet holds), {} reasoned graph-finding allow(s)",
+            report.files_scanned, total, suppressed
         );
         ExitCode::SUCCESS
     } else {

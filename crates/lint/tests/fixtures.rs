@@ -2,8 +2,9 @@
 //! `bad/` case and stay silent on the `good/` mirror.
 
 use harbor_lint::{
-    analyze_source, check_ratchet, collect_files, parse_baseline, render_baseline, Violation,
-    RULE_ALLOW, RULE_DETERMINISM, RULE_LOCK_BLOCKING, RULE_LOCK_RANK, RULE_TAXONOMY,
+    analyze_source, analyze_sources, check_ratchet, collect_files, parse_baseline, render_baseline,
+    Violation, WorkspaceReport, RULE_ALLOW, RULE_DEADLINE, RULE_DETERMINISM, RULE_LOCKSET,
+    RULE_LOCK_BLOCKING, RULE_LOCK_RANK, RULE_TAXONOMY,
 };
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -228,6 +229,123 @@ fn ratchet_flags_growth_and_stale_shrink() {
     let mut extra = baseline.clone();
     extra.insert("crates/new".to_string(), 1);
     assert_eq!(check_ratchet(&extra, &baseline).len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-graph rule corpus (lockset-race, deadline-propagation)
+// ---------------------------------------------------------------------------
+
+/// Reads one fixture by tree-relative path and runs the *full* analysis
+/// (per-file rules + both graph passes) over it under that same path.
+fn analyze_graph_fixture(tree: &str, rel: &str) -> WorkspaceReport {
+    let src = std::fs::read_to_string(fixtures(tree).join(rel)).expect("read fixture");
+    analyze_sources(&[(rel.to_string(), src)])
+}
+
+fn rule_violations<'a>(report: &'a WorkspaceReport, rule: &str) -> Vec<&'a Violation> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .collect()
+}
+
+#[test]
+fn lockset_bad_corpus_is_fully_flagged() {
+    let report = analyze_graph_fixture("bad", "crates/app/src/roster.rs");
+    let v = rule_violations(&report, RULE_LOCKSET);
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(
+        v.iter()
+            .any(|x| x.msg.contains("`racy_bump`") && x.msg.contains("empty lockset")),
+        "{v:#?}"
+    );
+    assert!(v.iter().any(|x| x.msg.contains("`spawn_bump`")), "{v:#?}");
+    assert!(
+        v.iter()
+            .any(|x| x.msg.contains("`spawn_under_guard`") && x.msg.contains("still held")),
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn lockset_good_corpus_is_clean() {
+    let report = analyze_graph_fixture("good", "crates/app/src/ledger.rs");
+    let v = rule_violations(&report, RULE_LOCKSET);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn deadline_bad_corpus_is_fully_flagged() {
+    let report = analyze_graph_fixture("bad", "crates/front/src/fixture_entry.rs");
+    let v = rule_violations(&report, RULE_DEADLINE);
+    assert_eq!(v.len(), 3, "{v:#?}");
+    assert!(
+        v.iter()
+            .any(|x| x.msg.contains("untimed `recv()`") && x.msg.contains("`fixture_wait`")),
+        "{v:#?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.msg.contains("unbounded retry loop") && x.msg.contains("`fixture_retry`")),
+        "{v:#?}"
+    );
+    assert!(
+        v.iter()
+            .any(|x| x.msg.contains("page I/O") && x.msg.contains("`fixture_flush`")),
+        "{v:#?}"
+    );
+    // Every diagnostic names its taint chain back to the entry point.
+    assert!(
+        v.iter().all(|x| x.msg.contains("fixture_handle →")),
+        "{v:#?}"
+    );
+}
+
+#[test]
+fn deadline_good_corpus_is_clean() {
+    let report = analyze_graph_fixture("good", "crates/front/src/fixture_entry.rs");
+    let v = rule_violations(&report, RULE_DEADLINE);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_counts_into_findings_ratchet() {
+    let rel = "crates/front/src/fixture_entry.rs";
+    let src = std::fs::read_to_string(fixtures("bad").join(rel))
+        .expect("read fixture")
+        .replace(
+            "let reply = fixture_chan().recv();",
+            "let reply = fixture_chan().recv(); // harbor-lint: allow(deadline-propagation) — fixture hold",
+        );
+    let report = analyze_sources(&[(rel.to_string(), src)]);
+    let v = rule_violations(&report, RULE_DEADLINE);
+    assert_eq!(v.len(), 2, "recv finding should be suppressed: {v:#?}");
+    assert!(v.iter().all(|x| !x.msg.contains("`fixture_wait`")));
+    let counts = report
+        .allowed_findings
+        .get(RULE_DEADLINE)
+        .expect("suppressed finding recorded for the ratchet");
+    assert_eq!(counts.get("crates/front"), Some(&1));
+}
+
+#[test]
+fn bare_allow_on_graph_rule_is_itself_a_violation() {
+    let rel = "crates/front/src/fixture_entry.rs";
+    let src = std::fs::read_to_string(fixtures("bad").join(rel))
+        .expect("read fixture")
+        .replace(
+            "let reply = fixture_chan().recv();",
+            "let reply = fixture_chan().recv(); // harbor-lint: allow(deadline-propagation)",
+        );
+    let report = analyze_sources(&[(rel.to_string(), src)]);
+    // The reason-less directive does not suppress, and is flagged itself.
+    assert_eq!(rule_violations(&report, RULE_DEADLINE).len(), 3);
+    assert!(
+        report.violations.iter().any(|v| v.rule == RULE_ALLOW),
+        "{:#?}",
+        report.violations
+    );
 }
 
 #[test]

@@ -1,0 +1,40 @@
+//! BAD fixture for the lockset-race rule. Never compiled — fed to
+//! `analyze_sources` by the corpus test under its tree-relative path.
+//! Expected findings: an inconsistent-lockset write in `racy_bump`, an
+//! unguarded write inside the spawned closure in `spawn_bump`, and a
+//! spawn-while-guard-held in `spawn_under_guard`.
+
+use parking_lot::Mutex;
+
+pub struct FixtureRoster {
+    entries_lock: Mutex<Vec<u32>>,
+    fixture_tally: u64,
+}
+
+impl FixtureRoster {
+    fn guarded_bump(&self) {
+        let g = self.entries_lock.lock();
+        self.fixture_tally += 1;
+        drop(g);
+    }
+
+    fn racy_bump(&self) {
+        self.fixture_tally += 1;
+    }
+
+    fn spawn_bump(&self) {
+        std::thread::spawn(move || {
+            self.fixture_tally += 2;
+        });
+    }
+
+    fn spawn_under_guard(&self) {
+        let g = self.entries_lock.lock();
+        std::thread::spawn(move || {
+            fixture_background_work();
+        });
+        drop(g);
+    }
+}
+
+fn fixture_background_work() {}

@@ -1,0 +1,41 @@
+//! BAD fixture for the deadline-propagation rule. Never compiled — fed to
+//! `analyze_sources` by the corpus test under its tree-relative path, so
+//! `fixture_handle`'s `deadline` param seeds the taint. Expected
+//! findings, all on the tainted path: an untimed `recv()` in
+//! `fixture_wait`, an unbounded retry loop in `fixture_retry`, and
+//! budget-blind page I/O in `fixture_flush`.
+
+pub fn fixture_handle(ops: Vec<u8>, deadline: Instant) -> DbResult<()> {
+    fixture_route(ops)
+}
+
+fn fixture_route(ops: Vec<u8>) -> DbResult<()> {
+    fixture_wait();
+    fixture_retry();
+    fixture_flush()
+}
+
+fn fixture_wait() {
+    let reply = fixture_chan().recv();
+}
+
+fn fixture_retry() {
+    loop {
+        if fixture_chan().send(1).is_err() {
+            continue;
+        }
+        return;
+    }
+}
+
+fn fixture_flush() -> DbResult<()> {
+    fixture_pool().write_page(0)
+}
+
+fn fixture_chan() -> FixtureChan {
+    FixtureChan
+}
+
+fn fixture_pool() -> FixturePool {
+    FixturePool
+}

@@ -1,0 +1,34 @@
+//! GOOD fixture for the lockset-race rule. Never compiled — fed to
+//! `analyze_sources` by the corpus test under its tree-relative path.
+//! Every write to the shared plain field happens under the same guard,
+//! reads are free, the guard is dropped before the spawn, and the closure
+//! re-acquires the lock on its own thread. Expected findings: none.
+
+use parking_lot::Mutex;
+
+pub struct FixtureLedger {
+    ledger_lock: Mutex<Vec<u32>>,
+    ledger_total: u64,
+}
+
+impl FixtureLedger {
+    fn bump(&self) {
+        let g = self.ledger_lock.lock();
+        self.ledger_total += 1;
+        drop(g);
+    }
+
+    fn read_total(&self) -> u64 {
+        self.ledger_total
+    }
+
+    fn spawn_clean(&self) {
+        let g = self.ledger_lock.lock();
+        drop(g);
+        std::thread::spawn(move || {
+            let g2 = self.ledger_lock.lock();
+            self.ledger_total += 1;
+            drop(g2);
+        });
+    }
+}

@@ -1,0 +1,47 @@
+//! GOOD fixture for the deadline-propagation rule. Never compiled — fed to
+//! `analyze_sources` by the corpus test under its tree-relative path.
+//! The same call shape as the bad fixture, but the deadline is threaded all
+//! the way down: the wait is timed, the retry loop breaks on expiry, and
+//! the page I/O fn receives the budget. Expected findings: none.
+
+pub fn fixture_handle(ops: Vec<u8>, deadline: Instant) -> DbResult<()> {
+    fixture_route(ops, deadline)
+}
+
+fn fixture_route(ops: Vec<u8>, deadline: Instant) -> DbResult<()> {
+    fixture_wait(deadline);
+    fixture_retry(deadline);
+    fixture_flush(deadline)
+}
+
+fn fixture_wait(deadline: Instant) {
+    let reply = fixture_chan().recv_timeout(fixture_remaining(deadline));
+}
+
+fn fixture_retry(deadline: Instant) {
+    loop {
+        if deadline_expired(deadline) {
+            break;
+        }
+        if fixture_chan().send(1).is_err() {
+            continue;
+        }
+        return;
+    }
+}
+
+fn fixture_flush(deadline: Instant) -> DbResult<()> {
+    fixture_pool().write_page(0)
+}
+
+fn fixture_remaining(deadline: Instant) -> Duration {
+    Duration::ZERO
+}
+
+fn fixture_chan() -> FixtureChan {
+    FixtureChan
+}
+
+fn fixture_pool() -> FixturePool {
+    FixturePool
+}

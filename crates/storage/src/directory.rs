@@ -271,13 +271,20 @@ impl Directory {
     }
 
     /// Allocates one more data page to the *last* segment, returning its
-    /// page number. Caller must have checked the segment has room.
-    pub fn allocate_page(&mut self) -> u32 {
+    /// page number. Caller must have checked the segment has room. A
+    /// directory with no segments is corrupt (bootstrap always creates
+    /// one), reported as a typed error rather than a panic so a worker
+    /// thread serving a deadline-bounded request can answer instead of
+    /// dying.
+    pub fn allocate_page(&mut self) -> DbResult<u32> {
         let page = self.next_free_page();
-        let last = self.segments.last_mut().expect("at least one segment");
+        let last = self
+            .segments
+            .last_mut()
+            .ok_or_else(|| DbError::corrupt("directory has no segments to allocate into"))?;
         debug_assert_eq!(page, last.start_page + last.page_count);
         last.page_count += 1;
-        page
+        Ok(page)
     }
 
     /// `true` once the last segment has reached the per-segment page budget
@@ -424,7 +431,7 @@ mod tests {
         let path = temp("round");
         let f = file(&path);
         let mut d = Directory::create(&f, 64).unwrap();
-        let p0 = d.allocate_page();
+        let p0 = d.allocate_page().unwrap();
         assert_eq!(p0, 1);
         d.note_insert_commit(p0, Timestamp(10));
         d.note_delete(p0, Timestamp(12));
@@ -451,11 +458,11 @@ mod tests {
         let f = file(&path);
         let mut d = Directory::create(&f, 64).unwrap();
         for _ in 0..3 {
-            d.allocate_page();
+            d.allocate_page().unwrap();
         }
         let s1 = d.create_segment(&f).unwrap();
         assert_eq!(s1, SegmentNo(1));
-        let p = d.allocate_page();
+        let p = d.allocate_page().unwrap();
         assert_eq!(d.segment_of_page(p), Some(SegmentNo(1)));
         assert_eq!(d.segment_of_page(1), Some(SegmentNo(0)));
         assert_eq!(
@@ -474,7 +481,7 @@ mod tests {
         let mut d = Directory::create(&f, 64).unwrap();
         // Force more segments than one header page can hold.
         for _ in 0..ENTRIES_PER_PAGE + 5 {
-            d.allocate_page();
+            d.allocate_page().unwrap();
             d.create_segment(&f).unwrap();
         }
         assert!(d.header_pages.len() >= 2);
@@ -495,18 +502,18 @@ mod tests {
         let f = file(&path);
         let mut d = Directory::create(&f, 64).unwrap();
         // Segment 0: insertions committed in [1, 5], deletion at 7.
-        let p = d.allocate_page();
+        let p = d.allocate_page().unwrap();
         d.note_insert_commit(p, Timestamp(1));
         d.note_insert_commit(p, Timestamp(5));
         d.note_delete(p, Timestamp(7));
         // Segment 1: insertions in [6, 9], no deletions.
         d.create_segment(&f).unwrap();
-        let p = d.allocate_page();
+        let p = d.allocate_page().unwrap();
         d.note_insert_commit(p, Timestamp(6));
         d.note_insert_commit(p, Timestamp(9));
         // Segment 2: brand new, nothing committed.
         d.create_segment(&f).unwrap();
-        d.allocate_page();
+        d.allocate_page().unwrap();
 
         let hits =
             |b: ScanBounds| -> Vec<u32> { d.prune(&b).into_iter().map(|(s, _)| s.0).collect() };
@@ -541,7 +548,7 @@ mod tests {
         let path = temp("stale");
         let f = file(&path);
         let mut d = Directory::create(&f, 64).unwrap();
-        let p = d.allocate_page();
+        let p = d.allocate_page().unwrap();
         assert!(d.is_stale(p), "page allocation changed the meta");
         d.persist(&f).unwrap();
         assert!(!d.is_stale(p));
@@ -557,10 +564,10 @@ mod tests {
         let path = temp("drop");
         let f = file(&path);
         let mut d = Directory::create(&f, 64).unwrap();
-        let p0 = d.allocate_page();
+        let p0 = d.allocate_page().unwrap();
         d.note_insert_commit(p0, Timestamp(1));
         d.create_segment(&f).unwrap();
-        d.allocate_page();
+        d.allocate_page().unwrap();
         let dropped = d.drop_oldest(&f).unwrap().unwrap();
         assert_eq!(dropped.tmin_insert, Timestamp(1));
         assert_eq!(d.num_segments(), 1);

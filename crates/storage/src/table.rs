@@ -323,10 +323,13 @@ impl SegmentedHeapFile {
     }
 
     /// Candidate pages for an insert: from the insert hint to the end of
-    /// the last segment. Empty if the last segment has no pages yet.
+    /// the last segment. Empty if the last segment has no pages yet (or
+    /// the directory has none at all — `grow` then reports the corruption).
     pub fn insert_candidates(&self) -> Vec<u32> {
         let dir = self.dir.lock();
-        let last = dir.segments().last().expect("one segment always exists");
+        let Some(last) = dir.segments().last() else {
+            return Vec::new();
+        };
         let hint = self.insert_hint.lock().unwrap_or(last.start_page);
         let from = hint.clamp(last.start_page, last.start_page + last.page_count);
         (from..last.start_page + last.page_count).collect()
@@ -345,7 +348,9 @@ impl SegmentedHeapFile {
     pub fn note_slot_freed(&self, page_no: u32) {
         // Only relevant if the page belongs to the last segment.
         let dir = self.dir.lock();
-        let last = dir.segments().last().expect("one segment always exists");
+        let Some(last) = dir.segments().last() else {
+            return;
+        };
         if !last.contains_page(page_no) {
             return;
         }
@@ -362,12 +367,17 @@ impl SegmentedHeapFile {
     pub fn grow(&self) -> DbResult<PageId> {
         let mut dir = self.dir.lock();
         if dir.last_segment_full(self.segment_pages) {
-            dir.create_segment(&self.file)?;
+            let seg = dir.create_segment(&self.file)?;
             // New segment: reset the insert hint to its start.
-            let start = dir.segments().last().unwrap().start_page;
+            let start = dir
+                .segment(seg)
+                .ok_or_else(|| {
+                    harbor_common::DbError::corrupt("created segment missing from directory")
+                })?
+                .start_page;
             *self.insert_hint.lock() = Some(start);
         }
-        let page_no = dir.allocate_page();
+        let page_no = dir.allocate_page()?;
         Ok(PageId::new(self.id, page_no))
     }
 
@@ -388,7 +398,7 @@ impl SegmentedHeapFile {
             if dir.last_segment_full(self.segment_pages) {
                 dir.create_segment(&self.file)?;
             } else {
-                dir.allocate_page();
+                dir.allocate_page()?;
             }
         }
         Ok(())
@@ -401,7 +411,13 @@ impl SegmentedHeapFile {
     pub fn begin_bulk_segment(&self) -> DbResult<SegmentNo> {
         let mut dir = self.dir.lock();
         let seg = dir.create_segment(&self.file)?;
-        *self.insert_hint.lock() = Some(dir.segments().last().unwrap().start_page);
+        let start = dir
+            .segment(seg)
+            .ok_or_else(|| {
+                harbor_common::DbError::corrupt("created segment missing from directory")
+            })?
+            .start_page;
+        *self.insert_hint.lock() = Some(start);
         Ok(seg)
     }
 

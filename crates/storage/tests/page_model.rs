@@ -121,13 +121,13 @@ proptest! {
         let mut dir = Directory::create(&file, 64).unwrap();
         // Reference: per segment, the set of (insert, delete) event times.
         let mut per_segment: Vec<Vec<(Option<u64>, Option<u64>)>> = vec![Vec::new()];
-        let mut pages: Vec<u32> = vec![dir.allocate_page()];
+        let mut pages: Vec<u32> = vec![dir.allocate_page().unwrap()];
         for (kind, t) in &events {
             match kind {
                 0 => {
                     // new segment
                     dir.create_segment(&file).unwrap();
-                    pages.push(dir.allocate_page());
+                    pages.push(dir.allocate_page().unwrap());
                     per_segment.push(Vec::new());
                 }
                 1 => {

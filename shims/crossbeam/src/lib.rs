@@ -5,8 +5,17 @@
 //! `bounded` channels, cloneable senders *and* receivers, and the same
 //! disconnect semantics (send fails once every receiver is gone; recv drains
 //! the queue and then fails once every sender is gone).
+//!
+//! Because every channel in the workspace flows through this shim, it doubles
+//! as the message half of **ShimSan** (`harbor_common::shimsan`): each queued
+//! element carries a vector-clock [`MsgClock`](harbor_common::shimsan::MsgClock)
+//! stamped by the sender and joined into the receiving thread on delivery, so
+//! a receiver is ordered after exactly the sender that produced its message.
+//! In release builds `MsgClock` is zero-sized and the queue layout is
+//! identical to the uninstrumented shim.
 
 pub mod channel {
+    use harbor_common::shimsan::MsgClock;
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -14,7 +23,7 @@ pub mod channel {
     use std::time::{Duration, Instant};
 
     struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
+        queue: Mutex<VecDeque<(T, MsgClock)>>,
         cap: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
@@ -23,7 +32,7 @@ pub mod channel {
     }
 
     impl<T> Shared<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(T, MsgClock)>> {
             self.queue.lock().unwrap_or_else(PoisonError::into_inner)
         }
     }
@@ -106,7 +115,7 @@ pub mod channel {
                     _ => break,
                 }
             }
-            q.push_back(value);
+            q.push_back((value, MsgClock::stamp()));
             drop(q);
             shared.not_empty.notify_one();
             Ok(())
@@ -118,8 +127,9 @@ pub mod channel {
             let shared = &*self.shared;
             let mut q = shared.lock();
             loop {
-                if let Some(v) = q.pop_front() {
+                if let Some((v, mc)) = q.pop_front() {
                     shared.not_full.notify_one();
+                    mc.join_into_current();
                     return Ok(v);
                 }
                 if shared.senders.load(Ordering::SeqCst) == 0 {
@@ -136,8 +146,9 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let shared = &*self.shared;
             let mut q = shared.lock();
-            if let Some(v) = q.pop_front() {
+            if let Some((v, mc)) = q.pop_front() {
                 shared.not_full.notify_one();
+                mc.join_into_current();
                 return Ok(v);
             }
             if shared.senders.load(Ordering::SeqCst) == 0 {
@@ -152,8 +163,9 @@ pub mod channel {
             let shared = &*self.shared;
             let mut q = shared.lock();
             loop {
-                if let Some(v) = q.pop_front() {
+                if let Some((v, mc)) = q.pop_front() {
                     shared.not_full.notify_one();
+                    mc.join_into_current();
                     return Ok(v);
                 }
                 if shared.senders.load(Ordering::SeqCst) == 0 {
@@ -285,6 +297,25 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        /// The message half of ShimSan: a send/recv pair is a happens-before
+        /// edge, so the receiver's witness write is ordered after the
+        /// sender's (debug builds panic on a real race).
+        #[test]
+        fn shimsan_message_edge_orders_witness_accesses() {
+            use harbor_common::shimsan::RaceWitness;
+            use std::sync::Arc;
+            let w = Arc::new(RaceWitness::new());
+            let (tx, rx) = unbounded::<u32>();
+            let w2 = w.clone();
+            let t = std::thread::spawn(move || {
+                w2.check_write("handed-off cell");
+                tx.send(11).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(11));
+            w.check_write("handed-off cell");
+            t.join().unwrap();
         }
 
         #[test]

@@ -68,6 +68,14 @@ fn pinned_seeds_hold_invariants() {
         cfg!(debug_assertions),
         "lockrank witness arming must track debug_assertions"
     );
+    // Same for ShimSan: debug soaks run with vector-clock happens-before
+    // tracking inside the shim locks and channels, so an access to an
+    // instrumented witness with no ordering edge panics the failing seed.
+    assert_eq!(
+        harbor_common::shimsan::is_armed(),
+        cfg!(debug_assertions),
+        "ShimSan arming must track debug_assertions"
+    );
     for seed in SEEDS {
         let report = run_seed(seed);
         assert!(
@@ -104,6 +112,16 @@ fn pinned_seeds_hold_invariants() {
             println!("  read path {line}");
         }
         println!("  commit path {}", report.commit_path);
+    }
+    // In debug builds the whole battery just ran under ShimSan: the shim
+    // locks and channels must actually have published happens-before edges
+    // (a zero here would mean the sanitizer was silently disconnected and
+    // the race coverage above was vacuous).
+    if cfg!(debug_assertions) {
+        assert!(
+            harbor_common::shimsan::sync_edges() > 0,
+            "soak ran without recording a single ShimSan sync edge"
+        );
     }
 }
 
@@ -346,6 +364,15 @@ fn front_door_seed_holds_invariants() {
     assert_eq!(front.deadline_rejects(), 0);
     assert_eq!(front.sessions_accepted(), 1);
     assert!(front.drain_micros() > 0, "shutdown never drained");
+    // Debug runs route every write across the front work queue, whose
+    // ShimSan witness records each locked enqueue/dequeue — the soak is
+    // the witness's steady-state (no-false-positive) regression.
+    if cfg!(debug_assertions) {
+        assert!(
+            harbor_common::shimsan::witness_checks() > 0,
+            "front-door soak never exercised the work-queue ShimSan witness"
+        );
+    }
     println!(
         "seed {seed:#x}: {} committed, {} aborted through the front door \
          ({} admitted, queue peak {})",
